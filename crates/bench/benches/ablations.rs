@@ -1,0 +1,95 @@
+//! Ablation benches for the design choices DESIGN.md §6 calls out: the
+//! `MaxSco` early termination, the `ecache` selection memo, the sorted
+//! candidate lists, degree-ordered verification, and inverted-index
+//! blocking.
+
+use bench::harness::{default_config, prepare};
+use criterion::{criterion_group, criterion_main, Criterion};
+use her_core::apair::apair;
+use her_core::paramatch::MatcherOptions;
+use her_core::vpair::{vpair, vpair_ordered};
+use her_datagen as datagen;
+
+fn bench(c: &mut Criterion) {
+    let prep = prepare(datagen::dbpedia::generate_sized(120, 85), &default_config());
+    let tuple_vertices: Vec<_> = prep
+        .dataset
+        .ground_truth
+        .iter()
+        .map(|&(t, _)| prep.her.cg.vertex_of(t))
+        .collect();
+    let u0 = tuple_vertices[0];
+
+    let all_on = MatcherOptions::default();
+    let variants: Vec<(&str, MatcherOptions)> = vec![
+        ("all_on", all_on),
+        (
+            "no_early_termination",
+            MatcherOptions {
+                early_termination: false,
+                ..all_on
+            },
+        ),
+        (
+            "no_ecache",
+            MatcherOptions {
+                use_ecache: false,
+                ..all_on
+            },
+        ),
+        (
+            "no_sorted_lists",
+            MatcherOptions {
+                sorted_lists: false,
+                ..all_on
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("ablation_apair");
+    group.sample_size(10);
+    for (name, opts) in &variants {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut m = prep.her.matcher_with(*opts);
+                apair(&mut m, &tuple_vertices, prep.her.index.as_ref())
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_blocking");
+    group.sample_size(10);
+    group.bench_function("vpair_with_index", |b| {
+        b.iter(|| {
+            let mut m = prep.her.matcher();
+            vpair(&mut m, u0, prep.her.index.as_ref())
+        })
+    });
+    group.bench_function("vpair_full_scan", |b| {
+        b.iter(|| {
+            let mut m = prep.her.matcher();
+            vpair(&mut m, u0, None)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_degree_order");
+    group.sample_size(10);
+    for (name, ordered) in [("degree_ordered", true), ("arbitrary_order", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut m = prep.her.matcher();
+                let mut out = Vec::new();
+                for &u in tuple_vertices.iter().take(24) {
+                    out.push(vpair_ordered(&mut m, u, prep.her.index.as_ref(), ordered));
+                }
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion counterpart of Fig. 6(d)–(i): parallel APair across worker
+//! counts and dataset scales.
+
+use bench::harness::{default_config, prepare};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use her_datagen as datagen;
+use her_parallel::{pallmatch, ParallelConfig};
+
+fn bench(c: &mut Criterion) {
+    let prep = prepare(datagen::dbpedia::generate_sized(120, 83), &default_config());
+    let tuple_vertices: Vec<_> = prep
+        .dataset
+        .ground_truth
+        .iter()
+        .map(|&(t, _)| prep.her.cg.vertex_of(t))
+        .collect();
+
+    let mut group = c.benchmark_group("fig6_workers");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &n| {
+            b.iter(|| {
+                pallmatch(
+                    &prep.her.cg.graph,
+                    &prep.her.g,
+                    &prep.her.cg.interner,
+                    &prep.her.params,
+                    &tuple_vertices,
+                    &ParallelConfig {
+                        workers: n,
+                        use_blocking: true,
+                        ..Default::default()
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Micro-benchmarks of the parameter functions (§IV "Complexity" claims
+//! that scoring is linear once trained) and of the supporting structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use her_embed::pra::pra;
+use her_embed::{PathLm, PathSimModel, SentenceModel, TopKRanker};
+use her_graph::walk::{random_walks, WalkConfig};
+use her_graph::GraphBuilder;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro");
+    group.sample_size(20);
+
+    // h_v: sentence similarity.
+    let mv = SentenceModel::new(64);
+    group.bench_function("hv_similarity", |b| {
+        b.iter(|| mv.similarity("Dame Basketball Shoes D7", "Dame Basketball Shoes"))
+    });
+    let e1 = mv.embed("Dame Basketball Shoes D7");
+    let e2 = mv.embed("Dame Basketball Shoes");
+    group.bench_function("hv_from_cached_vecs", |b| {
+        b.iter(|| mv.similarity_from_vecs(&e1, &e2))
+    });
+
+    // M_ρ: sequence scoring (pre-encoded, as the hot loop runs it).
+    let mrho = PathSimModel::new(64, 7);
+    let v1 = mrho.encode(&["made_in"]);
+    let v2 = mrho.encode(&["factorySite", "isIn", "isIn"]);
+    group.bench_function("mrho_score_vecs", |b| b.iter(|| mrho.score_vecs(&v1, &v2)));
+
+    // h_r: top-k selection over a star entity.
+    let mut builder = GraphBuilder::new();
+    let root = builder.add_vertex("item");
+    for i in 0..12 {
+        let v = builder.add_vertex(&format!("value {i}"));
+        builder.add_edge(root, v, &format!("pred{i}"));
+    }
+    let (g, _) = builder.build();
+    let mut lm = PathLm::new();
+    lm.train(&random_walks(&g, &WalkConfig::default()));
+    let ranker = TopKRanker::new(lm);
+    group.bench_function("hr_select_top8", |b| b.iter(|| ranker.select(&g, root, 8)));
+
+    // PRA on a path.
+    let paths = her_graph::traverse::simple_paths_up_to(&g, root, 1);
+    group.bench_function("pra_score", |b| b.iter(|| pra(&g, &paths[0])));
+
+    // Graph construction (CSR build).
+    group.bench_function("csr_build_1k_edges", |b| {
+        b.iter(|| {
+            let mut bb = GraphBuilder::new();
+            let vs: Vec<_> = (0..200).map(|i| bb.add_vertex(&format!("n{i}"))).collect();
+            for i in 0..1000usize {
+                bb.add_edge(vs[i % 200], vs[(i * 7 + 3) % 200], "e");
+            }
+            bb.build()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

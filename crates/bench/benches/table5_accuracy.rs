@@ -1,0 +1,31 @@
+//! Criterion counterpart of Table V: the cost of the accuracy pipeline —
+//! training (Learn module) and test-set verification on the UKGOV emulator.
+
+use bench::harness::{default_config, prepare};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use her_datagen as datagen;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+
+    // Full build+learn pipeline on a small UKGOV.
+    group.bench_function("train_ukgov_60", |b| {
+        b.iter_batched(
+            || datagen::ukgov::generate_sized(60, 77),
+            |dataset| prepare(dataset, &default_config()),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // Test-set evaluation with a trained system.
+    let prep = prepare(datagen::ukgov::generate_sized(120, 78), &default_config());
+    group.bench_function("evaluate_test_split", |b| {
+        b.iter(|| prep.her.evaluate(&prep.test))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

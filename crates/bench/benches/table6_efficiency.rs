@@ -1,0 +1,56 @@
+//! Criterion counterpart of Table VI: SPair and VPair latency of HER vs the
+//! baselines on the DBpediaP emulator.
+
+use bench::harness::{default_config, prepare};
+use criterion::{criterion_group, criterion_main, Criterion};
+use her_baselines::{
+    deep::DeepMatcher, jedai::JedAi, magellan::Magellan, magnn::Magnn, EntityLinker,
+};
+use her_datagen as datagen;
+
+fn bench(c: &mut Criterion) {
+    let prep = prepare(datagen::dbpedia::generate_sized(120, 81), &default_config());
+    let pairs: Vec<_> = prep.test.iter().take(16).copied().collect();
+    let (t0, _) = prep.dataset.ground_truth[0];
+
+    let mut group = c.benchmark_group("table6_spair");
+    group.sample_size(10);
+    group.bench_function("HER", |b| {
+        // Persistent matcher, as a deployed SPair service runs.
+        let mut m = prep.her.matcher();
+        b.iter(|| {
+            for &(t, v, _) in &pairs {
+                std::hint::black_box(prep.her.spair_with(&mut m, t, v));
+            }
+        })
+    });
+    let ctx = prep.ctx();
+    let mut linkers: Vec<(&str, Box<dyn EntityLinker>)> = vec![
+        ("MAGNN", Box::new(Magnn::default())),
+        ("JedAI", Box::new(JedAi::new())),
+        ("MAG", Box::new(Magellan::default())),
+        ("DEEP", Box::new(DeepMatcher::default())),
+    ];
+    for (name, linker) in linkers.iter_mut() {
+        linker.train(&ctx, &prep.train);
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                for &(t, v, _) in &pairs {
+                    std::hint::black_box(linker.predict(&ctx, t, v));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table6_vpair");
+    group.sample_size(10);
+    group.bench_function("HER", |b| b.iter(|| prep.her.vpair(t0)));
+    for (name, linker) in linkers.iter() {
+        group.bench_function(*name, |b| b.iter(|| linker.vpair(&ctx, t0)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! reproduce                # everything
+//! reproduce table5 fig6a   # selected experiments
+//! reproduce --list         # list experiment ids
+//! ```
+
+use bench::{figures, tables};
+
+type Exp = (&'static str, fn() -> String);
+
+fn experiments() -> Vec<Exp> {
+    vec![
+        ("table5", tables::table5 as fn() -> String),
+        ("table5_variance", tables::table5_variance),
+        ("table5_2t", tables::table5_2t),
+        ("table6", tables::table6),
+        ("table7", tables::table7),
+        ("fig6a", figures::fig6a),
+        ("fig6b", figures::fig6b),
+        ("fig6c", figures::fig6c),
+        ("fig6d", figures::fig6d),
+        ("fig6e", figures::fig6e),
+        ("fig6f", figures::fig6f),
+        ("fig6g", figures::fig6g),
+        ("fig6h", figures::fig6h),
+        ("fig6i", figures::fig6i),
+        ("fig6j", figures::fig6j),
+        ("fig6k", figures::fig6k),
+        ("fig6l", figures::fig6l),
+        ("fig6m", figures::fig6m),
+        ("fig6n", figures::fig6n),
+        ("fig6o", figures::fig6o),
+        ("fig6p", figures::fig6p),
+        ("fig9", figures::fig9),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exps = experiments();
+    if args.iter().any(|a| a == "--list") {
+        for (id, _) in &exps {
+            println!("{id}");
+        }
+        return;
+    }
+    let selected: Vec<&Exp> = if args.is_empty() {
+        exps.iter().collect()
+    } else {
+        let picked: Vec<&Exp> = exps.iter().filter(|(id, _)| args.iter().any(|a| a == id)).collect();
+        if picked.len() != args.len() {
+            for a in &args {
+                if !exps.iter().any(|(id, _)| id == a) {
+                    eprintln!("unknown experiment {a:?} (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        picked
+    };
+    for (id, f) in selected {
+        let start = std::time::Instant::now();
+        let output = f();
+        println!("=== {id} ===");
+        println!("{output}");
+        println!("[{id} regenerated in {:.1}s]\n", start.elapsed().as_secs_f64());
+    }
+}

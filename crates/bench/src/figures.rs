@@ -1,0 +1,398 @@
+//! Regenerators for the paper's figures (printed as data series).
+
+use crate::harness::{default_config, prepare, prepare_with_space, Prepared};
+use crate::report::{f3, secs, Table};
+use her_core::learn::{evaluate, Annotation, SearchSpace};
+use her_core::params::Thresholds;
+use her_core::refine::RefineConfig;
+use her_core::HerConfig;
+use her_datagen as datagen;
+use her_datagen::tpch_like::{generate as synth, ScaleConfig};
+use her_parallel::{pallmatch, ParallelConfig};
+
+fn fixed_space(t: Thresholds) -> SearchSpace {
+    // A degenerate space: keeps the provided thresholds (trial count 0, the
+    // incumbent wins).
+    let _ = t;
+    SearchSpace {
+        trials: 0,
+        ..Default::default()
+    }
+}
+
+/// Evaluates the prepared system's test F under explicit thresholds.
+fn f_at(prep: &Prepared, t: Thresholds) -> f64 {
+    let params = prep.her.params.with_thresholds(t);
+    let ann: Vec<Annotation> = prep
+        .test
+        .iter()
+        .map(|&(tr, v, m)| (prep.her.cg.vertex_of(tr), v, m))
+        .collect();
+    evaluate(&prep.her.cg.graph, &prep.her.g, &prep.her.cg.interner, &params, &ann).f_measure()
+}
+
+fn sweep_datasets() -> Vec<Prepared> {
+    vec![
+        prepare(datagen::ukgov::generate(), &default_config()),
+        prepare(datagen::dbpedia::generate(), &default_config()),
+        prepare(datagen::imdb::generate(), &default_config()),
+    ]
+}
+
+/// Fig 6(a): F-measure vs σ (δ, k fixed).
+pub fn fig6a() -> String {
+    let preps = sweep_datasets();
+    let sigmas = [0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.99];
+    let mut t = Table::new(
+        std::iter::once("sigma".to_owned())
+            .chain(preps.iter().map(|p| p.dataset.name.clone()))
+            .collect::<Vec<_>>(),
+    );
+    for &s in &sigmas {
+        let mut row = vec![format!("{s:.2}")];
+        for p in &preps {
+            let base = p.her.params.thresholds;
+            row.push(f3(f_at(p, Thresholds::new(s, base.delta, base.k))));
+        }
+        t.row(row);
+    }
+    format!("Fig 6(a) — F-measure varying σ\n{}", t.render())
+}
+
+/// Fig 6(b): F-measure vs δ (σ, k fixed).
+pub fn fig6b() -> String {
+    let preps = sweep_datasets();
+    let deltas = [0.2, 0.6, 1.0, 1.4, 1.8, 2.2, 2.6, 3.0];
+    let mut t = Table::new(
+        std::iter::once("delta".to_owned())
+            .chain(preps.iter().map(|p| p.dataset.name.clone()))
+            .collect::<Vec<_>>(),
+    );
+    for &d in &deltas {
+        let mut row = vec![format!("{d:.1}")];
+        for p in &preps {
+            let base = p.her.params.thresholds;
+            row.push(f3(f_at(p, Thresholds::new(base.sigma, d, base.k))));
+        }
+        t.row(row);
+    }
+    format!("Fig 6(b) — F-measure varying δ\n{}", t.render())
+}
+
+/// Fig 6(c): F-measure vs k (σ, δ fixed).
+pub fn fig6c() -> String {
+    let preps = sweep_datasets();
+    let ks = [1usize, 2, 3, 4, 5, 8, 12, 18, 25];
+    let mut t = Table::new(
+        std::iter::once("k".to_owned())
+            .chain(preps.iter().map(|p| p.dataset.name.clone()))
+            .collect::<Vec<_>>(),
+    );
+    for &k in &ks {
+        let mut row = vec![k.to_string()];
+        for p in &preps {
+            let base = p.her.params.thresholds;
+            row.push(f3(f_at(p, Thresholds::new(base.sigma, base.delta, k))));
+        }
+        t.row(row);
+    }
+    format!("Fig 6(c) — F-measure varying k\n{}", t.render())
+}
+
+/// One APair runtime measurement with `n` workers: the simulated
+/// `n`-machine wall-clock (BSP critical path; see `ParallelStats`).
+fn apair_seconds(prep: &Prepared, workers: usize) -> f64 {
+    let tuple_vertices: Vec<her_graph::VertexId> = prep
+        .dataset
+        .ground_truth
+        .iter()
+        .map(|&(t, _)| prep.her.cg.vertex_of(t))
+        .collect();
+    let cfg = ParallelConfig {
+        workers,
+        use_blocking: true,
+        ..Default::default()
+    };
+    let (_, stats) = pallmatch(
+        &prep.her.cg.graph,
+        &prep.her.g,
+        &prep.her.cg.interner,
+        &prep.her.params,
+        &tuple_vertices,
+        &cfg,
+    );
+    stats.simulated_secs
+}
+
+fn scalability_fig(title: &str, prep: &Prepared) -> String {
+    let mut t = Table::new(vec!["workers", "APair time (simulated cluster)", "speedup vs n=1"]);
+    let base = apair_seconds(prep, 1);
+    for n in [1usize, 2, 4, 8, 16] {
+        let s = if n == 1 { base } else { apair_seconds(prep, n) };
+        t.row(vec![n.to_string(), secs(s), format!("{:.2}x", base / s)]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Fig 6(d): APair scalability on DBpediaP.
+pub fn fig6d() -> String {
+    let prep = prepare(datagen::dbpedia::generate(), &default_config());
+    scalability_fig("Fig 6(d) — APair vs workers (DBpediaP)", &prep)
+}
+
+/// Fig 6(e): APair scalability on FBWIKI.
+pub fn fig6e() -> String {
+    let prep = prepare(datagen::fbwiki::generate(), &default_config());
+    scalability_fig("Fig 6(e) — APair vs workers (FBWIKI)", &prep)
+}
+
+/// Fig 6(f): APair scalability on DBLP.
+pub fn fig6f() -> String {
+    let prep = prepare(datagen::dblp::generate(), &default_config());
+    scalability_fig("Fig 6(f) — APair vs workers (DBLP)", &prep)
+}
+
+/// Fig 6(g): APair scalability on synthetic data.
+pub fn fig6g() -> String {
+    let prep = synth_prep(&ScaleConfig::default());
+    scalability_fig("Fig 6(g) — APair vs workers (synthetic)", &prep)
+}
+
+fn synth_prep(cfg: &ScaleConfig) -> Prepared {
+    let her_cfg = HerConfig {
+        // The synthetic vocabulary is exact-match; skip threshold search.
+        thresholds: Thresholds::new(0.9, 0.05, 8),
+        ..Default::default()
+    };
+    prepare_with_space(synth(cfg), &her_cfg, &fixed_space(her_cfg.thresholds))
+}
+
+/// Fig 6(h): APair time vs |G_D| (scaling the database).
+pub fn fig6h() -> String {
+    let mut t = Table::new(vec!["|D| parts", "|G_D| vertices", "APair time"]);
+    for parts in [100usize, 200, 400, 800] {
+        let prep = synth_prep(&ScaleConfig {
+            n_parts: parts,
+            ..Default::default()
+        });
+        let s = apair_seconds(&prep, 4);
+        t.row(vec![
+            parts.to_string(),
+            prep.her.cg.graph.vertex_count().to_string(),
+            secs(s),
+        ]);
+    }
+    format!("Fig 6(h) — APair time varying |G_D| (4 workers)\n{}", t.render())
+}
+
+/// Fig 6(i): APair time vs |G| (scaling the graph with distractor
+/// entities — graph-only parts that enter candidate sets — plus filler).
+pub fn fig6i() -> String {
+    let mut t = Table::new(vec!["distractors", "|G| vertices", "APair time"]);
+    for d in [0usize, 400, 800, 1600] {
+        let prep = synth_prep(&ScaleConfig {
+            distractor_parts: d,
+            filler_vertices: d * 10,
+            ..Default::default()
+        });
+        let s = apair_seconds(&prep, 4);
+        t.row(vec![
+            d.to_string(),
+            prep.her.g.vertex_count().to_string(),
+            secs(s),
+        ]);
+    }
+    format!("Fig 6(i) — APair time varying |G| (4 workers)\n{}", t.render())
+}
+
+/// Best-of-`reps` simulated-cluster APair time under explicit thresholds.
+fn timed_apair(prep: &Prepared, th: Thresholds, reps: usize) -> f64 {
+    let params = prep.her.params.with_thresholds(th);
+    let tuple_vertices: Vec<her_graph::VertexId> = prep
+        .dataset
+        .ground_truth
+        .iter()
+        .map(|&(tr, _)| prep.her.cg.vertex_of(tr))
+        .collect();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let (_, stats) = pallmatch(
+            &prep.her.cg.graph,
+            &prep.her.g,
+            &prep.her.cg.interner,
+            &params,
+            &tuple_vertices,
+            &ParallelConfig::default(),
+        );
+        best = best.min(stats.simulated_secs);
+    }
+    best
+}
+
+fn k_sweep(title: &str, prep: &Prepared, ks: &[usize]) -> String {
+    let mut t = Table::new(vec!["k", "APair time"]);
+    let base = prep.her.params.thresholds;
+    for &k in ks {
+        let s = timed_apair(prep, Thresholds::new(base.sigma, base.delta, k), 3);
+        t.row(vec![k.to_string(), secs(s)]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+fn threshold_sweep(
+    title: &str,
+    prep: &Prepared,
+    points: &[Thresholds],
+    label: impl Fn(&Thresholds) -> String,
+) -> String {
+    let mut t = Table::new(vec!["value", "APair time"]);
+    for th in points {
+        let s = timed_apair(prep, *th, 3);
+        t.row(vec![label(th), secs(s)]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Fig 6(j): APair time vs k on FBWIKI.
+pub fn fig6j() -> String {
+    let prep = prepare(datagen::fbwiki::generate(), &default_config());
+    k_sweep("Fig 6(j) — APair time varying k (FBWIKI)", &prep, &[1, 2, 3, 4, 6])
+}
+
+/// Fig 6(k): APair time vs k on DBLP.
+pub fn fig6k() -> String {
+    let prep = prepare(datagen::dblp::generate(), &default_config());
+    k_sweep("Fig 6(k) — APair time varying k (DBLP)", &prep, &[1, 2, 3, 5, 8])
+}
+
+/// Fig 6(l): APair time vs σ on DBpediaP.
+pub fn fig6l() -> String {
+    let prep = prepare(datagen::dbpedia::generate(), &default_config());
+    let b = prep.her.params.thresholds;
+    let pts: Vec<Thresholds> = [0.75, 0.80, 0.85, 0.90, 0.95]
+        .iter()
+        .map(|&s| Thresholds::new(s, b.delta, b.k))
+        .collect();
+    threshold_sweep(
+        "Fig 6(l) — APair time varying σ (DBpediaP)",
+        &prep,
+        &pts,
+        |t| format!("σ={:.2}", t.sigma),
+    )
+}
+
+/// Fig 6(m): APair time vs σ on FBWIKI.
+pub fn fig6m() -> String {
+    let prep = prepare(datagen::fbwiki::generate(), &default_config());
+    let b = prep.her.params.thresholds;
+    let pts: Vec<Thresholds> = [0.75, 0.80, 0.85, 0.90, 0.95]
+        .iter()
+        .map(|&s| Thresholds::new(s, b.delta, b.k))
+        .collect();
+    threshold_sweep(
+        "Fig 6(m) — APair time varying σ (FBWIKI)",
+        &prep,
+        &pts,
+        |t| format!("σ={:.2}", t.sigma),
+    )
+}
+
+/// Fig 6(n): APair time vs δ on DBpediaP.
+pub fn fig6n() -> String {
+    let prep = prepare(datagen::dbpedia::generate(), &default_config());
+    let b = prep.her.params.thresholds;
+    let pts: Vec<Thresholds> = [1.6, 2.4, 3.2, 4.0, 4.8]
+        .iter()
+        .map(|&d| Thresholds::new(b.sigma, d, b.k))
+        .collect();
+    threshold_sweep(
+        "Fig 6(n) — APair time varying δ (DBpediaP)",
+        &prep,
+        &pts,
+        |t| format!("δ={:.1}", t.delta),
+    )
+}
+
+/// Fig 6(o): APair time vs δ on FBWIKI.
+pub fn fig6o() -> String {
+    let prep = prepare(datagen::fbwiki::generate(), &default_config());
+    let b = prep.her.params.thresholds;
+    let pts: Vec<Thresholds> = [0.2, 0.3, 0.4, 0.5, 0.6]
+        .iter()
+        .map(|&d| Thresholds::new(b.sigma, d, b.k))
+        .collect();
+    threshold_sweep(
+        "Fig 6(o) — APair time varying δ (FBWIKI)",
+        &prep,
+        &pts,
+        |t| format!("δ={:.1}", t.delta),
+    )
+}
+
+/// Fig 6(p): F-measure per user-feedback refinement round on UKGOV & IMDB.
+pub fn fig6p() -> String {
+    let mut t = Table::new(vec!["round", "UKGOV", "IMDB"]);
+    let mut preps = [prepare(datagen::ukgov::generate(), &default_config()),
+        prepare(datagen::imdb::generate(), &default_config())];
+    let rounds = 5usize;
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(), Vec::new()];
+    for (i, prep) in preps.iter_mut().enumerate() {
+        series[i].push(prep.her_accuracy().f_measure());
+        let cfg = RefineConfig {
+            users: 5,
+            error_rate: 0.1,
+            ..Default::default()
+        };
+        for round in 0..rounds {
+            // 50 pairs per round, cycling through the test set — the pairs
+            // users actually inspect.
+            let start = (round * 50) % prep.test.len().max(1);
+            let shown: Vec<_> = prep
+                .test
+                .iter()
+                .cycle()
+                .skip(start)
+                .take(50)
+                .copied()
+                .collect();
+            prep.her.refine(&shown, &cfg);
+            series[i].push(prep.her_accuracy().f_measure());
+        }
+    }
+    for (r, (a, b)) in series[0].iter().zip(&series[1]).enumerate() {
+        t.row(vec![r.to_string(), f3(*a), f3(*b)]);
+    }
+    format!("Fig 6(p) — F-measure per refinement round\n{}", t.render())
+}
+
+/// Fig 9 (appendix H): IMDB APair scalability and parameter sensitivity.
+pub fn fig9() -> String {
+    let prep = prepare(datagen::imdb::generate(), &default_config());
+    let mut out = scalability_fig("Fig 9(a) — APair vs workers (IMDB)", &prep);
+    out.push('\n');
+    out.push_str(&k_sweep("Fig 9(b) — APair time varying k (IMDB)", &prep, &[1, 2, 3, 5, 8]));
+    out.push('\n');
+    let b = prep.her.params.thresholds;
+    let sig: Vec<Thresholds> = [0.75, 0.85, 0.95]
+        .iter()
+        .map(|&s| Thresholds::new(s, b.delta, b.k))
+        .collect();
+    out.push_str(&threshold_sweep(
+        "Fig 9(c) — APair time varying σ (IMDB)",
+        &prep,
+        &sig,
+        |t| format!("σ={:.2}", t.sigma),
+    ));
+    out.push('\n');
+    let del: Vec<Thresholds> = [1.0, 2.0, 3.0]
+        .iter()
+        .map(|&d| Thresholds::new(b.sigma, d, b.k))
+        .collect();
+    out.push_str(&threshold_sweep(
+        "Fig 9(d) — APair time varying δ (IMDB)",
+        &prep,
+        &del,
+        |t| format!("δ={:.1}", t.delta),
+    ));
+    out
+}

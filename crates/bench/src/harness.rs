@@ -1,0 +1,194 @@
+//! Shared experiment plumbing: build + train HER and baselines on a
+//! dataset, evaluate F-measure, and time operations.
+
+use her_baselines::{EntityLinker, LinkContext};
+use her_core::learn::SearchSpace;
+use her_core::metrics::Accuracy;
+use her_core::{Her, HerConfig};
+use her_datagen::LinkedDataset;
+use her_graph::VertexId;
+use her_rdb::TupleRef;
+use std::time::Instant;
+
+/// An annotated pair split.
+pub type Ann = Vec<(TupleRef, VertexId, bool)>;
+
+/// A dataset with a trained HER system and the train/val/test splits.
+pub struct Prepared {
+    /// The generated dataset.
+    pub dataset: LinkedDataset,
+    /// The trained system.
+    pub her: Her,
+    /// 50% training annotations.
+    pub train: Ann,
+    /// 15% validation annotations.
+    pub val: Ann,
+    /// 35% held-out test annotations.
+    pub test: Ann,
+}
+
+/// Default HER configuration for the accuracy experiments.
+pub fn default_config() -> HerConfig {
+    HerConfig::default()
+}
+
+/// Builds and trains HER on `dataset` per the paper's protocol.
+pub fn prepare(dataset: LinkedDataset, cfg: &HerConfig) -> Prepared {
+    prepare_with_space(dataset, cfg, &SearchSpace::default())
+}
+
+/// As [`prepare`] with an explicit threshold search space.
+pub fn prepare_with_space(
+    dataset: LinkedDataset,
+    cfg: &HerConfig,
+    space: &SearchSpace,
+) -> Prepared {
+    let mut cfg = cfg.clone();
+    for (a, b) in &dataset.synonyms {
+        cfg.synonyms.push((a.clone(), b.clone()));
+    }
+    let (train, val, test) = dataset.split(cfg.seed);
+    let mut her = Her::build(&dataset.db, dataset.g.clone(), dataset.interner.clone(), &cfg);
+    her.learn(&train, &val, &cfg, space);
+    Prepared {
+        dataset,
+        her,
+        train,
+        val,
+        test,
+    }
+}
+
+impl Prepared {
+    /// HER's accuracy on the held-out test pairs.
+    pub fn her_accuracy(&self) -> Accuracy {
+        self.her.evaluate(&self.test)
+    }
+
+    /// The baseline link context (shared label space via HER's canonical
+    /// graph).
+    pub fn ctx(&self) -> LinkContext<'_> {
+        LinkContext {
+            db: &self.dataset.db,
+            cg: &self.her.cg,
+            g: &self.her.g,
+        }
+    }
+
+    /// Trains a baseline on the training split and evaluates it on test.
+    pub fn baseline_accuracy(&self, linker: &mut dyn EntityLinker) -> Accuracy {
+        let ctx = self.ctx();
+        linker.train(&ctx, &self.train);
+        let mut acc = Accuracy::default();
+        for &(t, v, truth) in &self.test {
+            acc.record(linker.predict(&ctx, t, v), truth);
+        }
+        acc
+    }
+
+    /// Mean SPair latency of HER over the test pairs, in seconds — one
+    /// persistent matcher, as a deployed SPair service would run.
+    pub fn her_spair_seconds(&self) -> f64 {
+        let mut m = self.her.matcher();
+        let start = Instant::now();
+        for &(t, v, _) in &self.test {
+            let _ = self.her.spair_with(&mut m, t, v);
+        }
+        start.elapsed().as_secs_f64() / self.test.len().max(1) as f64
+    }
+
+    /// Mean SPair latency of a trained baseline over the test pairs.
+    pub fn baseline_spair_seconds(&self, linker: &dyn EntityLinker) -> f64 {
+        let ctx = self.ctx();
+        let start = Instant::now();
+        for &(t, v, _) in &self.test {
+            let _ = linker.predict(&ctx, t, v);
+        }
+        start.elapsed().as_secs_f64() / self.test.len().max(1) as f64
+    }
+
+    /// Mean VPair latency of HER over `n` tuples, in seconds.
+    pub fn her_vpair_seconds(&self, n: usize) -> f64 {
+        let tuples: Vec<TupleRef> = self
+            .dataset
+            .ground_truth
+            .iter()
+            .take(n)
+            .map(|&(t, _)| t)
+            .collect();
+        let start = Instant::now();
+        for &t in &tuples {
+            let _ = self.her.vpair(t);
+        }
+        start.elapsed().as_secs_f64() / tuples.len().max(1) as f64
+    }
+
+    /// Mean VPair latency of a trained baseline over `n` tuples.
+    pub fn baseline_vpair_seconds(&self, linker: &dyn EntityLinker, n: usize) -> f64 {
+        let ctx = self.ctx();
+        let tuples: Vec<TupleRef> = self
+            .dataset
+            .ground_truth
+            .iter()
+            .take(n)
+            .map(|&(t, _)| t)
+            .collect();
+        let start = Instant::now();
+        for &t in &tuples {
+            let _ = linker.vpair(&ctx, t);
+        }
+        start.elapsed().as_secs_f64() / tuples.len().max(1) as f64
+    }
+}
+
+/// LexMa's F-measure, scored the way cell-matching systems are used: each
+/// test tuple retrieves *all* lexically-matching entities, so precision
+/// divides by everything returned — the paper's "cells in the same tuple
+/// may be mapped to disconnected and different entities", which is what
+/// collapses LexMa's Table V numbers.
+pub fn lexma_retrieval_f(prep: &Prepared) -> f64 {
+    let ctx = prep.ctx();
+    let linker = her_baselines::lexma::LexMa::new();
+    // The entity vertices of G (same type label as the ground truth roots).
+    let truth: std::collections::BTreeMap<TupleRef, VertexId> =
+        prep.dataset.ground_truth.iter().copied().collect();
+    let mut tp = 0usize;
+    let mut returned = 0usize;
+    let mut total = 0usize;
+    let tuples: std::collections::BTreeSet<TupleRef> =
+        prep.test.iter().map(|&(t, _, _)| t).collect();
+    for t in tuples {
+        let Some(&want) = truth.get(&t) else { continue };
+        total += 1;
+        let found = linker.vpair(&ctx, t);
+        returned += found.len();
+        if found.contains(&want) {
+            tp += 1;
+        }
+    }
+    let p = if returned == 0 { 0.0 } else { tp as f64 / returned as f64 };
+    let r = if total == 0 { 0.0 } else { tp as f64 / total as f64 };
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Runs bounded simulation with the paper's outcome semantics: `Ok(F)` if
+/// it finishes within the memory budget, `Err("OM")` otherwise.
+pub fn bsim_outcome(prep: &Prepared, budget: usize) -> Result<f64, &'static str> {
+    let cfg = her_baselines::bsim::BsimConfig { bound: 2, budget };
+    match her_baselines::bsim::bounded_simulation(&prep.her.cg.graph, &prep.her.g, &cfg) {
+        Err(_) => Err("OM"),
+        Ok(sim) => {
+            let mut acc = Accuracy::default();
+            for &(t, v, truth) in &prep.test {
+                let u = prep.her.cg.vertex_of(t);
+                let predicted = sim.get(&u).map(|s| s.contains(&v)).unwrap_or(false);
+                acc.record(predicted, truth);
+            }
+            Ok(acc.f_measure())
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Regenerators for the paper's tables.
+
+use crate::harness::{bsim_outcome, default_config, lexma_retrieval_f, prepare, Prepared};
+use crate::report::{f3, secs, Table};
+use her_baselines::{cell, deep::DeepMatcher, jedai::JedAi, magellan::Magellan, magnn::Magnn};
+use her_baselines::{EntityLinker, LinkContext};
+use her_core::HerConfig;
+use her_datagen as datagen;
+
+/// Table V (top): F-measure of HER vs the six baselines on the five
+/// tuple-matching datasets.
+pub fn table5() -> String {
+    let mut t = Table::new(vec![
+        "F-measure", "HER", "MAGNN", "Bsim", "JedAI", "MAG", "DEEP", "LexMa",
+    ]);
+    let mut her_sum = 0.0;
+    let mut n = 0.0;
+    for dataset in datagen::all_datasets() {
+        let name = dataset.name.clone();
+        let prep = prepare(dataset, &default_config());
+        let her_f = prep.her_accuracy().f_measure();
+        her_sum += her_f;
+        n += 1.0;
+        let mut row = vec![name, f3(her_f)];
+        row.push(f3(prep
+            .baseline_accuracy(&mut Magnn::default())
+            .f_measure()));
+        // Bsim materialises Σ|sim(u)| candidate entries at once; the budget
+        // scales the paper's memory/data ratio down to emulator size, and
+        // entity-typed graphs blow straight past it (reported OM, as in the
+        // paper).
+        let budget = 2 * (prep.her.cg.graph.vertex_count() + prep.her.g.vertex_count());
+        row.push(match bsim_outcome(&prep, budget) {
+            Err(om) => om.to_owned(),
+            Ok(f) => f3(f),
+        });
+        row.push(f3(prep.baseline_accuracy(&mut JedAi::new()).f_measure()));
+        row.push(f3(prep
+            .baseline_accuracy(&mut Magellan::default())
+            .f_measure()));
+        row.push(f3(prep
+            .baseline_accuracy(&mut DeepMatcher::default())
+            .f_measure()));
+        row.push(f3(lexma_retrieval_f(&prep)));
+        t.row(row);
+    }
+    format!(
+        "Table V (top) — tuple matching accuracy\n{}\nHER mean F = {}\n",
+        t.render(),
+        f3(her_sum / n)
+    )
+}
+
+/// Table V variance: the paper runs each experiment 5 times and reports
+/// the average; our accuracy runs are deterministic per dataset seed, so
+/// the seed is the source of variance. Reports HER's mean ± std over 5
+/// seeded regenerations per dataset.
+pub fn table5_variance() -> String {
+    let mut t = Table::new(vec!["dataset", "mean F", "std", "runs"]);
+    type Gen = fn(usize, u64) -> datagen::LinkedDataset;
+    let gens: Vec<(&str, Gen, usize)> = vec![
+        ("UKGOV", datagen::ukgov::generate_sized as Gen, 160),
+        ("DBpediaP", datagen::dbpedia::generate_sized, 160),
+        ("DBLP", datagen::dblp::generate_sized, 160),
+        ("IMDB", datagen::imdb::generate_sized, 160),
+        ("FBWIKI", datagen::fbwiki::generate_sized, 160),
+    ];
+    for (name, gen, n) in gens {
+        let fs: Vec<f64> = (0..5u64)
+            .map(|run| {
+                let prep = prepare(gen(n, 0x5eed + run), &default_config());
+                prep.her_accuracy().f_measure()
+            })
+            .collect();
+        let mean = fs.iter().sum::<f64>() / fs.len() as f64;
+        let var = fs.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / fs.len() as f64;
+        t.row(vec![
+            name.to_owned(),
+            f3(mean),
+            format!("±{:.3}", var.sqrt()),
+            fs.iter().map(|f| f3(*f)).collect::<Vec<_>>().join(" "),
+        ]);
+    }
+    format!(
+        "Table V variance — HER F-measure over 5 seeded runs per dataset
+{}",
+        t.render()
+    )
+}
+
+/// Table V (bottom): CEA F-measure on the 2T emulation — HER and LexMa
+/// (no spell checker) vs the spell-checker-assisted stand-ins.
+pub fn table5_2t() -> String {
+    let dataset = datagen::tough2t::generate();
+    let cfg = HerConfig::default();
+    let prep = prepare(dataset, &cfg);
+    let ctx = prep.ctx();
+
+    // Cell matchers are scored on cell-level ground truth.
+    let cea_f = |matcher: &cell::CellMatcher| -> f64 {
+        let mut tp = 0usize;
+        let mut returned = 0usize;
+        let total = prep.dataset.cell_truth.len();
+        let mut by_tuple: std::collections::BTreeMap<_, Vec<(usize, her_graph::VertexId)>> =
+            Default::default();
+        for &(t, col, v) in &prep.dataset.cell_truth {
+            by_tuple.entry(t).or_default().push((col, v));
+        }
+        for (t, truths) in by_tuple {
+            let ann = matcher.annotate(&ctx, t);
+            returned += ann.len();
+            for (col, v) in ann {
+                if truths.iter().any(|&(c, tv)| c == col && tv == v) {
+                    tp += 1;
+                }
+            }
+        }
+        let p = if returned == 0 { 0.0 } else { tp as f64 / returned as f64 };
+        let r = tp as f64 / total as f64;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    };
+
+    // HER on the CEA task: HER is a tuple/vertex matcher, not a cell
+    // annotator (§VII: "HER is developed for matching tuples and entities,
+    // not for spell checking and cell matching"). Pressed into cell
+    // service, each cell's canonical attribute vertex is matched against
+    // the graph with parametric simulation — no spell checker, so typo'd
+    // cells only match when the embedding similarity survives the noise.
+    let her_f = {
+        let mut m = prep.her.matcher();
+        let g_vertices: Vec<her_graph::VertexId> = prep.her.g.vertices().collect();
+        let mut tp = 0usize;
+        let mut returned = 0usize;
+        let total = prep.dataset.cell_truth.len();
+        let sigma = prep.her.params.thresholds.sigma;
+        for &(t, col, want) in &prep.dataset.cell_truth {
+            let u_t = prep.her.cg.vertex_of(t);
+            // Column order is preserved by the canonical mapping for this
+            // all-scalar schema: child `col` of u_t is the cell vertex.
+            let u_cell = prep.her.cg.graph.children(u_t)[col];
+            // Annotate with the best match above σ (CEA returns one entity
+            // per cell).
+            let mut best: Option<(her_graph::VertexId, f32)> = None;
+            for &v in &g_vertices {
+                if !m.is_match(u_cell, v) {
+                    continue;
+                }
+                let s = m.hv_pair(u_cell, v);
+                if s >= sigma && best.is_none_or(|(_, b)| s > b) {
+                    best = Some((v, s));
+                }
+            }
+            if let Some((v, _)) = best {
+                returned += 1;
+                if v == want {
+                    tp += 1;
+                }
+            }
+        }
+        let p = if returned == 0 { 0.0 } else { tp as f64 / returned as f64 };
+        let r = tp as f64 / total as f64;
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    };
+
+    let mut t = Table::new(vec!["F-measure", "HER", "MTab", "bbw", "LP", "LexMa"]);
+    t.row(vec![
+        "2T".to_owned(),
+        f3(her_f),
+        f3(cea_f(&cell::mtab())),
+        f3(cea_f(&cell::bbw())),
+        f3(cea_f(&cell::linking_park())),
+        f3(cea_f(&cell::lexma_cell())),
+    ]);
+    format!("Table V (bottom) — CEA on Tough Tables\n{}", t.render())
+}
+
+/// Table VI: sequential SPair/VPair latency on DBpediaP and DBLP.
+pub fn table6() -> String {
+    let mut t = Table::new(vec![
+        "seconds", "DBpediaP SPair", "DBpediaP VPair", "DBLP SPair", "DBLP VPair",
+    ]);
+    let preps: Vec<Prepared> = vec![
+        prepare(datagen::dbpedia::generate(), &default_config()),
+        prepare(datagen::dblp::generate(), &default_config()),
+    ];
+    let vp_n = 20;
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    // HER
+    let mut cells = Vec::new();
+    for p in &preps {
+        cells.push(p.her_spair_seconds());
+        cells.push(p.her_vpair_seconds(vp_n));
+    }
+    rows.push(("HER".to_owned(), cells));
+    // Trained baselines.
+    let mut linkers: Vec<Box<dyn EntityLinker>> = vec![
+        Box::new(Magnn::default()),
+        Box::new(JedAi::new()),
+        Box::new(Magellan::default()),
+        Box::new(DeepMatcher::default()),
+    ];
+    for linker in linkers.iter_mut() {
+        let mut cells = Vec::new();
+        for p in &preps {
+            let ctx: LinkContext<'_> = p.ctx();
+            linker.train(&ctx, &p.train);
+            cells.push(p.baseline_spair_seconds(linker.as_ref()));
+            cells.push(p.baseline_vpair_seconds(linker.as_ref(), vp_n));
+        }
+        rows.push((linker.name().to_owned(), cells));
+    }
+    rows.push(("Bsim".to_owned(), vec![]));
+    for (name, cells) in rows {
+        if cells.is_empty() {
+            t.row(vec![name, "NA".into(), "NA".into(), "NA".into(), "NA".into()]);
+        } else {
+            let mut row = vec![name];
+            row.extend(cells.into_iter().map(secs));
+            t.row(row);
+        }
+    }
+    format!("Table VI — sequential execution time\n{}", t.render())
+}
+
+/// Table VII (appendix I): HER accuracy vs embedding dimension.
+pub fn table7() -> String {
+    let dims = [4usize, 8, 16, 64];
+    let mut t = Table::new(vec![
+        "F-measure".to_owned(),
+        format!("dim {}", dims[0]),
+        format!("dim {}", dims[1]),
+        format!("dim {}", dims[2]),
+        format!("dim {}", dims[3]),
+    ]);
+    for gen in [
+        datagen::dbpedia::generate as fn() -> datagen::LinkedDataset,
+        datagen::dblp::generate,
+        datagen::imdb::generate,
+    ] {
+        let mut row = vec![gen().name];
+        for &dim in &dims {
+            let cfg = HerConfig {
+                dim,
+                ..Default::default()
+            };
+            let prep = prepare(gen(), &cfg);
+            row.push(f3(prep.her_accuracy().f_measure()));
+        }
+        t.row(row);
+    }
+    format!(
+        "Table VII — HER accuracy with embedding dimensions (GloVe-dimension ablation)\n{}",
+        t.render()
+    )
+}

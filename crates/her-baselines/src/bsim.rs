@@ -1,0 +1,235 @@
+//! The Bsim baseline: bounded simulation \[33\].
+//!
+//! Bounded simulation treats `G_D` as a *graph pattern* and computes its
+//! maximum match in `G`: a relation `sim(u) ⊆ V` per pattern vertex such
+//! that every edge `u → u'` of the pattern is matched by a path of length
+//! ≤ `bound` from each `v ∈ sim(u)` to some `v' ∈ sim(u')`. It is
+//! non-parametric (exact label comparison, no scores) and must materialise
+//! candidate sets for *every* `G_D` vertex simultaneously — the memory
+//! blow-up that makes the paper report OM on all datasets. We reproduce
+//! that honestly with an explicit budget: exceeding it returns
+//! [`BsimError::OutOfBudget`], which the evaluation reports as OM.
+
+use her_graph::hash::{FxHashMap, FxHashSet};
+use her_graph::{Graph, VertexId};
+use std::collections::VecDeque;
+
+/// Bounded-simulation configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct BsimConfig {
+    /// Maximum path length matching one pattern edge.
+    pub bound: usize,
+    /// Budget on `Σ_u |sim(u)|` (candidate-set memory).
+    pub budget: usize,
+}
+
+impl Default for BsimConfig {
+    fn default() -> Self {
+        Self {
+            bound: 2,
+            budget: 2_000_000,
+        }
+    }
+}
+
+/// Failure modes of bounded simulation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BsimError {
+    /// The candidate sets exceeded the memory budget (reported as OM).
+    OutOfBudget {
+        /// Total candidate entries required.
+        needed: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+}
+
+impl std::fmt::Display for BsimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BsimError::OutOfBudget { needed, budget } => {
+                write!(f, "bounded simulation out of memory: needs {needed} candidate entries, budget {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BsimError {}
+
+/// Computes the maximum bounded simulation of pattern `G_D` in `G`.
+/// Labels match exactly (interned equality). Returns `sim` or an OM error.
+pub fn bounded_simulation(
+    gd: &Graph,
+    g: &Graph,
+    cfg: &BsimConfig,
+) -> Result<FxHashMap<VertexId, Vec<VertexId>>, BsimError> {
+    // Initial candidates: exact label equality.
+    let mut by_label: FxHashMap<her_graph::LabelId, Vec<VertexId>> = FxHashMap::default();
+    for v in g.vertices() {
+        by_label.entry(g.label(v)).or_default().push(v);
+    }
+    let mut sim: FxHashMap<VertexId, FxHashSet<VertexId>> = FxHashMap::default();
+    let mut total = 0usize;
+    for u in gd.vertices() {
+        let cands: FxHashSet<VertexId> = by_label
+            .get(&gd.label(u))
+            .map(|vs| vs.iter().copied().collect())
+            .unwrap_or_default();
+        total += cands.len();
+        if total > cfg.budget {
+            return Err(BsimError::OutOfBudget {
+                needed: total,
+                budget: cfg.budget,
+            });
+        }
+        sim.insert(u, cands);
+    }
+
+    // Fixpoint refinement: drop v from sim(u) unless every pattern edge
+    // u → u' is witnessed by a ≤bound path from v to some v' ∈ sim(u').
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for u in gd.vertices() {
+            let children: Vec<VertexId> = gd.children(u).to_vec();
+            if children.is_empty() {
+                continue;
+            }
+            let current: Vec<VertexId> = sim[&u].iter().copied().collect();
+            for v in current {
+                let reach = bounded_reachable(g, v, cfg.bound);
+                let ok = children.iter().all(|u_child| {
+                    sim[u_child].iter().any(|v_child| reach.contains(v_child))
+                });
+                if !ok {
+                    sim.get_mut(&u).unwrap().remove(&v);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    Ok(sim
+        .into_iter()
+        .map(|(u, s)| {
+            let mut v: Vec<VertexId> = s.into_iter().collect();
+            v.sort();
+            (u, v)
+        })
+        .collect())
+}
+
+/// Vertices reachable from `v` within `bound` edges (excluding `v` unless
+/// on a short cycle).
+fn bounded_reachable(g: &Graph, v: VertexId, bound: usize) -> FxHashSet<VertexId> {
+    let mut out = FxHashSet::default();
+    let mut queue = VecDeque::new();
+    queue.push_back((v, 0usize));
+    while let Some((cur, d)) = queue.pop_front() {
+        if d == bound {
+            continue;
+        }
+        for &c in g.children(cur) {
+            if out.insert(c) {
+                queue.push_back((c, d + 1));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_graph::{GraphBuilder, Interner};
+
+    /// Pattern: item → white. Graph: item → white (direct) and item → x → white.
+    fn graphs() -> (Graph, Graph, Interner, Vec<VertexId>, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex("item");
+        let uw = b.add_vertex("white");
+        b.add_edge(u, uw, "color");
+        let (gd, i) = b.build();
+        let mut b2 = GraphBuilder::with_interner(i);
+        let v1 = b2.add_vertex("item"); // direct
+        let w1 = b2.add_vertex("white");
+        b2.add_edge(v1, w1, "hasColor");
+        let v2 = b2.add_vertex("item"); // 2-hop
+        let mid = b2.add_vertex("shade");
+        let w2 = b2.add_vertex("white");
+        b2.add_edge(v2, mid, "colorInfo");
+        b2.add_edge(mid, w2, "value");
+        let v3 = b2.add_vertex("item"); // no white at all
+        let r = b2.add_vertex("red");
+        b2.add_edge(v3, r, "hasColor");
+        let (g, interner) = b2.build();
+        (gd, g, interner, vec![u, uw], vec![v1, v2, v3])
+    }
+
+    #[test]
+    fn matches_edges_to_bounded_paths() {
+        let (gd, g, _, us, vs) = graphs();
+        let sim = bounded_simulation(&gd, &g, &BsimConfig { bound: 2, budget: 1000 }).unwrap();
+        let item_sim = &sim[&us[0]];
+        assert!(item_sim.contains(&vs[0]), "direct edge");
+        assert!(item_sim.contains(&vs[1]), "2-hop path within bound");
+        assert!(!item_sim.contains(&vs[2]), "no white descendant");
+    }
+
+    #[test]
+    fn bound_one_rejects_two_hop() {
+        let (gd, g, _, us, vs) = graphs();
+        let sim = bounded_simulation(&gd, &g, &BsimConfig { bound: 1, budget: 1000 }).unwrap();
+        let item_sim = &sim[&us[0]];
+        assert!(item_sim.contains(&vs[0]));
+        assert!(!item_sim.contains(&vs[1]));
+    }
+
+    #[test]
+    fn budget_exceeded_reports_om() {
+        let (gd, g, _, _, _) = graphs();
+        let err = bounded_simulation(&gd, &g, &BsimConfig { bound: 2, budget: 2 }).unwrap_err();
+        match err {
+            BsimError::OutOfBudget { needed, budget } => {
+                assert!(needed > budget);
+                assert_eq!(budget, 2);
+            }
+        }
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn fixpoint_cascades_removals() {
+        // Pattern chain a → b → c; graph has a → b but b lacks c: the
+        // removal of b must cascade and empty sim(a).
+        let mut bld = GraphBuilder::new();
+        let a = bld.add_vertex("a");
+        let b = bld.add_vertex("b");
+        let c = bld.add_vertex("c");
+        bld.add_edge(a, b, "e");
+        bld.add_edge(b, c, "e");
+        let (gd, i) = bld.build();
+        let mut b2 = GraphBuilder::with_interner(i);
+        let ga = b2.add_vertex("a");
+        let gb = b2.add_vertex("b");
+        b2.add_edge(ga, gb, "e");
+        let (g, _) = b2.build();
+        let sim = bounded_simulation(&gd, &g, &BsimConfig::default()).unwrap();
+        assert!(sim[&a].is_empty());
+        assert!(sim[&b].is_empty());
+        assert!(sim[&c].is_empty());
+    }
+
+    #[test]
+    fn exact_labels_only() {
+        // "White" vs "white": bounded simulation is not semantic.
+        let mut bld = GraphBuilder::new();
+        let u = bld.add_vertex("White");
+        let (gd, i) = bld.build();
+        let mut b2 = GraphBuilder::with_interner(i);
+        b2.add_vertex("white");
+        let (g, _) = b2.build();
+        let sim = bounded_simulation(&gd, &g, &BsimConfig::default()).unwrap();
+        assert!(sim[&u].is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Shared infrastructure: entity profiles, the 2-hop flattening of graph
+//! vertices, and the [`EntityLinker`] trait all baselines implement.
+
+use her_graph::{Graph, Interner, VertexId};
+use her_rdb::rdb2rdf::CanonicalGraph;
+use her_rdb::{Database, TupleRef};
+
+/// A schema-agnostic entity profile: name-value pairs (JedAI's input
+/// representation, also the feature-table rows of MAG/DEEP).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Profile {
+    /// `(attribute/path name, value)` pairs.
+    pub fields: Vec<(String, String)>,
+}
+
+impl Profile {
+    /// All values joined into one document (for schema-agnostic methods).
+    pub fn text(&self) -> String {
+        let mut s = String::new();
+        for (_, v) in &self.fields {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            s.push_str(v);
+        }
+        s
+    }
+
+    /// The value of the first field named `name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the profile has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// Builds the profile of a tuple: its relation's attribute names paired
+/// with rendered values (references render the referenced tuple's first
+/// textual attribute, mimicking how export tools denormalise).
+pub fn tuple_profile(db: &Database, t: TupleRef) -> Profile {
+    let rs = db.schema().relation(t.relation as usize);
+    let tuple = db.tuple(t);
+    let mut fields = Vec::with_capacity(rs.arity());
+    for (i, v) in tuple.values().iter().enumerate() {
+        let name = rs.attrs()[i].clone();
+        match v {
+            her_rdb::Value::Ref(r) => {
+                // Denormalise one level: first non-null scalar of the target.
+                let target = db.tuple(*r);
+                if let Some(label) = target.values().iter().find_map(|tv| tv.as_label()) {
+                    fields.push((name, label));
+                }
+            }
+            other => {
+                if let Some(label) = other.as_label() {
+                    fields.push((name, label));
+                }
+            }
+        }
+    }
+    Profile { fields }
+}
+
+/// Flattens a graph vertex into a pseudo-tuple via its 2-hop neighbourhood
+/// (§VII: "we took v along with its 2-hop neighbors and flattened them into
+/// a tuple"). Field names are the dot-joined edge labels of the path.
+pub fn vertex_profile(g: &Graph, interner: &Interner, v: VertexId) -> Profile {
+    let mut fields = Vec::new();
+    fields.push(("_label".to_owned(), interner.resolve(g.label(v)).to_owned()));
+    for (labels, target) in her_graph::traverse::two_hop(g, v) {
+        let name = labels
+            .iter()
+            .map(|&l| interner.resolve(l))
+            .collect::<Vec<_>>()
+            .join(".");
+        fields.push((name, interner.resolve(g.label(target)).to_owned()));
+    }
+    Profile { fields }
+}
+
+/// Everything a linker needs to see: the database, its canonical graph
+/// (with the shared interner) and the data graph.
+pub struct LinkContext<'a> {
+    /// The relational database `D`.
+    pub db: &'a Database,
+    /// `G_D` + tuple↔vertex mapping + shared interner.
+    pub cg: &'a CanonicalGraph,
+    /// The data graph `G`.
+    pub g: &'a Graph,
+}
+
+impl<'a> LinkContext<'a> {
+    /// The shared interner.
+    pub fn interner(&self) -> &Interner {
+        &self.cg.interner
+    }
+
+    /// Profile of tuple `t`.
+    pub fn tuple_profile(&self, t: TupleRef) -> Profile {
+        tuple_profile(self.db, t)
+    }
+
+    /// Profile of graph vertex `v` (2-hop flattening).
+    pub fn vertex_profile(&self, v: VertexId) -> Profile {
+        vertex_profile(self.g, self.interner(), v)
+    }
+}
+
+/// The uniform interface the evaluation harness drives: train on annotated
+/// tuple/vertex pairs, then predict pairs (SPair) or scan (VPair).
+pub trait EntityLinker {
+    /// Display name used in the reproduced tables.
+    fn name(&self) -> &'static str;
+
+    /// Supervised training (no-op for rule-based methods).
+    fn train(&mut self, ctx: &LinkContext<'_>, train: &[(TupleRef, VertexId, bool)]);
+
+    /// SPair: does tuple `t` match vertex `v`?
+    fn predict(&self, ctx: &LinkContext<'_>, t: TupleRef, v: VertexId) -> bool;
+
+    /// VPair: all matching vertices for `t`. Default: scan every vertex.
+    fn vpair(&self, ctx: &LinkContext<'_>, t: TupleRef) -> Vec<VertexId> {
+        ctx.g
+            .vertices()
+            .filter(|&v| self.predict(ctx, t, v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_graph::GraphBuilder;
+    use her_rdb::rdb2rdf::canonicalize_with_interner;
+    use her_rdb::schema::{RelationSchema, Schema};
+    use her_rdb::{Tuple, Value};
+
+    pub(crate) fn test_db() -> (Database, TupleRef, TupleRef) {
+        let mut s = Schema::new();
+        let brand = s.add_relation(RelationSchema::new("brand", &["name", "country"]));
+        let item = s.add_relation(
+            RelationSchema::new("item", &["name", "color", "brand"]).with_foreign_key("brand", brand),
+        );
+        let mut db = Database::new(s);
+        let b = db.insert(
+            brand,
+            Tuple::new(vec![Value::str("Acme"), Value::str("Germany")]),
+        );
+        let t = db.insert(
+            item,
+            Tuple::new(vec![
+                Value::str("Dame Shoes"),
+                Value::str("white"),
+                Value::Ref(b),
+            ]),
+        );
+        (db, t, b)
+    }
+
+    #[test]
+    fn tuple_profile_renders_scalars_and_refs() {
+        let (db, t, _) = test_db();
+        let p = tuple_profile(&db, t);
+        assert_eq!(p.get("name"), Some("Dame Shoes"));
+        assert_eq!(p.get("color"), Some("white"));
+        // FK denormalised to the brand's first scalar value.
+        assert_eq!(p.get("brand"), Some("Acme"));
+        assert!(p.text().contains("white"));
+    }
+
+    #[test]
+    fn tuple_profile_skips_nulls() {
+        let mut s = Schema::new();
+        let r = s.add_relation(RelationSchema::new("r", &["a", "b"]));
+        let mut db = Database::new(s);
+        let t = db.insert(r, Tuple::new(vec![Value::Null, Value::str("x")]));
+        let p = tuple_profile(&db, t);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get("b"), Some("x"));
+    }
+
+    #[test]
+    fn vertex_profile_flattens_two_hops() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_vertex("item");
+        let brand = b.add_vertex("Acme");
+        let country = b.add_vertex("Germany");
+        let deep = b.add_vertex("Europe");
+        b.add_edge(v, brand, "brandName");
+        b.add_edge(brand, country, "brandCountry");
+        b.add_edge(country, deep, "isIn"); // 3 hops away: invisible
+        let (g, i) = b.build();
+        let p = vertex_profile(&g, &i, v);
+        assert_eq!(p.get("_label"), Some("item"));
+        assert_eq!(p.get("brandName"), Some("Acme"));
+        assert_eq!(p.get("brandName.brandCountry"), Some("Germany"));
+        assert_eq!(p.get("brandName.brandCountry.isIn"), None, "2-hop cap");
+    }
+
+    #[test]
+    fn link_context_profiles() {
+        let (db, t, _) = test_db();
+        let mut b = GraphBuilder::new();
+        let v = b.add_vertex("item");
+        let n = b.add_vertex("Dame Shoes");
+        b.add_edge(v, n, "name");
+        let (g, gi) = b.build();
+        let cg = canonicalize_with_interner(&db, gi);
+        let ctx = LinkContext { db: &db, cg: &cg, g: &g };
+        assert_eq!(ctx.tuple_profile(t).get("name"), Some("Dame Shoes"));
+        assert_eq!(ctx.vertex_profile(v).get("name"), Some("Dame Shoes"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Decision trees and random forests (the learning core of the Magellan
+//! baseline, which the paper configures with "its random forest model with
+//! feature tables").
+//!
+//! CART-style axis-aligned trees with Gini impurity, grown on bootstrap
+//! samples with per-split feature subsampling (√d), majority-vote bagging.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A binary decision tree over dense `f64` feature vectors.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+}
+
+#[derive(Clone, Debug)]
+enum Node {
+    Leaf {
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// Training configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub trees: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples to attempt a split.
+    pub min_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            trees: 16,
+            max_depth: 6,
+            min_samples: 4,
+            seed: 0xf0_7e57,
+        }
+    }
+}
+
+impl Tree {
+    fn fit(
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        idx: &[usize],
+        cfg: &ForestConfig,
+        rng: &mut StdRng,
+    ) -> Self {
+        let mut nodes = Vec::new();
+        Self::grow(xs, ys, idx, cfg, rng, 0, &mut nodes);
+        Tree { nodes }
+    }
+
+    fn grow(
+        xs: &[Vec<f64>],
+        ys: &[bool],
+        idx: &[usize],
+        cfg: &ForestConfig,
+        rng: &mut StdRng,
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> usize {
+        let pos = idx.iter().filter(|&&i| ys[i]).count();
+        let prob = if idx.is_empty() {
+            0.5
+        } else {
+            pos as f64 / idx.len() as f64
+        };
+        let pure = pos == 0 || pos == idx.len();
+        if depth >= cfg.max_depth || idx.len() < cfg.min_samples || pure {
+            nodes.push(Node::Leaf { prob });
+            return nodes.len() - 1;
+        }
+        let d = xs[0].len();
+        // √d feature subsample per split.
+        let m = ((d as f64).sqrt().ceil() as usize).clamp(1, d);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+        for _ in 0..m {
+            let f = rng.gen_range(0..d);
+            // Candidate thresholds: midpoints of a few sampled values.
+            let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.dedup();
+            if vals.len() < 2 {
+                continue;
+            }
+            for w in vals.windows(2) {
+                let t = (w[0] + w[1]) / 2.0;
+                let g = split_gini(xs, ys, idx, f, t);
+                if best.is_none_or(|(_, _, bg)| g < bg) {
+                    best = Some((f, t, g));
+                }
+            }
+        }
+        let (feature, threshold) = match best {
+            Some((f, t, _)) => (f, t),
+            None => {
+                nodes.push(Node::Leaf { prob });
+                return nodes.len() - 1;
+            }
+        };
+        let (li, ri): (Vec<usize>, Vec<usize>) =
+            idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+        if li.is_empty() || ri.is_empty() {
+            nodes.push(Node::Leaf { prob });
+            return nodes.len() - 1;
+        }
+        let me = nodes.len();
+        nodes.push(Node::Leaf { prob }); // placeholder
+        let left = Self::grow(xs, ys, &li, cfg, rng, depth + 1, nodes);
+        let right = Self::grow(xs, ys, &ri, cfg, rng, depth + 1, nodes);
+        nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    /// Probability of the positive class.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { prob } => return *prob,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+}
+
+fn split_gini(xs: &[Vec<f64>], ys: &[bool], idx: &[usize], f: usize, t: f64) -> f64 {
+    let (mut lp, mut ln, mut rp, mut rn) = (0usize, 0usize, 0usize, 0usize);
+    for &i in idx {
+        let left = xs[i][f] <= t;
+        match (left, ys[i]) {
+            (true, true) => lp += 1,
+            (true, false) => ln += 1,
+            (false, true) => rp += 1,
+            (false, false) => rn += 1,
+        }
+    }
+    let gini = |p: usize, n: usize| {
+        let total = p + n;
+        if total == 0 {
+            return 0.0;
+        }
+        let fp = p as f64 / total as f64;
+        2.0 * fp * (1.0 - fp)
+    };
+    let total = idx.len() as f64;
+    ((lp + ln) as f64 / total) * gini(lp, ln) + ((rp + rn) as f64 / total) * gini(rp, rn)
+}
+
+/// A bagged random forest.
+#[derive(Clone, Debug)]
+pub struct RandomForest {
+    trees: Vec<Tree>,
+}
+
+impl RandomForest {
+    /// Fits `cfg.trees` trees on bootstrap samples of `(xs, ys)`.
+    ///
+    /// # Panics
+    /// Panics on empty or ragged training data.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], cfg: &ForestConfig) -> Self {
+        assert!(!xs.is_empty(), "need training data");
+        assert_eq!(xs.len(), ys.len());
+        let d = xs[0].len();
+        assert!(xs.iter().all(|x| x.len() == d), "ragged feature vectors");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let trees = (0..cfg.trees)
+            .map(|_| {
+                let idx: Vec<usize> = (0..xs.len()).map(|_| rng.gen_range(0..xs.len())).collect();
+                Tree::fit(xs, ys, &idx, cfg, &mut rng)
+            })
+            .collect();
+        Self { trees }
+    }
+
+    /// Mean positive-class probability across trees.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Hard classification at 0.5.
+    pub fn classify(&self, x: &[f64]) -> bool {
+        self.predict(x) >= 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn threshold_data() -> (Vec<Vec<f64>>, Vec<bool>) {
+        // Positive iff feature 0 > 0.5 (feature 1 is noise).
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let a: f64 = rng.gen();
+            let b: f64 = rng.gen();
+            xs.push(vec![a, b]);
+            ys.push(a > 0.5);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_simple_threshold() {
+        let (xs, ys) = threshold_data();
+        let f = RandomForest::fit(&xs, &ys, &ForestConfig::default());
+        assert!(f.classify(&[0.9, 0.1]));
+        assert!(!f.classify(&[0.1, 0.9]));
+        assert!(f.predict(&[0.95, 0.5]) > 0.8);
+        assert!(f.predict(&[0.05, 0.5]) < 0.2);
+    }
+
+    #[test]
+    fn learns_conjunction() {
+        // Positive iff both features high — needs depth ≥ 2.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let a = i as f64 / 20.0;
+                let b = j as f64 / 20.0;
+                xs.push(vec![a, b]);
+                ys.push(a > 0.6 && b > 0.6);
+            }
+        }
+        let f = RandomForest::fit(&xs, &ys, &ForestConfig::default());
+        assert!(f.classify(&[0.9, 0.9]));
+        assert!(!f.classify(&[0.9, 0.1]));
+        assert!(!f.classify(&[0.1, 0.9]));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (xs, ys) = threshold_data();
+        let cfg = ForestConfig::default();
+        let f1 = RandomForest::fit(&xs, &ys, &cfg);
+        let f2 = RandomForest::fit(&xs, &ys, &cfg);
+        assert_eq!(f1.predict(&[0.42, 0.42]), f2.predict(&[0.42, 0.42]));
+    }
+
+    #[test]
+    fn single_class_data_predicts_that_class() {
+        let xs = vec![vec![0.1], vec![0.2], vec![0.3]];
+        let ys = vec![true, true, true];
+        let f = RandomForest::fit(&xs, &ys, &ForestConfig::default());
+        assert!(f.predict(&[0.15]) > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "training data")]
+    fn empty_training_panics() {
+        let _ = RandomForest::fit(&[], &[], &ForestConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_features_panic() {
+        let _ = RandomForest::fit(
+            &[vec![1.0], vec![1.0, 2.0]],
+            &[true, false],
+            &ForestConfig::default(),
+        );
+    }
+}

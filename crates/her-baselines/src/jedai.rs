@@ -1,0 +1,182 @@
+//! The JedAI baseline \[69\]: rule-based, schema-agnostic ER.
+//!
+//! §VII configures JedAI with the "budget- and schema-agnostic workflow"
+//! using "character 4-grams with TF-IDF weights and cosine similarity",
+//! which "requires no parameter fine-tuning". Entities become name-value
+//! profiles; similarity is TF-IDF 4-gram cosine over the concatenated
+//! values; the decision threshold is the workflow's fixed 0.5.
+
+use crate::common::{EntityLinker, LinkContext, Profile};
+use crate::strsim::TfIdf;
+use her_graph::VertexId;
+use her_rdb::TupleRef;
+
+/// The JedAI entity linker.
+pub struct JedAi {
+    tfidf: Option<TfIdf>,
+    /// Decision threshold (the workflow default).
+    pub threshold: f64,
+    /// Cap on the number of documents used to fit IDF (keeps the
+    /// "no fine-tuning" workflow tractable on large graphs).
+    pub fit_cap: usize,
+}
+
+impl JedAi {
+    /// Creates the default (0.5-threshold) workflow.
+    pub fn new() -> Self {
+        Self {
+            tfidf: None,
+            threshold: 0.5,
+            fit_cap: 20_000,
+        }
+    }
+
+    /// Similarity of two profiles in the fitted space (0 until fitted).
+    pub fn score(&self, a: &Profile, b: &Profile) -> f64 {
+        match &self.tfidf {
+            Some(t) => t.cosine(&a.text(), &b.text()),
+            None => 0.0,
+        }
+    }
+
+    /// Fits the TF-IDF space over the corpus of all entity texts.
+    pub fn fit(&mut self, ctx: &LinkContext<'_>) {
+        let mut corpus: Vec<String> = Vec::new();
+        for (t, _) in ctx.db.tuples() {
+            corpus.push(ctx.tuple_profile(t).text());
+            if corpus.len() >= self.fit_cap / 2 {
+                break;
+            }
+        }
+        let budget = self.fit_cap.saturating_sub(corpus.len());
+        for v in ctx.g.vertices().take(budget) {
+            corpus.push(ctx.vertex_profile(v).text());
+        }
+        self.tfidf = Some(TfIdf::fit(corpus.iter().map(|s| s.as_str()), 4));
+    }
+}
+
+impl Default for JedAi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EntityLinker for JedAi {
+    fn name(&self) -> &'static str {
+        "JedAI"
+    }
+
+    /// Fits the unsupervised TF-IDF space, then (a strengthening over the
+    /// paper's fixed-0.5 workflow) picks the similarity threshold that
+    /// maximises F on the training annotations, so the rule-based method
+    /// is never handicapped by an ill-calibrated default.
+    fn train(&mut self, ctx: &LinkContext<'_>, train: &[(TupleRef, VertexId, bool)]) {
+        self.fit(ctx);
+        if train.is_empty() {
+            return;
+        }
+        let scored: Vec<(f64, bool)> = train
+            .iter()
+            .map(|&(t, v, m)| {
+                (
+                    self.score(&ctx.tuple_profile(t), &ctx.vertex_profile(v)),
+                    m,
+                )
+            })
+            .collect();
+        let mut best = (self.threshold, -1.0f64);
+        for &(s, _) in &scored {
+            let th = s - 1e-9;
+            let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+            for &(x, m) in &scored {
+                match (x >= th, m) {
+                    (true, true) => tp += 1,
+                    (true, false) => fp += 1,
+                    (false, true) => fn_ += 1,
+                    _ => {}
+                }
+            }
+            let p = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+            let r = if tp + fn_ == 0 { 0.0 } else { tp as f64 / (tp + fn_) as f64 };
+            let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+            if f > best.1 {
+                best = (th, f);
+            }
+        }
+        self.threshold = best.0;
+    }
+
+    fn predict(&self, ctx: &LinkContext<'_>, t: TupleRef, v: VertexId) -> bool {
+        self.score(&ctx.tuple_profile(t), &ctx.vertex_profile(v)) >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_graph::GraphBuilder;
+    use her_rdb::rdb2rdf::canonicalize_with_interner;
+    use her_rdb::schema::{RelationSchema, Schema};
+    use her_rdb::{Database, Tuple, Value};
+
+    fn setup() -> (Database, her_rdb::rdb2rdf::CanonicalGraph, her_graph::Graph, Vec<TupleRef>, Vec<VertexId>) {
+        let mut s = Schema::new();
+        let item = s.add_relation(RelationSchema::new("item", &["name", "color"]));
+        let mut db = Database::new(s);
+        let t1 = db.insert(
+            item,
+            Tuple::new(vec![Value::str("Dame Basketball Shoes"), Value::str("white")]),
+        );
+        let t2 = db.insert(
+            item,
+            Tuple::new(vec![Value::str("Trail Running Boots"), Value::str("green")]),
+        );
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_vertex("item");
+        let n1 = b.add_vertex("Dame Basketball Shoes");
+        let c1 = b.add_vertex("white");
+        b.add_edge(v1, n1, "name");
+        b.add_edge(v1, c1, "hasColor");
+        let v2 = b.add_vertex("item");
+        let n2 = b.add_vertex("Trail Running Boots");
+        let c2 = b.add_vertex("green");
+        b.add_edge(v2, n2, "name");
+        b.add_edge(v2, c2, "hasColor");
+        let (g, gi) = b.build();
+        let cg = canonicalize_with_interner(&db, gi);
+        (db, cg, g, vec![t1, t2], vec![v1, v2])
+    }
+
+    #[test]
+    fn matches_same_text_entities() {
+        let (db, cg, g, ts, vs) = setup();
+        let ctx = LinkContext { db: &db, cg: &cg, g: &g };
+        let mut j = JedAi::new();
+        j.train(&ctx, &[]);
+        assert!(j.predict(&ctx, ts[0], vs[0]));
+        assert!(j.predict(&ctx, ts[1], vs[1]));
+        assert!(!j.predict(&ctx, ts[0], vs[1]));
+        assert!(!j.predict(&ctx, ts[1], vs[0]));
+    }
+
+    #[test]
+    fn unfitted_scores_zero() {
+        let j = JedAi::new();
+        let p = Profile {
+            fields: vec![("a".into(), "x".into())],
+        };
+        assert_eq!(j.score(&p, &p), 0.0);
+    }
+
+    #[test]
+    fn vpair_scans_vertices() {
+        let (db, cg, g, ts, vs) = setup();
+        let ctx = LinkContext { db: &db, cg: &cg, g: &g };
+        let mut j = JedAi::new();
+        j.train(&ctx, &[]);
+        let found = j.vpair(&ctx, ts[0]);
+        assert!(found.contains(&vs[0]));
+        assert!(!found.contains(&vs[1]));
+    }
+}

@@ -1,0 +1,134 @@
+//! The LexMa baseline \[82\]: per-cell lexical matching.
+//!
+//! LexMa maps each table cell to knowledge-graph entities purely by lexical
+//! techniques, independently of the other cells. §VII explains why this
+//! fails for tuple matching: the cells of one tuple map to disconnected
+//! entities ("London" the UK city vs "London" in Canada), so deciding which
+//! single entity the *tuple* denotes has very low precision. We reproduce
+//! the mechanism: a tuple "matches" a vertex whenever *any* of its cell
+//! values lexically matches the vertex label.
+
+use crate::common::{EntityLinker, LinkContext};
+use crate::strsim::levenshtein_sim;
+use her_graph::VertexId;
+use her_rdb::TupleRef;
+
+/// The LexMa entity linker.
+pub struct LexMa {
+    /// Lexical similarity above which a cell matches a label.
+    pub cell_threshold: f64,
+}
+
+impl LexMa {
+    /// Creates LexMa with its standard near-exact threshold.
+    pub fn new() -> Self {
+        Self {
+            cell_threshold: 0.85,
+        }
+    }
+
+    /// Whether a cell value lexically matches a label (case-insensitive
+    /// near-equality).
+    pub fn cell_matches(&self, cell: &str, label: &str) -> bool {
+        let c = cell.to_lowercase();
+        let l = label.to_lowercase();
+        c == l || levenshtein_sim(&c, &l) >= self.cell_threshold
+    }
+
+    /// The tuple's cell values (rendered scalars only).
+    fn cells(&self, ctx: &LinkContext<'_>, t: TupleRef) -> Vec<String> {
+        ctx.db
+            .tuple(t)
+            .values()
+            .iter()
+            .filter_map(|v| v.as_label())
+            .collect()
+    }
+}
+
+impl Default for LexMa {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EntityLinker for LexMa {
+    fn name(&self) -> &'static str {
+        "LexMa"
+    }
+
+    /// Purely lexical: no training.
+    fn train(&mut self, _ctx: &LinkContext<'_>, _train: &[(TupleRef, VertexId, bool)]) {}
+
+    fn predict(&self, ctx: &LinkContext<'_>, t: TupleRef, v: VertexId) -> bool {
+        // An entity's lexical surface forms: its own label plus its 1-hop
+        // neighbour labels (names/aliases hang off the entity vertex).
+        let interner = ctx.interner();
+        let mut surfaces = vec![interner.resolve(ctx.g.label(v)).to_owned()];
+        surfaces.extend(
+            ctx.g
+                .children(v)
+                .iter()
+                .map(|&c| interner.resolve(ctx.g.label(c)).to_owned()),
+        );
+        self.cells(ctx, t)
+            .iter()
+            .any(|c| surfaces.iter().any(|s| self.cell_matches(c, s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_graph::GraphBuilder;
+    use her_rdb::rdb2rdf::canonicalize_with_interner;
+    use her_rdb::schema::{RelationSchema, Schema};
+    use her_rdb::{Database, Tuple, Value};
+
+    fn setup() -> (Database, her_rdb::rdb2rdf::CanonicalGraph, her_graph::Graph, TupleRef, Vec<VertexId>) {
+        let mut s = Schema::new();
+        let r = s.add_relation(RelationSchema::new("place", &["city", "country"]));
+        let mut db = Database::new(s);
+        let t = db.insert(
+            r,
+            Tuple::new(vec![Value::str("London"), Value::str("UK")]),
+        );
+        let mut b = GraphBuilder::new();
+        let london_uk = b.add_vertex("London");
+        let london_ca = b.add_vertex("London"); // the Ontario one
+        let uk = b.add_vertex("UK");
+        let paris = b.add_vertex("Paris");
+        let (g, gi) = b.build();
+        let cg = canonicalize_with_interner(&db, gi);
+        (db, cg, g, t, vec![london_uk, london_ca, uk, paris])
+    }
+
+    #[test]
+    fn cell_matching_is_near_exact() {
+        let l = LexMa::new();
+        assert!(l.cell_matches("London", "london"));
+        assert!(l.cell_matches("Addidas", "Adidas"));
+        assert!(!l.cell_matches("London", "Paris"));
+    }
+
+    #[test]
+    fn ambiguity_produces_false_positives() {
+        // The mechanism the paper criticises: the tuple "matches" both
+        // Londons AND the UK vertex (its country cell), i.e. precision dies.
+        let (db, cg, g, t, vs) = setup();
+        let ctx = LinkContext { db: &db, cg: &cg, g: &g };
+        let l = LexMa::new();
+        assert!(l.predict(&ctx, t, vs[0]));
+        assert!(l.predict(&ctx, t, vs[1])); // wrong London
+        assert!(l.predict(&ctx, t, vs[2])); // the country, not the city
+        assert!(!l.predict(&ctx, t, vs[3]));
+    }
+
+    #[test]
+    fn vpair_returns_all_lexical_hits() {
+        let (db, cg, g, t, _) = setup();
+        let ctx = LinkContext { db: &db, cg: &cg, g: &g };
+        let l = LexMa::new();
+        assert_eq!(l.vpair(&ctx, t).len(), 3);
+    }
+}

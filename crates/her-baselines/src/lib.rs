@@ -1,0 +1,31 @@
+//! The comparison methods of the HER evaluation (§VII "Baselines"),
+//! rebuilt mechanism-faithfully:
+//!
+//! | paper baseline | module | mechanism reproduced |
+//! |---|---|---|
+//! | MAGNN \[37\] | [`magnn`] | metapath-aggregated neighbourhood embeddings, cosine scoring |
+//! | Bsim \[33\] | [`bsim`] | bounded simulation of `G_D` as a pattern over `G`, with the memory blow-up the paper reports as OM |
+//! | JedAI \[69\] | [`jedai`] | schema-agnostic profiles, character 4-grams with TF-IDF weights and cosine similarity |
+//! | Magellan (MAG) \[48\] | [`magellan`] | similarity feature tables + a random forest ([`forest`]) |
+//! | DeepMatcher (DEEP) \[62\] | [`deep`] | embedding features + an MLP classifier |
+//! | LexMa \[82\] | [`lexma`] | per-cell lexical matching, majority entity vote |
+//! | MTab / bbw / LinkingPark | [`cell`] | spell-checker-assisted cell matching stand-ins (2T task) |
+//!
+//! The relational systems (JedAI, MAG, DEEP) see graph vertices through the
+//! 2-hop flattening of §VII: a vertex `v` is packed into a pseudo-tuple of
+//! `(path label, target label)` fields ([`common::vertex_profile`]). This
+//! is exactly the representational handicap the paper identifies: multi-hop
+//! properties beyond 2 hops and recursive structure are invisible to them.
+
+pub mod bsim;
+pub mod cell;
+pub mod common;
+pub mod deep;
+pub mod forest;
+pub mod jedai;
+pub mod lexma;
+pub mod magellan;
+pub mod magnn;
+pub mod strsim;
+
+pub use common::{EntityLinker, LinkContext, Profile};

@@ -1,0 +1,438 @@
+//! The HER system facade (§II architecture).
+//!
+//! Wires the five modules together: RDB2RDF (canonical graph), Learn
+//! (models + thresholds), and the three query modes SPair / VPair / APair.
+//!
+//! ```text
+//!   Database D ──RDB2RDF──▶ G_D ┐
+//!                                ├─ Learn (M_v, M_ρ, M_r, σ, δ, k) ─▶ SPair/VPair/APair
+//!   Graph G ────────────────────┘
+//! ```
+
+use crate::apair;
+use crate::index::InvertedIndex;
+use crate::learn::{self, Annotation, SearchSpace};
+use crate::paramatch::{Matcher, MatcherOptions};
+use crate::params::{Params, Thresholds};
+use crate::refine::{refine_round, RefineConfig, RefineOutcome};
+use crate::schema_match::{schema_matches, SchemaMatch};
+use crate::vpair;
+use her_embed::corpus::{corpus_to_strings, lm_training_paths, walk_corpus};
+use her_embed::{PathLm, PathSimModel, SentenceModel, TopKRanker};
+use her_graph::walk::WalkConfig;
+use her_graph::{Graph, Interner, VertexId};
+use her_rdb::rdb2rdf::{canonicalize_with_interner, CanonicalGraph};
+use her_rdb::{Database, TupleRef};
+
+/// Construction/training configuration for [`Her`].
+#[derive(Clone, Debug)]
+pub struct HerConfig {
+    /// Embedding dimension for `M_v` and `M_ρ` (Table VII sweeps this).
+    pub dim: usize,
+    /// Initial thresholds (may be replaced by random search in `learn`).
+    pub thresholds: Thresholds,
+    /// Master seed for model initialisation and training shuffles.
+    pub seed: u64,
+    /// Random-walk corpus configuration for pre-training `M_ρ` and `M_r`.
+    pub walk: WalkConfig,
+    /// Maximum path length for `h_r` and LM training paths (paper: 4).
+    pub lm_max_len: usize,
+    /// Sample size of vertices used to prepare LM training paths
+    /// (`None` = all; the paper samples representative entities).
+    pub lm_sample: Option<usize>,
+    /// Pre-training epochs for `M_ρ`.
+    pub pretrain_epochs: usize,
+    /// Supervised training epochs for `M_ρ`.
+    pub train_epochs: usize,
+    /// Build an inverted index over `G` for candidate blocking.
+    pub use_blocking: bool,
+    /// Synonym lexicon injected into `M_v` (stands in for pre-trained
+    /// semantic knowledge).
+    pub synonyms: Vec<(String, String)>,
+}
+
+impl Default for HerConfig {
+    fn default() -> Self {
+        Self {
+            dim: 64,
+            thresholds: Thresholds::default(),
+            seed: 0x4845_5221,
+            walk: WalkConfig::default(),
+            lm_max_len: 4,
+            lm_sample: Some(512),
+            pretrain_epochs: 15,
+            train_epochs: 150,
+            use_blocking: true,
+            synonyms: Vec::new(),
+        }
+    }
+}
+
+/// The assembled HER system over one `(D, G)` pair.
+pub struct Her {
+    /// The canonical graph `G_D` with the tuple↔vertex mapping; its
+    /// interner is the *shared* label space of both graphs.
+    pub cg: CanonicalGraph,
+    /// The data graph `G`.
+    pub g: Graph,
+    /// Learned parameters.
+    pub params: Params,
+    /// Optional blocking index over `G`.
+    pub index: Option<InvertedIndex>,
+    /// User-verified pair verdicts from refinement rounds (§IV: feedback
+    /// both fine-tunes the models and *verifies the matches*). Takes
+    /// precedence over parametric simulation in `spair`/`evaluate`.
+    pub verified: her_graph::hash::FxHashMap<(TupleRef, VertexId), bool>,
+}
+
+impl Her {
+    /// Builds the system: canonicalises `D` into the label space of `G`,
+    /// trains the path LM (`M_r`) on both graphs, fits IDF for `M_v`, and
+    /// pre-trains `M_ρ` on the random-walk corpus. Supervised training
+    /// happens separately in [`Her::learn`].
+    pub fn build(db: &Database, g: Graph, g_interner: Interner, cfg: &HerConfig) -> Self {
+        let cg = canonicalize_with_interner(db, g_interner);
+        let interner = &cg.interner;
+
+        // M_v: synonym lexicon + IDF over all labels of both graphs.
+        let mut mv = SentenceModel::new(cfg.dim);
+        for (a, b) in &cfg.synonyms {
+            mv.add_synonym(a, b);
+        }
+        mv.fit_idf(interner.iter().map(|(_, s)| s));
+
+        // M_r: path LM trained on walks plus max-PRA training paths of G,
+        // and on the (short) attribute paths of G_D.
+        let mut lm = PathLm::new();
+        let g_walks = walk_corpus(&g, &cfg.walk);
+        lm.train(&g_walks);
+        let sample: Option<Vec<VertexId>> = cfg.lm_sample.map(|n| {
+            // Deterministic stride sample over G's vertices.
+            let total = g.vertex_count().max(1);
+            let stride = (total / n.max(1)).max(1);
+            g.vertices().step_by(stride).take(n).collect()
+        });
+        let g_paths = lm_training_paths(&g, interner, sample.as_deref(), cfg.lm_max_len);
+        lm.train(&g_paths);
+        let d_walks = walk_corpus(&cg.graph, &cfg.walk);
+        lm.train(&d_walks);
+
+        // M_ρ: pre-train on the G corpus rendered to strings.
+        let mut mrho = PathSimModel::new(cfg.dim, cfg.seed);
+        let mut pre = corpus_to_strings(&g_walks, interner);
+        pre.truncate(2000); // plenty for the head to learn the overlap prior
+        mrho.pretrain(&pre, cfg.pretrain_epochs, cfg.seed ^ 0xabcd);
+
+        let ranker = TopKRanker::new(lm).with_max_len(cfg.lm_max_len);
+        let params = Params::new(mv, mrho, ranker, cfg.thresholds);
+        let index = cfg.use_blocking.then(|| InvertedIndex::build(&g, interner));
+
+        Self {
+            cg,
+            g,
+            params,
+            index,
+            verified: Default::default(),
+        }
+    }
+
+    /// Supervised learning (§IV): trains `M_ρ` on path pairs derived from
+    /// the positive training annotations, then picks `(σ, δ, k)` by random
+    /// search on the validation annotations. Returns the validation
+    /// F-measure achieved.
+    pub fn learn(
+        &mut self,
+        train: &[(TupleRef, VertexId, bool)],
+        validation: &[(TupleRef, VertexId, bool)],
+        cfg: &HerConfig,
+        space: &SearchSpace,
+    ) -> f64 {
+        let positives: Vec<(VertexId, VertexId)> = train
+            .iter()
+            .filter(|(_, _, m)| *m)
+            .map(|&(t, v, _)| (self.cg.vertex_of(t), v))
+            .collect();
+        let pairs = learn::derive_path_pairs(
+            &self.cg.graph,
+            &self.g,
+            &self.cg.interner,
+            &self.params,
+            &positives,
+            0.85,
+            0.3,
+        );
+        if !pairs.is_empty() {
+            self.params.mrho.train(&pairs, cfg.train_epochs, cfg.seed ^ 0x7777);
+        }
+        let val: Vec<Annotation> = validation
+            .iter()
+            .map(|&(t, v, m)| (self.cg.vertex_of(t), v, m))
+            .collect();
+        let (thresholds, f) = learn::random_search(
+            &self.cg.graph,
+            &self.g,
+            &self.cg.interner,
+            &self.params,
+            &val,
+            space,
+        );
+        self.params.thresholds = thresholds;
+        f
+    }
+
+    /// A fresh stateful matcher (reuse across queries for cache benefits).
+    pub fn matcher(&self) -> Matcher<'_> {
+        Matcher::new(&self.cg.graph, &self.g, &self.cg.interner, &self.params)
+    }
+
+    /// A matcher with ablation toggles.
+    pub fn matcher_with(&self, options: MatcherOptions) -> Matcher<'_> {
+        Matcher::with_options(
+            &self.cg.graph,
+            &self.g,
+            &self.cg.interner,
+            &self.params,
+            options,
+        )
+    }
+
+    /// Mode SPair: does tuple `t` match vertex `v`? User-verified verdicts
+    /// take precedence over parametric simulation.
+    pub fn spair(&self, t: TupleRef, v: VertexId) -> bool {
+        if let Some(&verdict) = self.verified.get(&(t, v)) {
+            return verdict;
+        }
+        self.matcher().is_match(self.cg.vertex_of(t), v)
+    }
+
+    /// SPair against a caller-provided matcher (amortises caches).
+    pub fn spair_with(&self, m: &mut Matcher<'_>, t: TupleRef, v: VertexId) -> bool {
+        m.is_match(self.cg.vertex_of(t), v)
+    }
+
+    /// Mode VPair: all vertices of `G` matching tuple `t` (user-verified
+    /// verdicts override parametric simulation, keeping all three modes
+    /// consistent after refinement).
+    pub fn vpair(&self, t: TupleRef) -> Vec<VertexId> {
+        let mut m = self.matcher();
+        let mut out = vpair::vpair(&mut m, self.cg.vertex_of(t), self.index.as_ref());
+        self.apply_verified(t, &mut out);
+        out
+    }
+
+    /// Overlays verified verdicts for tuple `t` onto a match list.
+    fn apply_verified(&self, t: TupleRef, matches: &mut Vec<VertexId>) {
+        if self.verified.is_empty() {
+            return;
+        }
+        matches.retain(|v| self.verified.get(&(t, *v)) != Some(&false));
+        for (&(vt, vv), &verdict) in &self.verified {
+            if vt == t && verdict && !matches.contains(&vv) {
+                matches.push(vv);
+            }
+        }
+        matches.sort();
+    }
+
+    /// Mode APair: all matches across `D` and `G`.
+    pub fn apair(&self) -> Vec<(TupleRef, VertexId)> {
+        let mut m = self.matcher();
+        let mut tuple_vertices: Vec<(TupleRef, VertexId)> =
+            self.cg.tuple_vertices().collect();
+        tuple_vertices.sort();
+        let us: Vec<VertexId> = tuple_vertices.iter().map(|&(_, u)| u).collect();
+        let matched = apair::apair(&mut m, &us, self.index.as_ref());
+        let mut out: Vec<(TupleRef, VertexId)> = matched
+            .into_iter()
+            .filter_map(|(u, v)| self.cg.tuple_of(u).map(|t| (t, v)))
+            .collect();
+        // Overlay user-verified verdicts (as in vpair/spair).
+        if !self.verified.is_empty() {
+            out.retain(|pair| self.verified.get(pair) != Some(&false));
+            for (&pair, &verdict) in &self.verified {
+                if verdict && !out.contains(&pair) {
+                    out.push(pair);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Schema matches `Γ(u_t, v)` for a matched tuple/vertex pair.
+    pub fn schema_match(&self, t: TupleRef, v: VertexId) -> Option<Vec<SchemaMatch>> {
+        let mut m = self.matcher();
+        let u = self.cg.vertex_of(t);
+        if !m.is_match(u, v) {
+            return None;
+        }
+        schema_matches(&mut m, u, v)
+    }
+
+    /// One user-feedback refinement round over the given annotated pairs.
+    pub fn refine(
+        &mut self,
+        shown: &[(TupleRef, VertexId, bool)],
+        cfg: &RefineConfig,
+    ) -> RefineOutcome {
+        let pairs: Vec<(VertexId, VertexId, bool)> = shown
+            .iter()
+            .map(|&(t, v, m)| (self.cg.vertex_of(t), v, m))
+            .collect();
+        let outcome = refine_round(
+            &mut self.params,
+            &self.cg.graph,
+            &self.g,
+            &self.cg.interner,
+            &pairs,
+            cfg,
+        );
+        for (&(t, v, _), &(_, _, annotated)) in shown.iter().zip(&outcome.annotations) {
+            self.verified.insert((t, v), annotated);
+        }
+        outcome
+    }
+
+    /// Evaluates accuracy over annotated tuple/vertex pairs (honouring
+    /// user-verified verdicts, as the paper's Exp-4 does).
+    pub fn evaluate(&self, pairs: &[(TupleRef, VertexId, bool)]) -> crate::metrics::Accuracy {
+        let mut m = self.matcher();
+        let mut acc = crate::metrics::Accuracy::default();
+        for &(t, v, truth) in pairs {
+            let predicted = match self.verified.get(&(t, v)) {
+                Some(&verdict) => verdict,
+                None => m.is_match(self.cg.vertex_of(t), v),
+            };
+            acc.record(predicted, truth);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_rdb::schema::{RelationSchema, Schema};
+    use her_rdb::tuple::Tuple;
+    use her_rdb::value::Value;
+    use her_graph::GraphBuilder;
+
+    /// A two-tuple database and a graph holding both entities plus noise.
+    fn fixture() -> (Database, Graph, Interner, Vec<TupleRef>, Vec<VertexId>) {
+        let mut s = Schema::new();
+        let item = s.add_relation(RelationSchema::new("item", &["name", "color"]));
+        let mut db = Database::new(s);
+        let t1 = db.insert(
+            item,
+            Tuple::new(vec![Value::str("Dame Shoes"), Value::str("white")]),
+        );
+        let t2 = db.insert(
+            item,
+            Tuple::new(vec![Value::str("Runner Pro"), Value::str("red")]),
+        );
+
+        let mut b = GraphBuilder::new();
+        let v1 = b.add_vertex("item");
+        let v1n = b.add_vertex("Dame Shoes");
+        let v1c = b.add_vertex("white");
+        b.add_edge(v1, v1n, "name");
+        b.add_edge(v1, v1c, "hasColor");
+        let v2 = b.add_vertex("item");
+        let v2n = b.add_vertex("Runner Pro");
+        let v2c = b.add_vertex("red");
+        b.add_edge(v2, v2n, "name");
+        b.add_edge(v2, v2c, "hasColor");
+        let (g, i) = b.build();
+        (db, g, i, vec![t1, t2], vec![v1, v2])
+    }
+
+    fn cfg() -> HerConfig {
+        HerConfig {
+            thresholds: Thresholds::new(0.9, 0.05, 5),
+            use_blocking: false,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn build_shares_label_space() {
+        let (db, g, i, ts, _) = fixture();
+        let her = Her::build(&db, g, i, &cfg());
+        // "white" interned once, resolvable from the canonical side.
+        let u = her.cg.vertex_of(ts[0]);
+        assert_eq!(her.cg.interner.resolve(her.cg.graph.label(u)), "item");
+        assert!(her.cg.interner.get("hasColor").is_some());
+    }
+
+    #[test]
+    fn spair_distinguishes_entities() {
+        let (db, g, i, ts, vs) = fixture();
+        let her = Her::build(&db, g, i, &cfg());
+        assert!(her.spair(ts[0], vs[0]));
+        assert!(her.spair(ts[1], vs[1]));
+        assert!(!her.spair(ts[0], vs[1]));
+        assert!(!her.spair(ts[1], vs[0]));
+    }
+
+    #[test]
+    fn vpair_returns_the_right_vertex() {
+        let (db, g, i, ts, vs) = fixture();
+        let her = Her::build(&db, g, i, &cfg());
+        assert_eq!(her.vpair(ts[0]), vec![vs[0]]);
+        assert_eq!(her.vpair(ts[1]), vec![vs[1]]);
+    }
+
+    #[test]
+    fn apair_finds_all_and_only_truth() {
+        let (db, g, i, ts, vs) = fixture();
+        let her = Her::build(&db, g, i, &cfg());
+        assert_eq!(her.apair(), vec![(ts[0], vs[0]), (ts[1], vs[1])]);
+    }
+
+    #[test]
+    fn blocking_index_consistent_with_scan() {
+        let (db, g, i, ts, _) = fixture();
+        let mut c = cfg();
+        c.use_blocking = true;
+        let her_block = Her::build(&db, g.clone(), i.clone(), &c);
+        c.use_blocking = false;
+        let her_scan = Her::build(&db, g, i, &c);
+        assert_eq!(her_block.vpair(ts[0]), her_scan.vpair(ts[0]));
+        assert_eq!(her_block.apair(), her_scan.apair());
+    }
+
+    #[test]
+    fn evaluate_reports_perfect_on_fixture() {
+        let (db, g, i, ts, vs) = fixture();
+        let her = Her::build(&db, g, i, &cfg());
+        let ann = vec![
+            (ts[0], vs[0], true),
+            (ts[1], vs[1], true),
+            (ts[0], vs[1], false),
+            (ts[1], vs[0], false),
+        ];
+        assert_eq!(her.evaluate(&ann).f_measure(), 1.0);
+    }
+
+    #[test]
+    fn learn_trains_mrho_and_keeps_accuracy() {
+        let (db, g, i, ts, vs) = fixture();
+        let mut her = Her::build(&db, g, i, &cfg());
+        let train = vec![(ts[0], vs[0], true), (ts[0], vs[1], false)];
+        let val = vec![(ts[1], vs[1], true), (ts[1], vs[0], false)];
+        let f = her.learn(&train, &val, &cfg(), &SearchSpace::default());
+        assert!(f >= 0.99, "validation F after learn was {f}");
+    }
+
+    #[test]
+    fn schema_match_explains_color() {
+        let (db, g, i, ts, vs) = fixture();
+        let her = Her::build(&db, g, i, &cfg());
+        let gamma = her.schema_match(ts[0], vs[0]).unwrap();
+        let attrs: Vec<&str> = gamma
+            .iter()
+            .map(|sm| her.cg.interner.resolve(sm.attr))
+            .collect();
+        assert!(attrs.contains(&"color") || attrs.contains(&"name"), "{attrs:?}");
+    }
+}

@@ -1,0 +1,159 @@
+//! Inverted-index blocking for candidate generation.
+//!
+//! §VI remarks that HER uses inverted indices on "critical information" to
+//! locate candidate vertices quickly (e.g. papers of the same year share a
+//! block), in place of classic blocking which would break the recursive
+//! descendant checks. [`InvertedIndex`] maps label tokens to the vertices
+//! carrying them; a query label's candidates are the union of its tokens'
+//! posting lists.
+
+use her_embed::tokenize::tokenize;
+use her_graph::hash::{FxHashMap, FxHashSet};
+use her_graph::{Graph, Interner, LabelId, VertexId};
+
+/// Token → posting-list index over the vertex labels of one graph.
+pub struct InvertedIndex {
+    postings: FxHashMap<String, Vec<VertexId>>,
+    /// Tokens appearing on more than this fraction of vertices are treated
+    /// as stop tokens and skipped at query time (they destroy selectivity).
+    stop_threshold: f64,
+    vertex_count: usize,
+}
+
+impl InvertedIndex {
+    /// Indexes every vertex of `g` under each token of its label *and* the
+    /// labels of its children. Entity vertices carry generic type labels
+    /// ("item", "person"), so the paper's "critical information" — the
+    /// attribute values one hop away (colours, years, names) — is what
+    /// actually blocks.
+    pub fn build(g: &Graph, interner: &Interner) -> Self {
+        let mut postings: FxHashMap<String, Vec<VertexId>> = FxHashMap::default();
+        // Tokenise each distinct label once.
+        let mut label_tokens: FxHashMap<LabelId, Vec<String>> = FxHashMap::default();
+        let mut tokens_of = |l: LabelId| -> Vec<String> {
+            label_tokens
+                .entry(l)
+                .or_insert_with(|| tokenize(interner.resolve(l)))
+                .clone()
+        };
+        for v in g.vertices() {
+            let mut mine: Vec<String> = tokens_of(g.label(v));
+            for &c in g.children(v) {
+                mine.extend(tokens_of(g.label(c)));
+            }
+            mine.sort();
+            mine.dedup();
+            for t in mine {
+                postings.entry(t).or_default().push(v);
+            }
+        }
+        Self {
+            postings,
+            stop_threshold: 0.5,
+            vertex_count: g.vertex_count(),
+        }
+    }
+
+    /// Vertices whose label shares at least one non-stop token with `label`,
+    /// deduplicated, in id order.
+    pub fn candidates(&self, label: &str) -> Vec<VertexId> {
+        let mut out: FxHashSet<VertexId> = FxHashSet::default();
+        let cap = ((self.vertex_count as f64) * self.stop_threshold).max(1.0) as usize;
+        for t in tokenize(label) {
+            if let Some(list) = self.postings.get(&t) {
+                if list.len() > cap {
+                    continue; // stop token
+                }
+                out.extend(list.iter().copied());
+            }
+        }
+        let mut v: Vec<VertexId> = out.into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Number of distinct indexed tokens.
+    pub fn token_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+/// The blocking query for a `G_D` vertex: its own label plus its children's
+/// labels (the tuple's attribute values), mirroring what [`InvertedIndex::build`]
+/// indexes on the `G` side.
+pub fn blocking_query(gd: &Graph, interner: &Interner, u: VertexId) -> String {
+    let mut q = interner.resolve(gd.label(u)).to_owned();
+    for &c in gd.children(u) {
+        q.push(' ');
+        q.push_str(interner.resolve(gd.label(c)));
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_graph::GraphBuilder;
+
+    fn graph() -> (Graph, Interner, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let shoes = b.add_vertex("Dame Basketball Shoes");
+        let running = b.add_vertex("Lightweight Running Shoes");
+        let germany = b.add_vertex("Germany");
+        let dame7 = b.add_vertex("Dame Gen 7");
+        let (g, i) = b.build();
+        (g, i, vec![shoes, running, germany, dame7])
+    }
+
+    #[test]
+    fn shared_token_yields_candidates() {
+        let (g, i, vs) = graph();
+        let idx = InvertedIndex::build(&g, &i);
+        let c = idx.candidates("Dame Basketball Shoes D7");
+        assert!(c.contains(&vs[0]));
+        assert!(c.contains(&vs[3])); // shares "dame"
+        assert!(c.contains(&vs[1])); // shares "shoes"
+        assert!(!c.contains(&vs[2]));
+    }
+
+    #[test]
+    fn no_shared_tokens_no_candidates() {
+        let (g, i, _) = graph();
+        let idx = InvertedIndex::build(&g, &i);
+        assert!(idx.candidates("phylon foam").is_empty());
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_unique() {
+        let (g, i, _) = graph();
+        let idx = InvertedIndex::build(&g, &i);
+        let c = idx.candidates("Dame Shoes");
+        let mut sorted = c.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(c, sorted);
+    }
+
+    #[test]
+    fn stop_tokens_skipped() {
+        // "common" appears on >50% of vertices → queries on it return nothing.
+        let mut b = GraphBuilder::new();
+        for i in 0..10 {
+            b.add_vertex(&format!("common label {i}"));
+        }
+        b.add_vertex("rare gem");
+        let (g, i) = b.build();
+        let idx = InvertedIndex::build(&g, &i);
+        assert!(idx.candidates("common").is_empty());
+        assert_eq!(idx.candidates("rare gem").len(), 1);
+        // Specific tokens still work even if combined with stop tokens.
+        assert_eq!(idx.candidates("common 3").len(), 1);
+    }
+
+    #[test]
+    fn token_count_reflects_vocabulary() {
+        let (g, i, _) = graph();
+        let idx = InvertedIndex::build(&g, &i);
+        assert!(idx.token_count() >= 7);
+    }
+}

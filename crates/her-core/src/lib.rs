@@ -1,0 +1,41 @@
+//! Parametric simulation and the HER system (the paper's primary
+//! contribution, §III–§VI).
+//!
+//! Given the canonical graph `G_D` of a database `D` and a data graph `G`
+//! over a shared label space, this crate decides entity matches by
+//! **parametric simulation**: `(u₀, v₀)` match iff their labels are close
+//! (`h_v ≥ σ`) and, recursively, some partial injective *lineage set* over
+//! their top-k important descendants accumulates association score
+//! `Σ h_ρ ≥ δ`. The modules:
+//!
+//! - [`params`]: the parameter bundle `(h_v, h_ρ, h_r, σ, δ, k)`;
+//! - [`scores`]: memoised score evaluation over interned labels and paths;
+//! - [`paramatch`]: algorithm `ParaMatch` (Fig. 4) — quadratic-time match
+//!   checking with `cache`/`ecache`, sorted candidate lists, `MaxSco` early
+//!   termination and the cleanup stage (module SPair);
+//! - [`vpair`] / [`apair`]: `VParaMatch` and `AllParaMatch` (§VI-A);
+//! - [`schema_match`]: schema matches `Γ(u_t, v_g)` (appendix D);
+//! - [`index`]: inverted-index blocking for candidate generation;
+//! - [`learn`]: random search for `(σ, δ, k)` and training-pair derivation;
+//! - [`refine`]: the user-feedback loop with majority voting (§IV);
+//! - [`metrics`]: precision / recall / F-measure;
+//! - [`stream`]: incremental / pay-as-you-go linking (§VI-B remark 2);
+//! - [`her`]: the [`her::Her`] facade exposing SPair, VPair and APair.
+
+pub mod apair;
+pub mod her;
+pub mod index;
+pub mod learn;
+pub mod maximal;
+pub mod metrics;
+pub mod paramatch;
+pub mod params;
+pub mod refine;
+pub mod schema_match;
+pub mod scores;
+pub mod stream;
+pub mod vpair;
+
+pub use her::{Her, HerConfig};
+pub use paramatch::Matcher;
+pub use params::{Params, Thresholds};

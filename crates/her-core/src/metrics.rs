@@ -1,0 +1,139 @@
+//! Accuracy metrics: precision, recall, F-measure (§IV).
+//!
+//! - precision: ratio of true matches to matches returned;
+//! - recall: ratio of true matches to annotated matches;
+//! - F-measure: `2·(precision·recall)/(precision+recall)`.
+
+/// A confusion-count summary with derived metrics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Accuracy {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl Accuracy {
+    /// Precision; 0 when nothing was returned.
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall; 0 when nothing was annotated positive.
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+
+    /// F-measure (harmonic mean of precision and recall).
+    pub fn f_measure(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Records one `(predicted, actual)` observation.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        match (predicted, actual) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, true) => self.fn_ += 1,
+            (false, false) => self.tn += 1,
+        }
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+}
+
+/// Builds an [`Accuracy`] from `(predicted, actual)` pairs.
+pub fn confusion(pairs: impl IntoIterator<Item = (bool, bool)>) -> Accuracy {
+    let mut acc = Accuracy::default();
+    for (p, a) in pairs {
+        acc.record(p, a);
+    }
+    acc
+}
+
+impl std::fmt::Display for Accuracy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.3} R={:.3} F={:.3} (tp={} fp={} fn={} tn={})",
+            self.precision(),
+            self.recall(),
+            self.f_measure(),
+            self.tp,
+            self.fp,
+            self.fn_,
+            self.tn
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_classifier() {
+        let a = confusion([(true, true), (false, false), (true, true)]);
+        assert_eq!(a.precision(), 1.0);
+        assert_eq!(a.recall(), 1.0);
+        assert_eq!(a.f_measure(), 1.0);
+    }
+
+    #[test]
+    fn all_wrong() {
+        let a = confusion([(true, false), (false, true)]);
+        assert_eq!(a.precision(), 0.0);
+        assert_eq!(a.recall(), 0.0);
+        assert_eq!(a.f_measure(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // tp=3 fp=1 fn=2: P=0.75, R=0.6, F=2*.45/1.35=0.666…
+        let a = Accuracy {
+            tp: 3,
+            fp: 1,
+            fn_: 2,
+            tn: 4,
+        };
+        assert!((a.precision() - 0.75).abs() < 1e-12);
+        assert!((a.recall() - 0.6).abs() < 1e-12);
+        assert!((a.f_measure() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(a.total(), 10);
+    }
+
+    #[test]
+    fn empty_is_zero_not_nan() {
+        let a = Accuracy::default();
+        assert_eq!(a.precision(), 0.0);
+        assert_eq!(a.recall(), 0.0);
+        assert_eq!(a.f_measure(), 0.0);
+    }
+
+    #[test]
+    fn display_renders() {
+        let a = confusion([(true, true)]);
+        assert!(a.to_string().contains("F=1.000"));
+    }
+}

@@ -1,0 +1,709 @@
+//! Algorithm `ParaMatch` (Fig. 4): quadratic-time parametric simulation.
+//!
+//! Given `(u, v)` with `u ∈ G_D` and `v ∈ G`, decides whether the pair is a
+//! match under parameters `(h_v, h_ρ, h_r, σ, δ, k)`. The implementation
+//! follows the paper's three stages:
+//!
+//! 1. **Initial stage** — reject on `h_v < σ`; accept leaves; install an
+//!    *optimistic* `cache[u,v] = [true, ∅]` entry (the coinductive
+//!    assumption that lets interdependent candidates — e.g. pairs on a
+//!    cycle — be resolved without infinite recursion); select top-k
+//!    descendants through `ecache`; build per-descendant candidate lists
+//!    sorted by descending `h_ρ`.
+//! 2. **Matching stage** — maintain `MaxSco`, the best achievable aggregate
+//!    score; terminate early when it sinks below `δ`; otherwise greedily
+//!    grow a partial injective lineage set `W`, recursing on unresolved
+//!    candidate pairs, until `Σ h_ρ ≥ δ`.
+//! 3. **Cleanup stage** — when `(u, v)` is confirmed invalid, flip its cache
+//!    entry to `[false, ∅]` and re-run `ParaMatch` on every recorded pair
+//!    whose lineage set contains `(u, v)`, so stale optimistic conclusions
+//!    are repaired (appendix C).
+
+use crate::params::Params;
+use crate::scores::ScoreCache;
+use her_graph::hash::{FxHashMap, FxHashSet};
+use her_graph::{Graph, Interner, Path, VertexId};
+use std::sync::Arc as Rc;
+
+/// A candidate pair `(u, v)` with `u ∈ G_D`, `v ∈ G`.
+pub type PairKey = (VertexId, VertexId);
+
+/// Counters exposed for the efficiency experiments and ablations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Recursive `ParaMatch` invocations.
+    pub calls: u64,
+    /// Candidate resolutions served from `cache`.
+    pub cache_hits: u64,
+    /// Early terminations via the `MaxSco` bound.
+    pub early_terminations: u64,
+    /// Cleanup-stage re-evaluations.
+    pub cleanups: u64,
+    /// Top-k selections served from `ecache`.
+    pub ecache_hits: u64,
+}
+
+/// Feature toggles for the ablation benchmarks (DESIGN.md §6). All enabled
+/// by default — disabling any of them preserves correctness but changes
+/// performance.
+#[derive(Clone, Copy, Debug)]
+pub struct MatcherOptions {
+    /// Use the `MaxSco` early-termination bound (Fig. 4 lines 12-14, 25-27).
+    pub early_termination: bool,
+    /// Memoise top-k descendant selections in `ecache` (lines 6-10).
+    pub use_ecache: bool,
+    /// Sort candidate lists by descending `h_ρ` (line 11).
+    pub sorted_lists: bool,
+}
+
+impl Default for MatcherOptions {
+    fn default() -> Self {
+        Self {
+            early_termination: true,
+            use_ecache: true,
+            sorted_lists: true,
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    valid: bool,
+    /// The lineage set `W` witnessing validity (empty for leaves/invalid).
+    deps: Vec<PairKey>,
+}
+
+/// One candidate `v'` for a fixed descendant `u'`.
+#[derive(Clone, Debug)]
+struct Cand {
+    v: VertexId,
+    hrho: f32,
+}
+
+/// Stateful matcher over a fixed `(G_D, G)` pair. Reuse one matcher across
+/// many queries so `cache` and `ecache` amortise (this is what VPair and
+/// APair rely on).
+pub struct Matcher<'a> {
+    gd: &'a Graph,
+    g: &'a Graph,
+    interner: &'a Interner,
+    params: &'a Params,
+    options: MatcherOptions,
+    scores: ScoreCache,
+    cache: FxHashMap<PairKey, CacheEntry>,
+    /// Reverse dependencies: pair → recorded pairs whose `W` contains it.
+    rdeps: FxHashMap<PairKey, Vec<PairKey>>,
+    /// `ecache` for `G_D` and `G` respectively.
+    sel_d: FxHashMap<VertexId, Rc<Vec<(VertexId, Path)>>>,
+    sel_g: FxHashMap<VertexId, Rc<Vec<(VertexId, Path)>>>,
+    stats: MatchStats,
+    /// Border vertices of `G` (parallel fragments, §VI-B): pairs reaching
+    /// them are optimistically assumed valid, PPSim-style.
+    border: Option<FxHashSet<VertexId>>,
+    /// Border pairs assumed valid since the last drain.
+    new_assumptions: Vec<PairKey>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher over `G_D` and `G` sharing `interner`.
+    pub fn new(gd: &'a Graph, g: &'a Graph, interner: &'a Interner, params: &'a Params) -> Self {
+        Self::with_options(gd, g, interner, params, MatcherOptions::default())
+    }
+
+    /// Creates a matcher with explicit feature toggles (ablations).
+    pub fn with_options(
+        gd: &'a Graph,
+        g: &'a Graph,
+        interner: &'a Interner,
+        params: &'a Params,
+        options: MatcherOptions,
+    ) -> Self {
+        Self {
+            gd,
+            g,
+            interner,
+            params,
+            options,
+            scores: ScoreCache::new(),
+            cache: FxHashMap::default(),
+            rdeps: FxHashMap::default(),
+            sel_d: FxHashMap::default(),
+            sel_g: FxHashMap::default(),
+            stats: MatchStats::default(),
+            border: None,
+            new_assumptions: Vec::new(),
+        }
+    }
+
+    /// Marks `border` vertices of `G` as data-absent (§VI-B): any non-leaf
+    /// pair reaching one is optimistically assumed a match, recorded as an
+    /// assumption for the BSP engine to verify at the owner.
+    pub fn with_border(mut self, border: FxHashSet<VertexId>) -> Self {
+        self.border = Some(border);
+        self
+    }
+
+    /// Drains border pairs assumed valid since the last call.
+    pub fn take_new_assumptions(&mut self) -> Vec<PairKey> {
+        std::mem::take(&mut self.new_assumptions)
+    }
+
+    /// Pre-seeds `ecache` with top-k selections computed elsewhere — the
+    /// parallel engine precomputes `h_r` globally (a preprocessing pass,
+    /// §IV "Complexity") so all workers rank descendants identically
+    /// regardless of fragment boundaries.
+    pub fn with_selections(
+        mut self,
+        sel_d: FxHashMap<VertexId, Rc<Vec<(VertexId, Path)>>>,
+        sel_g: FxHashMap<VertexId, Rc<Vec<(VertexId, Path)>>>,
+    ) -> Self {
+        self.sel_d = sel_d;
+        self.sel_g = sel_g;
+        self
+    }
+
+    /// Applies an externally-deduced invalidation (IncPSim, §VI-B): flips
+    /// `(u, v)` to false and re-checks every recorded dependent.
+    pub fn apply_invalidation(&mut self, u: VertexId, v: VertexId) {
+        self.set_verdict(u, v, false, Vec::new());
+        self.cleanup(u, v);
+    }
+
+    /// The canonical graph `G_D`.
+    pub fn gd(&self) -> &Graph {
+        self.gd
+    }
+
+    /// The data graph `G`.
+    pub fn g(&self) -> &Graph {
+        self.g
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> &Interner {
+        self.interner
+    }
+
+    /// The parameters in force.
+    pub fn params(&self) -> &Params {
+        self.params
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> MatchStats {
+        self.stats
+    }
+
+    /// `h_v` between a `G_D` vertex and a `G` vertex (used by candidate
+    /// generation in VPair/APair).
+    pub fn hv_pair(&mut self, u: VertexId, v: VertexId) -> f32 {
+        let (l1, l2) = (self.gd.label(u), self.g.label(v));
+        self.scores.hv(self.params, self.interner, l1, l2)
+    }
+
+    /// Module SPair: does `(u, v)` match by parametric simulation?
+    ///
+    /// Serves previously-resolved pairs from `cache`.
+    pub fn is_match(&mut self, u: VertexId, v: VertexId) -> bool {
+        if let Some(e) = self.cache.get(&(u, v)) {
+            self.stats.cache_hits += 1;
+            return e.valid;
+        }
+        self.para_match(u, v)
+    }
+
+    /// The cached verdict for a pair, if already resolved.
+    pub fn cached(&self, u: VertexId, v: VertexId) -> Option<bool> {
+        self.cache.get(&(u, v)).map(|e| e.valid)
+    }
+
+    /// The witness `Π(u, v)`: the pair itself plus the transitive closure of
+    /// recorded lineage sets. `None` if `(u, v)` is not a cached match.
+    pub fn witness(&self, u: VertexId, v: VertexId) -> Option<Vec<PairKey>> {
+        match self.cache.get(&(u, v)) {
+            Some(e) if e.valid => {}
+            _ => return None,
+        }
+        let mut seen: FxHashSet<PairKey> = FxHashSet::default();
+        let mut queue = vec![(u, v)];
+        let mut out = Vec::new();
+        while let Some(p) = queue.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            out.push(p);
+            if let Some(e) = self.cache.get(&p) {
+                queue.extend(e.deps.iter().copied());
+            }
+        }
+        out.sort();
+        Some(out)
+    }
+
+    /// The recorded lineage set `S_(u,v)` (direct dependencies only).
+    pub fn lineage(&self, u: VertexId, v: VertexId) -> Option<&[PairKey]> {
+        self.cache
+            .get(&(u, v))
+            .filter(|e| e.valid)
+            .map(|e| e.deps.as_slice())
+    }
+
+    /// Top-k selection for a `G_D` vertex (exposed for schema matching).
+    pub fn select_d(&mut self, u: VertexId) -> Rc<Vec<(VertexId, Path)>> {
+        if self.options.use_ecache {
+            if let Some(s) = self.sel_d.get(&u) {
+                self.stats.ecache_hits += 1;
+                return Rc::clone(s);
+            }
+        }
+        let s = Rc::new(
+            self.params
+                .ranker
+                .select(self.gd, u, self.params.thresholds.k),
+        );
+        if self.options.use_ecache {
+            self.sel_d.insert(u, Rc::clone(&s));
+        }
+        s
+    }
+
+    /// Top-k selection for a `G` vertex (exposed for schema matching).
+    pub fn select_g(&mut self, v: VertexId) -> Rc<Vec<(VertexId, Path)>> {
+        if self.options.use_ecache {
+            if let Some(s) = self.sel_g.get(&v) {
+                self.stats.ecache_hits += 1;
+                return Rc::clone(s);
+            }
+        }
+        let s = Rc::new(
+            self.params
+                .ranker
+                .select(self.g, v, self.params.thresholds.k),
+        );
+        if self.options.use_ecache {
+            self.sel_g.insert(v, Rc::clone(&s));
+        }
+        s
+    }
+
+    /// `M_ρ` on two raw edge-label sequences (memoised). Used by schema
+    /// matching to score path prefixes (appendix D).
+    pub fn mrho_seq(&mut self, seq1: &[her_graph::LabelId], seq2: &[her_graph::LabelId]) -> f32 {
+        self.scores.mrho(self.params, self.interner, seq1, seq2)
+    }
+
+    /// Invalidates memoised scores and verdicts — required after model
+    /// fine-tuning changes the parameter functions.
+    pub fn invalidate(&mut self) {
+        self.scores.invalidate();
+        self.cache.clear();
+        self.rdeps.clear();
+        self.sel_d.clear();
+        self.sel_g.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // The algorithm of Fig. 4.
+    // ------------------------------------------------------------------
+
+    fn para_match(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.stats.calls += 1;
+        let Params { thresholds, .. } = self.params;
+        let (sigma, delta) = (thresholds.sigma, thresholds.delta);
+
+        // --- Initial stage (lines 1-11) ---
+        let hv = self.hv_pair(u, v);
+        if hv < sigma {
+            self.set_verdict(u, v, false, Vec::new());
+            return false;
+        }
+        if self.gd.is_leaf(u) {
+            self.set_verdict(u, v, true, Vec::new());
+            return true;
+        }
+        // Parallel fragments: v's out-edges live on another worker — assume
+        // the pair valid (PPSim) and let the owner verify it (§VI-B).
+        if let Some(border) = &self.border {
+            if border.contains(&v) {
+                self.set_verdict(u, v, true, Vec::new());
+                self.new_assumptions.push((u, v));
+                return true;
+            }
+        }
+        // Optimistic assumption enabling cyclic interdependence (appendix C).
+        self.cache.insert(
+            (u, v),
+            CacheEntry {
+                valid: true,
+                deps: Vec::new(),
+            },
+        );
+
+        let su = self.select_d(u);
+        let sv = self.select_g(v);
+
+        // Line 11: candidate lists per selected descendant u', sorted by
+        // descending h_ρ of the witness paths.
+        let mut lists: Vec<Vec<Cand>> = Vec::with_capacity(su.len());
+        for (_, pu) in su.iter() {
+            let mut l: Vec<Cand> = Vec::new();
+            for (vp, pv) in sv.iter() {
+                let lu = self.gd.label(pu.end());
+                let lv = self.g.label(*vp);
+                if self.scores.hv(self.params, self.interner, lu, lv) >= sigma {
+                    let hrho = self.scores.hrho(self.params, self.interner, pu, pv);
+                    l.push(Cand { v: *vp, hrho });
+                }
+            }
+            if self.options.sorted_lists {
+                l.sort_by(|a, b| b.hrho.total_cmp(&a.hrho).then_with(|| a.v.cmp(&b.v)));
+            }
+            lists.push(l);
+        }
+
+        // --- Matching stage (lines 12-27) ---
+        // Line 12: the best achievable aggregate score.
+        let mut max_sco: f32 = lists
+            .iter()
+            .map(|l| l.first().map(|c| c.hrho).unwrap_or(0.0))
+            .sum();
+        if self.options.early_termination && max_sco < delta {
+            self.stats.early_terminations += 1;
+            self.set_verdict(u, v, false, Vec::new());
+            return false;
+        }
+
+        let mut sum = 0.0f32;
+        let mut w: Vec<(PairKey, f32)> = Vec::new();
+        let mut used: FxHashSet<VertexId> = FxHashSet::default();
+
+        'outer: for (ui, l) in lists.iter().enumerate() {
+            let u_desc = su[ui].0;
+            for (ci, cand) in l.iter().enumerate() {
+                // Partial injective mapping: each v' matches at most one u'.
+                let skip = used.contains(&cand.v);
+                let matched = if skip {
+                    false
+                } else {
+                    let key = (u_desc, cand.v);
+                    if let Some(e) = self.cache.get(&key) {
+                        self.stats.cache_hits += 1;
+                        e.valid
+                    } else {
+                        self.para_match(u_desc, cand.v)
+                    }
+                };
+                if matched {
+                    sum += cand.hrho;
+                    w.push(((u_desc, cand.v), cand.hrho));
+                    used.insert(cand.v);
+                    if sum >= delta {
+                        // Recursion below us may have invalidated an earlier
+                        // optimistic dependency; prune stale entries before
+                        // concluding (keeps the witness sound).
+                        self.prune_stale(&mut w, &mut used, &mut sum);
+                        if sum >= delta {
+                            let deps: Vec<PairKey> = w.iter().map(|(p, _)| *p).collect();
+                            self.set_verdict(u, v, true, deps);
+                            return true;
+                        }
+                    }
+                    break; // next u'
+                }
+                // Line 25: replace this candidate's contribution by the next
+                // still-available one.
+                if self.options.early_termination {
+                    let next = l[ci + 1..]
+                        .iter()
+                        .find(|c| !used.contains(&c.v))
+                        .map(|c| c.hrho)
+                        .unwrap_or(0.0);
+                    max_sco = max_sco - cand.hrho + next;
+                    if max_sco < delta {
+                        self.stats.early_terminations += 1;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+
+        // --- Cleanup stage (lines 28-32) ---
+        self.set_verdict(u, v, false, Vec::new());
+        self.cleanup(u, v);
+        false
+    }
+
+    /// Removes pairs from `w` whose cache verdict has flipped to false.
+    fn prune_stale(
+        &self,
+        w: &mut Vec<(PairKey, f32)>,
+        used: &mut FxHashSet<VertexId>,
+        sum: &mut f32,
+    ) {
+        w.retain(|(p, h)| {
+            let ok = self.cache.get(p).map(|e| e.valid).unwrap_or(false);
+            if !ok {
+                *sum -= h;
+                used.remove(&p.1);
+            }
+            ok
+        });
+    }
+
+    /// Installs a verdict, maintaining the reverse-dependency index.
+    fn set_verdict(&mut self, u: VertexId, v: VertexId, valid: bool, deps: Vec<PairKey>) {
+        // Unregister any previous deps of this pair.
+        if let Some(old) = self.cache.get(&(u, v)) {
+            let old_deps = old.deps.clone();
+            for d in old_deps {
+                if let Some(r) = self.rdeps.get_mut(&d) {
+                    r.retain(|p| *p != (u, v));
+                }
+            }
+        }
+        for d in &deps {
+            self.rdeps.entry(*d).or_default().push((u, v));
+        }
+        self.cache.insert((u, v), CacheEntry { valid, deps });
+    }
+
+    /// Re-runs `ParaMatch` on every recorded pair that depended on the
+    /// freshly-invalidated `(u, v)` (Fig. 4 lines 29-31).
+    fn cleanup(&mut self, u: VertexId, v: VertexId) {
+        let dependents = match self.rdeps.remove(&(u, v)) {
+            Some(d) => d,
+            None => return,
+        };
+        for (up, vp) in dependents {
+            let needs_recheck = self
+                .cache
+                .get(&(up, vp))
+                .map(|e| e.valid && e.deps.contains(&(u, v)))
+                .unwrap_or(false);
+            if needs_recheck {
+                self.stats.cleanups += 1;
+                // Unset and recompute.
+                self.set_verdict(up, vp, false, Vec::new());
+                self.cache.remove(&(up, vp));
+                self.para_match(up, vp);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Params, Thresholds};
+    use her_graph::GraphBuilder;
+
+    /// Builds a tiny `G_D` ("tuple" r with two attributes) and a `G`
+    /// (entity with the same values under different predicates) over one
+    /// interner. Returns (gd, g, interner, u_root, v_root, v_decoy).
+    fn fixture() -> (Graph, Graph, Interner, VertexId, VertexId, VertexId) {
+        let mut b = GraphBuilder::new();
+        // G_D part
+        let u_root = b.add_vertex("item");
+        let u_color = b.add_vertex("white");
+        let u_mat = b.add_vertex("phylon foam");
+        b.add_edge(u_root, u_color, "color");
+        b.add_edge(u_root, u_mat, "material");
+        let (gd, interner) = b.build();
+
+        let mut b2 = GraphBuilder::with_interner(interner);
+        let v_root = b2.add_vertex("item");
+        let v_color = b2.add_vertex("white");
+        let v_mat = b2.add_vertex("phylon foam");
+        b2.add_edge(v_root, v_color, "color");
+        b2.add_edge(v_root, v_mat, "material");
+        let v_decoy = b2.add_vertex("item");
+        let v_red = b2.add_vertex("red");
+        let v_leather = b2.add_vertex("leather");
+        b2.add_edge(v_decoy, v_red, "color");
+        b2.add_edge(v_decoy, v_leather, "material");
+        let (g, interner) = b2.build();
+        (gd, g, interner, u_root, v_root, v_decoy)
+    }
+
+    fn params(sigma: f32, delta: f32, k: usize) -> Params {
+        Params::untrained(64, 7).with_thresholds(Thresholds::new(sigma, delta, k))
+    }
+
+    #[test]
+    fn identical_structures_match() {
+        let (gd, g, interner, u, v, _) = fixture();
+        // Identical predicates: untrained M_ρ gives each pair some score s; with
+        // δ=0 the aggregate always passes, so matching hinges on h_v.
+        let p = params(0.9, 0.0, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(m.is_match(u, v));
+    }
+
+    #[test]
+    fn label_mismatch_rejected_immediately() {
+        let (gd, g, interner, u, _, _) = fixture();
+        let p = params(0.9, 0.0, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        // "white" attribute vertex vs "item" root: labels differ.
+        let u_attr = gd.children(u)[0];
+        assert!(!m.is_match(u_attr, VertexId(0)));
+        assert_eq!(m.cached(u_attr, VertexId(0)), Some(false));
+    }
+
+    #[test]
+    fn decoy_with_different_values_rejected() {
+        let (gd, g, interner, u, _, decoy) = fixture();
+        // δ > 0 forces at least one descendant pair to match; the decoy's
+        // values (red/leather) fail the σ check against white/phylon foam.
+        let p = params(0.9, 0.2, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(!m.is_match(u, decoy));
+    }
+
+    #[test]
+    fn leaves_match_on_label_alone() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let p = params(0.9, 5.0, 5); // impossible δ, irrelevant for leaves
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        let u_color = gd.children(u)[0];
+        let v_color = g.children(v)[0];
+        assert!(m.is_match(u_color, v_color));
+    }
+
+    #[test]
+    fn witness_contains_root_and_lineage() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(m.is_match(u, v));
+        let w = m.witness(u, v).unwrap();
+        assert!(w.contains(&(u, v)));
+        assert!(w.len() >= 2, "expected lineage in witness: {w:?}");
+        // Every pair in the witness is itself cached valid.
+        assert!(w.iter().all(|&(a, b)| m.cached(a, b) == Some(true)));
+    }
+
+    #[test]
+    fn no_witness_for_non_match() {
+        let (gd, g, interner, u, _, decoy) = fixture();
+        let p = params(0.9, 0.2, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(!m.is_match(u, decoy));
+        assert!(m.witness(u, decoy).is_none());
+    }
+
+    #[test]
+    fn cache_hit_on_repeat_query() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(m.is_match(u, v));
+        let calls_before = m.stats().calls;
+        assert!(m.is_match(u, v));
+        assert_eq!(m.stats().calls, calls_before, "second query must be cached");
+        assert!(m.stats().cache_hits > 0);
+    }
+
+    #[test]
+    fn early_termination_counted_for_impossible_delta() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let p = params(0.9, 100.0, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(!m.is_match(u, v));
+        assert!(m.stats().early_terminations > 0);
+    }
+
+    #[test]
+    fn options_do_not_change_verdicts() {
+        let (gd, g, interner, u, v, decoy) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let all = MatcherOptions::default();
+        let none = MatcherOptions {
+            early_termination: false,
+            use_ecache: false,
+            sorted_lists: false,
+        };
+        for opts in [all, none] {
+            let mut m = Matcher::with_options(&gd, &g, &interner, &p, opts);
+            assert!(m.is_match(u, v), "opts {opts:?}");
+            assert!(!m.is_match(u, decoy), "opts {opts:?}");
+        }
+    }
+
+    /// Appendix C's cyclic scenario: u→u1→u2→u1 (cycle) with matching
+    /// labels in G, where a third pair fails and forces cleanup.
+    #[test]
+    fn interdependent_cycle_with_cleanup() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex("a");
+        let u1 = b.add_vertex("b");
+        let u2 = b.add_vertex("c");
+        let u3 = b.add_vertex("poison");
+        b.add_edge(u, u1, "e");
+        b.add_edge(u1, u2, "e");
+        b.add_edge(u2, u1, "e");
+        b.add_edge(u1, u3, "f");
+        let (gd, i) = b.build();
+        let mut b2 = GraphBuilder::with_interner(i);
+        let v = b2.add_vertex("a");
+        let v1 = b2.add_vertex("b");
+        let v2 = b2.add_vertex("c");
+        let v3 = b2.add_vertex("different");
+        b2.add_edge(v, v1, "e");
+        b2.add_edge(v1, v2, "e");
+        b2.add_edge(v2, v1, "e");
+        b2.add_edge(v1, v3, "f");
+        let (g, interner) = b2.build();
+
+        // δ small enough that one matching descendant suffices; the poison
+        // vertex mismatch must not break the cycle pairs.
+        let p = params(0.95, 0.05, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(m.is_match(u, v));
+        assert_eq!(m.cached(u1, v1), Some(true));
+        assert_eq!(m.cached(u2, v2), Some(true));
+        // The poison pair never became a match (it is either filtered out
+        // at candidate-list construction or cached false).
+        assert_ne!(m.cached(u3, v3), Some(true));
+    }
+
+    /// When δ forces *both* descendants of u1 to match, the poison pair's
+    /// failure must propagate: the cycle pairs and the root all become
+    /// invalid via the cleanup stage.
+    #[test]
+    fn cleanup_propagates_invalidation() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex("a");
+        let u1 = b.add_vertex("b");
+        let u3 = b.add_vertex("poison");
+        b.add_edge(u, u1, "e");
+        b.add_edge(u, u3, "f");
+        let (gd, i) = b.build();
+        let mut b2 = GraphBuilder::with_interner(i);
+        let v = b2.add_vertex("a");
+        let v1 = b2.add_vertex("b");
+        let v3 = b2.add_vertex("different");
+        b2.add_edge(v, v1, "e");
+        b2.add_edge(v, v3, "f");
+        let (g, interner) = b2.build();
+
+        // Untrained M_ρ: all pairwise hρ ≈ same value s. Choose δ between s
+        // and 2s so both descendants are needed — impossible since poison
+        // fails — by probing with δ=0 first.
+        let probe = params(0.95, 0.0, 5);
+        let mut pm = Matcher::new(&gd, &g, &interner, &probe);
+        assert!(pm.is_match(u, v));
+        // h_ρ of the (b,b) witness pair:
+        let s = {
+            use her_graph::Path;
+            let pu = Path::new(vec![u, u1], vec![gd.edge_label(u, u1).unwrap()]);
+            let pv = Path::new(vec![v, v1], vec![g.edge_label(v, v1).unwrap()]);
+            let mut sc = crate::scores::ScoreCache::new();
+            sc.hrho(&probe, &interner, &pu, &pv)
+        };
+        let p = params(0.95, s * 1.5, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(!m.is_match(u, v), "needing both descendants must fail");
+        assert_eq!(m.cached(u, v), Some(false));
+    }
+}

@@ -1,0 +1,176 @@
+//! Schema matches `Γ(u_t, v_g)` (appendix D).
+//!
+//! Beyond entity matches, HER deduces *which path in `G` encodes which
+//! attribute of the tuple*: for each pair `(u', v')` in the lineage set of a
+//! matched `(u_t, v_g)`, the first edge `e` of the `G_D`-side witness path
+//! names an attribute `A`; its match is the prefix `ρ_e` of the `G`-side
+//! witness path maximising `M_ρ(L(e), L(ρ_e))`. This is what makes HER's
+//! matches *explainable*.
+
+use crate::paramatch::Matcher;
+use her_graph::{LabelId, Path, VertexId};
+
+/// One deduced attribute-to-path correspondence.
+#[derive(Clone, Debug)]
+pub struct SchemaMatch {
+    /// The attribute (edge label of the first `G_D` edge).
+    pub attr: LabelId,
+    /// The `G_D` descendant witnessing the attribute value.
+    pub u_desc: VertexId,
+    /// The matched `G` descendant.
+    pub v_desc: VertexId,
+    /// The prefix of the `G`-side path that encodes the attribute.
+    pub path: Path,
+    /// `M_ρ` score of `(attr, path)`.
+    pub score: f32,
+}
+
+/// Computes `Γ(u_t, v_g)` from the recorded lineage of a cached match.
+/// Returns `None` when `(u_t, v_g)` is not a (cached) match.
+pub fn schema_matches(
+    matcher: &mut Matcher<'_>,
+    u_t: VertexId,
+    v_g: VertexId,
+) -> Option<Vec<SchemaMatch>> {
+    if !matcher.is_match(u_t, v_g) {
+        return None;
+    }
+    // Recompute the *full* pairwise matching over the top-k selections
+    // (the recorded lineage set stops accumulating once δ is reached; for
+    // explanation we want every attribute's correspondence, as in the
+    // appendix-D example where W covers all four brand attributes).
+    let su = matcher.select_d(u_t);
+    let sv = matcher.select_g(v_g);
+    let mut used: her_graph::hash::FxHashSet<VertexId> = Default::default();
+    let mut out = Vec::with_capacity(su.len());
+    for (u_desc, pu) in su.iter() {
+        if pu.is_empty() {
+            continue;
+        }
+        // Best available counterpart by h_ρ among matching descendants.
+        let mut best_pair: Option<(VertexId, &Path, f32)> = None;
+        for (v_desc, pv) in sv.iter() {
+            if pv.is_empty() || used.contains(v_desc) {
+                continue;
+            }
+            if !matcher.is_match(*u_desc, *v_desc) {
+                continue;
+            }
+            let denom = (pu.len() + pv.len()) as f32;
+            let hrho = matcher.mrho_seq(pu.edge_labels(), pv.edge_labels()) / denom;
+            if best_pair.is_none_or(|(_, _, b)| hrho > b) {
+                best_pair = Some((*v_desc, pv, hrho));
+            }
+        }
+        let Some((v_desc, pv, _)) = best_pair else {
+            continue;
+        };
+        used.insert(v_desc);
+        let attr = pu.edge_labels()[0];
+        // Best-scoring prefix of the G-side path.
+        let mut best: Option<(Path, f32)> = None;
+        for prefix in pv.prefixes() {
+            let s = matcher.mrho_seq(&[attr], prefix.edge_labels());
+            if best.as_ref().is_none_or(|(_, bs)| s > *bs) {
+                best = Some((prefix, s));
+            }
+        }
+        if let Some((path, score)) = best {
+            out.push(SchemaMatch {
+                attr,
+                u_desc: *u_desc,
+                v_desc,
+                path,
+                score,
+            });
+        }
+    }
+    out.sort_by_key(|m| (m.attr, m.u_desc, m.v_desc));
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Params, Thresholds};
+    use her_graph::{Graph, GraphBuilder, Interner};
+
+    /// G_D: item --color--> white, --brand--> b(--country--> Germany).
+    /// G: item --hasColor--> white, --brandName--> b(--brandCountry--> Germany).
+    fn fixture() -> (Graph, Graph, Interner, VertexId, VertexId) {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex("item");
+        let uc = b.add_vertex("white");
+        b.add_edge(u, uc, "color");
+        let (gd, i) = b.build();
+        let mut b2 = GraphBuilder::with_interner(i);
+        let v = b2.add_vertex("item");
+        let vc = b2.add_vertex("white");
+        b2.add_edge(v, vc, "hasColor");
+        let (g, interner) = b2.build();
+        (gd, g, interner, u, v)
+    }
+
+    #[test]
+    fn schema_match_for_simple_attribute() {
+        let (gd, g, i, u, v) = fixture();
+        let p = Params::untrained(64, 13).with_thresholds(Thresholds::new(0.9, 0.01, 5));
+        let mut m = Matcher::new(&gd, &g, &i, &p);
+        assert!(m.is_match(u, v));
+        let gamma = schema_matches(&mut m, u, v).unwrap();
+        assert_eq!(gamma.len(), 1);
+        let sm = &gamma[0];
+        assert_eq!(i.resolve(sm.attr), "color");
+        assert_eq!(sm.path.len(), 1);
+        assert_eq!(i.resolve(sm.path.edge_labels()[0]), "hasColor");
+        assert!((0.0..=1.0).contains(&sm.score));
+    }
+
+    #[test]
+    fn none_for_non_match() {
+        let (gd, g, i, u, _) = fixture();
+        let p = Params::untrained(64, 13).with_thresholds(Thresholds::new(0.9, 0.01, 5));
+        let mut m = Matcher::new(&gd, &g, &i, &p);
+        // The attribute vertex "white" vs root "item": not a match.
+        let u_attr = gd.children(u)[0];
+        assert!(!m.is_match(u_attr, VertexId(0)));
+        assert!(schema_matches(&mut m, u_attr, VertexId(0)).is_none());
+    }
+
+    #[test]
+    fn multi_hop_attribute_maps_to_prefix() {
+        // G_D: brand --made_in--> "Can Duoc, VN"
+        // G: brand --factorySite--> site --isIn--> region --isIn--> "Can Duoc, VN"
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex("brand");
+        let um = b.add_vertex("Can Duoc, VN");
+        b.add_edge(u, um, "made_in");
+        let (gd, i) = b.build();
+        let mut b2 = GraphBuilder::with_interner(i);
+        let v = b2.add_vertex("brand");
+        let site = b2.add_vertex("Factory 3");
+        let region = b2.add_vertex("Long An");
+        let target = b2.add_vertex("Can Duoc, VN");
+        b2.add_edge(v, site, "factorySite");
+        b2.add_edge(site, region, "isIn");
+        b2.add_edge(region, target, "isIn");
+        let (g, interner) = b2.build();
+
+        // Train the LM so h_r follows the 3-hop path on the G side.
+        let fs = interner.get("factorySite").unwrap();
+        let isin = interner.get("isIn").unwrap();
+        let mut lm = her_embed::PathLm::new();
+        lm.train(&vec![vec![fs, isin, isin]; 4]);
+        let mut p = Params::untrained(64, 17).with_thresholds(Thresholds::new(0.9, 0.0, 5));
+        p.ranker = her_embed::TopKRanker::new(lm);
+
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(m.is_match(u, v));
+        let gamma = schema_matches(&mut m, u, v).unwrap();
+        assert_eq!(gamma.len(), 1);
+        assert_eq!(interner.resolve(gamma[0].attr), "made_in");
+        // The matched path is some non-empty prefix of (factorySite, isIn, isIn).
+        assert!(!gamma[0].path.is_empty() && gamma[0].path.len() <= 3);
+        assert_eq!(interner.resolve(gamma[0].path.edge_labels()[0]), "factorySite");
+    }
+}

@@ -1,0 +1,217 @@
+//! Memoised evaluation of the score functions `h_v` and `h_ρ`.
+//!
+//! §IV notes that once training completes, scoring is linear-time; the
+//! matching algorithms then call `h_v` and `h_ρ` millions of times on a
+//! much smaller set of *distinct* label pairs and path label sequences.
+//! [`ScoreCache`] memoises per interned label / label-sequence so the hot
+//! loop of `ParaMatch` performs hash lookups instead of re-embedding.
+
+use crate::params::Params;
+use her_graph::hash::FxHashMap;
+use her_graph::{Interner, LabelId, Path};
+use std::sync::Arc as Rc;
+
+/// Memo tables for `h_v` and `h_ρ` over one shared interner.
+pub struct ScoreCache {
+    label_vecs: FxHashMap<LabelId, Rc<Vec<f32>>>,
+    hv_memo: FxHashMap<(LabelId, LabelId), f32>,
+    path_vecs: FxHashMap<Vec<LabelId>, Rc<Vec<f32>>>,
+    mrho_memo: FxHashMap<(Vec<LabelId>, Vec<LabelId>), f32>,
+}
+
+impl ScoreCache {
+    /// Creates empty memo tables.
+    pub fn new() -> Self {
+        Self {
+            label_vecs: FxHashMap::default(),
+            hv_memo: FxHashMap::default(),
+            path_vecs: FxHashMap::default(),
+            mrho_memo: FxHashMap::default(),
+        }
+    }
+
+    /// `h_v(u, v) = M_v(L(u), L(v))` on interned labels.
+    ///
+    /// When the sentence model carries fine-tuned pair overrides this
+    /// routes through the string interface so feedback is honoured;
+    /// otherwise it uses cached embeddings.
+    pub fn hv(&mut self, params: &Params, interner: &Interner, l1: LabelId, l2: LabelId) -> f32 {
+        if l1 == l2 {
+            // Identical interned labels always score 1 unless overridden.
+            if params.mv.override_count() == 0 {
+                return 1.0;
+            }
+        }
+        let key = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        if let Some(&s) = self.hv_memo.get(&key) {
+            return s;
+        }
+        let s = if params.mv.override_count() > 0 {
+            params
+                .mv
+                .similarity(interner.resolve(l1), interner.resolve(l2))
+        } else {
+            let v1 = self.label_vec(params, interner, l1);
+            let v2 = self.label_vec(params, interner, l2);
+            params.mv.similarity_from_vecs(&v1, &v2)
+        };
+        self.hv_memo.insert(key, s);
+        s
+    }
+
+    fn label_vec(&mut self, params: &Params, interner: &Interner, l: LabelId) -> Rc<Vec<f32>> {
+        if let Some(v) = self.label_vecs.get(&l) {
+            return Rc::clone(v);
+        }
+        let v = Rc::new(params.mv.embed(interner.resolve(l)));
+        self.label_vecs.insert(l, Rc::clone(&v));
+        v
+    }
+
+    fn path_vec(&mut self, params: &Params, interner: &Interner, seq: &[LabelId]) -> Rc<Vec<f32>> {
+        if let Some(v) = self.path_vecs.get(seq) {
+            return Rc::clone(v);
+        }
+        let labels: Vec<&str> = seq.iter().map(|&l| interner.resolve(l)).collect();
+        let v = Rc::new(params.mrho.encode(&labels));
+        self.path_vecs.insert(seq.to_vec(), Rc::clone(&v));
+        v
+    }
+
+    /// `M_ρ` on two edge-label sequences (undivided).
+    pub fn mrho(
+        &mut self,
+        params: &Params,
+        interner: &Interner,
+        seq1: &[LabelId],
+        seq2: &[LabelId],
+    ) -> f32 {
+        let key = (seq1.to_vec(), seq2.to_vec());
+        if let Some(&s) = self.mrho_memo.get(&key) {
+            return s;
+        }
+        let v1 = self.path_vec(params, interner, seq1);
+        let v2 = self.path_vec(params, interner, seq2);
+        let s = params.mrho.score_vecs(&v1, &v2);
+        self.mrho_memo.insert(key, s);
+        s
+    }
+
+    /// `h_ρ(ρ1, ρ2) = M_ρ(L(ρ1), L(ρ2)) / (len(ρ1) + len(ρ2))` (Eq. 2).
+    pub fn hrho(
+        &mut self,
+        params: &Params,
+        interner: &Interner,
+        rho1: &Path,
+        rho2: &Path,
+    ) -> f32 {
+        let denom = (rho1.len() + rho2.len()) as f32;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.mrho(params, interner, rho1.edge_labels(), rho2.edge_labels()) / denom
+    }
+
+    /// Drops everything — required after model fine-tuning.
+    pub fn invalidate(&mut self) {
+        self.label_vecs.clear();
+        self.hv_memo.clear();
+        self.path_vecs.clear();
+        self.mrho_memo.clear();
+    }
+
+    /// Number of memoised `h_v` entries (introspection).
+    pub fn hv_entries(&self) -> usize {
+        self.hv_memo.len()
+    }
+}
+
+impl Default for ScoreCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_graph::{GraphBuilder, VertexId};
+
+    fn setup() -> (Params, Interner) {
+        let mut b = GraphBuilder::new();
+        for s in ["Germany", "germany", "phylon foam", "made_in", "factorySite", "isIn"] {
+            b.intern(s);
+        }
+        let (_, interner) = b.build();
+        (Params::untrained(32, 5), interner)
+    }
+
+    #[test]
+    fn hv_identical_labels_score_one() {
+        let (p, i) = setup();
+        let mut c = ScoreCache::new();
+        let l = i.get("Germany").unwrap();
+        assert_eq!(c.hv(&p, &i, l, l), 1.0);
+    }
+
+    #[test]
+    fn hv_is_symmetric_and_memoised() {
+        let (p, i) = setup();
+        let mut c = ScoreCache::new();
+        let a = i.get("Germany").unwrap();
+        let b = i.get("phylon foam").unwrap();
+        let s1 = c.hv(&p, &i, a, b);
+        let s2 = c.hv(&p, &i, b, a);
+        assert_eq!(s1, s2);
+        assert_eq!(c.hv_entries(), 1);
+    }
+
+    #[test]
+    fn hv_respects_fine_tuned_overrides() {
+        let (mut p, i) = setup();
+        let mut c = ScoreCache::new();
+        let a = i.get("made_in").unwrap();
+        let b = i.get("factorySite").unwrap();
+        let before = c.hv(&p, &i, a, b);
+        for _ in 0..6 {
+            p.mv.fine_tune_pair("made_in", "factorySite", 1.0);
+        }
+        c.invalidate();
+        let after = c.hv(&p, &i, a, b);
+        assert!(after > before);
+        assert!(after > 0.9);
+    }
+
+    #[test]
+    fn hrho_divides_by_total_length() {
+        let (p, i) = setup();
+        let mut c = ScoreCache::new();
+        let made_in = i.get("made_in").unwrap();
+        let p1 = Path::new(vec![VertexId(0), VertexId(1)], vec![made_in]);
+        let p2 = Path::new(vec![VertexId(2), VertexId(3)], vec![made_in]);
+        let undivided = c.mrho(&p, &i, &[made_in], &[made_in]);
+        let h = c.hrho(&p, &i, &p1, &p2);
+        assert!((h - undivided / 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hrho_trivial_paths_score_zero() {
+        let (p, i) = setup();
+        let mut c = ScoreCache::new();
+        let t1 = Path::trivial(VertexId(0));
+        let t2 = Path::trivial(VertexId(1));
+        assert_eq!(c.hrho(&p, &i, &t1, &t2), 0.0);
+    }
+
+    #[test]
+    fn invalidate_clears_memos() {
+        let (p, i) = setup();
+        let mut c = ScoreCache::new();
+        let a = i.get("Germany").unwrap();
+        let b = i.get("isIn").unwrap();
+        let _ = c.hv(&p, &i, a, b);
+        assert_eq!(c.hv_entries(), 1);
+        c.invalidate();
+        assert_eq!(c.hv_entries(), 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Incremental / pay-as-you-go linking (§VI-B Remark 2, and the paper's
+//! VPair motivation of real-time analysis à la pay-as-you-go ER \[88\]).
+//!
+//! [`StreamLinker`] processes tuples as they arrive, keeping one persistent
+//! [`Matcher`] so verdicts, `ecache` selections and score memos amortise
+//! across the stream — exactly the property `IncPSim`'s incremental
+//! refinement exploits. External invalidations (e.g. a vertex retracted
+//! from `G`) propagate through the cleanup machinery.
+
+use crate::her::Her;
+use crate::paramatch::Matcher;
+use crate::vpair;
+use her_graph::VertexId;
+use her_rdb::TupleRef;
+use std::collections::BTreeSet;
+
+/// Per-tuple processing statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Recursive `ParaMatch` calls this tuple required.
+    pub calls: u64,
+    /// Verdicts served from the shared cache.
+    pub cache_hits: u64,
+}
+
+/// A streaming linker over a fixed `(D, G)` pair.
+pub struct StreamLinker<'a> {
+    her: &'a Her,
+    matcher: Matcher<'a>,
+    matches: BTreeSet<(TupleRef, VertexId)>,
+    processed: Vec<TupleRef>,
+}
+
+impl<'a> StreamLinker<'a> {
+    /// Creates an empty session over a trained system.
+    pub fn new(her: &'a Her) -> Self {
+        Self {
+            her,
+            matcher: her.matcher(),
+            matches: BTreeSet::new(),
+            processed: Vec::new(),
+        }
+    }
+
+    /// Links one arriving tuple (VPair with shared caches); returns its
+    /// matches and the incremental work it cost.
+    pub fn process(&mut self, t: TupleRef) -> (Vec<VertexId>, StreamStats) {
+        let before = self.matcher.stats();
+        let u = self.her.cg.vertex_of(t);
+        let found = vpair::vpair(&mut self.matcher, u, self.her.index.as_ref());
+        for &v in &found {
+            self.matches.insert((t, v));
+        }
+        self.processed.push(t);
+        let after = self.matcher.stats();
+        (
+            found,
+            StreamStats {
+                calls: after.calls - before.calls,
+                cache_hits: after.cache_hits - before.cache_hits,
+            },
+        )
+    }
+
+    /// Applies an external update: vertex `v` of `G` is no longer a valid
+    /// match target (e.g. retracted or re-labeled). All cached verdicts
+    /// involving `v` flip to false and their dependents are re-checked
+    /// (IncPSim's cleanup); accumulated matches pointing at `v` are
+    /// withdrawn.
+    pub fn retract_vertex(&mut self, v: VertexId) {
+        let affected: Vec<(TupleRef, VertexId)> = self
+            .matches
+            .iter()
+            .filter(|&&(_, mv)| mv == v)
+            .copied()
+            .collect();
+        for (t, mv) in affected {
+            self.matches.remove(&(t, mv));
+            let u = self.her.cg.vertex_of(t);
+            self.matcher.apply_invalidation(u, mv);
+        }
+    }
+
+    /// All matches accumulated so far, sorted.
+    pub fn matches(&self) -> Vec<(TupleRef, VertexId)> {
+        self.matches.iter().copied().collect()
+    }
+
+    /// Tuples processed so far, in arrival order.
+    pub fn processed(&self) -> &[TupleRef] {
+        &self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::her::HerConfig;
+    use crate::learn::SearchSpace;
+    use crate::params::Thresholds;
+    use her_graph::GraphBuilder;
+    use her_rdb::schema::{RelationSchema, Schema};
+    use her_rdb::{Database, Tuple, Value};
+
+    fn system() -> (Her, Vec<TupleRef>, Vec<VertexId>) {
+        let mut s = Schema::new();
+        let item = s.add_relation(RelationSchema::new("item", &["name", "color"]));
+        let mut db = Database::new(s);
+        let mut b = GraphBuilder::new();
+        let mut ts = Vec::new();
+        let mut vs = Vec::new();
+        for i in 0..8 {
+            let name = format!("entity {i}");
+            let color = ["white", "red"][i % 2];
+            ts.push(db.insert(
+                item,
+                Tuple::new(vec![Value::Str(name.clone()), Value::str(color)]),
+            ));
+            let v = b.add_vertex("item");
+            let n = b.add_vertex(&name);
+            let c = b.add_vertex(color);
+            b.add_edge(v, n, "label");
+            b.add_edge(v, c, "hasColor");
+            vs.push(v);
+        }
+        let (g, interner) = b.build();
+        let cfg = HerConfig {
+            // δ high enough that colour alone (≈0.45) cannot carry a match;
+            // name + colour (≈0.95) can.
+            thresholds: Thresholds::new(0.9, 0.7, 5),
+            use_blocking: false,
+            ..Default::default()
+        };
+        let mut her = Her::build(&db, g, interner, &cfg);
+        let ann: Vec<_> = ts.iter().zip(&vs).map(|(&t, &v)| (t, v, true)).collect();
+        her.learn(
+            &ann,
+            &ann,
+            &cfg,
+            &SearchSpace {
+                trials: 0,
+                ..Default::default()
+            },
+        );
+        (her, ts, vs)
+    }
+
+    #[test]
+    fn stream_accumulates_matches() {
+        let (her, ts, vs) = system();
+        let mut linker = StreamLinker::new(&her);
+        for (i, &t) in ts.iter().enumerate() {
+            let (found, _) = linker.process(t);
+            assert!(found.contains(&vs[i]), "tuple {i} missed its entity");
+        }
+        assert_eq!(linker.matches().len(), ts.len());
+        assert_eq!(linker.processed().len(), ts.len());
+    }
+
+    #[test]
+    fn caches_amortise_across_the_stream() {
+        let (her, ts, _) = system();
+        let mut linker = StreamLinker::new(&her);
+        let (_, first) = linker.process(ts[0]);
+        // Re-processing the same tuple is nearly free.
+        let (_, again) = linker.process(ts[0]);
+        assert!(
+            again.calls < first.calls.max(1),
+            "second pass should reuse verdicts: {first:?} vs {again:?}"
+        );
+    }
+
+    #[test]
+    fn retraction_withdraws_matches() {
+        let (her, ts, vs) = system();
+        let mut linker = StreamLinker::new(&her);
+        let (found, _) = linker.process(ts[0]);
+        assert!(found.contains(&vs[0]));
+        linker.retract_vertex(vs[0]);
+        assert!(linker.matches().iter().all(|&(_, v)| v != vs[0]));
+        // The invalidation is sticky: reprocessing does not resurrect it.
+        let (found, _) = linker.process(ts[0]);
+        assert!(!found.contains(&vs[0]));
+    }
+}

@@ -1,0 +1,176 @@
+//! The linked-dataset container: a database, a graph, and annotations.
+
+use her_graph::{Graph, Interner, VertexId};
+use her_rdb::{Database, TupleRef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A generated evaluation dataset: relational side, graph side, ground
+/// truth, and the semantic lexicon that stands in for pre-trained model
+/// knowledge.
+pub struct LinkedDataset {
+    /// Dataset name as reported in the paper's tables.
+    pub name: String,
+    /// The relational database `D`.
+    pub db: Database,
+    /// The data graph `G`.
+    pub g: Graph,
+    /// `G`'s interner (hand this to `Her::build` so `G_D` shares it).
+    pub interner: Interner,
+    /// Annotated true matches (tuple ↔ entity-root vertex).
+    pub ground_truth: Vec<(TupleRef, VertexId)>,
+    /// Annotated non-matches (verified mismatched pairs).
+    pub negatives: Vec<(TupleRef, VertexId)>,
+    /// Value-synonym lexicon (pre-trained semantic knowledge for `M_v`).
+    pub synonyms: Vec<(String, String)>,
+    /// Cell-level annotations for the CEA task (2T only):
+    /// `(tuple, column, correct vertex)`.
+    pub cell_truth: Vec<(TupleRef, usize, VertexId)>,
+}
+
+impl LinkedDataset {
+    /// All annotations as `(tuple, vertex, is_match)` triples — positives
+    /// then negatives (the paper's 1:1 match/non-match ratio holds by
+    /// construction in the generators).
+    pub fn annotations(&self) -> Vec<(TupleRef, VertexId, bool)> {
+        self.ground_truth
+            .iter()
+            .map(|&(t, v)| (t, v, true))
+            .chain(self.negatives.iter().map(|&(t, v)| (t, v, false)))
+            .collect()
+    }
+
+    /// Shuffles annotations and splits them `train/validation/test` by the
+    /// paper's 50% / 15% / 35% protocol (§VII "Evaluation").
+    #[allow(clippy::type_complexity)]
+    pub fn split(
+        &self,
+        seed: u64,
+    ) -> (
+        Vec<(TupleRef, VertexId, bool)>,
+        Vec<(TupleRef, VertexId, bool)>,
+        Vec<(TupleRef, VertexId, bool)>,
+    ) {
+        self.split_with(0.5, 0.15, seed)
+    }
+
+    /// Splits with explicit train/validation fractions (rest = test).
+    #[allow(clippy::type_complexity)]
+    pub fn split_with(
+        &self,
+        train_frac: f64,
+        val_frac: f64,
+        seed: u64,
+    ) -> (
+        Vec<(TupleRef, VertexId, bool)>,
+        Vec<(TupleRef, VertexId, bool)>,
+        Vec<(TupleRef, VertexId, bool)>,
+    ) {
+        assert!(train_frac + val_frac <= 1.0);
+        let mut ann = self.annotations();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..ann.len()).rev() {
+            ann.swap(i, rng.gen_range(0..=i));
+        }
+        let n = ann.len();
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_val = (n as f64 * val_frac).round() as usize;
+        let val_end = (n_train + n_val).min(n);
+        let test = ann.split_off(val_end);
+        let val = ann.split_off(n_train.min(ann.len()));
+        (ann, val, test)
+    }
+
+    /// One-line size summary in the style of Table IV.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: |D|={} tuples, |V|={}, |E|={}, {} matches, {} non-matches",
+            self.name,
+            self.db.tuple_count(),
+            self.g.vertex_count(),
+            self.g.edge_count(),
+            self.ground_truth.len(),
+            self.negatives.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_rdb::schema::{RelationSchema, Schema};
+    use her_rdb::{Tuple, Value};
+
+    fn tiny() -> LinkedDataset {
+        let mut s = Schema::new();
+        let r = s.add_relation(RelationSchema::new("r", &["a"]));
+        let mut db = Database::new(s);
+        let mut gt = Vec::new();
+        let mut neg = Vec::new();
+        let mut b = her_graph::GraphBuilder::new();
+        for i in 0..20 {
+            let t = db.insert(r, Tuple::new(vec![Value::Str(format!("v{i}"))]));
+            let v = b.add_vertex(&format!("v{i}"));
+            gt.push((t, v));
+            if i > 0 {
+                neg.push((t, VertexId(0)));
+            }
+        }
+        let (g, interner) = b.build();
+        LinkedDataset {
+            name: "tiny".into(),
+            db,
+            g,
+            interner,
+            ground_truth: gt,
+            negatives: neg,
+            synonyms: vec![],
+            cell_truth: vec![],
+        }
+    }
+
+    #[test]
+    fn annotations_combine_both_classes() {
+        let d = tiny();
+        let ann = d.annotations();
+        assert_eq!(ann.len(), 39);
+        assert_eq!(ann.iter().filter(|(_, _, m)| *m).count(), 20);
+    }
+
+    #[test]
+    fn split_fractions_respected() {
+        let d = tiny();
+        let (train, val, test) = d.split(7);
+        assert_eq!(train.len() + val.len() + test.len(), 39);
+        assert_eq!(train.len(), 20); // 50% of 39 rounded
+        assert_eq!(val.len(), 6); // 15%
+    }
+
+    #[test]
+    fn split_is_deterministic_and_seed_sensitive() {
+        let d = tiny();
+        assert_eq!(d.split(7).0, d.split(7).0);
+        assert_ne!(d.split(7).0, d.split(8).0);
+    }
+
+    #[test]
+    fn split_partitions_disjointly() {
+        let d = tiny();
+        let (train, val, test) = d.split(3);
+        let all: std::collections::BTreeSet<_> = train
+            .iter()
+            .chain(&val)
+            .chain(&test)
+            .map(|&(t, v, _)| (t, v))
+            .collect();
+        assert_eq!(all.len(), 39, "overlap between splits");
+    }
+
+    #[test]
+    fn summary_mentions_counts() {
+        let d = tiny();
+        let s = d.summary();
+        assert!(s.contains("20 matches"));
+        assert!(s.contains("tiny"));
+    }
+}

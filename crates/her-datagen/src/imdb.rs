@@ -1,0 +1,100 @@
+//! IMDB emulator: movie data in relational and graph form (§VII).
+//!
+//! Structural profile: movies with titles (export variants), years, genre
+//! under a synonym predicate, and director sub-entities whose birthplace is
+//! path-encoded — deep information that 2-hop flattening truncates.
+
+use crate::dataset::LinkedDataset;
+use crate::spec::{generate as gen, AttrSpec, DomainSpec, Pool, SubEntitySpec};
+
+/// Default-size IMDB emulation.
+pub fn generate() -> LinkedDataset {
+    generate_sized(260, 0x696d_6462)
+}
+
+/// IMDB emulation with `n` matched movies.
+pub fn generate_sized(n: usize, seed: u64) -> LinkedDataset {
+    gen(&DomainSpec {
+        name: "IMDB",
+        entity_type: "movie",
+        g_type_label: "movie",
+        n_entities: n,
+        attrs: vec![
+            AttrSpec::direct("title", "primaryTitle", Pool::AmbiguousName)
+                .identifying()
+                .variants(0.20)
+                .synonyms(0.35),
+            AttrSpec::direct("year", "releaseYear", Pool::Years(1960, 2022)),
+            AttrSpec::direct("genre", "hasGenre", Pool::Genres),
+            AttrSpec::path(
+                "filmed_in",
+                &["shotAt", "inDistrict", "isIn"],
+                Pool::EntityName,
+                Pool::Countries,
+            )
+            .synonyms(0.3)
+            .missing(0.06),
+        ],
+        sub_entities: vec![SubEntitySpec {
+            attr: "director",
+            relation: "director",
+            g_pred: "directedBy",
+            type_label: "director",
+            pool_size: 30,
+            attrs: vec![
+                AttrSpec::direct("dname", "fullName", Pool::PersonName).identifying(),
+                AttrSpec::path(
+                    "born_in",
+                    &["bornIn", "cityOf"],
+                    Pool::Cities,
+                    Pool::Countries,
+                ),
+                AttrSpec::direct("nationality", "citizenOf", Pool::Countries).synonyms(0.3),
+                AttrSpec::direct("debut", "firstFilmIn", Pool::Years(1950, 2000)),
+            ],
+        }],
+        distractors: n / 2,
+        hard_decoys: n / 20,
+        deep_decoys: n / 6,
+        extra_synonyms: vec![],
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape() {
+        let d = generate();
+        assert_eq!(d.name, "IMDB");
+        assert_eq!(d.ground_truth.len(), 260);
+        assert!(d.db.dangling_refs().is_empty());
+    }
+
+    #[test]
+    fn director_birthplace_is_three_hops_from_movie() {
+        // movie --directedBy--> director --bornIn--> city --cityOf--> country:
+        // beyond the 2-hop flattening window of the relational baselines.
+        let d = generate();
+        let directed_by = d.interner.get("directedBy").unwrap();
+        let born_in = d.interner.get("bornIn").unwrap();
+        let city_of = d.interner.get("cityOf").unwrap();
+        let mut found = false;
+        'outer: for &(_, movie) in &d.ground_truth {
+            for (l1, dir) in d.g.out_edges(movie) {
+                if l1 != directed_by {
+                    continue;
+                }
+                for (l2, city) in d.g.out_edges(dir) {
+                    if l2 == born_in && d.g.out_edges(city).any(|(l3, _)| l3 == city_of) {
+                        found = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        assert!(found, "expected 3-hop director birthplace chains");
+    }
+}

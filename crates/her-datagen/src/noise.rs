@@ -1,0 +1,133 @@
+//! Noise operators: value variants and misspellings.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A mild surface variant of a value: casing flip, token reorder, or a
+/// cosmetic suffix — the kind of divergence between supplier catalogues and
+//  a knowledge graph that string-overlap models still bridge.
+pub fn mild_variant(value: &str, rng: &mut StdRng) -> String {
+    match rng.gen_range(0..3) {
+        0 => {
+            // Title-case flip.
+            let mut out = String::with_capacity(value.len());
+            for (i, w) in value.split_whitespace().enumerate() {
+                if i > 0 {
+                    out.push(' ');
+                }
+                let mut chars = w.chars();
+                match chars.next() {
+                    Some(c) if c.is_lowercase() => {
+                        out.extend(c.to_uppercase());
+                        out.push_str(chars.as_str());
+                    }
+                    Some(c) => {
+                        out.extend(c.to_lowercase());
+                        out.push_str(chars.as_str());
+                    }
+                    None => {}
+                }
+            }
+            out
+        }
+        1 => {
+            // Token rotation: "dame basketball shoes" → "basketball shoes dame".
+            let toks: Vec<&str> = value.split_whitespace().collect();
+            if toks.len() < 2 {
+                format!("{value} edition")
+            } else {
+                let mut rot = toks[1..].to_vec();
+                rot.push(toks[0]);
+                rot.join(" ")
+            }
+        }
+        _ => format!("{value} series"),
+    }
+}
+
+/// A typo'd version of a value (the 2T "Tough Tables" noise): 1–`edits`
+/// random character deletions/substitutions/transpositions.
+pub fn misspell(value: &str, edits: usize, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = value.chars().collect();
+    let n_edits = rng.gen_range(1..=edits.max(1));
+    for _ in 0..n_edits {
+        if chars.len() < 2 {
+            break;
+        }
+        let i = rng.gen_range(0..chars.len());
+        match rng.gen_range(0..3) {
+            0 => {
+                chars.remove(i);
+            }
+            1 => {
+                let c = (b'a' + rng.gen_range(0..26u8)) as char;
+                chars[i] = c;
+            }
+            _ => {
+                if i + 1 < chars.len() {
+                    chars.swap(i, i + 1);
+                }
+            }
+        }
+    }
+    chars.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn mild_variant_shares_tokens() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let v = mild_variant("dame basketball shoes", &mut r);
+            let lower = v.to_lowercase();
+            // At least two of the original tokens survive.
+            let survivors = ["dame", "basketball", "shoes"]
+                .iter()
+                .filter(|t| lower.contains(*t))
+                .count();
+            assert!(survivors >= 2, "variant {v:?} too destructive");
+        }
+    }
+
+    #[test]
+    fn mild_variant_differs_usually() {
+        let mut r = rng();
+        let distinct = (0..20)
+            .filter(|_| mild_variant("red canyon 5", &mut r) != "red canyon 5")
+            .count();
+        assert!(distinct >= 15);
+    }
+
+    #[test]
+    fn misspell_changes_string() {
+        let mut r = rng();
+        for _ in 0..20 {
+            let m = misspell("Germany", 2, &mut r);
+            assert_ne!(m, "Germany");
+            // Stays recognisably close.
+            assert!(m.len() >= 5 && m.len() <= 8, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn misspell_single_char_safe() {
+        let mut r = rng();
+        let m = misspell("a", 3, &mut r);
+        assert_eq!(m, "a");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut r1 = rng();
+        let mut r2 = rng();
+        assert_eq!(misspell("Berlin", 2, &mut r1), misspell("Berlin", 2, &mut r2));
+    }
+}

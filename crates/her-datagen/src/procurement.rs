@@ -1,0 +1,213 @@
+//! The paper's running example (Example 1): the procurement order of
+//! Tables I and II against the e-commerce knowledge graph of Fig. 1.
+//!
+//! Hand-built rather than generated so the exact vertices of the paper's
+//! figures exist: tuple `t1` ("Dame Basketball Shoes D7") matches vertex
+//! `v1`, its `made_in` attribute maps to the path
+//! `(factorySite, isIn, isIn)`, and the red "Mid-cut" shoes are a decoy.
+
+use crate::dataset::LinkedDataset;
+use her_graph::GraphBuilder;
+use her_rdb::schema::{RelationSchema, Schema};
+use her_rdb::{Database, Tuple, Value};
+
+/// Generates the procurement running example.
+pub fn generate() -> LinkedDataset {
+    // --- Relational side: Tables I and II ---
+    let mut s = Schema::new();
+    let brand_rel = s.add_relation(RelationSchema::new(
+        "brand",
+        &["name", "country", "manufacturer", "made_in"],
+    ));
+    let item_rel = s.add_relation(
+        RelationSchema::new(
+            "item",
+            &["item", "material", "color", "type", "brand", "qty"],
+        )
+        .with_foreign_key("brand", brand_rel),
+    );
+    let mut db = Database::new(s);
+    let b1 = db.insert(
+        brand_rel,
+        Tuple::new(vec![
+            Value::str("Addidas Originals"),
+            Value::str("Germany"),
+            Value::str("Addidas AG"),
+            Value::str("Can Duoc, VN"),
+        ]),
+    );
+    let b2 = db.insert(
+        brand_rel,
+        Tuple::new(vec![
+            Value::str("Addidas"),
+            Value::str("Germany"),
+            Value::str("Addidas AG"),
+            Value::str("Long An, Vietnam"),
+        ]),
+    );
+    let t1 = db.insert(
+        item_rel,
+        Tuple::new(vec![
+            Value::str("Dame Basketball Shoes D7"),
+            Value::str("phylon foam"),
+            Value::str("white"),
+            Value::str("Dame 7"),
+            Value::Ref(b1),
+            Value::Int(500),
+        ]),
+    );
+    let t2 = db.insert(
+        item_rel,
+        Tuple::new(vec![
+            Value::str("Lightweight Running Shoes"),
+            Value::str("synthetic"),
+            Value::str("red"),
+            Value::str("DD8505"),
+            Value::Ref(b1),
+            Value::Int(100),
+        ]),
+    );
+    let t3 = db.insert(
+        item_rel,
+        Tuple::new(vec![
+            Value::str("Mid-cut Basketball Shoes Ultra Comfortable"),
+            Value::str("phylon foam"),
+            Value::str("red"),
+            Value::Null,
+            Value::Ref(b2),
+            Value::Int(200),
+        ]),
+    );
+
+    // --- Graph side: Fig. 1 (labels as in the paper where given) ---
+    let mut b = GraphBuilder::new();
+    let v1 = b.add_vertex("item"); // the matching item entity
+    let v0 = b.add_vertex("Dame Basketball Shoes");
+    let v8 = b.add_vertex("Dame Gen 7");
+    let v6 = b.add_vertex("phylon foam");
+    let v12 = b.add_vertex("white");
+    let v10 = b.add_vertex("brand"); // the brand entity
+    let v20 = b.add_vertex("Germany");
+    let v17 = b.add_vertex("Addidas AG");
+    let v18 = b.add_vertex("Addidas Originals");
+    let v15 = b.add_vertex("Factory 1"); // factorySite
+    let v19 = b.add_vertex("Can Duoc");
+    let v9 = b.add_vertex("Can Duoc, VN");
+    b.add_edge(v1, v0, "names");
+    b.add_edge(v1, v8, "typeNo");
+    b.add_edge(v1, v6, "soleMadeBy");
+    b.add_edge(v1, v12, "hasColor");
+    b.add_edge(v1, v10, "brandName");
+    b.add_edge(v10, v20, "brandCountry");
+    b.add_edge(v10, v17, "belongsTo");
+    b.add_edge(v10, v18, "type");
+    b.add_edge(v10, v15, "factorySite");
+    b.add_edge(v15, v19, "isIn");
+    b.add_edge(v19, v9, "isIn");
+
+    // v3: the red "Mid-cut" decoy item (matches t3, not t1).
+    let v3 = b.add_vertex("item");
+    let v3n = b.add_vertex("Mid-cut Basketball Shoes");
+    let v3c = b.add_vertex("red");
+    let v3m = b.add_vertex("phylon foam");
+    let v30 = b.add_vertex("brand"); // the second brand entity
+    let v30n = b.add_vertex("Addidas");
+    let v30c = b.add_vertex("Germany");
+    let v30s = b.add_vertex("Factory 2");
+    let v30r = b.add_vertex("Long An");
+    let v30x = b.add_vertex("Long An, Vietnam");
+    b.add_edge(v3, v3n, "names");
+    b.add_edge(v3, v3c, "hasColor");
+    b.add_edge(v3, v3m, "soleMadeBy");
+    b.add_edge(v3, v30, "brandName");
+    b.add_edge(v30, v30n, "type");
+    b.add_edge(v30, v30c, "brandCountry");
+    b.add_edge(v30, v30s, "factorySite");
+    b.add_edge(v30s, v30r, "isIn");
+    b.add_edge(v30r, v30x, "isIn");
+
+    // v21: a running-shoes entity matching t2.
+    let v21 = b.add_vertex("item");
+    let v21n = b.add_vertex("Lightweight Running Shoes");
+    let v21c = b.add_vertex("red");
+    let v21m = b.add_vertex("synthetic");
+    let v21t = b.add_vertex("DD8505");
+    b.add_edge(v21, v21n, "names");
+    b.add_edge(v21, v21c, "hasColor");
+    b.add_edge(v21, v21m, "soleMadeBy");
+    b.add_edge(v21, v21t, "typeNo");
+    b.add_edge(v21, v10, "brandName");
+
+    // v24: an unrelated accessory.
+    let v24 = b.add_vertex("accessory");
+    let v24n = b.add_vertex("Canvas Tote Bag");
+    b.add_edge(v24, v24n, "names");
+
+    let (g, interner) = b.build();
+    LinkedDataset {
+        name: "procurement".to_owned(),
+        db,
+        g,
+        interner,
+        ground_truth: vec![(t1, v1), (t2, v21), (t3, v3), (b1, v10), (b2, v30)],
+        negatives: vec![
+            (t1, v3),
+            (t1, v21),
+            (t3, v1),
+            (t2, v1),
+            (t1, v24),
+        ],
+        synonyms: vec![
+            ("Vietnam".to_owned(), "VN".to_owned()),
+            ("Germany".to_owned(), "DE".to_owned()),
+        ],
+        cell_truth: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_the_paper() {
+        let d = generate();
+        assert_eq!(d.db.tuple_count(), 5); // t1-t3 + b1, b2
+        assert_eq!(d.ground_truth.len(), 5);
+        assert!(d.db.dangling_refs().is_empty());
+    }
+
+    #[test]
+    fn made_in_is_a_three_hop_path() {
+        let d = generate();
+        let (_, v10) = d.ground_truth[3]; // b1's graph brand
+        let fs = d.interner.get("factorySite").unwrap();
+        let isin = d.interner.get("isIn").unwrap();
+        let site = d
+            .g
+            .out_edges(v10)
+            .find(|(l, _)| *l == fs)
+            .map(|(_, t)| t)
+            .unwrap();
+        let region = d
+            .g
+            .out_edges(site)
+            .find(|(l, _)| *l == isin)
+            .map(|(_, t)| t)
+            .unwrap();
+        let country = d
+            .g
+            .out_edges(region)
+            .find(|(l, _)| *l == isin)
+            .map(|(_, t)| t)
+            .unwrap();
+        assert_eq!(d.interner.resolve(d.g.label(country)), "Can Duoc, VN");
+    }
+
+    #[test]
+    fn decoy_negative_present() {
+        let d = generate();
+        let (t1, _) = d.ground_truth[0];
+        assert!(d.negatives.iter().any(|&(t, _)| t == t1));
+    }
+}

@@ -1,0 +1,142 @@
+//! Tough Tables (2T) emulator: the SemTab 2020 CEA benchmark (§VII).
+//!
+//! 2T's defining difficulty is *heavy misspelling*: cell values are typo'd
+//! versions of entity labels, so systems without spell checkers (LexMa,
+//! HER) cannot even generate the right candidates, while MTab/bbw/LP
+//! correct the strings first. Rows are `(place, country)` pairs; the graph
+//! holds the place entities with `inCountry` edges plus same-name decoys in
+//! other countries (2T's signature ambiguity).
+
+use crate::dataset::LinkedDataset;
+use crate::noise::misspell;
+use crate::vocab;
+use her_graph::GraphBuilder;
+use her_rdb::schema::{RelationSchema, Schema};
+use her_rdb::{Database, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default-size 2T emulation.
+pub fn generate() -> LinkedDataset {
+    generate_sized(160, 0x3254_7468)
+}
+
+/// 2T emulation with `n` rows.
+pub fn generate_sized(n: usize, seed: u64) -> LinkedDataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut s = Schema::new();
+    let row_rel = s.add_relation(RelationSchema::new("row", &["place", "country"]));
+    let mut db = Database::new(s);
+    let mut b = GraphBuilder::new();
+
+    let mut ground_truth = Vec::new();
+    let mut cell_truth = Vec::new();
+    let mut negatives = Vec::new();
+    let mut place_vertices = Vec::new();
+
+    // One vertex per country (knowledge graphs deduplicate entities).
+    let mut country_vertex: std::collections::BTreeMap<&str, her_graph::VertexId> =
+        Default::default();
+    for c in vocab::COUNTRIES {
+        country_vertex.insert(c, b.add_vertex(c));
+    }
+
+    for i in 0..n {
+        let place = format!(
+            "{} {}",
+            vocab::CITIES[i % vocab::CITIES.len()],
+            vocab::NOUNS[(i / vocab::CITIES.len()) % vocab::NOUNS.len()]
+        );
+        let country = vocab::COUNTRIES[i % vocab::COUNTRIES.len()];
+        // Graph: the true entity…
+        let v_place = b.add_vertex(&place);
+        let v_country = country_vertex[country];
+        b.add_edge(v_place, v_country, "inCountry");
+        // …and a same-name decoy in a different country (2T ambiguity).
+        let v_decoy = b.add_vertex(&place);
+        let other = vocab::COUNTRIES[(i + 3) % vocab::COUNTRIES.len()];
+        let v_other = country_vertex[other];
+        b.add_edge(v_decoy, v_other, "inCountry");
+
+        // Row: heavily misspelled cells (the 2T noise).
+        let noisy_place = if rng.gen::<f64>() < 0.8 {
+            misspell(&place, 2, &mut rng)
+        } else {
+            place.clone()
+        };
+        let noisy_country = if rng.gen::<f64>() < 0.5 {
+            misspell(country, 2, &mut rng)
+        } else {
+            country.to_owned()
+        };
+        let t = db.insert(
+            row_rel,
+            Tuple::new(vec![Value::Str(noisy_place), Value::Str(noisy_country)]),
+        );
+        ground_truth.push((t, v_place));
+        cell_truth.push((t, 0, v_place));
+        cell_truth.push((t, 1, v_country));
+        negatives.push((t, v_decoy));
+        place_vertices.push(v_place);
+    }
+
+    let (g, interner) = b.build();
+    LinkedDataset {
+        name: "2T".to_owned(),
+        db,
+        g,
+        interner,
+        ground_truth,
+        negatives,
+        synonyms: vocab::COUNTRY_SYNONYMS
+            .iter()
+            .map(|(a, b)| ((*a).to_owned(), (*b).to_owned()))
+            .collect(),
+        cell_truth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape() {
+        let d = generate();
+        assert_eq!(d.ground_truth.len(), 160);
+        assert_eq!(d.cell_truth.len(), 320); // two cells per row
+        assert_eq!(d.negatives.len(), 160);
+    }
+
+    #[test]
+    fn cells_are_mostly_misspelled() {
+        let d = generate();
+        let mut noisy = 0;
+        for &(t, col, v) in &d.cell_truth {
+            let cell = d.db.tuple(t).get(col).as_label().unwrap();
+            let label = d.interner.resolve(d.g.label(v));
+            if cell != label {
+                noisy += 1;
+            }
+        }
+        // ~80% of place cells + ~50% of country cells.
+        assert!(noisy > 150, "only {noisy} noisy cells");
+    }
+
+    #[test]
+    fn decoys_share_labels_with_truth() {
+        let d = generate();
+        for (k, &(_, v_true)) in d.ground_truth.iter().enumerate() {
+            let v_decoy = d.negatives[k].1;
+            assert_eq!(d.g.label(v_true), d.g.label(v_decoy), "row {k}");
+            assert_ne!(v_true, v_decoy);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_sized(30, 5);
+        let b = generate_sized(30, 5);
+        assert_eq!(a.cell_truth, b.cell_truth);
+    }
+}

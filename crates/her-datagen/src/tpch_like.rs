@@ -1,0 +1,223 @@
+//! TPC-H-style scalable synthetic generator (§VII).
+//!
+//! The paper builds a graph generator on the TPC-H data generator,
+//! controlling `|V|` (to 36M) and `|E|` (to 305M) with 1.1M vertex-label
+//! words, 100 edge labels and 70-column databases. This module reproduces
+//! the *controls* at laptop scale: part entities with a configurable column
+//! count, supplier sub-entities, a bounded synthetic vocabulary, and filler
+//! vertices/edges to hit target graph sizes for the scalability sweeps
+//! (Figs. 6(h)–6(o)).
+
+use crate::dataset::LinkedDataset;
+use crate::vocab::synthetic_word;
+use her_graph::GraphBuilder;
+use her_rdb::schema::{RelationSchema, Schema};
+use her_rdb::{Database, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Scale controls for the synthetic generator.
+#[derive(Clone, Debug)]
+pub struct ScaleConfig {
+    /// Number of part entities (each is one tuple + one graph entity).
+    pub n_parts: usize,
+    /// Number of supplier sub-entities shared across parts.
+    pub n_suppliers: usize,
+    /// Attribute columns per part (the paper uses 70).
+    pub columns: usize,
+    /// Vertex-label vocabulary size.
+    pub vocab: usize,
+    /// Extra filler vertices appended to `G` (degree-2 chains), letting
+    /// `|V|`/`|E|` scale independently of the entity count.
+    pub filler_vertices: usize,
+    /// Graph-only part entities (no relational counterpart): they enter
+    /// candidate sets, so they scale the *matching* work with `|G|`.
+    pub distractor_parts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            n_parts: 400,
+            n_suppliers: 40,
+            columns: 12,
+            vocab: 50_000,
+            filler_vertices: 0,
+            distractor_parts: 0,
+            seed: 0x7063_6833,
+        }
+    }
+}
+
+/// Generates the synthetic dataset at the given scale.
+pub fn generate(cfg: &ScaleConfig) -> LinkedDataset {
+    assert!(cfg.columns >= 2, "need at least a name column and one more");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // --- Schema: part(c0..c{columns-1}, supplier) + supplier(name, region).
+    let mut s = Schema::new();
+    let sup_rel = s.add_relation(RelationSchema::new("supplier", &["sname", "region"]));
+    let col_names: Vec<String> = (0..cfg.columns).map(|i| format!("c{i}")).collect();
+    let mut names: Vec<&str> = col_names.iter().map(|c| c.as_str()).collect();
+    names.push("supplier");
+    let part_rel = s.add_relation(
+        RelationSchema::new("part", &names).with_foreign_key("supplier", sup_rel),
+    );
+    let mut db = Database::new(s);
+    let mut b = GraphBuilder::new();
+
+    // --- Suppliers ---
+    let mut sup_refs = Vec::with_capacity(cfg.n_suppliers);
+    let mut sup_vs = Vec::with_capacity(cfg.n_suppliers);
+    for j in 0..cfg.n_suppliers {
+        let name = format!("supplier {}", synthetic_word(j * 31 % cfg.vocab));
+        let region = synthetic_word((j * 73 + 5) % cfg.vocab);
+        let tref = db.insert(
+            sup_rel,
+            Tuple::new(vec![Value::Str(name.clone()), Value::Str(region.clone())]),
+        );
+        let v = b.add_vertex("supplier");
+        let nv = b.add_vertex(&name);
+        let rv = b.add_vertex(&region);
+        b.add_edge(v, nv, "supplierName");
+        b.add_edge(v, rv, "inRegion");
+        sup_refs.push(tref);
+        sup_vs.push(v);
+    }
+
+    // --- Parts ---
+    let mut ground_truth = Vec::with_capacity(cfg.n_parts);
+    let mut negatives = Vec::with_capacity(cfg.n_parts);
+    let mut part_vs = Vec::with_capacity(cfg.n_parts);
+    // Edge-label vocabulary of 100 predicates (paper's setting).
+    let pred = |c: usize| format!("p{}", c % 100);
+    for i in 0..cfg.n_parts {
+        let mut values: Vec<String> = Vec::with_capacity(cfg.columns);
+        // c0 is the identifying name.
+        values.push(format!("part {}", synthetic_word(i % cfg.vocab.max(1)) + &i.to_string()));
+        for _c in 1..cfg.columns {
+            values.push(synthetic_word(rng.gen_range(0..cfg.vocab.max(1))));
+        }
+        let j = rng.gen_range(0..cfg.n_suppliers.max(1));
+        let mut tuple_vals: Vec<Value> =
+            values.iter().map(|v| Value::Str(v.clone())).collect();
+        tuple_vals.push(Value::Ref(sup_refs[j]));
+        let t = db.insert(part_rel, Tuple::new(tuple_vals));
+
+        let v = b.add_vertex("part");
+        for (c, value) in values.iter().enumerate() {
+            let val = b.add_vertex(value);
+            b.add_edge(v, val, &pred(c));
+        }
+        b.add_edge(v, sup_vs[j], "suppliedBy");
+        ground_truth.push((t, v));
+        part_vs.push(v);
+    }
+    // Negatives: cross pairs.
+    for (i, &(t, _)) in ground_truth.iter().enumerate() {
+        let other = (i + 1 + (i % 7)) % cfg.n_parts;
+        if other != i {
+            negatives.push((t, part_vs[other]));
+        }
+    }
+
+    // --- Distractor parts: graph-only entities entering candidate sets ---
+    for d in 0..cfg.distractor_parts {
+        let i = cfg.n_parts + d;
+        let v = b.add_vertex("part");
+        let name = b.add_vertex(&format!(
+            "part {}",
+            synthetic_word(i % cfg.vocab.max(1)) + &i.to_string()
+        ));
+        b.add_edge(v, name, &pred(0));
+        for c in 1..cfg.columns.min(6) {
+            let val = b.add_vertex(&synthetic_word(rng.gen_range(0..cfg.vocab.max(1))));
+            b.add_edge(v, val, &pred(c));
+        }
+        let j = rng.gen_range(0..cfg.n_suppliers.max(1));
+        b.add_edge(v, sup_vs[j], "suppliedBy");
+    }
+
+    // --- Filler: degree-2 chains to scale |V| and |E| independently ---
+    let mut prev: Option<her_graph::VertexId> = None;
+    for f in 0..cfg.filler_vertices {
+        let v = b.add_vertex(&synthetic_word((f * 7 + 13) % cfg.vocab.max(1)));
+        if let Some(p) = prev {
+            b.add_edge(p, v, "fill");
+        }
+        prev = Some(v);
+    }
+
+    let (g, interner) = b.build();
+    LinkedDataset {
+        name: "synthetic".to_owned(),
+        db,
+        g,
+        interner,
+        ground_truth,
+        negatives,
+        synonyms: Vec::new(),
+        cell_truth: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_scale() {
+        let d = generate(&ScaleConfig::default());
+        assert_eq!(d.ground_truth.len(), 400);
+        assert_eq!(d.db.tuple_count(), 440);
+        assert!(d.db.dangling_refs().is_empty());
+    }
+
+    #[test]
+    fn filler_scales_graph_only() {
+        let base = generate(&ScaleConfig::default());
+        let big = generate(&ScaleConfig {
+            filler_vertices: 5000,
+            ..Default::default()
+        });
+        assert_eq!(base.db.tuple_count(), big.db.tuple_count());
+        assert_eq!(big.g.vertex_count(), base.g.vertex_count() + 5000);
+        assert_eq!(big.g.edge_count(), base.g.edge_count() + 4999);
+    }
+
+    #[test]
+    fn columns_control_tuple_arity() {
+        let d = generate(&ScaleConfig {
+            columns: 20,
+            ..Default::default()
+        });
+        let (t, _) = d.ground_truth[0];
+        assert_eq!(d.db.tuple(t).arity(), 21); // 20 columns + FK
+    }
+
+    #[test]
+    fn edge_label_vocabulary_bounded() {
+        let d = generate(&ScaleConfig {
+            columns: 150,
+            n_parts: 10,
+            ..Default::default()
+        });
+        // Predicates wrap at 100 (plus the fixed supplier predicates).
+        let mut labels = std::collections::BTreeSet::new();
+        for (_, l, _) in d.g.edges() {
+            labels.insert(l);
+        }
+        assert!(labels.len() <= 103, "{}", labels.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn too_few_columns_panics() {
+        let _ = generate(&ScaleConfig {
+            columns: 1,
+            ..Default::default()
+        });
+    }
+}

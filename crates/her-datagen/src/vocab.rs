@@ -1,0 +1,232 @@
+//! Deterministic word pools for label generation.
+
+/// Colours (with a synonym partner for some, used as value variants).
+pub const COLORS: &[&str] = &[
+    "white", "red", "blue", "green", "black", "yellow", "orange", "purple",
+    "grey", "brown", "pink", "teal",
+];
+
+/// Materials.
+pub const MATERIALS: &[&str] = &[
+    "phylon foam", "leather", "mesh", "canvas", "rubber", "suede", "nylon",
+    "cotton", "wool", "polyester",
+];
+
+/// Countries, paired with their short forms in [`COUNTRY_SYNONYMS`].
+pub const COUNTRIES: &[&str] = &[
+    "Germany", "Vietnam", "Japan", "Brazil", "Canada", "France", "Italy",
+    "Spain", "Portugal", "Norway", "Kenya", "India",
+];
+
+/// Country long-form ↔ short-form synonym pairs (pre-trained knowledge).
+pub const COUNTRY_SYNONYMS: &[(&str, &str)] = &[
+    ("Germany", "DE"),
+    ("Vietnam", "VN"),
+    ("Japan", "JP"),
+    ("Brazil", "BR"),
+    ("Canada", "CA"),
+    ("France", "FR"),
+    ("Italy", "IT"),
+    ("Spain", "ES"),
+    ("Portugal", "PT"),
+    ("Norway", "NO"),
+    ("Kenya", "KE"),
+    ("India", "IN"),
+];
+
+/// Cities.
+pub const CITIES: &[&str] = &[
+    "Berlin", "Hanoi", "Tokyo", "Sao Paulo", "Toronto", "Paris", "Rome",
+    "Madrid", "Lisbon", "Oslo", "Nairobi", "Mumbai", "Hamburg", "Kyoto",
+    "Lyon", "Milan", "Seville", "Porto", "Bergen", "Pune",
+];
+
+/// First names.
+pub const FIRST_NAMES: &[&str] = &[
+    "Ada", "Boris", "Carmen", "Dmitri", "Elena", "Farid", "Greta", "Hugo",
+    "Ines", "Jonas", "Kira", "Liam", "Mara", "Nils", "Olga", "Pavel",
+    "Quinn", "Rosa", "Sven", "Tara",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Abel", "Brandt", "Costa", "Dorn", "Egger", "Falk", "Garcia", "Hoffman",
+    "Ito", "Jansen", "Klein", "Lorenz", "Meyer", "Novak", "Olsen", "Petrov",
+    "Quist", "Rossi", "Sato", "Tanaka",
+];
+
+/// Generic adjectives for names of things.
+pub const ADJECTIVES: &[&str] = &[
+    "lightweight", "classic", "ultra", "premium", "compact", "deluxe",
+    "vintage", "modern", "rugged", "sleek", "quiet", "rapid",
+];
+
+/// Generic nouns for names of things.
+pub const NOUNS: &[&str] = &[
+    "runner", "trail", "court", "summit", "harbor", "meadow", "canyon",
+    "breeze", "ember", "willow", "falcon", "comet",
+];
+
+/// Movie/production genres.
+pub const GENRES: &[&str] = &[
+    "drama", "comedy", "thriller", "documentary", "animation", "noir",
+    "western", "musical",
+];
+
+/// Occupations.
+pub const OCCUPATIONS: &[&str] = &[
+    "politician", "sprinter", "novelist", "architect", "chemist", "pianist",
+    "economist", "surgeon",
+];
+
+/// Publication venues.
+pub const VENUES: &[&str] = &[
+    "ICDE", "SIGMOD", "VLDB", "KDD", "WWW", "EDBT", "CIKM", "ICDM",
+];
+
+/// Council services (UKGOV-style).
+pub const SERVICES: &[&str] = &[
+    "parking charges", "commercial contracts", "school admissions",
+    "air quality", "tree maintenance", "waste collection",
+    "housing repairs", "street lighting",
+];
+
+/// Synonyms for the name nouns (targets deliberately outside [`NOUNS`]).
+pub const NOUN_SYNONYMS: &[(&str, &str)] = &[
+    ("runner", "jogger"),
+    ("trail", "track"),
+    ("court", "arena"),
+    ("summit", "peak"),
+    ("harbor", "port"),
+    ("meadow", "pasture"),
+    ("canyon", "gorge"),
+    ("breeze", "wind"),
+    ("ember", "spark"),
+    ("willow", "osier"),
+    ("falcon", "hawk"),
+    ("comet", "meteor"),
+];
+
+/// Synonyms for the name adjectives (targets outside [`ADJECTIVES`]).
+pub const ADJ_SYNONYMS: &[(&str, &str)] = &[
+    ("lightweight", "featherweight"),
+    ("classic", "timeless"),
+    ("ultra", "extreme"),
+    ("premium", "select"),
+    ("compact", "small"),
+    ("deluxe", "luxury"),
+    ("vintage", "retro"),
+    ("modern", "contemporary"),
+    ("rugged", "sturdy"),
+    ("sleek", "smooth"),
+    ("quiet", "silent"),
+    ("rapid", "swift"),
+];
+
+/// Replaces name tokens by their lexicon synonyms where one exists;
+/// `None` when no token has a synonym.
+pub fn name_synonym(value: &str) -> Option<String> {
+    let mut changed = false;
+    let out: Vec<String> = value
+        .split_whitespace()
+        .map(|t| {
+            for table in [NOUN_SYNONYMS, ADJ_SYNONYMS] {
+                if let Some((_, s)) = table.iter().find(|(a, _)| *a == t) {
+                    changed = true;
+                    return (*s).to_owned();
+                }
+            }
+            t.to_owned()
+        })
+        .collect();
+    changed.then(|| out.join(" "))
+}
+
+/// An *ambiguous* entity name: adjective + noun with no index, so distinct
+/// entities collide after 144 combinations — the homonym problem real
+/// catalogues and bibliographies have.
+pub fn ambiguous_name(i: usize) -> String {
+    format!(
+        "{} {}",
+        ADJECTIVES[i % ADJECTIVES.len()],
+        NOUNS[(i / ADJECTIVES.len()) % NOUNS.len()]
+    )
+}
+
+/// A compound entity name: deterministic in `i`, unique via the index.
+pub fn entity_name(i: usize) -> String {
+    format!(
+        "{} {} {}",
+        ADJECTIVES[i % ADJECTIVES.len()],
+        NOUNS[(i / ADJECTIVES.len()) % NOUNS.len()],
+        i
+    )
+}
+
+/// A person name: deterministic in `i` (collides intentionally once pools
+/// are exhausted — real data has homonyms).
+pub fn person_name(i: usize) -> String {
+    format!(
+        "{} {}",
+        FIRST_NAMES[i % FIRST_NAMES.len()],
+        LAST_NAMES[(i / FIRST_NAMES.len()) % LAST_NAMES.len()]
+    )
+}
+
+/// Synthetic vocabulary word `i` (stands in for the 1.1M-word pool of the
+/// TPC-H-style generator).
+pub fn synthetic_word(i: usize) -> String {
+    const SYLLABLES: &[&str] = &[
+        "ka", "ro", "mi", "ten", "zu", "bar", "lo", "shi", "van", "der",
+        "pol", "gri", "nax", "tol", "ber", "qui",
+    ];
+    let mut w = String::new();
+    let mut x = i;
+    for _ in 0..3 {
+        w.push_str(SYLLABLES[x % SYLLABLES.len()]);
+        x /= SYLLABLES.len();
+    }
+    if x > 0 {
+        w.push_str(&x.to_string());
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entity_names_unique() {
+        let names: std::collections::BTreeSet<String> = (0..500).map(entity_name).collect();
+        assert_eq!(names.len(), 500);
+    }
+
+    #[test]
+    fn entity_names_deterministic() {
+        assert_eq!(entity_name(7), entity_name(7));
+    }
+
+    #[test]
+    fn person_names_repeat_eventually() {
+        // 20 × 20 distinct combinations, then homonyms appear.
+        assert_eq!(person_name(0), person_name(400));
+        assert_ne!(person_name(0), person_name(1));
+    }
+
+    #[test]
+    fn synonym_pairs_cover_countries() {
+        for c in COUNTRIES {
+            assert!(
+                COUNTRY_SYNONYMS.iter().any(|(long, _)| long == c),
+                "{c} missing a short form"
+            );
+        }
+    }
+
+    #[test]
+    fn synthetic_words_mostly_distinct() {
+        let words: std::collections::BTreeSet<String> = (0..10_000).map(synthetic_word).collect();
+        assert!(words.len() > 4000, "only {} distinct", words.len());
+    }
+}

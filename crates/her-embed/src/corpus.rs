@@ -1,0 +1,160 @@
+//! Corpus and training-data preparation (§IV).
+//!
+//! Two corpora feed the models:
+//!
+//! 1. the **random-walk corpus** `C` of edge-label sequences, which
+//!    pre-trains `M_ρ` ([`walk_corpus`]);
+//! 2. the **max-PRA path set** that trains the ranking LM `M_r`
+//!    ([`lm_training_paths`]): for (a sample of) vertices `v`, every
+//!    reachable descendant `v'` whose label is not a machine code
+//!    contributes the simple path `v → v'` with the highest PRA value.
+
+use crate::pra::pra;
+use crate::tokenize::is_machine_code;
+use her_graph::hash::FxHashMap;
+use her_graph::walk::{random_walks, WalkConfig};
+use her_graph::{traverse, Graph, Interner, LabelId, VertexId};
+
+/// Builds the random-walk corpus of edge-label sequences.
+pub fn walk_corpus(g: &Graph, cfg: &WalkConfig) -> Vec<Vec<LabelId>> {
+    random_walks(g, cfg)
+}
+
+/// Renders an id corpus into string sequences (for models that take text).
+pub fn corpus_to_strings(corpus: &[Vec<LabelId>], interner: &Interner) -> Vec<Vec<String>> {
+    corpus
+        .iter()
+        .map(|seq| seq.iter().map(|&l| interner.resolve(l).to_owned()).collect())
+        .collect()
+}
+
+/// Prepares LM training sequences per §IV "Training": for each vertex in
+/// `sample` (or all vertices when `None`), finds every reachable descendant
+/// with a non-machine-code label, and emits the edge-label sequence of the
+/// max-PRA simple path to it (length ≤ `max_len`).
+pub fn lm_training_paths(
+    g: &Graph,
+    interner: &Interner,
+    sample: Option<&[VertexId]>,
+    max_len: usize,
+) -> Vec<Vec<LabelId>> {
+    let all: Vec<VertexId>;
+    let vertices: &[VertexId] = match sample {
+        Some(s) => s,
+        None => {
+            all = g.vertices().collect();
+            &all
+        }
+    };
+    let mut out = Vec::new();
+    for &v in vertices {
+        // Best (max-PRA) path per reachable descendant.
+        let mut best: FxHashMap<VertexId, (f64, Vec<LabelId>)> = FxHashMap::default();
+        for p in traverse::simple_paths_up_to(g, v, max_len) {
+            let end = p.end();
+            if is_machine_code(interner.resolve(g.label(end))) {
+                continue;
+            }
+            let score = pra(g, &p);
+            let entry = best.entry(end).or_insert((f64::MIN, Vec::new()));
+            if score > entry.0 {
+                *entry = (score, p.edge_labels().to_vec());
+            }
+        }
+        let mut seqs: Vec<(VertexId, Vec<LabelId>)> =
+            best.into_iter().map(|(k, (_, s))| (k, s)).collect();
+        seqs.sort_by_key(|(k, _)| *k); // deterministic output order
+        out.extend(seqs.into_iter().map(|(_, s)| s));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_graph::GraphBuilder;
+
+    fn graph() -> (Graph, Interner, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let item = b.add_vertex("item");
+        let brand = b.add_vertex("Addidas");
+        let site = b.add_vertex("Can Duoc");
+        let url = b.add_vertex("http://example.com/id/93");
+        b.add_edge(item, brand, "brandName");
+        b.add_edge(brand, site, "factorySite");
+        b.add_edge(brand, url, "homepage");
+        let (g, i) = b.build();
+        (g, i, vec![item, brand, site, url])
+    }
+
+    #[test]
+    fn walk_corpus_produces_label_sequences() {
+        let (g, _, _) = graph();
+        let corpus = walk_corpus(&g, &WalkConfig::default());
+        assert!(!corpus.is_empty());
+        assert!(corpus.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn corpus_renders_to_strings() {
+        let (g, i, _) = graph();
+        let corpus = walk_corpus(&g, &WalkConfig::default());
+        let strings = corpus_to_strings(&corpus, &i);
+        assert_eq!(strings.len(), corpus.len());
+        let known = ["brandName", "factorySite", "homepage"];
+        assert!(strings
+            .iter()
+            .flatten()
+            .all(|s| known.contains(&s.as_str())));
+    }
+
+    #[test]
+    fn training_paths_skip_machine_codes() {
+        let (g, i, vs) = graph();
+        let seqs = lm_training_paths(&g, &i, Some(&[vs[0]]), 4);
+        // Reachable from item: brand, site, url — url filtered out.
+        assert_eq!(seqs.len(), 2);
+        let brand_name = i.get("brandName").unwrap();
+        let factory = i.get("factorySite").unwrap();
+        assert!(seqs.contains(&vec![brand_name]));
+        assert!(seqs.contains(&vec![brand_name, factory]));
+    }
+
+    #[test]
+    fn training_paths_pick_max_pra_route() {
+        // Two routes to "end": via quiet (PRA 1/2) and via hub (PRA 1/2 * 1/3).
+        let mut b = GraphBuilder::new();
+        let root = b.add_vertex("root");
+        let quiet = b.add_vertex("quiet");
+        let hub = b.add_vertex("hub");
+        let end = b.add_vertex("end");
+        b.add_edge(root, quiet, "q");
+        b.add_edge(root, hub, "h");
+        b.add_edge(quiet, end, "qe");
+        b.add_edge(hub, end, "he");
+        // extra hub fan-out to lower its PRA
+        for i in 0..2 {
+            let x = b.add_vertex(&format!("x{i}"));
+            b.add_edge(hub, x, "spoke");
+        }
+        let (g, i) = b.build();
+        let seqs = lm_training_paths(&g, &i, Some(&[root]), 3);
+        let q = i.get("q").unwrap();
+        let qe = i.get("qe").unwrap();
+        assert!(
+            seqs.contains(&vec![q, qe]),
+            "expected the quiet route to end, got {seqs:?}"
+        );
+        let h = i.get("h").unwrap();
+        let he = i.get("he").unwrap();
+        assert!(!seqs.contains(&vec![h, he]), "hub route should lose: {seqs:?}");
+    }
+
+    #[test]
+    fn none_sample_covers_all_vertices() {
+        let (g, i, _) = graph();
+        let all = lm_training_paths(&g, &i, None, 4);
+        let sampled = lm_training_paths(&g, &i, Some(&[VertexId(0)]), 4);
+        assert!(all.len() >= sampled.len());
+    }
+}

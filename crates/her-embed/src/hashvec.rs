@@ -1,0 +1,155 @@
+//! Hashed character-n-gram token embeddings.
+//!
+//! Substitutes the pre-trained word vectors (GloVe) and the wordpiece layer
+//! of the paper's BERT models: each token is embedded as the normalised sum
+//! of signed hash projections of its character n-grams (fastText-style).
+//! Tokens sharing spelling structure ("country" / "brandcountry" after
+//! tokenisation, "colour" / "color") land close together; unrelated tokens
+//! are near-orthogonal in expectation. The dimension is configurable, which
+//! powers the Table VII embedding-dimension ablation.
+
+use crate::vec_ops::normalize;
+
+/// Deterministic token embedder.
+#[derive(Clone, Debug)]
+pub struct HashEmbedder {
+    dim: usize,
+    min_gram: usize,
+    max_gram: usize,
+}
+
+impl HashEmbedder {
+    /// Creates an embedder producing `dim`-dimensional vectors from
+    /// character 3–5-grams (with word-boundary markers, as in fastText).
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0);
+        Self {
+            dim,
+            min_gram: 3,
+            max_gram: 5,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds one token (assumed already lowercased by the tokenizer).
+    pub fn embed_token(&self, token: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        let bounded: Vec<char> = std::iter::once('<')
+            .chain(token.chars())
+            .chain(std::iter::once('>'))
+            .collect();
+        // Whole-token feature keeps exact matches strongly aligned.
+        self.bump(&mut v, &bounded, 0, bounded.len());
+        for n in self.min_gram..=self.max_gram {
+            if bounded.len() < n {
+                break;
+            }
+            for start in 0..=(bounded.len() - n) {
+                self.bump(&mut v, &bounded, start, n);
+            }
+        }
+        normalize(&mut v);
+        v
+    }
+
+    fn bump(&self, v: &mut [f32], chars: &[char], start: usize, n: usize) {
+        let h = fnv1a(&chars[start..start + n]);
+        let idx = (h % self.dim as u64) as usize;
+        // A second independent bit decides the sign, giving mean-zero
+        // projections (signed feature hashing).
+        let sign = if (h >> 32) & 1 == 0 { 1.0 } else { -1.0 };
+        v[idx] += sign;
+    }
+}
+
+fn fnv1a(chars: &[char]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in chars {
+        let mut buf = [0u8; 4];
+        for b in c.encode_utf8(&mut buf).bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec_ops::cosine;
+
+    #[test]
+    fn deterministic() {
+        let e = HashEmbedder::new(64);
+        assert_eq!(e.embed_token("country"), e.embed_token("country"));
+    }
+
+    #[test]
+    fn unit_length() {
+        let e = HashEmbedder::new(64);
+        let v = e.embed_token("germany");
+        let n: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn similar_spellings_are_closer_than_unrelated() {
+        let e = HashEmbedder::new(128);
+        let color = e.embed_token("color");
+        let colour = e.embed_token("colour");
+        let qty = e.embed_token("qty");
+        assert!(cosine(&color, &colour) > cosine(&color, &qty));
+        assert!(cosine(&color, &colour) > 0.4);
+    }
+
+    #[test]
+    fn identical_tokens_have_similarity_one() {
+        let e = HashEmbedder::new(32);
+        let a = e.embed_token("material");
+        assert!((cosine(&a, &a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn short_tokens_work() {
+        let e = HashEmbedder::new(32);
+        let v = e.embed_token("a");
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn higher_dim_separates_better_on_average() {
+        // With more dimensions, hash collisions between unrelated tokens drop,
+        // so |cos| between unrelated tokens shrinks on average. This is the
+        // mechanism behind the Table VII ablation.
+        let words = [
+            "country", "material", "brand", "color", "type", "name", "factory",
+            "site", "manufacturer", "quantity", "movie", "actor", "director",
+            "author", "paper", "venue",
+        ];
+        let spread = |dim: usize| {
+            let e = HashEmbedder::new(dim);
+            let vs: Vec<_> = words.iter().map(|w| e.embed_token(w)).collect();
+            let mut acc = 0.0f64;
+            let mut cnt = 0usize;
+            for i in 0..vs.len() {
+                for j in (i + 1)..vs.len() {
+                    acc += cosine(&vs[i], &vs[j]).abs() as f64;
+                    cnt += 1;
+                }
+            }
+            acc / cnt as f64
+        };
+        assert!(spread(256) < spread(16));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dim_panics() {
+        let _ = HashEmbedder::new(0);
+    }
+}

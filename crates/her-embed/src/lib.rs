@@ -1,0 +1,46 @@
+//! ML substrate for HER — the parameter functions of parametric simulation.
+//!
+//! §IV of the paper implements the score functions with neural models:
+//! Sentence-BERT for the vertex model `M_v`, BERT + a metric-learning head
+//! for the edge/path model `M_ρ`, an LSTM language model for the ranking
+//! model `M_r`, and Path Resource Allocation (PRA) for path scoring. The
+//! deep-learning ecosystem those models need is unavailable here, so this
+//! crate builds *functionally equivalent, pure-Rust* substitutes with the
+//! same interfaces, training lifecycle and score semantics (documented in
+//! DESIGN.md §2):
+//!
+//! - [`tokenize`]: label normalisation (camelCase / snake_case splitting);
+//! - [`hashvec`]: deterministic hashed character-n-gram token embeddings
+//!   (the "pre-trained word vectors");
+//! - [`sentence`]: `M_v` — IDF-weighted mean-pooled sentence embeddings with
+//!   the paper's `(|cos| + cos)/2` similarity;
+//! - [`seq`]: position-aware encoder for edge-label sequences (the "BERT"
+//!   input side of `M_ρ`);
+//! - [`mlp`]: a small feed-forward network with SGD backprop (the metric
+//!   head of `M_ρ`; also reused by the DeepMatcher baseline);
+//! - [`metric`]: `M_ρ` — trained on annotated path pairs, fine-tuned with a
+//!   triplet ranking loss ([`triplet`]);
+//! - [`pathlm`]: `M_r` — a back-off n-gram language model over edge-label
+//!   sequences with `<eos>`, trained on a random-walk corpus;
+//! - [`pra`]: `R(ρ) = Π 1/|ch(v_i)|` path resource allocation;
+//! - [`ranker`]: `h_r` — LM-guided path selection from each out-edge,
+//!   PRA-ranked top-k descendants;
+//! - [`corpus`]: corpus and training-data preparation (§IV "Training").
+
+pub mod corpus;
+pub mod hashvec;
+pub mod metric;
+pub mod mlp;
+pub mod pathlm;
+pub mod pra;
+pub mod ranker;
+pub mod sentence;
+pub mod seq;
+pub mod tokenize;
+pub mod triplet;
+pub mod vec_ops;
+
+pub use metric::PathSimModel;
+pub use pathlm::PathLm;
+pub use ranker::TopKRanker;
+pub use sentence::SentenceModel;

@@ -1,0 +1,297 @@
+//! A small feed-forward neural network with SGD backprop.
+//!
+//! Stands in for the paper's "3-layer neural network with width 1536, 256
+//! and 1" metric head of `M_ρ` (§VII), and is reused by the DeepMatcher
+//! baseline. Hidden layers use ReLU, the single output unit a sigmoid;
+//! training minimises binary cross-entropy. Besides supervised pairs, the
+//! network exposes [`Mlp::backward_from`] so ranking losses (triplet loss,
+//! §IV "Interaction and refinement") can inject custom output gradients.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: `out = act(W x + b)`.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Layer {
+    /// Row-major `out_dim × in_dim` weights.
+    w: Vec<f32>,
+    b: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Layer {
+    fn new(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / in_dim as f32).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+            .collect();
+        Self {
+            w,
+            b: vec![0.0; out_dim],
+            in_dim,
+            out_dim,
+        }
+    }
+
+    fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.reserve(self.out_dim);
+        for o in 0..self.out_dim {
+            let row = &self.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// Slope of the leaky-ReLU negative branch (keeps units trainable after
+/// aggressive pre-training — plain ReLU units die and freeze the output).
+const LEAK: f32 = 0.01;
+
+/// Multi-layer perceptron with leaky-ReLU hidden units and a sigmoid output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer sizes, e.g. `&[128, 32, 1]`.
+    /// The final size must be 1 (a single score unit).
+    pub fn new(sizes: &[usize], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert_eq!(*sizes.last().unwrap(), 1, "output layer must have width 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = sizes
+            .windows(2)
+            .map(|w| Layer::new(w[0], w[1], &mut rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// Forward pass; returns the sigmoid score in `(0, 1)`.
+    pub fn predict(&self, x: &[f32]) -> f32 {
+        assert_eq!(x.len(), self.input_dim());
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if i + 1 < self.layers.len() {
+                for v in next.iter_mut() {
+                    if *v < 0.0 {
+                        *v *= LEAK;
+                    }
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+        }
+        sigmoid(cur[0])
+    }
+
+    /// One SGD step on a labeled example with binary cross-entropy loss.
+    /// Returns the pre-update loss.
+    pub fn train_example(&mut self, x: &[f32], target: f32, lr: f32) -> f32 {
+        let (score, acts) = self.forward_with_activations(x);
+        let loss = bce(score, target);
+        // dL/dz for sigmoid+BCE collapses to (score - target).
+        self.backprop(x, &acts, score - target, lr);
+        loss
+    }
+
+    /// One SGD step given an externally computed gradient `d_loss/d_score`
+    /// at the sigmoid output (used by triplet/ranking losses).
+    pub fn backward_from(&mut self, x: &[f32], dscore: f32, lr: f32) {
+        let (score, acts) = self.forward_with_activations(x);
+        // Chain through the sigmoid: dL/dz = dL/ds * s(1-s).
+        let dz = dscore * score * (1.0 - score);
+        self.backprop(x, &acts, dz, lr);
+    }
+
+    /// Trains for `epochs` passes over `(x, y)` examples in the given
+    /// (deterministically shuffled) order. Returns the final-epoch mean loss.
+    pub fn fit(&mut self, examples: &[(Vec<f32>, f32)], epochs: usize, lr: f32, seed: u64) -> f32 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        let mut last = 0.0;
+        for _ in 0..epochs {
+            // Fisher–Yates shuffle.
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut acc = 0.0;
+            for &i in &order {
+                let (x, y) = &examples[i];
+                acc += self.train_example(x, *y, lr);
+            }
+            last = if examples.is_empty() {
+                0.0
+            } else {
+                acc / examples.len() as f32
+            };
+        }
+        last
+    }
+
+    /// Forward pass retaining post-activation values per layer.
+    fn forward_with_activations(&self, x: &[f32]) -> (f32, Vec<Vec<f32>>) {
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        let mut next = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            layer.forward(&cur, &mut next);
+            if i + 1 < self.layers.len() {
+                for v in next.iter_mut() {
+                    if *v < 0.0 {
+                        *v *= LEAK;
+                    }
+                }
+            }
+            acts.push(next.clone());
+            std::mem::swap(&mut cur, &mut next);
+        }
+        (sigmoid(cur[0]), acts)
+    }
+
+    /// Backpropagates `dz` (gradient at the output pre-sigmoid logit).
+    /// Per-unit gradients are clipped to ±4 — runaway updates otherwise
+    /// blow the weights to NaN on adversarial feature scales.
+    #[allow(clippy::needless_range_loop)] // `o` also offsets the weight rows
+    fn backprop(&mut self, x: &[f32], acts: &[Vec<f32>], dz: f32, lr: f32) {
+        if !dz.is_finite() {
+            return;
+        }
+        let mut grad = vec![dz];
+        for li in (0..self.layers.len()).rev() {
+            let input: &[f32] = if li == 0 { x } else { &acts[li - 1] };
+            let layer = &mut self.layers[li];
+            let mut grad_in = vec![0.0f32; layer.in_dim];
+            for o in 0..layer.out_dim {
+                let g = grad[o].clamp(-4.0, 4.0);
+                if g == 0.0 || !g.is_finite() {
+                    continue;
+                }
+                let row = &mut layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                for (i, wi) in row.iter_mut().enumerate() {
+                    grad_in[i] += *wi * g;
+                    *wi -= lr * g * input[i];
+                }
+                layer.b[o] -= lr * g;
+            }
+            if li > 0 {
+                // Through the leaky ReLU of the previous layer.
+                for (gi, ai) in grad_in.iter_mut().zip(&acts[li - 1]) {
+                    if *ai <= 0.0 {
+                        *gi *= LEAK;
+                    }
+                }
+            }
+            grad = grad_in;
+        }
+    }
+}
+
+#[inline]
+fn sigmoid(z: f32) -> f32 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+fn bce(score: f32, target: f32) -> f32 {
+    let s = score.clamp(1e-6, 1.0 - 1e-6);
+    -(target * s.ln() + (1.0 - target) * (1.0 - s).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_probability() {
+        let m = Mlp::new(&[4, 8, 1], 7);
+        let s = m.predict(&[0.1, -0.5, 2.0, 0.0]);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn deterministic_initialisation() {
+        let a = Mlp::new(&[3, 5, 1], 42);
+        let b = Mlp::new(&[3, 5, 1], 42);
+        assert_eq!(a.predict(&[1.0, 2.0, 3.0]), b.predict(&[1.0, 2.0, 3.0]));
+        let c = Mlp::new(&[3, 5, 1], 43);
+        assert_ne!(a.predict(&[1.0, 2.0, 3.0]), c.predict(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn learns_logical_and() {
+        let mut m = Mlp::new(&[2, 8, 1], 1);
+        let data: Vec<(Vec<f32>, f32)> = vec![
+            (vec![0.0, 0.0], 0.0),
+            (vec![0.0, 1.0], 0.0),
+            (vec![1.0, 0.0], 0.0),
+            (vec![1.0, 1.0], 1.0),
+        ];
+        m.fit(&data, 2000, 0.5, 2);
+        assert!(m.predict(&[1.0, 1.0]) > 0.8);
+        assert!(m.predict(&[0.0, 1.0]) < 0.2);
+        assert!(m.predict(&[1.0, 0.0]) < 0.2);
+    }
+
+    #[test]
+    fn learns_xor_with_hidden_layer() {
+        let mut m = Mlp::new(&[2, 12, 1], 3);
+        let data: Vec<(Vec<f32>, f32)> = vec![
+            (vec![0.0, 0.0], 0.0),
+            (vec![0.0, 1.0], 1.0),
+            (vec![1.0, 0.0], 1.0),
+            (vec![1.0, 1.0], 0.0),
+        ];
+        m.fit(&data, 4000, 0.5, 4);
+        assert!(m.predict(&[0.0, 1.0]) > 0.7);
+        assert!(m.predict(&[1.0, 1.0]) < 0.3);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut m = Mlp::new(&[2, 6, 1], 5);
+        let data: Vec<(Vec<f32>, f32)> = vec![
+            (vec![1.0, 0.0], 1.0),
+            (vec![0.0, 1.0], 0.0),
+        ];
+        let first = m.fit(&data, 1, 0.3, 6);
+        let later = m.fit(&data, 200, 0.3, 6);
+        assert!(later < first, "{later} !< {first}");
+    }
+
+    #[test]
+    fn backward_from_moves_score_in_requested_direction() {
+        let mut m = Mlp::new(&[3, 6, 1], 9);
+        let x = vec![0.4, -0.2, 0.9];
+        let before = m.predict(&x);
+        // Negative dL/ds means increasing the score decreases the loss.
+        for _ in 0..50 {
+            m.backward_from(&x, -1.0, 0.3);
+        }
+        assert!(m.predict(&x) > before);
+    }
+
+    #[test]
+    #[should_panic(expected = "width 1")]
+    fn non_scalar_output_rejected() {
+        let _ = Mlp::new(&[3, 2], 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_input_dim_panics() {
+        let m = Mlp::new(&[3, 4, 1], 0);
+        let _ = m.predict(&[1.0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! The path language model `M_r` (the paper's LSTM substitute).
+//!
+//! §IV uses an LSTM to predict, given the edge labels traversed so far,
+//! which out-edge to follow next — or the end-of-sentence tag `<eos>` to
+//! stop. This module implements the same contract with a back-off n-gram
+//! language model over interned edge-label ids, trained on (a) the
+//! random-walk corpus and (b) the max-PRA path training set prepared per
+//! §IV "Training". n-gram LMs capture exactly the sequential label
+//! statistics the LSTM is used for here, deterministically.
+
+use her_graph::hash::FxHashMap;
+use her_graph::LabelId;
+
+/// Token space of the LM: an edge label or the end-of-sequence marker.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Token {
+    /// An edge label.
+    Label(LabelId),
+    /// `<eos>`: stop extending the path.
+    Eos,
+}
+
+/// Back-off n-gram language model over edge-label sequences.
+#[derive(Clone, Debug)]
+pub struct PathLm {
+    /// Maximum context length (order − 1).
+    max_context: usize,
+    /// `(context, next) → count`, for contexts of every length `0..=max_context`.
+    counts: FxHashMap<(Vec<LabelId>, Token), u32>,
+    /// `context → total count`, same lengths.
+    totals: FxHashMap<Vec<LabelId>, u32>,
+    /// Distinct vocabulary size (labels + eos), for add-k smoothing.
+    vocab: usize,
+    /// Add-k smoothing constant.
+    k: f64,
+}
+
+impl PathLm {
+    /// Creates an untrained trigram-order model.
+    pub fn new() -> Self {
+        Self::with_order(3)
+    }
+
+    /// Creates a model conditioning on up to `order − 1` previous labels.
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 1);
+        Self {
+            max_context: order - 1,
+            counts: FxHashMap::default(),
+            totals: FxHashMap::default(),
+            vocab: 1,
+            k: 0.05,
+        }
+    }
+
+    /// Trains on a corpus of edge-label sequences. Can be called repeatedly
+    /// (counts accumulate), mirroring pre-training + preparation passes.
+    pub fn train(&mut self, corpus: &[Vec<LabelId>]) {
+        let mut labels: std::collections::BTreeSet<LabelId> = std::collections::BTreeSet::new();
+        for seq in corpus {
+            labels.extend(seq.iter().copied());
+            for i in 0..=seq.len() {
+                let next = if i == seq.len() {
+                    Token::Eos
+                } else {
+                    Token::Label(seq[i])
+                };
+                let lo = i.saturating_sub(self.max_context);
+                for start in lo..=i {
+                    let ctx: Vec<LabelId> = seq[start..i].to_vec();
+                    *self.counts.entry((ctx.clone(), next)).or_insert(0) += 1;
+                    *self.totals.entry(ctx).or_insert(0) += 1;
+                }
+            }
+        }
+        self.vocab = self.vocab.max(labels.len() + 1);
+    }
+
+    /// Whether any training data has been seen.
+    pub fn is_trained(&self) -> bool {
+        !self.totals.is_empty()
+    }
+
+    /// Smoothed probability of `next` following `context`, backing off to
+    /// shorter contexts when the full one is unseen.
+    pub fn prob(&self, context: &[LabelId], next: Token) -> f64 {
+        let lo = context.len().saturating_sub(self.max_context);
+        let mut ctx = &context[lo..];
+        loop {
+            let key = ctx.to_vec();
+            if let Some(&total) = self.totals.get(&key) {
+                let c = self.counts.get(&(key, next)).copied().unwrap_or(0);
+                return (c as f64 + self.k) / (total as f64 + self.k * self.vocab as f64);
+            }
+            if ctx.is_empty() {
+                // Entirely unseen model/context: uniform over vocab.
+                return 1.0 / self.vocab as f64;
+            }
+            ctx = &ctx[1..];
+        }
+    }
+
+    /// Decides the next step at decoding time: among `candidates` (the
+    /// labels of the available out-edges), picks the most probable, unless
+    /// `<eos>` is at least as probable as every candidate — then `None`
+    /// (stop). Ties break toward stopping, modelling the paper's preference
+    /// for short, strongly-associated paths.
+    pub fn best_next(&self, context: &[LabelId], candidates: &[LabelId]) -> Option<usize> {
+        if candidates.is_empty() {
+            return None;
+        }
+        let p_eos = self.prob(context, Token::Eos);
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &c) in candidates.iter().enumerate() {
+            let p = self.prob(context, Token::Label(c));
+            if best.is_none_or(|(_, bp)| p > bp) {
+                best = Some((i, p));
+            }
+        }
+        let (idx, p) = best.unwrap();
+        if p > p_eos {
+            Some(idx)
+        } else {
+            None
+        }
+    }
+
+    /// Log-probability of a full sequence ending with `<eos>`.
+    pub fn sequence_logprob(&self, seq: &[LabelId]) -> f64 {
+        let mut lp = 0.0;
+        for i in 0..=seq.len() {
+            let next = if i == seq.len() {
+                Token::Eos
+            } else {
+                Token::Label(seq[i])
+            };
+            lp += self.prob(&seq[..i], next).ln();
+        }
+        lp
+    }
+}
+
+impl Default for PathLm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> LabelId {
+        LabelId(i)
+    }
+
+    fn trained() -> PathLm {
+        let mut lm = PathLm::new();
+        // Corpus: "0 1 1" appears often; "2" always alone; "3 4" pairs.
+        let corpus = vec![
+            vec![l(0), l(1), l(1)],
+            vec![l(0), l(1), l(1)],
+            vec![l(0), l(1), l(1)],
+            vec![l(2)],
+            vec![l(2)],
+            vec![l(3), l(4)],
+        ];
+        lm.train(&corpus);
+        lm
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_over_vocab() {
+        let lm = trained();
+        for ctx in [vec![], vec![l(0)], vec![l(0), l(1)], vec![l(9)]] {
+            let mut total = lm.prob(&ctx, Token::Eos);
+            for i in 0..5 {
+                total += lm.prob(&ctx, Token::Label(l(i)));
+            }
+            // Allowing slack for the unseen-label mass outside vocab items
+            // we enumerate: vocab is labels 0-4 + eos = 6 entries; we summed
+            // all of them, so this should be ~1.
+            assert!((total - 1.0).abs() < 1e-9, "ctx {ctx:?} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn frequent_continuation_preferred() {
+        let lm = trained();
+        // After 0, label 1 is the frequent continuation.
+        assert_eq!(lm.best_next(&[l(0)], &[l(1), l(4)]), Some(0));
+    }
+
+    #[test]
+    fn eos_preferred_where_sequences_end() {
+        let lm = trained();
+        // "2" was always a complete sequence: eos outweighs continuing.
+        assert_eq!(lm.best_next(&[l(2)], &[l(0), l(1)]), None);
+        // After "0 1 1" the corpus always ended.
+        assert_eq!(lm.best_next(&[l(0), l(1), l(1)], &[l(1)]), None);
+    }
+
+    #[test]
+    fn untrained_model_prefers_stopping() {
+        let lm = PathLm::new();
+        // Uniform probabilities → ties → stop.
+        assert_eq!(lm.best_next(&[l(0)], &[l(1), l(2)]), None);
+        assert!(!lm.is_trained());
+    }
+
+    #[test]
+    fn empty_candidates_stop() {
+        let lm = trained();
+        assert_eq!(lm.best_next(&[l(0)], &[]), None);
+    }
+
+    #[test]
+    fn backoff_handles_unseen_context() {
+        let lm = trained();
+        // Context (9, 0) unseen; backs off to (0) where 1 dominates.
+        assert_eq!(lm.best_next(&[l(9), l(0)], &[l(1), l(4)]), Some(0));
+    }
+
+    #[test]
+    fn sequence_logprob_ranks_corpus_sequences_higher() {
+        let lm = trained();
+        assert!(lm.sequence_logprob(&[l(0), l(1), l(1)]) > lm.sequence_logprob(&[l(1), l(0), l(0)]));
+    }
+
+    #[test]
+    fn training_accumulates() {
+        let mut lm = PathLm::new();
+        lm.train(&[vec![l(0), l(1)]]);
+        let before = lm.prob(&[l(0)], Token::Label(l(1)));
+        lm.train(&vec![vec![l(0), l(1)]; 10]);
+        let after = lm.prob(&[l(0)], Token::Label(l(1)));
+        assert!(after >= before);
+    }
+}

@@ -1,0 +1,119 @@
+//! Path Resource Allocation (PRA).
+//!
+//! §IV ranks candidate paths with `R(ρ) = Π_{i=0}^{l−1} 1/|ch(v_i)|`: a
+//! unit of resource flows from the start vertex and splits equally at each
+//! vertex; the amount arriving at the endpoint quantifies how semantically
+//! tight the connection is. Paths through high-fan-out hubs score low.
+
+use her_graph::{Graph, Path, VertexId};
+
+/// `R(ρ)` for a path in `g`. The trivial path scores 1.
+///
+/// # Panics
+/// Panics (debug) if the path is inconsistent with `g` (a vertex with zero
+/// recorded children appearing mid-path).
+pub fn pra(g: &Graph, path: &Path) -> f64 {
+    score_from_degrees(
+        path.vertices()[..path.vertices().len().saturating_sub(1)]
+            .iter()
+            .map(|&v| g.out_degree(v)),
+    )
+}
+
+/// `R(ρ)` from the out-degrees of `v_0..v_{l−1}` directly.
+pub fn score_from_degrees(degrees: impl Iterator<Item = usize>) -> f64 {
+    let mut r = 1.0f64;
+    for d in degrees {
+        debug_assert!(d > 0, "mid-path vertex must have children");
+        r /= d.max(1) as f64;
+    }
+    r
+}
+
+/// Ranks `paths` by PRA descending; ties break by shorter path, then by
+/// endpoint id for determinism. Returns indices into `paths`.
+pub fn rank_by_pra(g: &Graph, paths: &[Path]) -> Vec<usize> {
+    let mut scored: Vec<(usize, f64)> =
+        paths.iter().enumerate().map(|(i, p)| (i, pra(g, p))).collect();
+    scored.sort_by(|a, b| {
+        b.1.total_cmp(&a.1)
+            .then_with(|| paths[a.0].len().cmp(&paths[b.0].len()))
+            .then_with(|| endpoint(&paths[a.0]).cmp(&endpoint(&paths[b.0])))
+    });
+    scored.into_iter().map(|(i, _)| i).collect()
+}
+
+fn endpoint(p: &Path) -> VertexId {
+    p.end()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_graph::GraphBuilder;
+
+    /// hub has 4 children; chain has 1 child each.
+    fn graph() -> (Graph, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let root = b.add_vertex("root");
+        let hub = b.add_vertex("hub");
+        let quiet = b.add_vertex("quiet");
+        let hub_kids: Vec<_> = (0..4).map(|i| b.add_vertex(&format!("h{i}"))).collect();
+        let deep = b.add_vertex("deep");
+        b.add_edge(root, hub, "toHub");
+        b.add_edge(root, quiet, "toQuiet");
+        for k in &hub_kids {
+            b.add_edge(hub, *k, "spoke");
+        }
+        b.add_edge(quiet, deep, "down");
+        let (g, _) = b.build();
+        (g, vec![root, hub, quiet, hub_kids[0], deep])
+    }
+
+    fn path(g: &Graph, vs: &[VertexId]) -> Path {
+        let mut p = Path::trivial(vs[0]);
+        for w in vs.windows(2) {
+            p.push(g.edge_label(w[0], w[1]).unwrap(), w[1]);
+        }
+        p
+    }
+
+    #[test]
+    fn trivial_path_scores_one() {
+        let (g, vs) = graph();
+        assert_eq!(pra(&g, &Path::trivial(vs[0])), 1.0);
+    }
+
+    #[test]
+    fn resource_splits_at_each_vertex() {
+        let (g, vs) = graph();
+        let (root, hub, quiet, hkid, deep) = (vs[0], vs[1], vs[2], vs[3], vs[4]);
+        // root has out-degree 2.
+        assert_eq!(pra(&g, &path(&g, &[root, hub])), 0.5);
+        // root(2) then hub(4): 1/8.
+        assert_eq!(pra(&g, &path(&g, &[root, hub, hkid])), 0.125);
+        // root(2) then quiet(1): 1/2.
+        assert_eq!(pra(&g, &path(&g, &[root, quiet, deep])), 0.5);
+    }
+
+    #[test]
+    fn hub_paths_rank_below_quiet_paths() {
+        let (g, vs) = graph();
+        let (root, hub, quiet, hkid, deep) = (vs[0], vs[1], vs[2], vs[3], vs[4]);
+        let paths = vec![
+            path(&g, &[root, hub, hkid]),   // 0.125
+            path(&g, &[root, quiet, deep]), // 0.5
+            path(&g, &[root, quiet]),       // 0.5, shorter
+        ];
+        let order = rank_by_pra(&g, &paths);
+        assert_eq!(order[0], 2); // tie on score, shorter wins
+        assert_eq!(order[1], 1);
+        assert_eq!(order[2], 0);
+    }
+
+    #[test]
+    fn score_from_degrees_matches_formula() {
+        assert_eq!(score_from_degrees([2usize, 4].into_iter()), 0.125);
+        assert_eq!(score_from_degrees(std::iter::empty()), 1.0);
+    }
+}

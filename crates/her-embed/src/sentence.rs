@@ -1,0 +1,259 @@
+//! The vertex model `M_v`: sentence-level label similarity.
+//!
+//! §IV implements `M_v` with Sentence-BERT: embed both vertex labels, then
+//! score `(|cos(x_u, x_v)| + cos(x_u, x_v)) / 2 ∈ [0, 1]`. Our substitute
+//! embeds a label as the IDF-weighted mean of hashed-n-gram token vectors
+//! (canonicalised through an optional synonym lexicon standing in for the
+//! pre-trained model's semantic knowledge) and applies the same cosine
+//! mapping. Fine-tuning from user feedback (§IV "Interaction and
+//! refinement") nudges per-pair scores toward the annotated 0/1 targets.
+
+use crate::hashvec::HashEmbedder;
+use crate::tokenize::tokenize;
+use crate::vec_ops::{add_scaled, cos_to_unit, cosine, normalize};
+use her_graph::hash::FxHashMap;
+
+/// Sentence embedding model implementing `M_v`.
+#[derive(Clone, Debug)]
+pub struct SentenceModel {
+    embedder: HashEmbedder,
+    /// token → canonical-token substitution (the "pre-trained" semantics).
+    lexicon: FxHashMap<String, String>,
+    /// token → inverse document frequency weight.
+    idf: FxHashMap<String, f32>,
+    /// Fine-tuned score overrides for annotated pairs, keyed symmetrically.
+    overrides: FxHashMap<(String, String), f32>,
+    /// Learning rate for fine-tuning overrides.
+    lr: f32,
+}
+
+impl SentenceModel {
+    /// Creates a model with `dim`-dimensional embeddings and no lexicon/IDF.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            embedder: HashEmbedder::new(dim),
+            lexicon: FxHashMap::default(),
+            idf: FxHashMap::default(),
+            overrides: FxHashMap::default(),
+            lr: 0.6,
+        }
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.embedder.dim()
+    }
+
+    /// Installs synonym pairs: both tokens map to a shared canonical form.
+    /// This models the semantic knowledge a pre-trained sentence encoder
+    /// brings ("automobile" ≈ "car").
+    pub fn with_synonyms<'a>(mut self, pairs: impl IntoIterator<Item = (&'a str, &'a str)>) -> Self {
+        for (a, b) in pairs {
+            self.add_synonym(a, b);
+        }
+        self
+    }
+
+    /// Adds one synonym pair at runtime.
+    pub fn add_synonym(&mut self, a: &str, b: &str) {
+        let a = a.to_lowercase();
+        let b = b.to_lowercase();
+        let canon = self
+            .lexicon
+            .get(&a)
+            .cloned()
+            .unwrap_or_else(|| a.clone());
+        self.lexicon.insert(a, canon.clone());
+        self.lexicon.insert(b, canon);
+    }
+
+    /// Fits IDF weights from a corpus of label strings. Tokens appearing in
+    /// many labels (stop-word-ish) get low weight.
+    pub fn fit_idf<'a>(&mut self, corpus: impl IntoIterator<Item = &'a str>) {
+        let mut df: FxHashMap<String, usize> = FxHashMap::default();
+        let mut n = 0usize;
+        for label in corpus {
+            n += 1;
+            let mut seen = std::collections::BTreeSet::new();
+            for t in tokenize(label) {
+                seen.insert(self.canonical(&t));
+            }
+            for t in seen {
+                *df.entry(t).or_insert(0) += 1;
+            }
+        }
+        if n == 0 {
+            return;
+        }
+        self.idf = df
+            .into_iter()
+            .map(|(t, d)| (t, ((n as f32 + 1.0) / (d as f32 + 1.0)).ln() + 1.0))
+            .collect();
+    }
+
+    fn canonical(&self, token: &str) -> String {
+        self.lexicon
+            .get(token)
+            .cloned()
+            .unwrap_or_else(|| token.to_owned())
+    }
+
+    /// Embeds a label string into a unit vector.
+    pub fn embed(&self, label: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.embedder.dim()];
+        for t in tokenize(label) {
+            let canon = self.canonical(&t);
+            let w = self.idf.get(&canon).copied().unwrap_or(1.0);
+            let tv = self.embedder.embed_token(&canon);
+            add_scaled(&mut v, &tv, w);
+        }
+        normalize(&mut v);
+        v
+    }
+
+    /// `M_v(l1, l2) = (|cos| + cos)/2 ∈ [0, 1]`, honouring fine-tuned
+    /// overrides for annotated pairs.
+    pub fn similarity(&self, l1: &str, l2: &str) -> f32 {
+        if let Some(&s) = self.overrides.get(&Self::key(l1, l2)) {
+            return s;
+        }
+        self.similarity_from_vecs(&self.embed(l1), &self.embed(l2))
+    }
+
+    /// Similarity from pre-computed embeddings (hot path: callers cache
+    /// embeddings per interned label).
+    pub fn similarity_from_vecs(&self, v1: &[f32], v2: &[f32]) -> f32 {
+        cos_to_unit(cosine(v1, v2))
+    }
+
+    /// Fine-tunes the model on an annotated pair: `target` is 1.0 for
+    /// confirmed matches (false negatives) and 0.0 for confirmed
+    /// non-matches (false positives). Moves the pair's score toward the
+    /// target by the learning rate, as repeated feedback converges.
+    pub fn fine_tune_pair(&mut self, l1: &str, l2: &str, target: f32) {
+        let key = Self::key(l1, l2);
+        let base = self
+            .overrides
+            .get(&key)
+            .copied()
+            .unwrap_or_else(|| self.similarity(l1, l2));
+        let updated = base + self.lr * (target - base);
+        self.overrides.insert(key, updated);
+    }
+
+    fn key(l1: &str, l2: &str) -> (String, String) {
+        let a = l1.to_lowercase();
+        let b = l2.to_lowercase();
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Number of fine-tuned pair overrides (for introspection/tests).
+    pub fn override_count(&self) -> usize {
+        self.overrides.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_labels_score_one() {
+        let m = SentenceModel::new(64);
+        assert!((m.similarity("Germany", "Germany") - 1.0).abs() < 1e-5);
+        assert!((m.similarity("phylon foam", "Phylon Foam") - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn overlapping_labels_score_high() {
+        let m = SentenceModel::new(128);
+        let s = m.similarity("Dame Basketball Shoes D7", "Dame Basketball Shoes");
+        assert!(s > 0.6, "got {s}");
+    }
+
+    #[test]
+    fn unrelated_labels_score_low() {
+        let m = SentenceModel::new(128);
+        let s = m.similarity("phylon foam", "Germany");
+        assert!(s < 0.5, "got {s}");
+    }
+
+    #[test]
+    fn scores_are_in_unit_interval() {
+        let m = SentenceModel::new(64);
+        for (a, b) in [
+            ("a", "b"),
+            ("Dame 7", "Dame Gen 7"),
+            ("", "x"),
+            ("500", "500"),
+        ] {
+            let s = m.similarity(a, b);
+            assert!((0.0..=1.0).contains(&s), "{a} vs {b} gave {s}");
+        }
+    }
+
+    #[test]
+    fn synonyms_align_labels() {
+        let plain = SentenceModel::new(128);
+        let with = SentenceModel::new(128).with_synonyms([("automobile", "car")]);
+        assert!(
+            with.similarity("red automobile", "red car")
+                > plain.similarity("red automobile", "red car")
+        );
+        assert!(with.similarity("automobile", "car") > 0.95);
+    }
+
+    #[test]
+    fn synonym_chains_share_canonical_form() {
+        let m = SentenceModel::new(64).with_synonyms([("film", "movie"), ("film", "picture")]);
+        assert!(m.similarity("movie", "picture") > 0.95);
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_tokens() {
+        let mut m = SentenceModel::new(128);
+        // "the" appears everywhere; distinctive tokens dominate after IDF.
+        let corpus = ["the red shoe", "the blue shoe", "the green hat", "the old coat"];
+        m.fit_idf(corpus);
+        let with_idf = m.similarity("the red shoe", "the green hat");
+        let mut no_idf = SentenceModel::new(128);
+        no_idf.fit_idf(std::iter::empty());
+        let without = no_idf.similarity("the red shoe", "the green hat");
+        assert!(with_idf < without, "{with_idf} !< {without}");
+    }
+
+    #[test]
+    fn fine_tune_moves_scores_toward_target() {
+        let mut m = SentenceModel::new(64);
+        let before = m.similarity("made_in", "factorySite");
+        assert!(before < 0.5);
+        for _ in 0..6 {
+            m.fine_tune_pair("made_in", "factorySite", 1.0);
+        }
+        assert!(m.similarity("made_in", "factorySite") > 0.9);
+        assert_eq!(m.override_count(), 1);
+    }
+
+    #[test]
+    fn fine_tune_is_symmetric() {
+        let mut m = SentenceModel::new(64);
+        m.fine_tune_pair("a b", "c d", 0.0);
+        assert_eq!(m.similarity("a b", "c d"), m.similarity("c d", "a b"));
+    }
+
+    #[test]
+    fn fine_tune_down_suppresses_false_positives() {
+        let mut m = SentenceModel::new(64);
+        assert!(m.similarity("Paris", "Paris") > 0.99);
+        for _ in 0..8 {
+            m.fine_tune_pair("Paris", "Paris Hilton", 0.0);
+        }
+        assert!(m.similarity("Paris", "Paris Hilton") < 0.1);
+        // Unrelated pairs are unaffected.
+        assert!(m.similarity("Paris", "Paris") > 0.99);
+    }
+}

@@ -1,0 +1,124 @@
+//! Sequence encoder for edge-label paths (the "BERT" half of `M_ρ`).
+//!
+//! §IV feeds the edge labels on a path — e.g. `made_in` vs
+//! `(factorySite, isIn, isIn)` — to a sequence model that embeds them as a
+//! vector capturing *sequential* information. Our substitute embeds each
+//! label (mean of hashed token vectors) and pools across the sequence with
+//! position-decayed weights, so both content and order matter: the first
+//! predicate dominates (it usually names the relationship) while later hops
+//! still contribute.
+
+use crate::hashvec::HashEmbedder;
+use crate::tokenize::tokenize;
+use crate::vec_ops::{add_scaled, normalize};
+
+/// Position-aware encoder of edge-label sequences.
+#[derive(Clone, Debug)]
+pub struct SeqEncoder {
+    embedder: HashEmbedder,
+    /// Per-hop decay: weight of position `i` is `decay^i`.
+    decay: f32,
+}
+
+impl SeqEncoder {
+    /// Creates an encoder with `dim`-dimensional output.
+    pub fn new(dim: usize) -> Self {
+        Self {
+            embedder: HashEmbedder::new(dim),
+            decay: 0.7,
+        }
+    }
+
+    /// Output dimension.
+    pub fn dim(&self) -> usize {
+        self.embedder.dim()
+    }
+
+    /// Embeds one label as the normalised mean of its token vectors.
+    pub fn embed_label(&self, label: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim()];
+        for t in tokenize(label) {
+            add_scaled(&mut v, &self.embedder.embed_token(&t), 1.0);
+        }
+        normalize(&mut v);
+        v
+    }
+
+    /// Encodes a sequence of edge labels into a unit vector.
+    pub fn encode<S: AsRef<str>>(&self, labels: &[S]) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim()];
+        let mut w = 1.0f32;
+        for l in labels {
+            // Order sensitivity: positions also rotate the sign pattern by
+            // interleaving a position tag into the mix.
+            add_scaled(&mut v, &self.embed_label(l.as_ref()), w);
+            w *= self.decay;
+        }
+        // Tag the sequence length so prefixes differ from full paths even
+        // when trailing labels are light.
+        if !labels.is_empty() {
+            let tag = self
+                .embedder
+                .embed_token(&format!("len{}", labels.len().min(8)));
+            add_scaled(&mut v, &tag, 0.15);
+        }
+        normalize(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec_ops::cosine;
+
+    #[test]
+    fn deterministic_and_unit_length() {
+        let e = SeqEncoder::new(64);
+        let a = e.encode(&["factorySite", "isIn", "isIn"]);
+        let b = e.encode(&["factorySite", "isIn", "isIn"]);
+        assert_eq!(a, b);
+        let n: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((n - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn order_matters() {
+        let e = SeqEncoder::new(128);
+        let ab = e.encode(&["locatedIn", "partOf"]);
+        let ba = e.encode(&["partOf", "locatedIn"]);
+        assert!(cosine(&ab, &ba) < 0.999);
+    }
+
+    #[test]
+    fn shared_head_is_closer_than_disjoint() {
+        let e = SeqEncoder::new(128);
+        let a = e.encode(&["country"]);
+        let b = e.encode(&["brandCountry"]);
+        let c = e.encode(&["soleMadeBy"]);
+        assert!(cosine(&a, &b) > cosine(&a, &c));
+    }
+
+    #[test]
+    fn prefix_differs_from_full_path() {
+        let e = SeqEncoder::new(128);
+        let prefix = e.encode(&["factorySite"]);
+        let full = e.encode(&["factorySite", "isIn", "isIn"]);
+        assert!(cosine(&prefix, &full) < 0.999);
+    }
+
+    #[test]
+    fn empty_sequence_is_zero_vector() {
+        let e = SeqEncoder::new(32);
+        let v = e.encode::<&str>(&[]);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn label_embedding_tokenises() {
+        let e = SeqEncoder::new(128);
+        let a = e.embed_label("made_in");
+        let b = e.embed_label("madeIn");
+        assert!(cosine(&a, &b) > 0.99); // same tokens after normalisation
+    }
+}

@@ -1,0 +1,146 @@
+//! Label tokenisation.
+//!
+//! Graph predicates come in many casings — `brandCountry`, `made_in`,
+//! `/akt:has-author` — while relational attributes are usually plain words.
+//! Tokenisation normalises both worlds into lowercase word sequences so the
+//! embedding layers see shared structure.
+
+/// Splits a label into lowercase tokens: on whitespace and punctuation, and
+/// at camelCase boundaries (`brandCountry` → `["brand", "country"]`).
+/// Digit runs become their own tokens (`D7` → `["d", "7"]`).
+pub fn tokenize(label: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    let mut prev_lower = false;
+    let mut prev_digit = false;
+    for c in label.chars() {
+        if c.is_alphanumeric() {
+            let is_digit = c.is_ascii_digit();
+            let boundary = (c.is_uppercase() && prev_lower)
+                || (is_digit != prev_digit && !cur.is_empty());
+            if boundary {
+                flush(&mut cur, &mut tokens);
+            }
+            cur.extend(c.to_lowercase());
+            prev_lower = c.is_lowercase();
+            prev_digit = is_digit;
+        } else {
+            flush(&mut cur, &mut tokens);
+            prev_lower = false;
+            prev_digit = false;
+        }
+    }
+    flush(&mut cur, &mut tokens);
+    tokens
+}
+
+fn flush(cur: &mut String, tokens: &mut Vec<String>) {
+    if !cur.is_empty() {
+        tokens.push(std::mem::take(cur));
+    }
+}
+
+/// Tokenises a sequence of labels (e.g. the edge labels of a path) into one
+/// flat token stream, in order.
+pub fn tokenize_seq<'a>(labels: impl IntoIterator<Item = &'a str>) -> Vec<String> {
+    labels.into_iter().flat_map(tokenize).collect()
+}
+
+/// Heuristic for "machine codes" — labels that embedding models treat as
+/// unknown words (URLs, hex ids, opaque identifiers). §IV's training-data
+/// preparation removes descendants whose labels are machine codes.
+pub fn is_machine_code(label: &str) -> bool {
+    if label.starts_with("http://") || label.starts_with("https://") || label.contains("://") {
+        return true;
+    }
+    let toks = tokenize(label);
+    if toks.is_empty() {
+        return true;
+    }
+    // Mostly-numeric or long mixed alphanumeric blobs with no vowels read as ids.
+    let alnum: String = label.chars().filter(|c| c.is_alphanumeric()).collect();
+    if alnum.is_empty() {
+        return true;
+    }
+    let digits = alnum.chars().filter(char::is_ascii_digit).count();
+    let digit_ratio = digits as f64 / alnum.len() as f64;
+    if digit_ratio > 0.6 && alnum.len() >= 6 {
+        return true;
+    }
+    // Hex blobs (commit hashes, UUID fragments): all hex chars, digit-heavy.
+    let lower = alnum.to_lowercase();
+    if alnum.len() >= 8 && digits >= 2 && lower.chars().all(|c| c.is_ascii_hexdigit()) {
+        return true;
+    }
+    let has_vowel = alnum
+        .to_lowercase()
+        .chars()
+        .any(|c| "aeiou".contains(c));
+    !has_vowel && alnum.len() >= 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_camel_case() {
+        assert_eq!(tokenize("brandCountry"), vec!["brand", "country"]);
+        assert_eq!(tokenize("factorySite"), vec!["factory", "site"]);
+    }
+
+    #[test]
+    fn splits_snake_case_and_spaces() {
+        assert_eq!(tokenize("made_in"), vec!["made", "in"]);
+        assert_eq!(
+            tokenize("Dame Basketball Shoes D7"),
+            vec!["dame", "basketball", "shoes", "d", "7"]
+        );
+    }
+
+    #[test]
+    fn handles_punctuation_predicates() {
+        assert_eq!(tokenize("/akt:has-author"), vec!["akt", "has", "author"]);
+    }
+
+    #[test]
+    fn acronyms_stay_together() {
+        assert_eq!(tokenize("VN"), vec!["vn"]);
+        assert_eq!(tokenize("isIn"), vec!["is", "in"]);
+    }
+
+    #[test]
+    fn digits_split_from_letters() {
+        assert_eq!(tokenize("DD8505"), vec!["dd", "8505"]);
+        assert_eq!(tokenize("Dame 7"), vec!["dame", "7"]);
+    }
+
+    #[test]
+    fn empty_and_symbolic() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("--/::").is_empty());
+    }
+
+    #[test]
+    fn seq_tokenization_flattens() {
+        assert_eq!(
+            tokenize_seq(["factorySite", "isIn", "isIn"]),
+            vec!["factory", "site", "is", "in", "is", "in"]
+        );
+    }
+
+    #[test]
+    fn machine_codes_detected() {
+        assert!(is_machine_code("http://dbpedia.org/resource/x"));
+        assert!(is_machine_code("9f8c2d7b1e"));
+        assert!(is_machine_code("1234567890"));
+        assert!(is_machine_code(""));
+    }
+
+    #[test]
+    fn normal_words_not_machine_codes() {
+        assert!(!is_machine_code("Germany"));
+        assert!(!is_machine_code("brandCountry"));
+        assert!(!is_machine_code("Dame 7")); // short digit run is fine
+    }
+}

@@ -1,0 +1,117 @@
+//! Triplet ranking loss utilities.
+//!
+//! The refinement loop (§IV "Interaction and refinement") fine-tunes the
+//! models with a triplet loss `max(0, margin + s(a, n) − s(a, p))`, which
+//! the paper credits with suppressing the influence of residual false
+//! feedback: one bad annotation cannot push a score past the margin against
+//! many good ones. This module provides the loss itself plus a batch
+//! trainer over [`PathSimModel`].
+
+use crate::metric::PathSimModel;
+
+/// A feedback triplet: `anchor` should score closer to `positive` than to
+/// `negative`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Triplet {
+    /// Anchor edge-label sequence.
+    pub anchor: Vec<String>,
+    /// Sequence annotated as matching the anchor.
+    pub positive: Vec<String>,
+    /// Sequence annotated as not matching the anchor.
+    pub negative: Vec<String>,
+}
+
+/// The triplet hinge loss value for pre-computed scores.
+#[inline]
+pub fn triplet_loss(score_pos: f32, score_neg: f32, margin: f32) -> f32 {
+    (margin + score_neg - score_pos).max(0.0)
+}
+
+/// Runs `epochs` passes of triplet fine-tuning over `triplets`; returns the
+/// mean loss of the final epoch.
+pub fn fine_tune(
+    model: &mut PathSimModel,
+    triplets: &[Triplet],
+    epochs: usize,
+    margin: f32,
+    lr: f32,
+) -> f32 {
+    let mut last = 0.0;
+    for _ in 0..epochs {
+        let mut acc = 0.0;
+        for t in triplets {
+            acc += model.fine_tune_triplet(&t.anchor, &t.positive, &t.negative, margin, lr);
+        }
+        last = if triplets.is_empty() {
+            0.0
+        } else {
+            acc / triplets.len() as f32
+        };
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn owned(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn loss_is_hinge() {
+        assert_eq!(triplet_loss(0.9, 0.1, 0.2), 0.0);
+        assert!((triplet_loss(0.5, 0.5, 0.2) - 0.2).abs() < 1e-6);
+        assert!((triplet_loss(0.2, 0.7, 0.1) - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fine_tune_reduces_loss() {
+        let mut m = PathSimModel::new(32, 21);
+        let triplets = vec![
+            Triplet {
+                anchor: owned(&["made_in"]),
+                positive: owned(&["factorySite", "isIn"]),
+                negative: owned(&["typeNo"]),
+            },
+            Triplet {
+                anchor: owned(&["color"]),
+                positive: owned(&["hasColor"]),
+                negative: owned(&["belongsTo"]),
+            },
+        ];
+        let first = fine_tune(&mut m, &triplets, 1, 0.4, 0.2);
+        let last = fine_tune(&mut m, &triplets, 200, 0.4, 0.2);
+        assert!(last <= first, "{last} > {first}");
+        assert!(last < 0.2);
+    }
+
+    #[test]
+    fn robust_to_minority_false_feedback() {
+        // 3 consistent triplets + 1 contradictory one: the majority ordering
+        // must win, which is the robustness property §IV claims.
+        let mut m = PathSimModel::new(48, 22);
+        let good = Triplet {
+            anchor: owned(&["country"]),
+            positive: owned(&["brandCountry"]),
+            negative: owned(&["soleMadeBy"]),
+        };
+        let bad = Triplet {
+            anchor: owned(&["country"]),
+            positive: owned(&["soleMadeBy"]),
+            negative: owned(&["brandCountry"]),
+        };
+        let mix = vec![good.clone(), good.clone(), good.clone(), bad];
+        fine_tune(&mut m, &mix, 150, 0.3, 0.15);
+        let sp = m.score(&owned(&["country"]), &owned(&["brandCountry"]));
+        let sn = m.score(&owned(&["country"]), &owned(&["soleMadeBy"]));
+        assert!(sp > sn, "majority ordering lost: sp={sp} sn={sn}");
+    }
+
+    #[test]
+    fn empty_triplet_set_is_noop() {
+        let mut m = PathSimModel::new(16, 23);
+        assert_eq!(fine_tune(&mut m, &[], 5, 0.2, 0.1), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Dense vector arithmetic shared by the embedding models.
+
+/// Dot product of two equal-length vectors.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; `0` if either vector is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// In-place `a += scale * b`.
+pub fn add_scaled(a: &mut [f32], b: &[f32], scale: f32) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += scale * y;
+    }
+}
+
+/// Normalises `a` to unit length (no-op on the zero vector).
+pub fn normalize(a: &mut [f32]) {
+    let n = norm(a);
+    if n > 0.0 {
+        for x in a.iter_mut() {
+            *x /= n;
+        }
+    }
+}
+
+/// Element-wise product.
+pub fn hadamard(a: &[f32], b: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+/// Element-wise absolute difference.
+pub fn abs_diff(a: &[f32], b: &[f32]) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).collect()
+}
+
+/// The paper's similarity mapping `(|cos| + cos)/2`, clamping cosine into
+/// `[0, 1]` (negative similarities become 0).
+#[inline]
+pub fn cos_to_unit(c: f32) -> f32 {
+    (c.abs() + c) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn cosine_identical_and_orthogonal() {
+        assert!((cosine(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector() {
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn add_scaled_accumulates() {
+        let mut a = vec![1.0, 1.0];
+        add_scaled(&mut a, &[2.0, -2.0], 0.5);
+        assert_eq!(a, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        assert_eq!(hadamard(&[1.0, 2.0], &[3.0, 4.0]), vec![3.0, 8.0]);
+        assert_eq!(abs_diff(&[1.0, 5.0], &[4.0, 2.0]), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn cos_to_unit_maps_range() {
+        assert_eq!(cos_to_unit(1.0), 1.0);
+        assert_eq!(cos_to_unit(0.0), 0.0);
+        assert_eq!(cos_to_unit(-0.8), 0.0);
+        assert!((cos_to_unit(0.5) - 0.5).abs() < 1e-6);
+    }
+}

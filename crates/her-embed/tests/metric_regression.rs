@@ -1,0 +1,53 @@
+//! Regression test for the `M_ρ` dead-unit collapse: after heavy
+//! pre-training, a plain-ReLU metric head froze at the class prior and
+//! scored every non-token-overlapping predicate pair 0.125 (see DESIGN.md
+//! §4b). Leaky ReLU + raw-embedding features fixed it; this test keeps the
+//! exact failing scenario — a large pre-training corpus followed by
+//! supervised pairs without token overlap — green.
+
+use her_embed::metric::{LabeledPair, PathSimModel};
+
+fn owned(v: &[&str]) -> Vec<String> {
+    v.iter().map(|s| (*s).to_owned()).collect()
+}
+
+#[test]
+fn memorizes_non_overlapping_correspondences() {
+    let mut m = PathSimModel::new(64, 0x4845);
+    // A heavy pretraining corpus like Her::build's random walks.
+    let base = [
+        vec!["publishedIn"],
+        vec!["publishedInYear"],
+        vec!["hasTitle"],
+        vec!["hasAuthor", "fullName"],
+        vec!["hasAuthor", "affiliatedWith", "locatedIn"],
+        vec!["publishedBy", "basedIn", "cityOf"],
+        vec!["publishedBy", "basedIn"],
+        vec!["hasAuthor", "researchField"],
+    ];
+    let corpus: Vec<Vec<String>> = (0..2000)
+        .map(|i| owned(&base[i % base.len()]))
+        .collect();
+    m.pretrain(&corpus, 15, 1);
+    let pairs: Vec<LabeledPair> = vec![
+        (owned(&["venue"]), owned(&["publishedIn"]), true),
+        (owned(&["year"]), owned(&["publishedInYear"]), true),
+        (owned(&["title"]), owned(&["hasTitle"]), true),
+        (owned(&["press"]), owned(&["publishedBy", "basedIn", "cityOf"]), true),
+        (owned(&["venue"]), owned(&["publishedInYear"]), false),
+        (owned(&["year"]), owned(&["publishedIn"]), false),
+        (owned(&["venue"]), owned(&["hasTitle"]), false),
+        (owned(&["title"]), owned(&["publishedIn"]), false),
+        (owned(&["press"]), owned(&["publishedIn"]), false),
+        (owned(&["year"]), owned(&["hasAuthor"]), false),
+        (owned(&["title"]), owned(&["publishedInYear"]), false),
+        (owned(&["venue"]), owned(&["publishedBy", "basedIn", "cityOf"]), false),
+    ];
+    let loss = m.train(&pairs, 150, 2);
+    eprintln!("final loss {loss}");
+    for (a, b, want) in &pairs {
+        eprintln!("score({a:?},{b:?}) = {:.3} want {}", m.score(a, b), want);
+    }
+    assert!(m.score(&owned(&["venue"]), &owned(&["publishedIn"])) > 0.5);
+    assert!(m.score(&owned(&["year"]), &owned(&["publishedIn"])) < 0.5);
+}

@@ -1,0 +1,123 @@
+//! Property-based tests of the ML substrate.
+
+use her_embed::hashvec::HashEmbedder;
+use her_embed::mlp::Mlp;
+use her_embed::pathlm::{PathLm, Token};
+use her_embed::sentence::SentenceModel;
+use her_embed::vec_ops;
+use her_graph::LabelId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Token embeddings are unit vectors (or zero for empty tokens) and
+    /// deterministic.
+    #[test]
+    fn hashvec_unit_and_deterministic(token in "[a-z0-9]{0,12}", dim in 1usize..128) {
+        let e = HashEmbedder::new(dim);
+        let v1 = e.embed_token(&token);
+        let v2 = e.embed_token(&token);
+        prop_assert_eq!(v1.clone(), v2);
+        let n = vec_ops::norm(&v1);
+        prop_assert!(n == 0.0 || (n - 1.0).abs() < 1e-4, "norm {n}");
+    }
+
+    /// Sentence similarity is symmetric and in [0, 1] for arbitrary text.
+    #[test]
+    fn sentence_similarity_symmetric(a in "[ -~]{0,24}", b in "[ -~]{0,24}") {
+        let m = SentenceModel::new(32);
+        let s1 = m.similarity(&a, &b);
+        let s2 = m.similarity(&b, &a);
+        prop_assert!((0.0..=1.0).contains(&s1));
+        prop_assert!((s1 - s2).abs() < 1e-5, "{s1} vs {s2}");
+    }
+
+    /// The path LM's conditional distribution sums to 1 over the full
+    /// vocabulary (labels + eos) for any context, trained on any corpus.
+    #[test]
+    fn pathlm_distributions_normalise(
+        corpus in prop::collection::vec(
+            prop::collection::vec(0u32..6, 1..5), 1..10),
+        ctx in prop::collection::vec(0u32..8, 0..3),
+    ) {
+        let corpus: Vec<Vec<LabelId>> =
+            corpus.into_iter().map(|s| s.into_iter().map(LabelId).collect()).collect();
+        let mut lm = PathLm::new();
+        lm.train(&corpus);
+        let vocab: std::collections::BTreeSet<LabelId> =
+            corpus.iter().flatten().copied().collect();
+        let ctx: Vec<LabelId> = ctx.into_iter().map(LabelId).collect();
+        let mut total = lm.prob(&ctx, Token::Eos);
+        for &l in &vocab {
+            total += lm.prob(&ctx, Token::Label(l));
+        }
+        // Smoothing reserves vocab+1 slots; unseen labels outside the vocab
+        // hold no mass beyond the smoothing constant accounted above.
+        prop_assert!((total - 1.0).abs() < 1e-6, "ctx {ctx:?} sums to {total}");
+    }
+
+    /// All LM probabilities are valid and eos-stopping is well-defined.
+    #[test]
+    fn pathlm_probs_in_range(
+        corpus in prop::collection::vec(
+            prop::collection::vec(0u32..5, 1..4), 1..8),
+        next in 0u32..10,
+    ) {
+        let corpus: Vec<Vec<LabelId>> =
+            corpus.into_iter().map(|s| s.into_iter().map(LabelId).collect()).collect();
+        let mut lm = PathLm::new();
+        lm.train(&corpus);
+        for ctx_len in 0..3 {
+            let ctx: Vec<LabelId> = (0..ctx_len).map(LabelId).collect();
+            let p = lm.prob(&ctx, Token::Label(LabelId(next)));
+            prop_assert!((0.0..=1.0).contains(&p));
+            let pe = lm.prob(&ctx, Token::Eos);
+            prop_assert!((0.0..=1.0).contains(&pe) && pe > 0.0);
+        }
+    }
+
+    /// MLP predictions are finite probabilities for arbitrary inputs.
+    #[test]
+    fn mlp_outputs_are_probabilities(
+        xs in prop::collection::vec(-10.0f32..10.0, 6),
+        seed in 0u64..50,
+    ) {
+        let m = Mlp::new(&[6, 8, 1], seed);
+        let s = m.predict(&xs);
+        prop_assert!(s.is_finite());
+        prop_assert!((0.0..=1.0).contains(&s));
+    }
+
+    /// Training never produces NaN weights (gradient clipping holds) even
+    /// with adversarial targets and repeated steps.
+    #[test]
+    fn mlp_training_stays_finite(
+        examples in prop::collection::vec(
+            (prop::collection::vec(-5.0f32..5.0, 4), prop::bool::ANY), 1..10),
+    ) {
+        let mut m = Mlp::new(&[4, 6, 1], 3);
+        let data: Vec<(Vec<f32>, f32)> = examples
+            .into_iter()
+            .map(|(x, y)| (x, if y { 1.0 } else { 0.0 }))
+            .collect();
+        let loss = m.fit(&data, 50, 0.5, 7);
+        prop_assert!(loss.is_finite());
+        for (x, _) in &data {
+            let s = m.predict(x);
+            prop_assert!(s.is_finite() && (0.0..=1.0).contains(&s));
+        }
+    }
+
+    /// cos_to_unit maps [-1, 1] to [0, 1] monotonically on the positive side.
+    #[test]
+    fn cos_to_unit_properties(c in -1.0f32..1.0) {
+        let u = vec_ops::cos_to_unit(c);
+        prop_assert!((0.0..=1.0).contains(&u));
+        if c <= 0.0 {
+            prop_assert_eq!(u, 0.0);
+        } else {
+            prop_assert!((u - c).abs() < 1e-6);
+        }
+    }
+}

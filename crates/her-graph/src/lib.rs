@@ -1,0 +1,35 @@
+//! Directed labeled graph substrate for HER.
+//!
+//! The paper (§II) models data graphs as `G = (V, E, L)`: a finite vertex set,
+//! a directed edge set, and a labeling that assigns every vertex a label from
+//! alphabet Θ (values/types) and every edge a label from alphabet Φ
+//! (predicates). This crate provides that model with:
+//!
+//! - [`Graph`]: an immutable CSR (compressed sparse row) representation with
+//!   O(1) out-neighbour slices, built once via [`GraphBuilder`];
+//! - [`Interner`]: string interning so labels are compared as `u32`s;
+//! - [`Path`]: simple paths with their edge-label sequences (§III);
+//! - [`walk`]: random walks used to build the edge-label corpus that trains
+//!   the path language model (§IV);
+//! - [`traverse`]: BFS reachability and descendant enumeration helpers.
+//!
+//! The crate is dependency-light and forms the bottom of the HER stack: the
+//! canonical graph `G_D` produced by RDB2RDF (crate `her-rdb`) and the data
+//! graph `G` are both [`Graph`]s.
+
+pub mod builder;
+pub mod graph;
+pub mod hash;
+pub mod ids;
+pub mod interner;
+pub mod ntriples;
+pub mod path;
+pub mod stats;
+pub mod traverse;
+pub mod walk;
+
+pub use builder::GraphBuilder;
+pub use graph::Graph;
+pub use ids::{LabelId, VertexId};
+pub use interner::Interner;
+pub use path::Path;

@@ -1,0 +1,265 @@
+//! N-Triples import/export.
+//!
+//! The paper's graph-side datasets ship as RDF (DBpedia, DBLP RDF, the
+//! RDB2RDF standard itself). This module serialises a [`Graph`] to the
+//! N-Triples line format and parses it back:
+//!
+//! ```text
+//! <v0> <color> "white" .
+//! <v0> <brand> <v2> .
+//! ```
+//!
+//! Vertices with out-edges are written as IRIs `<vN>`; leaf targets are
+//! written as literals carrying their label. Vertex labels are emitted as
+//! `<vN> <label> "..."` triples so the round-trip is lossless.
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+use crate::hash::FxHashMap;
+use crate::interner::Interner;
+use crate::ids::VertexId;
+
+/// The reserved predicate carrying vertex labels.
+pub const LABEL_PREDICATE: &str = "her:label";
+
+/// Serialises the graph to N-Triples text.
+pub fn export(g: &Graph, interner: &Interner) -> String {
+    let mut out = String::new();
+    for v in g.vertices() {
+        out.push_str(&format!(
+            "<v{}> <{}> {} .\n",
+            v.0,
+            LABEL_PREDICATE,
+            literal(interner.resolve(g.label(v)))
+        ));
+    }
+    for (s, p, o) in g.edges() {
+        out.push_str(&format!(
+            "<v{}> <{}> <v{}> .\n",
+            s.0,
+            escape_iri(interner.resolve(p)),
+            o.0
+        ));
+    }
+    out
+}
+
+fn literal(s: &str) -> String {
+    format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\""))
+}
+
+fn escape_iri(s: &str) -> String {
+    s.replace(' ', "%20").replace('>', "%3E")
+}
+
+fn unescape_iri(s: &str) -> String {
+    s.replace("%20", " ").replace("%3E", ">")
+}
+
+/// Parse error with 1-based line number.
+#[derive(Debug, PartialEq, Eq)]
+pub struct NtError {
+    /// 1-based line of the offending triple.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for NtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N-Triples error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for NtError {}
+
+/// Parses N-Triples text produced by [`export`] back into a graph.
+pub fn import(text: &str) -> Result<(Graph, Interner), NtError> {
+    let mut b = GraphBuilder::new();
+    let mut by_name: FxHashMap<String, VertexId> = FxHashMap::default();
+    let mut labels: FxHashMap<String, String> = FxHashMap::default();
+    let mut edges: Vec<(String, String, String)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (s, p, o) = parse_triple(line).map_err(|message| NtError {
+            line: i + 1,
+            message,
+        })?;
+        if p == LABEL_PREDICATE {
+            match o {
+                Term::Literal(l) => {
+                    labels.insert(s, l);
+                }
+                Term::Iri(_) => {
+                    return Err(NtError {
+                        line: i + 1,
+                        message: "label object must be a literal".to_owned(),
+                    })
+                }
+            }
+        } else {
+            match o {
+                Term::Iri(obj) => edges.push((s, p, obj)),
+                Term::Literal(_) => {
+                    return Err(NtError {
+                        line: i + 1,
+                        message: "literal objects are only allowed for her:label".to_owned(),
+                    })
+                }
+            }
+        }
+    }
+
+    // Create vertices in name order for determinism (v0, v1, … sort by
+    // numeric suffix when possible).
+    let mut names: Vec<String> = labels.keys().cloned().collect();
+    for (s, _, o) in &edges {
+        if !labels.contains_key(s) {
+            names.push(s.clone());
+        }
+        if !labels.contains_key(o) {
+            names.push(o.clone());
+        }
+    }
+    names.sort_by_key(|n| {
+        n.strip_prefix('v')
+            .and_then(|x| x.parse::<u64>().ok())
+            .map(|k| (0u8, k, String::new()))
+            .unwrap_or((1, 0, n.clone()))
+    });
+    names.dedup();
+    for name in &names {
+        let label = labels.get(name).cloned().unwrap_or_default();
+        let v = b.add_vertex(&label);
+        by_name.insert(name.clone(), v);
+    }
+    for (s, p, o) in edges {
+        let (sv, ov) = (by_name[&s], by_name[&o]);
+        b.add_edge(sv, ov, &unescape_iri(&p));
+    }
+    Ok(b.build())
+}
+
+enum Term {
+    Iri(String),
+    Literal(String),
+}
+
+fn parse_triple(line: &str) -> Result<(String, String, Term), String> {
+    let line = line
+        .strip_suffix('.')
+        .ok_or("triple must end with '.'")?
+        .trim_end();
+    let (s, rest) = parse_iri(line)?;
+    let (p, rest) = parse_iri(rest.trim_start())?;
+    let rest = rest.trim();
+    let o = if let Some(stripped) = rest.strip_prefix('<') {
+        let end = stripped.find('>').ok_or("unterminated IRI")?;
+        if !stripped[end + 1..].trim().is_empty() {
+            return Err("trailing content after object".to_owned());
+        }
+        Term::Iri(stripped[..end].to_owned())
+    } else if let Some(body) = rest.strip_prefix('"') {
+        let mut out = String::new();
+        let mut chars = body.chars();
+        loop {
+            match chars.next() {
+                None => return Err("unterminated literal".to_owned()),
+                Some('"') => break,
+                Some('\\') => match chars.next() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    _ => return Err("bad escape in literal".to_owned()),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+        if !chars.as_str().trim().is_empty() {
+            return Err("trailing content after literal".to_owned());
+        }
+        Term::Literal(out)
+    } else {
+        return Err("object must be an IRI or literal".to_owned());
+    };
+    Ok((s, p, o))
+}
+
+fn parse_iri(text: &str) -> Result<(String, &str), String> {
+    let stripped = text.strip_prefix('<').ok_or("expected '<'")?;
+    let end = stripped.find('>').ok_or("unterminated IRI")?;
+    Ok((stripped[..end].to_owned(), &stripped[end + 1..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> (Graph, Interner) {
+        let mut b = GraphBuilder::new();
+        let item = b.add_vertex("item");
+        let brand = b.add_vertex("Addidas \"Originals\"");
+        let color = b.add_vertex("white");
+        b.add_edge(item, brand, "brand name"); // space → %20 in the IRI
+        b.add_edge(item, color, "hasColor");
+        b.build()
+    }
+
+    #[test]
+    fn export_emits_labels_and_edges() {
+        let (g, i) = sample();
+        let nt = export(&g, &i);
+        assert!(nt.contains("<v0> <her:label> \"item\" ."));
+        assert!(nt.contains("<v0> <brand%20name> <v1> ."));
+        assert!(nt.contains("\\\"Originals\\\""));
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let (g, i) = sample();
+        let nt = export(&g, &i);
+        let (g2, i2) = import(&nt).unwrap();
+        assert_eq!(g2.vertex_count(), g.vertex_count());
+        assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.vertices() {
+            assert_eq!(i2.resolve(g2.label(v)), i.resolve(g.label(v)));
+            assert_eq!(g2.children(v), g.children(v));
+        }
+        // Edge labels survive, including the escaped space.
+        let brand_edge = g2.out_edges(crate::VertexId(0)).next().unwrap();
+        assert_eq!(i2.resolve(brand_edge.0), "brand name");
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let nt = "# a comment\n\n<v0> <her:label> \"x\" .\n";
+        let (g, i) = import(nt).unwrap();
+        assert_eq!(g.vertex_count(), 1);
+        assert_eq!(i.resolve(g.label(crate::VertexId(0))), "x");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = import("<v0> <p> junk .\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        let e = import("<v0> <her:label> \"ok\" .\nnot a triple .\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(import("<v0> <p> \"literal on non-label\" .").is_err());
+    }
+
+    #[test]
+    fn unlabeled_vertices_get_empty_labels() {
+        // An edge to a vertex that never had a label triple.
+        let nt = "<v0> <her:label> \"a\" .\n<v0> <knows> <v9> .\n";
+        let (g, i) = import(nt).unwrap();
+        assert_eq!(g.vertex_count(), 2);
+        let target = g.children(crate::VertexId(0))[0];
+        assert_eq!(i.resolve(g.label(target)), "");
+    }
+}

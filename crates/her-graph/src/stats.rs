@@ -1,0 +1,95 @@
+//! Summary statistics over a graph, used by dataset reports and the
+//! reproduction harness (Table IV reports `|V_D|, |E_D|, |V|, |E|` per
+//! dataset).
+
+use crate::graph::Graph;
+
+/// Aggregate statistics of a [`Graph`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// `|V|`.
+    pub vertices: usize,
+    /// `|E|`.
+    pub edges: usize,
+    /// Number of vertices with no out-edges.
+    pub leaves: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Mean out-degree.
+    pub avg_out_degree: f64,
+}
+
+/// Computes [`GraphStats`] in one pass.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let mut leaves = 0usize;
+    let mut max_out = 0usize;
+    for v in g.vertices() {
+        let d = g.out_degree(v);
+        if d == 0 {
+            leaves += 1;
+        }
+        max_out = max_out.max(d);
+    }
+    let n = g.vertex_count();
+    GraphStats {
+        vertices: n,
+        edges: g.edge_count(),
+        leaves,
+        max_out_degree: max_out,
+        avg_out_degree: if n == 0 {
+            0.0
+        } else {
+            g.edge_count() as f64 / n as f64
+        },
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "|V|={} |E|={} leaves={} max_deg={} avg_deg={:.2}",
+            self.vertices, self.edges, self.leaves, self.max_out_degree, self.avg_out_degree
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_star() {
+        let mut b = GraphBuilder::new();
+        let hub = b.add_vertex("hub");
+        for i in 0..5 {
+            let s = b.add_vertex(&format!("spoke{i}"));
+            b.add_edge(hub, s, "e");
+        }
+        let (g, _) = b.build();
+        let s = graph_stats(&g);
+        assert_eq!(s.vertices, 6);
+        assert_eq!(s.edges, 5);
+        assert_eq!(s.leaves, 5);
+        assert_eq!(s.max_out_degree, 5);
+        assert!((s.avg_out_degree - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let (g, _) = GraphBuilder::new().build();
+        let s = graph_stats(&g);
+        assert_eq!(s.vertices, 0);
+        assert_eq!(s.avg_out_degree, 0.0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut b = GraphBuilder::new();
+        b.add_vertex("a");
+        let (g, _) = b.build();
+        let rendered = graph_stats(&g).to_string();
+        assert!(rendered.contains("|V|=1"));
+    }
+}

@@ -1,0 +1,195 @@
+//! Traversal helpers: BFS reachability and bounded descendant/path
+//! enumeration.
+//!
+//! Parametric simulation inspects *descendants* of a vertex (vertices
+//! reachable via directed paths, §III). The ranking function `h_r` avoids
+//! enumerating the exponentially many paths; these helpers provide the
+//! bounded enumeration used for training-data preparation (§IV "Training")
+//! and for the brute-force reference implementations in tests.
+
+use crate::graph::Graph;
+use crate::hash::FxHashSet;
+use crate::ids::VertexId;
+use crate::path::Path;
+use std::collections::VecDeque;
+
+/// All vertices reachable from `start` (excluding `start` itself unless it
+/// lies on a cycle through itself), via BFS.
+pub fn reachable(g: &Graph, start: VertexId) -> Vec<VertexId> {
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        for &c in g.children(v) {
+            if seen.insert(c) {
+                out.push(c);
+                queue.push_back(c);
+            }
+        }
+    }
+    out
+}
+
+/// BFS distances (in edges) from `start` to every reachable vertex.
+pub fn bfs_distances(g: &Graph, start: VertexId) -> Vec<(VertexId, usize)> {
+    let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+    seen.insert(start);
+    let mut out = Vec::new();
+    let mut queue = VecDeque::new();
+    queue.push_back((start, 0usize));
+    while let Some((v, d)) = queue.pop_front() {
+        for &c in g.children(v) {
+            if seen.insert(c) {
+                out.push((c, d + 1));
+                queue.push_back((c, d + 1));
+            }
+        }
+    }
+    out
+}
+
+/// All simple paths from `start` of length `1..=max_len`, via DFS.
+///
+/// This is exponential in the worst case — it exists for training-data
+/// preparation on small neighbourhoods and for test oracles, not for the
+/// matching hot path (which uses `h_r`).
+pub fn simple_paths_up_to(g: &Graph, start: VertexId, max_len: usize) -> Vec<Path> {
+    let mut out = Vec::new();
+    let mut current = Path::trivial(start);
+    dfs_paths(g, &mut current, max_len, &mut out);
+    out
+}
+
+fn dfs_paths(g: &Graph, current: &mut Path, max_len: usize, out: &mut Vec<Path>) {
+    if current.len() == max_len {
+        return;
+    }
+    let v = current.end();
+    // Collect first to avoid borrowing `g` across the recursive call while
+    // mutating `current`.
+    let step: Vec<_> = g.out_edges(v).collect();
+    for (l, t) in step {
+        if current.would_cycle(t) {
+            continue;
+        }
+        current.push(l, t);
+        out.push(current.clone());
+        dfs_paths(g, current, max_len, out);
+        // pop
+        let vs = current.vertices().to_vec();
+        let ls = current.edge_labels().to_vec();
+        *current = Path::new(vs[..vs.len() - 1].to_vec(), ls[..ls.len() - 1].to_vec());
+    }
+}
+
+/// The 2-hop neighbourhood of `v` (children and grandchildren with the edge
+/// labels leading to them). Used by the flattening adapters that feed graph
+/// vertices to the relational baselines (§VII "Baselines").
+pub fn two_hop(g: &Graph, v: VertexId) -> Vec<(Vec<crate::ids::LabelId>, VertexId)> {
+    let mut out = Vec::new();
+    for (l1, c) in g.out_edges(v) {
+        out.push((vec![l1], c));
+        for (l2, gc) in g.out_edges(c) {
+            if gc != v {
+                out.push((vec![l1, l2], gc));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Diamond with a tail: 0 -> {1, 2} -> 3 -> 4
+    fn diamond() -> (Graph, Vec<VertexId>) {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..5).map(|i| b.add_vertex(&format!("n{i}"))).collect();
+        b.add_edge(vs[0], vs[1], "a");
+        b.add_edge(vs[0], vs[2], "b");
+        b.add_edge(vs[1], vs[3], "c");
+        b.add_edge(vs[2], vs[3], "d");
+        b.add_edge(vs[3], vs[4], "e");
+        let (g, _) = b.build();
+        (g, vs)
+    }
+
+    #[test]
+    fn reachable_finds_all_descendants() {
+        let (g, vs) = diamond();
+        let mut r = reachable(&g, vs[0]);
+        r.sort();
+        assert_eq!(r, vec![vs[1], vs[2], vs[3], vs[4]]);
+    }
+
+    #[test]
+    fn reachable_from_leaf_is_empty() {
+        let (g, vs) = diamond();
+        assert!(reachable(&g, vs[4]).is_empty());
+    }
+
+    #[test]
+    fn reachable_handles_cycles() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("a");
+        let c = b.add_vertex("c");
+        b.add_edge(a, c, "e");
+        b.add_edge(c, a, "f");
+        let (g, _) = b.build();
+        let mut r = reachable(&g, a);
+        r.sort();
+        assert_eq!(r, vec![a, c]); // a is reachable from itself via the cycle
+    }
+
+    #[test]
+    fn bfs_distances_are_shortest() {
+        let (g, vs) = diamond();
+        let d = bfs_distances(&g, vs[0]);
+        let dist = |v| d.iter().find(|(u, _)| *u == v).unwrap().1;
+        assert_eq!(dist(vs[1]), 1);
+        assert_eq!(dist(vs[3]), 2);
+        assert_eq!(dist(vs[4]), 3);
+    }
+
+    #[test]
+    fn simple_paths_enumeration() {
+        let (g, vs) = diamond();
+        let paths = simple_paths_up_to(&g, vs[0], 3);
+        // 1-edge: (0,1), (0,2); 2-edge: (0,1,3), (0,2,3); 3-edge: two through to 4.
+        assert_eq!(paths.len(), 6);
+        assert!(paths.iter().all(|p| p.is_simple() && p.validate(&g)));
+        assert!(paths.iter().all(|p| p.len() <= 3));
+    }
+
+    #[test]
+    fn simple_paths_respect_max_len() {
+        let (g, vs) = diamond();
+        let paths = simple_paths_up_to(&g, vs[0], 1);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn simple_paths_skip_cycles() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_vertex("a");
+        let c = b.add_vertex("c");
+        b.add_edge(a, c, "e");
+        b.add_edge(c, a, "f");
+        let (g, _) = b.build();
+        let paths = simple_paths_up_to(&g, a, 5);
+        // Only (a,c): extending back to a would repeat a vertex.
+        assert_eq!(paths.len(), 1);
+    }
+
+    #[test]
+    fn two_hop_neighbourhood() {
+        let (g, vs) = diamond();
+        let hop = two_hop(&g, vs[0]);
+        // children 1, 2 plus grandchild 3 reached twice (via 1 and via 2).
+        assert_eq!(hop.len(), 4);
+        assert!(hop.iter().any(|(ls, t)| ls.len() == 2 && *t == vs[3]));
+    }
+}

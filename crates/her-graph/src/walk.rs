@@ -1,0 +1,160 @@
+//! Random walks over a graph.
+//!
+//! §IV constructs the corpus `C` that pre-trains the edge-label sequence
+//! model `M_ρ` "by randomly walking in G and collecting edge labels on the
+//! paths". [`WalkConfig`] + [`random_walks`] reproduce that corpus builder.
+
+use crate::graph::Graph;
+use crate::ids::{LabelId, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for corpus generation by random walks.
+#[derive(Clone, Debug)]
+pub struct WalkConfig {
+    /// Number of walks started per vertex.
+    pub walks_per_vertex: usize,
+    /// Maximum number of edges per walk.
+    pub max_len: usize,
+    /// RNG seed — corpora are reproducible.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        Self {
+            walks_per_vertex: 2,
+            max_len: 4,
+            seed: 0x0048_4552,
+        }
+    }
+}
+
+/// Runs random walks and returns the edge-label sequence of each walk.
+///
+/// Walks stop early at sinks; empty walks (from leaves) are dropped. The
+/// walk does not revisit the immediately previous vertex, mimicking the
+/// simple-path bias of the paper's corpus.
+pub fn random_walks(g: &Graph, cfg: &WalkConfig) -> Vec<Vec<LabelId>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut corpus = Vec::with_capacity(g.vertex_count() * cfg.walks_per_vertex);
+    for v in g.vertices() {
+        for _ in 0..cfg.walks_per_vertex {
+            let seq = one_walk(g, v, cfg.max_len, &mut rng);
+            if !seq.is_empty() {
+                corpus.push(seq);
+            }
+        }
+    }
+    corpus
+}
+
+fn one_walk(g: &Graph, start: VertexId, max_len: usize, rng: &mut StdRng) -> Vec<LabelId> {
+    let mut labels = Vec::with_capacity(max_len);
+    let mut prev: Option<VertexId> = None;
+    let mut cur = start;
+    for _ in 0..max_len {
+        let deg = g.out_degree(cur);
+        if deg == 0 {
+            break;
+        }
+        // Prefer a step that does not bounce straight back.
+        let candidates: Vec<(LabelId, VertexId)> = g
+            .out_edges(cur)
+            .filter(|(_, t)| Some(*t) != prev)
+            .collect();
+        let (l, t) = if candidates.is_empty() {
+            let idx = rng.gen_range(0..deg);
+            g.out_edges(cur).nth(idx).unwrap()
+        } else {
+            candidates[rng.gen_range(0..candidates.len())]
+        };
+        labels.push(l);
+        prev = Some(cur);
+        cur = t;
+    }
+    labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn chain(n: usize) -> Graph {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..n).map(|i| b.add_vertex(&format!("n{i}"))).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], "next");
+        }
+        b.build().0
+    }
+
+    #[test]
+    fn walks_are_reproducible() {
+        let g = chain(10);
+        let cfg = WalkConfig::default();
+        assert_eq!(random_walks(&g, &cfg), random_walks(&g, &cfg));
+    }
+
+    #[test]
+    fn walks_respect_max_len() {
+        let g = chain(20);
+        let cfg = WalkConfig {
+            max_len: 3,
+            ..Default::default()
+        };
+        assert!(random_walks(&g, &cfg).iter().all(|w| w.len() <= 3));
+    }
+
+    #[test]
+    fn walks_stop_at_sinks() {
+        let g = chain(3); // longest possible walk: 2 edges
+        let cfg = WalkConfig {
+            max_len: 10,
+            ..Default::default()
+        };
+        let walks = random_walks(&g, &cfg);
+        assert!(!walks.is_empty());
+        assert!(walks.iter().all(|w| w.len() <= 2));
+    }
+
+    #[test]
+    fn empty_walks_dropped() {
+        // Graph of isolated vertices produces no corpus entries.
+        let mut b = GraphBuilder::new();
+        b.add_vertex("lonely");
+        b.add_vertex("alone");
+        let (g, _) = b.build();
+        assert!(random_walks(&g, &WalkConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        // A branching graph gives the RNG choices to diverge on.
+        let mut b = GraphBuilder::new();
+        let root = b.add_vertex("root");
+        for i in 0..8 {
+            let c = b.add_vertex(&format!("c{i}"));
+            b.add_edge(root, c, &format!("e{i}"));
+        }
+        let (g, _) = b.build();
+        let w1 = random_walks(
+            &g,
+            &WalkConfig {
+                seed: 1,
+                walks_per_vertex: 4,
+                ..Default::default()
+            },
+        );
+        let w2 = random_walks(
+            &g,
+            &WalkConfig {
+                seed: 2,
+                walks_per_vertex: 4,
+                ..Default::default()
+            },
+        );
+        assert_ne!(w1, w2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests of the graph substrate.
+
+use her_graph::walk::{random_walks, WalkConfig};
+use her_graph::{ntriples, Graph, GraphBuilder, Interner, VertexId};
+use proptest::prelude::*;
+
+/// Random (labels, edges) raw material for a graph.
+fn arb_raw() -> impl Strategy<Value = (Vec<String>, Vec<(usize, usize, String)>)> {
+    (1usize..12).prop_flat_map(|n| {
+        (
+            prop::collection::vec("[a-zA-Z0-9 ]{0,10}", n),
+            prop::collection::vec(((0..n), (0..n), "[a-z]{1,6}"), 0..20),
+        )
+    })
+}
+
+fn build(labels: &[String], edges: &[(usize, usize, String)]) -> (Graph, Interner) {
+    let mut b = GraphBuilder::new();
+    let vs: Vec<VertexId> = labels.iter().map(|l| b.add_vertex(l)).collect();
+    for (s, t, l) in edges {
+        b.add_edge(vs[*s], vs[*t], l);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CSR reproduces exactly the inserted adjacency, in order.
+    #[test]
+    fn csr_preserves_edges((labels, edges) in arb_raw()) {
+        let (g, interner) = build(&labels, &edges);
+        prop_assert_eq!(g.vertex_count(), labels.len());
+        prop_assert_eq!(g.edge_count(), edges.len());
+        // Per-source insertion order is preserved.
+        for (i, label) in labels.iter().enumerate() {
+            let v = VertexId(i as u32);
+            prop_assert_eq!(interner.resolve(g.label(v)), label.as_str());
+            let expected: Vec<(String, usize)> = edges
+                .iter()
+                .filter(|(s, _, _)| *s == i)
+                .map(|(_, t, l)| (l.clone(), *t))
+                .collect();
+            let actual: Vec<(String, usize)> = g
+                .out_edges(v)
+                .map(|(l, t)| (interner.resolve(l).to_owned(), t.index()))
+                .collect();
+            prop_assert_eq!(actual, expected);
+        }
+        // Degree identities.
+        let out_sum: usize = g.vertices().map(|v| g.out_degree(v)).sum();
+        let in_sum: usize = g.vertices().map(|v| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, edges.len());
+        prop_assert_eq!(in_sum, edges.len());
+    }
+
+    /// N-Triples round-trips arbitrary graphs losslessly.
+    #[test]
+    fn ntriples_roundtrip((labels, edges) in arb_raw()) {
+        let (g, interner) = build(&labels, &edges);
+        let nt = ntriples::export(&g, &interner);
+        let (g2, i2) = ntriples::import(&nt).expect("reimport");
+        prop_assert_eq!(g2.vertex_count(), g.vertex_count());
+        prop_assert_eq!(g2.edge_count(), g.edge_count());
+        for v in g.vertices() {
+            prop_assert_eq!(i2.resolve(g2.label(v)), interner.resolve(g.label(v)));
+            prop_assert_eq!(g2.children(v), g.children(v));
+            let l1: Vec<&str> = g.child_labels(v).iter().map(|&l| interner.resolve(l)).collect();
+            let l2: Vec<&str> = g2.child_labels(v).iter().map(|&l| i2.resolve(l)).collect();
+            prop_assert_eq!(l1, l2);
+        }
+    }
+
+    /// Random walks only traverse existing edges and respect the cap.
+    #[test]
+    fn walks_are_valid_edge_sequences((labels, edges) in arb_raw(), seed in 0u64..100) {
+        let (g, _) = build(&labels, &edges);
+        let cfg = WalkConfig { walks_per_vertex: 1, max_len: 4, seed };
+        let edge_labels: std::collections::BTreeSet<_> =
+            g.edges().map(|(_, l, _)| l).collect();
+        for walk in random_walks(&g, &cfg) {
+            prop_assert!(walk.len() <= 4);
+            for l in walk {
+                prop_assert!(edge_labels.contains(&l), "walk used a non-existent label");
+            }
+        }
+    }
+
+    /// Interning arbitrary strings round-trips.
+    #[test]
+    fn interner_roundtrip(strings in prop::collection::vec("[^\\x00]{0,16}", 0..20)) {
+        let mut i = Interner::new();
+        let ids: Vec<_> = strings.iter().map(|s| i.intern(s)).collect();
+        for (s, id) in strings.iter().zip(&ids) {
+            prop_assert_eq!(i.resolve(*id), s.as_str());
+            prop_assert_eq!(i.get(s), Some(*id));
+        }
+        // Distinct strings → distinct ids.
+        let unique: std::collections::BTreeSet<_> = strings.iter().collect();
+        let unique_ids: std::collections::BTreeSet<_> = ids.iter().collect();
+        prop_assert_eq!(unique.len(), unique_ids.len());
+    }
+}

@@ -1,0 +1,283 @@
+//! Asynchronous `PAllMatch` (§VI-B, Remark 1).
+//!
+//! The paper notes that `PAllMatch` "can work asynchronously" under the
+//! adaptive asynchronous parallel model (AAP \[34\]): workers need not wait
+//! at superstep barriers — each processes verification requests and
+//! invalidations as they arrive. Because invalidation is monotone (a pair
+//! flips `true → false` at most once at its owner), the fixpoint is the
+//! same as the bulk-synchronous run's.
+//!
+//! Workers run on OS threads connected by `crossbeam` channels.
+//! Termination uses an in-flight message counter: a message is accounted
+//! *before* it is sent and released *after* it is processed, so
+//! `in_flight == 0` with all workers idle implies global quiescence.
+
+use crate::partition::partition_round_robin;
+use crate::pallmatch::ParallelConfig;
+use her_core::index::InvertedIndex;
+use her_core::paramatch::{Matcher, PairKey};
+use her_core::params::Params;
+use her_graph::hash::{FxHashMap, FxHashSet};
+use her_graph::{Graph, Interner, VertexId};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+enum Msg {
+    Request { pair: PairKey, from: usize },
+    Invalid { pair: PairKey },
+}
+
+/// Statistics of an asynchronous run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AsyncStats {
+    /// Verification requests exchanged.
+    pub requests: u64,
+    /// Invalidations exchanged.
+    pub invalidations: u64,
+}
+
+/// Asynchronous `AllParaMatch`: same inputs and result as
+/// [`crate::pallmatch()`], but workers communicate through channels without
+/// superstep barriers.
+pub fn pallmatch_async(
+    gd: &Graph,
+    g: &Graph,
+    interner: &Interner,
+    params: &Params,
+    tuple_vertices: &[VertexId],
+    cfg: &ParallelConfig,
+) -> (Vec<PairKey>, AsyncStats) {
+    let n = cfg.workers.max(1);
+    let part = partition_round_robin(g, n);
+    let borders = part.all_borders(g);
+    let sel_g = crate::pallmatch::precompute_selections_pub(g, params, n);
+    let sel_d = crate::pallmatch::precompute_selections_pub(gd, params, n);
+
+    // Candidate roots per worker (as in the BSP version).
+    let index = cfg.use_blocking.then(|| InvertedIndex::build(g, interner));
+    let sigma = params.thresholds.sigma;
+    let mut roots_per_worker: Vec<Vec<PairKey>> = vec![Vec::new(); n];
+    {
+        let mut probe = Matcher::new(gd, g, interner, params);
+        for &u in tuple_vertices {
+            let pool: Vec<VertexId> = match &index {
+                Some(idx) => {
+                    idx.candidates(&her_core::index::blocking_query(gd, interner, u))
+                }
+                None => g.vertices().collect(),
+            };
+            for v in pool {
+                if probe.hv_pair(u, v) >= sigma {
+                    roots_per_worker[part.owner(v)].push((u, v));
+                }
+            }
+        }
+    }
+    for roots in roots_per_worker.iter_mut() {
+        roots.sort_by_key(|&(u, v)| (gd.degree(u) + g.degree(v), u, v));
+    }
+
+    let (senders, receivers): (Vec<_>, Vec<_>) =
+        (0..n).map(|_| crossbeam::channel::unbounded::<Msg>()).unzip();
+    let in_flight = Arc::new(AtomicI64::new(0));
+
+    let results: Vec<(Vec<PairKey>, AsyncStats)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n)
+            .map(|id| {
+                let rx = receivers[id].clone();
+                let senders = senders.clone();
+                let border = borders[id].clone();
+                let roots = std::mem::take(&mut roots_per_worker[id]);
+                let in_flight = Arc::clone(&in_flight);
+                let part = &part;
+                let sel_d = sel_d.clone();
+                let sel_g = sel_g.clone();
+                scope.spawn(move || {
+                    let mut matcher = Matcher::new(gd, g, interner, params)
+                        .with_border(border)
+                        .with_selections(sel_d, sel_g);
+                    let mut stats = AsyncStats::default();
+                    let mut requested: FxHashSet<PairKey> = FxHashSet::default();
+                    let mut served: FxHashMap<PairKey, Vec<usize>> = FxHashMap::default();
+                    let mut notified: FxHashSet<PairKey> = FxHashSet::default();
+
+                    let flush = |matcher: &mut Matcher<'_>,
+                                     requested: &mut FxHashSet<PairKey>,
+                                     served: &FxHashMap<PairKey, Vec<usize>>,
+                                     notified: &mut FxHashSet<PairKey>,
+                                     stats: &mut AsyncStats| {
+                        for pair in matcher.take_new_assumptions() {
+                            if requested.insert(pair) {
+                                let owner = part.owner(pair.1);
+                                if owner != id {
+                                    stats.requests += 1;
+                                    in_flight.fetch_add(1, Ordering::SeqCst);
+                                    let _ = senders[owner].send(Msg::Request { pair, from: id });
+                                }
+                            }
+                        }
+                        let mut newly = Vec::new();
+                        for (pair, who) in served.iter() {
+                            if !notified.contains(pair)
+                                && matcher.cached(pair.0, pair.1) == Some(false)
+                            {
+                                newly.push((*pair, who.clone()));
+                            }
+                        }
+                        for (pair, who) in newly {
+                            notified.insert(pair);
+                            for w in who {
+                                stats.invalidations += 1;
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                let _ = senders[w].send(Msg::Invalid { pair });
+                            }
+                        }
+                    };
+
+                    // Initial local pass.
+                    for &(u, v) in &roots {
+                        let _ = matcher.is_match(u, v);
+                    }
+                    flush(&mut matcher, &mut requested, &served, &mut notified, &mut stats);
+
+                    // Event loop until global quiescence.
+                    loop {
+                        match rx.recv_timeout(Duration::from_millis(1)) {
+                            Ok(msg) => {
+                                match msg {
+                                    Msg::Invalid { pair } => {
+                                        matcher.apply_invalidation(pair.0, pair.1)
+                                    }
+                                    Msg::Request { pair, from } => {
+                                        let _ = matcher.is_match(pair.0, pair.1);
+                                        served.entry(pair).or_default().push(from);
+                                    }
+                                }
+                                flush(
+                                    &mut matcher,
+                                    &mut requested,
+                                    &served,
+                                    &mut notified,
+                                    &mut stats,
+                                );
+                                in_flight.fetch_sub(1, Ordering::SeqCst);
+                            }
+                            Err(_) => {
+                                // Idle: if nothing is in flight anywhere, done.
+                                if in_flight.load(Ordering::SeqCst) == 0 {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+
+                    let mut out = Vec::new();
+                    for &(u, v) in &roots {
+                        if matcher.cached(u, v) == Some(true) {
+                            out.push((u, v));
+                        }
+                    }
+                    (out, stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut all = Vec::new();
+    let mut stats = AsyncStats::default();
+    for (r, s) in results {
+        all.extend(r);
+        stats.requests += s.requests;
+        stats.invalidations += s.invalidations;
+    }
+    all.sort();
+    all.dedup();
+    (all, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pallmatch::pallmatch;
+    use her_core::params::Thresholds;
+    use her_graph::GraphBuilder;
+
+    /// Same fixture as the BSP tests: entities with non-leaf brand
+    /// sub-entities so cross-worker traffic occurs.
+    fn dataset(m: usize) -> (Graph, Graph, Interner, Vec<VertexId>) {
+        let colors = ["white", "red", "blue", "green"];
+        let brands = ["Acme", "Globex", "Initech"];
+        let countries = ["Germany", "Vietnam", "Japan"];
+        let build = |shared: Option<Interner>| {
+            let mut b = match shared {
+                Some(i) => GraphBuilder::with_interner(i),
+                None => GraphBuilder::new(),
+            };
+            let mut roots = Vec::new();
+            for i in 0..m {
+                let root = b.add_vertex("item");
+                let c = b.add_vertex(colors[i % colors.len()]);
+                let name = b.add_vertex(&format!("entity {i}"));
+                let brand = b.add_vertex(brands[i % brands.len()]);
+                let country = b.add_vertex(countries[i % countries.len()]);
+                b.add_edge(root, c, "color");
+                b.add_edge(root, name, "name");
+                b.add_edge(root, brand, "brand");
+                b.add_edge(brand, country, "country");
+                roots.push(root);
+            }
+            let (g, i) = b.build();
+            (g, i, roots)
+        };
+        let (gd, i1, us) = build(None);
+        let (g, interner, _) = build(Some(i1));
+        (gd, g, interner, us)
+    }
+
+    #[test]
+    fn async_equals_bsp() {
+        let (gd, g, interner, us) = dataset(10);
+        let p = Params::untrained(64, 91).with_thresholds(Thresholds::new(0.9, 0.05, 5));
+        let cfg = ParallelConfig {
+            workers: 3,
+            use_blocking: false,
+            ..Default::default()
+        };
+        let (bsp, _) = pallmatch(&gd, &g, &interner, &p, &us, &cfg);
+        let (asynchronous, _) = pallmatch_async(&gd, &g, &interner, &p, &us, &cfg);
+        assert_eq!(asynchronous, bsp);
+    }
+
+    #[test]
+    fn async_single_worker() {
+        let (gd, g, interner, us) = dataset(6);
+        let p = Params::untrained(64, 93).with_thresholds(Thresholds::new(0.9, 0.05, 5));
+        let cfg = ParallelConfig {
+            workers: 1,
+            use_blocking: false,
+            ..Default::default()
+        };
+        let (r, stats) = pallmatch_async(&gd, &g, &interner, &p, &us, &cfg);
+        assert!(!r.is_empty());
+        assert_eq!(stats.requests, 0, "single worker has no remote borders");
+    }
+
+    #[test]
+    fn async_deterministic_result_across_worker_counts() {
+        let (gd, g, interner, us) = dataset(8);
+        let p = Params::untrained(64, 95).with_thresholds(Thresholds::new(0.9, 0.05, 5));
+        let mut results = Vec::new();
+        for workers in [1, 2, 4] {
+            let cfg = ParallelConfig {
+                workers,
+                use_blocking: false,
+                ..Default::default()
+            };
+            results.push(pallmatch_async(&gd, &g, &interner, &p, &us, &cfg).0);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Fragment materialisation (the paper's original formulation).
+//!
+//! A worker's view of `G` keeps every vertex (ids and labels are global so
+//! candidate generation and `h_v` work unchanged) but only the edges whose
+//! source it owns: border vertices therefore *look like leaves* locally,
+//! which is exactly the "data of v' absent from local fragment" condition
+//! that triggers the PPSim optimistic assumption (§VI-B).
+//!
+//! The production engine ([`crate::pallmatch()`]) no longer materialises
+//! fragments — workers share the read-only graph and gate visibility with
+//! border sets plus globally precomputed `h_r` selections (DESIGN.md §4b
+//! explains why) — but this module keeps the distributed data model
+//! explicit, tested, and available to alternative deployments.
+
+use crate::partition::Partition;
+use her_graph::{Graph, GraphBuilder, Interner};
+
+/// Materialises worker `i`'s fragment of `g`: all vertices, only the edges
+/// with an owned source. Labels are re-interned through `interner` (shared,
+/// so ids are unchanged).
+pub fn materialize(g: &Graph, interner: &Interner, part: &Partition, i: usize) -> Graph {
+    let mut b = GraphBuilder::with_interner(interner.clone());
+    for v in g.vertices() {
+        b.add_vertex_interned(g.label(v));
+    }
+    for v in g.vertices() {
+        if part.owner(v) != i {
+            continue;
+        }
+        for (l, t) in g.out_edges(v) {
+            b.add_edge_interned(v, t, l);
+        }
+    }
+    b.build().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_ranges;
+    use her_graph::{GraphBuilder, VertexId};
+
+    fn setup() -> (Graph, Interner) {
+        let mut b = GraphBuilder::new();
+        let vs: Vec<_> = (0..6).map(|i| b.add_vertex(&format!("n{i}"))).collect();
+        for w in vs.windows(2) {
+            b.add_edge(w[0], w[1], "next");
+        }
+        b.add_edge(vs[5], vs[0], "wrap");
+        b.build()
+    }
+
+    #[test]
+    fn fragment_preserves_vertices_and_labels() {
+        let (g, i) = setup();
+        let part = partition_ranges(&g, 2);
+        let f0 = materialize(&g, &i, &part, 0);
+        assert_eq!(f0.vertex_count(), g.vertex_count());
+        for v in g.vertices() {
+            assert_eq!(f0.label(v), g.label(v));
+        }
+    }
+
+    #[test]
+    fn fragment_keeps_only_owned_source_edges() {
+        let (g, i) = setup();
+        let part = partition_ranges(&g, 2); // 0-2 | 3-5
+        let f0 = materialize(&g, &i, &part, 0);
+        let f1 = materialize(&g, &i, &part, 1);
+        // Worker 0 owns sources 0,1,2 → edges 0→1, 1→2, 2→3.
+        assert_eq!(f0.edge_count(), 3);
+        // Worker 1 owns 3,4,5 → edges 3→4, 4→5, 5→0.
+        assert_eq!(f1.edge_count(), 3);
+        // Border vertex 3 is a leaf in fragment 0 but not in fragment 1.
+        assert!(f0.is_leaf(VertexId(3)));
+        assert!(!f1.is_leaf(VertexId(3)));
+    }
+
+    #[test]
+    fn fragments_cover_all_edges_exactly_once() {
+        let (g, i) = setup();
+        let part = partition_ranges(&g, 3);
+        let total: usize = (0..3)
+            .map(|w| materialize(&g, &i, &part, w).edge_count())
+            .sum();
+        assert_eq!(total, g.edge_count());
+    }
+
+    #[test]
+    fn single_fragment_is_whole_graph() {
+        let (g, i) = setup();
+        let part = partition_ranges(&g, 1);
+        let f = materialize(&g, &i, &part, 0);
+        assert_eq!(f.edge_count(), g.edge_count());
+        for v in g.vertices() {
+            assert_eq!(f.children(v), g.children(v));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! GRAPE-style parallel engine for HER (§VI-B).
+//!
+//! Parallelises `AllParaMatch` under the Bulk Synchronous Parallel model:
+//! the data graph `G` is edge-cut across `n` workers ([`partition`], with
+//! round-robin and greedy balanced edge-cut strategies); each worker
+//! verifies the candidate pairs whose `G`-side vertex it owns,
+//! optimistically assuming matches for *border* vertices owned elsewhere
+//! (PPSim); supersteps exchange verification requests and invalidations
+//! until a fixpoint (IncPSim) — computed by [`pallmatch()`]. The final
+//! match set is the union of local results. [`async_match`] provides the
+//! barrier-free variant of §VI-B Remark 1.
+//!
+//! Implementation notes relative to the paper (DESIGN.md §4b):
+//!
+//! - `G_D` is replicated rather than fragmented — the canonical graph is
+//!   the small "pattern side", and replication is the shared-memory
+//!   analogue of the paper's co-location of candidate pairs;
+//! - the `h_r` top-k selections are a global preprocessing pass shared
+//!   read-only by all workers, so descendant rankings cannot diverge at
+//!   fragment borders (this is what makes Theorem 3's equivalence with the
+//!   sequential algorithm hold); the induced-subgraph materialisation in
+//!   [`fragment`] documents the paper's original formulation;
+//! - on hosts with fewer cores than workers, [`bsp::run_simulated`]
+//!   executes workers sequentially and reports the BSP critical path as
+//!   the simulated cluster wall-clock.
+
+pub mod async_match;
+pub mod bsp;
+pub mod fragment;
+pub mod pallmatch;
+pub mod partition;
+
+pub use async_match::pallmatch_async;
+pub use pallmatch::{pallmatch, pvpair, ParallelConfig, ParallelStats};
+pub use partition::{cut_edges, partition_greedy, partition_round_robin, Partition};

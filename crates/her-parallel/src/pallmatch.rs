@@ -1,0 +1,542 @@
+//! `PAllMatch`: parallel `AllParaMatch` by fixpoint computation (§VI-B).
+//!
+//! The protocol, following equations (3)/(4) of the paper:
+//!
+//! 1. **PPSim** (superstep 1): every worker runs `AllParaMatch` over its
+//!    fragment's candidate pairs. Pairs whose `G`-side vertex is a *border
+//!    node* are optimistically assumed valid; each such assumption is sent
+//!    to the border vertex's owner as a verification request.
+//! 2. **Messages**: owners verify requested pairs authoritatively (on their
+//!    full local out-edges) and reply with the *invalid* ones — the paper's
+//!    `v.status` changes. Valid pairs need no reply: they were already
+//!    assumed.
+//! 3. **IncPSim**: a worker receiving an invalidation flips the pair to
+//!    false and re-checks every recorded dependent (the cleanup machinery
+//!    of `ParaMatch`), possibly generating new assumptions/requests.
+//! 4. **Termination**: the message fixpoint. `Π` is the union of local
+//!    verdicts on candidate root pairs.
+//!
+//! Invalidation is monotone (true → false only, at the assumption level),
+//! so the fixpoint exists and is reached in finitely many supersteps.
+
+use crate::bsp;
+use crate::partition::{partition_greedy, partition_round_robin, Partition};
+use her_core::index::InvertedIndex;
+use her_core::paramatch::{Matcher, PairKey};
+use her_core::params::Params;
+use her_graph::hash::{FxHashMap, FxHashSet};
+use her_graph::{Graph, Interner, VertexId};
+
+/// How `G` is assigned to workers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Vertex id modulo `n`: balanced, maximal cut (worst-case traffic).
+    #[default]
+    RoundRobin,
+    /// Greedy balanced edge-cut: keeps entity neighbourhoods together,
+    /// minimising border nodes and message volume (the paper's edge-cut).
+    Greedy,
+}
+
+/// Configuration of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ParallelConfig {
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Partitioning strategy for `G`.
+    pub partition: PartitionStrategy,
+    /// Build a blocking index per worker for candidate generation.
+    pub use_blocking: bool,
+    /// Execute workers sequentially with exact per-worker timing, so the
+    /// critical path faithfully simulates an `n`-machine cluster even on an
+    /// oversubscribed host. `false` runs workers on OS threads.
+    pub simulate_cluster: bool,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            partition: PartitionStrategy::default(),
+            use_blocking: true,
+            simulate_cluster: true,
+        }
+    }
+}
+
+/// Counters describing a parallel run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ParallelStats {
+    /// Supersteps executed until the fixpoint.
+    pub supersteps: usize,
+    /// Verification requests exchanged.
+    pub requests: u64,
+    /// Invalidations exchanged.
+    pub invalidations: u64,
+    /// Seconds spent precomputing global `h_r` selections.
+    pub selection_secs: f64,
+    /// Seconds spent generating candidate root pairs.
+    pub candidates_secs: f64,
+    /// Seconds spent inside the BSP supersteps (host wall-clock).
+    pub bsp_secs: f64,
+    /// Simulated `n`-machine wall-clock: perfectly-parallel preprocessing
+    /// plus the BSP critical path (per-superstep slowest worker). On a
+    /// multi-core host the real wall-clock approaches this; on a
+    /// single-core host it is the honest estimate of cluster runtime.
+    pub simulated_secs: f64,
+}
+
+enum Msg {
+    /// "I assumed (u, v); please verify" — carries the requester id.
+    Request { pair: PairKey, from: usize },
+    /// "(u, v) is invalid."
+    Invalid { pair: PairKey },
+}
+
+struct PWorker<'a> {
+    id: usize,
+    matcher: Matcher<'a>,
+    part: &'a Partition,
+    /// Candidate root pairs owned by this worker.
+    roots: Vec<PairKey>,
+    /// Requests already sent (dedup).
+    requested: FxHashSet<PairKey>,
+    /// Pairs verified on behalf of others: pair → requesters.
+    served: FxHashMap<PairKey, Vec<usize>>,
+    /// Served pairs already notified as invalid.
+    notified: FxHashSet<PairKey>,
+    started: bool,
+    requests_sent: u64,
+    invalidations_sent: u64,
+}
+
+impl<'a> PWorker<'a> {
+    /// Drains fresh border assumptions into request messages.
+    fn flush_assumptions(&mut self, out: &mut Vec<(usize, Msg)>) {
+        for pair in self.matcher.take_new_assumptions() {
+            if self.requested.insert(pair) {
+                let owner = self.part.owner(pair.1);
+                if owner == self.id {
+                    // Shouldn't happen (owned vertices aren't border), but
+                    // guard against degenerate partitions.
+                    continue;
+                }
+                self.requests_sent += 1;
+                out.push((
+                    owner,
+                    Msg::Request {
+                        pair,
+                        from: self.id,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Notifies requesters about served pairs that are (now) invalid.
+    fn flush_invalidations(&mut self, out: &mut Vec<(usize, Msg)>) {
+        let mut newly: Vec<(PairKey, Vec<usize>)> = Vec::new();
+        for (pair, requesters) in &self.served {
+            if self.notified.contains(pair) {
+                continue;
+            }
+            if self.matcher.cached(pair.0, pair.1) == Some(false) {
+                newly.push((*pair, requesters.clone()));
+            }
+        }
+        for (pair, requesters) in newly {
+            self.notified.insert(pair);
+            for r in requesters {
+                self.invalidations_sent += 1;
+                out.push((r, Msg::Invalid { pair }));
+            }
+        }
+    }
+}
+
+impl<'a> bsp::Worker for PWorker<'a> {
+    type Msg = Msg;
+
+    fn superstep(&mut self, inbox: Vec<Msg>) -> Vec<(usize, Msg)> {
+        let mut out = Vec::new();
+        // IncPSim: apply invalidations first, then serve verifications.
+        let mut requests = Vec::new();
+        for msg in inbox {
+            match msg {
+                Msg::Invalid { pair } => self.matcher.apply_invalidation(pair.0, pair.1),
+                Msg::Request { pair, from } => requests.push((pair, from)),
+            }
+        }
+        // PPSim: the first superstep evaluates all local root candidates.
+        if !self.started {
+            self.started = true;
+            let roots = self.roots.clone();
+            for (u, v) in roots {
+                let _ = self.matcher.is_match(u, v);
+            }
+        }
+        // Serve verification requests on full local data.
+        for (pair, from) in requests {
+            let _ = self.matcher.is_match(pair.0, pair.1);
+            self.served.entry(pair).or_default().push(from);
+        }
+        self.flush_assumptions(&mut out);
+        self.flush_invalidations(&mut out);
+        out
+    }
+}
+
+/// Shared top-k selection table: vertex → `h_r` output.
+pub(crate) type SelectionMap =
+    FxHashMap<VertexId, std::sync::Arc<Vec<(VertexId, her_graph::Path)>>>;
+
+/// Precomputes `h_r` top-k selections for every non-leaf vertex, chunked
+/// across `n` threads.
+pub(crate) fn precompute_selections(g: &Graph, params: &Params, n: usize) -> SelectionMap {
+    let vertices: Vec<VertexId> = g.vertices().filter(|&v| !g.is_leaf(v)).collect();
+    let chunk = vertices.len().div_ceil(n.max(1)).max(1);
+    let parts: Vec<SelectionMap> = std::thread::scope(|s| {
+            vertices
+                .chunks(chunk)
+                .map(|vs| {
+                    s.spawn(move || {
+                        vs.iter()
+                            .map(|&v| {
+                                (
+                                    v,
+                                    std::sync::Arc::new(
+                                        params.ranker.select(g, v, params.thresholds.k),
+                                    ),
+                                )
+                            })
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+    let mut out = FxHashMap::default();
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+/// Crate-internal re-export for the asynchronous engine.
+pub(crate) fn precompute_selections_pub(g: &Graph, params: &Params, n: usize) -> SelectionMap {
+    precompute_selections(g, params, n)
+}
+
+/// Parallel `AllParaMatch`: all matches `(u_t, v)` for the given `G_D`
+/// tuple vertices across `G`, computed with `cfg.workers` BSP workers.
+/// Returns the sorted match set and run statistics.
+pub fn pallmatch(
+    gd: &Graph,
+    g: &Graph,
+    interner: &Interner,
+    params: &Params,
+    tuple_vertices: &[VertexId],
+    cfg: &ParallelConfig,
+) -> (Vec<PairKey>, ParallelStats) {
+    let n = cfg.workers.max(1);
+    let part = match cfg.partition {
+        PartitionStrategy::RoundRobin => partition_round_robin(g, n),
+        PartitionStrategy::Greedy => partition_greedy(g, n),
+    };
+    let borders = part.all_borders(g);
+
+    // Global h_r preprocessing (§IV "Complexity"): top-k selections for
+    // every vertex, computed once in parallel and shared read-only by all
+    // workers. This keeps descendant rankings identical across fragment
+    // boundaries, which Theorem 3's equivalence with the sequential
+    // algorithm implicitly assumes.
+    let t0 = std::time::Instant::now();
+    let sel_g = precompute_selections(g, params, n);
+    let sel_d = precompute_selections(gd, params, n);
+    let selection_secs = t0.elapsed().as_secs_f64();
+
+    // Candidate generation per worker: (u_t, v) with owned v and h_v ≥ σ.
+    // The blocking index is built over the full G labels (it only looks at
+    // labels, which fragments share).
+    let t0 = std::time::Instant::now();
+    let index = cfg.use_blocking.then(|| InvertedIndex::build(g, interner));
+    let sigma = params.thresholds.sigma;
+    let mut roots_per_worker: Vec<Vec<PairKey>> = vec![Vec::new(); n];
+    {
+        // One throwaway matcher for h_v evaluation over the full graph.
+        let mut probe = Matcher::new(gd, g, interner, params);
+        for &u in tuple_vertices {
+            let pool: Vec<VertexId> = match &index {
+                Some(idx) => {
+                    idx.candidates(&her_core::index::blocking_query(gd, interner, u))
+                }
+                None => g.vertices().collect(),
+            };
+            for v in pool {
+                if probe.hv_pair(u, v) >= sigma {
+                    roots_per_worker[part.owner(v)].push((u, v));
+                }
+            }
+        }
+    }
+    // Degree-ordered verification inside each worker (Fig. 8 line 4).
+    for roots in roots_per_worker.iter_mut() {
+        roots.sort_by_key(|&(u, v)| (gd.degree(u) + g.degree(v), u, v));
+    }
+    let candidates_secs = t0.elapsed().as_secs_f64();
+
+    let mut workers: Vec<PWorker<'_>> = (0..n)
+        .map(|i| PWorker {
+            id: i,
+            matcher: Matcher::new(gd, g, interner, params)
+                .with_border(borders[i].clone())
+                .with_selections(sel_d.clone(), sel_g.clone()),
+            part: &part,
+            roots: std::mem::take(&mut roots_per_worker[i]),
+            requested: FxHashSet::default(),
+            served: FxHashMap::default(),
+            notified: FxHashSet::default(),
+            started: false,
+            requests_sent: 0,
+            invalidations_sent: 0,
+        })
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let run = if cfg.simulate_cluster {
+        bsp::run_simulated(&mut workers)
+    } else {
+        bsp::run_timed(&mut workers)
+    };
+    let bsp_secs = t0.elapsed().as_secs_f64();
+
+    let mut stats = ParallelStats {
+        supersteps: run.supersteps,
+        selection_secs,
+        candidates_secs,
+        bsp_secs,
+        simulated_secs: (selection_secs + candidates_secs) / n as f64
+            + run.critical_path_secs,
+        ..Default::default()
+    };
+    let mut result: Vec<PairKey> = Vec::new();
+    for w in &workers {
+        stats.requests += w.requests_sent;
+        stats.invalidations += w.invalidations_sent;
+        for &(u, v) in &w.roots {
+            if w.matcher.cached(u, v) == Some(true) {
+                result.push((u, v));
+            }
+        }
+    }
+    result.sort();
+    result.dedup();
+    (result, stats)
+}
+
+/// Parallel VPair: all matches of a single tuple vertex, same protocol.
+pub fn pvpair(
+    gd: &Graph,
+    g: &Graph,
+    interner: &Interner,
+    params: &Params,
+    u_t: VertexId,
+    cfg: &ParallelConfig,
+) -> (Vec<VertexId>, ParallelStats) {
+    let (pairs, stats) = pallmatch(gd, g, interner, params, &[u_t], cfg);
+    (pairs.into_iter().map(|(_, v)| v).collect(), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use her_core::apair::apair;
+    use her_core::params::Thresholds;
+    use her_graph::GraphBuilder;
+
+    /// Builds `m` entities in G_D and G with a deterministic attribute
+    /// permutation; entity i of G_D truly matches entity i of G. Each
+    /// entity has a *non-leaf* brand sub-entity (brand → country), so the
+    /// recursion crosses fragment boundaries under round-robin partitions.
+    fn dataset(m: usize) -> (Graph, Graph, Interner, Vec<VertexId>, Vec<VertexId>) {
+        let colors = ["white", "red", "blue", "green"];
+        let brands = ["Acme", "Globex", "Initech"];
+        let countries = ["Germany", "Vietnam", "Japan"];
+        let build = |shared: Option<Interner>| {
+            let mut b = match shared {
+                Some(i) => GraphBuilder::with_interner(i),
+                None => GraphBuilder::new(),
+            };
+            let mut roots = Vec::new();
+            for i in 0..m {
+                let root = b.add_vertex("item");
+                let c = b.add_vertex(colors[i % colors.len()]);
+                let name = b.add_vertex(&format!("entity {i}"));
+                let brand = b.add_vertex(brands[i % brands.len()]);
+                let country = b.add_vertex(countries[i % countries.len()]);
+                b.add_edge(root, c, "color");
+                b.add_edge(root, name, "name");
+                b.add_edge(root, brand, "brand");
+                b.add_edge(brand, country, "country");
+                roots.push(root);
+            }
+            let (g, i) = b.build();
+            (g, i, roots)
+        };
+        let (gd, i1, us) = build(None);
+        let (g, interner, vs) = build(Some(i1));
+        (gd, g, interner, us, vs)
+    }
+
+    fn params() -> Params {
+        Params::untrained(64, 77).with_thresholds(Thresholds::new(0.9, 0.05, 5))
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let (gd, g, interner, us, _) = dataset(12);
+        let p = params();
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        let sequential = apair(&mut m, &us, None);
+        for n in [1, 2, 4, 7] {
+            let (parallel, _) = pallmatch(
+                &gd,
+                &g,
+                &interner,
+                &p,
+                &us,
+                &ParallelConfig {
+                    workers: n,
+                    use_blocking: false,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(parallel, sequential, "workers = {n}");
+        }
+    }
+
+    #[test]
+    fn finds_true_matches() {
+        let (gd, g, interner, us, vs) = dataset(8);
+        let p = params();
+        let (result, stats) = pallmatch(
+            &gd,
+            &g,
+            &interner,
+            &p,
+            &us,
+            &ParallelConfig {
+                workers: 3,
+                use_blocking: false,
+                ..Default::default()
+            },
+        );
+        for (i, (&u, &v)) in us.iter().zip(&vs).enumerate() {
+            assert!(result.contains(&(u, v)), "entity {i} missing");
+        }
+        assert!(stats.supersteps >= 1);
+    }
+
+    #[test]
+    fn blocking_equivalence_parallel() {
+        let (gd, g, interner, us, _) = dataset(10);
+        let p = params();
+        let (with, _) = pallmatch(
+            &gd,
+            &g,
+            &interner,
+            &p,
+            &us,
+            &ParallelConfig {
+                workers: 4,
+                use_blocking: true,
+                ..Default::default()
+            },
+        );
+        let (without, _) = pallmatch(
+            &gd,
+            &g,
+            &interner,
+            &p,
+            &us,
+            &ParallelConfig {
+                workers: 4,
+                use_blocking: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(with, without);
+    }
+
+    #[test]
+    fn pvpair_matches_sequential_vpair() {
+        let (gd, g, interner, us, _) = dataset(9);
+        let p = params();
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        let sequential = her_core::vpair::vpair(&mut m, us[3], None);
+        let (parallel, _) = pvpair(
+            &gd,
+            &g,
+            &interner,
+            &p,
+            us[3],
+            &ParallelConfig {
+                workers: 3,
+                use_blocking: false,
+                ..Default::default()
+            },
+        );
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn greedy_partition_reduces_message_traffic() {
+        let (gd, g, interner, us, _) = dataset(12);
+        let p = params();
+        let run = |strategy| {
+            pallmatch(&gd, &g, &interner, &p, &us, &ParallelConfig {
+                workers: 4,
+                partition: strategy,
+                use_blocking: false,
+                simulate_cluster: true,
+            })
+        };
+        let (r_rr, s_rr) = run(PartitionStrategy::RoundRobin);
+        let (r_gr, s_gr) = run(PartitionStrategy::Greedy);
+        assert_eq!(r_rr, r_gr, "results must not depend on the partition");
+        assert!(
+            s_gr.requests <= s_rr.requests,
+            "greedy {} > round-robin {} requests",
+            s_gr.requests,
+            s_rr.requests
+        );
+    }
+
+    /// Cross-fragment structure: entity attributes deliberately placed on a
+    /// different worker than the entity root, forcing assumptions/requests.
+    #[test]
+    fn cross_fragment_assumptions_resolve() {
+        let (gd, g, interner, us, vs) = dataset(6);
+        let p = params();
+        // Round-robin over consecutive ids splits each star across workers.
+        let (result, stats) = pallmatch(
+            &gd,
+            &g,
+            &interner,
+            &p,
+            &us,
+            &ParallelConfig {
+                workers: 4,
+                use_blocking: false,
+                ..Default::default()
+            },
+        );
+        assert!(result.contains(&(us[0], vs[0])));
+        // With stars split across workers there must be message traffic…
+        // unless every attribute happens to be co-located; with 4 workers
+        // and 4-vertex stars, cross edges are guaranteed.
+        assert!(stats.requests > 0, "expected cross-fragment requests");
+    }
+}

@@ -1,0 +1,231 @@
+//! Minimal CSV reading/writing for relation instances.
+//!
+//! The paper's real-life datasets ship as CSV exports (UKGOV, DBLP, IMDB
+//! relational dumps). This module parses RFC-4180-style CSV — quoted fields,
+//! embedded commas/quotes/newlines — into tuples of string values, and
+//! serialises relations back out. Foreign keys are resolved separately by
+//! the caller (CSV has no reference type).
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Parse error with 1-based line information.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line where the error was detected.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CSV error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Parses CSV text into records of string fields.
+///
+/// Handles quoted fields with embedded commas, doubled quotes (`""`) and
+/// newlines. The final record may or may not end with a newline.
+pub fn parse(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push(c);
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => {
+                    if !field.is_empty() {
+                        return Err(CsvError {
+                            line,
+                            message: "quote inside unquoted field".to_owned(),
+                        });
+                    }
+                    in_quotes = true;
+                }
+                ',' => {
+                    record.push(std::mem::take(&mut field));
+                }
+                '\r' => { /* tolerate CRLF */ }
+                '\n' => {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError {
+            line,
+            message: "unterminated quoted field".to_owned(),
+        });
+    }
+    if any && (!field.is_empty() || !record.is_empty()) {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parses CSV with a header row into `(header, tuples)`. Each field becomes
+/// a [`Value::Str`] (empty fields become [`Value::Null`]).
+pub fn parse_relation(text: &str) -> Result<(Vec<String>, Vec<Tuple>), CsvError> {
+    let mut records = parse(text)?;
+    if records.is_empty() {
+        return Err(CsvError {
+            line: 1,
+            message: "missing header row".to_owned(),
+        });
+    }
+    let header = records.remove(0);
+    let arity = header.len();
+    let mut tuples = Vec::with_capacity(records.len());
+    for (i, rec) in records.into_iter().enumerate() {
+        if rec.len() != arity {
+            return Err(CsvError {
+                line: i + 2,
+                message: format!("expected {arity} fields, found {}", rec.len()),
+            });
+        }
+        tuples.push(Tuple::new(
+            rec.into_iter()
+                .map(|f| {
+                    if f.is_empty() {
+                        Value::Null
+                    } else {
+                        Value::Str(f)
+                    }
+                })
+                .collect(),
+        ));
+    }
+    Ok((header, tuples))
+}
+
+/// Serialises records to CSV, quoting fields when needed.
+pub fn write(records: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for rec in records {
+        for (i, f) in rec.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            if f.contains(',') || f.contains('"') || f.contains('\n') {
+                out.push('"');
+                out.push_str(&f.replace('"', "\"\""));
+                out.push('"');
+            } else {
+                out.push_str(f);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields() {
+        let r = parse("a,b,c\n1,2,3\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b", "c"], vec!["1", "2", "3"]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_commas_and_quotes() {
+        let r = parse("\"a,b\",\"say \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(r, vec![vec!["a,b", "say \"hi\""]]);
+    }
+
+    #[test]
+    fn quoted_newline() {
+        let r = parse("\"line1\nline2\",x\n").unwrap();
+        assert_eq!(r[0][0], "line1\nline2");
+        assert_eq!(r[0][1], "x");
+    }
+
+    #[test]
+    fn crlf_tolerated() {
+        let r = parse("a,b\r\nc,d\r\n").unwrap();
+        assert_eq!(r, vec![vec!["a", "b"], vec!["c", "d"]]);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let r = parse("a,b\nc,d").unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], vec!["c", "d"]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let e = parse("\"oops\n").unwrap_err();
+        assert!(e.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn stray_quote_is_error() {
+        let e = parse("ab\"c\n").unwrap_err();
+        assert!(e.message.contains("quote inside"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn relation_parsing_nulls_empty_fields() {
+        let (header, tuples) = parse_relation("name,qty\nshoes,\n,5\n").unwrap();
+        assert_eq!(header, vec!["name", "qty"]);
+        assert_eq!(tuples[0].get(1), &Value::Null);
+        assert_eq!(tuples[1].get(0), &Value::Null);
+        assert_eq!(tuples[1].get(1), &Value::str("5"));
+    }
+
+    #[test]
+    fn relation_parsing_checks_arity() {
+        let e = parse_relation("a,b\n1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn relation_parsing_needs_header() {
+        assert!(parse_relation("").is_err());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let recs = vec![
+            vec!["plain".to_owned(), "with,comma".to_owned()],
+            vec!["with \"quote\"".to_owned(), "multi\nline".to_owned()],
+        ];
+        let text = write(&recs);
+        assert_eq!(parse(&text).unwrap(), recs);
+    }
+}

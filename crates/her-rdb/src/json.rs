@@ -1,0 +1,328 @@
+//! Minimal JSON ingestion (the paper's §VIII future work: "extend HER to
+//! other data formats such as JSON").
+//!
+//! Parses a restricted but practical JSON subset — objects with string,
+//! number, boolean and null values, arrays of such objects — sufficient to
+//! load JSON-lines exports as relations. A hand-rolled recursive-descent
+//! parser keeps the crate dependency-free.
+
+use crate::value::Value;
+
+/// A parsed JSON scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (kept as f64; integers are exact up to 2^53).
+    Number(f64),
+    /// A string.
+    String(String),
+}
+
+impl JsonValue {
+    /// Converts to a relational [`Value`].
+    pub fn to_value(&self) -> Value {
+        match self {
+            JsonValue::Null => Value::Null,
+            JsonValue::Bool(b) => Value::Str(b.to_string()),
+            JsonValue::Number(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    Value::Int(*n as i64)
+                } else {
+                    Value::Float(*n)
+                }
+            }
+            JsonValue::String(s) => Value::Str(s.clone()),
+        }
+    }
+}
+
+/// Parse error with byte offset.
+#[derive(Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, JsonError> {
+        Err(JsonError {
+            offset: self.pos,
+            message: message.to_owned(),
+        })
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", b as char))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Vec<(String, JsonValue)>, JsonError> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_scalar()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::String(self.parse_string()?)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => self.err("expected a scalar value"),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected {word:?}"))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
+        match text.parse::<f64>() {
+            Ok(n) => Ok(JsonValue::Number(n)),
+            Err(_) => self.err("invalid number"),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("invalid \\u escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte aware).
+                    let s = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError {
+                            offset: self.pos,
+                            message: "invalid UTF-8".to_owned(),
+                        })?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+/// Parses one flat JSON object into `(key, value)` pairs.
+pub fn parse_object(text: &str) -> Result<Vec<(String, JsonValue)>, JsonError> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let obj = p.parse_object()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing content");
+    }
+    Ok(obj)
+}
+
+/// Parses JSON-lines text (one flat object per non-empty line) into
+/// `(header, rows)`: the header is the union of keys in first-seen order;
+/// missing keys become [`Value::Null`].
+pub fn parse_lines(text: &str) -> Result<(Vec<String>, Vec<Vec<Value>>), JsonError> {
+    let mut header: Vec<String> = Vec::new();
+    let mut objects = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = parse_object(line)?;
+        for (k, _) in &obj {
+            if !header.contains(k) {
+                header.push(k.clone());
+            }
+        }
+        objects.push(obj);
+    }
+    let rows = objects
+        .into_iter()
+        .map(|obj| {
+            header
+                .iter()
+                .map(|k| {
+                    obj.iter()
+                        .find(|(key, _)| key == k)
+                        .map(|(_, v)| v.to_value())
+                        .unwrap_or(Value::Null)
+                })
+                .collect()
+        })
+        .collect();
+    Ok((header, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_object() {
+        let obj = parse_object(r#"{"name": "Dame Shoes", "qty": 500, "ok": true}"#).unwrap();
+        assert_eq!(obj.len(), 3);
+        assert_eq!(obj[0], ("name".into(), JsonValue::String("Dame Shoes".into())));
+        assert_eq!(obj[1], ("qty".into(), JsonValue::Number(500.0)));
+        assert_eq!(obj[2], ("ok".into(), JsonValue::Bool(true)));
+    }
+
+    #[test]
+    fn empty_object_and_null() {
+        assert!(parse_object("{}").unwrap().is_empty());
+        let obj = parse_object(r#"{"a": null}"#).unwrap();
+        assert_eq!(obj[0].1, JsonValue::Null);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let obj = parse_object(r#"{"s": "a\"b\\c\ndA"}"#).unwrap();
+        assert_eq!(obj[0].1, JsonValue::String("a\"b\\c\ndA".into()));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let obj = parse_object(r#"{"city": "Cần Đước"}"#).unwrap();
+        assert_eq!(obj[0].1, JsonValue::String("Cần Đước".into()));
+    }
+
+    #[test]
+    fn numbers_become_int_or_float() {
+        assert_eq!(JsonValue::Number(500.0).to_value(), Value::Int(500));
+        assert_eq!(JsonValue::Number(2.5).to_value(), Value::Float(2.5));
+        let obj = parse_object(r#"{"x": -3.5e2}"#).unwrap();
+        assert_eq!(obj[0].1, JsonValue::Number(-350.0));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let e = parse_object(r#"{"a": }"#).unwrap_err();
+        assert!(e.message.contains("scalar"));
+        assert!(e.offset >= 5);
+        assert!(parse_object(r#"{"a": 1} extra"#).is_err());
+        assert!(parse_object(r#"{"unterminated"#).is_err());
+    }
+
+    #[test]
+    fn json_lines_aligns_columns() {
+        let text = "{\"a\": \"x\", \"b\": 1}\n\n{\"b\": 2, \"c\": \"y\"}\n";
+        let (header, rows) = parse_lines(text).unwrap();
+        assert_eq!(header, vec!["a", "b", "c"]);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], vec![Value::str("x"), Value::Int(1), Value::Null]);
+        assert_eq!(rows[1], vec![Value::Null, Value::Int(2), Value::str("y")]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Relational substrate for HER.
+//!
+//! The paper (§II) assumes a database schema `R = (R1, …, Rn)` where each
+//! `Ri = (A1, …, Ak)` has attributes from alphabet Υ; a database `D` of `R`
+//! is a relation instance per schema. This crate provides:
+//!
+//! - [`schema`]: relation schemas with named attributes and foreign keys;
+//! - [`value`] / [`mod@tuple`] / [`relation`] / [`database`]: the instances;
+//! - [`csv`] / [`json`] / [`load`]: CSV and JSON-lines ingestion (§VIII's
+//!   "other data formats" future work);
+//! - [`rdb2rdf`]: the W3C-RDB2RDF-style *canonical mapping* `f_D` producing
+//!   the canonical graph `G_D` and the 1-1 tuple↔vertex correspondence that
+//!   module SPair uses to locate `u_t` for a tuple `t`.
+
+pub mod csv;
+pub mod database;
+pub mod json;
+pub mod load;
+pub mod rdb2rdf;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod value;
+
+pub use database::Database;
+pub use rdb2rdf::CanonicalGraph;
+pub use schema::{RelationSchema, Schema};
+pub use tuple::{Tuple, TupleRef};
+pub use value::Value;

@@ -1,0 +1,155 @@
+//! Loading relations from external formats (CSV, JSON lines) into a
+//! [`Database`] — §VIII's "extend HER to other data formats".
+
+use crate::csv;
+use crate::database::Database;
+use crate::json;
+use crate::schema::{RelationSchema, Schema};
+use crate::tuple::{Tuple, TupleRef};
+
+/// Errors raised while loading external data.
+#[derive(Debug)]
+pub enum LoadError {
+    /// CSV syntax error.
+    Csv(csv::CsvError),
+    /// JSON syntax error.
+    Json(json::JsonError),
+    /// The data's columns don't match the target relation's schema.
+    SchemaMismatch {
+        /// The relation involved.
+        relation: String,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Csv(e) => write!(f, "{e}"),
+            LoadError::Json(e) => write!(f, "{e}"),
+            LoadError::SchemaMismatch { relation, message } => {
+                write!(f, "schema mismatch for {relation:?}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<csv::CsvError> for LoadError {
+    fn from(e: csv::CsvError) -> Self {
+        LoadError::Csv(e)
+    }
+}
+
+impl From<json::JsonError> for LoadError {
+    fn from(e: json::JsonError) -> Self {
+        LoadError::Json(e)
+    }
+}
+
+/// Creates a single-relation database from CSV text: the header row names
+/// the attributes, every field becomes a string value (empty → NULL).
+pub fn database_from_csv(relation_name: &str, text: &str) -> Result<Database, LoadError> {
+    let (header, tuples) = csv::parse_relation(text)?;
+    let names: Vec<&str> = header.iter().map(|h| h.as_str()).collect();
+    let mut schema = Schema::new();
+    let idx = schema.add_relation(RelationSchema::new(relation_name, &names));
+    let mut db = Database::new(schema);
+    for t in tuples {
+        db.insert(idx, t);
+    }
+    Ok(db)
+}
+
+/// Appends CSV rows to an existing relation (header must match the schema's
+/// attribute names in order). Returns the inserted tuple refs.
+pub fn append_csv(
+    db: &mut Database,
+    relation_name: &str,
+    text: &str,
+) -> Result<Vec<TupleRef>, LoadError> {
+    let (header, tuples) = csv::parse_relation(text)?;
+    let idx = db
+        .schema()
+        .relation_index(relation_name)
+        .ok_or_else(|| LoadError::SchemaMismatch {
+            relation: relation_name.to_owned(),
+            message: "unknown relation".to_owned(),
+        })?;
+    let attrs = db.schema().relation(idx).attrs().to_vec();
+    if header != attrs {
+        return Err(LoadError::SchemaMismatch {
+            relation: relation_name.to_owned(),
+            message: format!("CSV header {header:?} != schema attributes {attrs:?}"),
+        });
+    }
+    Ok(tuples.into_iter().map(|t| db.insert(idx, t)).collect())
+}
+
+/// Creates a single-relation database from JSON-lines text: the attribute
+/// set is the union of keys across objects; missing keys become NULL.
+pub fn database_from_json_lines(
+    relation_name: &str,
+    text: &str,
+) -> Result<Database, LoadError> {
+    let (header, rows) = json::parse_lines(text)?;
+    let names: Vec<&str> = header.iter().map(|h| h.as_str()).collect();
+    let mut schema = Schema::new();
+    let idx = schema.add_relation(RelationSchema::new(relation_name, &names));
+    let mut db = Database::new(schema);
+    for row in rows {
+        db.insert(idx, Tuple::new(row));
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn csv_to_database() {
+        let db = database_from_csv("item", "name,color\nDame Shoes,white\nRunner,\n").unwrap();
+        assert_eq!(db.tuple_count(), 2);
+        let t0 = TupleRef::new(0, 0);
+        assert_eq!(db.attr_value(t0, "name"), Some(&Value::str("Dame Shoes")));
+        let t1 = TupleRef::new(0, 1);
+        assert_eq!(db.attr_value(t1, "color"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn append_checks_header() {
+        let mut db = database_from_csv("item", "name,color\na,b\n").unwrap();
+        let added = append_csv(&mut db, "item", "name,color\nc,d\n").unwrap();
+        assert_eq!(added.len(), 1);
+        assert_eq!(db.tuple_count(), 2);
+        let err = append_csv(&mut db, "item", "wrong,cols\nx,y\n").unwrap_err();
+        assert!(matches!(err, LoadError::SchemaMismatch { .. }));
+        assert!(append_csv(&mut db, "nope", "a\n1\n").is_err());
+    }
+
+    #[test]
+    fn json_lines_to_database() {
+        let db = database_from_json_lines(
+            "movie",
+            "{\"title\": \"Alien\", \"year\": 1979}\n{\"title\": \"Heat\"}\n",
+        )
+        .unwrap();
+        assert_eq!(db.tuple_count(), 2);
+        let t0 = TupleRef::new(0, 0);
+        assert_eq!(db.attr_value(t0, "year"), Some(&Value::Int(1979)));
+        let t1 = TupleRef::new(0, 1);
+        assert_eq!(db.attr_value(t1, "year"), Some(&Value::Null));
+    }
+
+    #[test]
+    fn csv_error_propagates() {
+        assert!(matches!(
+            database_from_csv("r", "a,b\n\"oops\n"),
+            Err(LoadError::Csv(_))
+        ));
+    }
+}

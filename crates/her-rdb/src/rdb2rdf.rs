@@ -1,0 +1,268 @@
+//! RDB2RDF: the canonical mapping `f_D` from a database to a graph.
+//!
+//! Following the W3C direct-mapping rules the paper adopts (§II), for a
+//! database `D` of schema `R` the canonical graph `G_D = f_D(D)` contains:
+//!
+//! 1. one vertex `u_t` labeled `R` per tuple `t` of relation schema `R`;
+//! 2. one vertex `u_{t,A}` per non-null scalar attribute `A` of `t`, labeled
+//!    with the value `t.A`, connected by an edge `(u_t, u_{t,A})` labeled `A`;
+//! 3. one edge `(u_t, u_{t'})` per foreign-key attribute `A` of `t`
+//!    referencing tuple `t'`, labeled `A` and flagged with the distinguished
+//!    marker `γ` (exposed via [`CanonicalGraph::is_fk_edge`]).
+//!
+//! The mapping is 1-1 on tuples: [`CanonicalGraph::vertex_of`] and
+//! [`CanonicalGraph::tuple_of`] navigate both directions, which is exactly
+//! what module SPair needs to find `u_t` for a user-supplied tuple `t`.
+
+use crate::database::Database;
+use crate::tuple::TupleRef;
+use crate::value::Value;
+use her_graph::hash::{FxHashMap, FxHashSet};
+use her_graph::{Graph, GraphBuilder, Interner, VertexId};
+
+/// The canonical graph `G_D` of a database, with the tuple↔vertex mapping.
+pub struct CanonicalGraph {
+    /// The graph `G_D`.
+    pub graph: Graph,
+    /// Interner resolving `G_D`'s labels (possibly shared with `G`).
+    pub interner: Interner,
+    tuple_vertex: FxHashMap<TupleRef, VertexId>,
+    vertex_tuple: FxHashMap<VertexId, TupleRef>,
+    fk_edges: FxHashSet<(VertexId, VertexId)>,
+}
+
+impl CanonicalGraph {
+    /// The vertex `u_t` denoting tuple `t`.
+    pub fn vertex_of(&self, t: TupleRef) -> VertexId {
+        self.tuple_vertex[&t]
+    }
+
+    /// The tuple denoted by `v`, if `v` is a tuple vertex (attribute
+    /// vertices return `None`).
+    pub fn tuple_of(&self, v: VertexId) -> Option<TupleRef> {
+        self.vertex_tuple.get(&v).copied()
+    }
+
+    /// Whether edge `(u, v)` carries the foreign-key marker `γ`.
+    pub fn is_fk_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.fk_edges.contains(&(u, v))
+    }
+
+    /// All tuple vertices (the images of `f_D` on tuples).
+    pub fn tuple_vertices(&self) -> impl Iterator<Item = (TupleRef, VertexId)> + '_ {
+        self.tuple_vertex.iter().map(|(&t, &v)| (t, v))
+    }
+
+    /// Number of tuple vertices.
+    pub fn tuple_vertex_count(&self) -> usize {
+        self.tuple_vertex.len()
+    }
+}
+
+/// Applies the canonical mapping with a fresh interner.
+pub fn canonicalize(db: &Database) -> CanonicalGraph {
+    canonicalize_with_interner(db, Interner::new())
+}
+
+/// Applies the canonical mapping, continuing `interner` so `G_D` shares a
+/// label space with a previously-built graph `G`.
+pub fn canonicalize_with_interner(db: &Database, interner: Interner) -> CanonicalGraph {
+    let mut b = GraphBuilder::with_interner(interner);
+    let mut tuple_vertex: FxHashMap<TupleRef, VertexId> = FxHashMap::default();
+    let mut vertex_tuple: FxHashMap<VertexId, TupleRef> = FxHashMap::default();
+    let mut fk_edges: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+
+    // Pass 1: a vertex per tuple, labeled by the relation name.
+    for (tr, _) in db.tuples() {
+        let rel_name = db.schema().relation(tr.relation as usize).name();
+        let u = b.add_vertex(rel_name);
+        tuple_vertex.insert(tr, u);
+        vertex_tuple.insert(u, tr);
+    }
+
+    // Pass 2: attribute vertices and edges; foreign-key edges.
+    for (tr, t) in db.tuples() {
+        let u_t = tuple_vertex[&tr];
+        let rs = db.schema().relation(tr.relation as usize);
+        for (i, v) in t.values().iter().enumerate() {
+            let attr = &rs.attrs()[i];
+            match v {
+                Value::Ref(target) => {
+                    let u_target = tuple_vertex[target];
+                    b.add_edge(u_t, u_target, attr);
+                    fk_edges.insert((u_t, u_target));
+                }
+                other => {
+                    if let Some(label) = other.as_label() {
+                        let u_attr = b.add_vertex(&label);
+                        b.add_edge(u_t, u_attr, attr);
+                    }
+                    // NULL: no vertex, no edge.
+                }
+            }
+        }
+    }
+
+    let (graph, interner) = b.build();
+    CanonicalGraph {
+        graph,
+        interner,
+        tuple_vertex,
+        vertex_tuple,
+        fk_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{RelationSchema, Schema};
+    use crate::tuple::Tuple;
+
+    /// The paper's running example: tuples t1 (item) and b1 (brand),
+    /// producing the canonical graph of Fig. 3.
+    fn paper_db() -> (Database, TupleRef, TupleRef) {
+        let mut s = Schema::new();
+        let brand_idx = s.add_relation(RelationSchema::new(
+            "brand",
+            &["name", "country", "manufacturer", "made_in"],
+        ));
+        let item_idx = s.add_relation(
+            RelationSchema::new(
+                "item",
+                &["item", "material", "color", "type", "brand", "qty"],
+            )
+            .with_foreign_key("brand", brand_idx),
+        );
+        let mut db = Database::new(s);
+        let b1 = db.insert(
+            brand_idx,
+            Tuple::new(vec![
+                Value::str("Addidas Originals"),
+                Value::str("Germany"),
+                Value::str("Addidas AG"),
+                Value::str("Can Duoc, VN"),
+            ]),
+        );
+        let t1 = db.insert(
+            item_idx,
+            Tuple::new(vec![
+                Value::str("Dame Basketball Shoes D7"),
+                Value::str("phylon foam"),
+                Value::str("white"),
+                Value::str("Dame 7"),
+                Value::Ref(b1),
+                Value::Int(500),
+            ]),
+        );
+        (db, t1, b1)
+    }
+
+    #[test]
+    fn fig3_shape() {
+        let (db, t1, b1) = paper_db();
+        let cg = canonicalize(&db);
+        // 2 tuple vertices + 4 brand attributes + 5 scalar item attributes.
+        assert_eq!(cg.graph.vertex_count(), 11);
+        // 4 + 5 attribute edges + 1 FK edge.
+        assert_eq!(cg.graph.edge_count(), 10);
+        let u1 = cg.vertex_of(t1);
+        let u2 = cg.vertex_of(b1);
+        assert_eq!(cg.interner.resolve(cg.graph.label(u1)), "item");
+        assert_eq!(cg.interner.resolve(cg.graph.label(u2)), "brand");
+        assert!(cg.graph.has_edge(u1, u2));
+        assert!(cg.is_fk_edge(u1, u2));
+    }
+
+    #[test]
+    fn attribute_edges_carry_attr_names() {
+        let (db, t1, _) = paper_db();
+        let cg = canonicalize(&db);
+        let u1 = cg.vertex_of(t1);
+        let labels: Vec<&str> = cg
+            .graph
+            .out_edges(u1)
+            .map(|(l, _)| cg.interner.resolve(l))
+            .collect();
+        for expected in ["item", "material", "color", "type", "brand", "qty"] {
+            assert!(labels.contains(&expected), "missing edge label {expected}");
+        }
+    }
+
+    #[test]
+    fn attribute_vertices_carry_values() {
+        let (db, t1, _) = paper_db();
+        let cg = canonicalize(&db);
+        let u1 = cg.vertex_of(t1);
+        let material = cg
+            .graph
+            .out_edges(u1)
+            .find(|(l, _)| cg.interner.resolve(*l) == "material")
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(cg.interner.resolve(cg.graph.label(material)), "phylon foam");
+        let qty = cg
+            .graph
+            .out_edges(u1)
+            .find(|(l, _)| cg.interner.resolve(*l) == "qty")
+            .map(|(_, v)| v)
+            .unwrap();
+        assert_eq!(cg.interner.resolve(cg.graph.label(qty)), "500");
+    }
+
+    #[test]
+    fn mapping_is_bijective_on_tuples() {
+        let (db, t1, b1) = paper_db();
+        let cg = canonicalize(&db);
+        for tr in [t1, b1] {
+            assert_eq!(cg.tuple_of(cg.vertex_of(tr)), Some(tr));
+        }
+        assert_eq!(cg.tuple_vertex_count(), db.tuple_count());
+        // Attribute vertices map back to no tuple.
+        let u1 = cg.vertex_of(t1);
+        let attr_vertex = cg
+            .graph
+            .children(u1)
+            .iter()
+            .copied()
+            .find(|v| cg.tuple_of(*v).is_none());
+        assert!(attr_vertex.is_some());
+    }
+
+    #[test]
+    fn null_attributes_are_skipped() {
+        let mut s = Schema::new();
+        let r = s.add_relation(RelationSchema::new("r", &["a", "b"]));
+        let mut db = Database::new(s);
+        let t = db.insert(r, Tuple::new(vec![Value::Null, Value::str("x")]));
+        let cg = canonicalize(&db);
+        let u = cg.vertex_of(t);
+        assert_eq!(cg.graph.out_degree(u), 1);
+    }
+
+    #[test]
+    fn shared_interner_aligns_label_ids() {
+        let (db, _, _) = paper_db();
+        let mut ext = Interner::new();
+        let germany = ext.intern("Germany");
+        let cg = canonicalize_with_interner(&db, ext);
+        assert_eq!(cg.interner.get("Germany"), Some(germany));
+    }
+
+    #[test]
+    fn non_fk_edges_not_flagged() {
+        let (db, t1, _) = paper_db();
+        let cg = canonicalize(&db);
+        let u1 = cg.vertex_of(t1);
+        let scalar_children: Vec<VertexId> = cg
+            .graph
+            .children(u1)
+            .iter()
+            .copied()
+            .filter(|v| cg.tuple_of(*v).is_none())
+            .collect();
+        assert!(scalar_children
+            .iter()
+            .all(|&v| !cg.is_fk_edge(u1, v)));
+    }
+}

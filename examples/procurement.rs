@@ -1,0 +1,76 @@
+//! The enterprise-procurement scenario of Example 1, end to end: an order
+//! arrives as relations, company A links every ordered item to its
+//! knowledge graph, verifies a specific pair, and explains the match.
+//!
+//! ```text
+//! cargo run --release --example procurement
+//! ```
+
+use her::core::learn::SearchSpace;
+use her::core::refine::RefineConfig;
+use her::prelude::*;
+
+fn main() {
+    let dataset = her::datagen::procurement::generate();
+    let cfg = HerConfig::default();
+    let mut system = her::train_on(&dataset, cfg.clone());
+
+    // Scenario (1): check a single ordered item against a catalogue vertex.
+    let (t1, v1) = dataset.ground_truth[0]; // "Dame Basketball Shoes D7"
+    println!("Is ordered item t1 the catalogue item v1? {}", system.spair(t1, v1));
+
+    // Scenario (2): the procurement manager wants *all* catalogue matches
+    // of the ordered item, to pick the most cost-effective supplier.
+    let options = system.vpair(t1);
+    println!("Catalogue matches of t1: {options:?}");
+
+    // Scenario (3): cross-check the whole order offline.
+    let everything = system.apair();
+    println!("Full cross-check: {} tuple-vertex matches", everything.len());
+
+    // The match is explainable: which graph path encodes which attribute?
+    if let Some(gamma) = system.schema_match(t1, v1) {
+        println!("\nWhy t1 matches v1:");
+        for sm in &gamma {
+            println!(
+                "  {} -> {}",
+                system.cg.interner.resolve(sm.attr),
+                sm.path.label_string(&system.cg.interner)
+            );
+        }
+    }
+
+    // The paper's flagship example lives on the *brand* sub-entity: its
+    // made_in attribute maps to a multi-hop path in the graph.
+    let (b1, v10) = dataset.ground_truth[3];
+    if let Some(gamma) = system.schema_match(b1, v10) {
+        if let Some(sm) = gamma
+            .iter()
+            .find(|sm| system.cg.interner.resolve(sm.attr) == "made_in")
+        {
+            println!(
+                "\nNote: the relational attribute 'made_in' is encoded by the\n\
+                 multi-hop path {} in the graph — no relational join needed.",
+                sm.path.label_string(&system.cg.interner)
+            );
+        }
+    }
+
+    // A purchasing analyst reviews borderline decisions; feedback
+    // fine-tunes the models (Exp-4).
+    let feedback: Vec<_> = dataset
+        .negatives
+        .iter()
+        .map(|&(t, v)| (t, v, false))
+        .chain(dataset.ground_truth.iter().map(|&(t, v)| (t, v, true)))
+        .collect();
+    let outcome = system.refine(&feedback, &RefineConfig::default());
+    println!(
+        "\nAnalyst round: {} pairs shown, {} FPs corrected, {} FNs corrected",
+        outcome.shown, outcome.fp_corrected, outcome.fn_corrected
+    );
+    let acc = system.evaluate(&feedback);
+    println!("After refinement: {acc}");
+
+    let _ = SearchSpace::default(); // (imported for doc visibility)
+}

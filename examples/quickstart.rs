@@ -1,0 +1,53 @@
+//! Quickstart: build HER on the paper's running example and use all three
+//! query modes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use her::prelude::*;
+
+fn main() {
+    // The running example of the paper: Tables I/II (procurement order)
+    // against the e-commerce knowledge graph of Fig. 1.
+    let dataset = her::datagen::procurement::generate();
+    println!("{}\n", dataset.summary());
+
+    // Build + train the system (RDB2RDF, corpus pre-training, supervised
+    // M_ρ training, threshold search).
+    let system = her::train_on(&dataset, HerConfig::default());
+    let t = system.params.thresholds;
+    println!(
+        "learned thresholds: sigma={:.2} delta={:.2} k={}\n",
+        t.sigma, t.delta, t.k
+    );
+
+    // --- SPair: does tuple t1 denote vertex v1 (Example 1, case 1)? ---
+    let (t1, v1) = dataset.ground_truth[0];
+    println!("SPair(t1, v1)  = {}", system.spair(t1, v1));
+    let (_, v3) = dataset.ground_truth[2]; // the red Mid-cut shoes
+    println!("SPair(t1, v3)  = {} (decoy)", system.spair(t1, v3));
+
+    // --- VPair: all items matching t1 (Example 1, case 2) ---
+    let matches = system.vpair(t1);
+    println!("VPair(t1)      = {matches:?}");
+
+    // --- APair: all matches across D and G (Example 1, case 3) ---
+    let all = system.apair();
+    println!("APair          = {} matches", all.len());
+    for (t, v) in &all {
+        println!("  tuple {t:?} <-> vertex {v}");
+    }
+
+    // --- Explainability: schema matches Γ(t1, v1) (appendix D) ---
+    if let Some(gamma) = system.schema_match(t1, v1) {
+        println!("\nSchema matches for (t1, v1):");
+        for sm in gamma {
+            println!(
+                "  attribute {:?} is encoded by path {}",
+                system.cg.interner.resolve(sm.attr),
+                sm.path.label_string(&system.cg.interner)
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Streaming + ingestion: load a relational side from CSV and JSON lines
+//! (§VIII's "other data formats" future work), then link tuples as they
+//! arrive with the pay-as-you-go [`StreamLinker`] (§VI-B remark 2),
+//! including an external graph update.
+//!
+//! ```text
+//! cargo run --release --example streaming_ingest
+//! ```
+
+use her::core::learn::SearchSpace;
+use her::core::params::Thresholds;
+use her::core::stream::StreamLinker;
+use her::prelude::*;
+use her::rdb::load::{append_csv, database_from_csv, database_from_json_lines};
+
+fn main() {
+    // --- Ingest the order book from CSV ---
+    let csv = "\
+title,color
+ultra falcon,white
+classic harbor,red
+rapid meadow,blue
+";
+    let mut db = database_from_csv("movie", csv).expect("valid CSV");
+    // A later batch arrives and is appended.
+    append_csv(&mut db, "movie", "title,color\nsleek comet,green\n").unwrap();
+    println!("loaded {} tuples from CSV", db.tuple_count());
+
+    // (JSON-lines ingestion works the same way.)
+    let json_db = database_from_json_lines(
+        "movie",
+        "{\"title\": \"ultra falcon\", \"color\": \"white\"}\n",
+    )
+    .unwrap();
+    println!("loaded {} tuple from JSON lines", json_db.tuple_count());
+
+    // --- The graph side: the same four movies plus a distractor ---
+    let mut b = GraphBuilder::new();
+    let mut vs = Vec::new();
+    for (title, color) in [
+        ("ultra falcon", "white"),
+        ("classic harbor", "red"),
+        ("rapid meadow", "blue"),
+        ("sleek comet", "green"),
+        ("vintage breeze", "black"), // no tuple matches this one
+    ] {
+        let v = b.add_vertex("movie");
+        let t = b.add_vertex(title);
+        let c = b.add_vertex(color);
+        b.add_edge(v, t, "primaryTitle");
+        b.add_edge(v, c, "hasColor");
+        vs.push(v);
+    }
+    let (g, interner) = b.build();
+
+    // --- Train and stream ---
+    let cfg = HerConfig {
+        thresholds: Thresholds::new(0.9, 0.7, 5),
+        use_blocking: false,
+        ..Default::default()
+    };
+    let mut system = Her::build(&db, g, interner, &cfg);
+    let annotations: Vec<_> = db
+        .tuples()
+        .enumerate()
+        .map(|(i, (t, _))| (t, vs[i], true))
+        .collect();
+    system.learn(
+        &annotations,
+        &annotations,
+        &cfg,
+        &SearchSpace {
+            trials: 0,
+            ..Default::default()
+        },
+    );
+
+    let mut linker = StreamLinker::new(&system);
+    for (t, _) in db.tuples() {
+        let (found, stats) = linker.process(t);
+        let title = db.attr_value(t, "title").unwrap().as_label().unwrap();
+        println!(
+            "arrived {title:?} -> matches {found:?} ({} ParaMatch calls, {} cache hits)",
+            stats.calls, stats.cache_hits
+        );
+    }
+    println!("accumulated {} matches", linker.matches().len());
+
+    // --- An external update: one graph entity is retracted ---
+    linker.retract_vertex(vs[0]);
+    println!(
+        "after retracting {:?}: {} matches remain",
+        vs[0],
+        linker.matches().len()
+    );
+}

@@ -1,0 +1,205 @@
+//! `her-cli` — link a CSV relation against an N-Triples graph from the
+//! command line.
+//!
+//! ```text
+//! her-cli apair  --db orders.csv --graph catalogue.nt [options]
+//! her-cli vpair  --db orders.csv --graph catalogue.nt --tuple 0
+//! her-cli spair  --db orders.csv --graph catalogue.nt --tuple 0 --vertex 12
+//! her-cli export-demo          # writes a demo orders.csv + catalogue.nt
+//!
+//! options:
+//!   --annotations FILE   CSV of row,vertex,label for supervised training
+//!   --sigma S --delta D --k K    thresholds (default 0.8 / 2.1 / 20)
+//!   --relation NAME      relation name for the CSV (default "record")
+//! ```
+
+use her::core::learn::SearchSpace;
+use her::core::params::Thresholds;
+use her::prelude::*;
+use her::rdb::load::database_from_csv;
+use her::rdb::TupleRef;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let opts = parse_flags(&args[1..]);
+
+    match command.as_str() {
+        "export-demo" => export_demo(),
+        "spair" | "vpair" | "apair" => run(command, &opts),
+        _ => {
+            eprintln!("unknown command {command:?}");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: her-cli <spair|vpair|apair|export-demo> --db FILE.csv --graph FILE.nt \\\n\
+         \t[--annotations FILE.csv] [--tuple N] [--vertex N] \\\n\
+         \t[--sigma S] [--delta D] [--k K] [--relation NAME]"
+    );
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i].trim_start_matches("--").to_owned();
+        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+            out.insert(key, args[i + 1].clone());
+            i += 2;
+        } else {
+            out.insert(key, String::new());
+            i += 1;
+        }
+    }
+    out
+}
+
+fn required(opts: &HashMap<String, String>, key: &str) -> String {
+    opts.get(key).cloned().unwrap_or_else(|| {
+        eprintln!("missing required flag --{key}");
+        usage();
+        exit(2);
+    })
+}
+
+fn run(mode: &str, opts: &HashMap<String, String>) {
+    let db_path = required(opts, "db");
+    let graph_path = required(opts, "graph");
+    let relation = opts
+        .get("relation")
+        .cloned()
+        .unwrap_or_else(|| "record".to_owned());
+
+    let csv_text = std::fs::read_to_string(&db_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {db_path}: {e}");
+        exit(1);
+    });
+    let db = database_from_csv(&relation, &csv_text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {db_path}: {e}");
+        exit(1);
+    });
+    let nt_text = std::fs::read_to_string(&graph_path).unwrap_or_else(|e| {
+        eprintln!("cannot read {graph_path}: {e}");
+        exit(1);
+    });
+    let (g, interner) = her::graph::ntriples::import(&nt_text).unwrap_or_else(|e| {
+        eprintln!("cannot parse {graph_path}: {e}");
+        exit(1);
+    });
+    eprintln!(
+        "loaded {} tuples, graph with {} vertices / {} edges",
+        db.tuple_count(),
+        g.vertex_count(),
+        g.edge_count()
+    );
+
+    let thresholds = Thresholds::new(
+        opts.get("sigma").and_then(|s| s.parse().ok()).unwrap_or(0.8),
+        opts.get("delta").and_then(|s| s.parse().ok()).unwrap_or(2.1),
+        opts.get("k").and_then(|s| s.parse().ok()).unwrap_or(20),
+    );
+    let cfg = HerConfig {
+        thresholds,
+        ..Default::default()
+    };
+    let mut system = Her::build(&db, g, interner, &cfg);
+
+    // Optional supervised training from an annotations CSV: row,vertex,label.
+    if let Some(path) = opts.get("annotations") {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        let mut ann = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') || (i == 0 && line.starts_with("row")) {
+                continue;
+            }
+            let parts: Vec<&str> = line.split(',').collect();
+            if parts.len() != 3 {
+                eprintln!("annotations line {}: expected row,vertex,label", i + 1);
+                exit(1);
+            }
+            let row: u32 = parts[0].trim().parse().unwrap_or_else(|_| {
+                eprintln!("annotations line {}: bad row", i + 1);
+                exit(1)
+            });
+            let vertex: u32 = parts[1].trim().parse().unwrap_or_else(|_| {
+                eprintln!("annotations line {}: bad vertex", i + 1);
+                exit(1)
+            });
+            let label = matches!(parts[2].trim(), "1" | "true" | "match");
+            ann.push((TupleRef::new(0, row), VertexId(vertex), label));
+        }
+        eprintln!("training on {} annotations", ann.len());
+        let f = system.learn(&ann, &ann, &cfg, &SearchSpace::default());
+        let t = system.params.thresholds;
+        eprintln!(
+            "validation F = {f:.3}; thresholds sigma={:.2} delta={:.2} k={}",
+            t.sigma, t.delta, t.k
+        );
+    }
+
+    match mode {
+        "spair" => {
+            let row: u32 = required(opts, "tuple").parse().expect("numeric --tuple");
+            let vertex: u32 = required(opts, "vertex").parse().expect("numeric --vertex");
+            let verdict = system.spair(TupleRef::new(0, row), VertexId(vertex));
+            println!("{verdict}");
+        }
+        "vpair" => {
+            let row: u32 = required(opts, "tuple").parse().expect("numeric --tuple");
+            for v in system.vpair(TupleRef::new(0, row)) {
+                println!("{v}");
+            }
+        }
+        "apair" => {
+            for (t, v) in system.apair() {
+                println!("{},{}", t.row, v);
+            }
+        }
+        _ => unreachable!(),
+    }
+}
+
+fn export_demo() {
+    let dataset = her::datagen::procurement::generate();
+    // Flatten the item relation (FKs render their target's first value).
+    let mut records = vec![vec![
+        "item".to_owned(),
+        "material".to_owned(),
+        "color".to_owned(),
+        "type".to_owned(),
+        "qty".to_owned(),
+    ]];
+    for (t, tuple) in dataset.db.tuples() {
+        if t.relation != 1 {
+            continue;
+        }
+        records.push(
+            [0usize, 1, 2, 3, 5]
+                .iter()
+                .map(|&i| tuple.get(i).as_label().unwrap_or_default())
+                .collect(),
+        );
+    }
+    std::fs::write("orders.csv", her::rdb::csv::write(&records)).expect("write orders.csv");
+    std::fs::write(
+        "catalogue.nt",
+        her::graph::ntriples::export(&dataset.g, &dataset.interner),
+    )
+    .expect("write catalogue.nt");
+    println!("wrote orders.csv and catalogue.nt — try:");
+    println!("  her-cli apair --db orders.csv --graph catalogue.nt --relation item --sigma 0.7 --delta 0.3 --k 8");
+}

@@ -1,0 +1,96 @@
+//! Cross-mode consistency: SPair, VPair and APair must agree with each
+//! other on every dataset emulator (they share one definition, §III).
+
+use her::prelude::*;
+
+fn check_mode_consistency(dataset: her::datagen::LinkedDataset) {
+    let name = dataset.name.clone();
+    let system = her::train_on(&dataset, HerConfig::default());
+    let all = system.apair();
+
+    // APair restricted to a tuple equals that tuple's VPair.
+    for &(t, _) in dataset.ground_truth.iter().take(8) {
+        let vp = system.vpair(t);
+        let from_apair: Vec<VertexId> = all
+            .iter()
+            .filter(|&&(at, _)| at == t)
+            .map(|&(_, v)| v)
+            .collect();
+        assert_eq!(vp, from_apair, "{name}: VPair != APair slice for {t:?}");
+
+        // SPair agrees with VPair membership over a sample of vertices.
+        for v in system.g.vertices().take(40) {
+            let s = system.spair(t, v);
+            assert_eq!(
+                s,
+                vp.contains(&v),
+                "{name}: SPair({t:?}, {v:?}) disagrees with VPair"
+            );
+        }
+    }
+}
+
+#[test]
+fn modes_agree_on_ukgov() {
+    check_mode_consistency(her::datagen::ukgov::generate_sized(60, 33));
+}
+
+#[test]
+fn modes_agree_on_dblp() {
+    check_mode_consistency(her::datagen::dblp::generate_sized(60, 35));
+}
+
+#[test]
+fn modes_agree_on_fbwiki() {
+    check_mode_consistency(her::datagen::fbwiki::generate_sized(50, 37));
+}
+
+#[test]
+fn apair_is_deterministic() {
+    let dataset = her::datagen::imdb::generate_sized(50, 39);
+    let system = her::train_on(&dataset, HerConfig::default());
+    assert_eq!(system.apair(), system.apair());
+}
+
+#[test]
+fn accuracy_holds_across_all_emulators() {
+    // A smaller version of Table V's sanity: each dataset trains to a
+    // reasonable F on its held-out pairs.
+    for gen in [
+        her::datagen::ukgov::generate_sized as fn(usize, u64) -> _,
+        her::datagen::dbpedia::generate_sized,
+        her::datagen::dblp::generate_sized,
+        her::datagen::imdb::generate_sized,
+        her::datagen::fbwiki::generate_sized,
+    ] {
+        let dataset = gen(100, 41);
+        let name = dataset.name.clone();
+        let cfg = HerConfig::default();
+        let system = her::train_on(&dataset, cfg.clone());
+        let (_, _, test) = dataset.split(cfg.seed);
+        let f = system.evaluate(&test).f_measure();
+        assert!(f > 0.8, "{name}: end-to-end F was {f}");
+    }
+}
+
+#[test]
+fn ntriples_roundtrip_preserves_matching() {
+    // Export the graph side to N-Triples, re-import, rebuild the system:
+    // the match set must be identical (format-independence).
+    let dataset = her::datagen::ukgov::generate_sized(40, 43);
+    let cfg = HerConfig::default();
+
+    let nt = her::graph::ntriples::export(&dataset.g, &dataset.interner);
+    let (g2, i2) = her::graph::ntriples::import(&nt).expect("roundtrip");
+
+    let sys1 = her::train_on(&dataset, cfg.clone());
+    let mut cfg2 = cfg.clone();
+    for (a, b) in &dataset.synonyms {
+        cfg2.synonyms.push((a.clone(), b.clone()));
+    }
+    let mut sys2 = Her::build(&dataset.db, g2, i2, &cfg2);
+    let (train, val, _) = dataset.split(cfg.seed);
+    sys2.learn(&train, &val, &cfg2, &her::core::learn::SearchSpace::default());
+
+    assert_eq!(sys1.apair(), sys2.apair());
+}

@@ -1,0 +1,222 @@
+//! Property-based tests over the core invariants (proptest).
+
+use her::core::maximal::MaximalMatch;
+use her::core::paramatch::Matcher;
+use her::core::params::{Params, Thresholds};
+use her::graph::{Graph, GraphBuilder, Interner, VertexId};
+use her::parallel::{partition_round_robin, pallmatch, ParallelConfig};
+use her::rdb::rdb2rdf::canonicalize;
+use her::rdb::schema::{RelationSchema, Schema};
+use her::rdb::{Database, Tuple, Value};
+use proptest::prelude::*;
+
+/// A small random labeled graph: `n` vertices with labels from a tiny
+/// alphabet, plus arbitrary edges.
+fn arb_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = (Graph, Interner)> {
+    let labels = prop::sample::select(vec!["a", "b", "c", "item", "red", "blue"]);
+    let edge_labels = prop::sample::select(vec!["e", "f", "knows", "has"]);
+    (2usize..=max_v).prop_flat_map(move |n| {
+        (
+            prop::collection::vec(labels.clone(), n),
+            prop::collection::vec(
+                ((0..n), (0..n), edge_labels.clone()),
+                0..=max_e,
+            ),
+        )
+            .prop_map(move |(vlabels, edges)| {
+                let mut b = GraphBuilder::new();
+                let vs: Vec<VertexId> = vlabels.iter().map(|l| b.add_vertex(l)).collect();
+                for (s, t, l) in edges {
+                    if s != t {
+                        b.add_edge(vs[s], vs[t], l);
+                    }
+                }
+                b.build()
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Scores stay in range on arbitrary label pairs.
+    #[test]
+    fn hv_in_unit_interval(a in "[a-zA-Z0-9 _]{0,20}", b in "[a-zA-Z0-9 _]{0,20}") {
+        let params = Params::untrained(32, 1);
+        let s = params.mv.similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s), "{a:?} vs {b:?} -> {s}");
+    }
+
+    /// M_ρ stays in range on arbitrary label sequences.
+    #[test]
+    fn mrho_in_unit_interval(
+        s1 in prop::collection::vec("[a-z]{1,8}", 0..4),
+        s2 in prop::collection::vec("[a-z]{1,8}", 0..4),
+    ) {
+        let params = Params::untrained(16, 2);
+        let v = params.mrho.score(&s1, &s2);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    /// ParaMatch terminates on arbitrary graphs and its positive verdicts
+    /// carry sound witnesses: every witnessed pair passes σ, and the
+    /// recorded lineage sets are injective.
+    #[test]
+    fn paramatch_sound_on_random_graphs(
+        (gd, gd_int) in arb_graph(7, 12),
+        sigma in 0.5f32..1.0,
+        delta in 0.0f32..1.5,
+    ) {
+        // Use the same graph on both sides (shared interner by construction).
+        let g = gd.clone();
+        let params = Params::untrained(16, 3)
+            .with_thresholds(Thresholds::new(sigma, delta, 4));
+        let mut m = Matcher::new(&gd, &g, &gd_int, &params);
+        for u in gd.vertices().take(4) {
+            for v in g.vertices().take(4) {
+                let verdict = m.is_match(u, v);
+                if verdict {
+                    let w = m.witness(u, v).expect("match must have witness");
+                    prop_assert!(w.contains(&(u, v)));
+                    for &(a, b) in &w {
+                        let la = gd_int.resolve(gd.label(a));
+                        let lb = gd_int.resolve(g.label(b));
+                        let s = params.mv.similarity(la, lb);
+                        prop_assert!(s >= sigma - 1e-5, "witness pair below sigma");
+                        // Lineage sets are partial injective mappings.
+                        if let Some(deps) = m.lineage(a, b) {
+                            let mut seen = std::collections::BTreeSet::new();
+                            for &(_, vb) in deps {
+                                prop_assert!(seen.insert(vb), "lineage reuses a vertex");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Matching a graph against itself with permissive thresholds always
+    /// accepts the identity pairs (reflexivity under exact labels).
+    #[test]
+    fn identity_pairs_match_with_zero_delta((g, interner) in arb_graph(8, 12)) {
+        let params = Params::untrained(16, 4).with_thresholds(Thresholds::new(0.99, 0.0, 4));
+        let gd = g.clone();
+        let mut m = Matcher::new(&gd, &g, &interner, &params);
+        for v in g.vertices() {
+            prop_assert!(m.is_match(v, v), "identity pair {v:?} rejected");
+        }
+    }
+
+    /// The round-robin partitioner assigns every vertex exactly once and
+    /// border sets contain exactly the non-owned targets of owned edges.
+    #[test]
+    fn partition_invariants((g, _) in arb_graph(10, 20), n in 1usize..5) {
+        let part = partition_round_robin(&g, n);
+        let mut owned_total = 0;
+        for i in 0..n {
+            owned_total += part.owned(i).len();
+            let border = part.border(&g, i);
+            for &v in &border {
+                prop_assert_ne!(part.owner(v), i, "border vertex owned locally");
+            }
+            // Every cross edge's target is in the border set.
+            for u in g.vertices() {
+                if part.owner(u) == i {
+                    for &c in g.children(u) {
+                        if part.owner(c) != i {
+                            prop_assert!(border.contains(&c));
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(owned_total, g.vertex_count());
+    }
+
+    /// Parallel APair agrees with itself across worker counts on random
+    /// graphs (determinism + fragment independence).
+    #[test]
+    fn pallmatch_worker_invariance((g, interner) in arb_graph(8, 12)) {
+        let gd = g.clone();
+        let params = Params::untrained(16, 5).with_thresholds(Thresholds::new(0.9, 0.05, 3));
+        let roots: Vec<VertexId> = g.vertices().take(4).collect();
+        let run = |workers| {
+            pallmatch(&gd, &g, &interner, &params, &roots, &ParallelConfig {
+                workers,
+                use_blocking: false,
+                ..Default::default()
+            }).0
+        };
+        let r1 = run(1);
+        prop_assert_eq!(run(2), r1.clone());
+        prop_assert_eq!(run(3), r1);
+    }
+
+    /// ParaMatch's witnesses are contained in the unique maximal match
+    /// (Proposition 4's oracle computed by exact fixpoint refinement).
+    #[test]
+    fn paramatch_witnesses_within_maximal_match(
+        (g, interner) in arb_graph(6, 10),
+        delta in 0.0f32..0.8,
+    ) {
+        let gd = g.clone();
+        let params = Params::untrained(16, 6)
+            .with_thresholds(Thresholds::new(0.9, delta, 3));
+        let oracle = MaximalMatch::new(&gd, &g, &interner, &params).compute();
+        let mut m = Matcher::new(&gd, &g, &interner, &params);
+        for u in gd.vertices().take(3) {
+            for v in g.vertices().take(3) {
+                if m.is_match(u, v) {
+                    for pair in m.witness(u, v).unwrap() {
+                        prop_assert!(
+                            oracle.contains(&pair),
+                            "witness pair {pair:?} outside maximal match"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// RDB2RDF: canonical-graph size follows the mapping rules exactly.
+    #[test]
+    fn rdb2rdf_size_formula(
+        rows in prop::collection::vec(
+            (prop::option::of("[a-z]{1,6}"), prop::option::of("[a-z]{1,6}")),
+            1..10,
+        )
+    ) {
+        let mut schema = Schema::new();
+        let r = schema.add_relation(RelationSchema::new("r", &["a", "b"]));
+        let mut db = Database::new(schema);
+        let mut non_null = 0usize;
+        for (a, b) in &rows {
+            non_null += usize::from(a.is_some()) + usize::from(b.is_some());
+            db.insert(r, Tuple::new(vec![
+                a.clone().map(Value::Str).unwrap_or(Value::Null),
+                b.clone().map(Value::Str).unwrap_or(Value::Null),
+            ]));
+        }
+        let cg = canonicalize(&db);
+        // One vertex per tuple + one per non-null attribute.
+        prop_assert_eq!(cg.graph.vertex_count(), rows.len() + non_null);
+        prop_assert_eq!(cg.graph.edge_count(), non_null);
+        // Bijectivity on tuples.
+        for (t, _) in db.tuples() {
+            prop_assert_eq!(cg.tuple_of(cg.vertex_of(t)), Some(t));
+        }
+    }
+
+    /// CSV round-trips arbitrary field content.
+    #[test]
+    fn csv_roundtrip(records in prop::collection::vec(
+        prop::collection::vec("[ -~]{0,12}", 1..5), 1..6)
+    ) {
+        // Normalise widths (parser requires rectangular data only for
+        // parse_relation; raw parse allows ragged, so test raw).
+        let text = her::rdb::csv::write(&records);
+        let parsed = her::rdb::csv::parse(&text).unwrap();
+        prop_assert_eq!(parsed, records);
+    }
+}

@@ -1,0 +1,38 @@
+//! After refinement rounds, all three query modes must agree with the
+//! verified-pair memory and with each other.
+
+use her::core::refine::RefineConfig;
+use her::prelude::*;
+
+#[test]
+fn modes_stay_consistent_after_refinement() {
+    let dataset = her::datagen::ukgov::generate_sized(60, 51);
+    let cfg = HerConfig::default();
+    let mut system = her::train_on(&dataset, cfg.clone());
+    let (_, _, test) = dataset.split(cfg.seed);
+
+    // Feed noise-free feedback on every test pair.
+    system.refine(
+        &test,
+        &RefineConfig {
+            error_rate: 0.0,
+            ..Default::default()
+        },
+    );
+
+    // SPair now reproduces the annotations exactly…
+    for &(t, v, truth) in &test {
+        assert_eq!(system.spair(t, v), truth, "verified pair ({t:?}, {v:?})");
+    }
+    // …and VPair/APair agree with SPair.
+    let all = system.apair();
+    for &(t, v, _) in test.iter().take(30) {
+        let s = system.spair(t, v);
+        let in_v = system.vpair(t).contains(&v);
+        let in_a = all.contains(&(t, v));
+        assert_eq!(s, in_v, "spair vs vpair after refinement");
+        assert_eq!(s, in_a, "spair vs apair after refinement");
+    }
+    // Accuracy on the verified set is perfect.
+    assert_eq!(system.evaluate(&test).f_measure(), 1.0);
+}
