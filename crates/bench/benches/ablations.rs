@@ -22,26 +22,26 @@ fn bench(c: &mut Criterion) {
 
     let all_on = MatcherOptions::default();
     let variants: Vec<(&str, MatcherOptions)> = vec![
-        ("all_on", all_on),
+        ("all_on", all_on.clone()),
         (
             "no_early_termination",
             MatcherOptions {
                 early_termination: false,
-                ..all_on
+                ..all_on.clone()
             },
         ),
         (
             "no_ecache",
             MatcherOptions {
                 use_ecache: false,
-                ..all_on
+                ..all_on.clone()
             },
         ),
         (
             "no_sorted_lists",
             MatcherOptions {
                 sorted_lists: false,
-                ..all_on
+                ..all_on.clone()
             },
         ),
     ];
@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
     for (name, opts) in &variants {
         group.bench_function(*name, |b| {
             b.iter(|| {
-                let mut m = prep.her.matcher_with(*opts);
+                let mut m = prep.her.matcher_with(opts.clone());
                 apair(&mut m, &tuple_vertices, prep.her.index.as_ref())
             })
         });

@@ -102,7 +102,9 @@ pub fn bounded_simulation(
                     sim[u_child].iter().any(|v_child| reach.contains(v_child))
                 });
                 if !ok {
-                    sim.get_mut(&u).unwrap().remove(&v);
+                    if let Some(s) = sim.get_mut(&u) {
+                        s.remove(&v);
+                    }
                     changed = true;
                 }
             }

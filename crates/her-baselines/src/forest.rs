@@ -92,7 +92,7 @@ impl Tree {
             let f = rng.gen_range(0..d);
             // Candidate thresholds: midpoints of a few sampled values.
             let mut vals: Vec<f64> = idx.iter().map(|&i| xs[i][f]).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals.sort_by(|a, b| a.total_cmp(b));
             vals.dedup();
             if vals.len() < 2 {
                 continue;

@@ -17,6 +17,7 @@
 //! is exactly the representational handicap the paper identifies: multi-hop
 //! properties beyond 2 hops and recursive structure are invisible to them.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod bsim;
 pub mod cell;
 pub mod common;

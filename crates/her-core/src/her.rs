@@ -12,7 +12,7 @@
 use crate::apair;
 use crate::index::InvertedIndex;
 use crate::learn::{self, Annotation, SearchSpace};
-use crate::paramatch::{Matcher, MatcherOptions};
+use crate::paramatch::{ExhaustReason, Matcher, MatcherOptions};
 use crate::params::{Params, Thresholds};
 use crate::refine::{refine_round, RefineConfig, RefineOutcome};
 use crate::schema_match::{schema_matches, SchemaMatch};
@@ -220,6 +220,18 @@ impl Her {
         out
     }
 
+    /// Budget-aware VPair: runs under the supplied matcher options (budget
+    /// and/or cancellation token) and degrades gracefully — matches found
+    /// before exhaustion are returned with the undecided candidates listed,
+    /// instead of being discarded. Verified verdicts are overlaid on the
+    /// matched set as in [`Her::vpair`].
+    pub fn try_vpair(&self, t: TupleRef, options: MatcherOptions) -> vpair::VpairRun {
+        let mut m = self.matcher_with(options);
+        let mut run = vpair::try_vpair(&mut m, self.cg.vertex_of(t), self.index.as_ref());
+        self.apply_verified(t, &mut run.matches);
+        run
+    }
+
     /// Overlays verified verdicts for tuple `t` onto a match list.
     fn apply_verified(&self, t: TupleRef, matches: &mut Vec<VertexId>) {
         if self.verified.is_empty() {
@@ -236,12 +248,24 @@ impl Her {
 
     /// Mode APair: all matches across `D` and `G`.
     pub fn apair(&self) -> Vec<(TupleRef, VertexId)> {
-        let mut m = self.matcher();
+        self.try_apair(MatcherOptions::default()).0
+    }
+
+    /// Budget-aware APair: runs under the supplied matcher options and
+    /// degrades gracefully. The returned matches are *sound* — every pair
+    /// was fully verified before the budget tripped — and the second
+    /// component reports the exhaustion reason (`None` = complete run).
+    pub fn try_apair(
+        &self,
+        options: MatcherOptions,
+    ) -> (Vec<(TupleRef, VertexId)>, Option<ExhaustReason>) {
+        let mut m = self.matcher_with(options);
         let mut tuple_vertices: Vec<(TupleRef, VertexId)> =
             self.cg.tuple_vertices().collect();
         tuple_vertices.sort();
         let us: Vec<VertexId> = tuple_vertices.iter().map(|&(_, u)| u).collect();
         let matched = apair::apair(&mut m, &us, self.index.as_ref());
+        let exhausted = m.exhausted();
         let mut out: Vec<(TupleRef, VertexId)> = matched
             .into_iter()
             .filter_map(|(u, v)| self.cg.tuple_of(u).map(|t| (t, v)))
@@ -256,7 +280,7 @@ impl Her {
             }
         }
         out.sort();
-        out
+        (out, exhausted)
     }
 
     /// Schema matches `Γ(u_t, v)` for a matched tuple/vertex pair.

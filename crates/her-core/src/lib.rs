@@ -22,6 +22,7 @@
 //! - [`stream`]: incremental / pay-as-you-go linking (§VI-B remark 2);
 //! - [`her`]: the [`her::Her`] facade exposing SPair, VPair and APair.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod apair;
 pub mod her;
 pub mod index;
@@ -37,5 +38,8 @@ pub mod stream;
 pub mod vpair;
 
 pub use her::{Her, HerConfig};
-pub use paramatch::Matcher;
+pub use paramatch::{
+    Budget, CancelToken, ExhaustReason, Matcher, MatcherOptions, Outcome,
+};
 pub use params::{Params, Thresholds};
+pub use vpair::VpairRun;

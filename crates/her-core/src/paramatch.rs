@@ -23,10 +23,121 @@ use crate::params::Params;
 use crate::scores::ScoreCache;
 use her_graph::hash::{FxHashMap, FxHashSet};
 use her_graph::{Graph, Interner, Path, VertexId};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc as Rc;
+use std::time::{Duration, Instant};
 
 /// A candidate pair `(u, v)` with `u ∈ G_D`, `v ∈ G`.
 pub type PairKey = (VertexId, VertexId);
+
+/// Why a budgeted run stopped before reaching a verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExhaustReason {
+    /// The recursive-call budget ([`Budget::max_calls`]) ran out.
+    Calls,
+    /// The wall-clock deadline ([`Budget::deadline`]) passed.
+    Deadline,
+    /// The verdict cache hit its capacity ([`Budget::max_cache_entries`]).
+    CacheCapacity,
+    /// The shared [`CancelToken`] was triggered.
+    Cancelled,
+}
+
+impl std::fmt::Display for ExhaustReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustReason::Calls => write!(f, "recursive-call budget exhausted"),
+            ExhaustReason::Deadline => write!(f, "wall-clock deadline passed"),
+            ExhaustReason::CacheCapacity => write!(f, "verdict-cache capacity reached"),
+            ExhaustReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Tri-state verdict: distinguishes "provably not a match" from "the run
+/// was cut short by its [`Budget`] or [`CancelToken`]".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    Matched,
+    Unmatched,
+    Exhausted(ExhaustReason),
+}
+
+impl Outcome {
+    pub fn is_matched(&self) -> bool {
+        matches!(self, Outcome::Matched)
+    }
+
+    /// True when the verdict is definitive (not an exhaustion).
+    pub fn is_decided(&self) -> bool {
+        !matches!(self, Outcome::Exhausted(_))
+    }
+}
+
+/// Resource limits for matcher runs. The default is unlimited; every limit
+/// is opt-in and checked at each `ParaMatch` invocation, so an exhausted
+/// run stops within one recursive call of the limit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Budget {
+    /// Maximum number of recursive `ParaMatch` invocations.
+    pub max_calls: Option<u64>,
+    /// Absolute wall-clock deadline.
+    pub deadline: Option<Instant>,
+    /// Maximum number of verdict-cache entries.
+    pub max_cache_entries: Option<usize>,
+}
+
+impl Budget {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    pub fn with_max_calls(mut self, n: u64) -> Self {
+        self.max_calls = Some(n);
+        self
+    }
+
+    /// Sets the deadline to `now + d`.
+    pub fn with_deadline_in(self, d: Duration) -> Self {
+        self.with_deadline(Instant::now() + d)
+    }
+
+    pub fn with_deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    pub fn with_max_cache_entries(mut self, n: usize) -> Self {
+        self.max_cache_entries = Some(n);
+        self
+    }
+
+    pub fn is_unlimited(&self) -> bool {
+        self.max_calls.is_none() && self.deadline.is_none() && self.max_cache_entries.is_none()
+    }
+}
+
+/// Shared cooperative cancellation flag. Cloning yields another handle to
+/// the same flag, so one token can stop a whole fleet of matchers.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Rc<AtomicBool>);
+
+impl CancelToken {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; every matcher sharing this token observes it
+    /// at its next `ParaMatch` invocation.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
 
 /// Counters exposed for the efficiency experiments and ablations.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -43,10 +154,11 @@ pub struct MatchStats {
     pub ecache_hits: u64,
 }
 
-/// Feature toggles for the ablation benchmarks (DESIGN.md §6). All enabled
-/// by default — disabling any of them preserves correctness but changes
-/// performance.
-#[derive(Clone, Copy, Debug)]
+/// Feature toggles for the ablation benchmarks (DESIGN.md §6) plus
+/// resource governance. The toggles preserve correctness and only change
+/// performance; the budget/cancellation fields bound how much work a run
+/// may do before reporting [`Outcome::Exhausted`].
+#[derive(Clone, Debug)]
 pub struct MatcherOptions {
     /// Use the `MaxSco` early-termination bound (Fig. 4 lines 12-14, 25-27).
     pub early_termination: bool,
@@ -54,6 +166,10 @@ pub struct MatcherOptions {
     pub use_ecache: bool,
     /// Sort candidate lists by descending `h_ρ` (line 11).
     pub sorted_lists: bool,
+    /// Resource limits (unlimited by default).
+    pub budget: Budget,
+    /// Shared cooperative cancellation flag.
+    pub cancel: CancelToken,
 }
 
 impl Default for MatcherOptions {
@@ -62,6 +178,8 @@ impl Default for MatcherOptions {
             early_termination: true,
             use_ecache: true,
             sorted_lists: true,
+            budget: Budget::default(),
+            cancel: CancelToken::new(),
         }
     }
 }
@@ -102,6 +220,10 @@ pub struct Matcher<'a> {
     border: Option<FxHashSet<VertexId>>,
     /// Border pairs assumed valid since the last drain.
     new_assumptions: Vec<PairKey>,
+    /// Sticky exhaustion state: once a budget limit trips, every further
+    /// query short-circuits to `Outcome::Exhausted` until the budget is
+    /// renewed via [`Matcher::renew_budget`].
+    exhausted: Option<ExhaustReason>,
 }
 
 impl<'a> Matcher<'a> {
@@ -132,6 +254,7 @@ impl<'a> Matcher<'a> {
             stats: MatchStats::default(),
             border: None,
             new_assumptions: Vec::new(),
+            exhausted: None,
         }
     }
 
@@ -146,6 +269,34 @@ impl<'a> Matcher<'a> {
     /// Drains border pairs assumed valid since the last call.
     pub fn take_new_assumptions(&mut self) -> Vec<PairKey> {
         std::mem::take(&mut self.new_assumptions)
+    }
+
+    /// Worker recovery (§VI-B): adopts `vs` into this matcher's fragment.
+    /// The vertices leave the border set, and every cached pair resolved
+    /// against them is forgotten (together with anything whose lineage
+    /// reached it), so the next evaluation verifies them authoritatively on
+    /// local data instead of assuming. Re-verification is safe because
+    /// invalidation is monotone: recomputing can only confirm an assumption
+    /// or flip it `true → false`, both of which the IncPSim cleanup already
+    /// handles, so the fixpoint is unchanged.
+    pub fn adopt_border(&mut self, vs: &FxHashSet<VertexId>) {
+        if let Some(border) = &mut self.border {
+            for v in vs {
+                border.remove(v);
+            }
+        }
+        let stale: Vec<PairKey> = self
+            .cache
+            .keys()
+            .filter(|k| vs.contains(&k.1))
+            .copied()
+            .collect();
+        for p in stale {
+            self.purge(p);
+        }
+        // Pending assumptions on adopted vertices would otherwise turn into
+        // requests addressed to ourselves.
+        self.new_assumptions.retain(|p| !vs.contains(&p.1));
     }
 
     /// Pre-seeds `ecache` with top-k selections computed elsewhere — the
@@ -163,10 +314,13 @@ impl<'a> Matcher<'a> {
     }
 
     /// Applies an externally-deduced invalidation (IncPSim, §VI-B): flips
-    /// `(u, v)` to false and re-checks every recorded dependent.
+    /// `(u, v)` to false and re-checks every recorded dependent. If the
+    /// budget runs out mid-repair the unfinished dependents are *purged*
+    /// (forgotten, not mis-cached) and the exhaustion is recorded in
+    /// [`Matcher::exhausted`].
     pub fn apply_invalidation(&mut self, u: VertexId, v: VertexId) {
         self.set_verdict(u, v, false, Vec::new());
-        self.cleanup(u, v);
+        let _ = self.cleanup(u, v);
     }
 
     /// The canonical graph `G_D`.
@@ -194,6 +348,22 @@ impl<'a> Matcher<'a> {
         self.stats
     }
 
+    /// The budget limit that tripped, if any. Sticky until
+    /// [`Matcher::renew_budget`] is called; while set, every query returns
+    /// [`Outcome::Exhausted`] without doing further work, and cached
+    /// verdicts resolved *before* exhaustion remain available (partial
+    /// results are surfaced, not discarded).
+    pub fn exhausted(&self) -> Option<ExhaustReason> {
+        self.exhausted
+    }
+
+    /// Installs a fresh budget and clears the sticky exhaustion state so
+    /// the matcher can resume. Already-resolved verdicts are kept.
+    pub fn renew_budget(&mut self, budget: Budget) {
+        self.options.budget = budget;
+        self.exhausted = None;
+    }
+
     /// `h_v` between a `G_D` vertex and a `G` vertex (used by candidate
     /// generation in VPair/APair).
     pub fn hv_pair(&mut self, u: VertexId, v: VertexId) -> f32 {
@@ -203,13 +373,31 @@ impl<'a> Matcher<'a> {
 
     /// Module SPair: does `(u, v)` match by parametric simulation?
     ///
-    /// Serves previously-resolved pairs from `cache`.
+    /// Serves previously-resolved pairs from `cache`. A budget-exhausted
+    /// run conservatively reports `false`; use [`Matcher::try_match`] when
+    /// the caller must distinguish `Unmatched` from `Exhausted`.
     pub fn is_match(&mut self, u: VertexId, v: VertexId) -> bool {
+        self.try_match(u, v).is_matched()
+    }
+
+    /// As [`Matcher::is_match`], but reporting the tri-state [`Outcome`]:
+    /// cached verdicts (even ones resolved before an exhaustion) are served
+    /// as `Matched`/`Unmatched`; unresolved pairs after exhaustion report
+    /// `Exhausted` without doing further work.
+    pub fn try_match(&mut self, u: VertexId, v: VertexId) -> Outcome {
         if let Some(e) = self.cache.get(&(u, v)) {
             self.stats.cache_hits += 1;
-            return e.valid;
+            return if e.valid {
+                Outcome::Matched
+            } else {
+                Outcome::Unmatched
+            };
         }
-        self.para_match(u, v)
+        match self.para_match(u, v) {
+            Ok(true) => Outcome::Matched,
+            Ok(false) => Outcome::Unmatched,
+            Err(reason) => Outcome::Exhausted(reason),
+        }
     }
 
     /// The cached verdict for a pair, if already resolved.
@@ -306,20 +494,76 @@ impl<'a> Matcher<'a> {
     // The algorithm of Fig. 4.
     // ------------------------------------------------------------------
 
-    fn para_match(&mut self, u: VertexId, v: VertexId) -> bool {
+    /// Checks budget limits and the cancellation token. Once a limit trips
+    /// the exhaustion is sticky, so the whole recursion unwinds promptly
+    /// and later queries short-circuit.
+    fn check_budget(&mut self) -> Result<(), ExhaustReason> {
+        if let Some(reason) = self.exhausted {
+            return Err(reason);
+        }
+        let budget = self.options.budget;
+        let reason = if self.options.cancel.is_cancelled() {
+            Some(ExhaustReason::Cancelled)
+        } else if budget.max_calls.is_some_and(|max| self.stats.calls >= max) {
+            Some(ExhaustReason::Calls)
+        } else if budget.deadline.is_some_and(|dl| Instant::now() >= dl) {
+            Some(ExhaustReason::Deadline)
+        } else if budget
+            .max_cache_entries
+            .is_some_and(|cap| self.cache.len() >= cap)
+        {
+            Some(ExhaustReason::CacheCapacity)
+        } else {
+            None
+        };
+        match reason {
+            Some(r) => {
+                self.exhausted = Some(r);
+                Err(r)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Removes a pair's verdict and transitively forgets every cached match
+    /// whose lineage reaches it. Used when exhaustion interrupts a run:
+    /// in-flight optimistic entries (and anything that came to depend on
+    /// them) must not survive as unproven `Matched` verdicts, so that the
+    /// *partial* results left behind are still sound.
+    fn purge(&mut self, origin: PairKey) {
+        let mut queue = vec![origin];
+        while let Some(p) = queue.pop() {
+            self.cache.remove(&p);
+            if let Some(dependents) = self.rdeps.remove(&p) {
+                for d in dependents {
+                    let depends = self
+                        .cache
+                        .get(&d)
+                        .map(|e| e.valid && e.deps.contains(&p))
+                        .unwrap_or(false);
+                    if depends {
+                        queue.push(d);
+                    }
+                }
+            }
+        }
+    }
+
+    fn para_match(&mut self, u: VertexId, v: VertexId) -> Result<bool, ExhaustReason> {
+        self.check_budget()?;
         self.stats.calls += 1;
         let Params { thresholds, .. } = self.params;
-        let (sigma, delta) = (thresholds.sigma, thresholds.delta);
+        let sigma = thresholds.sigma;
 
         // --- Initial stage (lines 1-11) ---
         let hv = self.hv_pair(u, v);
         if hv < sigma {
             self.set_verdict(u, v, false, Vec::new());
-            return false;
+            return Ok(false);
         }
         if self.gd.is_leaf(u) {
             self.set_verdict(u, v, true, Vec::new());
-            return true;
+            return Ok(true);
         }
         // Parallel fragments: v's out-edges live on another worker — assume
         // the pair valid (PPSim) and let the owner verify it (§VI-B).
@@ -327,7 +571,7 @@ impl<'a> Matcher<'a> {
             if border.contains(&v) {
                 self.set_verdict(u, v, true, Vec::new());
                 self.new_assumptions.push((u, v));
-                return true;
+                return Ok(true);
             }
         }
         // Optimistic assumption enabling cyclic interdependence (appendix C).
@@ -338,6 +582,25 @@ impl<'a> Matcher<'a> {
                 deps: Vec::new(),
             },
         );
+
+        match self.matching_stage(u, v) {
+            Ok(verdict) => Ok(verdict),
+            Err(reason) => {
+                // Graceful unwind: retract the in-flight optimistic entry
+                // (and any verdict that leaned on it) instead of caching an
+                // unproven `true`.
+                self.purge((u, v));
+                Err(reason)
+            }
+        }
+    }
+
+    /// Matching + cleanup stages (Fig. 4 lines 12-32), separated from
+    /// [`Matcher::para_match`] so a budget exhaustion anywhere below can be
+    /// intercepted to retract the optimistic cache entry of `(u, v)`.
+    fn matching_stage(&mut self, u: VertexId, v: VertexId) -> Result<bool, ExhaustReason> {
+        let Params { thresholds, .. } = self.params;
+        let (sigma, delta) = (thresholds.sigma, thresholds.delta);
 
         let su = self.select_d(u);
         let sv = self.select_g(v);
@@ -370,7 +633,7 @@ impl<'a> Matcher<'a> {
         if self.options.early_termination && max_sco < delta {
             self.stats.early_terminations += 1;
             self.set_verdict(u, v, false, Vec::new());
-            return false;
+            return Ok(false);
         }
 
         let mut sum = 0.0f32;
@@ -390,7 +653,7 @@ impl<'a> Matcher<'a> {
                         self.stats.cache_hits += 1;
                         e.valid
                     } else {
-                        self.para_match(u_desc, cand.v)
+                        self.para_match(u_desc, cand.v)?
                     }
                 };
                 if matched {
@@ -405,7 +668,7 @@ impl<'a> Matcher<'a> {
                         if sum >= delta {
                             let deps: Vec<PairKey> = w.iter().map(|(p, _)| *p).collect();
                             self.set_verdict(u, v, true, deps);
-                            return true;
+                            return Ok(true);
                         }
                     }
                     break; // next u'
@@ -429,8 +692,8 @@ impl<'a> Matcher<'a> {
 
         // --- Cleanup stage (lines 28-32) ---
         self.set_verdict(u, v, false, Vec::new());
-        self.cleanup(u, v);
-        false
+        self.cleanup(u, v)?;
+        Ok(false)
     }
 
     /// Removes pairs from `w` whose cache verdict has flipped to false.
@@ -469,12 +732,16 @@ impl<'a> Matcher<'a> {
 
     /// Re-runs `ParaMatch` on every recorded pair that depended on the
     /// freshly-invalidated `(u, v)` (Fig. 4 lines 29-31).
-    fn cleanup(&mut self, u: VertexId, v: VertexId) {
+    ///
+    /// If the budget runs out mid-repair, the dependents not yet re-checked
+    /// are purged (their verdicts were justified by the now-false pair), so
+    /// every verdict that survives an exhausted run is still sound.
+    fn cleanup(&mut self, u: VertexId, v: VertexId) -> Result<(), ExhaustReason> {
         let dependents = match self.rdeps.remove(&(u, v)) {
             Some(d) => d,
-            None => return,
+            None => return Ok(()),
         };
-        for (up, vp) in dependents {
+        for (i, &(up, vp)) in dependents.iter().enumerate() {
             let needs_recheck = self
                 .cache
                 .get(&(up, vp))
@@ -485,9 +752,15 @@ impl<'a> Matcher<'a> {
                 // Unset and recompute.
                 self.set_verdict(up, vp, false, Vec::new());
                 self.cache.remove(&(up, vp));
-                self.para_match(up, vp);
+                if let Err(reason) = self.para_match(up, vp) {
+                    for &rest in &dependents[i + 1..] {
+                        self.purge(rest);
+                    }
+                    return Err(reason);
+                }
             }
         }
+        Ok(())
     }
 }
 
@@ -622,9 +895,10 @@ mod tests {
             early_termination: false,
             use_ecache: false,
             sorted_lists: false,
+            ..Default::default()
         };
         for opts in [all, none] {
-            let mut m = Matcher::with_options(&gd, &g, &interner, &p, opts);
+            let mut m = Matcher::with_options(&gd, &g, &interner, &p, opts.clone());
             assert!(m.is_match(u, v), "opts {opts:?}");
             assert!(!m.is_match(u, decoy), "opts {opts:?}");
         }
@@ -665,6 +939,107 @@ mod tests {
         // The poison pair never became a match (it is either filtered out
         // at candidate-list construction or cached false).
         assert_ne!(m.cached(u3, v3), Some(true));
+    }
+
+    #[test]
+    fn call_budget_reports_exhausted_not_false() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let opts = MatcherOptions {
+            budget: Budget::unlimited().with_max_calls(1),
+            ..Default::default()
+        };
+        let mut m = Matcher::with_options(&gd, &g, &interner, &p, opts);
+        let out = m.try_match(u, v);
+        assert!(matches!(out, Outcome::Exhausted(ExhaustReason::Calls)), "{out:?}");
+        assert_eq!(m.exhausted(), Some(ExhaustReason::Calls));
+        // Conservative boolean view.
+        assert!(!m.is_match(u, v));
+        // No unproven optimistic verdict may survive the unwind.
+        assert_ne!(m.cached(u, v), Some(true));
+    }
+
+    #[test]
+    fn renew_budget_resumes_and_finishes() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let opts = MatcherOptions {
+            budget: Budget::unlimited().with_max_calls(1),
+            ..Default::default()
+        };
+        let mut m = Matcher::with_options(&gd, &g, &interner, &p, opts);
+        assert!(!m.try_match(u, v).is_decided());
+        m.renew_budget(Budget::unlimited());
+        assert_eq!(m.try_match(u, v), Outcome::Matched);
+    }
+
+    #[test]
+    fn cancel_token_stops_work_and_is_shared() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let token = CancelToken::new();
+        let opts = MatcherOptions {
+            cancel: token.clone(),
+            ..Default::default()
+        };
+        let mut m = Matcher::with_options(&gd, &g, &interner, &p, opts);
+        token.cancel();
+        assert_eq!(
+            m.try_match(u, v),
+            Outcome::Exhausted(ExhaustReason::Cancelled)
+        );
+        assert_eq!(m.stats().calls, 0, "no work after cancellation");
+    }
+
+    #[test]
+    fn deadline_in_the_past_exhausts_immediately() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let opts = MatcherOptions {
+            budget: Budget::unlimited().with_deadline_in(std::time::Duration::ZERO),
+            ..Default::default()
+        };
+        let mut m = Matcher::with_options(&gd, &g, &interner, &p, opts);
+        assert_eq!(
+            m.try_match(u, v),
+            Outcome::Exhausted(ExhaustReason::Deadline)
+        );
+    }
+
+    #[test]
+    fn partial_results_survive_exhaustion() {
+        let (gd, g, interner, u, v, decoy) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let mut m = Matcher::with_options(
+            &gd,
+            &g,
+            &interner,
+            &p,
+            MatcherOptions::default(),
+        );
+        // Resolve one pair fully, then exhaust the budget on the next.
+        assert_eq!(m.try_match(u, v), Outcome::Matched);
+        let used = m.stats().calls;
+        m.renew_budget(Budget::unlimited().with_max_calls(used));
+        assert!(!m.try_match(u, decoy).is_decided());
+        // The pre-exhaustion verdict is still served (partial results).
+        assert_eq!(m.try_match(u, v), Outcome::Matched);
+        assert_eq!(m.cached(u, v), Some(true));
+    }
+
+    #[test]
+    fn cache_capacity_budget_trips() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let opts = MatcherOptions {
+            budget: Budget::unlimited().with_max_cache_entries(0),
+            ..Default::default()
+        };
+        let mut m = Matcher::with_options(&gd, &g, &interner, &p, opts);
+        assert_eq!(
+            m.try_match(u, v),
+            Outcome::Exhausted(ExhaustReason::CacheCapacity)
+        );
     }
 
     /// When δ forces *both* descendants of u1 to match, the poison pair's

@@ -170,6 +170,52 @@ mod tests {
         );
     }
 
+    /// Property: stream results are order-independent and retraction
+    /// commutes with processing order — processing in a random order,
+    /// retracting a random vertex, then re-processing in another random
+    /// order leaves exactly the matches a fresh batch run (natural order +
+    /// the same retraction) produces. Cases are driven by the proptest
+    /// rng in a hand-rolled loop so the trained fixture is built once.
+    #[test]
+    fn random_order_with_retraction_equals_batch_run() {
+        use proptest::rng::TestRng;
+        let (her, ts, vs) = system();
+        let shuffle = |order: &mut Vec<usize>, rng: &mut TestRng| {
+            for i in (1..order.len()).rev() {
+                let j = rng.below((i + 1) as u64) as usize;
+                order.swap(i, j);
+            }
+        };
+        for case in 0..12u64 {
+            let mut rng = TestRng::for_case("stream_order_retraction", case);
+            let mut order: Vec<usize> = (0..ts.len()).collect();
+            shuffle(&mut order, &mut rng);
+            let retract = vs[rng.below(vs.len() as u64) as usize];
+
+            let mut linker = StreamLinker::new(&her);
+            for &i in &order {
+                linker.process(ts[i]);
+            }
+            linker.retract_vertex(retract);
+            shuffle(&mut order, &mut rng);
+            for &i in &order {
+                linker.process(ts[i]);
+            }
+
+            let mut batch = StreamLinker::new(&her);
+            for &t in &ts {
+                batch.process(t);
+            }
+            batch.retract_vertex(retract);
+
+            assert_eq!(
+                linker.matches(),
+                batch.matches(),
+                "case {case}: order {order:?}, retracted {retract:?}"
+            );
+        }
+    }
+
     #[test]
     fn retraction_withdraws_matches() {
         let (her, ts, vs) = system();

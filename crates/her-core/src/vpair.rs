@@ -11,8 +11,28 @@
 //!    `ParaMatch`.
 
 use crate::index::InvertedIndex;
-use crate::paramatch::Matcher;
+use crate::paramatch::{ExhaustReason, Matcher, Outcome};
 use her_graph::VertexId;
+
+/// Result of a budget-aware VPair run (see [`try_vpair`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VpairRun {
+    /// Vertices confirmed matched, ascending. Sound even when the run was
+    /// cut short: exhaustion never converts an undecided pair into a
+    /// verdict.
+    pub matches: Vec<VertexId>,
+    /// Candidates left undecided because the budget ran out, ascending.
+    pub unresolved: Vec<VertexId>,
+    /// Why the run stopped early, if it did.
+    pub exhausted: Option<ExhaustReason>,
+}
+
+impl VpairRun {
+    /// True when every candidate was decided.
+    pub fn is_complete(&self) -> bool {
+        self.exhausted.is_none()
+    }
+}
 
 /// Generates the candidate set for `u_t`: vertices of `G` passing the
 /// `h_v ≥ σ` filter, via `index` when provided.
@@ -42,6 +62,45 @@ pub fn vpair(
     index: Option<&InvertedIndex>,
 ) -> Vec<VertexId> {
     vpair_ordered(matcher, u_t, index, true)
+}
+
+/// Budget-aware `VParaMatch`: like [`vpair`] but degrades gracefully when
+/// the matcher's [`crate::paramatch::Budget`] or
+/// [`crate::paramatch::CancelToken`] trips — verified matches found so far
+/// are returned together with the still-undecided candidates instead of
+/// being discarded.
+pub fn try_vpair(
+    matcher: &mut Matcher<'_>,
+    u_t: VertexId,
+    index: Option<&InvertedIndex>,
+) -> VpairRun {
+    let mut cand = candidates(matcher, u_t, index);
+    // Fig. 5 line 4: verify in increasing order of degree, so a budgeted
+    // run decides the cheap candidates before the expensive ones.
+    cand.sort_by_key(|&v| (matcher.g().degree(v), v));
+    let mut matches = Vec::new();
+    let mut unresolved = Vec::new();
+    let mut exhausted = None;
+    for &v in &cand {
+        // After exhaustion `try_match` still serves pre-exhaustion cached
+        // verdicts and costs O(1) for the rest, so keep scanning: every
+        // candidate ends up accurately classified as decided or unresolved.
+        match matcher.try_match(u_t, v) {
+            Outcome::Matched => matches.push(v),
+            Outcome::Unmatched => {}
+            Outcome::Exhausted(reason) => {
+                exhausted.get_or_insert(reason);
+                unresolved.push(v);
+            }
+        }
+    }
+    matches.sort();
+    unresolved.sort();
+    VpairRun {
+        matches,
+        unresolved,
+        exhausted,
+    }
 }
 
 /// As [`vpair`], with the degree ordering of Fig. 5 line 4 toggleable
@@ -160,6 +219,60 @@ mod tests {
             vpair_ordered(&mut m1, u, None, true),
             vpair_ordered(&mut m2, u, None, false)
         );
+    }
+
+    #[test]
+    fn try_vpair_complete_run_equals_vpair() {
+        let (gd, g, i, u, _) = fixture();
+        let p = params();
+        let mut m1 = Matcher::new(&gd, &g, &i, &p);
+        let mut m2 = Matcher::new(&gd, &g, &i, &p);
+        let run = try_vpair(&mut m1, u, None);
+        assert!(run.is_complete());
+        assert!(run.unresolved.is_empty());
+        assert_eq!(run.matches, vpair(&mut m2, u, None));
+    }
+
+    #[test]
+    fn try_vpair_exhausted_reports_partial_results() {
+        use crate::paramatch::{Budget, ExhaustReason, MatcherOptions};
+        use std::time::Duration;
+        let (gd, g, i, u, vs) = fixture();
+        let p = params();
+        // Tight call budget: enough for the first (cheapest) candidates but
+        // not the whole run.
+        let opts = MatcherOptions {
+            budget: Budget::unlimited()
+                .with_max_calls(2)
+                .with_deadline_in(Duration::from_secs(30)),
+            ..Default::default()
+        };
+        let mut m = Matcher::with_options(&gd, &g, &i, &p, opts);
+        let start = std::time::Instant::now();
+        let run = try_vpair(&mut m, u, None);
+        assert!(start.elapsed() < Duration::from_secs(30), "must not hang");
+        assert_eq!(run.exhausted, Some(ExhaustReason::Calls));
+        assert!(!run.unresolved.is_empty(), "{run:?}");
+        // Partial results are sound: everything reported matched really is.
+        let mut oracle = Matcher::new(&gd, &g, &i, &p);
+        for &v in &run.matches {
+            assert!(oracle.is_match(u, v));
+        }
+        // The candidates are partitioned, nothing silently dropped.
+        let mut all: Vec<_> = run
+            .matches
+            .iter()
+            .chain(&run.unresolved)
+            .copied()
+            .collect();
+        all.sort();
+        let mut m2 = Matcher::new(&gd, &g, &i, &p);
+        let mut c = candidates(&mut m2, u, None);
+        c.sort();
+        for v in &all {
+            assert!(c.contains(v));
+        }
+        let _ = vs;
     }
 
     #[test]

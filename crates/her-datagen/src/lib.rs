@@ -21,6 +21,7 @@
 //! verified non-matches and the value-synonym lexicon (the stand-in for
 //! pre-trained semantic knowledge) ship with each [`dataset::LinkedDataset`].
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod dataset;
 pub mod dblp;
 pub mod dbpedia;

@@ -27,6 +27,7 @@
 //!   PRA-ranked top-k descendants;
 //! - [`corpus`]: corpus and training-data preparation (§IV "Training").
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod corpus;
 pub mod hashvec;
 pub mod metric;

@@ -64,7 +64,7 @@ impl Mlp {
     /// The final size must be 1 (a single score unit).
     pub fn new(sizes: &[usize], seed: u64) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
-        assert_eq!(*sizes.last().unwrap(), 1, "output layer must have width 1");
+        assert_eq!(sizes.last(), Some(&1), "output layer must have width 1");
         let mut rng = StdRng::seed_from_u64(seed);
         let layers = sizes
             .windows(2)

@@ -117,7 +117,7 @@ impl PathLm {
                 best = Some((i, p));
             }
         }
-        let (idx, p) = best.unwrap();
+        let (idx, p) = best?;
         if p > p_eos {
             Some(idx)
         } else {

@@ -17,6 +17,7 @@
 //! canonical graph `G_D` produced by RDB2RDF (crate `her-rdb`) and the data
 //! graph `G` are both [`Graph`]s.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod builder;
 pub mod graph;
 pub mod hash;

@@ -62,7 +62,7 @@ impl Path {
     /// The last vertex `vl`.
     #[inline]
     pub fn end(&self) -> VertexId {
-        *self.vertices.last().unwrap()
+        *self.vertices.last().expect("a path has at least one vertex")
     }
 
     /// All vertices on the path, in order.

@@ -65,7 +65,9 @@ fn one_walk(g: &Graph, start: VertexId, max_len: usize, rng: &mut StdRng) -> Vec
             .collect();
         let (l, t) = if candidates.is_empty() {
             let idx = rng.gen_range(0..deg);
-            g.out_edges(cur).nth(idx).unwrap()
+            g.out_edges(cur)
+                .nth(idx)
+                .expect("idx drawn below the out-degree")
         } else {
             candidates[rng.gen_range(0..candidates.len())]
         };

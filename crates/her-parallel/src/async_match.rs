@@ -8,24 +8,73 @@
 //! same as the bulk-synchronous run's.
 //!
 //! Workers run on OS threads connected by `crossbeam` channels.
-//! Termination uses an in-flight message counter: a message is accounted
-//! *before* it is sent and released *after* it is processed, so
-//! `in_flight == 0` with all workers idle implies global quiescence.
+//!
+//! # Termination
+//!
+//! Termination uses an in-flight message counter plus an *initial-pass
+//! barrier*. A message is accounted *before* it is sent and released
+//! *after* it is fully processed (including the sends it triggers), so the
+//! counter can never read zero while work is still implied. The barrier —
+//! a count of workers that have finished their first local pass — closes
+//! the startup race where an early worker observes `in_flight == 0`
+//! before a slower peer's initial pass has produced its first request.
+//! Quiescence is `started == n && in_flight == 0`.
+//!
+//! A *liveness watchdog* guards the counter: if `in_flight > 0` but no
+//! worker has made progress for [`crate::ParallelConfig::watchdog`], the
+//! run aborts and returns what it has, rather than hanging on a message
+//! that will never arrive (see [`crate::fault::MessageFate::BlackHole`]).
+//!
+//! # Worker recovery
+//!
+//! Each worker's event loop runs under `catch_unwind`. On a panic the
+//! thread survives as a *tombstone*: it reports the death to the
+//! supervisor (the spawning thread), which reassigns the dead fragment to
+//! survivors ([`crate::partition::SharedPartition::reassign`]) and sends
+//! them `Adopt` messages (the dead worker's candidate roots, to be
+//! re-verified) plus a `PeerDied` broadcast that makes every survivor
+//! replay its pending verification requests to the new owners. The
+//! tombstone then drains its queue, forwarding late requests to the new
+//! owners so the in-flight accounting stays exact. Monotone invalidation
+//! makes all of this safe — see the crate docs for the argument.
 
-use crate::partition::partition_round_robin;
+use crate::fault::{FaultPlan, MessageFate};
 use crate::pallmatch::ParallelConfig;
+use crate::partition::{partition_round_robin, SharedPartition};
 use her_core::index::InvertedIndex;
 use her_core::paramatch::{Matcher, PairKey};
 use her_core::params::Params;
 use her_graph::hash::{FxHashMap, FxHashSet};
 use her_graph::{Graph, Interner, VertexId};
-use std::sync::atomic::{AtomicI64, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
+#[derive(Clone)]
 enum Msg {
+    /// "I assumed (u, v); please verify" — carries the requester id.
     Request { pair: PairKey, from: usize },
+    /// "(u, v) is invalid."
     Invalid { pair: PairKey },
+    /// Recovery: take ownership of `vertices` and re-verify `roots`.
+    Adopt {
+        vertices: Arc<FxHashSet<VertexId>>,
+        roots: Vec<PairKey>,
+    },
+    /// Recovery: a peer died; replay pending requests on `reassigned`.
+    PeerDied {
+        reassigned: Arc<FxHashSet<VertexId>>,
+    },
+}
+
+/// Worker → supervisor notices.
+enum Ctrl {
+    /// `id` panicked; `roots` are its candidate pairs needing a new home.
+    Died { id: usize, roots: Vec<PairKey> },
+    /// An `Adopt` reached a worker that had itself died; its roots need
+    /// re-homing to the current owners.
+    Orphans { roots: Vec<PairKey> },
 }
 
 /// Statistics of an asynchronous run.
@@ -35,11 +84,348 @@ pub struct AsyncStats {
     pub requests: u64,
     /// Invalidations exchanged.
     pub invalidations: u64,
+    /// Workers lost to panics and recovered from.
+    pub deaths: usize,
+    /// True when the liveness watchdog aborted the run (results partial).
+    pub aborted: bool,
+}
+
+/// Send attempts per message before the transport escalates to a worker
+/// panic (and thereby into the recovery path).
+const MAX_SEND_ATTEMPTS: usize = 8;
+
+fn backoff(attempt: usize) -> Duration {
+    Duration::from_micros(50u64 << attempt.min(6))
+}
+
+/// Counters and flags shared by workers, tombstones and the supervisor.
+struct Shared {
+    in_flight: AtomicI64,
+    /// Workers (dead or alive) whose initial pass is accounted for.
+    started: AtomicUsize,
+    /// Milliseconds since `t0` of the last observed progress.
+    last_progress: AtomicU64,
+    abort: AtomicBool,
+    t0: Instant,
+    n: usize,
+}
+
+impl Shared {
+    fn touch(&self) {
+        self.last_progress
+            .store(self.t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    fn stalled_for(&self) -> Duration {
+        let last = self.last_progress.load(Ordering::Relaxed);
+        self.t0
+            .elapsed()
+            .saturating_sub(Duration::from_millis(last))
+    }
+
+    fn quiescent(&self) -> bool {
+        self.started.load(Ordering::SeqCst) == self.n
+            && self.in_flight.load(Ordering::SeqCst) == 0
+    }
+}
+
+struct AsyncWorker<'g> {
+    id: usize,
+    matcher: Matcher<'g>,
+    part: SharedPartition,
+    fault: FaultPlan,
+    senders: Vec<crossbeam::channel::Sender<Msg>>,
+    shared: Arc<Shared>,
+    roots: Vec<PairKey>,
+    requested: FxHashSet<PairKey>,
+    served: FxHashMap<PairKey, Vec<usize>>,
+    notified: FxHashSet<(PairKey, usize)>,
+    /// Sends held back by an injected delay fault (already accounted in
+    /// the in-flight counter; flushed when the queue runs dry).
+    deferred: Vec<(usize, Msg)>,
+    stats: AsyncStats,
+    /// Event counter: the initial pass is event 1, each processed message
+    /// one more — the async analogue of a superstep for kill faults.
+    events: usize,
+    initial_done: bool,
+    /// In-flight slots held by the message currently being processed;
+    /// released by the tombstone if a panic interrupts processing.
+    pending_sub: i64,
+}
+
+impl<'g> AsyncWorker<'g> {
+    fn eval(&mut self, u: VertexId, v: VertexId) {
+        self.fault.maybe_poison((u, v));
+        let _ = self.matcher.is_match(u, v);
+    }
+
+    /// Accounts and sends one protocol message through the fault plan,
+    /// retrying dropped attempts with exponential backoff. Exhausting the
+    /// retries panics — the death is then handled like any other.
+    fn send(&mut self, dest: usize, msg: Msg) {
+        if !self.fault.is_armed() {
+            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let _ = self.senders[dest].send(msg);
+            return;
+        }
+        for attempt in 0..MAX_SEND_ATTEMPTS {
+            match self.fault.fate(self.id) {
+                MessageFate::Deliver => {
+                    self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    let _ = self.senders[dest].send(msg);
+                    return;
+                }
+                MessageFate::Duplicate => {
+                    self.shared.in_flight.fetch_add(2, Ordering::SeqCst);
+                    let _ = self.senders[dest].send(msg.clone());
+                    let _ = self.senders[dest].send(msg);
+                    return;
+                }
+                MessageFate::Delay => {
+                    self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    self.deferred.push((dest, msg));
+                    return;
+                }
+                MessageFate::BlackHole => {
+                    // Accounted but never sent: the counter cannot drain,
+                    // which is exactly what the watchdog exists to catch.
+                    self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                MessageFate::Drop => std::thread::sleep(backoff(attempt)),
+            }
+        }
+        panic!("send to worker {dest} failed after {MAX_SEND_ATTEMPTS} attempts");
+    }
+
+    /// Re-evaluates everything an adoption purge may have touched: our own
+    /// roots and every pair served for others.
+    fn reverify_all(&mut self) {
+        let todo: Vec<PairKey> = self
+            .roots
+            .iter()
+            .chain(self.served.keys())
+            .copied()
+            .collect();
+        for (u, v) in todo {
+            self.eval(u, v);
+        }
+    }
+
+    /// Drains fresh assumptions into requests and serve-verdicts into
+    /// invalidations.
+    fn flush(&mut self) {
+        loop {
+            let mut self_owned: Vec<PairKey> = Vec::new();
+            for pair in self.matcher.take_new_assumptions() {
+                if self.requested.insert(pair) {
+                    let owner = self.part.owner(pair.1);
+                    if owner == self.id {
+                        // An adoption raced ahead of this assumption: we
+                        // own the vertex now, so verify it ourselves.
+                        self.requested.remove(&pair);
+                        self_owned.push(pair);
+                    } else {
+                        self.stats.requests += 1;
+                        self.send(
+                            owner,
+                            Msg::Request {
+                                pair,
+                                from: self.id,
+                            },
+                        );
+                    }
+                }
+            }
+            if self_owned.is_empty() {
+                break;
+            }
+            // Self-heal: adopt the vertices and re-verify authoritatively.
+            let vs: FxHashSet<VertexId> = self_owned.iter().map(|p| p.1).collect();
+            self.matcher.adopt_border(&vs);
+            for (u, v) in self_owned {
+                self.eval(u, v);
+            }
+            self.reverify_all();
+            // The re-verification may assume about further borders; loop.
+            // Terminates: each pass strictly shrinks the border set.
+        }
+        let mut newly: Vec<(PairKey, usize)> = Vec::new();
+        for (pair, requesters) in &self.served {
+            if self.matcher.cached(pair.0, pair.1) == Some(false) {
+                for &r in requesters {
+                    if !self.notified.contains(&(*pair, r)) {
+                        newly.push((*pair, r));
+                    }
+                }
+            }
+        }
+        for (pair, r) in newly {
+            if self.notified.insert((pair, r)) {
+                self.stats.invalidations += 1;
+                self.send(r, Msg::Invalid { pair });
+            }
+        }
+    }
+
+    fn process(&mut self, msg: Msg) {
+        match msg {
+            Msg::Invalid { pair } => self.matcher.apply_invalidation(pair.0, pair.1),
+            Msg::Request { pair, from } => {
+                self.eval(pair.0, pair.1);
+                self.served.entry(pair).or_default().push(from);
+            }
+            Msg::Adopt { vertices, roots } => {
+                self.matcher.adopt_border(&vertices);
+                self.requested.retain(|p| !vertices.contains(&p.1));
+                for r in roots {
+                    if !self.roots.contains(&r) {
+                        self.roots.push(r);
+                    }
+                }
+                self.reverify_all();
+            }
+            Msg::PeerDied { reassigned } => {
+                let replay: Vec<PairKey> = self
+                    .requested
+                    .iter()
+                    .filter(|p| reassigned.contains(&p.1))
+                    .copied()
+                    .collect();
+                for pair in replay {
+                    let owner = self.part.owner(pair.1);
+                    if owner == self.id {
+                        // We adopted the vertex; the Adopt (ordered before
+                        // this broadcast) already re-verified it.
+                        self.requested.remove(&pair);
+                    } else {
+                        self.stats.requests += 1;
+                        self.send(
+                            owner,
+                            Msg::Request {
+                                pair,
+                                from: self.id,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        self.flush();
+    }
+
+    /// The worker's event loop: initial local pass, then message-driven
+    /// IncPSim until global quiescence (or abort).
+    fn run(&mut self, rx: &crossbeam::channel::Receiver<Msg>) {
+        self.events = 1;
+        self.fault.maybe_kill(self.id, self.events);
+        for (u, v) in self.roots.clone() {
+            self.eval(u, v);
+        }
+        self.flush();
+        self.initial_done = true;
+        self.shared.started.fetch_add(1, Ordering::SeqCst);
+        self.shared.touch();
+        loop {
+            if self.shared.abort.load(Ordering::Relaxed) {
+                break;
+            }
+            match rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(msg) => {
+                    self.pending_sub = 1;
+                    self.events += 1;
+                    self.fault.maybe_kill(self.id, self.events);
+                    self.process(msg);
+                    self.shared.touch();
+                    self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    self.pending_sub = 0;
+                }
+                Err(_) => {
+                    if !self.deferred.is_empty() {
+                        // Release delay-faulted sends (already accounted).
+                        for (dest, msg) in std::mem::take(&mut self.deferred) {
+                            let _ = self.senders[dest].send(msg);
+                        }
+                        continue;
+                    }
+                    if self.shared.quiescent() {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Post-panic tombstone: report the death (account-before-release, so
+    /// the counter never reads zero mid-recovery), then keep the channel
+    /// drained — forwarding late requests to the vertices' new owners —
+    /// until global quiescence.
+    fn tombstone(
+        &mut self,
+        rx: &crossbeam::channel::Receiver<Msg>,
+        ctrl: &crossbeam::channel::Sender<Ctrl>,
+        retired: &AtomicBool,
+    ) {
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let _ = ctrl.send(Ctrl::Died {
+            id: self.id,
+            roots: std::mem::take(&mut self.roots),
+        });
+        if !self.initial_done {
+            self.initial_done = true;
+            self.shared.started.fetch_add(1, Ordering::SeqCst);
+        }
+        if self.pending_sub > 0 {
+            self.shared.in_flight.fetch_sub(self.pending_sub, Ordering::SeqCst);
+            self.pending_sub = 0;
+        }
+        self.shared.touch();
+        // Wait until the supervisor has reassigned our vertices, so
+        // forwards observe the post-recovery owners.
+        while !retired.load(Ordering::Acquire) {
+            if self.shared.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        loop {
+            if self.shared.abort.load(Ordering::Relaxed) {
+                return;
+            }
+            match rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(msg) => {
+                    self.shared.touch();
+                    match msg {
+                        Msg::Request { pair, from } => {
+                            // Forward 1:1 — the message keeps its slot.
+                            let dest = self.part.owner(pair.1);
+                            let _ = self.senders[dest].send(Msg::Request { pair, from });
+                        }
+                        Msg::Adopt { roots, .. } => {
+                            self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                            let _ = ctrl.send(Ctrl::Orphans { roots });
+                            self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        Msg::Invalid { .. } | Msg::PeerDied { .. } => {
+                            // Addressed to our discarded state: moot.
+                            self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+                Err(_) => {
+                    if self.shared.quiescent() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Asynchronous `AllParaMatch`: same inputs and result as
 /// [`crate::pallmatch()`], but workers communicate through channels without
-/// superstep barriers.
+/// superstep barriers. Tolerates worker panics (see the module docs); on a
+/// watchdog abort the result is partial and [`AsyncStats::aborted`] is set.
 pub fn pallmatch_async(
     gd: &Graph,
     g: &Graph,
@@ -49,8 +435,9 @@ pub fn pallmatch_async(
     cfg: &ParallelConfig,
 ) -> (Vec<PairKey>, AsyncStats) {
     let n = cfg.workers.max(1);
-    let part = partition_round_robin(g, n);
-    let borders = part.all_borders(g);
+    let fixed = partition_round_robin(g, n);
+    let borders = fixed.all_borders(g);
+    let part = SharedPartition::new(fixed.clone());
     let sel_g = crate::pallmatch::precompute_selections_pub(g, params, n);
     let sel_d = crate::pallmatch::precompute_selections_pub(gd, params, n);
 
@@ -69,7 +456,7 @@ pub fn pallmatch_async(
             };
             for v in pool {
                 if probe.hv_pair(u, v) >= sigma {
-                    roots_per_worker[part.owner(v)].push((u, v));
+                    roots_per_worker[fixed.owner(v)].push((u, v));
                 }
             }
         }
@@ -80,113 +467,138 @@ pub fn pallmatch_async(
 
     let (senders, receivers): (Vec<_>, Vec<_>) =
         (0..n).map(|_| crossbeam::channel::unbounded::<Msg>()).unzip();
-    let in_flight = Arc::new(AtomicI64::new(0));
+    let (ctrl_tx, ctrl_rx) = crossbeam::channel::unbounded::<Ctrl>();
+    let shared = Arc::new(Shared {
+        in_flight: AtomicI64::new(0),
+        started: AtomicUsize::new(0),
+        last_progress: AtomicU64::new(0),
+        abort: AtomicBool::new(false),
+        t0: Instant::now(),
+        n,
+    });
+    let retired: Vec<Arc<AtomicBool>> =
+        (0..n).map(|_| Arc::new(AtomicBool::new(false))).collect();
 
-    let results: Vec<(Vec<PairKey>, AsyncStats)> = std::thread::scope(|scope| {
+    let (results, deaths, aborted) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n)
             .map(|id| {
                 let rx = receivers[id].clone();
-                let senders = senders.clone();
-                let border = borders[id].clone();
-                let roots = std::mem::take(&mut roots_per_worker[id]);
-                let in_flight = Arc::clone(&in_flight);
-                let part = &part;
-                let sel_d = sel_d.clone();
-                let sel_g = sel_g.clone();
+                let ctrl = ctrl_tx.clone();
+                let retired = Arc::clone(&retired[id]);
+                let mut worker = AsyncWorker {
+                    id,
+                    matcher: Matcher::new(gd, g, interner, params)
+                        .with_border(borders[id].clone())
+                        .with_selections(sel_d.clone(), sel_g.clone()),
+                    part: part.clone(),
+                    fault: cfg.fault.clone(),
+                    senders: senders.clone(),
+                    shared: Arc::clone(&shared),
+                    roots: std::mem::take(&mut roots_per_worker[id]),
+                    requested: FxHashSet::default(),
+                    served: FxHashMap::default(),
+                    notified: FxHashSet::default(),
+                    deferred: Vec::new(),
+                    stats: AsyncStats::default(),
+                    events: 0,
+                    initial_done: false,
+                    pending_sub: 0,
+                };
                 scope.spawn(move || {
-                    let mut matcher = Matcher::new(gd, g, interner, params)
-                        .with_border(border)
-                        .with_selections(sel_d, sel_g);
-                    let mut stats = AsyncStats::default();
-                    let mut requested: FxHashSet<PairKey> = FxHashSet::default();
-                    let mut served: FxHashMap<PairKey, Vec<usize>> = FxHashMap::default();
-                    let mut notified: FxHashSet<PairKey> = FxHashSet::default();
-
-                    let flush = |matcher: &mut Matcher<'_>,
-                                     requested: &mut FxHashSet<PairKey>,
-                                     served: &FxHashMap<PairKey, Vec<usize>>,
-                                     notified: &mut FxHashSet<PairKey>,
-                                     stats: &mut AsyncStats| {
-                        for pair in matcher.take_new_assumptions() {
-                            if requested.insert(pair) {
-                                let owner = part.owner(pair.1);
-                                if owner != id {
-                                    stats.requests += 1;
-                                    in_flight.fetch_add(1, Ordering::SeqCst);
-                                    let _ = senders[owner].send(Msg::Request { pair, from: id });
-                                }
-                            }
-                        }
-                        let mut newly = Vec::new();
-                        for (pair, who) in served.iter() {
-                            if !notified.contains(pair)
-                                && matcher.cached(pair.0, pair.1) == Some(false)
-                            {
-                                newly.push((*pair, who.clone()));
-                            }
-                        }
-                        for (pair, who) in newly {
-                            notified.insert(pair);
-                            for w in who {
-                                stats.invalidations += 1;
-                                in_flight.fetch_add(1, Ordering::SeqCst);
-                                let _ = senders[w].send(Msg::Invalid { pair });
-                            }
-                        }
-                    };
-
-                    // Initial local pass.
-                    for &(u, v) in &roots {
-                        let _ = matcher.is_match(u, v);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| worker.run(&rx)));
+                    if outcome.is_err() {
+                        worker.tombstone(&rx, &ctrl, &retired);
+                        return (Vec::new(), worker.stats);
                     }
-                    flush(&mut matcher, &mut requested, &served, &mut notified, &mut stats);
-
-                    // Event loop until global quiescence.
-                    loop {
-                        match rx.recv_timeout(Duration::from_millis(1)) {
-                            Ok(msg) => {
-                                match msg {
-                                    Msg::Invalid { pair } => {
-                                        matcher.apply_invalidation(pair.0, pair.1)
-                                    }
-                                    Msg::Request { pair, from } => {
-                                        let _ = matcher.is_match(pair.0, pair.1);
-                                        served.entry(pair).or_default().push(from);
-                                    }
-                                }
-                                flush(
-                                    &mut matcher,
-                                    &mut requested,
-                                    &served,
-                                    &mut notified,
-                                    &mut stats,
-                                );
-                                in_flight.fetch_sub(1, Ordering::SeqCst);
-                            }
-                            Err(_) => {
-                                // Idle: if nothing is in flight anywhere, done.
-                                if in_flight.load(Ordering::SeqCst) == 0 {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-
                     let mut out = Vec::new();
-                    for &(u, v) in &roots {
-                        if matcher.cached(u, v) == Some(true) {
+                    for &(u, v) in &worker.roots {
+                        if worker.matcher.cached(u, v) == Some(true) {
                             out.push((u, v));
                         }
                     }
-                    (out, stats)
+                    (out, worker.stats)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+
+        // Supervisor: performs recovery on death notices and watches
+        // liveness until global quiescence.
+        let mut deaths = 0usize;
+        let mut alive = vec![true; n];
+        loop {
+            match ctrl_rx.recv_timeout(Duration::from_millis(1)) {
+                Ok(Ctrl::Died { id, roots }) => {
+                    deaths += 1;
+                    alive[id] = false;
+                    let survivors: Vec<usize> =
+                        (0..n).filter(|&i| alive[i]).collect();
+                    assert!(!survivors.is_empty(), "all workers died; cannot recover");
+                    let groups = part.reassign(id, &survivors);
+                    let reassigned: Arc<FxHashSet<VertexId>> = Arc::new(
+                        groups.iter().flat_map(|(_, vs)| vs.iter().copied()).collect(),
+                    );
+                    for (owner, vs) in groups {
+                        let rts: Vec<PairKey> = roots
+                            .iter()
+                            .filter(|p| part.owner(p.1) == owner)
+                            .copied()
+                            .collect();
+                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                        let _ = senders[owner].send(Msg::Adopt {
+                            vertices: Arc::new(vs.into_iter().collect()),
+                            roots: rts,
+                        });
+                    }
+                    for &s in &survivors {
+                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                        let _ = senders[s].send(Msg::PeerDied {
+                            reassigned: Arc::clone(&reassigned),
+                        });
+                    }
+                    retired[id].store(true, Ordering::Release);
+                    shared.touch();
+                    // Release the Died notice only now: recovery messages
+                    // are accounted, so the counter stayed positive.
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Ok(Ctrl::Orphans { roots }) => {
+                    for &(u, v) in &roots {
+                        let owner = part.owner(v);
+                        shared.in_flight.fetch_add(1, Ordering::SeqCst);
+                        let _ = senders[owner].send(Msg::Adopt {
+                            vertices: Arc::new(FxHashSet::default()),
+                            roots: vec![(u, v)],
+                        });
+                    }
+                    shared.touch();
+                    shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                }
+                Err(_) => {
+                    if shared.quiescent() {
+                        break;
+                    }
+                    if shared.in_flight.load(Ordering::SeqCst) > 0
+                        && shared.stalled_for() > cfg.watchdog
+                    {
+                        // Liveness watchdog: something is accounted but
+                        // will never be processed. Abort rather than hang.
+                        shared.abort.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+        }
+        let results: Vec<(Vec<PairKey>, AsyncStats)> =
+            handles.into_iter().map(|h| h.join().expect("panic escaped catch_unwind")).collect();
+        (results, deaths, shared.abort.load(Ordering::SeqCst))
     });
 
     let mut all = Vec::new();
-    let mut stats = AsyncStats::default();
+    let mut stats = AsyncStats {
+        deaths,
+        aborted,
+        ..Default::default()
+    };
     for (r, s) in results {
         all.extend(r);
         stats.requests += s.requests;
@@ -246,8 +658,10 @@ mod tests {
             ..Default::default()
         };
         let (bsp, _) = pallmatch(&gd, &g, &interner, &p, &us, &cfg);
-        let (asynchronous, _) = pallmatch_async(&gd, &g, &interner, &p, &us, &cfg);
+        let (asynchronous, stats) = pallmatch_async(&gd, &g, &interner, &p, &us, &cfg);
         assert_eq!(asynchronous, bsp);
+        assert_eq!(stats.deaths, 0);
+        assert!(!stats.aborted);
     }
 
     #[test]

@@ -62,6 +62,174 @@ pub fn run_simulated<W: Worker>(workers: &mut [W]) -> RunStats {
     run_inner(workers, true)
 }
 
+/// A worker loss observed at a superstep barrier.
+#[derive(Debug)]
+pub struct Death<M> {
+    /// Which worker panicked.
+    pub worker: usize,
+    /// The superstep (1-based) during which it panicked.
+    pub superstep: usize,
+    /// The inbox it had consumed when it died — the supervisor can replay
+    /// these messages to survivors.
+    pub lost_inbox: Vec<M>,
+}
+
+/// Recovery hooks for [`run_supervised`]. Both run at the barrier, with no
+/// worker thread live, so they may mutate any worker.
+pub trait Supervisor<W: Worker> {
+    /// Handles a worker death: reassign its work to `alive` workers and
+    /// return messages to inject into the next superstep (each must be
+    /// addressed to a live worker, possibly via [`Supervisor::reroute`]).
+    fn on_death(
+        &mut self,
+        workers: &mut [W],
+        death: Death<W::Msg>,
+        alive: &[usize],
+    ) -> Vec<(usize, W::Msg)>;
+
+    /// Re-addresses a message whose destination is dead. `None` drops it.
+    fn reroute(&mut self, workers: &mut [W], msg: W::Msg) -> Option<(usize, W::Msg)>;
+}
+
+/// Statistics of a supervised run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SupervisedStats {
+    /// The underlying BSP timing/counters.
+    pub run: RunStats,
+    /// Workers lost (and recovered from) during the run.
+    pub deaths: usize,
+}
+
+/// As [`run_timed`]/[`run_simulated`] (`sequential` selects which), but
+/// each worker's superstep runs under `catch_unwind`: a panicking worker is
+/// marked dead, the supervisor's [`Supervisor::on_death`] reassigns its
+/// work, and messages addressed to it are re-routed. The surviving fleet
+/// runs on to the fixpoint.
+///
+/// Replay safety is the paper's §VI-B Remark 1 argument: assumption
+/// invalidation is monotone (`true → false`, at most once per pair at its
+/// owner), so the fixpoint is unique and independent of message order and
+/// of *which* worker verifies a pair. Re-verifying a dead worker's pairs on
+/// an adopting survivor — even ones the dead worker had already served —
+/// can only reproduce or re-derive the same verdicts, never diverge.
+///
+/// # Panics
+/// Panics if a message is addressed out of range, or if every worker dies.
+pub fn run_supervised<W, S>(
+    workers: &mut [W],
+    supervisor: &mut S,
+    sequential: bool,
+) -> SupervisedStats
+where
+    W: Worker,
+    W::Msg: Clone,
+    S: Supervisor<W>,
+{
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let n = workers.len();
+    assert!(n > 0, "need at least one worker");
+    let mut alive = vec![true; n];
+    let mut inboxes: Vec<Vec<W::Msg>> = (0..n).map(|_| Vec::new()).collect();
+    let mut stats = SupervisedStats::default();
+    loop {
+        stats.run.supersteps += 1;
+        let superstep = stats.run.supersteps;
+        let taken: Vec<Vec<W::Msg>> = std::mem::take(&mut inboxes);
+        // Dead workers must not be addressed; their inboxes stay empty.
+        debug_assert!(taken
+            .iter()
+            .enumerate()
+            .all(|(i, inbox)| alive[i] || inbox.is_empty()));
+        type Stepped<M> = Option<(std::thread::Result<Vec<(usize, M)>>, Vec<M>, f64)>;
+        let step = |w: &mut W, inbox: Vec<W::Msg>| {
+            let kept = inbox.clone();
+            let start = std::time::Instant::now();
+            let out = catch_unwind(AssertUnwindSafe(|| w.superstep(inbox)));
+            (out, kept, start.elapsed().as_secs_f64())
+        };
+        let stepped: Vec<Stepped<W::Msg>> = if sequential {
+            workers
+                .iter_mut()
+                .zip(taken)
+                .zip(&alive)
+                .map(|((w, inbox), &live)| live.then(|| step(w, inbox)))
+                .collect()
+        } else {
+            std::thread::scope(|s| {
+                let handles: Vec<_> = workers
+                    .iter_mut()
+                    .zip(taken)
+                    .zip(&alive)
+                    .map(|((w, inbox), &live)| live.then(|| s.spawn(move || step(w, inbox))))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.map(|h| h.join().expect("panic escaped catch_unwind")))
+                    .collect()
+            })
+        };
+        // Collect outputs; handle deaths at the barrier before routing, so
+        // re-routing observes the post-recovery assignment.
+        let mut outbound: Vec<(usize, W::Msg)> = Vec::new();
+        let mut slowest = 0.0f64;
+        let mut deaths: Vec<Death<W::Msg>> = Vec::new();
+        for (i, slot) in stepped.into_iter().enumerate() {
+            let Some((result, kept_inbox, busy)) = slot else {
+                continue;
+            };
+            slowest = slowest.max(busy);
+            stats.run.total_busy_secs += busy;
+            match result {
+                Ok(out) => outbound.extend(out),
+                Err(_) => {
+                    alive[i] = false;
+                    deaths.push(Death {
+                        worker: i,
+                        superstep,
+                        lost_inbox: kept_inbox,
+                    });
+                }
+            }
+        }
+        stats.run.critical_path_secs += slowest;
+        let recovered = !deaths.is_empty();
+        for death in deaths {
+            stats.deaths += 1;
+            let survivors: Vec<usize> =
+                (0..n).filter(|&i| alive[i]).collect();
+            assert!(!survivors.is_empty(), "all workers died; cannot recover");
+            outbound.extend(supervisor.on_death(workers, death, &survivors));
+        }
+        // Route, bouncing dead destinations through the supervisor.
+        inboxes = (0..n).map(|_| Vec::new()).collect();
+        let mut any = false;
+        'msgs: for (dest, msg) in outbound {
+            assert!(dest < n, "message addressed to unknown worker {dest}");
+            let (mut dest, mut msg) = (dest, msg);
+            for _ in 0..n {
+                if alive[dest] {
+                    inboxes[dest].push(msg);
+                    any = true;
+                    continue 'msgs;
+                }
+                match supervisor.reroute(workers, msg) {
+                    Some((d, m)) => (dest, msg) = (d, m),
+                    None => continue 'msgs,
+                }
+            }
+            panic!("message re-routing did not reach a live worker");
+        }
+        // A barrier that handled deaths may have scheduled message-free
+        // local work on the adopters (re-verification of purged verdicts,
+        // orphaned roots); the fixpoint check must not fire before that
+        // work has had a superstep to run in.
+        if !any && !recovered {
+            return stats;
+        }
+    }
+}
+
 /// One worker's superstep output plus its busy time.
 type TimedOut<M> = (Vec<(usize, M)>, f64);
 
@@ -97,7 +265,10 @@ fn run_inner<W: Worker>(workers: &mut [W], sequential: bool) -> RunStats {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker thread panicked"))
+                    .collect()
             })
         };
         let mut slowest = 0.0f64;
@@ -208,6 +379,164 @@ mod tests {
         }
         let mut ws = vec![SelfTalk { remaining: 3 }];
         assert_eq!(run(&mut ws), 4);
+    }
+
+    /// Scripted-death worker for supervised-run tests: accumulates tokens,
+    /// sends staged batches, dies at a chosen superstep.
+    struct Accum {
+        die_at: Option<usize>,
+        step: usize,
+        sum: u32,
+        /// One batch of outbound messages per superstep.
+        schedule: Vec<Vec<(usize, u32)>>,
+    }
+
+    impl Worker for Accum {
+        type Msg = u32;
+        fn superstep(&mut self, inbox: Vec<u32>) -> Vec<(usize, u32)> {
+            self.step += 1;
+            if self.die_at == Some(self.step) {
+                panic!("scripted death");
+            }
+            for t in inbox {
+                self.sum += t;
+            }
+            if self.step <= self.schedule.len() {
+                std::mem::take(&mut self.schedule[self.step - 1])
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    /// Replays a dead worker's lost inbox to the first survivor and
+    /// reroutes messages bound for the dead to worker to that survivor too.
+    struct ToFirstSurvivor {
+        fallback: usize,
+    }
+
+    impl Supervisor<Accum> for ToFirstSurvivor {
+        fn on_death(
+            &mut self,
+            _workers: &mut [Accum],
+            death: Death<u32>,
+            alive: &[usize],
+        ) -> Vec<(usize, u32)> {
+            self.fallback = alive[0];
+            death
+                .lost_inbox
+                .into_iter()
+                .map(|m| (self.fallback, m))
+                .collect()
+        }
+
+        fn reroute(&mut self, _workers: &mut [Accum], msg: u32) -> Option<(usize, u32)> {
+            Some((self.fallback, msg))
+        }
+    }
+
+    #[test]
+    fn supervised_run_replays_lost_inbox_and_reroutes() {
+        for sequential in [true, false] {
+            let mut workers = vec![
+                Accum {
+                    die_at: None,
+                    step: 0,
+                    sum: 0,
+                    // Superstep 1: tokens for everyone; superstep 2: a late
+                    // token addressed to the (by then dead) worker 1.
+                    schedule: vec![vec![(1, 1), (1, 2), (2, 3)], vec![(1, 10)]],
+                },
+                Accum {
+                    die_at: Some(2),
+                    step: 0,
+                    sum: 0,
+                    schedule: Vec::new(),
+                },
+                Accum {
+                    die_at: None,
+                    step: 0,
+                    sum: 0,
+                    schedule: Vec::new(),
+                },
+            ];
+            let mut sup = ToFirstSurvivor { fallback: 0 };
+            let stats = run_supervised(&mut workers, &mut sup, sequential);
+            assert_eq!(stats.deaths, 1, "sequential={sequential}");
+            // Tokens 1 and 2 were in the dead worker's consumed inbox and
+            // got replayed; token 10 was addressed to it post-mortem and
+            // got rerouted. Nothing is lost.
+            let total: u32 = workers.iter().map(|w| w.sum).collect::<Vec<_>>().iter().sum();
+            assert_eq!(total, 1 + 2 + 3 + 10, "sequential={sequential}");
+            assert_eq!(workers[1].sum, 0, "the dead worker processed nothing");
+        }
+    }
+
+    #[test]
+    fn supervised_run_without_deaths_matches_plain_run() {
+        let mk = || {
+            let n = 4;
+            (0..n)
+                .map(|id| Ring {
+                    id,
+                    n,
+                    limit: 9,
+                    seen: Vec::new(),
+                    started: false,
+                })
+                .collect::<Vec<Ring>>()
+        };
+        struct NoOp;
+        impl Supervisor<Ring> for NoOp {
+            fn on_death(
+                &mut self,
+                _w: &mut [Ring],
+                _d: Death<u32>,
+                _a: &[usize],
+            ) -> Vec<(usize, u32)> {
+                unreachable!("no worker dies in this test")
+            }
+            fn reroute(&mut self, _w: &mut [Ring], _m: u32) -> Option<(usize, u32)> {
+                unreachable!()
+            }
+        }
+        let mut plain = mk();
+        let steps = run(&mut plain);
+        let mut supervised = mk();
+        let stats = run_supervised(&mut supervised, &mut NoOp, true);
+        assert_eq!(stats.run.supersteps, steps);
+        assert_eq!(stats.deaths, 0);
+        for (p, s) in plain.iter().zip(&supervised) {
+            assert_eq!(p.seen, s.seen);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "all workers died")]
+    fn supervised_run_with_total_loss_panics() {
+        struct Fatal;
+        impl Worker for Fatal {
+            type Msg = ();
+            fn superstep(&mut self, _inbox: Vec<()>) -> Vec<(usize, ())> {
+                panic!("down");
+            }
+        }
+        struct Never;
+        impl Supervisor<Fatal> for Never {
+            fn on_death(
+                &mut self,
+                _w: &mut [Fatal],
+                _d: Death<()>,
+                _a: &[usize],
+            ) -> Vec<(usize, ())> {
+                Vec::new()
+            }
+            fn reroute(&mut self, _w: &mut [Fatal], _m: ()) -> Option<(usize, ())> {
+                None
+            }
+        }
+        let mut ws = vec![Fatal, Fatal];
+        let _ = run_supervised(&mut ws, &mut Never, true);
     }
 
     #[test]

@@ -23,13 +23,46 @@
 //! - on hosts with fewer cores than workers, [`bsp::run_simulated`]
 //!   executes workers sequentially and reports the BSP critical path as
 //!   the simulated cluster wall-clock.
+//!
+//! # Failure model and worker recovery
+//!
+//! Both engines tolerate worker loss (a panic inside a superstep or the
+//! async event loop, caught with `catch_unwind`). Recovery reassigns the
+//! dead worker's vertices to survivors ([`SharedPartition::reassign`]),
+//! the new owners *adopt* them (`Matcher::adopt_border`: the vertices
+//! leave the border set and every cached verdict leaning on assumptions
+//! about them is purged and re-verified authoritatively), the dead
+//! worker's candidate roots are re-evaluated by the adopters, and every
+//! pending verification request addressed to the dead worker is replayed.
+//!
+//! **Why replay is safe.** The protocol's only cross-worker state change
+//! is assumption invalidation, and it is *monotone*: a pair flips
+//! `true → false` at most once, at its owner, and never back (§VI-B
+//! Remark 1). The fixpoint of equations (3)/(4) is therefore unique and
+//! independent of message order, duplication, and of *which* worker
+//! verifies a pair — verification is a deterministic function of the
+//! (replicated) graphs. Re-verifying a pair the dead worker had already
+//! served can only reproduce the same verdict; re-sending a request can
+//! only trigger an idempotent re-verification; re-delivering an
+//! invalidation is absorbed by the IncPSim cleanup, which is itself
+//! idempotent. Hence any interleaving of deaths, adoptions and replays
+//! converges to the same match set as the failure-free sequential run.
+//!
+//! Deterministic fault injection for testing this machinery lives in
+//! [`fault`]; budgets and cancellation for graceful degradation live in
+//! `her_core::paramatch` (`Budget`, `CancelToken`).
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod async_match;
 pub mod bsp;
+pub mod fault;
 pub mod fragment;
 pub mod pallmatch;
 pub mod partition;
 
-pub use async_match::pallmatch_async;
+pub use async_match::{pallmatch_async, AsyncStats};
+pub use fault::{FaultPlan, MessageFate};
 pub use pallmatch::{pallmatch, pvpair, ParallelConfig, ParallelStats};
-pub use partition::{cut_edges, partition_greedy, partition_round_robin, Partition};
+pub use partition::{
+    cut_edges, partition_greedy, partition_round_robin, Partition, SharedPartition,
+};

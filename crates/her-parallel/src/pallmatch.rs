@@ -20,12 +20,14 @@
 //! so the fixpoint exists and is reached in finitely many supersteps.
 
 use crate::bsp;
-use crate::partition::{partition_greedy, partition_round_robin, Partition};
+use crate::fault::{FaultPlan, MessageFate};
+use crate::partition::{partition_greedy, partition_round_robin, SharedPartition};
 use her_core::index::InvertedIndex;
 use her_core::paramatch::{Matcher, PairKey};
 use her_core::params::Params;
 use her_graph::hash::{FxHashMap, FxHashSet};
 use her_graph::{Graph, Interner, VertexId};
+use std::time::Duration;
 
 /// How `G` is assigned to workers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -51,6 +53,12 @@ pub struct ParallelConfig {
     /// critical path faithfully simulates an `n`-machine cluster even on an
     /// oversubscribed host. `false` runs workers on OS threads.
     pub simulate_cluster: bool,
+    /// Injected faults (inert by default) — see [`crate::fault`].
+    pub fault: FaultPlan,
+    /// Liveness watchdog for the asynchronous engine: if the in-flight
+    /// counter is non-zero but no worker makes progress for this long, the
+    /// run aborts with partial results instead of hanging.
+    pub watchdog: Duration,
 }
 
 impl Default for ParallelConfig {
@@ -60,6 +68,8 @@ impl Default for ParallelConfig {
             partition: PartitionStrategy::default(),
             use_blocking: true,
             simulate_cluster: true,
+            fault: FaultPlan::default(),
+            watchdog: Duration::from_secs(10),
         }
     }
 }
@@ -69,6 +79,8 @@ impl Default for ParallelConfig {
 pub struct ParallelStats {
     /// Supersteps executed until the fixpoint.
     pub supersteps: usize,
+    /// Workers lost to panics and recovered from during the run.
+    pub deaths: usize,
     /// Verification requests exchanged.
     pub requests: u64,
     /// Invalidations exchanged.
@@ -86,6 +98,7 @@ pub struct ParallelStats {
     pub simulated_secs: f64,
 }
 
+#[derive(Clone, Debug)]
 enum Msg {
     /// "I assumed (u, v); please verify" — carries the requester id.
     Request { pair: PairKey, from: usize },
@@ -93,24 +106,79 @@ enum Msg {
     Invalid { pair: PairKey },
 }
 
+/// Send attempts per message before the transport gives up and escalates
+/// to a worker panic (which the supervisor then recovers from).
+const MAX_SEND_ATTEMPTS: usize = 8;
+
 struct PWorker<'a> {
     id: usize,
     matcher: Matcher<'a>,
-    part: &'a Partition,
-    /// Candidate root pairs owned by this worker.
+    part: SharedPartition,
+    fault: FaultPlan,
+    /// Candidate root pairs owned by this worker (grows on adoption).
     roots: Vec<PairKey>,
+    /// Pairs adopted from a dead peer, evaluated at the next superstep.
+    pending: Vec<PairKey>,
+    /// Re-verify all roots and served pairs next superstep: set after an
+    /// adoption purged cached verdicts that leaned on assumptions about
+    /// the newly-owned vertices.
+    reverify: bool,
+    superstep_no: usize,
     /// Requests already sent (dedup).
     requested: FxHashSet<PairKey>,
     /// Pairs verified on behalf of others: pair → requesters.
     served: FxHashMap<PairKey, Vec<usize>>,
-    /// Served pairs already notified as invalid.
-    notified: FxHashSet<PairKey>,
+    /// `(pair, requester)` invalidations already sent. Keyed per requester
+    /// so a later requester of an already-notified pair still gets told.
+    notified: FxHashSet<(PairKey, usize)>,
     started: bool,
+    /// Messages held back by an injected delay fault, released (without
+    /// re-faulting) at the start of the next superstep.
+    delayed: Vec<(usize, Msg)>,
     requests_sent: u64,
     invalidations_sent: u64,
 }
 
 impl<'a> PWorker<'a> {
+    /// Evaluates one pair, first giving the fault plan a chance to model a
+    /// data-dependent crash.
+    fn eval(&mut self, u: VertexId, v: VertexId) {
+        self.fault.maybe_poison((u, v));
+        let _ = self.matcher.is_match(u, v);
+    }
+
+    /// Sends `msg` through the fault plan: drops are retried (bounded —
+    /// the BSP analogue of retry-with-backoff, there is no real channel to
+    /// back off from), duplicates delivered twice, delays deferred one
+    /// superstep. Exhausting the retries panics, escalating into the
+    /// supervisor's recovery path.
+    fn emit(&mut self, out: &mut Vec<(usize, Msg)>, dest: usize, msg: Msg) {
+        if !self.fault.is_armed() {
+            out.push((dest, msg));
+            return;
+        }
+        for _ in 0..MAX_SEND_ATTEMPTS {
+            match self.fault.fate(self.id) {
+                MessageFate::Deliver => {
+                    out.push((dest, msg));
+                    return;
+                }
+                MessageFate::Duplicate => {
+                    out.push((dest, msg.clone()));
+                    out.push((dest, msg));
+                    return;
+                }
+                MessageFate::Delay => {
+                    self.delayed.push((dest, msg));
+                    return;
+                }
+                MessageFate::BlackHole => return,
+                MessageFate::Drop => {}
+            }
+        }
+        panic!("send to worker {dest} failed after {MAX_SEND_ATTEMPTS} attempts");
+    }
+
     /// Drains fresh border assumptions into request messages.
     fn flush_assumptions(&mut self, out: &mut Vec<(usize, Msg)>) {
         for pair in self.matcher.take_new_assumptions() {
@@ -122,33 +190,34 @@ impl<'a> PWorker<'a> {
                     continue;
                 }
                 self.requests_sent += 1;
-                out.push((
+                self.emit(
+                    out,
                     owner,
                     Msg::Request {
                         pair,
                         from: self.id,
                     },
-                ));
+                );
             }
         }
     }
 
     /// Notifies requesters about served pairs that are (now) invalid.
     fn flush_invalidations(&mut self, out: &mut Vec<(usize, Msg)>) {
-        let mut newly: Vec<(PairKey, Vec<usize>)> = Vec::new();
+        let mut newly: Vec<(PairKey, usize)> = Vec::new();
         for (pair, requesters) in &self.served {
-            if self.notified.contains(pair) {
-                continue;
-            }
             if self.matcher.cached(pair.0, pair.1) == Some(false) {
-                newly.push((*pair, requesters.clone()));
+                for &r in requesters {
+                    if !self.notified.contains(&(*pair, r)) {
+                        newly.push((*pair, r));
+                    }
+                }
             }
         }
-        for (pair, requesters) in newly {
-            self.notified.insert(pair);
-            for r in requesters {
+        for (pair, r) in newly {
+            if self.notified.insert((pair, r)) {
                 self.invalidations_sent += 1;
-                out.push((r, Msg::Invalid { pair }));
+                self.emit(out, r, Msg::Invalid { pair });
             }
         }
     }
@@ -158,7 +227,13 @@ impl<'a> bsp::Worker for PWorker<'a> {
     type Msg = Msg;
 
     fn superstep(&mut self, inbox: Vec<Msg>) -> Vec<(usize, Msg)> {
+        self.superstep_no += 1;
+        self.fault.maybe_kill(self.id, self.superstep_no);
         let mut out = Vec::new();
+        // Release messages an injected fault delayed last superstep. They
+        // count as output, so the run cannot reach a false fixpoint while
+        // delayed messages are still buffered.
+        out.append(&mut self.delayed);
         // IncPSim: apply invalidations first, then serve verifications.
         let mut requests = Vec::new();
         for msg in inbox {
@@ -172,17 +247,127 @@ impl<'a> bsp::Worker for PWorker<'a> {
             self.started = true;
             let roots = self.roots.clone();
             for (u, v) in roots {
-                let _ = self.matcher.is_match(u, v);
+                self.eval(u, v);
             }
+        }
+        // Post-adoption: recompute everything the purge may have touched —
+        // our own roots and every pair served for others (their verdicts
+        // may have leaned on assumptions about the adopted vertices).
+        if self.reverify {
+            self.reverify = false;
+            let todo: Vec<PairKey> = self
+                .roots
+                .iter()
+                .chain(self.served.keys())
+                .copied()
+                .collect();
+            for (u, v) in todo {
+                self.eval(u, v);
+            }
+        }
+        // Roots adopted from a dead peer.
+        for (u, v) in std::mem::take(&mut self.pending) {
+            self.eval(u, v);
         }
         // Serve verification requests on full local data.
         for (pair, from) in requests {
-            let _ = self.matcher.is_match(pair.0, pair.1);
+            self.eval(pair.0, pair.1);
             self.served.entry(pair).or_default().push(from);
         }
         self.flush_assumptions(&mut out);
         self.flush_invalidations(&mut out);
         out
+    }
+}
+
+/// The [`bsp::Supervisor`] implementing §VI-B worker recovery for
+/// `PAllMatch`: a dead worker's vertices are reassigned to survivors
+/// ([`SharedPartition::reassign`]), its candidate roots are adopted and
+/// re-evaluated by the new owners, and every pending verification request
+/// that was addressed to it is replayed. Monotone invalidation makes the
+/// replay safe — see the module docs of [`crate`].
+struct Recovery {
+    part: SharedPartition,
+}
+
+impl<'a> bsp::Supervisor<PWorker<'a>> for Recovery {
+    fn on_death(
+        &mut self,
+        workers: &mut [PWorker<'a>],
+        death: bsp::Death<Msg>,
+        alive: &[usize],
+    ) -> Vec<(usize, Msg)> {
+        let dead = death.worker;
+        let groups = self.part.reassign(dead, alive);
+        let reassigned: FxHashSet<VertexId> = groups
+            .iter()
+            .flat_map(|(_, vs)| vs.iter().copied())
+            .collect();
+        // New owners adopt their share: the vertices leave their border
+        // sets and any verdict leaning on assumptions about them is purged
+        // and re-verified authoritatively next superstep.
+        for (owner, vs) in &groups {
+            let vset: FxHashSet<VertexId> = vs.iter().copied().collect();
+            let w = &mut workers[*owner];
+            w.matcher.adopt_border(&vset);
+            w.requested.retain(|p| !vset.contains(&p.1));
+            w.reverify = true;
+        }
+        // The dead worker's candidate roots (and any adoption work it had
+        // not finished) move to the new owners.
+        let orphans: Vec<PairKey> = std::mem::take(&mut workers[dead].roots)
+            .into_iter()
+            .chain(std::mem::take(&mut workers[dead].pending))
+            .collect();
+        for (u, v) in orphans {
+            let owner = self.part.owner(v);
+            let w = &mut workers[owner];
+            if !w.roots.contains(&(u, v)) {
+                w.roots.push((u, v));
+                w.pending.push((u, v));
+            }
+        }
+        // Replay: every survivor re-sends its pending verification
+        // requests that the dead worker was responsible for. Verification
+        // is deterministic and invalidation idempotent, so replays are
+        // harmless even if the dead worker had already served some.
+        let mut injected = Vec::new();
+        for &s in alive {
+            let replay: Vec<PairKey> = workers[s]
+                .requested
+                .iter()
+                .filter(|p| reassigned.contains(&p.1))
+                .copied()
+                .collect();
+            for pair in replay {
+                let owner = self.part.owner(pair.1);
+                if owner != s {
+                    workers[s].requests_sent += 1;
+                    injected.push((owner, Msg::Request { pair, from: s }));
+                }
+            }
+        }
+        // Replay the inbox the dead worker consumed when it panicked:
+        // requests go to the vertices' new owners; invalidations were
+        // addressed to the dead worker's (discarded) state and are moot.
+        for msg in death.lost_inbox {
+            if let Msg::Request { pair, from } = msg {
+                if alive.contains(&from) {
+                    injected.push((self.part.owner(pair.1), Msg::Request { pair, from }));
+                }
+            }
+        }
+        injected
+    }
+
+    fn reroute(&mut self, _workers: &mut [PWorker<'a>], msg: Msg) -> Option<(usize, Msg)> {
+        match msg {
+            // A request races the death notice: forward to the new owner.
+            Msg::Request { pair, from } => Some((self.part.owner(pair.1), Msg::Request { pair, from })),
+            // The assumption this invalidation corrects died with its
+            // holder; adopters re-verify from scratch.
+            Msg::Invalid { .. } => None,
+        }
     }
 }
 
@@ -214,7 +399,7 @@ pub(crate) fn precompute_selections(g: &Graph, params: &Params, n: usize) -> Sel
                 })
                 .collect::<Vec<_>>()
                 .into_iter()
-                .map(|h| h.join().unwrap())
+                .map(|h| h.join().expect("selection thread panicked"))
                 .collect()
         });
     let mut out = FxHashMap::default();
@@ -241,11 +426,12 @@ pub fn pallmatch(
     cfg: &ParallelConfig,
 ) -> (Vec<PairKey>, ParallelStats) {
     let n = cfg.workers.max(1);
-    let part = match cfg.partition {
+    let fixed = match cfg.partition {
         PartitionStrategy::RoundRobin => partition_round_robin(g, n),
         PartitionStrategy::Greedy => partition_greedy(g, n),
     };
-    let borders = part.all_borders(g);
+    let borders = fixed.all_borders(g);
+    let part = SharedPartition::new(fixed.clone());
 
     // Global h_r preprocessing (§IV "Complexity"): top-k selections for
     // every vertex, computed once in parallel and shared read-only by all
@@ -276,7 +462,7 @@ pub fn pallmatch(
             };
             for v in pool {
                 if probe.hv_pair(u, v) >= sigma {
-                    roots_per_worker[part.owner(v)].push((u, v));
+                    roots_per_worker[fixed.owner(v)].push((u, v));
                 }
             }
         }
@@ -293,27 +479,31 @@ pub fn pallmatch(
             matcher: Matcher::new(gd, g, interner, params)
                 .with_border(borders[i].clone())
                 .with_selections(sel_d.clone(), sel_g.clone()),
-            part: &part,
+            part: part.clone(),
+            fault: cfg.fault.clone(),
             roots: std::mem::take(&mut roots_per_worker[i]),
+            pending: Vec::new(),
+            reverify: false,
+            superstep_no: 0,
             requested: FxHashSet::default(),
             served: FxHashMap::default(),
             notified: FxHashSet::default(),
             started: false,
+            delayed: Vec::new(),
             requests_sent: 0,
             invalidations_sent: 0,
         })
         .collect();
 
     let t0 = std::time::Instant::now();
-    let run = if cfg.simulate_cluster {
-        bsp::run_simulated(&mut workers)
-    } else {
-        bsp::run_timed(&mut workers)
-    };
+    let mut recovery = Recovery { part };
+    let supervised = bsp::run_supervised(&mut workers, &mut recovery, cfg.simulate_cluster);
+    let run = supervised.run;
     let bsp_secs = t0.elapsed().as_secs_f64();
 
     let mut stats = ParallelStats {
         supersteps: run.supersteps,
+        deaths: supervised.deaths,
         selection_secs,
         candidates_secs,
         bsp_secs,
@@ -500,7 +690,7 @@ mod tests {
                 workers: 4,
                 partition: strategy,
                 use_blocking: false,
-                simulate_cluster: true,
+                ..Default::default()
             })
         };
         let (r_rr, s_rr) = run(PartitionStrategy::RoundRobin);

@@ -208,7 +208,9 @@ impl<'a> Parser<'a> {
                             offset: self.pos,
                             message: "invalid UTF-8".to_owned(),
                         })?;
-                    let c = s.chars().next().unwrap();
+                    let Some(c) = s.chars().next() else {
+                        return self.err("unexpected end of input in string");
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -314,6 +316,20 @@ mod tests {
         assert!(e.offset >= 5);
         assert!(parse_object(r#"{"a": 1} extra"#).is_err());
         assert!(parse_object(r#"{"unterminated"#).is_err());
+    }
+
+    /// Truncated escapes must surface as parse errors, never panics: the
+    /// escaped quote swallows the closing delimiter in `{"a": "\"}`, so the
+    /// string (and then the input) just ends.
+    #[test]
+    fn truncated_escapes_error_instead_of_panicking() {
+        let e = parse_object("{\"a\": \"\\\"}").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+        let e = parse_object("{\"a\": \"\\").unwrap_err();
+        assert!(e.message.contains("escape"), "{e}");
+        let e = parse_object("{\"a\": \"\\u12").unwrap_err();
+        assert!(e.message.contains("\\u"), "{e}");
+        assert!(parse_object("{\"a\": \"").is_err());
     }
 
     #[test]

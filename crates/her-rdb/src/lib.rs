@@ -12,6 +12,7 @@
 //!   the canonical graph `G_D` and the 1-1 tuple↔vertex correspondence that
 //!   module SPair uses to locate `u_t` for a tuple `t`.
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod csv;
 pub mod database;
 pub mod json;

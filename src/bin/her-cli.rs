@@ -11,15 +11,24 @@
 //!   --annotations FILE   CSV of row,vertex,label for supervised training
 //!   --sigma S --delta D --k K    thresholds (default 0.8 / 2.1 / 20)
 //!   --relation NAME      relation name for the CSV (default "record")
+//!   --max-calls N        abort matching after N recursive calls
+//!   --deadline-ms MS     abort matching after MS milliseconds
 //! ```
+//!
+//! Exit codes: `0` success, `1` data error (unreadable/unparsable input),
+//! `2` usage error, `3` budget exhausted (partial results printed).
 
 use her::core::learn::SearchSpace;
 use her::core::params::Thresholds;
+use her::core::{Budget, MatcherOptions};
+use her::error::read_file;
 use her::prelude::*;
 use her::rdb::load::database_from_csv;
 use her::rdb::TupleRef;
+use her::HerError;
 use std::collections::HashMap;
 use std::process::exit;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,14 +38,17 @@ fn main() {
     };
     let opts = parse_flags(&args[1..]);
 
-    match command.as_str() {
+    let outcome = match command.as_str() {
         "export-demo" => export_demo(),
         "spair" | "vpair" | "apair" => run(command, &opts),
-        _ => {
-            eprintln!("unknown command {command:?}");
+        _ => Err(HerError::Usage(format!("unknown command {command:?}"))),
+    };
+    if let Err(e) = outcome {
+        eprintln!("her-cli: {e}");
+        if matches!(e, HerError::Usage(_)) {
             usage();
-            exit(2);
         }
+        exit(e.exit_code());
     }
 }
 
@@ -44,7 +56,8 @@ fn usage() {
     eprintln!(
         "usage: her-cli <spair|vpair|apair|export-demo> --db FILE.csv --graph FILE.nt \\\n\
          \t[--annotations FILE.csv] [--tuple N] [--vertex N] \\\n\
-         \t[--sigma S] [--delta D] [--k K] [--relation NAME]"
+         \t[--sigma S] [--delta D] [--k K] [--relation NAME] \\\n\
+         \t[--max-calls N] [--deadline-ms MS]"
     );
 }
 
@@ -64,49 +77,61 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
     out
 }
 
-fn required(opts: &HashMap<String, String>, key: &str) -> String {
-    opts.get(key).cloned().unwrap_or_else(|| {
-        eprintln!("missing required flag --{key}");
-        usage();
-        exit(2);
-    })
+fn required(opts: &HashMap<String, String>, key: &str) -> Result<String, HerError> {
+    opts.get(key)
+        .cloned()
+        .ok_or_else(|| HerError::Usage(format!("missing required flag --{key}")))
 }
 
-fn run(mode: &str, opts: &HashMap<String, String>) {
-    let db_path = required(opts, "db");
-    let graph_path = required(opts, "graph");
+/// Parses a numeric flag, turning parse failures into usage errors.
+fn numeric<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, HerError> {
+    value
+        .parse()
+        .map_err(|_| HerError::Usage(format!("--{flag} expects a number, got {value:?}")))
+}
+
+fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
+    let db_path = required(opts, "db")?;
+    let graph_path = required(opts, "graph")?;
     let relation = opts
         .get("relation")
         .cloned()
         .unwrap_or_else(|| "record".to_owned());
 
-    let csv_text = std::fs::read_to_string(&db_path).unwrap_or_else(|e| {
-        eprintln!("cannot read {db_path}: {e}");
-        exit(1);
-    });
-    let db = database_from_csv(&relation, &csv_text).unwrap_or_else(|e| {
-        eprintln!("cannot parse {db_path}: {e}");
-        exit(1);
-    });
-    let nt_text = std::fs::read_to_string(&graph_path).unwrap_or_else(|e| {
-        eprintln!("cannot read {graph_path}: {e}");
-        exit(1);
-    });
-    let (g, interner) = her::graph::ntriples::import(&nt_text).unwrap_or_else(|e| {
-        eprintln!("cannot parse {graph_path}: {e}");
-        exit(1);
-    });
+    let csv_text = read_file(&db_path)?;
+    let db = database_from_csv(&relation, &csv_text).map_err(|source| HerError::Load {
+        path: db_path.clone().into(),
+        source,
+    })?;
+    let nt_text = read_file(&graph_path)?;
+    let (g, interner) = her::graph::ntriples::import(&nt_text).map_err(|source| {
+        HerError::Graph {
+            path: graph_path.clone().into(),
+            source,
+        }
+    })?;
+    let tuple_count = db.tuple_count();
+    let vertex_count = g.vertex_count();
     eprintln!(
         "loaded {} tuples, graph with {} vertices / {} edges",
-        db.tuple_count(),
-        g.vertex_count(),
+        tuple_count,
+        vertex_count,
         g.edge_count()
     );
 
     let thresholds = Thresholds::new(
-        opts.get("sigma").and_then(|s| s.parse().ok()).unwrap_or(0.8),
-        opts.get("delta").and_then(|s| s.parse().ok()).unwrap_or(2.1),
-        opts.get("k").and_then(|s| s.parse().ok()).unwrap_or(20),
+        match opts.get("sigma") {
+            Some(s) => numeric(s, "sigma")?,
+            None => 0.8,
+        },
+        match opts.get("delta") {
+            Some(s) => numeric(s, "delta")?,
+            None => 2.1,
+        },
+        match opts.get("k") {
+            Some(s) => numeric(s, "k")?,
+            None => 20,
+        },
     );
     let cfg = HerConfig {
         thresholds,
@@ -114,34 +139,25 @@ fn run(mode: &str, opts: &HashMap<String, String>) {
     };
     let mut system = Her::build(&db, g, interner, &cfg);
 
+    // Resource governance: an optional call/deadline budget turns runaway
+    // matchings into exit code 3 (with sound partial results printed)
+    // instead of an unbounded run.
+    let mut budget = Budget::unlimited();
+    if let Some(n) = opts.get("max-calls") {
+        budget = budget.with_max_calls(numeric(n, "max-calls")?);
+    }
+    if let Some(ms) = opts.get("deadline-ms") {
+        budget = budget.with_deadline_in(Duration::from_millis(numeric(ms, "deadline-ms")?));
+    }
+    let matcher_opts = MatcherOptions {
+        budget,
+        ..Default::default()
+    };
+
     // Optional supervised training from an annotations CSV: row,vertex,label.
     if let Some(path) = opts.get("annotations") {
-        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read {path}: {e}");
-            exit(1);
-        });
-        let mut ann = Vec::new();
-        for (i, line) in text.lines().enumerate() {
-            let line = line.trim();
-            if line.is_empty() || line.starts_with('#') || (i == 0 && line.starts_with("row")) {
-                continue;
-            }
-            let parts: Vec<&str> = line.split(',').collect();
-            if parts.len() != 3 {
-                eprintln!("annotations line {}: expected row,vertex,label", i + 1);
-                exit(1);
-            }
-            let row: u32 = parts[0].trim().parse().unwrap_or_else(|_| {
-                eprintln!("annotations line {}: bad row", i + 1);
-                exit(1)
-            });
-            let vertex: u32 = parts[1].trim().parse().unwrap_or_else(|_| {
-                eprintln!("annotations line {}: bad vertex", i + 1);
-                exit(1)
-            });
-            let label = matches!(parts[2].trim(), "1" | "true" | "match");
-            ann.push((TupleRef::new(0, row), VertexId(vertex), label));
-        }
+        let text = read_file(path)?;
+        let ann = parse_annotations(path, &text)?;
         eprintln!("training on {} annotations", ann.len());
         let f = system.learn(&ann, &ann, &cfg, &SearchSpace::default());
         let t = system.params.thresholds;
@@ -151,29 +167,98 @@ fn run(mode: &str, opts: &HashMap<String, String>) {
         );
     }
 
+    let check_tuple = |row: u32| {
+        if (row as usize) < tuple_count {
+            Ok(())
+        } else {
+            Err(HerError::Usage(format!(
+                "--tuple {row} out of range: the database has {tuple_count} tuples"
+            )))
+        }
+    };
+    let check_vertex = |v: u32| {
+        if (v as usize) < vertex_count {
+            Ok(())
+        } else {
+            Err(HerError::Usage(format!(
+                "--vertex {v} out of range: the graph has {vertex_count} vertices"
+            )))
+        }
+    };
+
     match mode {
         "spair" => {
-            let row: u32 = required(opts, "tuple").parse().expect("numeric --tuple");
-            let vertex: u32 = required(opts, "vertex").parse().expect("numeric --vertex");
-            let verdict = system.spair(TupleRef::new(0, row), VertexId(vertex));
+            let row: u32 = numeric(&required(opts, "tuple")?, "tuple")?;
+            let vertex: u32 = numeric(&required(opts, "vertex")?, "vertex")?;
+            check_tuple(row)?;
+            check_vertex(vertex)?;
+            let mut m = system.matcher_with(matcher_opts);
+            let verdict = system.spair_with(&mut m, TupleRef::new(0, row), VertexId(vertex));
+            if let Some(reason) = m.exhausted() {
+                return Err(HerError::Exhausted(reason));
+            }
             println!("{verdict}");
         }
         "vpair" => {
-            let row: u32 = required(opts, "tuple").parse().expect("numeric --tuple");
-            for v in system.vpair(TupleRef::new(0, row)) {
+            let row: u32 = numeric(&required(opts, "tuple")?, "tuple")?;
+            check_tuple(row)?;
+            let run = system.try_vpair(TupleRef::new(0, row), matcher_opts);
+            for v in &run.matches {
                 println!("{v}");
+            }
+            if let Some(reason) = run.exhausted {
+                eprintln!("{} candidates left undecided", run.unresolved.len());
+                return Err(HerError::Exhausted(reason));
             }
         }
         "apair" => {
-            for (t, v) in system.apair() {
+            let (matches, exhausted) = system.try_apair(matcher_opts);
+            for (t, v) in matches {
                 println!("{},{}", t.row, v);
+            }
+            if let Some(reason) = exhausted {
+                return Err(HerError::Exhausted(reason));
             }
         }
         _ => unreachable!(),
     }
+    Ok(())
 }
 
-fn export_demo() {
+fn parse_annotations(
+    path: &str,
+    text: &str,
+) -> Result<Vec<(TupleRef, VertexId, bool)>, HerError> {
+    let bad = |line: usize, message: &str| HerError::Annotations {
+        path: path.into(),
+        line,
+        message: message.to_owned(),
+    };
+    let mut ann = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || (i == 0 && line.starts_with("row")) {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(',').collect();
+        if parts.len() != 3 {
+            return Err(bad(i + 1, "expected row,vertex,label"));
+        }
+        let row: u32 = parts[0]
+            .trim()
+            .parse()
+            .map_err(|_| bad(i + 1, "bad row number"))?;
+        let vertex: u32 = parts[1]
+            .trim()
+            .parse()
+            .map_err(|_| bad(i + 1, "bad vertex number"))?;
+        let label = matches!(parts[2].trim(), "1" | "true" | "match");
+        ann.push((TupleRef::new(0, row), VertexId(vertex), label));
+    }
+    Ok(ann)
+}
+
+fn export_demo() -> Result<(), HerError> {
     let dataset = her::datagen::procurement::generate();
     // Flatten the item relation (FKs render their target's first value).
     let mut records = vec![vec![
@@ -194,12 +279,18 @@ fn export_demo() {
                 .collect(),
         );
     }
-    std::fs::write("orders.csv", her::rdb::csv::write(&records)).expect("write orders.csv");
-    std::fs::write(
+    let write = |path: &str, contents: String| {
+        std::fs::write(path, contents).map_err(|source| HerError::Io {
+            path: path.into(),
+            source,
+        })
+    };
+    write("orders.csv", her::rdb::csv::write(&records))?;
+    write(
         "catalogue.nt",
         her::graph::ntriples::export(&dataset.g, &dataset.interner),
-    )
-    .expect("write catalogue.nt");
+    )?;
     println!("wrote orders.csv and catalogue.nt — try:");
     println!("  her-cli apair --db orders.csv --graph catalogue.nt --relation item --sigma 0.7 --delta 0.3 --k 8");
+    Ok(())
 }

@@ -1,0 +1,161 @@
+//! The workspace-level error taxonomy.
+//!
+//! Every fallible boundary of the system — loading relational data,
+//! parsing graphs, and the matching engine's resource governance — has its
+//! own structured error type in its own crate. [`HerError`] unifies them
+//! for callers (and the CLI) that cross several boundaries in one flow, so
+//! a failure can be reported with its *context* (which file, which stage)
+//! and mapped to a meaningful process exit code.
+
+use std::path::PathBuf;
+
+/// Convenience alias for results across the HER workspace.
+pub type Result<T> = std::result::Result<T, HerError>;
+
+/// Any error the HER system can surface, tagged with enough context to
+/// produce a readable diagnostic.
+#[derive(Debug)]
+pub enum HerError {
+    /// Reading or writing a file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A relation failed to load (CSV/JSON syntax, schema mismatch).
+    Load {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying loader error.
+        source: her_rdb::load::LoadError,
+    },
+    /// An N-Triples graph failed to parse.
+    Graph {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying parse error.
+        source: her_graph::ntriples::NtError,
+    },
+    /// A supervision/annotations file was malformed.
+    Annotations {
+        /// The file involved.
+        path: PathBuf,
+        /// 1-based line of the offending record.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The matching engine ran out of budget ([`her_core::Budget`]) or was
+    /// cancelled before producing a complete answer.
+    Exhausted(her_core::ExhaustReason),
+    /// The caller's request itself was invalid (bad flag, bad id).
+    Usage(String),
+}
+
+impl HerError {
+    /// Conventional process exit code: `2` for usage errors (the caller
+    /// can fix the invocation), `3` for budget exhaustion (partial results
+    /// may exist; retry with a bigger budget), `1` for data errors.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            HerError::Usage(_) => 2,
+            HerError::Exhausted(_) => 3,
+            _ => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for HerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HerError::Io { path, source } => {
+                write!(f, "cannot access {}: {source}", path.display())
+            }
+            HerError::Load { path, source } => {
+                write!(f, "cannot load {}: {source}", path.display())
+            }
+            HerError::Graph { path, source } => {
+                write!(f, "cannot parse graph {}: {source}", path.display())
+            }
+            HerError::Annotations {
+                path,
+                line,
+                message,
+            } => write!(
+                f,
+                "bad annotations in {} at line {line}: {message}",
+                path.display()
+            ),
+            HerError::Exhausted(reason) => {
+                write!(f, "matching stopped early: {reason} (partial results only; raise the budget or relax the deadline)")
+            }
+            HerError::Usage(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HerError::Io { source, .. } => Some(source),
+            HerError::Load { source, .. } => Some(source),
+            HerError::Graph { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<her_core::ExhaustReason> for HerError {
+    fn from(r: her_core::ExhaustReason) -> Self {
+        HerError::Exhausted(r)
+    }
+}
+
+/// Reads a file, attaching the path to any I/O failure.
+pub fn read_file(path: &str) -> Result<String> {
+    std::fs::read_to_string(path).map_err(|source| HerError::Io {
+        path: path.into(),
+        source,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostics_carry_context() {
+        let e = HerError::Load {
+            path: "orders.csv".into(),
+            source: her_rdb::load::LoadError::SchemaMismatch {
+                relation: "record".into(),
+                message: "expected 3 columns".into(),
+            },
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("orders.csv"), "{msg}");
+        assert!(msg.contains("record"), "{msg}");
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn exit_codes_follow_convention() {
+        assert_eq!(HerError::Usage("bad flag".into()).exit_code(), 2);
+        assert_eq!(
+            HerError::Exhausted(her_core::ExhaustReason::Deadline).exit_code(),
+            3
+        );
+        let io = HerError::Io {
+            path: "x".into(),
+            source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        };
+        assert_eq!(io.exit_code(), 1);
+    }
+
+    #[test]
+    fn read_file_reports_the_path() {
+        let e = read_file("/nonexistent/her-test-file").unwrap_err();
+        assert!(e.to_string().contains("/nonexistent/her-test-file"));
+    }
+}

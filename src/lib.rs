@@ -33,6 +33,11 @@
 //! assert!(system.spair(tuple, vertex));
 //! ```
 
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+pub mod error;
+
+pub use error::{HerError, Result};
+
 pub use her_baselines as baselines;
 pub use her_core as core;
 pub use her_datagen as datagen;

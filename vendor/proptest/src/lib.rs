@@ -1,0 +1,702 @@
+//! Minimal offline stand-in for `proptest`.
+//!
+//! Random property testing without shrinking: each `proptest!` case is
+//! generated from a deterministic per-(test, case) seed, so a failure
+//! message's case number is enough to reproduce it. Supports the strategy
+//! surface this workspace uses: numeric ranges, char-class regex string
+//! patterns, tuples, `prop_map`/`prop_flat_map`, `prop::collection::vec`,
+//! `prop::sample::select`, `prop::option::of`, and `prop::bool::ANY`.
+
+#![forbid(unsafe_code)]
+
+pub mod rng {
+    /// Deterministic SplitMix64 stream seeded per (test name, case index).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(test_name: &str, case: u64) -> Self {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            let mut rng = TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            };
+            rng.next_u64(); // decorrelate adjacent cases
+            rng
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            self.next_u64() % n
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        pub fn unit_f32(&mut self) -> f32 {
+            (self.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+
+        pub fn bool(&mut self) -> bool {
+            self.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Configuration for a `proptest!` block (only `cases` is honored).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed property assertion; carried out of the test-case closure.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        pub fn fail(message: String) -> Self {
+            TestCaseError { message }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+}
+
+pub mod string {
+    //! Generation of strings matching simple character-class regexes
+    //! (`[a-z]{1,6}`, `[^\x00]{0,16}`, `[ -~]{0,12}`, ...).
+
+    use crate::rng::TestRng;
+
+    #[derive(Clone, Debug)]
+    enum CharSet {
+        /// Inclusive char ranges; a literal is a single-width range.
+        Pos(Vec<(char, char)>),
+        /// Complement (sampled from printable-ish ASCII minus the ranges).
+        Neg(Vec<(char, char)>),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Element {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pat: &str) -> char {
+        match chars.next() {
+            Some('x') => {
+                let hi = chars.next().and_then(|c| c.to_digit(16));
+                let lo = chars.next().and_then(|c| c.to_digit(16));
+                match (hi, lo) {
+                    (Some(h), Some(l)) => char::from_u32(h * 16 + l)
+                        .unwrap_or_else(|| panic!("bad \\x escape in pattern {pat:?}")),
+                    _ => panic!("bad \\x escape in pattern {pat:?}"),
+                }
+            }
+            Some('n') => '\n',
+            Some('t') => '\t',
+            Some('r') => '\r',
+            Some('0') => '\0',
+            Some(c) => c,
+            None => panic!("dangling escape in pattern {pat:?}"),
+        }
+    }
+
+    fn parse(pat: &str) -> Vec<Element> {
+        let mut chars = pat.chars().peekable();
+        let mut elements: Vec<Element> = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => {
+                    let negated = chars.peek() == Some(&'^');
+                    if negated {
+                        chars.next();
+                    }
+                    let mut ranges: Vec<(char, char)> = Vec::new();
+                    loop {
+                        let item = match chars.next() {
+                            Some(']') => break,
+                            Some('\\') => parse_escape(&mut chars, pat),
+                            Some(ch) => ch,
+                            None => panic!("unterminated class in pattern {pat:?}"),
+                        };
+                        // `a-z` range (a trailing `-` is a literal).
+                        if chars.peek() == Some(&'-') {
+                            let mut ahead = chars.clone();
+                            ahead.next();
+                            if ahead.peek() != Some(&']') && ahead.peek().is_some() {
+                                chars.next(); // consume '-'
+                                let end = match chars.next() {
+                                    Some('\\') => parse_escape(&mut chars, pat),
+                                    Some(ch) => ch,
+                                    None => panic!("unterminated range in pattern {pat:?}"),
+                                };
+                                ranges.push((item, end));
+                                continue;
+                            }
+                        }
+                        ranges.push((item, item));
+                    }
+                    if negated {
+                        CharSet::Neg(ranges)
+                    } else {
+                        CharSet::Pos(ranges)
+                    }
+                }
+                '\\' => {
+                    let lit = parse_escape(&mut chars, pat);
+                    CharSet::Pos(vec![(lit, lit)])
+                }
+                '.' => CharSet::Neg(vec![('\n', '\n')]),
+                lit => CharSet::Pos(vec![(lit, lit)]),
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for q in chars.by_ref() {
+                        if q == '}' {
+                            break;
+                        }
+                        spec.push(q);
+                    }
+                    let parse_n = |s: &str| -> usize {
+                        s.trim()
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad quantifier in pattern {pat:?}"))
+                    };
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (parse_n(lo), parse_n(hi)),
+                        None => {
+                            let n = parse_n(&spec);
+                            (n, n)
+                        }
+                    }
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            elements.push(Element { set, min, max });
+        }
+        elements
+    }
+
+    fn sample_char(set: &CharSet, rng: &mut TestRng) -> char {
+        match set {
+            CharSet::Pos(ranges) => {
+                let total: u64 = ranges
+                    .iter()
+                    .map(|&(lo, hi)| (hi as u64).saturating_sub(lo as u64) + 1)
+                    .sum();
+                assert!(total > 0, "empty character class");
+                let mut idx = rng.below(total);
+                for &(lo, hi) in ranges {
+                    let width = (hi as u64) - (lo as u64) + 1;
+                    if idx < width {
+                        return char::from_u32(lo as u32 + idx as u32).unwrap_or(lo);
+                    }
+                    idx -= width;
+                }
+                unreachable!()
+            }
+            CharSet::Neg(ranges) => {
+                // Sample from ASCII 0x01..=0x7E, skipping excluded ranges.
+                for _ in 0..64 {
+                    let c = char::from_u32(1 + rng.below(0x7E) as u32).unwrap_or('a');
+                    if !ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&c)) {
+                        return c;
+                    }
+                }
+                panic!("could not sample from negated class (too wide an exclusion)");
+            }
+        }
+    }
+
+    /// Generates one string matching `pat`.
+    pub fn generate_matching(pat: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for el in parse(pat) {
+            let n = el.min + rng.below((el.max - el.min + 1) as u64) as usize;
+            for _ in 0..n {
+                out.push(sample_char(&el.set, rng));
+            }
+        }
+        out
+    }
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+    use core::fmt::Debug;
+    use core::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no shrinking: `generate` yields
+    /// one value per call from the supplied deterministic RNG.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty range strategy");
+                    let span = (e as i128 - s as i128) as u64 + 1;
+                    (s as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range_strategy {
+        ($($t:ty, $unit:ident);* $(;)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.$unit()
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (s, e) = (*self.start(), *self.end());
+                    assert!(s <= e, "empty range strategy");
+                    s + (e - s) * rng.$unit()
+                }
+            }
+        )*};
+    }
+    impl_float_range_strategy!(f32, unit_f32; f64, unit_f64);
+
+    /// String pattern strategy: `"[a-z]{1,6}"` generates matching strings.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, `prop::sample::select`,
+/// `prop::option::of`, `prop::bool::ANY`).
+pub mod prop {
+    pub mod collection {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        use core::ops::{Range, RangeInclusive};
+
+        /// Size specification for [`vec`]: exact, `a..b`, or `a..=b`.
+        #[derive(Clone, Copy, Debug)]
+        pub struct SizeRange {
+            min: usize,
+            max_incl: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { min: n, max_incl: n }
+            }
+        }
+        impl From<Range<usize>> for SizeRange {
+            fn from(r: Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty size range");
+                SizeRange { min: r.start, max_incl: r.end - 1 }
+            }
+        }
+        impl From<RangeInclusive<usize>> for SizeRange {
+            fn from(r: RangeInclusive<usize>) -> Self {
+                assert!(r.start() <= r.end(), "empty size range");
+                SizeRange { min: *r.start(), max_incl: *r.end() }
+            }
+        }
+
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.size.max_incl - self.size.min) as u64 + 1;
+                let n = self.size.min + rng.below(span) as usize;
+                (0..n).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+
+        pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { elem, size: size.into() }
+        }
+    }
+
+    pub mod sample {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+        use core::fmt::Debug;
+
+        #[derive(Clone, Debug)]
+        pub struct Select<T: Clone + Debug> {
+            options: Vec<T>,
+        }
+
+        impl<T: Clone + Debug> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.options[rng.below(self.options.len() as u64) as usize].clone()
+            }
+        }
+
+        /// Uniformly selects one of the given options.
+        pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select requires at least one option");
+            Select { options }
+        }
+    }
+
+    pub mod option {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+
+        #[derive(Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.bool() {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+
+        /// `None` or `Some(inner)` with equal probability.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+
+    pub mod bool {
+        use crate::rng::TestRng;
+        use crate::strategy::Strategy;
+
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.bool()
+            }
+        }
+
+        pub const ANY: Any = Any;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Unlike upstream there is no shrinking; a failing case panics with its
+/// case index, which (together with the fixed per-test seed derivation)
+/// reproduces the input deterministically.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            for case in 0..config.cases as u64 {
+                let mut proptest_rng = $crate::rng::TestRng::for_case(stringify!($name), case);
+                $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut proptest_rng);)+
+                let result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}",
+                        stringify!($name),
+                        case,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// aborting the process) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left != *right, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = crate::rng::TestRng::for_case("string_patterns", 0);
+        for _ in 0..200 {
+            let s = crate::string::generate_matching("[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+
+            let t = crate::string::generate_matching("[^\\x00]{0,16}", &mut rng);
+            assert!(t.chars().count() <= 16);
+            assert!(!t.contains('\0'));
+
+            let u = crate::string::generate_matching("[ -~]{0,12}", &mut rng);
+            assert!(u.chars().all(|c| (' '..='~').contains(&c)), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let s: &'static str = "[a-zA-Z0-9 ]{0,10}";
+        let mut a = crate::rng::TestRng::for_case("t", 3);
+        let mut b = crate::rng::TestRng::for_case("t", 3);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_roundtrip(
+            n in 1usize..10,
+            (a, b) in (0u32..5, 0u32..5),
+            v in prop::collection::vec("[a-z]{1,3}", 0..4),
+            o in prop::option::of(0i64..=3),
+            flag in prop::bool::ANY,
+        ) {
+            prop_assert!(n >= 1 && n < 10);
+            prop_assert!(a < 5 && b < 5);
+            prop_assert!(v.len() < 4);
+            if let Some(x) = o {
+                prop_assert!((0..=3).contains(&x));
+            }
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(n, 0);
+        }
+
+        #[test]
+        fn flat_map_dependent_sizes(
+            (n, xs) in (1usize..8).prop_flat_map(|n| {
+                (crate::strategy::Just(n), prop::collection::vec(0..n, n))
+            })
+        ) {
+            prop_assert_eq!(xs.len(), n);
+            for x in xs {
+                prop_assert!(x < n);
+            }
+        }
+    }
+}

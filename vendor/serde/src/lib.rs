@@ -1,0 +1,16 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on model types so they
+//! are ready for persistence, but nothing actually serializes yet — so
+//! these are marker traits and the derives (from the sibling
+//! `serde_derive` shim) expand to nothing. `#[serde(...)]` helper
+//! attributes are accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline `serde` shim.
+//!
+//! They accept the `#[serde(...)]` helper attribute (so annotations like
+//! `#[serde(skip)]` parse) and expand to nothing: the shim's traits are
+//! markers with no required items, and nothing in the workspace
+//! serializes yet.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
