@@ -1,0 +1,66 @@
+//! `bench-telemetry` — run the benchmark telemetry suites and write
+//! `BENCH_paramatch.json` / `BENCH_parallel.json`.
+//!
+//! ```text
+//! bench-telemetry [--smoke] [--out-dir DIR]
+//! ```
+//!
+//! `--smoke` restricts each suite to one tiny workload (CI mode);
+//! `--out-dir` defaults to the current directory. Exits non-zero on an
+//! unwritable output path.
+
+use bench::telemetry::{parallel_suite, paramatch_suite, Report};
+use std::path::PathBuf;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut out_dir = PathBuf::from(".");
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--out-dir" {
+            let Some(dir) = args.get(i + 1) else {
+                eprintln!("bench-telemetry: --out-dir expects a path");
+                exit(2);
+            };
+            out_dir = PathBuf::from(dir);
+            i += 2;
+        } else if args[i] == "--smoke" {
+            i += 1;
+        } else {
+            eprintln!("bench-telemetry: unknown flag {:?}", args[i]);
+            eprintln!("usage: bench-telemetry [--smoke] [--out-dir DIR]");
+            exit(2);
+        }
+    }
+
+    // The parallel suite's faulty workloads kill workers on purpose; keep
+    // those (and only those) recovered panics out of the report's stderr.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|m| m.starts_with("injected fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    write_report(&out_dir, &paramatch_suite(smoke));
+    write_report(&out_dir, &parallel_suite(smoke));
+}
+
+fn write_report(dir: &std::path::Path, report: &Report) {
+    let path = dir.join(format!("BENCH_{}.json", report.suite));
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("bench-telemetry: cannot write {}: {e}", path.display());
+        exit(1);
+    }
+    println!(
+        "{}: {} workloads",
+        path.display(),
+        report.workloads.len()
+    );
+}

@@ -11,3 +11,4 @@ pub mod figures;
 pub mod harness;
 pub mod report;
 pub mod tables;
+pub mod telemetry;

@@ -1,0 +1,250 @@
+//! Benchmark telemetry: runs the matching stack over synthetic star-entity
+//! workloads with an [`her_obs::Obs`] attached and serializes each suite to
+//! a `BENCH_*.json` report.
+//!
+//! Schema (`her-bench/v1`):
+//!
+//! ```json
+//! {
+//!   "schema": "her-bench/v1",
+//!   "suite": "paramatch" | "parallel",
+//!   "smoke": true | false,
+//!   "workloads": [
+//!     {
+//!       "name": "apair/m=16",
+//!       "size": 16,
+//!       "wall_secs": 0.012,
+//!       "matches": 16,
+//!       "metrics": { ...her_obs::Snapshot::to_json()... }
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! The `metrics` object is the full registry snapshot of that workload's
+//! run — `paramatch.*` cache/termination counters for the sequential
+//! suite; `bsp.*` superstep timings plus `fault.*`/recovery counters for
+//! the parallel suite. CI consumes these files in smoke mode and fails if
+//! the headline keys go missing (see `.github/workflows/ci.yml`).
+
+use her_core::apair::apair;
+use her_core::paramatch::{Matcher, MatcherOptions};
+use her_core::params::{Params, Thresholds};
+use her_graph::{Graph, GraphBuilder, Interner, VertexId};
+use her_obs::json::{Arr, Obj};
+use her_obs::Obs;
+use her_parallel::{pallmatch, FaultPlan, ParallelConfig};
+use std::time::Instant;
+
+/// One timed workload and the metrics snapshot its run produced.
+pub struct Workload {
+    /// Display name, e.g. `apair/m=16`.
+    pub name: String,
+    /// Entity count of the synthetic dataset.
+    pub size: usize,
+    /// Host wall-clock of the measured region, in seconds.
+    pub wall_secs: f64,
+    /// Matched pairs found (sanity anchor: telemetry must not change it).
+    pub matches: usize,
+    /// The run's metrics snapshot.
+    pub snapshot: her_obs::Snapshot,
+}
+
+/// A suite report, serializable to `BENCH_<suite>.json`.
+pub struct Report {
+    /// Suite name (`paramatch` or `parallel`).
+    pub suite: &'static str,
+    /// Whether the reduced smoke sizes were used.
+    pub smoke: bool,
+    /// The measured workloads.
+    pub workloads: Vec<Workload>,
+}
+
+impl Report {
+    /// Serializes per the `her-bench/v1` schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let mut o = Obj::begin(&mut out);
+        o.field_str("schema", "her-bench/v1")
+            .field_str("suite", self.suite)
+            .field_bool("smoke", self.smoke);
+        let mut inner = String::new();
+        let mut arr = Arr::begin(&mut inner);
+        for w in &self.workloads {
+            let mut wo = Obj::begin(arr.element());
+            wo.field_str("name", &w.name)
+                .field_u64("size", w.size as u64)
+                .field_f64("wall_secs", w.wall_secs)
+                .field_u64("matches", w.matches as u64)
+                .field_raw("metrics", &w.snapshot.to_json());
+            wo.end();
+        }
+        arr.end();
+        o.field_raw("workloads", &inner);
+        o.end();
+        out.push('\n');
+        out
+    }
+}
+
+/// Entity counts per suite run: one tiny size for CI smoke, a small sweep
+/// otherwise.
+fn sizes(smoke: bool) -> &'static [usize] {
+    if smoke {
+        &[16]
+    } else {
+        &[16, 64, 128]
+    }
+}
+
+/// `m` star entities in `G_D` and `G` (item → color/name/brand, with a
+/// non-leaf brand → country hop so recursion crosses fragment borders) —
+/// the fixture family of the parallel engine's tests.
+fn dataset(m: usize) -> (Graph, Graph, Interner, Vec<VertexId>) {
+    let colors = ["white", "red", "blue", "green"];
+    let brands = ["Acme", "Globex", "Initech"];
+    let countries = ["Germany", "Vietnam", "Japan"];
+    let build = |shared: Option<Interner>| {
+        let mut b = match shared {
+            Some(i) => GraphBuilder::with_interner(i),
+            None => GraphBuilder::new(),
+        };
+        let mut roots = Vec::new();
+        for i in 0..m {
+            let root = b.add_vertex("item");
+            let c = b.add_vertex(colors[i % colors.len()]);
+            let name = b.add_vertex(&format!("entity {i}"));
+            let brand = b.add_vertex(brands[i % brands.len()]);
+            let country = b.add_vertex(countries[i % countries.len()]);
+            b.add_edge(root, c, "color");
+            b.add_edge(root, name, "name");
+            b.add_edge(root, brand, "brand");
+            b.add_edge(brand, country, "country");
+            roots.push(root);
+        }
+        let (g, i) = b.build();
+        (g, i, roots)
+    };
+    let (gd, i1, us) = build(None);
+    let (g, interner, _) = build(Some(i1));
+    (gd, g, interner, us)
+}
+
+fn params() -> Params {
+    Params::untrained(64, 77).with_thresholds(Thresholds::new(0.9, 0.05, 5))
+}
+
+/// Sequential suite: `AllParaMatch` per size, each run with a fresh
+/// registry so snapshots isolate one workload's counters.
+pub fn paramatch_suite(smoke: bool) -> Report {
+    let mut workloads = Vec::new();
+    for &m in sizes(smoke) {
+        let (gd, g, interner, us) = dataset(m);
+        let p = params();
+        let obs = Obs::new();
+        let mut matcher = Matcher::with_options(
+            &gd,
+            &g,
+            &interner,
+            &p,
+            MatcherOptions {
+                obs: Some(obs.clone()),
+                ..Default::default()
+            },
+        );
+        let t0 = Instant::now();
+        let matches = apair(&mut matcher, &us, None);
+        let wall_secs = t0.elapsed().as_secs_f64();
+        workloads.push(Workload {
+            name: format!("apair/m={m}"),
+            size: m,
+            wall_secs,
+            matches: matches.len(),
+            snapshot: obs.registry.snapshot(),
+        });
+    }
+    Report {
+        suite: "paramatch",
+        smoke,
+        workloads,
+    }
+}
+
+/// Parallel suite: BSP `PAllMatch` per size (4 workers), plus one
+/// fault-injected run per size so the report always carries death/recovery
+/// and `fault.*` counters.
+pub fn parallel_suite(smoke: bool) -> Report {
+    let mut workloads = Vec::new();
+    for &m in sizes(smoke) {
+        for (variant, fault) in [
+            ("clean", FaultPlan::default()),
+            ("faulty", FaultPlan::seeded(7).kill_worker(2, 1)),
+        ] {
+            let (gd, g, interner, us) = dataset(m);
+            let p = params();
+            let obs = Obs::new();
+            let cfg = ParallelConfig {
+                workers: 4,
+                use_blocking: false,
+                fault,
+                obs: Some(obs.clone()),
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let (matches, _stats) = pallmatch(&gd, &g, &interner, &p, &us, &cfg);
+            let wall_secs = t0.elapsed().as_secs_f64();
+            workloads.push(Workload {
+                name: format!("pallmatch/{variant}/m={m}"),
+                size: m,
+                wall_secs,
+                matches: matches.len(),
+                snapshot: obs.registry.snapshot(),
+            });
+        }
+    }
+    Report {
+        suite: "parallel",
+        smoke,
+        workloads,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_reports_carry_headline_metrics() {
+        let seq = paramatch_suite(true);
+        assert_eq!(seq.workloads.len(), 1);
+        let snap = &seq.workloads[0].snapshot;
+        if her_obs::ENABLED {
+            assert!(snap.counter("paramatch.calls") > 0);
+        }
+        assert!(seq.workloads[0].matches >= 16, "every entity self-matches");
+
+        let par = parallel_suite(true);
+        assert_eq!(par.workloads.len(), 2, "clean + faulty per size");
+        let faulty = &par.workloads[1];
+        if her_obs::ENABLED {
+            assert!(faulty.snapshot.counter("bsp.worker_deaths") >= 1);
+            assert!(faulty.snapshot.counter("bsp.recoveries") >= 1);
+            assert!(
+                faulty.snapshot.histogram("bsp.superstep.busy_us").is_some(),
+                "per-superstep timings recorded"
+            );
+        }
+        // Telemetry must not perturb results: clean and faulty runs agree.
+        assert_eq!(par.workloads[0].matches, faulty.matches);
+    }
+
+    #[test]
+    fn report_json_is_well_formed() {
+        let r = paramatch_suite(true);
+        let json = r.to_json();
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert!(json.contains("\"schema\":\"her-bench/v1\""));
+        assert!(json.contains("\"suite\":\"paramatch\""));
+        assert!(json.contains("\"metrics\":{"));
+    }
+}

@@ -23,6 +23,7 @@ pub mod cell;
 pub mod common;
 pub mod deep;
 pub mod forest;
+pub mod instrument;
 pub mod jedai;
 pub mod lexma;
 pub mod magellan;
@@ -30,3 +31,4 @@ pub mod magnn;
 pub mod strsim;
 
 pub use common::{EntityLinker, LinkContext, Profile};
+pub use instrument::Instrumented;

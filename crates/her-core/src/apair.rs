@@ -19,6 +19,7 @@ pub fn apair(
     tuple_vertices: &[VertexId],
     index: Option<&InvertedIndex>,
 ) -> Vec<(VertexId, VertexId)> {
+    let span = matcher.obs().map(|o| o.tracer.span("apair"));
     let sigma = matcher.params().thresholds.sigma;
     // Candidate generation across all tuples (Fig. 8 lines 2-3).
     let mut cand: Vec<(VertexId, VertexId)> = Vec::new();
@@ -43,6 +44,12 @@ pub fn apair(
             }
         }
     }
+    if let Some(obs) = matcher.obs() {
+        obs.registry.counter("apair.runs").inc();
+        obs.registry
+            .histogram("apair.candidates")
+            .observe(cand.len() as u64);
+    }
     // Fig. 8 line 4: increasing order of degree.
     cand.sort_by_key(|&(u, v)| (matcher.gd().degree(u) + matcher.g().degree(v), u, v));
     // Verification (as VParaMatch).
@@ -57,6 +64,7 @@ pub fn apair(
         }
     }
     out.sort();
+    drop(span);
     out
 }
 

@@ -140,6 +140,13 @@ impl CancelToken {
 }
 
 /// Counters exposed for the efficiency experiments and ablations.
+///
+/// Every field is monotonically non-decreasing over a matcher's
+/// lifetime (nothing resets them, not even [`Matcher::invalidate`] or
+/// [`Matcher::renew_budget`]). [`Matcher::stats`] returns a *detached
+/// point-in-time snapshot* — a `Copy` of the counters at call time
+/// that does not track later mutation; diff two snapshots with
+/// [`MatchStats::delta_since`] to attribute work to a phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MatchStats {
     /// Recursive `ParaMatch` invocations.
@@ -152,6 +159,68 @@ pub struct MatchStats {
     pub cleanups: u64,
     /// Top-k selections served from `ecache`.
     pub ecache_hits: u64,
+}
+
+impl MatchStats {
+    /// Field-wise `self - earlier`, saturating at zero — the work done
+    /// between the `earlier` snapshot and this one. (Saturation only
+    /// matters if snapshots from different matchers are mixed up;
+    /// within one matcher counters are monotone.)
+    pub fn delta_since(&self, earlier: &MatchStats) -> MatchStats {
+        MatchStats {
+            calls: self.calls.saturating_sub(earlier.calls),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            early_terminations: self
+                .early_terminations
+                .saturating_sub(earlier.early_terminations),
+            cleanups: self.cleanups.saturating_sub(earlier.cleanups),
+            ecache_hits: self.ecache_hits.saturating_sub(earlier.ecache_hits),
+        }
+    }
+
+    /// `cache_hits / (cache_hits + calls)` — the fraction of candidate
+    /// resolutions served without recursing. 0 when nothing ran.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.calls;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Resolved instrument handles (one atomic op per bump on the hot
+/// path). Built once in [`Matcher::with_options`] when the options
+/// carry an [`her_obs::Obs`]; `None` otherwise, so uninstrumented
+/// matchers pay a single branch per site.
+struct Probes {
+    calls: Rc<her_obs::Counter>,
+    cache_hits: Rc<her_obs::Counter>,
+    ecache_hits: Rc<her_obs::Counter>,
+    early_terminations: Rc<her_obs::Counter>,
+    cleanups: Rc<her_obs::Counter>,
+    exhausted: Rc<her_obs::Counter>,
+    cache_entries: Rc<her_obs::Gauge>,
+    lineage_size: Rc<her_obs::Histogram>,
+    candidate_list_len: Rc<her_obs::Histogram>,
+}
+
+impl Probes {
+    fn resolve(obs: &her_obs::Obs) -> Self {
+        let r = &obs.registry;
+        Probes {
+            calls: r.counter("paramatch.calls"),
+            cache_hits: r.counter("paramatch.cache_hits"),
+            ecache_hits: r.counter("paramatch.ecache_hits"),
+            early_terminations: r.counter("paramatch.early_terminations"),
+            cleanups: r.counter("paramatch.cleanups"),
+            exhausted: r.counter("paramatch.exhausted"),
+            cache_entries: r.gauge("paramatch.cache_entries"),
+            lineage_size: r.histogram("paramatch.lineage_size"),
+            candidate_list_len: r.histogram("paramatch.candidate_list_len"),
+        }
+    }
 }
 
 /// Feature toggles for the ablation benchmarks (DESIGN.md §6) plus
@@ -170,6 +239,11 @@ pub struct MatcherOptions {
     pub budget: Budget,
     /// Shared cooperative cancellation flag.
     pub cancel: CancelToken,
+    /// Observability handle: when set, the matcher mirrors its
+    /// [`MatchStats`] counters into the shared registry under the
+    /// `paramatch.*` namespace and emits trace events for budget
+    /// exhaustion. `None` (the default) costs one branch per site.
+    pub obs: Option<her_obs::Obs>,
 }
 
 impl Default for MatcherOptions {
@@ -180,6 +254,7 @@ impl Default for MatcherOptions {
             sorted_lists: true,
             budget: Budget::default(),
             cancel: CancelToken::new(),
+            obs: None,
         }
     }
 }
@@ -224,6 +299,9 @@ pub struct Matcher<'a> {
     /// query short-circuits to `Outcome::Exhausted` until the budget is
     /// renewed via [`Matcher::renew_budget`].
     exhausted: Option<ExhaustReason>,
+    /// Resolved metric handles mirroring [`MatchStats`] (None when
+    /// `options.obs` is unset).
+    probes: Option<Probes>,
 }
 
 impl<'a> Matcher<'a> {
@@ -240,6 +318,7 @@ impl<'a> Matcher<'a> {
         params: &'a Params,
         options: MatcherOptions,
     ) -> Self {
+        let probes = options.obs.as_ref().map(Probes::resolve);
         Self {
             gd,
             g,
@@ -255,6 +334,7 @@ impl<'a> Matcher<'a> {
             border: None,
             new_assumptions: Vec::new(),
             exhausted: None,
+            probes,
         }
     }
 
@@ -343,9 +423,20 @@ impl<'a> Matcher<'a> {
         self.params
     }
 
-    /// Accumulated counters.
+    /// Accumulated counters, as a *detached point-in-time snapshot*:
+    /// the returned `Copy` reflects the matcher's state at the moment
+    /// of the call and never changes afterwards, while the matcher's
+    /// own counters continue to grow monotonically. Take snapshots
+    /// before and after a phase and diff with
+    /// [`MatchStats::delta_since`] to measure that phase alone.
+    #[must_use = "stats() returns a detached snapshot, not a live view"]
     pub fn stats(&self) -> MatchStats {
         self.stats
+    }
+
+    /// The observability handle this matcher reports into, if any.
+    pub fn obs(&self) -> Option<&her_obs::Obs> {
+        self.options.obs.as_ref()
     }
 
     /// The budget limit that tripped, if any. Sticky until
@@ -362,6 +453,14 @@ impl<'a> Matcher<'a> {
     pub fn renew_budget(&mut self, budget: Budget) {
         self.options.budget = budget;
         self.exhausted = None;
+    }
+
+    /// Runs `f` against the resolved probes when observability is on.
+    #[inline]
+    fn probe(&self, f: impl FnOnce(&Probes)) {
+        if let Some(p) = &self.probes {
+            f(p);
+        }
     }
 
     /// `h_v` between a `G_D` vertex and a `G` vertex (used by candidate
@@ -387,7 +486,9 @@ impl<'a> Matcher<'a> {
     pub fn try_match(&mut self, u: VertexId, v: VertexId) -> Outcome {
         if let Some(e) = self.cache.get(&(u, v)) {
             self.stats.cache_hits += 1;
-            return if e.valid {
+            let valid = e.valid;
+            self.probe(|p| p.cache_hits.inc());
+            return if valid {
                 Outcome::Matched
             } else {
                 Outcome::Unmatched
@@ -441,7 +542,9 @@ impl<'a> Matcher<'a> {
         if self.options.use_ecache {
             if let Some(s) = self.sel_d.get(&u) {
                 self.stats.ecache_hits += 1;
-                return Rc::clone(s);
+                let s = Rc::clone(s);
+                self.probe(|p| p.ecache_hits.inc());
+                return s;
             }
         }
         let s = Rc::new(
@@ -460,7 +563,9 @@ impl<'a> Matcher<'a> {
         if self.options.use_ecache {
             if let Some(s) = self.sel_g.get(&v) {
                 self.stats.ecache_hits += 1;
-                return Rc::clone(s);
+                let s = Rc::clone(s);
+                self.probe(|p| p.ecache_hits.inc());
+                return s;
             }
         }
         let s = Rc::new(
@@ -519,6 +624,10 @@ impl<'a> Matcher<'a> {
         match reason {
             Some(r) => {
                 self.exhausted = Some(r);
+                self.probe(|p| p.exhausted.inc());
+                if let Some(obs) = &self.options.obs {
+                    obs.tracer.event("paramatch.exhausted", &format!("{r}"));
+                }
                 Err(r)
             }
             None => Ok(()),
@@ -552,6 +661,7 @@ impl<'a> Matcher<'a> {
     fn para_match(&mut self, u: VertexId, v: VertexId) -> Result<bool, ExhaustReason> {
         self.check_budget()?;
         self.stats.calls += 1;
+        self.probe(|p| p.calls.inc());
         let Params { thresholds, .. } = self.params;
         let sigma = thresholds.sigma;
 
@@ -621,6 +731,7 @@ impl<'a> Matcher<'a> {
             if self.options.sorted_lists {
                 l.sort_by(|a, b| b.hrho.total_cmp(&a.hrho).then_with(|| a.v.cmp(&b.v)));
             }
+            self.probe(|p| p.candidate_list_len.observe(l.len() as u64));
             lists.push(l);
         }
 
@@ -632,6 +743,7 @@ impl<'a> Matcher<'a> {
             .sum();
         if self.options.early_termination && max_sco < delta {
             self.stats.early_terminations += 1;
+            self.probe(|p| p.early_terminations.inc());
             self.set_verdict(u, v, false, Vec::new());
             return Ok(false);
         }
@@ -651,7 +763,9 @@ impl<'a> Matcher<'a> {
                     let key = (u_desc, cand.v);
                     if let Some(e) = self.cache.get(&key) {
                         self.stats.cache_hits += 1;
-                        e.valid
+                        let valid = e.valid;
+                        self.probe(|p| p.cache_hits.inc());
+                        valid
                     } else {
                         self.para_match(u_desc, cand.v)?
                     }
@@ -684,6 +798,7 @@ impl<'a> Matcher<'a> {
                     max_sco = max_sco - cand.hrho + next;
                     if max_sco < delta {
                         self.stats.early_terminations += 1;
+                        self.probe(|p| p.early_terminations.inc());
                         break 'outer;
                     }
                 }
@@ -727,7 +842,12 @@ impl<'a> Matcher<'a> {
         for d in &deps {
             self.rdeps.entry(*d).or_default().push((u, v));
         }
+        if valid && !deps.is_empty() {
+            self.probe(|p| p.lineage_size.observe(deps.len() as u64));
+        }
         self.cache.insert((u, v), CacheEntry { valid, deps });
+        let entries = self.cache.len();
+        self.probe(|p| p.cache_entries.set(entries as f64));
     }
 
     /// Re-runs `ParaMatch` on every recorded pair that depended on the
@@ -749,6 +869,7 @@ impl<'a> Matcher<'a> {
                 .unwrap_or(false);
             if needs_recheck {
                 self.stats.cleanups += 1;
+                self.probe(|p| p.cleanups.inc());
                 // Unset and recompute.
                 self.set_verdict(up, vp, false, Vec::new());
                 self.cache.remove(&(up, vp));
@@ -1080,5 +1201,76 @@ mod tests {
         let mut m = Matcher::new(&gd, &g, &interner, &p);
         assert!(!m.is_match(u, v), "needing both descendants must fail");
         assert_eq!(m.cached(u, v), Some(false));
+    }
+
+    /// Every `MatchStats` field is non-decreasing across a run, and a
+    /// snapshot taken earlier is detached (unchanged by later work).
+    #[test]
+    fn stats_are_monotonic_and_snapshots_detached() {
+        let (gd, g, interner, u, v, decoy) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+
+        let fields = |s: MatchStats| {
+            [
+                s.calls,
+                s.cache_hits,
+                s.early_terminations,
+                s.cleanups,
+                s.ecache_hits,
+            ]
+        };
+        let mut prev = m.stats();
+        assert_eq!(fields(prev), [0; 5]);
+        let queries: [(VertexId, VertexId); 4] = [(u, v), (u, decoy), (u, v), (u, decoy)];
+        for (a, b) in queries {
+            let before = m.stats();
+            let _ = m.is_match(a, b);
+            let after = m.stats();
+            for (x, y) in fields(before).iter().zip(fields(after)) {
+                assert!(*x <= y, "stats must be monotonic: {before:?} -> {after:?}");
+            }
+            // The earlier snapshot is a detached copy: re-reading it
+            // still yields the values captured before this query.
+            assert_eq!(fields(prev), fields(before));
+            prev = after;
+        }
+        assert!(prev.calls > 0);
+        // delta_since attributes exactly the in-between work.
+        let mid = m.stats();
+        let _ = m.is_match(u, v); // cached: hits grow, calls don't
+        let d = m.stats().delta_since(&mid);
+        assert_eq!(d.calls, 0);
+        assert_eq!(d.cache_hits, 1);
+    }
+
+    /// With an `Obs` handle set, the registry mirrors `MatchStats`.
+    #[test]
+    fn obs_registry_mirrors_stats() {
+        let (gd, g, interner, u, v, decoy) = fixture();
+        let p = params(0.9, 100.0, 5); // impossible δ → early terminations
+        let obs = her_obs::Obs::new();
+        let opts = MatcherOptions {
+            obs: Some(obs.clone()),
+            ..Default::default()
+        };
+        let mut m = Matcher::with_options(&gd, &g, &interner, &p, opts);
+        let _ = m.is_match(u, v);
+        let _ = m.is_match(u, decoy);
+        let _ = m.is_match(u, v);
+        let stats = m.stats();
+        let snap = obs.snapshot();
+        if her_obs::ENABLED {
+            assert_eq!(snap.counter("paramatch.calls"), stats.calls);
+            assert_eq!(snap.counter("paramatch.cache_hits"), stats.cache_hits);
+            assert_eq!(
+                snap.counter("paramatch.early_terminations"),
+                stats.early_terminations
+            );
+            assert!(stats.early_terminations > 0);
+            assert!(snap.gauge("paramatch.cache_entries") > 0.0);
+        } else {
+            assert_eq!(snap.counter("paramatch.calls"), 0);
+        }
     }
 }

@@ -52,12 +52,17 @@ impl<'a> StreamLinker<'a> {
             self.matches.insert((t, v));
         }
         self.processed.push(t);
-        let after = self.matcher.stats();
+        // `stats()` snapshots are detached copies, so the before/after
+        // diff attributes exactly this tuple's work.
+        let delta = self.matcher.stats().delta_since(&before);
+        if let Some(obs) = self.matcher.obs() {
+            obs.registry.counter("stream.tuples").inc();
+        }
         (
             found,
             StreamStats {
-                calls: after.calls - before.calls,
-                cache_hits: after.cache_hits - before.cache_hits,
+                calls: delta.calls,
+                cache_hits: delta.cache_hits,
             },
         )
     }
@@ -78,6 +83,9 @@ impl<'a> StreamLinker<'a> {
             self.matches.remove(&(t, mv));
             let u = self.her.cg.vertex_of(t);
             self.matcher.apply_invalidation(u, mv);
+        }
+        if let Some(obs) = self.matcher.obs() {
+            obs.registry.counter("stream.retractions").inc();
         }
     }
 

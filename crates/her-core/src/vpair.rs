@@ -74,7 +74,14 @@ pub fn try_vpair(
     u_t: VertexId,
     index: Option<&InvertedIndex>,
 ) -> VpairRun {
+    let span = matcher.obs().map(|o| o.tracer.span("vpair"));
     let mut cand = candidates(matcher, u_t, index);
+    if let Some(obs) = matcher.obs() {
+        obs.registry.counter("vpair.runs").inc();
+        obs.registry
+            .histogram("vpair.candidates")
+            .observe(cand.len() as u64);
+    }
     // Fig. 5 line 4: verify in increasing order of degree, so a budgeted
     // run decides the cheap candidates before the expensive ones.
     cand.sort_by_key(|&v| (matcher.g().degree(v), v));
@@ -96,6 +103,7 @@ pub fn try_vpair(
     }
     matches.sort();
     unresolved.sort();
+    drop(span);
     VpairRun {
         matches,
         unresolved,

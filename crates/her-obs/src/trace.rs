@@ -1,0 +1,238 @@
+//! Hierarchical spans and a bounded event log.
+//!
+//! A [`Tracer`] records [`Event`]s — span enter/exit pairs and point
+//! events (fault injection, recovery, budget exhaustion) — into a
+//! fixed-capacity ring buffer with timestamps monotonic from the
+//! tracer's creation. When the buffer is full the oldest events are
+//! dropped and counted, never blocking the instrumented code.
+//!
+//! Spans nest lexically: [`Tracer::span`] returns a guard that logs
+//! `Exit` (with elapsed µs) on drop, so the enter/exit sequence in the
+//! log reconstructs the hierarchy. With `--trace` the CLI flips
+//! [`Tracer::set_echo`] and every event is additionally written to
+//! stderr as it happens.
+
+use crate::ENABLED;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Ring-buffer capacity; old events are dropped (and counted) beyond it.
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// What an [`Event`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// Span entry.
+    Enter,
+    /// Span exit; `detail` carries the elapsed time.
+    Exit,
+    /// Instantaneous event (fault, recovery, exhaustion, …).
+    Point,
+}
+
+/// One entry in the trace log.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Microseconds since the tracer's epoch (monotonic).
+    pub at_us: u64,
+    pub kind: EventKind,
+    /// Dot-separated span/event name, e.g. `parallel.bsp`.
+    pub name: String,
+    /// Free-form context, e.g. `elapsed_us=184` or `worker=1`.
+    pub detail: String,
+}
+
+struct Inner {
+    epoch: Instant,
+    events: Mutex<VecDeque<Event>>,
+    dropped: AtomicU64,
+    echo: AtomicBool,
+}
+
+/// Cheaply cloneable handle to a shared trace log.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("events", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+impl Tracer {
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                events: Mutex::new(VecDeque::with_capacity(if ENABLED {
+                    TRACE_CAPACITY
+                } else {
+                    0
+                })),
+                dropped: AtomicU64::new(0),
+                echo: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// When set, every event is also written to stderr as it happens.
+    pub fn set_echo(&self, on: bool) {
+        self.inner.echo.store(on, Ordering::Relaxed);
+    }
+
+    fn record(&self, kind: EventKind, name: &str, detail: String) {
+        if !ENABLED {
+            return;
+        }
+        let at_us = self.inner.epoch.elapsed().as_micros() as u64;
+        if self.inner.echo.load(Ordering::Relaxed) {
+            let mark = match kind {
+                EventKind::Enter => ">",
+                EventKind::Exit => "<",
+                EventKind::Point => "*",
+            };
+            if detail.is_empty() {
+                eprintln!("[trace {at_us:>9}us] {mark} {name}");
+            } else {
+                eprintln!("[trace {at_us:>9}us] {mark} {name} {detail}");
+            }
+        }
+        let mut events = self
+            .inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if events.len() == TRACE_CAPACITY {
+            events.pop_front();
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        events.push_back(Event {
+            at_us,
+            kind,
+            name: name.to_owned(),
+            detail,
+        });
+    }
+
+    /// Enters a span; the returned guard logs exit (with elapsed µs)
+    /// when dropped.
+    #[must_use = "dropping the guard immediately closes the span"]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.record(EventKind::Enter, name, String::new());
+        SpanGuard {
+            tracer: self.clone(),
+            name: name.to_owned(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records an instantaneous event.
+    pub fn event(&self, name: &str, detail: &str) {
+        self.record(EventKind::Point, name, detail.to_owned());
+    }
+
+    /// Copies out the buffered events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events the ring buffer has discarded.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Closes its span on drop, recording elapsed time.
+pub struct SpanGuard {
+    tracer: Tracer,
+    name: String,
+    started: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed().as_micros() as u64;
+        self.tracer
+            .record(EventKind::Exit, &self.name, format!("elapsed_us={elapsed}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_enter_exit_and_points() {
+        let t = Tracer::new();
+        {
+            let _outer = t.span("outer");
+            t.event("fault.kill", "worker=1");
+            let _inner = t.span("inner");
+        }
+        let events = t.events();
+        if ENABLED {
+            let kinds: Vec<_> = events.iter().map(|e| (e.kind, e.name.as_str())).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    (EventKind::Enter, "outer"),
+                    (EventKind::Point, "fault.kill"),
+                    (EventKind::Enter, "inner"),
+                    (EventKind::Exit, "inner"),
+                    (EventKind::Exit, "outer"),
+                ]
+            );
+            assert!(events[3].detail.starts_with("elapsed_us="));
+            // Timestamps are monotone.
+            assert!(events.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+        } else {
+            assert!(events.is_empty());
+        }
+    }
+
+    #[test]
+    fn ring_buffer_drops_oldest() {
+        let t = Tracer::new();
+        for i in 0..(TRACE_CAPACITY + 10) {
+            t.event("e", &i.to_string());
+        }
+        if ENABLED {
+            assert_eq!(t.len(), TRACE_CAPACITY);
+            assert_eq!(t.dropped(), 10);
+            assert_eq!(t.events()[0].detail, "10");
+        } else {
+            assert_eq!(t.len(), 0);
+        }
+    }
+}

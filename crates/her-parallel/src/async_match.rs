@@ -42,7 +42,7 @@ use crate::fault::{FaultPlan, MessageFate};
 use crate::pallmatch::ParallelConfig;
 use crate::partition::{partition_round_robin, SharedPartition};
 use her_core::index::InvertedIndex;
-use her_core::paramatch::{Matcher, PairKey};
+use her_core::paramatch::{Matcher, MatcherOptions, PairKey};
 use her_core::params::Params;
 use her_graph::hash::{FxHashMap, FxHashSet};
 use her_graph::{Graph, Interner, VertexId};
@@ -159,6 +159,13 @@ impl<'g> AsyncWorker<'g> {
         let _ = self.matcher.is_match(u, v);
     }
 
+    /// Bumps a `fault.*` counter (injected-fault paths only, never hot).
+    fn fault_count(&self, name: &str) {
+        if let Some(obs) = self.matcher.obs() {
+            obs.registry.counter(name).inc();
+        }
+    }
+
     /// Accounts and sends one protocol message through the fault plan,
     /// retrying dropped attempts with exponential backoff. Exhausting the
     /// retries panics — the death is then handled like any other.
@@ -176,12 +183,14 @@ impl<'g> AsyncWorker<'g> {
                     return;
                 }
                 MessageFate::Duplicate => {
+                    self.fault_count("fault.duplicated");
                     self.shared.in_flight.fetch_add(2, Ordering::SeqCst);
                     let _ = self.senders[dest].send(msg.clone());
                     let _ = self.senders[dest].send(msg);
                     return;
                 }
                 MessageFate::Delay => {
+                    self.fault_count("fault.delayed");
                     self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
                     self.deferred.push((dest, msg));
                     return;
@@ -189,10 +198,14 @@ impl<'g> AsyncWorker<'g> {
                 MessageFate::BlackHole => {
                     // Accounted but never sent: the counter cannot drain,
                     // which is exactly what the watchdog exists to catch.
+                    self.fault_count("fault.blackholed");
                     self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
                     return;
                 }
-                MessageFate::Drop => std::thread::sleep(backoff(attempt)),
+                MessageFate::Drop => {
+                    self.fault_count("fault.dropped");
+                    std::thread::sleep(backoff(attempt));
+                }
             }
         }
         panic!("send to worker {dest} failed after {MAX_SEND_ATTEMPTS} attempts");
@@ -487,9 +500,18 @@ pub fn pallmatch_async(
                 let retired = Arc::clone(&retired[id]);
                 let mut worker = AsyncWorker {
                     id,
-                    matcher: Matcher::new(gd, g, interner, params)
-                        .with_border(borders[id].clone())
-                        .with_selections(sel_d.clone(), sel_g.clone()),
+                    matcher: Matcher::with_options(
+                        gd,
+                        g,
+                        interner,
+                        params,
+                        MatcherOptions {
+                            obs: cfg.obs.clone(),
+                            ..Default::default()
+                        },
+                    )
+                    .with_border(borders[id].clone())
+                    .with_selections(sel_d.clone(), sel_g.clone()),
                     part: part.clone(),
                     fault: cfg.fault.clone(),
                     senders: senders.clone(),
@@ -530,6 +552,11 @@ pub fn pallmatch_async(
                 Ok(Ctrl::Died { id, roots }) => {
                     deaths += 1;
                     alive[id] = false;
+                    if let Some(obs) = &cfg.obs {
+                        obs.registry.counter("async.worker_deaths").inc();
+                        obs.tracer
+                            .event("async.worker_death", &format!("worker={id}"));
+                    }
                     let survivors: Vec<usize> =
                         (0..n).filter(|&i| alive[i]).collect();
                     assert!(!survivors.is_empty(), "all workers died; cannot recover");
@@ -556,6 +583,13 @@ pub fn pallmatch_async(
                         });
                     }
                     retired[id].store(true, Ordering::Release);
+                    if let Some(obs) = &cfg.obs {
+                        obs.registry.counter("async.recoveries").inc();
+                        obs.tracer.event(
+                            "async.recovery",
+                            &format!("worker={id} survivors={}", survivors.len()),
+                        );
+                    }
                     shared.touch();
                     // Release the Died notice only now: recovery messages
                     // are accounted, so the counter stayed positive.
@@ -582,6 +616,10 @@ pub fn pallmatch_async(
                     {
                         // Liveness watchdog: something is accounted but
                         // will never be processed. Abort rather than hang.
+                        if let Some(obs) = &cfg.obs {
+                            obs.registry.counter("async.watchdog_aborts").inc();
+                            obs.tracer.event("async.watchdog_abort", "");
+                        }
                         shared.abort.store(true, Ordering::SeqCst);
                         break;
                     }
@@ -606,6 +644,12 @@ pub fn pallmatch_async(
     }
     all.sort();
     all.dedup();
+    if let Some(obs) = &cfg.obs {
+        let r = &obs.registry;
+        r.counter("async.runs").inc();
+        r.counter("async.requests").add(stats.requests);
+        r.counter("async.invalidations").add(stats.invalidations);
+    }
     (all, stats)
 }
 

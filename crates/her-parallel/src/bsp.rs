@@ -17,11 +17,36 @@ pub trait Worker: Send {
     fn superstep(&mut self, inbox: Vec<Self::Msg>) -> Vec<(usize, Self::Msg)>;
 }
 
+/// Timing of one superstep: how busy the workers were and how skewed
+/// the barrier was (slowest minus fastest — time the fast workers spent
+/// waiting), plus the message volume routed at its barrier.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SuperstepStat {
+    /// Busy time of the slowest participating worker.
+    pub busy_max_secs: f64,
+    /// Busy time of the fastest participating worker.
+    pub busy_min_secs: f64,
+    /// Summed busy time across participating workers.
+    pub busy_total_secs: f64,
+    /// Workers that executed this superstep (live ones, under
+    /// [`run_supervised`]).
+    pub workers: usize,
+    /// Messages routed at this superstep's barrier.
+    pub messages: usize,
+}
+
+impl SuperstepStat {
+    /// Barrier skew: time the fastest worker waited for the slowest.
+    pub fn skew_secs(&self) -> f64 {
+        (self.busy_max_secs - self.busy_min_secs).max(0.0)
+    }
+}
+
 /// Timing of a BSP run, used to *simulate* a multi-machine cluster on a
 /// single host: under BSP, wall-clock per superstep is the slowest worker
 /// (all others wait at the barrier), so the simulated parallel runtime is
 /// `Σ_supersteps max_i busy(i)` — the critical path.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct RunStats {
     /// Supersteps executed.
     pub supersteps: usize,
@@ -29,6 +54,9 @@ pub struct RunStats {
     pub critical_path_secs: f64,
     /// Total CPU time across all workers.
     pub total_busy_secs: f64,
+    /// Per-superstep breakdown, in execution order (one entry per
+    /// superstep).
+    pub per_superstep: Vec<SuperstepStat>,
 }
 
 /// Runs workers to the message fixpoint; returns the number of supersteps
@@ -92,7 +120,7 @@ pub trait Supervisor<W: Worker> {
 }
 
 /// Statistics of a supervised run.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SupervisedStats {
     /// The underlying BSP timing/counters.
     pub run: RunStats,
@@ -172,13 +200,19 @@ where
         // Collect outputs; handle deaths at the barrier before routing, so
         // re-routing observes the post-recovery assignment.
         let mut outbound: Vec<(usize, W::Msg)> = Vec::new();
-        let mut slowest = 0.0f64;
+        let mut step_stat = SuperstepStat {
+            busy_min_secs: f64::INFINITY,
+            ..Default::default()
+        };
         let mut deaths: Vec<Death<W::Msg>> = Vec::new();
         for (i, slot) in stepped.into_iter().enumerate() {
             let Some((result, kept_inbox, busy)) = slot else {
                 continue;
             };
-            slowest = slowest.max(busy);
+            step_stat.busy_max_secs = step_stat.busy_max_secs.max(busy);
+            step_stat.busy_min_secs = step_stat.busy_min_secs.min(busy);
+            step_stat.busy_total_secs += busy;
+            step_stat.workers += 1;
             stats.run.total_busy_secs += busy;
             match result {
                 Ok(out) => outbound.extend(out),
@@ -192,7 +226,10 @@ where
                 }
             }
         }
-        stats.run.critical_path_secs += slowest;
+        if step_stat.workers == 0 {
+            step_stat.busy_min_secs = 0.0;
+        }
+        stats.run.critical_path_secs += step_stat.busy_max_secs;
         let recovered = !deaths.is_empty();
         for death in deaths {
             stats.deaths += 1;
@@ -210,6 +247,7 @@ where
             for _ in 0..n {
                 if alive[dest] {
                     inboxes[dest].push(msg);
+                    step_stat.messages += 1;
                     any = true;
                     continue 'msgs;
                 }
@@ -220,6 +258,7 @@ where
             }
             panic!("message re-routing did not reach a live worker");
         }
+        stats.run.per_superstep.push(step_stat);
         // A barrier that handled deaths may have scheduled message-free
         // local work on the adopters (re-verification of purged verdicts,
         // orphaned roots); the fixpoint check must not fire before that
@@ -271,20 +310,28 @@ fn run_inner<W: Worker>(workers: &mut [W], sequential: bool) -> RunStats {
                     .collect()
             })
         };
-        let mut slowest = 0.0f64;
+        let mut step_stat = SuperstepStat {
+            busy_min_secs: f64::INFINITY,
+            workers: n,
+            ..Default::default()
+        };
         // Route messages.
         inboxes = (0..n).map(|_| Vec::new()).collect();
         let mut any = false;
         for (out, busy) in timed {
-            slowest = slowest.max(busy);
+            step_stat.busy_max_secs = step_stat.busy_max_secs.max(busy);
+            step_stat.busy_min_secs = step_stat.busy_min_secs.min(busy);
+            step_stat.busy_total_secs += busy;
             stats.total_busy_secs += busy;
             for (dest, msg) in out {
                 assert!(dest < n, "message addressed to unknown worker {dest}");
                 inboxes[dest].push(msg);
+                step_stat.messages += 1;
                 any = true;
             }
         }
-        stats.critical_path_secs += slowest;
+        stats.critical_path_secs += step_stat.busy_max_secs;
+        stats.per_superstep.push(step_stat);
         if !any {
             return stats;
         }
@@ -344,6 +391,32 @@ mod tests {
         assert_eq!(all, (0..9).collect::<Vec<_>>());
         // Round-robin delivery: worker 1 saw tokens 0, 4, 8.
         assert_eq!(workers[1].seen, vec![0, 4, 8]);
+    }
+
+    #[test]
+    fn per_superstep_stats_cover_the_run() {
+        let n = 4;
+        let mut workers: Vec<Ring> = (0..n)
+            .map(|id| Ring {
+                id,
+                n,
+                limit: 9,
+                seen: Vec::new(),
+                started: false,
+            })
+            .collect();
+        let stats = run_timed(&mut workers);
+        assert_eq!(stats.per_superstep.len(), stats.supersteps);
+        // Each of the 9 tokens is routed exactly once.
+        let routed: usize = stats.per_superstep.iter().map(|s| s.messages).sum();
+        assert_eq!(routed, 9);
+        for s in &stats.per_superstep {
+            assert_eq!(s.workers, n);
+            assert!(s.busy_min_secs <= s.busy_max_secs);
+            assert!(s.skew_secs() >= 0.0);
+        }
+        let critical: f64 = stats.per_superstep.iter().map(|s| s.busy_max_secs).sum();
+        assert!((critical - stats.critical_path_secs).abs() < 1e-9);
     }
 
     /// A silent fleet terminates after exactly one superstep.

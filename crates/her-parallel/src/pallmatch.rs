@@ -23,7 +23,7 @@ use crate::bsp;
 use crate::fault::{FaultPlan, MessageFate};
 use crate::partition::{partition_greedy, partition_round_robin, SharedPartition};
 use her_core::index::InvertedIndex;
-use her_core::paramatch::{Matcher, PairKey};
+use her_core::paramatch::{Matcher, MatcherOptions, PairKey};
 use her_core::params::Params;
 use her_graph::hash::{FxHashMap, FxHashSet};
 use her_graph::{Graph, Interner, VertexId};
@@ -59,6 +59,12 @@ pub struct ParallelConfig {
     /// counter is non-zero but no worker makes progress for this long, the
     /// run aborts with partial results instead of hanging.
     pub watchdog: Duration,
+    /// Observability handle: when set, every worker's matcher reports
+    /// into the shared registry (the `paramatch.*` namespace aggregates
+    /// across workers — the counters are lock-free atomics), the run
+    /// records `bsp.*`/`parallel.*`/`fault.*` metrics, and
+    /// death/recovery events land in the trace log.
+    pub obs: Option<her_obs::Obs>,
 }
 
 impl Default for ParallelConfig {
@@ -70,6 +76,7 @@ impl Default for ParallelConfig {
             simulate_cluster: true,
             fault: FaultPlan::default(),
             watchdog: Duration::from_secs(10),
+            obs: None,
         }
     }
 }
@@ -147,6 +154,13 @@ impl<'a> PWorker<'a> {
         let _ = self.matcher.is_match(u, v);
     }
 
+    /// Bumps a `fault.*` counter (injected-fault paths only, never hot).
+    fn fault_count(&self, name: &str) {
+        if let Some(obs) = self.matcher.obs() {
+            obs.registry.counter(name).inc();
+        }
+    }
+
     /// Sends `msg` through the fault plan: drops are retried (bounded —
     /// the BSP analogue of retry-with-backoff, there is no real channel to
     /// back off from), duplicates delivered twice, delays deferred one
@@ -164,16 +178,21 @@ impl<'a> PWorker<'a> {
                     return;
                 }
                 MessageFate::Duplicate => {
+                    self.fault_count("fault.duplicated");
                     out.push((dest, msg.clone()));
                     out.push((dest, msg));
                     return;
                 }
                 MessageFate::Delay => {
+                    self.fault_count("fault.delayed");
                     self.delayed.push((dest, msg));
                     return;
                 }
-                MessageFate::BlackHole => return,
-                MessageFate::Drop => {}
+                MessageFate::BlackHole => {
+                    self.fault_count("fault.blackholed");
+                    return;
+                }
+                MessageFate::Drop => self.fault_count("fault.dropped"),
             }
         }
         panic!("send to worker {dest} failed after {MAX_SEND_ATTEMPTS} attempts");
@@ -288,6 +307,7 @@ impl<'a> bsp::Worker for PWorker<'a> {
 /// replay safe — see the module docs of [`crate`].
 struct Recovery {
     part: SharedPartition,
+    obs: Option<her_obs::Obs>,
 }
 
 impl<'a> bsp::Supervisor<PWorker<'a>> for Recovery {
@@ -298,6 +318,13 @@ impl<'a> bsp::Supervisor<PWorker<'a>> for Recovery {
         alive: &[usize],
     ) -> Vec<(usize, Msg)> {
         let dead = death.worker;
+        if let Some(obs) = &self.obs {
+            obs.registry.counter("bsp.worker_deaths").inc();
+            obs.tracer.event(
+                "bsp.worker_death",
+                &format!("worker={} superstep={}", dead, death.superstep),
+            );
+        }
         let groups = self.part.reassign(dead, alive);
         let reassigned: FxHashSet<VertexId> = groups
             .iter()
@@ -356,6 +383,18 @@ impl<'a> bsp::Supervisor<PWorker<'a>> for Recovery {
                     injected.push((self.part.owner(pair.1), Msg::Request { pair, from }));
                 }
             }
+        }
+        if let Some(obs) = &self.obs {
+            obs.registry.counter("bsp.recoveries").inc();
+            obs.tracer.event(
+                "bsp.recovery",
+                &format!(
+                    "worker={} adopters={} replayed={}",
+                    dead,
+                    groups.len(),
+                    injected.len()
+                ),
+            );
         }
         injected
     }
@@ -439,14 +478,17 @@ pub fn pallmatch(
     // boundaries, which Theorem 3's equivalence with the sequential
     // algorithm implicitly assumes.
     let t0 = std::time::Instant::now();
+    let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.selection"));
     let sel_g = precompute_selections(g, params, n);
     let sel_d = precompute_selections(gd, params, n);
+    drop(span);
     let selection_secs = t0.elapsed().as_secs_f64();
 
     // Candidate generation per worker: (u_t, v) with owned v and h_v ≥ σ.
     // The blocking index is built over the full G labels (it only looks at
     // labels, which fragments share).
     let t0 = std::time::Instant::now();
+    let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.candidates"));
     let index = cfg.use_blocking.then(|| InvertedIndex::build(g, interner));
     let sigma = params.thresholds.sigma;
     let mut roots_per_worker: Vec<Vec<PairKey>> = vec![Vec::new(); n];
@@ -471,14 +513,24 @@ pub fn pallmatch(
     for roots in roots_per_worker.iter_mut() {
         roots.sort_by_key(|&(u, v)| (gd.degree(u) + g.degree(v), u, v));
     }
+    drop(span);
     let candidates_secs = t0.elapsed().as_secs_f64();
 
     let mut workers: Vec<PWorker<'_>> = (0..n)
         .map(|i| PWorker {
             id: i,
-            matcher: Matcher::new(gd, g, interner, params)
-                .with_border(borders[i].clone())
-                .with_selections(sel_d.clone(), sel_g.clone()),
+            matcher: Matcher::with_options(
+                gd,
+                g,
+                interner,
+                params,
+                MatcherOptions {
+                    obs: cfg.obs.clone(),
+                    ..Default::default()
+                },
+            )
+            .with_border(borders[i].clone())
+            .with_selections(sel_d.clone(), sel_g.clone()),
             part: part.clone(),
             fault: cfg.fault.clone(),
             roots: std::mem::take(&mut roots_per_worker[i]),
@@ -496,14 +548,20 @@ pub fn pallmatch(
         .collect();
 
     let t0 = std::time::Instant::now();
-    let mut recovery = Recovery { part };
+    let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.bsp"));
+    let mut recovery = Recovery {
+        part,
+        obs: cfg.obs.clone(),
+    };
     let supervised = bsp::run_supervised(&mut workers, &mut recovery, cfg.simulate_cluster);
+    let deaths = supervised.deaths;
     let run = supervised.run;
+    drop(span);
     let bsp_secs = t0.elapsed().as_secs_f64();
 
     let mut stats = ParallelStats {
         supersteps: run.supersteps,
-        deaths: supervised.deaths,
+        deaths,
         selection_secs,
         candidates_secs,
         bsp_secs,
@@ -523,6 +581,27 @@ pub fn pallmatch(
     }
     result.sort();
     result.dedup();
+    if let Some(obs) = &cfg.obs {
+        let r = &obs.registry;
+        // Keep the recovery counters in the namespace even for clean runs,
+        // so "zero deaths" is an observable fact rather than a missing key.
+        r.counter("bsp.worker_deaths");
+        r.counter("bsp.recoveries");
+        r.counter("bsp.supersteps").add(run.supersteps as u64);
+        let busy = r.histogram("bsp.superstep.busy_us");
+        let skew = r.histogram("bsp.superstep.skew_us");
+        let msgs = r.histogram("bsp.superstep.messages");
+        for step in &run.per_superstep {
+            busy.observe((step.busy_max_secs * 1e6) as u64);
+            skew.observe((step.skew_secs() * 1e6) as u64);
+            msgs.observe(step.messages as u64);
+        }
+        r.counter("parallel.requests").add(stats.requests);
+        r.counter("parallel.invalidations").add(stats.invalidations);
+        r.counter("parallel.runs").inc();
+        r.gauge("parallel.workers").set(n as f64);
+        r.gauge("parallel.simulated_secs").set(stats.simulated_secs);
+    }
     (result, stats)
 }
 

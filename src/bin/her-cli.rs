@@ -13,15 +13,27 @@
 //!   --relation NAME      relation name for the CSV (default "record")
 //!   --max-calls N        abort matching after N recursive calls
 //!   --deadline-ms MS     abort matching after MS milliseconds
+//!   --workers N          parallel apair/vpair over N BSP workers
+//!   --metrics-out FILE   write a metrics snapshot (JSON) at exit
+//!   --trace              echo span enter/exit events to stderr
+//!   -v / -vv             info / debug diagnostics (quiet by default)
 //! ```
 //!
 //! Exit codes: `0` success, `1` data error (unreadable/unparsable input),
 //! `2` usage error, `3` budget exhausted (partial results printed).
+//!
+//! Diagnostics go to stderr through [`her::obs::log`]; match output on
+//! stdout is stable across verbosity levels. With `--metrics-out` (or
+//! `-v`) the run's [`her::obs::Registry`] snapshot — `paramatch.*` cache
+//! and early-termination counters, `bsp.*` superstep timings when
+//! `--workers` is set — is serialized/summarised at exit, including when
+//! the run ends in budget exhaustion.
 
 use her::core::learn::SearchSpace;
 use her::core::params::Thresholds;
 use her::core::{Budget, MatcherOptions};
 use her::error::read_file;
+use her::obs::info;
 use her::prelude::*;
 use her::rdb::load::database_from_csv;
 use her::rdb::TupleRef;
@@ -37,6 +49,13 @@ fn main() {
         exit(2);
     };
     let opts = parse_flags(&args[1..]);
+    her::obs::log::set_verbosity(if opts.contains_key("vv") {
+        2
+    } else if opts.contains_key("v") {
+        1
+    } else {
+        0
+    });
 
     let outcome = match command.as_str() {
         "export-demo" => export_demo(),
@@ -57,16 +76,21 @@ fn usage() {
         "usage: her-cli <spair|vpair|apair|export-demo> --db FILE.csv --graph FILE.nt \\\n\
          \t[--annotations FILE.csv] [--tuple N] [--vertex N] \\\n\
          \t[--sigma S] [--delta D] [--k K] [--relation NAME] \\\n\
-         \t[--max-calls N] [--deadline-ms MS]"
+         \t[--max-calls N] [--deadline-ms MS] [--workers N] \\\n\
+         \t[--metrics-out FILE] [--trace] [-v | -vv]"
     );
 }
+
+/// Flags that never take a value (everything else pairs `--key value`).
+const BOOL_FLAGS: &[&str] = &["trace", "v", "vv"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        let key = args[i].trim_start_matches("--").to_owned();
-        if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+        let key = args[i].trim_start_matches('-').to_owned();
+        let boolean = BOOL_FLAGS.contains(&key.as_str());
+        if !boolean && i + 1 < args.len() && !args[i + 1].starts_with('-') {
             out.insert(key, args[i + 1].clone());
             i += 2;
         } else {
@@ -90,6 +114,61 @@ fn numeric<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, HerError>
         .map_err(|_| HerError::Usage(format!("--{flag} expects a number, got {value:?}")))
 }
 
+/// Pre-registers the stable metric namespace so a snapshot always carries
+/// the headline keys (zero-valued when the corresponding path never ran).
+fn preregister(obs: &her::obs::Obs) {
+    let r = &obs.registry;
+    for name in [
+        "paramatch.calls",
+        "paramatch.cache_hits",
+        "paramatch.ecache_hits",
+        "paramatch.early_terminations",
+        "paramatch.exhausted",
+        "bsp.supersteps",
+        "bsp.worker_deaths",
+        "bsp.recoveries",
+    ] {
+        r.counter(name);
+    }
+    r.gauge("paramatch.cache_hit_rate");
+    r.histogram("bsp.superstep.busy_us");
+    r.histogram("bsp.superstep.skew_us");
+    r.histogram("bsp.superstep.messages");
+}
+
+/// Exit-time telemetry: derive summary gauges, optionally write the JSON
+/// snapshot, and (at `-v`) print the non-zero metrics table to stderr.
+/// Runs even when the match ended in budget exhaustion, so the partial
+/// run's telemetry survives.
+fn finish_metrics(
+    obs: &her::obs::Obs,
+    opts: &HashMap<String, String>,
+) -> Result<(), HerError> {
+    // The registry mirrors `MatchStats` (aggregated across all matchers
+    // of the run, sequential or per-worker), so the hit rate derives from
+    // the shared counters — same definition as `MatchStats::cache_hit_rate`.
+    let pre = obs.registry.snapshot();
+    let hits = pre.counter("paramatch.cache_hits");
+    let total = hits + pre.counter("paramatch.calls");
+    obs.registry.gauge("paramatch.cache_hit_rate").set(if total == 0 {
+        0.0
+    } else {
+        hits as f64 / total as f64
+    });
+    let snap = obs.registry.snapshot();
+    if let Some(path) = opts.get("metrics-out") {
+        std::fs::write(path, snap.to_json()).map_err(|source| HerError::Io {
+            path: path.into(),
+            source,
+        })?;
+        info!("wrote metrics snapshot to {path}");
+    }
+    if her::obs::log::verbosity() >= 1 {
+        eprint!("{}", snap.summary_table());
+    }
+    Ok(())
+}
+
 fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
     let db_path = required(opts, "db")?;
     let graph_path = required(opts, "graph")?;
@@ -98,6 +177,11 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
         .cloned()
         .unwrap_or_else(|| "record".to_owned());
 
+    let obs = her::obs::Obs::new();
+    obs.tracer.set_echo(opts.contains_key("trace"));
+    preregister(&obs);
+
+    let load_span = obs.tracer.span("cli.load");
     let csv_text = read_file(&db_path)?;
     let db = database_from_csv(&relation, &csv_text).map_err(|source| HerError::Load {
         path: db_path.clone().into(),
@@ -110,9 +194,10 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
             source,
         }
     })?;
+    drop(load_span);
     let tuple_count = db.tuple_count();
     let vertex_count = g.vertex_count();
-    eprintln!(
+    info!(
         "loaded {} tuples, graph with {} vertices / {} edges",
         tuple_count,
         vertex_count,
@@ -137,7 +222,9 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
         thresholds,
         ..Default::default()
     };
+    let build_span = obs.tracer.span("cli.build");
     let mut system = Her::build(&db, g, interner, &cfg);
+    drop(build_span);
 
     // Resource governance: an optional call/deadline budget turns runaway
     // matchings into exit code 3 (with sound partial results printed)
@@ -151,17 +238,37 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
     }
     let matcher_opts = MatcherOptions {
         budget,
+        obs: Some(obs.clone()),
         ..Default::default()
     };
+
+    // Parallel execution: --workers routes apair/vpair through the BSP
+    // engine. The per-worker matchers have no budget hook, so budget
+    // flags combined with --workers are a usage error rather than a
+    // silent no-op.
+    let workers: Option<usize> = match opts.get("workers") {
+        Some(w) => Some(numeric(w, "workers")?),
+        None => None,
+    };
+    if workers.is_some() && (opts.contains_key("max-calls") || opts.contains_key("deadline-ms"))
+    {
+        return Err(HerError::Usage(
+            "--workers cannot be combined with --max-calls/--deadline-ms \
+             (budgets are per-matcher, the BSP engine shards matchers per worker)"
+                .to_owned(),
+        ));
+    }
 
     // Optional supervised training from an annotations CSV: row,vertex,label.
     if let Some(path) = opts.get("annotations") {
         let text = read_file(path)?;
         let ann = parse_annotations(path, &text)?;
-        eprintln!("training on {} annotations", ann.len());
+        info!("training on {} annotations", ann.len());
+        let train_span = obs.tracer.span("cli.train");
         let f = system.learn(&ann, &ann, &cfg, &SearchSpace::default());
+        drop(train_span);
         let t = system.params.thresholds;
-        eprintln!(
+        info!(
             "validation F = {f:.3}; thresholds sigma={:.2} delta={:.2} k={}",
             t.sigma, t.delta, t.k
         );
@@ -186,43 +293,106 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
         }
     };
 
-    match mode {
-        "spair" => {
-            let row: u32 = numeric(&required(opts, "tuple")?, "tuple")?;
-            let vertex: u32 = numeric(&required(opts, "vertex")?, "vertex")?;
-            check_tuple(row)?;
-            check_vertex(vertex)?;
-            let mut m = system.matcher_with(matcher_opts);
-            let verdict = system.spair_with(&mut m, TupleRef::new(0, row), VertexId(vertex));
-            if let Some(reason) = m.exhausted() {
-                return Err(HerError::Exhausted(reason));
+    let pcfg = |n: usize| her::parallel::ParallelConfig {
+        workers: n,
+        obs: Some(obs.clone()),
+        ..Default::default()
+    };
+
+    let result = (|| -> Result<(), HerError> {
+        match mode {
+            "spair" => {
+                let row: u32 = numeric(&required(opts, "tuple")?, "tuple")?;
+                let vertex: u32 = numeric(&required(opts, "vertex")?, "vertex")?;
+                check_tuple(row)?;
+                check_vertex(vertex)?;
+                if workers.is_some() {
+                    return Err(HerError::Usage(
+                        "--workers applies to vpair/apair; spair is a single pair".to_owned(),
+                    ));
+                }
+                let mut m = system.matcher_with(matcher_opts);
+                let verdict =
+                    system.spair_with(&mut m, TupleRef::new(0, row), VertexId(vertex));
+                if let Some(reason) = m.exhausted() {
+                    return Err(HerError::Exhausted(reason));
+                }
+                println!("{verdict}");
             }
-            println!("{verdict}");
+            "vpair" => {
+                let row: u32 = numeric(&required(opts, "tuple")?, "tuple")?;
+                check_tuple(row)?;
+                if let Some(n) = workers {
+                    let u = system.cg.vertex_of(TupleRef::new(0, row));
+                    let (matches, pstats) = her::parallel::pvpair(
+                        &system.cg.graph,
+                        &system.g,
+                        &system.cg.interner,
+                        &system.params,
+                        u,
+                        &pcfg(n),
+                    );
+                    info!(
+                        "parallel vpair: {} supersteps, {} requests",
+                        pstats.supersteps, pstats.requests
+                    );
+                    for v in matches {
+                        println!("{v}");
+                    }
+                    return Ok(());
+                }
+                let run = system.try_vpair(TupleRef::new(0, row), matcher_opts);
+                for v in &run.matches {
+                    println!("{v}");
+                }
+                if let Some(reason) = run.exhausted {
+                    eprintln!("{} candidates left undecided", run.unresolved.len());
+                    return Err(HerError::Exhausted(reason));
+                }
+            }
+            "apair" => {
+                if let Some(n) = workers {
+                    let mut tuple_vertices: Vec<(TupleRef, VertexId)> =
+                        system.cg.tuple_vertices().collect();
+                    tuple_vertices.sort();
+                    let of_vertex: HashMap<VertexId, TupleRef> =
+                        tuple_vertices.iter().map(|&(t, u)| (u, t)).collect();
+                    let us: Vec<VertexId> =
+                        tuple_vertices.iter().map(|&(_, u)| u).collect();
+                    let (matches, pstats) = her::parallel::pallmatch(
+                        &system.cg.graph,
+                        &system.g,
+                        &system.cg.interner,
+                        &system.params,
+                        &us,
+                        &pcfg(n),
+                    );
+                    info!(
+                        "parallel apair: {} supersteps, {} requests, {} deaths",
+                        pstats.supersteps, pstats.requests, pstats.deaths
+                    );
+                    for (u, v) in matches {
+                        if let Some(t) = of_vertex.get(&u) {
+                            println!("{},{}", t.row, v);
+                        }
+                    }
+                    return Ok(());
+                }
+                let (matches, exhausted) = system.try_apair(matcher_opts);
+                for (t, v) in matches {
+                    println!("{},{}", t.row, v);
+                }
+                if let Some(reason) = exhausted {
+                    return Err(HerError::Exhausted(reason));
+                }
+            }
+            _ => unreachable!(),
         }
-        "vpair" => {
-            let row: u32 = numeric(&required(opts, "tuple")?, "tuple")?;
-            check_tuple(row)?;
-            let run = system.try_vpair(TupleRef::new(0, row), matcher_opts);
-            for v in &run.matches {
-                println!("{v}");
-            }
-            if let Some(reason) = run.exhausted {
-                eprintln!("{} candidates left undecided", run.unresolved.len());
-                return Err(HerError::Exhausted(reason));
-            }
-        }
-        "apair" => {
-            let (matches, exhausted) = system.try_apair(matcher_opts);
-            for (t, v) in matches {
-                println!("{},{}", t.row, v);
-            }
-            if let Some(reason) = exhausted {
-                return Err(HerError::Exhausted(reason));
-            }
-        }
-        _ => unreachable!(),
-    }
-    Ok(())
+        Ok(())
+    })();
+
+    finish_metrics(&obs, opts)?;
+    result
 }
 
 fn parse_annotations(

@@ -17,6 +17,7 @@
 //! | [`rdb`] | `her-rdb` | relational schema/database + RDB2RDF canonical mapping |
 //! | [`embed`] | `her-embed` | embedding + metric-learning + path-LM substrate |
 //! | [`core`] | `her-core` | parametric simulation, SPair/VPair/APair, learning |
+//! | [`obs`] | `her-obs` | structured tracing, metrics and run telemetry |
 //! | [`parallel`] | `her-parallel` | BSP engine + parallel APair (PAllMatch) |
 //! | [`baselines`] | `her-baselines` | the paper's nine comparison methods |
 //! | [`datagen`] | `her-datagen` | dataset emulators + synthetic scale generator |
@@ -43,6 +44,7 @@ pub use her_core as core;
 pub use her_datagen as datagen;
 pub use her_embed as embed;
 pub use her_graph as graph;
+pub use her_obs as obs;
 pub use her_parallel as parallel;
 pub use her_rdb as rdb;
 
