@@ -33,7 +33,7 @@ use her_core::params::{Params, Thresholds};
 use her_graph::{Graph, GraphBuilder, Interner, VertexId};
 use her_obs::json::{Arr, Obj};
 use her_obs::Obs;
-use her_parallel::{pallmatch, FaultPlan, ParallelConfig};
+use her_parallel::{pallmatch, pallmatch_durable, DurabilityConfig, FaultPlan, ParallelConfig};
 use std::time::Instant;
 
 /// One timed workload and the metrics snapshot its run produced.
@@ -170,9 +170,13 @@ pub fn paramatch_suite(smoke: bool) -> Report {
     }
 }
 
-/// Parallel suite: BSP `PAllMatch` per size (4 workers), plus one
-/// fault-injected run per size so the report always carries death/recovery
-/// and `fault.*` counters.
+/// Parallel suite: BSP `PAllMatch` per size (4 workers), one
+/// fault-injected run per size so the report always carries
+/// death/recovery and `fault.*` counters, and one durable run per size
+/// checkpointing at every superstep so the report carries checkpoint
+/// overhead (`store.snapshot.bytes` / `store.snapshot.write_us`
+/// histograms — one observation per superstep — and the
+/// `store.snapshots_written` counter).
 pub fn parallel_suite(smoke: bool) -> Report {
     let mut workloads = Vec::new();
     for &m in sizes(smoke) {
@@ -201,11 +205,58 @@ pub fn parallel_suite(smoke: bool) -> Report {
                 snapshot: obs.registry.snapshot(),
             });
         }
+        workloads.push(durable_workload(m));
     }
     Report {
         suite: "parallel",
         smoke,
         workloads,
+    }
+}
+
+/// One durable run: same workload as `pallmatch/clean`, checkpointed at
+/// every superstep into a scratch directory (removed afterwards), so the
+/// `metrics` object quantifies the durability layer's overhead.
+fn durable_workload(m: usize) -> Workload {
+    let (gd, g, interner, us) = dataset(m);
+    let p = params();
+    let obs = Obs::new();
+    let cfg = ParallelConfig {
+        workers: 4,
+        use_blocking: false,
+        obs: Some(obs.clone()),
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!(
+        "her-bench-durable-{}-{m}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let t0 = Instant::now();
+    let run = pallmatch_durable(
+        &gd,
+        &g,
+        &interner,
+        &p,
+        &us,
+        &cfg,
+        &DurabilityConfig::new(&dir),
+    )
+    .expect("durable bench workload");
+    let wall_secs = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+    obs.registry
+        .gauge("store.checkpoint_bytes_total")
+        .set(run.stats.checkpoint_bytes as f64);
+    obs.registry
+        .gauge("store.checkpoint_secs_total")
+        .set(run.stats.checkpoint_secs);
+    Workload {
+        name: format!("pallmatch/durable/m={m}"),
+        size: m,
+        wall_secs,
+        matches: run.matches.len(),
+        snapshot: obs.registry.snapshot(),
     }
 }
 
@@ -224,7 +275,7 @@ mod tests {
         assert!(seq.workloads[0].matches >= 16, "every entity self-matches");
 
         let par = parallel_suite(true);
-        assert_eq!(par.workloads.len(), 2, "clean + faulty per size");
+        assert_eq!(par.workloads.len(), 3, "clean + faulty + durable per size");
         let faulty = &par.workloads[1];
         if her_obs::ENABLED {
             assert!(faulty.snapshot.counter("bsp.worker_deaths") >= 1);
@@ -234,8 +285,22 @@ mod tests {
                 "per-superstep timings recorded"
             );
         }
-        // Telemetry must not perturb results: clean and faulty runs agree.
+        let durable = &par.workloads[2];
+        assert!(durable.name.starts_with("pallmatch/durable/"));
+        if her_obs::ENABLED {
+            assert!(durable.snapshot.counter("store.snapshots_written") >= 1);
+            assert!(
+                durable.snapshot.histogram("store.snapshot.write_us").is_some(),
+                "per-checkpoint write timings recorded"
+            );
+            assert!(
+                durable.snapshot.histogram("store.snapshot.bytes").is_some(),
+                "per-checkpoint sizes recorded"
+            );
+        }
+        // Telemetry must not perturb results: all three variants agree.
         assert_eq!(par.workloads[0].matches, faulty.matches);
+        assert_eq!(par.workloads[0].matches, durable.matches);
     }
 
     #[test]

@@ -19,11 +19,15 @@
 //! - [`learn`]: random search for `(σ, δ, k)` and training-pair derivation;
 //! - [`refine`]: the user-feedback loop with majority voting (§IV);
 //! - [`metrics`]: precision / recall / F-measure;
-//! - [`stream`]: incremental / pay-as-you-go linking (§VI-B remark 2);
+//! - [`stream`]: incremental / pay-as-you-go linking (§VI-B remark 2),
+//!   with a WAL-journaled [`stream::DurableStreamLinker`];
+//! - [`checkpoint`]: serializable [`Matcher`] state for the durability
+//!   layer (`her-store`);
 //! - [`her`]: the [`her::Her`] facade exposing SPair, VPair and APair.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 pub mod apair;
+pub mod checkpoint;
 pub mod her;
 pub mod index;
 pub mod learn;
@@ -37,6 +41,7 @@ pub mod scores;
 pub mod stream;
 pub mod vpair;
 
+pub use checkpoint::MatcherCheckpoint;
 pub use her::{Her, HerConfig};
 pub use paramatch::{
     Budget, CancelToken, ExhaustReason, Matcher, MatcherOptions, Outcome,

@@ -585,6 +585,69 @@ impl<'a> Matcher<'a> {
         self.scores.mrho(self.params, self.interner, seq1, seq2)
     }
 
+    /// Captures the durable state of this matcher — the verdict cache
+    /// with lineage sets, border/assumption bookkeeping, exhaustion flag
+    /// and counters — as a serializable
+    /// [`MatcherCheckpoint`](crate::checkpoint::MatcherCheckpoint).
+    ///
+    /// Call only at quiescent points (no `try_match` in flight): an
+    /// in-flight run holds optimistic cache entries that must not be
+    /// persisted as verdicts. Derived memos (`ecache`, score cache) are
+    /// not captured; they re-fill on demand after
+    /// [`restore`](Matcher::restore).
+    pub fn checkpoint(&self) -> crate::checkpoint::MatcherCheckpoint {
+        let mut entries: Vec<crate::checkpoint::CheckpointEntry> = self
+            .cache
+            .iter()
+            .map(|(&pair, e)| (pair, e.valid, e.deps.clone()))
+            .collect();
+        entries.sort_by_key(|(pair, _, _)| *pair);
+        let border = self.border.as_ref().map(|b| {
+            let mut vs: Vec<VertexId> = b.iter().copied().collect();
+            vs.sort_unstable();
+            vs
+        });
+        let mut new_assumptions = self.new_assumptions.clone();
+        new_assumptions.sort_unstable();
+        crate::checkpoint::MatcherCheckpoint {
+            entries,
+            border,
+            new_assumptions,
+            exhausted: self.exhausted,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores the state captured by [`checkpoint`](Matcher::checkpoint)
+    /// into this matcher (which must be built over the same `(G_D, G)`
+    /// pair and parameters). The reverse-dependency index is rebuilt from
+    /// the recorded lineage sets; derived memos are left to re-fill.
+    pub fn restore(&mut self, ck: &crate::checkpoint::MatcherCheckpoint) {
+        self.cache.clear();
+        self.rdeps.clear();
+        for (pair, valid, deps) in &ck.entries {
+            for &d in deps {
+                self.rdeps.entry(d).or_default().push(*pair);
+            }
+            self.cache.insert(
+                *pair,
+                CacheEntry {
+                    valid: *valid,
+                    deps: deps.clone(),
+                },
+            );
+        }
+        self.border = ck
+            .border
+            .as_ref()
+            .map(|b| b.iter().copied().collect::<FxHashSet<VertexId>>());
+        self.new_assumptions = ck.new_assumptions.clone();
+        self.exhausted = ck.exhausted;
+        self.stats = ck.stats;
+        let entries = self.cache.len();
+        self.probe(|p| p.cache_entries.set(entries as f64));
+    }
+
     /// Invalidates memoised scores and verdicts — required after model
     /// fine-tuning changes the parameter functions.
     pub fn invalidate(&mut self) {
@@ -1242,6 +1305,41 @@ mod tests {
         let d = m.stats().delta_since(&mid);
         assert_eq!(d.calls, 0);
         assert_eq!(d.cache_hits, 1);
+    }
+
+    /// checkpoint → restore into a fresh matcher preserves every verdict,
+    /// the stats, and the rdeps index (exercised via invalidation).
+    #[test]
+    fn checkpoint_restore_round_trips_verdicts_and_cleanup() {
+        let (gd, g, interner, u, v, decoy) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(m.is_match(u, v));
+        assert!(!m.is_match(u, decoy));
+        let ck = m.checkpoint();
+        assert_eq!(ck.encode(), m.checkpoint().encode(), "deterministic bytes");
+
+        let decoded =
+            crate::checkpoint::MatcherCheckpoint::decode(&ck.encode()).expect("decode");
+        let mut r = Matcher::new(&gd, &g, &interner, &p);
+        r.restore(&decoded);
+        // Every cached verdict carried over.
+        for (pair, valid, _) in &ck.entries {
+            assert_eq!(r.cached(pair.0, pair.1), Some(*valid));
+        }
+        assert_eq!(r.stats(), m.stats());
+        // Cached queries are served without recursion.
+        let calls = r.stats().calls;
+        assert!(r.is_match(u, v));
+        assert_eq!(r.stats().calls, calls);
+        // The rebuilt rdeps index drives cleanup exactly like the original:
+        // invalidate a lineage dependency of (u, v) in both matchers.
+        let dep = m.lineage(u, v).and_then(|d| d.first().copied());
+        if let Some((du, dv)) = dep {
+            m.apply_invalidation(du, dv);
+            r.apply_invalidation(du, dv);
+            assert_eq!(r.cached(u, v), m.cached(u, v), "cleanup diverged after restore");
+        }
     }
 
     /// With an `Obs` handle set, the registry mirrors `MatchStats`.

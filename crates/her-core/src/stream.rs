@@ -7,12 +7,21 @@
 //! refinement exploits. External invalidations (e.g. a vertex retracted
 //! from `G`) propagate through the cleanup machinery.
 
+//! A session survives process death via [`DurableStreamLinker`], which
+//! journals every operation into an `her-store` write-ahead log before
+//! applying it; re-opening the log replays the journal into a fresh
+//! session, reproducing the exact in-memory state (the fixpoint is unique,
+//! so replay order = original order gives identical matches).
+
 use crate::her::Her;
 use crate::paramatch::Matcher;
 use crate::vpair;
 use her_graph::VertexId;
 use her_rdb::TupleRef;
+use her_store::wal::{self, WalReplay, WalWriter};
+use her_store::{CodecError, Dec, Enc, StoreError};
 use std::collections::BTreeSet;
+use std::path::Path;
 
 /// Per-tuple processing statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -97,6 +106,147 @@ impl<'a> StreamLinker<'a> {
     /// Tuples processed so far, in arrival order.
     pub fn processed(&self) -> &[TupleRef] {
         &self.processed
+    }
+}
+
+/// One journaled streaming operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamOp {
+    /// A tuple arrived and was linked.
+    Process(TupleRef),
+    /// A `G` vertex was retracted.
+    Retract(VertexId),
+}
+
+const OP_PROCESS: u8 = 1;
+const OP_RETRACT: u8 = 2;
+
+impl StreamOp {
+    /// Serializes this operation as one WAL record payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            StreamOp::Process(t) => {
+                e.put_u8(OP_PROCESS).put_u32(t.relation).put_u32(t.row);
+            }
+            StreamOp::Retract(v) => {
+                e.put_u8(OP_RETRACT).put_u32(v.0);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a record payload written by [`StreamOp::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Dec::new(bytes);
+        let op = match d.u8()? {
+            OP_PROCESS => StreamOp::Process(TupleRef {
+                relation: d.u32()?,
+                row: d.u32()?,
+            }),
+            OP_RETRACT => StreamOp::Retract(VertexId(d.u32()?)),
+            tag => {
+                return Err(CodecError {
+                    offset: 0,
+                    message: format!("bad stream-op tag {tag:#04x}"),
+                })
+            }
+        };
+        d.finish()?;
+        Ok(op)
+    }
+}
+
+/// A [`StreamLinker`] whose operations are journaled to a write-ahead log
+/// *before* being applied, so a killed session resumes to exactly the
+/// state it had.
+///
+/// Each `process`/`retract_vertex` appends one record and fsyncs it; this
+/// trades per-op latency for the guarantee that an acknowledged operation
+/// survives power loss. Re-opening truncates a torn tail (crash artifact)
+/// and replays the clean prefix; a corrupt record — a complete frame with
+/// a failing checksum — is rejected with [`StoreError::Corrupt`] rather
+/// than replayed.
+pub struct DurableStreamLinker<'a> {
+    inner: StreamLinker<'a>,
+    wal: WalWriter,
+}
+
+impl<'a> DurableStreamLinker<'a> {
+    /// Opens (or creates) the WAL at `path` and replays it into a fresh
+    /// session over `her`. Returns the resumed linker and what replay
+    /// found.
+    pub fn open(
+        her: &'a Her,
+        path: impl AsRef<Path>,
+        obs: Option<her_obs::Obs>,
+    ) -> Result<(Self, WalReplay), StoreError> {
+        let path = path.as_ref();
+        let mut inner = StreamLinker::new(her);
+        let mut record = 0u64;
+        let (wal, replay) = WalWriter::open(path, obs, |payload| {
+            record += 1;
+            let op = StreamOp::decode(payload).map_err(|e| {
+                StoreError::Corrupt {
+                    path: path.into(),
+                    offset: 0,
+                    message: format!("WAL record {record}: {e}"),
+                }
+            })?;
+            match op {
+                StreamOp::Process(t) => {
+                    inner.process(t);
+                }
+                StreamOp::Retract(v) => inner.retract_vertex(v),
+            }
+            Ok(())
+        })?;
+        Ok((DurableStreamLinker { inner, wal }, replay))
+    }
+
+    /// Journals then links one arriving tuple.
+    pub fn process(
+        &mut self,
+        t: TupleRef,
+    ) -> Result<(Vec<VertexId>, StreamStats), StoreError> {
+        self.wal.append(&StreamOp::Process(t).encode())?;
+        self.wal.sync()?;
+        Ok(self.inner.process(t))
+    }
+
+    /// Journals then applies a vertex retraction.
+    pub fn retract_vertex(&mut self, v: VertexId) -> Result<(), StoreError> {
+        self.wal.append(&StreamOp::Retract(v).encode())?;
+        self.wal.sync()?;
+        self.inner.retract_vertex(v);
+        Ok(())
+    }
+
+    /// All matches accumulated so far (including replayed ones), sorted.
+    pub fn matches(&self) -> Vec<(TupleRef, VertexId)> {
+        self.inner.matches()
+    }
+
+    /// Tuples processed so far (including replayed ones), in order.
+    pub fn processed(&self) -> &[TupleRef] {
+        self.inner.processed()
+    }
+
+    /// Replays the WAL at `path` without opening it for append, returning
+    /// the journaled operations in order. Read-only resume/inspection.
+    pub fn read_ops(path: impl AsRef<Path>) -> Result<(Vec<StreamOp>, WalReplay), StoreError> {
+        let path = path.as_ref();
+        let mut ops = Vec::new();
+        let replay = wal::replay(path, |payload| {
+            let op = StreamOp::decode(payload).map_err(|e| StoreError::Corrupt {
+                path: path.into(),
+                offset: 0,
+                message: format!("WAL record {}: {e}", ops.len() + 1),
+            })?;
+            ops.push(op);
+            Ok(())
+        })?;
+        Ok((ops, replay))
     }
 }
 
@@ -222,6 +372,144 @@ mod tests {
                 "case {case}: order {order:?}, retracted {retract:?}"
             );
         }
+    }
+
+    fn temp_wal(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("her-stream-wal-{}", std::process::id()));
+        let _ = std::fs::create_dir_all(&dir);
+        let p = dir.join(format!("{tag}.hlog"));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn stream_op_codec_round_trips() {
+        let ops = [
+            StreamOp::Process(TupleRef {
+                relation: 3,
+                row: 1_000_000,
+            }),
+            StreamOp::Retract(VertexId(42)),
+        ];
+        for op in ops {
+            assert_eq!(StreamOp::decode(&op.encode()).unwrap(), op);
+        }
+        assert!(StreamOp::decode(&[9]).is_err(), "bad tag must error");
+        assert!(StreamOp::decode(&[]).is_err(), "empty payload must error");
+        let mut long = StreamOp::Retract(VertexId(1)).encode();
+        long.push(0);
+        assert!(StreamOp::decode(&long).is_err(), "trailing bytes rejected");
+    }
+
+    /// Property (ISSUE 3 satellite): journaling a random interleaving of
+    /// `process`/`retract_vertex` operations and replaying the WAL into a
+    /// fresh session reproduces the in-memory session's `matches()`
+    /// exactly — for every prefix length, because a crash can happen
+    /// after any acknowledged operation.
+    #[test]
+    fn wal_replay_reproduces_interleaved_session_exactly() {
+        use proptest::rng::TestRng;
+        let (her, ts, vs) = system();
+        for case in 0..8u64 {
+            let mut rng = TestRng::for_case("stream_wal_replay", case);
+            // A random op sequence: mostly processes, some retractions.
+            let mut ops = Vec::new();
+            for _ in 0..20 {
+                if rng.below(4) == 0 {
+                    ops.push(StreamOp::Retract(vs[rng.below(vs.len() as u64) as usize]));
+                } else {
+                    ops.push(StreamOp::Process(ts[rng.below(ts.len() as u64) as usize]));
+                }
+            }
+
+            // In-memory reference session.
+            let mut reference = StreamLinker::new(&her);
+            let path = temp_wal(&format!("prop-{case}"));
+            {
+                let (mut durable, replay) =
+                    DurableStreamLinker::open(&her, &path, None).unwrap();
+                assert_eq!(replay.records, 0);
+                for op in &ops {
+                    match *op {
+                        StreamOp::Process(t) => {
+                            reference.process(t);
+                            durable.process(t).unwrap();
+                        }
+                        StreamOp::Retract(v) => {
+                            reference.retract_vertex(v);
+                            durable.retract_vertex(v).unwrap();
+                        }
+                    }
+                }
+                assert_eq!(durable.matches(), reference.matches(), "case {case}: live");
+            }
+
+            // Cold replay from the journal alone.
+            let (resumed, replay) = DurableStreamLinker::open(&her, &path, None).unwrap();
+            assert_eq!(replay.records, ops.len() as u64, "case {case}");
+            assert!(replay.truncated_at.is_none(), "case {case}");
+            assert_eq!(
+                resumed.matches(),
+                reference.matches(),
+                "case {case}: replayed session diverged"
+            );
+            assert_eq!(resumed.processed().len(), reference.processed().len());
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// A WAL truncated at every byte offset resumes to a clean prefix of
+    /// the session — never panics, never yields a match the uninterrupted
+    /// session did not have.
+    #[test]
+    fn truncated_wal_resumes_to_a_clean_prefix() {
+        let (her, ts, vs) = system();
+        let path = temp_wal("cuts");
+        let ops: Vec<StreamOp> = vec![
+            StreamOp::Process(ts[0]),
+            StreamOp::Process(ts[1]),
+            StreamOp::Retract(vs[0]),
+            StreamOp::Process(ts[2]),
+        ];
+        // Reference states after each op prefix.
+        let mut prefix_matches: Vec<Vec<(TupleRef, VertexId)>> = Vec::new();
+        {
+            let mut s = StreamLinker::new(&her);
+            prefix_matches.push(s.matches());
+            for op in &ops {
+                match *op {
+                    StreamOp::Process(t) => {
+                        s.process(t);
+                    }
+                    StreamOp::Retract(v) => s.retract_vertex(v),
+                }
+                prefix_matches.push(s.matches());
+            }
+        }
+        {
+            let (mut durable, _) = DurableStreamLinker::open(&her, &path, None).unwrap();
+            for op in &ops {
+                match *op {
+                    StreamOp::Process(t) => {
+                        durable.process(t).unwrap();
+                    }
+                    StreamOp::Retract(v) => durable.retract_vertex(v).unwrap(),
+                }
+            }
+        }
+        let full = std::fs::read(&path).unwrap();
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (resumed, replay) = DurableStreamLinker::open(&her, &path, None).unwrap();
+            let n = replay.records as usize;
+            assert!(n <= ops.len(), "cut={cut}");
+            assert_eq!(
+                resumed.matches(),
+                prefix_matches[n],
+                "cut={cut}: resumed state is not the clean {n}-op prefix"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

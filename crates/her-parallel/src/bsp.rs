@@ -126,6 +126,46 @@ pub struct SupervisedStats {
     pub run: RunStats,
     /// Workers lost (and recovered from) during the run.
     pub deaths: usize,
+    /// `true` when the run was halted by a [`BarrierControl::Stop`] from
+    /// the barrier hook rather than reaching the message fixpoint.
+    pub stopped_early: bool,
+}
+
+/// What the barrier hook sees at each superstep boundary: a quiescent
+/// point — no worker thread is live, every message is routed, every death
+/// is recovered. The durable engine checkpoints here.
+pub struct BarrierInfo<'a, W: Worker> {
+    /// The superstep (1-based, absolute across resumes) that just
+    /// completed.
+    pub superstep: usize,
+    /// All workers, post-superstep and post-recovery.
+    pub workers: &'a [W],
+    /// The routed inboxes the *next* superstep would consume.
+    pub inboxes: &'a [Vec<W::Msg>],
+    /// `true` when no messages are pending and no recovery happened —
+    /// the run is about to terminate at this barrier.
+    pub fixpoint: bool,
+}
+
+/// The barrier hook's verdict: keep running or halt at this barrier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BarrierControl {
+    /// Proceed to the next superstep (or terminate if at the fixpoint).
+    Continue,
+    /// Halt now; [`SupervisedStats::stopped_early`] is set. Used by the
+    /// durable engine's crash drill (`--stop-after-supersteps`).
+    Stop,
+}
+
+/// Saved position of an interrupted run: the superstep counter and the
+/// routed inboxes captured at a barrier, to be re-injected on resume.
+#[derive(Clone, Debug)]
+pub struct ResumeState<M> {
+    /// The superstep the checkpoint was taken at; the resumed run
+    /// continues with superstep `superstep + 1`.
+    pub superstep: usize,
+    /// One inbox per worker, exactly as routed at the checkpoint barrier.
+    pub inboxes: Vec<Vec<M>>,
 }
 
 /// As [`run_timed`]/[`run_simulated`] (`sequential` selects which), but
@@ -153,6 +193,43 @@ where
     W::Msg: Clone,
     S: Supervisor<W>,
 {
+    run_supervised_resumable(workers, supervisor, sequential, None, &mut |_| {
+        BarrierControl::Continue
+    })
+}
+
+/// As [`run_supervised`], with two durability extensions:
+///
+/// - `resume` seeds the superstep counter and per-worker inboxes from a
+///   checkpoint taken at a barrier, so the run re-enters BSP exactly where
+///   it left off (workers must have been restored to their checkpointed
+///   state by the caller);
+/// - `barrier_hook` runs at every superstep barrier — a quiescent point
+///   where no worker thread is live and all messages are routed — and may
+///   observe the whole fleet (e.g. to write a checkpoint) or halt the run
+///   with [`BarrierControl::Stop`].
+///
+/// The hook is also called at the fixpoint barrier (with
+/// [`BarrierInfo::fixpoint`] set) before the run returns. On a resumed
+/// run, [`RunStats::per_superstep`] covers only the supersteps executed
+/// *after* the resume point, while [`RunStats::supersteps`] stays
+/// absolute.
+///
+/// # Panics
+/// As [`run_supervised`]; additionally if `resume` carries a wrong number
+/// of inboxes.
+pub fn run_supervised_resumable<W, S>(
+    workers: &mut [W],
+    supervisor: &mut S,
+    sequential: bool,
+    resume: Option<ResumeState<W::Msg>>,
+    barrier_hook: &mut dyn FnMut(BarrierInfo<'_, W>) -> BarrierControl,
+) -> SupervisedStats
+where
+    W: Worker,
+    W::Msg: Clone,
+    S: Supervisor<W>,
+{
     use std::panic::{catch_unwind, AssertUnwindSafe};
 
     let n = workers.len();
@@ -160,6 +237,17 @@ where
     let mut alive = vec![true; n];
     let mut inboxes: Vec<Vec<W::Msg>> = (0..n).map(|_| Vec::new()).collect();
     let mut stats = SupervisedStats::default();
+    if let Some(resume) = resume {
+        assert_eq!(
+            resume.inboxes.len(),
+            n,
+            "resume state carries {} inboxes for {} workers",
+            resume.inboxes.len(),
+            n
+        );
+        stats.run.supersteps = resume.superstep;
+        inboxes = resume.inboxes;
+    }
     loop {
         stats.run.supersteps += 1;
         let superstep = stats.run.supersteps;
@@ -263,7 +351,18 @@ where
         // local work on the adopters (re-verification of purged verdicts,
         // orphaned roots); the fixpoint check must not fire before that
         // work has had a superstep to run in.
-        if !any && !recovered {
+        let fixpoint = !any && !recovered;
+        let control = barrier_hook(BarrierInfo {
+            superstep: stats.run.supersteps,
+            workers,
+            inboxes: &inboxes,
+            fixpoint,
+        });
+        if fixpoint {
+            return stats;
+        }
+        if control == BarrierControl::Stop {
+            stats.stopped_early = true;
             return stats;
         }
     }
@@ -582,6 +681,117 @@ mod tests {
         for (p, s) in plain.iter().zip(&supervised) {
             assert_eq!(p.seen, s.seen);
         }
+    }
+
+    struct NoOpRing;
+    impl Supervisor<Ring> for NoOpRing {
+        fn on_death(
+            &mut self,
+            _w: &mut [Ring],
+            _d: Death<u32>,
+            _a: &[usize],
+        ) -> Vec<(usize, u32)> {
+            unreachable!("no worker dies in this test")
+        }
+        fn reroute(&mut self, _w: &mut [Ring], _m: u32) -> Option<(usize, u32)> {
+            unreachable!()
+        }
+    }
+
+    /// Stopping at *every* barrier k and resuming from the captured
+    /// inboxes reproduces the uninterrupted run exactly — the BSP-level
+    /// half of the crash-recovery acceptance property.
+    #[test]
+    fn stop_at_any_barrier_then_resume_equals_uninterrupted() {
+        let n = 4;
+        let mk = || {
+            (0..n)
+                .map(|id| Ring {
+                    id,
+                    n,
+                    limit: 9,
+                    seen: Vec::new(),
+                    started: false,
+                })
+                .collect::<Vec<Ring>>()
+        };
+        let mut clean = mk();
+        let clean_steps = run(&mut clean);
+        let clean_seen: Vec<Vec<u32>> = clean.iter().map(|w| w.seen.clone()).collect();
+
+        for k in 1..clean_steps {
+            // Phase 1: run to barrier k, capture the routed inboxes, stop.
+            let mut workers = mk();
+            let mut captured: Option<ResumeState<u32>> = None;
+            let stats = run_supervised_resumable(
+                &mut workers,
+                &mut NoOpRing,
+                true,
+                None,
+                &mut |b: BarrierInfo<'_, Ring>| {
+                    if b.superstep == k {
+                        captured = Some(ResumeState {
+                            superstep: b.superstep,
+                            inboxes: b.inboxes.to_vec(),
+                        });
+                        BarrierControl::Stop
+                    } else {
+                        BarrierControl::Continue
+                    }
+                },
+            );
+            assert!(stats.stopped_early, "k={k}");
+            assert_eq!(stats.run.supersteps, k);
+
+            // Phase 2: resume the same (state-retaining) workers.
+            let resume = captured.expect("barrier k reached");
+            let stats = run_supervised_resumable(
+                &mut workers,
+                &mut NoOpRing,
+                true,
+                Some(resume),
+                &mut |_| BarrierControl::Continue,
+            );
+            assert!(!stats.stopped_early);
+            assert_eq!(stats.run.supersteps, clean_steps, "k={k}");
+            for (w, expect) in workers.iter().zip(&clean_seen) {
+                assert_eq!(&w.seen, expect, "k={k}: resumed run diverged");
+            }
+        }
+    }
+
+    /// The hook sees the fixpoint barrier, and `Stop` there does not mark
+    /// the run as stopped early (termination wins).
+    #[test]
+    fn fixpoint_barrier_is_reported_to_the_hook() {
+        let mut ws = vec![Silent, Silent];
+        struct NoOpSilent;
+        impl Supervisor<Silent> for NoOpSilent {
+            fn on_death(
+                &mut self,
+                _w: &mut [Silent],
+                _d: Death<()>,
+                _a: &[usize],
+            ) -> Vec<(usize, ())> {
+                unreachable!()
+            }
+            fn reroute(&mut self, _w: &mut [Silent], _m: ()) -> Option<(usize, ())> {
+                unreachable!()
+            }
+        }
+        let mut saw_fixpoint = false;
+        let stats = run_supervised_resumable(
+            &mut ws,
+            &mut NoOpSilent,
+            true,
+            None,
+            &mut |b: BarrierInfo<'_, Silent>| {
+                saw_fixpoint = b.fixpoint;
+                BarrierControl::Stop
+            },
+        );
+        assert!(saw_fixpoint);
+        assert!(!stats.stopped_early, "fixpoint termination wins over Stop");
     }
 
     #[test]

@@ -62,7 +62,10 @@ pub mod partition;
 
 pub use async_match::{pallmatch_async, AsyncStats};
 pub use fault::{FaultPlan, MessageFate};
-pub use pallmatch::{pallmatch, pvpair, ParallelConfig, ParallelStats};
+pub use pallmatch::{
+    pallmatch, pallmatch_durable, pvpair, DurabilityConfig, DurableRun, ParallelConfig,
+    ParallelStats,
+};
 pub use partition::{
     cut_edges, partition_greedy, partition_round_robin, Partition, SharedPartition,
 };

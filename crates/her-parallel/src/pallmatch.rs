@@ -21,12 +21,15 @@
 
 use crate::bsp;
 use crate::fault::{FaultPlan, MessageFate};
-use crate::partition::{partition_greedy, partition_round_robin, SharedPartition};
+use crate::partition::{partition_greedy, partition_round_robin, Partition, SharedPartition};
+use her_core::checkpoint::MatcherCheckpoint;
 use her_core::index::InvertedIndex;
 use her_core::paramatch::{Matcher, MatcherOptions, PairKey};
 use her_core::params::Params;
 use her_graph::hash::{FxHashMap, FxHashSet};
 use her_graph::{Graph, Interner, VertexId};
+use her_store::{CodecError, Dec, Enc, Snapshot, SnapshotStore, StoreError};
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 /// How `G` is assigned to workers.
@@ -103,6 +106,55 @@ pub struct ParallelStats {
     /// multi-core host the real wall-clock approaches this; on a
     /// single-core host it is the honest estimate of cluster runtime.
     pub simulated_secs: f64,
+    /// Snapshots written by the durability layer (0 on plain runs).
+    pub checkpoints: u64,
+    /// Total encoded checkpoint payload bytes written.
+    pub checkpoint_bytes: u64,
+    /// Seconds spent encoding and persisting checkpoints.
+    pub checkpoint_secs: f64,
+}
+
+/// Durable-run configuration: where checkpoints live and when the BSP
+/// loop writes them. See [`pallmatch_durable`].
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Checkpoint directory, created on demand.
+    pub dir: PathBuf,
+    /// Write a snapshot every this many supersteps (clamped to ≥ 1).
+    pub every_supersteps: usize,
+    /// Resume from the newest valid snapshot in `dir` if one exists;
+    /// otherwise start fresh.
+    pub resume: bool,
+    /// Stop the run (after forcing a checkpoint) once this many
+    /// supersteps have executed — the deterministic "crash" behind
+    /// recovery drills and the CLI's `--stop-after-supersteps`.
+    pub stop_after_supersteps: Option<usize>,
+}
+
+impl DurabilityConfig {
+    /// Checkpoints into `dir` every superstep; no resume, no early stop.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            every_supersteps: 1,
+            resume: false,
+            stop_after_supersteps: None,
+        }
+    }
+}
+
+/// Outcome of a durable run ([`pallmatch_durable`]).
+#[derive(Clone, Debug)]
+pub struct DurableRun {
+    /// Sorted match set — complete iff `completed`.
+    pub matches: Vec<PairKey>,
+    /// Run counters (including `checkpoint*` fields).
+    pub stats: ParallelStats,
+    /// `true` when the fixpoint was reached; `false` when the run
+    /// stopped early at `stop_after_supersteps` (resume to finish).
+    pub completed: bool,
+    /// Generation of the snapshot this run resumed from, if any.
+    pub resumed_from: Option<u64>,
 }
 
 #[derive(Clone, Debug)]
@@ -410,6 +462,273 @@ impl<'a> bsp::Supervisor<PWorker<'a>> for Recovery {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint codec: the BSP barrier state as her-store snapshot sections.
+//
+// A snapshot holds one "meta" section (format version, worker count, the
+// absolute superstep counter and the full vertex→owner table), one
+// "worker{i}" section per worker (matcher checkpoint plus the protocol
+// bookkeeping) and one "inbox{i}" section per worker (messages already
+// routed but not yet consumed). Together with the deterministic protocol
+// this makes a resumed run bit-identical to an uninterrupted one.
+// Collections are sorted before encoding so identical states produce
+// identical bytes.
+// ---------------------------------------------------------------------------
+
+/// Snapshot layout version for the parallel engine.
+const CKPT_VERSION: u32 = 1;
+
+fn put_pair(e: &mut Enc, (u, v): PairKey) {
+    e.put_u32(u.0).put_u32(v.0);
+}
+
+fn get_pair(d: &mut Dec<'_>) -> Result<PairKey, CodecError> {
+    Ok((VertexId(d.u32()?), VertexId(d.u32()?)))
+}
+
+fn put_pairs(e: &mut Enc, pairs: &[PairKey]) {
+    e.put_u32(pairs.len() as u32);
+    for &p in pairs {
+        put_pair(e, p);
+    }
+}
+
+fn get_pairs(d: &mut Dec<'_>) -> Result<Vec<PairKey>, CodecError> {
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(get_pair(d)?);
+    }
+    Ok(out)
+}
+
+fn encode_msg(e: &mut Enc, msg: &Msg) {
+    match msg {
+        Msg::Request { pair, from } => {
+            e.put_u8(0);
+            put_pair(e, *pair);
+            e.put_u32(*from as u32);
+        }
+        Msg::Invalid { pair } => {
+            e.put_u8(1);
+            put_pair(e, *pair);
+        }
+    }
+}
+
+fn decode_msg(d: &mut Dec<'_>) -> Result<Msg, CodecError> {
+    match d.u8()? {
+        0 => {
+            let pair = get_pair(d)?;
+            let from = d.u32()? as usize;
+            Ok(Msg::Request { pair, from })
+        }
+        1 => Ok(Msg::Invalid { pair: get_pair(d)? }),
+        t => Err(CodecError {
+            offset: 0,
+            message: format!("unknown message tag {t:#04x}"),
+        }),
+    }
+}
+
+fn encode_inbox(msgs: &[Msg]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.put_u32(msgs.len() as u32);
+    for m in msgs {
+        encode_msg(&mut e, m);
+    }
+    e.into_bytes()
+}
+
+fn decode_inbox(bytes: &[u8]) -> Result<Vec<Msg>, CodecError> {
+    let mut d = Dec::new(bytes);
+    let n = d.u32()? as usize;
+    let mut out = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        out.push(decode_msg(&mut d)?);
+    }
+    d.finish()?;
+    Ok(out)
+}
+
+fn encode_meta(n: usize, superstep: usize, owners: &[u32]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.put_u32(CKPT_VERSION)
+        .put_u32(n as u32)
+        .put_u64(superstep as u64)
+        .put_u32(owners.len() as u32);
+    for &o in owners {
+        e.put_u32(o);
+    }
+    e.into_bytes()
+}
+
+fn decode_meta(bytes: &[u8]) -> Result<(u32, usize, usize, Vec<u32>), CodecError> {
+    let mut d = Dec::new(bytes);
+    let version = d.u32()?;
+    let n = d.u32()? as usize;
+    let superstep = d.u64()? as usize;
+    let count = d.u32()? as usize;
+    let mut owners = Vec::with_capacity(count.min(1 << 24));
+    for _ in 0..count {
+        owners.push(d.u32()?);
+    }
+    d.finish()?;
+    Ok((version, n, superstep, owners))
+}
+
+/// The durable slice of a [`PWorker`], decoded from a snapshot section.
+struct WorkerState {
+    ck: MatcherCheckpoint,
+    roots: Vec<PairKey>,
+    pending: Vec<PairKey>,
+    reverify: bool,
+    superstep_no: usize,
+    started: bool,
+    requested: FxHashSet<PairKey>,
+    served: FxHashMap<PairKey, Vec<usize>>,
+    notified: FxHashSet<(PairKey, usize)>,
+    delayed: Vec<(usize, Msg)>,
+    requests_sent: u64,
+    invalidations_sent: u64,
+}
+
+fn decode_worker_state(bytes: &[u8]) -> Result<WorkerState, CodecError> {
+    let mut d = Dec::new(bytes);
+    let ck = MatcherCheckpoint::decode(d.bytes()?)?;
+    let roots = get_pairs(&mut d)?;
+    let pending = get_pairs(&mut d)?;
+    let reverify = d.bool()?;
+    let superstep_no = d.u64()? as usize;
+    let started = d.bool()?;
+    let requested: FxHashSet<PairKey> = get_pairs(&mut d)?.into_iter().collect();
+    let n_served = d.u32()? as usize;
+    let mut served = FxHashMap::default();
+    for _ in 0..n_served {
+        let pair = get_pair(&mut d)?;
+        let n_r = d.u32()? as usize;
+        let mut rs = Vec::with_capacity(n_r.min(1 << 16));
+        for _ in 0..n_r {
+            rs.push(d.u32()? as usize);
+        }
+        served.insert(pair, rs);
+    }
+    let n_notified = d.u32()? as usize;
+    let mut notified = FxHashSet::default();
+    for _ in 0..n_notified {
+        let pair = get_pair(&mut d)?;
+        notified.insert((pair, d.u32()? as usize));
+    }
+    let n_delayed = d.u32()? as usize;
+    let mut delayed = Vec::with_capacity(n_delayed.min(1 << 16));
+    for _ in 0..n_delayed {
+        let dest = d.u32()? as usize;
+        delayed.push((dest, decode_msg(&mut d)?));
+    }
+    let requests_sent = d.u64()?;
+    let invalidations_sent = d.u64()?;
+    d.finish()?;
+    Ok(WorkerState {
+        ck,
+        roots,
+        pending,
+        reverify,
+        superstep_no,
+        started,
+        requested,
+        served,
+        notified,
+        delayed,
+        requests_sent,
+        invalidations_sent,
+    })
+}
+
+impl<'a> PWorker<'a> {
+    /// Encodes the durable worker state. Hash collections are sorted so
+    /// identical states always produce identical bytes.
+    fn encode_state(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_bytes(&self.matcher.checkpoint().encode());
+        put_pairs(&mut e, &self.roots);
+        put_pairs(&mut e, &self.pending);
+        e.put_bool(self.reverify);
+        e.put_u64(self.superstep_no as u64);
+        e.put_bool(self.started);
+        let mut requested: Vec<PairKey> = self.requested.iter().copied().collect();
+        requested.sort_unstable();
+        put_pairs(&mut e, &requested);
+        let mut served: Vec<(PairKey, &Vec<usize>)> =
+            self.served.iter().map(|(k, v)| (*k, v)).collect();
+        served.sort_unstable_by_key(|&(k, _)| k);
+        e.put_u32(served.len() as u32);
+        for (pair, reqs) in served {
+            put_pair(&mut e, pair);
+            e.put_u32(reqs.len() as u32);
+            for &r in reqs {
+                e.put_u32(r as u32);
+            }
+        }
+        let mut notified: Vec<(PairKey, usize)> = self.notified.iter().copied().collect();
+        notified.sort_unstable();
+        e.put_u32(notified.len() as u32);
+        for (pair, r) in notified {
+            put_pair(&mut e, pair);
+            e.put_u32(r as u32);
+        }
+        e.put_u32(self.delayed.len() as u32);
+        for (dest, msg) in &self.delayed {
+            e.put_u32(*dest as u32);
+            encode_msg(&mut e, msg);
+        }
+        e.put_u64(self.requests_sent).put_u64(self.invalidations_sent);
+        e.into_bytes()
+    }
+}
+
+/// Maps a decode failure inside snapshot `generation` into a
+/// [`StoreError::Corrupt`] anchored at the checkpoint directory.
+fn corrupt(dir: &Path, generation: u64, msg: impl std::fmt::Display) -> StoreError {
+    StoreError::Corrupt {
+        path: dir.to_path_buf(),
+        offset: 0,
+        message: format!("snapshot generation {generation}: {msg}"),
+    }
+}
+
+fn section<'s>(snap: &'s Snapshot, dir: &Path, name: &str) -> Result<&'s [u8], StoreError> {
+    snap.section(name)
+        .ok_or_else(|| corrupt(dir, snap.generation, format!("missing section {name:?}")))
+}
+
+/// Persists one barrier's full engine state; returns the payload bytes.
+fn write_checkpoint(
+    store: &SnapshotStore,
+    part: &SharedPartition,
+    workers: &[PWorker<'_>],
+    inboxes: &[Vec<Msg>],
+    superstep: usize,
+) -> Result<u64, StoreError> {
+    let fixed = part.snapshot();
+    let meta = encode_meta(workers.len(), superstep, fixed.owners());
+    let worker_bytes: Vec<Vec<u8>> = workers.iter().map(|w| w.encode_state()).collect();
+    let inbox_bytes: Vec<Vec<u8>> = inboxes.iter().map(|b| encode_inbox(b)).collect();
+    let worker_names: Vec<String> = (0..workers.len()).map(|i| format!("worker{i}")).collect();
+    let inbox_names: Vec<String> = (0..inboxes.len()).map(|i| format!("inbox{i}")).collect();
+    let mut sections: Vec<(&str, &[u8])> = vec![("meta", meta.as_slice())];
+    for (name, bytes) in worker_names.iter().zip(&worker_bytes) {
+        sections.push((name.as_str(), bytes.as_slice()));
+    }
+    for (name, bytes) in inbox_names.iter().zip(&inbox_bytes) {
+        sections.push((name.as_str(), bytes.as_slice()));
+    }
+    store.write(&sections)?;
+    let payload = meta.len()
+        + worker_bytes.iter().map(Vec::len).sum::<usize>()
+        + inbox_bytes.iter().map(Vec::len).sum::<usize>();
+    Ok(payload as u64)
+}
+
 /// Shared top-k selection table: vertex → `h_r` output.
 pub(crate) type SelectionMap =
     FxHashMap<VertexId, std::sync::Arc<Vec<(VertexId, her_graph::Path)>>>;
@@ -464,19 +783,68 @@ pub fn pallmatch(
     tuple_vertices: &[VertexId],
     cfg: &ParallelConfig,
 ) -> (Vec<PairKey>, ParallelStats) {
+    match engine(gd, g, interner, params, tuple_vertices, cfg, None) {
+        Ok(run) => (run.matches, run.stats),
+        // Without a durability layer the engine performs no store I/O.
+        Err(e) => unreachable!("store error on a non-durable run: {e}"),
+    }
+}
+
+/// [`pallmatch`] with crash-consistent checkpoints: the engine snapshots
+/// the full barrier state (partition table, per-worker matcher +
+/// protocol bookkeeping, undelivered inboxes) into `durability.dir`
+/// every `every_supersteps` barriers, and with `durability.resume` it
+/// re-enters the BSP loop exactly where the newest valid snapshot left
+/// off. Checkpoint bytes are validated per frame; a corrupt newest
+/// snapshot falls back to the previous generation. Determinism of the
+/// protocol makes a resumed run equal to an uninterrupted one.
+pub fn pallmatch_durable(
+    gd: &Graph,
+    g: &Graph,
+    interner: &Interner,
+    params: &Params,
+    tuple_vertices: &[VertexId],
+    cfg: &ParallelConfig,
+    durability: &DurabilityConfig,
+) -> Result<DurableRun, StoreError> {
+    engine(gd, g, interner, params, tuple_vertices, cfg, Some(durability))
+}
+
+fn engine(
+    gd: &Graph,
+    g: &Graph,
+    interner: &Interner,
+    params: &Params,
+    tuple_vertices: &[VertexId],
+    cfg: &ParallelConfig,
+    durability: Option<&DurabilityConfig>,
+) -> Result<DurableRun, StoreError> {
     let n = cfg.workers.max(1);
-    let fixed = match cfg.partition {
-        PartitionStrategy::RoundRobin => partition_round_robin(g, n),
-        PartitionStrategy::Greedy => partition_greedy(g, n),
+
+    // Durable runs open the snapshot store up front so an unusable
+    // checkpoint directory fails before any compute is spent.
+    let store = match durability {
+        Some(d) => {
+            let s = SnapshotStore::open(&d.dir)?;
+            Some(match &cfg.obs {
+                Some(o) => s.with_obs(o.clone()),
+                None => s,
+            })
+        }
+        None => None,
     };
-    let borders = fixed.all_borders(g);
-    let part = SharedPartition::new(fixed.clone());
+    let snap = match (durability, &store) {
+        (Some(d), Some(s)) if d.resume => s.load_latest()?,
+        _ => None,
+    };
+    let resumed_from = snap.as_ref().map(|s| s.generation);
 
     // Global h_r preprocessing (§IV "Complexity"): top-k selections for
     // every vertex, computed once in parallel and shared read-only by all
     // workers. This keeps descendant rankings identical across fragment
     // boundaries, which Theorem 3's equivalence with the sequential
-    // algorithm implicitly assumes.
+    // algorithm implicitly assumes. Selections are derived state, so a
+    // resumed run recomputes rather than checkpoints them.
     let t0 = std::time::Instant::now();
     let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.selection"));
     let sel_g = precompute_selections(g, params, n);
@@ -484,77 +852,216 @@ pub fn pallmatch(
     drop(span);
     let selection_secs = t0.elapsed().as_secs_f64();
 
-    // Candidate generation per worker: (u_t, v) with owned v and h_v ≥ σ.
-    // The blocking index is built over the full G labels (it only looks at
-    // labels, which fragments share).
-    let t0 = std::time::Instant::now();
-    let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.candidates"));
-    let index = cfg.use_blocking.then(|| InvertedIndex::build(g, interner));
-    let sigma = params.thresholds.sigma;
-    let mut roots_per_worker: Vec<Vec<PairKey>> = vec![Vec::new(); n];
-    {
-        // One throwaway matcher for h_v evaluation over the full graph.
-        let mut probe = Matcher::new(gd, g, interner, params);
-        for &u in tuple_vertices {
-            let pool: Vec<VertexId> = match &index {
-                Some(idx) => {
-                    idx.candidates(&her_core::index::blocking_query(gd, interner, u))
-                }
-                None => g.vertices().collect(),
-            };
-            for v in pool {
-                if probe.hv_pair(u, v) >= sigma {
-                    roots_per_worker[fixed.owner(v)].push((u, v));
+    let new_matcher = || {
+        Matcher::with_options(
+            gd,
+            g,
+            interner,
+            params,
+            MatcherOptions {
+                obs: cfg.obs.clone(),
+                ..Default::default()
+            },
+        )
+        .with_selections(sel_d.clone(), sel_g.clone())
+    };
+
+    let mut candidates_secs = 0.0;
+    let (part, mut workers, resume_state) = if let (Some(snap), Some(store)) = (&snap, &store) {
+        // Resume: rebuild the barrier state captured in the snapshot.
+        // The matcher checkpoint carries each worker's border set, and
+        // candidate roots were captured verbatim, so neither borders nor
+        // candidate generation are recomputed.
+        let dir = store.dir();
+        let (version, meta_n, superstep, owners) =
+            decode_meta(section(snap, dir, "meta")?)
+                .map_err(|e| corrupt(dir, snap.generation, format!("meta: {e}")))?;
+        if version != CKPT_VERSION {
+            return Err(StoreError::Version {
+                path: dir.to_path_buf(),
+                message: format!(
+                    "parallel checkpoint v{version} (this build reads v{CKPT_VERSION})"
+                ),
+            });
+        }
+        if meta_n != n {
+            return Err(StoreError::Version {
+                path: dir.to_path_buf(),
+                message: format!(
+                    "checkpoint was taken with {meta_n} workers; this run is configured with {n}"
+                ),
+            });
+        }
+        if owners.len() != g.vertex_count() {
+            return Err(corrupt(
+                dir,
+                snap.generation,
+                format!(
+                    "partition covers {} vertices but G has {}",
+                    owners.len(),
+                    g.vertex_count()
+                ),
+            ));
+        }
+        let fixed = Partition::from_owners(owners, n)
+            .ok_or_else(|| corrupt(dir, snap.generation, "partition owner out of range"))?;
+        let part = SharedPartition::new(fixed);
+        let mut workers: Vec<PWorker<'_>> = Vec::with_capacity(n);
+        let mut inboxes: Vec<Vec<Msg>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let st = decode_worker_state(section(snap, dir, &format!("worker{i}"))?)
+                .map_err(|e| corrupt(dir, snap.generation, format!("worker{i}: {e}")))?;
+            inboxes.push(
+                decode_inbox(section(snap, dir, &format!("inbox{i}"))?)
+                    .map_err(|e| corrupt(dir, snap.generation, format!("inbox{i}: {e}")))?,
+            );
+            let mut matcher = new_matcher();
+            matcher.restore(&st.ck);
+            workers.push(PWorker {
+                id: i,
+                matcher,
+                part: part.clone(),
+                fault: cfg.fault.clone(),
+                roots: st.roots,
+                pending: st.pending,
+                reverify: st.reverify,
+                superstep_no: st.superstep_no,
+                requested: st.requested,
+                served: st.served,
+                notified: st.notified,
+                started: st.started,
+                delayed: st.delayed,
+                requests_sent: st.requests_sent,
+                invalidations_sent: st.invalidations_sent,
+            });
+        }
+        if let Some(obs) = &cfg.obs {
+            obs.tracer.event(
+                "store.resume",
+                &format!("generation={} superstep={superstep}", snap.generation),
+            );
+        }
+        (part, workers, Some(bsp::ResumeState { superstep, inboxes }))
+    } else {
+        // Fresh run: partition G and generate candidate root pairs.
+        let fixed = match cfg.partition {
+            PartitionStrategy::RoundRobin => partition_round_robin(g, n),
+            PartitionStrategy::Greedy => partition_greedy(g, n),
+        };
+        let borders = fixed.all_borders(g);
+        let part = SharedPartition::new(fixed.clone());
+
+        // Candidate generation per worker: (u_t, v) with owned v and
+        // h_v ≥ σ. The blocking index is built over the full G labels (it
+        // only looks at labels, which fragments share).
+        let t0 = std::time::Instant::now();
+        let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.candidates"));
+        let index = cfg.use_blocking.then(|| InvertedIndex::build(g, interner));
+        let sigma = params.thresholds.sigma;
+        let mut roots_per_worker: Vec<Vec<PairKey>> = vec![Vec::new(); n];
+        {
+            // One throwaway matcher for h_v evaluation over the full graph.
+            let mut probe = Matcher::new(gd, g, interner, params);
+            for &u in tuple_vertices {
+                let pool: Vec<VertexId> = match &index {
+                    Some(idx) => {
+                        idx.candidates(&her_core::index::blocking_query(gd, interner, u))
+                    }
+                    None => g.vertices().collect(),
+                };
+                for v in pool {
+                    if probe.hv_pair(u, v) >= sigma {
+                        roots_per_worker[fixed.owner(v)].push((u, v));
+                    }
                 }
             }
         }
-    }
-    // Degree-ordered verification inside each worker (Fig. 8 line 4).
-    for roots in roots_per_worker.iter_mut() {
-        roots.sort_by_key(|&(u, v)| (gd.degree(u) + g.degree(v), u, v));
-    }
-    drop(span);
-    let candidates_secs = t0.elapsed().as_secs_f64();
+        // Degree-ordered verification inside each worker (Fig. 8 line 4).
+        for roots in roots_per_worker.iter_mut() {
+            roots.sort_by_key(|&(u, v)| (gd.degree(u) + g.degree(v), u, v));
+        }
+        drop(span);
+        candidates_secs = t0.elapsed().as_secs_f64();
 
-    let mut workers: Vec<PWorker<'_>> = (0..n)
-        .map(|i| PWorker {
-            id: i,
-            matcher: Matcher::with_options(
-                gd,
-                g,
-                interner,
-                params,
-                MatcherOptions {
-                    obs: cfg.obs.clone(),
-                    ..Default::default()
-                },
-            )
-            .with_border(borders[i].clone())
-            .with_selections(sel_d.clone(), sel_g.clone()),
-            part: part.clone(),
-            fault: cfg.fault.clone(),
-            roots: std::mem::take(&mut roots_per_worker[i]),
-            pending: Vec::new(),
-            reverify: false,
-            superstep_no: 0,
-            requested: FxHashSet::default(),
-            served: FxHashMap::default(),
-            notified: FxHashSet::default(),
-            started: false,
-            delayed: Vec::new(),
-            requests_sent: 0,
-            invalidations_sent: 0,
-        })
-        .collect();
+        let workers: Vec<PWorker<'_>> = (0..n)
+            .map(|i| PWorker {
+                id: i,
+                matcher: new_matcher().with_border(borders[i].clone()),
+                part: part.clone(),
+                fault: cfg.fault.clone(),
+                roots: std::mem::take(&mut roots_per_worker[i]),
+                pending: Vec::new(),
+                reverify: false,
+                superstep_no: 0,
+                requested: FxHashSet::default(),
+                served: FxHashMap::default(),
+                notified: FxHashSet::default(),
+                started: false,
+                delayed: Vec::new(),
+                requests_sent: 0,
+                invalidations_sent: 0,
+            })
+            .collect();
+        (part, workers, None)
+    };
 
     let t0 = std::time::Instant::now();
     let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.bsp"));
     let mut recovery = Recovery {
-        part,
+        part: part.clone(),
         obs: cfg.obs.clone(),
     };
-    let supervised = bsp::run_supervised(&mut workers, &mut recovery, cfg.simulate_cluster);
+    let mut ckpt_count = 0u64;
+    let mut ckpt_bytes = 0u64;
+    let mut ckpt_secs = 0.0f64;
+    let every = durability.map_or(1, |d| d.every_supersteps.max(1));
+    let stop_after = durability.and_then(|d| d.stop_after_supersteps);
+    let hook_store = store.as_ref();
+    let hook_part = part.clone();
+    let hook_obs = cfg.obs.clone();
+    let supervised = bsp::run_supervised_resumable(
+        &mut workers,
+        &mut recovery,
+        cfg.simulate_cluster,
+        resume_state,
+        &mut |b| {
+            let stop = stop_after.is_some_and(|k| b.superstep >= k);
+            if let Some(store) = hook_store {
+                // The fixpoint barrier needs no snapshot: the run is
+                // complete and its results are being returned.
+                if !b.fixpoint && (stop || b.superstep % every == 0) {
+                    let t = std::time::Instant::now();
+                    match write_checkpoint(store, &hook_part, b.workers, b.inboxes, b.superstep)
+                    {
+                        Ok(bytes) => {
+                            ckpt_count += 1;
+                            ckpt_bytes += bytes;
+                            ckpt_secs += t.elapsed().as_secs_f64();
+                        }
+                        Err(e) => {
+                            // A failed write degrades durability, not the
+                            // run: older snapshots remain valid fallbacks.
+                            her_obs::warn!(
+                                "checkpoint at superstep {} failed: {}",
+                                b.superstep,
+                                e
+                            );
+                            if let Some(o) = &hook_obs {
+                                o.registry.counter("store.checkpoint_failures").inc();
+                            }
+                        }
+                    }
+                }
+            }
+            if stop {
+                bsp::BarrierControl::Stop
+            } else {
+                bsp::BarrierControl::Continue
+            }
+        },
+    );
     let deaths = supervised.deaths;
+    let completed = !supervised.stopped_early;
     let run = supervised.run;
     drop(span);
     let bsp_secs = t0.elapsed().as_secs_f64();
@@ -565,6 +1072,9 @@ pub fn pallmatch(
         selection_secs,
         candidates_secs,
         bsp_secs,
+        checkpoints: ckpt_count,
+        checkpoint_bytes: ckpt_bytes,
+        checkpoint_secs: ckpt_secs,
         simulated_secs: (selection_secs + candidates_secs) / n as f64
             + run.critical_path_secs,
         ..Default::default()
@@ -602,7 +1112,12 @@ pub fn pallmatch(
         r.gauge("parallel.workers").set(n as f64);
         r.gauge("parallel.simulated_secs").set(stats.simulated_secs);
     }
-    (result, stats)
+    Ok(DurableRun {
+        matches: result,
+        stats,
+        completed,
+        resumed_from,
+    })
 }
 
 /// Parallel VPair: all matches of a single tuple vertex, same protocol.

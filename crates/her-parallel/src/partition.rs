@@ -16,6 +16,20 @@ pub struct Partition {
 }
 
 impl Partition {
+    /// Reconstructs a partition from a raw owner array (checkpoint
+    /// restore). `None` if any owner is out of range for `n` workers.
+    pub fn from_owners(owner: Vec<u32>, n: usize) -> Option<Partition> {
+        if n == 0 || owner.iter().any(|&o| o as usize >= n) {
+            return None;
+        }
+        Some(Partition { owner, n })
+    }
+
+    /// The raw owner array (vertex index → worker), for serialization.
+    pub fn owners(&self) -> &[u32] {
+        &self.owner
+    }
+
     /// Number of workers.
     pub fn workers(&self) -> usize {
         self.n

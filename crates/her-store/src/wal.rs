@@ -1,0 +1,373 @@
+//! Append-only write-ahead log with torn-tail recovery.
+//!
+//! A WAL file (`*.hlog`) is a sequence of [frames](crate::frame): a header
+//! frame (magic + format version) followed by one frame per logged record.
+//! The writer appends a frame per operation and flushes it before the
+//! operation is applied in memory, so a killed process can replay the log
+//! to exactly the state it had.
+//!
+//! ## Replay semantics
+//!
+//! - A file whose final frame stops early (a **torn tail** — the signature
+//!   of a crash mid-append) replays cleanly to the prefix before it; on
+//!   [`WalWriter::open`] the tail is physically truncated away before new
+//!   appends, so the log never accretes garbage.
+//! - A structurally complete frame with a failing checksum is
+//!   **corruption**, not a crash artifact — replay stops with
+//!   [`StoreError::Corrupt`] rather than guessing.
+//! - A file that does not start with the WAL magic is rejected outright
+//!   ([`StoreError::Version`]) — a foreign or garbage file must not be
+//!   silently "recovered" into an empty log.
+
+use crate::frame::{write_frame, FrameEvent, Frames, FRAME_HEADER_LEN};
+use crate::{Result, StoreError};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8] = b"HERWAL01";
+/// Length of the on-disk header: one frame holding the 8-byte magic.
+const HEADER_LEN: u64 = (FRAME_HEADER_LEN + 8) as u64;
+
+/// What replaying a WAL found.
+#[derive(Debug, Default)]
+pub struct WalReplay {
+    /// Records decoded and delivered to the callback.
+    pub records: u64,
+    /// If the file ended in a torn (partially written) frame, the offset
+    /// of the clean prefix it was truncated to.
+    pub truncated_at: Option<u64>,
+}
+
+/// Replays every record of the WAL at `path` into `apply`, in append
+/// order. Returns what was found; `Ok` with `records == 0` for an empty
+/// (header-only) log. Does not modify the file — use [`WalWriter::open`]
+/// to recover-and-append.
+pub fn replay(path: &Path, mut apply: impl FnMut(&[u8]) -> Result<()>) -> Result<WalReplay> {
+    let buf = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    let (replay, _clean) = scan(path, &buf, Some(&mut apply))?;
+    Ok(replay)
+}
+
+/// A record sink used during WAL scans.
+type Apply<'a> = &'a mut dyn FnMut(&[u8]) -> Result<()>;
+
+/// Walks the frames of `buf`, validating the header and optionally
+/// delivering record payloads. Returns the replay summary and the clean
+/// prefix length in bytes.
+fn scan(path: &Path, buf: &[u8], mut apply: Option<Apply<'_>>) -> Result<(WalReplay, u64)> {
+    let mut frames = Frames::new(buf);
+    match frames.next_frame() {
+        FrameEvent::Frame(m) if m == MAGIC => {}
+        FrameEvent::Frame(m) => {
+            return Err(StoreError::Version {
+                path: path.into(),
+                message: format!("WAL magic {:?} (expected {:?})", m, MAGIC),
+            })
+        }
+        FrameEvent::Eof | FrameEvent::TornTail { .. } => {
+            // Even the header never landed: a crash before the first
+            // sync, or an empty file. Either way there is nothing to
+            // replay and nothing worth keeping.
+            return Ok((
+                WalReplay {
+                    records: 0,
+                    truncated_at: if buf.is_empty() { None } else { Some(0) },
+                },
+                0,
+            ));
+        }
+        FrameEvent::Corrupt { offset, message } => {
+            return Err(StoreError::corrupt(path, offset, message))
+        }
+    }
+    let mut replay = WalReplay::default();
+    loop {
+        let clean = frames.offset();
+        match frames.next_frame() {
+            FrameEvent::Frame(payload) => {
+                if let Some(apply) = apply.as_deref_mut() {
+                    apply(payload)?;
+                }
+                replay.records += 1;
+            }
+            FrameEvent::Eof => return Ok((replay, clean)),
+            FrameEvent::TornTail { offset } => {
+                replay.truncated_at = Some(offset);
+                return Ok((replay, offset));
+            }
+            FrameEvent::Corrupt { offset, message } => {
+                return Err(StoreError::corrupt(path, offset, message))
+            }
+        }
+    }
+}
+
+/// An open WAL positioned for appending.
+pub struct WalWriter {
+    path: PathBuf,
+    file: fs::File,
+    obs: Option<her_obs::Obs>,
+}
+
+impl WalWriter {
+    /// Opens (or creates) the WAL at `path`, replaying existing records
+    /// into `apply` and truncating any torn tail so subsequent appends
+    /// extend a clean prefix. Returns the writer plus the replay summary.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        obs: Option<her_obs::Obs>,
+        mut apply: impl FnMut(&[u8]) -> Result<()>,
+    ) -> Result<(WalWriter, WalReplay)> {
+        let path = path.into();
+        let existing = match fs::read(&path) {
+            Ok(buf) => Some(buf),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(StoreError::io(&path, e)),
+        };
+
+        let (replay, clean_len, need_header) = match existing {
+            Some(buf) => {
+                let (replay, clean) = scan(&path, &buf, Some(&mut apply))?;
+                // clean == 0 means not even the header survived; rewrite it.
+                (replay, clean, buf.is_empty() || clean == 0)
+            }
+            None => (WalReplay::default(), 0, true),
+        };
+
+        if let Some(at) = replay.truncated_at {
+            her_obs::warn!(
+                "WAL {}: torn tail truncated at byte {at} ({} records kept)",
+                path.display(),
+                replay.records
+            );
+        }
+        if let Some(obs) = &obs {
+            obs.registry
+                .counter("store.wal_records_replayed")
+                .add(replay.records);
+            if replay.truncated_at.is_some() {
+                obs.registry.counter("store.wal_torn_tails_truncated").inc();
+            }
+        }
+
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| StoreError::io(&path, e))?;
+        if need_header {
+            file.set_len(0).map_err(|e| StoreError::io(&path, e))?;
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            write_frame(&mut header, MAGIC);
+            let mut w = WalWriter {
+                path,
+                file,
+                obs: obs.clone(),
+            };
+            w.raw_append(&header)?;
+            w.sync()?;
+            Ok((w, replay))
+        } else {
+            // Physically drop the torn tail so the append position is the
+            // end of the clean prefix.
+            file.set_len(clean_len).map_err(|e| StoreError::io(&path, e))?;
+            Ok((
+                WalWriter {
+                    path,
+                    file,
+                    obs: obs.clone(),
+                },
+                replay,
+            ))
+        }
+    }
+
+    fn raw_append(&mut self, bytes: &[u8]) -> Result<()> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| StoreError::io(&self.path, e))
+    }
+
+    /// Appends one record frame. The bytes reach the OS (flushed), but
+    /// call [`sync`](WalWriter::sync) to force them to stable storage.
+    pub fn append(&mut self, payload: &[u8]) -> Result<()> {
+        let mut framed = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        write_frame(&mut framed, payload);
+        self.raw_append(&framed)?;
+        self.file
+            .flush()
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        if let Some(obs) = &self.obs {
+            obs.registry.counter("store.wal_records_appended").inc();
+            obs.registry
+                .counter("store.wal_bytes")
+                .add(framed.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Forces all appended records to stable storage (`fsync`).
+    pub fn sync(&mut self) -> Result<()> {
+        self.file
+            .sync_data()
+            .map_err(|e| StoreError::io(&self.path, e))
+    }
+
+    /// The file this writer appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temppath(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("her-store-wal-{}", std::process::id()));
+        let _ = fs::create_dir_all(&dir);
+        let p = dir.join(format!("{tag}.hlog"));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    fn collect(path: &Path) -> (Vec<Vec<u8>>, WalReplay) {
+        let mut seen = Vec::new();
+        let replay = replay(path, |r| {
+            seen.push(r.to_vec());
+            Ok(())
+        })
+        .expect("replay");
+        (seen, replay)
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let path = temppath("roundtrip");
+        {
+            let (mut w, replay) = WalWriter::open(&path, None, |_| Ok(())).unwrap();
+            assert_eq!(replay.records, 0);
+            w.append(b"one").unwrap();
+            w.append(b"").unwrap();
+            w.append(b"three").unwrap();
+            w.sync().unwrap();
+        }
+        let (seen, replay) = collect(&path);
+        assert_eq!(seen, vec![b"one".to_vec(), b"".to_vec(), b"three".to_vec()]);
+        assert_eq!(replay.records, 3);
+        assert!(replay.truncated_at.is_none());
+        let _ = fs::remove_file(&path);
+    }
+
+    /// The acceptance property: a WAL truncated at EVERY byte offset
+    /// either replays cleanly to a prefix of the logged records or is
+    /// rejected with a clear error — never a panic, never a record that
+    /// was not logged.
+    #[test]
+    fn truncation_at_every_offset_replays_a_clean_prefix() {
+        let path = temppath("cuts");
+        let records: [&[u8]; 3] = [b"alpha record", b"b", b"charlie charlie"];
+        {
+            let (mut w, _) = WalWriter::open(&path, None, |_| Ok(())).unwrap();
+            for r in &records {
+                w.append(r).unwrap();
+            }
+            w.sync().unwrap();
+        }
+        let full = fs::read(&path).unwrap();
+        for cut in 0..=full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let (seen, _) = collect(&path);
+            assert!(seen.len() <= records.len(), "cut={cut}");
+            for (i, r) in seen.iter().enumerate() {
+                assert_eq!(r.as_slice(), records[i], "cut={cut} record {i}");
+            }
+        }
+        let _ = fs::remove_file(&path);
+    }
+
+    /// Re-opening after a torn write truncates the tail and appends
+    /// continue from the clean prefix.
+    #[test]
+    fn open_truncates_torn_tail_and_resumes_appending() {
+        let path = temppath("resume");
+        {
+            let (mut w, _) = WalWriter::open(&path, None, |_| Ok(())).unwrap();
+            w.append(b"kept").unwrap();
+            w.sync().unwrap();
+        }
+        // Simulate a crash mid-append: half a frame at the tail.
+        let mut bytes = fs::read(&path).unwrap();
+        let clean = bytes.len() as u64;
+        bytes.extend_from_slice(&[9, 0, 0, 0, 1, 2]);
+        fs::write(&path, &bytes).unwrap();
+
+        let mut replayed = Vec::new();
+        let (mut w, replay) = WalWriter::open(&path, None, |r| {
+            replayed.push(r.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(replayed, vec![b"kept".to_vec()]);
+        assert_eq!(replay.truncated_at, Some(clean));
+        w.append(b"after crash").unwrap();
+        w.sync().unwrap();
+        drop(w);
+
+        let (seen, replay) = collect(&path);
+        assert_eq!(seen, vec![b"kept".to_vec(), b"after crash".to_vec()]);
+        assert!(replay.truncated_at.is_none());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bit_flip_in_complete_frame_is_corruption() {
+        let path = temppath("corrupt");
+        {
+            let (mut w, _) = WalWriter::open(&path, None, |_| Ok(())).unwrap();
+            w.append(b"record body").unwrap();
+            w.sync().unwrap();
+        }
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = replay(&path, |_| Ok(())).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        assert!(!err.to_string().contains('\n'));
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_file_is_rejected_not_recovered() {
+        let path = temppath("foreign");
+        // A valid frame, but not our magic.
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"NOTAWAL!");
+        fs::write(&path, &buf).unwrap();
+        let err = replay(&path, |_| Ok(())).unwrap_err();
+        assert!(matches!(err, StoreError::Version { .. }), "{err}");
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn replay_counts_land_in_obs() {
+        if !her_obs::ENABLED {
+            return;
+        }
+        let path = temppath("obs");
+        {
+            let (mut w, _) = WalWriter::open(&path, None, |_| Ok(())).unwrap();
+            w.append(b"a").unwrap();
+            w.append(b"b").unwrap();
+            w.sync().unwrap();
+        }
+        let obs = her_obs::Obs::new();
+        let (_w, replay) = WalWriter::open(&path, Some(obs.clone()), |_| Ok(())).unwrap();
+        assert_eq!(replay.records, 2);
+        assert_eq!(obs.snapshot().counter("store.wal_records_replayed"), 2);
+        let _ = fs::remove_file(&path);
+    }
+}

@@ -5,6 +5,7 @@
 //! her-cli apair  --db orders.csv --graph catalogue.nt [options]
 //! her-cli vpair  --db orders.csv --graph catalogue.nt --tuple 0
 //! her-cli spair  --db orders.csv --graph catalogue.nt --tuple 0 --vertex 12
+//! her-cli stream --db orders.csv --graph catalogue.nt --wal session.hlog
 //! her-cli export-demo          # writes a demo orders.csv + catalogue.nt
 //!
 //! options:
@@ -14,6 +15,12 @@
 //!   --max-calls N        abort matching after N recursive calls
 //!   --deadline-ms MS     abort matching after MS milliseconds
 //!   --workers N          parallel apair/vpair over N BSP workers
+//!   --checkpoint-dir DIR durable apair: snapshot BSP state into DIR
+//!   --checkpoint-every-supersteps N    snapshot cadence (default 1)
+//!   --resume             re-enter the run from the newest valid snapshot
+//!   --stop-after-supersteps N    stop (checkpointed) after N supersteps
+//!   --wal FILE           stream: journal + replay the session's WAL
+//!   --stop-after-ops N   stream: exit (journaled) after N operations
 //!   --metrics-out FILE   write a metrics snapshot (JSON) at exit
 //!   --trace              echo span enter/exit events to stderr
 //!   -v / -vv             info / debug diagnostics (quiet by default)
@@ -59,7 +66,7 @@ fn main() {
 
     let outcome = match command.as_str() {
         "export-demo" => export_demo(),
-        "spair" | "vpair" | "apair" => run(command, &opts),
+        "spair" | "vpair" | "apair" | "stream" => run(command, &opts),
         _ => Err(HerError::Usage(format!("unknown command {command:?}"))),
     };
     if let Err(e) = outcome {
@@ -73,16 +80,19 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: her-cli <spair|vpair|apair|export-demo> --db FILE.csv --graph FILE.nt \\\n\
+        "usage: her-cli <spair|vpair|apair|stream|export-demo> --db FILE.csv --graph FILE.nt \\\n\
          \t[--annotations FILE.csv] [--tuple N] [--vertex N] \\\n\
          \t[--sigma S] [--delta D] [--k K] [--relation NAME] \\\n\
          \t[--max-calls N] [--deadline-ms MS] [--workers N] \\\n\
+         \t[--checkpoint-dir DIR] [--checkpoint-every-supersteps N] \\\n\
+         \t[--resume] [--stop-after-supersteps N] \\\n\
+         \t[--wal FILE] [--stop-after-ops N] \\\n\
          \t[--metrics-out FILE] [--trace] [-v | -vv]"
     );
 }
 
 /// Flags that never take a value (everything else pairs `--key value`).
-const BOOL_FLAGS: &[&str] = &["trace", "v", "vv"];
+const BOOL_FLAGS: &[&str] = &["trace", "v", "vv", "resume"];
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
     let mut out = HashMap::new();
@@ -259,6 +269,29 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
         ));
     }
 
+    // Durability: --checkpoint-dir snapshots the parallel apair run; its
+    // companion flags are meaningless without it.
+    let checkpoint_dir = opts.get("checkpoint-dir").cloned();
+    if checkpoint_dir.is_none() {
+        for f in ["resume", "checkpoint-every-supersteps", "stop-after-supersteps"] {
+            if opts.contains_key(f) {
+                return Err(HerError::Usage(format!("--{f} requires --checkpoint-dir")));
+            }
+        }
+    }
+    if checkpoint_dir.is_some() && (mode != "apair" || workers.is_none()) {
+        return Err(HerError::Usage(
+            "--checkpoint-dir applies to apair with --workers \
+             (the durability layer snapshots the BSP engine's barrier state)"
+                .to_owned(),
+        ));
+    }
+    if opts.contains_key("stop-after-ops") && mode != "stream" {
+        return Err(HerError::Usage(
+            "--stop-after-ops applies to stream (its WAL makes the stop resumable)".to_owned(),
+        ));
+    }
+
     // Optional supervised training from an annotations CSV: row,vertex,label.
     if let Some(path) = opts.get("annotations") {
         let text = read_file(path)?;
@@ -359,18 +392,71 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
                         tuple_vertices.iter().map(|&(t, u)| (u, t)).collect();
                     let us: Vec<VertexId> =
                         tuple_vertices.iter().map(|&(_, u)| u).collect();
-                    let (matches, pstats) = her::parallel::pallmatch(
-                        &system.cg.graph,
-                        &system.g,
-                        &system.cg.interner,
-                        &system.params,
-                        &us,
-                        &pcfg(n),
-                    );
+                    let (matches, pstats, completed) = match &checkpoint_dir {
+                        Some(dir) => {
+                            let durability = her::parallel::DurabilityConfig {
+                                dir: dir.into(),
+                                every_supersteps: match opts
+                                    .get("checkpoint-every-supersteps")
+                                {
+                                    Some(s) => numeric(s, "checkpoint-every-supersteps")?,
+                                    None => 1,
+                                },
+                                resume: opts.contains_key("resume"),
+                                stop_after_supersteps: match opts
+                                    .get("stop-after-supersteps")
+                                {
+                                    Some(s) => Some(numeric(s, "stop-after-supersteps")?),
+                                    None => None,
+                                },
+                            };
+                            let run = her::parallel::pallmatch_durable(
+                                &system.cg.graph,
+                                &system.g,
+                                &system.cg.interner,
+                                &system.params,
+                                &us,
+                                &pcfg(n),
+                                &durability,
+                            )?;
+                            if let Some(generation) = run.resumed_from {
+                                info!("resumed from snapshot generation {generation}");
+                            }
+                            info!(
+                                "{} checkpoints, {} bytes, {:.1} ms",
+                                run.stats.checkpoints,
+                                run.stats.checkpoint_bytes,
+                                run.stats.checkpoint_secs * 1e3
+                            );
+                            (run.matches, run.stats, run.completed)
+                        }
+                        None => {
+                            let (matches, pstats) = her::parallel::pallmatch(
+                                &system.cg.graph,
+                                &system.g,
+                                &system.cg.interner,
+                                &system.params,
+                                &us,
+                                &pcfg(n),
+                            );
+                            (matches, pstats, true)
+                        }
+                    };
                     info!(
                         "parallel apair: {} supersteps, {} requests, {} deaths",
                         pstats.supersteps, pstats.requests, pstats.deaths
                     );
+                    if !completed {
+                        // A stopped run holds optimistic border assumptions
+                        // that only the fixpoint confirms — print nothing
+                        // rather than possibly-wrong matches.
+                        eprintln!(
+                            "her-cli: stopped at superstep {} (checkpointed); \
+                             rerun with --resume to finish",
+                            pstats.supersteps
+                        );
+                        return Ok(());
+                    }
                     for (u, v) in matches {
                         if let Some(t) = of_vertex.get(&u) {
                             println!("{},{}", t.row, v);
@@ -384,6 +470,58 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
                 }
                 if let Some(reason) = exhausted {
                     return Err(HerError::Exhausted(reason));
+                }
+            }
+            "stream" => {
+                let wal_path = required(opts, "wal")?;
+                if workers.is_some() {
+                    return Err(HerError::Usage(
+                        "--workers does not apply to stream (sessions are sequential)"
+                            .to_owned(),
+                    ));
+                }
+                // Re-opening the WAL replays any previous session's clean
+                // prefix (a torn tail from a crash is truncated), then the
+                // remaining tuples are journaled and linked one by one.
+                let (mut linker, replay) = her::core::stream::DurableStreamLinker::open(
+                    &system,
+                    &wal_path,
+                    Some(obs.clone()),
+                )?;
+                if replay.records > 0 {
+                    info!("replayed {} journaled operations", replay.records);
+                }
+                if let Some(at) = replay.truncated_at {
+                    info!("truncated torn WAL tail at byte {at}");
+                }
+                // --stop-after-ops simulates a mid-session kill at a chosen
+                // point: every operation up to the stop is journaled, so a
+                // rerun with the same --wal resumes exactly there.
+                let stop_after: Option<usize> = match opts.get("stop-after-ops") {
+                    Some(s) => Some(numeric(s, "stop-after-ops")?),
+                    None => None,
+                };
+                let done = linker.processed().len();
+                for row in done..tuple_count {
+                    if stop_after.is_some_and(|n| linker.processed().len() >= n) {
+                        break;
+                    }
+                    linker.process(TupleRef::new(0, row as u32))?;
+                }
+                if linker.processed().len() < tuple_count {
+                    // A stopped session prints nothing: its matches are a
+                    // prefix of the run, and the WAL already holds
+                    // everything needed to finish.
+                    eprintln!(
+                        "her-cli: stopped after {} of {} operations (journaled); \
+                         rerun with the same --wal to finish",
+                        linker.processed().len(),
+                        tuple_count
+                    );
+                    return Ok(());
+                }
+                for (t, v) in linker.matches() {
+                    println!("{},{}", t.row, v);
                 }
             }
             _ => unreachable!(),

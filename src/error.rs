@@ -49,6 +49,9 @@ pub enum HerError {
     /// The matching engine ran out of budget ([`her_core::Budget`]) or was
     /// cancelled before producing a complete answer.
     Exhausted(her_core::ExhaustReason),
+    /// The durability layer failed: a checkpoint or WAL is unreadable,
+    /// corrupt, or from an incompatible format version.
+    Store(her_store::StoreError),
     /// The caller's request itself was invalid (bad flag, bad id).
     Usage(String),
 }
@@ -90,6 +93,7 @@ impl std::fmt::Display for HerError {
             HerError::Exhausted(reason) => {
                 write!(f, "matching stopped early: {reason} (partial results only; raise the budget or relax the deadline)")
             }
+            HerError::Store(source) => write!(f, "{source}"),
             HerError::Usage(msg) => write!(f, "{msg}"),
         }
     }
@@ -101,6 +105,7 @@ impl std::error::Error for HerError {
             HerError::Io { source, .. } => Some(source),
             HerError::Load { source, .. } => Some(source),
             HerError::Graph { source, .. } => Some(source),
+            HerError::Store(source) => Some(source),
             _ => None,
         }
     }
@@ -109,6 +114,12 @@ impl std::error::Error for HerError {
 impl From<her_core::ExhaustReason> for HerError {
     fn from(r: her_core::ExhaustReason) -> Self {
         HerError::Exhausted(r)
+    }
+}
+
+impl From<her_store::StoreError> for HerError {
+    fn from(e: her_store::StoreError) -> Self {
+        HerError::Store(e)
     }
 }
 

@@ -19,6 +19,7 @@
 //! | [`core`] | `her-core` | parametric simulation, SPair/VPair/APair, learning |
 //! | [`obs`] | `her-obs` | structured tracing, metrics and run telemetry |
 //! | [`parallel`] | `her-parallel` | BSP engine + parallel APair (PAllMatch) |
+//! | [`store`] | `her-store` | checksummed snapshots + WAL for durable runs |
 //! | [`baselines`] | `her-baselines` | the paper's nine comparison methods |
 //! | [`datagen`] | `her-datagen` | dataset emulators + synthetic scale generator |
 //!
@@ -47,6 +48,7 @@ pub use her_graph as graph;
 pub use her_obs as obs;
 pub use her_parallel as parallel;
 pub use her_rdb as rdb;
+pub use her_store as store;
 
 use her_core::learn::SearchSpace;
 use her_core::{Her, HerConfig};
