@@ -26,6 +26,13 @@
 //! suite; `bsp.*` superstep timings plus `fault.*`/recovery counters for
 //! the parallel suite. CI consumes these files in smoke mode and fails if
 //! the headline keys go missing (see `.github/workflows/ci.yml`).
+//!
+//! The parallel suite also demonstrates the shared score layer: the
+//! `clean` workload runs with the shared cache (its `scores.embed_calls`
+//! must not exceed the `scores.distinct_labels` gauge — each distinct
+//! label embeds once process-wide), while the `unshared` ablation gives
+//! every worker a private cache and re-embeds per worker (~workers× the
+//! distinct-label count). CI asserts both relations.
 
 use her_core::apair::apair;
 use her_core::paramatch::{Matcher, MatcherOptions};
@@ -170,28 +177,41 @@ pub fn paramatch_suite(smoke: bool) -> Report {
     }
 }
 
-/// Parallel suite: BSP `PAllMatch` per size (4 workers), one
-/// fault-injected run per size so the report always carries
-/// death/recovery and `fault.*` counters, and one durable run per size
+/// Parallel suite: BSP `PAllMatch` per size (4 workers) in four variants —
+/// `clean` (shared score cache), `unshared` (private per-worker caches,
+/// the ablation baseline), one fault-injected run so the report always
+/// carries death/recovery and `fault.*` counters, and one durable run
 /// checkpointing at every superstep so the report carries checkpoint
 /// overhead (`store.snapshot.bytes` / `store.snapshot.write_us`
 /// histograms — one observation per superstep — and the
-/// `store.snapshots_written` counter).
+/// `store.snapshots_written` counter). Every non-durable workload also
+/// records the `scores.distinct_labels` gauge so the report can relate
+/// `scores.embed_calls` to the label vocabulary size.
 pub fn parallel_suite(smoke: bool) -> Report {
     let mut workloads = Vec::new();
     for &m in sizes(smoke) {
-        for (variant, fault) in [
-            ("clean", FaultPlan::default()),
-            ("faulty", FaultPlan::seeded(7).kill_worker(2, 1)),
+        for (variant, fault, shared) in [
+            ("clean", FaultPlan::default(), true),
+            ("unshared", FaultPlan::default(), false),
+            ("faulty", FaultPlan::seeded(7).kill_worker(2, 1), true),
         ] {
             let (gd, g, interner, us) = dataset(m);
             let p = params();
             let obs = Obs::new();
+            let distinct: her_graph::hash::FxHashSet<_> = g
+                .vertices()
+                .map(|v| g.label(v))
+                .chain(gd.vertices().map(|v| gd.label(v)))
+                .collect();
+            obs.registry
+                .gauge("scores.distinct_labels")
+                .set(distinct.len() as f64);
             let cfg = ParallelConfig {
                 workers: 4,
                 use_blocking: false,
                 fault,
                 obs: Some(obs.clone()),
+                shared_scores: shared,
                 ..Default::default()
             };
             let t0 = Instant::now();
@@ -275,8 +295,19 @@ mod tests {
         assert!(seq.workloads[0].matches >= 16, "every entity self-matches");
 
         let par = parallel_suite(true);
-        assert_eq!(par.workloads.len(), 3, "clean + faulty + durable per size");
-        let faulty = &par.workloads[1];
+        assert_eq!(
+            par.workloads.len(),
+            4,
+            "clean + unshared + faulty + durable per size"
+        );
+        let find = |variant: &str| {
+            par.workloads
+                .iter()
+                .find(|w| w.name.starts_with(&format!("pallmatch/{variant}/")))
+                .unwrap_or_else(|| panic!("missing {variant} workload"))
+        };
+        let (clean, unshared, faulty, durable) =
+            (find("clean"), find("unshared"), find("faulty"), find("durable"));
         if her_obs::ENABLED {
             assert!(faulty.snapshot.counter("bsp.worker_deaths") >= 1);
             assert!(faulty.snapshot.counter("bsp.recoveries") >= 1);
@@ -284,9 +315,22 @@ mod tests {
                 faulty.snapshot.histogram("bsp.superstep.busy_us").is_some(),
                 "per-superstep timings recorded"
             );
+            // The headline claim of the shared score layer: embed calls
+            // drop from ~workers× the distinct-label count to at most 1×.
+            let shared_embeds = clean.snapshot.counter("scores.embed_calls");
+            let unshared_embeds = unshared.snapshot.counter("scores.embed_calls");
+            let distinct = clean.snapshot.gauge("scores.distinct_labels");
+            assert!(distinct > 0.0, "distinct-label gauge recorded");
+            assert!(
+                shared_embeds as f64 <= distinct,
+                "shared mode embedded {shared_embeds} labels, vocabulary has {distinct}"
+            );
+            assert!(
+                unshared_embeds > shared_embeds,
+                "private caches ({unshared_embeds}) should re-embed what the \
+                 shared layer ({shared_embeds}) computes once"
+            );
         }
-        let durable = &par.workloads[2];
-        assert!(durable.name.starts_with("pallmatch/durable/"));
         if her_obs::ENABLED {
             assert!(durable.snapshot.counter("store.snapshots_written") >= 1);
             assert!(
@@ -298,9 +342,10 @@ mod tests {
                 "per-checkpoint sizes recorded"
             );
         }
-        // Telemetry must not perturb results: all three variants agree.
-        assert_eq!(par.workloads[0].matches, faulty.matches);
-        assert_eq!(par.workloads[0].matches, durable.matches);
+        // Telemetry must not perturb results: all four variants agree.
+        assert_eq!(clean.matches, unshared.matches);
+        assert_eq!(clean.matches, faulty.matches);
+        assert_eq!(clean.matches, durable.matches);
     }
 
     #[test]

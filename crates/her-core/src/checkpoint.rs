@@ -4,8 +4,13 @@
 //! re-derived from the inputs: the verdict `cache` with its lineage sets,
 //! the border/assumption bookkeeping of the parallel engine, the sticky
 //! exhaustion flag and the stats counters. Derived memos (`ecache`
-//! selections, score caches) are deliberately *not* checkpointed — they
-//! re-fill on demand and only affect speed, never verdicts.
+//! selections, score caches — private or the process-wide
+//! [`SharedScores`](crate::SharedScores) layer) are deliberately *not*
+//! checkpointed — they re-fill on demand and only affect speed, never
+//! verdicts. A restored matcher adopts the shared layer's *current*
+//! invalidation generation, so a snapshot taken before a fine-tune
+//! round restores against the post-fine-tune models without ever
+//! serving stale scores.
 //!
 //! The byte format is the explicit little-endian [`her_store::codec`];
 //! entries are sorted so the same matcher state always serializes to the

@@ -16,6 +16,7 @@ use crate::paramatch::{ExhaustReason, Matcher, MatcherOptions};
 use crate::params::{Params, Thresholds};
 use crate::refine::{refine_round, RefineConfig, RefineOutcome};
 use crate::schema_match::{schema_matches, SchemaMatch};
+use crate::shared_scores::SharedScores;
 use crate::vpair;
 use her_embed::corpus::{corpus_to_strings, lm_training_paths, walk_corpus};
 use her_embed::{PathLm, PathSimModel, SentenceModel, TopKRanker};
@@ -49,6 +50,11 @@ pub struct HerConfig {
     /// Synonym lexicon injected into `M_v` (stands in for pre-trained
     /// semantic knowledge).
     pub synonyms: Vec<(String, String)>,
+    /// Share one [`SharedScores`] memo across every matcher the facade
+    /// creates, so repeated queries (SPair/VPair/APair) never re-embed
+    /// the same label. Pure memoization — results are unchanged; off is
+    /// only useful for ablation.
+    pub use_shared_scores: bool,
 }
 
 impl Default for HerConfig {
@@ -64,6 +70,7 @@ impl Default for HerConfig {
             train_epochs: 150,
             use_blocking: true,
             synonyms: Vec::new(),
+            use_shared_scores: true,
         }
     }
 }
@@ -83,6 +90,11 @@ pub struct Her {
     /// both fine-tunes the models and *verifies the matches*). Takes
     /// precedence over parametric simulation in `spair`/`evaluate`.
     pub verified: her_graph::hash::FxHashMap<(TupleRef, VertexId), bool>,
+    /// Process-wide score memo injected into every matcher this facade
+    /// creates (`None` when [`HerConfig::use_shared_scores`] is off).
+    /// [`Her::learn`] and [`Her::refine`] invalidate it after mutating
+    /// the models, bumping its generation so live matchers re-sync.
+    pub shared_scores: Option<SharedScores>,
 }
 
 impl Her {
@@ -133,6 +145,7 @@ impl Her {
             params,
             index,
             verified: Default::default(),
+            shared_scores: cfg.use_shared_scores.then(SharedScores::new),
         }
     }
 
@@ -163,6 +176,12 @@ impl Her {
         );
         if !pairs.is_empty() {
             self.params.mrho.train(&pairs, cfg.train_epochs, cfg.seed ^ 0x7777);
+            // Training mutated `M_ρ`: any score memoised before this point
+            // is stale. Bump the shared generation before the threshold
+            // search below (and any live matcher) reads scores again.
+            if let Some(s) = &self.shared_scores {
+                s.invalidate();
+            }
         }
         let val: Vec<Annotation> = validation
             .iter()
@@ -181,12 +200,18 @@ impl Her {
     }
 
     /// A fresh stateful matcher (reuse across queries for cache benefits).
+    /// Scores read through the facade's [`SharedScores`] when enabled, so
+    /// even throwaway matchers never re-embed known labels.
     pub fn matcher(&self) -> Matcher<'_> {
-        Matcher::new(&self.cg.graph, &self.g, &self.cg.interner, &self.params)
+        self.matcher_with(MatcherOptions::default())
     }
 
-    /// A matcher with ablation toggles.
-    pub fn matcher_with(&self, options: MatcherOptions) -> Matcher<'_> {
+    /// A matcher with ablation toggles. The facade's [`SharedScores`]
+    /// handle is injected unless the options already carry one.
+    pub fn matcher_with(&self, mut options: MatcherOptions) -> Matcher<'_> {
+        if options.shared_scores.is_none() {
+            options.shared_scores = self.shared_scores.clone();
+        }
         Matcher::with_options(
             &self.cg.graph,
             &self.g,
@@ -311,6 +336,12 @@ impl Her {
             &pairs,
             cfg,
         );
+        // Fine-tuning mutated `M_v`/`M_ρ`: drop the shared memos and bump
+        // the generation so every matcher re-scores with the refined
+        // models (refine's contract: callers must invalidate matchers).
+        if let Some(s) = &self.shared_scores {
+            s.invalidate();
+        }
         for (&(t, v, _), &(_, _, annotated)) in shown.iter().zip(&outcome.annotations) {
             self.verified.insert((t, v), annotated);
         }
@@ -446,6 +477,33 @@ mod tests {
         let val = vec![(ts[1], vs[1], true), (ts[1], vs[0], false)];
         let f = her.learn(&train, &val, &cfg(), &SearchSpace::default());
         assert!(f >= 0.99, "validation F after learn was {f}");
+    }
+
+    /// The facade shares one score memo across all the matchers it
+    /// creates: a repeated query embeds nothing new, results unchanged,
+    /// and refinement bumps the shared generation.
+    #[test]
+    fn facade_shares_scores_across_queries_and_refines_safely() {
+        let (db, g, i, ts, vs) = fixture();
+        let mut her = Her::build(&db, g.clone(), i.clone(), &cfg());
+        let shared = her.shared_scores.clone().expect("shared scores on by default");
+        let first = her.apair();
+        let embeds = shared.embed_calls();
+        assert!(embeds > 0);
+        // Re-running any mode reuses the shared tables wholesale.
+        assert_eq!(her.apair(), first);
+        assert!(her.spair(ts[0], vs[0]));
+        assert_eq!(shared.embed_calls(), embeds, "no re-embedding across queries");
+        // Ablation: shared scoring must not change any result.
+        let mut c = cfg();
+        c.use_shared_scores = false;
+        let her_private = Her::build(&db, g, i, &c);
+        assert!(her_private.shared_scores.is_none());
+        assert_eq!(her_private.apair(), first);
+        // Refinement fine-tunes the models → generation bump.
+        let before = shared.generation();
+        her.refine(&[(ts[0], vs[1], false)], &RefineConfig::default());
+        assert!(shared.generation() > before);
     }
 
     #[test]

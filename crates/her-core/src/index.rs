@@ -56,14 +56,33 @@ impl InvertedIndex {
 
     /// Vertices whose label shares at least one non-stop token with `label`,
     /// deduplicated, in id order.
+    ///
+    /// When *every* indexed query token is a stop token, skipping them all
+    /// would return no candidates at all — silently losing every true
+    /// match and breaking blocking-vs-scan equivalence on skewed label
+    /// distributions. In that case the least-frequent (most selective)
+    /// stop token's posting list is used as a fallback: a superset of the
+    /// vertices sharing all query tokens, so recall is preserved. Tokens
+    /// absent from the index contribute nothing either way.
     pub fn candidates(&self, label: &str) -> Vec<VertexId> {
         let mut out: FxHashSet<VertexId> = FxHashSet::default();
         let cap = ((self.vertex_count as f64) * self.stop_threshold).max(1.0) as usize;
+        let mut fallback: Option<&Vec<VertexId>> = None;
         for t in tokenize(label) {
             if let Some(list) = self.postings.get(&t) {
                 if list.len() > cap {
-                    continue; // stop token
+                    // Stop token: remember the most selective one in case
+                    // no non-stop token survives.
+                    if fallback.is_none_or(|f| list.len() < f.len()) {
+                        fallback = Some(list);
+                    }
+                    continue;
                 }
+                out.extend(list.iter().copied());
+            }
+        }
+        if out.is_empty() {
+            if let Some(list) = fallback {
                 out.extend(list.iter().copied());
             }
         }
@@ -136,7 +155,8 @@ mod tests {
 
     #[test]
     fn stop_tokens_skipped() {
-        // "common" appears on >50% of vertices → queries on it return nothing.
+        // "common" appears on >50% of vertices → it is skipped whenever a
+        // more selective token is available.
         let mut b = GraphBuilder::new();
         for i in 0..10 {
             b.add_vertex(&format!("common label {i}"));
@@ -144,10 +164,42 @@ mod tests {
         b.add_vertex("rare gem");
         let (g, i) = b.build();
         let idx = InvertedIndex::build(&g, &i);
-        assert!(idx.candidates("common").is_empty());
         assert_eq!(idx.candidates("rare gem").len(), 1);
-        // Specific tokens still work even if combined with stop tokens.
+        // Specific tokens still work even if combined with stop tokens:
+        // the stop token's 10-vertex list is not unioned in.
         assert_eq!(idx.candidates("common 3").len(), 1);
+    }
+
+    /// Regression: a query whose every indexed token is a stop token used
+    /// to return *no* candidates, silently losing all true matches on
+    /// skewed label distributions. It now falls back to the least-frequent
+    /// stop token's posting list.
+    #[test]
+    fn all_stop_token_query_falls_back_to_most_selective_list() {
+        let mut b = GraphBuilder::new();
+        // >50% of vertices share every query token ("common" on all 10,
+        // "label" on 6) — both are stop tokens in an 11-vertex graph.
+        let mut with_label = Vec::new();
+        for i in 0..10 {
+            let v = if i < 6 {
+                b.add_vertex(&format!("common label {i}"))
+            } else {
+                b.add_vertex(&format!("common thing {i}"))
+            };
+            if i < 6 {
+                with_label.push(v);
+            }
+        }
+        b.add_vertex("rare gem");
+        let (g, i) = b.build();
+        let idx = InvertedIndex::build(&g, &i);
+        // "label" (6 vertices) is more selective than "common" (10): the
+        // fallback is exactly its posting list.
+        assert_eq!(idx.candidates("common label"), with_label);
+        // A single all-stop token falls back to its own list.
+        assert_eq!(idx.candidates("common").len(), 10);
+        // Tokens absent from the index still yield nothing.
+        assert!(idx.candidates("phylon foam").is_empty());
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //!
 //! - [`params`]: the parameter bundle `(h_v, h_ρ, h_r, σ, δ, k)`;
 //! - [`scores`]: memoised score evaluation over interned labels and paths;
+//! - [`shared_scores`]: the thread-safe sharded score memo one process
+//!   shares across all matchers (sequential facade, BSP/async workers);
 //! - [`paramatch`]: algorithm `ParaMatch` (Fig. 4) — quadratic-time match
 //!   checking with `cache`/`ecache`, sorted candidate lists, `MaxSco` early
 //!   termination and the cleanup stage (module SPair);
@@ -38,6 +40,7 @@ pub mod params;
 pub mod refine;
 pub mod schema_match;
 pub mod scores;
+pub mod shared_scores;
 pub mod stream;
 pub mod vpair;
 
@@ -47,4 +50,5 @@ pub use paramatch::{
     Budget, CancelToken, ExhaustReason, Matcher, MatcherOptions, Outcome,
 };
 pub use params::{Params, Thresholds};
+pub use shared_scores::SharedScores;
 pub use vpair::VpairRun;

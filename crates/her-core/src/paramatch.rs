@@ -21,8 +21,9 @@
 
 use crate::params::Params;
 use crate::scores::ScoreCache;
+use crate::shared_scores::SharedScores;
 use her_graph::hash::{FxHashMap, FxHashSet};
-use her_graph::{Graph, Interner, Path, VertexId};
+use her_graph::{Graph, Interner, LabelId, Path, VertexId};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc as Rc;
 use std::time::{Duration, Instant};
@@ -244,6 +245,14 @@ pub struct MatcherOptions {
     /// `paramatch.*` namespace and emits trace events for budget
     /// exhaustion. `None` (the default) costs one branch per site.
     pub obs: Option<her_obs::Obs>,
+    /// Process-wide score memo ([`SharedScores`]): when set, `h_v`/`h_ρ`
+    /// read through the shared sharded tables instead of a private
+    /// [`ScoreCache`], so all matchers holding the same handle embed
+    /// each distinct label once. Scores are pure memoised functions, so
+    /// results are bit-identical either way; the matcher tracks the
+    /// handle's invalidation generation and drops its derived caches
+    /// (verdicts, selections) when fine-tuning bumps it.
+    pub shared_scores: Option<SharedScores>,
 }
 
 impl Default for MatcherOptions {
@@ -255,6 +264,7 @@ impl Default for MatcherOptions {
             budget: Budget::default(),
             cancel: CancelToken::new(),
             obs: None,
+            shared_scores: None,
         }
     }
 }
@@ -273,6 +283,15 @@ struct Cand {
     hrho: f32,
 }
 
+/// Where this matcher's score memos live: a private per-matcher
+/// [`ScoreCache`] (the default) or a process-wide [`SharedScores`]
+/// handle. Both memoise the same pure functions, so a matcher behaves
+/// identically under either — only the amount of re-embedding differs.
+enum Scores {
+    Private(ScoreCache),
+    Shared(SharedScores),
+}
+
 /// Stateful matcher over a fixed `(G_D, G)` pair. Reuse one matcher across
 /// many queries so `cache` and `ecache` amortise (this is what VPair and
 /// APair rely on).
@@ -282,7 +301,10 @@ pub struct Matcher<'a> {
     interner: &'a Interner,
     params: &'a Params,
     options: MatcherOptions,
-    scores: ScoreCache,
+    scores: Scores,
+    /// The [`SharedScores`] generation this matcher last synced with
+    /// (always 0 with a private cache).
+    seen_generation: u64,
     cache: FxHashMap<PairKey, CacheEntry>,
     /// Reverse dependencies: pair → recorded pairs whose `W` contains it.
     rdeps: FxHashMap<PairKey, Vec<PairKey>>,
@@ -319,13 +341,26 @@ impl<'a> Matcher<'a> {
         options: MatcherOptions,
     ) -> Self {
         let probes = options.obs.as_ref().map(Probes::resolve);
+        let (scores, seen_generation) = match &options.shared_scores {
+            Some(shared) => (Scores::Shared(shared.clone()), shared.generation()),
+            None => {
+                let mut c = ScoreCache::new();
+                if let Some(obs) = &options.obs {
+                    // Mirror private embeds into the same counter the
+                    // shared layer uses, so ablations compare directly.
+                    c.set_embed_counter(obs.registry.counter("scores.embed_calls"));
+                }
+                (Scores::Private(c), 0)
+            }
+        };
         Self {
             gd,
             g,
             interner,
             params,
             options,
-            scores: ScoreCache::new(),
+            scores,
+            seen_generation,
             cache: FxHashMap::default(),
             rdeps: FxHashMap::default(),
             sel_d: FxHashMap::default(),
@@ -448,6 +483,13 @@ impl<'a> Matcher<'a> {
         self.exhausted
     }
 
+    /// The [`SharedScores`] generation this matcher last synced with
+    /// (always 0 when scoring through a private cache). Introspection for
+    /// the invalidation protocol.
+    pub fn scores_generation(&self) -> u64 {
+        self.seen_generation
+    }
+
     /// Installs a fresh budget and clears the sticky exhaustion state so
     /// the matcher can resume. Already-resolved verdicts are kept.
     pub fn renew_budget(&mut self, budget: Budget) {
@@ -463,11 +505,48 @@ impl<'a> Matcher<'a> {
         }
     }
 
+    /// `h_v` on interned labels via whichever memo this matcher uses.
+    fn score_hv(&mut self, l1: LabelId, l2: LabelId) -> f32 {
+        let (params, interner) = (self.params, self.interner);
+        match &mut self.scores {
+            Scores::Private(c) => c.hv(params, interner, l1, l2),
+            Scores::Shared(s) => s.hv(params, interner, l1, l2),
+        }
+    }
+
+    /// `h_ρ` on two paths via whichever memo this matcher uses.
+    fn score_hrho(&mut self, rho1: &Path, rho2: &Path) -> f32 {
+        let (params, interner) = (self.params, self.interner);
+        match &mut self.scores {
+            Scores::Private(c) => c.hrho(params, interner, rho1, rho2),
+            Scores::Shared(s) => s.hrho(params, interner, rho1, rho2),
+        }
+    }
+
+    /// When scoring through a [`SharedScores`] handle, reconciles with
+    /// its invalidation generation: if fine-tuning elsewhere bumped it,
+    /// this matcher's derived caches (verdicts, lineage index,
+    /// selections) were computed against stale scores and are dropped.
+    /// Called at the non-recursive query entry points only — never
+    /// mid-recursion, where in-flight optimistic entries must survive.
+    fn sync_shared_generation(&mut self) {
+        if let Scores::Shared(s) = &self.scores {
+            let gen = s.generation();
+            if gen != self.seen_generation {
+                self.seen_generation = gen;
+                self.cache.clear();
+                self.rdeps.clear();
+                self.sel_d.clear();
+                self.sel_g.clear();
+            }
+        }
+    }
+
     /// `h_v` between a `G_D` vertex and a `G` vertex (used by candidate
     /// generation in VPair/APair).
     pub fn hv_pair(&mut self, u: VertexId, v: VertexId) -> f32 {
         let (l1, l2) = (self.gd.label(u), self.g.label(v));
-        self.scores.hv(self.params, self.interner, l1, l2)
+        self.score_hv(l1, l2)
     }
 
     /// Module SPair: does `(u, v)` match by parametric simulation?
@@ -484,6 +563,7 @@ impl<'a> Matcher<'a> {
     /// as `Matched`/`Unmatched`; unresolved pairs after exhaustion report
     /// `Exhausted` without doing further work.
     pub fn try_match(&mut self, u: VertexId, v: VertexId) -> Outcome {
+        self.sync_shared_generation();
         if let Some(e) = self.cache.get(&(u, v)) {
             self.stats.cache_hits += 1;
             let valid = e.valid;
@@ -582,7 +662,12 @@ impl<'a> Matcher<'a> {
     /// `M_ρ` on two raw edge-label sequences (memoised). Used by schema
     /// matching to score path prefixes (appendix D).
     pub fn mrho_seq(&mut self, seq1: &[her_graph::LabelId], seq2: &[her_graph::LabelId]) -> f32 {
-        self.scores.mrho(self.params, self.interner, seq1, seq2)
+        self.sync_shared_generation();
+        let (params, interner) = (self.params, self.interner);
+        match &mut self.scores {
+            Scores::Private(c) => c.mrho(params, interner, seq1, seq2),
+            Scores::Shared(s) => s.mrho(params, interner, seq1, seq2),
+        }
     }
 
     /// Captures the durable state of this matcher — the verdict cache
@@ -644,14 +729,28 @@ impl<'a> Matcher<'a> {
         self.new_assumptions = ck.new_assumptions.clone();
         self.exhausted = ck.exhausted;
         self.stats = ck.stats;
+        // Score memos are derived state and never checkpointed: a restored
+        // matcher adopts the shared layer's *current* generation, reading
+        // whatever (possibly post-fine-tuning) scores it now holds.
+        if let Scores::Shared(s) = &self.scores {
+            self.seen_generation = s.generation();
+        }
         let entries = self.cache.len();
         self.probe(|p| p.cache_entries.set(entries as f64));
     }
 
     /// Invalidates memoised scores and verdicts — required after model
-    /// fine-tuning changes the parameter functions.
+    /// fine-tuning changes the parameter functions. With a
+    /// [`SharedScores`] handle this also bumps the shared generation, so
+    /// every other matcher on the handle re-syncs at its next query.
     pub fn invalidate(&mut self) {
-        self.scores.invalidate();
+        match &mut self.scores {
+            Scores::Private(c) => c.invalidate(),
+            Scores::Shared(s) => {
+                s.invalidate();
+                self.seen_generation = s.generation();
+            }
+        }
         self.cache.clear();
         self.rdeps.clear();
         self.sel_d.clear();
@@ -786,8 +885,8 @@ impl<'a> Matcher<'a> {
             for (vp, pv) in sv.iter() {
                 let lu = self.gd.label(pu.end());
                 let lv = self.g.label(*vp);
-                if self.scores.hv(self.params, self.interner, lu, lv) >= sigma {
-                    let hrho = self.scores.hrho(self.params, self.interner, pu, pv);
+                if self.score_hv(lu, lv) >= sigma {
+                    let hrho = self.score_hrho(pu, pv);
                     l.push(Cand { v: *vp, hrho });
                 }
             }
@@ -1370,5 +1469,90 @@ mod tests {
         } else {
             assert_eq!(snap.counter("paramatch.calls"), 0);
         }
+    }
+
+    /// Matchers scoring through one [`SharedScores`] handle decide exactly
+    /// like matchers with private caches (pure memoization), and the
+    /// second matcher's embeds are served from the shared tables.
+    #[test]
+    fn shared_scores_matchers_agree_with_private() {
+        let (gd, g, interner, u, v, decoy) = fixture();
+        let p = params(0.9, 0.1, 5);
+        let shared = SharedScores::new();
+        let opts = || MatcherOptions {
+            shared_scores: Some(shared.clone()),
+            ..Default::default()
+        };
+        let mut private = Matcher::new(&gd, &g, &interner, &p);
+        let mut s1 = Matcher::with_options(&gd, &g, &interner, &p, opts());
+        let mut s2 = Matcher::with_options(&gd, &g, &interner, &p, opts());
+        for (a, b) in [(u, v), (u, decoy)] {
+            let want = private.try_match(a, b);
+            assert_eq!(s1.try_match(a, b), want);
+            assert_eq!(s2.try_match(a, b), want);
+        }
+        let embeds_after_s1 = shared.embed_calls();
+        // s2 ran the same queries entirely from the shared tables.
+        assert!(embeds_after_s1 > 0);
+        assert!(shared.shared_hits() > 0);
+        let mut s3 = Matcher::with_options(&gd, &g, &interner, &p, opts());
+        assert!(s3.is_match(u, v));
+        assert_eq!(shared.embed_calls(), embeds_after_s1, "no re-embedding");
+    }
+
+    /// The invalidation-generation protocol across matchers: fine-tuning
+    /// + `invalidate()` on one matcher bumps the shared generation, and a
+    /// *different* matcher on the same handle drops its stale verdicts at
+    /// its next query. Restore adopts the current generation.
+    #[test]
+    fn shared_generation_invalidation_covers_fine_tune_and_restore() {
+        let (gd, g, interner, u, v, _) = fixture();
+        let mut p = params(0.9, 0.1, 5);
+        let shared = SharedScores::new();
+        let opts = || MatcherOptions {
+            shared_scores: Some(shared.clone()),
+            ..Default::default()
+        };
+        let ck = {
+            let mut a = Matcher::with_options(&gd, &g, &interner, &p, opts());
+            let mut b = Matcher::with_options(&gd, &g, &interner, &p, opts());
+            assert!(a.is_match(u, v));
+            assert!(b.is_match(u, v));
+            let ck = b.checkpoint();
+            // Invalidating through matcher `a` bumps the shared
+            // generation; matcher `b` notices at its next query and
+            // re-derives instead of serving its (potentially stale)
+            // cached verdict.
+            a.invalidate();
+            assert_eq!(shared.generation(), 1);
+            let calls = b.stats().calls;
+            assert!(b.is_match(u, v), "unchanged params, same verdict");
+            assert!(b.stats().calls > calls, "verdict re-derived, not served stale");
+            ck
+        };
+
+        // Fine-tune while the shared handle outlives every matcher — the
+        // Her::refine pattern. The handle still holds pre-tuning memos;
+        // invalidate() drops them and bumps the generation.
+        for _ in 0..12 {
+            p.mv.fine_tune_pair("item", "item", 0.0);
+        }
+        shared.invalidate();
+        assert_eq!(shared.generation(), 2);
+        let mut c = Matcher::with_options(&gd, &g, &interner, &p, opts());
+        assert!(!c.is_match(u, v), "fine-tuned to a non-match");
+
+        // Restore pre-fine-tuning verdicts into a fresh matcher: the
+        // checkpoint carries verdicts (by design), but the matcher adopts
+        // the *current* generation, so post-restore scoring uses the
+        // refined models rather than a mix of generations.
+        let mut r = Matcher::with_options(&gd, &g, &interner, &p, opts());
+        r.restore(&ck);
+        assert_eq!(r.cached(u, v), Some(true), "checkpoint verdicts restored");
+        assert_eq!(r.scores_generation(), shared.generation());
+        // A further invalidation elsewhere is still picked up post-restore.
+        shared.invalidate();
+        assert_eq!(r.cached(u, v), Some(true));
+        assert!(!r.is_match(u, v), "generation sync clears restored verdicts");
     }
 }

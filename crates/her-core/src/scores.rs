@@ -17,6 +17,8 @@ pub struct ScoreCache {
     hv_memo: FxHashMap<(LabelId, LabelId), f32>,
     path_vecs: FxHashMap<Vec<LabelId>, Rc<Vec<f32>>>,
     mrho_memo: FxHashMap<(Vec<LabelId>, Vec<LabelId>), f32>,
+    embed_calls: u64,
+    obs_embed: Option<Rc<her_obs::Counter>>,
 }
 
 impl ScoreCache {
@@ -27,26 +29,40 @@ impl ScoreCache {
             hv_memo: FxHashMap::default(),
             path_vecs: FxHashMap::default(),
             mrho_memo: FxHashMap::default(),
+            embed_calls: 0,
+            obs_embed: None,
         }
+    }
+
+    /// Mirrors every `M_v` embedding computed by this cache into the
+    /// given counter (typically `scores.embed_calls`), so private and
+    /// shared caches are comparable in telemetry.
+    pub fn set_embed_counter(&mut self, c: Rc<her_obs::Counter>) {
+        self.obs_embed = Some(c);
+    }
+
+    /// Number of `M_v` label embeddings this cache has computed.
+    pub fn embed_calls(&self) -> u64 {
+        self.embed_calls
     }
 
     /// `h_v(u, v) = M_v(L(u), L(v))` on interned labels.
     ///
-    /// When the sentence model carries fine-tuned pair overrides this
-    /// routes through the string interface so feedback is honoured;
-    /// otherwise it uses cached embeddings.
+    /// When the queried pair itself carries a fine-tuned override this
+    /// routes through the string interface so feedback is honoured; all
+    /// other pairs keep the cached-embedding path (and the identical-label
+    /// fast path) regardless of how many *unrelated* overrides exist.
     pub fn hv(&mut self, params: &Params, interner: &Interner, l1: LabelId, l2: LabelId) -> f32 {
-        if l1 == l2 {
-            // Identical interned labels always score 1 unless overridden.
-            if params.mv.override_count() == 0 {
-                return 1.0;
-            }
+        if l1 == l2 && !params.mv.is_overridden(interner.resolve(l1), interner.resolve(l1)) {
+            // Identical interned labels always score 1 unless this exact
+            // pair was fine-tuned (e.g. annotated as a false positive).
+            return 1.0;
         }
         let key = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
         if let Some(&s) = self.hv_memo.get(&key) {
             return s;
         }
-        let s = if params.mv.override_count() > 0 {
+        let s = if params.mv.is_overridden(interner.resolve(l1), interner.resolve(l2)) {
             params
                 .mv
                 .similarity(interner.resolve(l1), interner.resolve(l2))
@@ -64,6 +80,10 @@ impl ScoreCache {
             return Rc::clone(v);
         }
         let v = Rc::new(params.mv.embed(interner.resolve(l)));
+        self.embed_calls += 1;
+        if let Some(c) = &self.obs_embed {
+            c.inc();
+        }
         self.label_vecs.insert(l, Rc::clone(&v));
         v
     }
@@ -180,6 +200,60 @@ mod tests {
         let after = c.hv(&p, &i, a, b);
         assert!(after > before);
         assert!(after > 0.9);
+    }
+
+    /// Regression: a fine-tuned override on one pair used to disable the
+    /// identical-label fast path (and demote every pair to string
+    /// similarity) globally. The check is now scoped to the queried pair.
+    #[test]
+    fn unrelated_override_keeps_identical_label_fast_path() {
+        let (mut p, i) = setup();
+        let mut c = ScoreCache::new();
+        let germany = i.get("Germany").unwrap();
+        let foam = i.get("phylon foam").unwrap();
+        let baseline = c.hv(&p, &i, germany, foam);
+        c.invalidate();
+        let embeds_before = c.embed_calls();
+        // Fine-tune a completely unrelated pair.
+        p.mv.fine_tune_pair("made_in", "factorySite", 1.0);
+        // Identical labels still take the fast path: score 1, no memo
+        // entry, no embedding computed.
+        assert_eq!(c.hv(&p, &i, germany, germany), 1.0);
+        assert_eq!(c.hv_entries(), 0);
+        assert_eq!(c.embed_calls(), embeds_before);
+        // Unrelated non-identical pairs still use cached embeddings and
+        // score exactly as before the override existed.
+        assert_eq!(c.hv(&p, &i, germany, foam), baseline);
+        assert_eq!(c.embed_calls(), embeds_before + 2);
+    }
+
+    /// The override still wins for the annotated pair itself — including
+    /// an identical-label pair annotated as a false positive.
+    #[test]
+    fn override_on_identical_pair_disables_its_fast_path_only() {
+        let (mut p, i) = setup();
+        let mut c = ScoreCache::new();
+        let germany = i.get("Germany").unwrap();
+        let foam = i.get("phylon foam").unwrap();
+        for _ in 0..8 {
+            p.mv.fine_tune_pair("Germany", "Germany", 0.0);
+        }
+        assert!(c.hv(&p, &i, germany, germany) < 0.1);
+        // Other identical labels are untouched.
+        assert_eq!(c.hv(&p, &i, foam, foam), 1.0);
+    }
+
+    #[test]
+    fn embed_calls_count_distinct_labels_once() {
+        let (p, i) = setup();
+        let mut c = ScoreCache::new();
+        let a = i.get("Germany").unwrap();
+        let b = i.get("phylon foam").unwrap();
+        let d = i.get("isIn").unwrap();
+        let _ = c.hv(&p, &i, a, b);
+        let _ = c.hv(&p, &i, a, d);
+        let _ = c.hv(&p, &i, b, d);
+        assert_eq!(c.embed_calls(), 3, "three distinct labels, one embed each");
     }
 
     #[test]

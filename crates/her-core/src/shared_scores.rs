@@ -1,0 +1,606 @@
+//! Process-wide shared scoring layer.
+//!
+//! §IV observes that after training, `h_v`/`h_ρ` are called millions of
+//! times over a much smaller set of *distinct* label pairs and path
+//! label sequences. [`crate::scores::ScoreCache`] memoises those, but is
+//! private to each [`crate::paramatch::Matcher`] — so every BSP/async
+//! worker re-embeds the same vocabulary from scratch, multiplying
+//! embedding work by the worker count.
+//!
+//! [`SharedScores`] is the thread-safe, sharded, read-through variant:
+//! one handle (cheaply cloneable, `Arc` inside) holds `SHARD_COUNT`
+//! `RwLock`-guarded memo tables keyed by interned [`LabelId`]s / label
+//! sequences over one shared interner. Reads take a shard read lock;
+//! misses compute and insert under the shard write lock, so each
+//! distinct label is embedded **once per process** no matter how many
+//! matchers share the handle.
+//!
+//! Two extra facilities keep sharing correct and measurable:
+//!
+//! - **Generation-based invalidation.** Fine-tuning (`refine`) mutates
+//!   the models, so memoised scores go stale. [`SharedScores::invalidate`]
+//!   clears every shard and bumps a monotonic generation counter;
+//!   matchers record the generation they last synced with and drop
+//!   their *derived* caches (verdicts, selections) when it moves. The
+//!   same mechanism covers checkpoint/restore: restored matchers adopt
+//!   the current generation and rebuild derived state lazily, which
+//!   matches the checkpoint contract (memo tables are never captured).
+//! - **Accounting.** The handle counts `M_v` embedding computations and
+//!   memo hits; with [`SharedScores::with_obs`] these mirror into the
+//!   `scores.embed_calls` / `scores.shared_hits` registry counters that
+//!   the bench harness and CI assert on.
+//!
+//! ## Equivalence
+//!
+//! `SentenceModel::embed` and `PathSimModel::encode`/`score_vecs` are
+//! deterministic pure functions of the (frozen-during-matching) model
+//! parameters, and `SharedScores` is a pure memo over them: any
+//! interleaving of readers and writers stores and returns the same
+//! floats a private `ScoreCache` would. Matching results are therefore
+//! bit-identical with or without sharing — Theorem 3's equivalence of
+//! parallel and sequential fixpoints is untouched (see DESIGN.md §4f).
+
+use crate::params::Params;
+use her_graph::hash::{FxHashMap, FxHasher};
+use her_graph::{Interner, LabelId, Path};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Shard count: a small power of two comfortably above typical worker
+/// counts, so concurrent lookups rarely contend on the same lock.
+const SHARD_COUNT: usize = 16;
+
+/// A batch of freshly-encoded path vectors, keyed by their sequences.
+type EncodedPaths<'a> = Vec<(&'a Vec<LabelId>, Arc<Vec<f32>>)>;
+
+/// One shard's memo tables — the same four maps as `ScoreCache`.
+#[derive(Default)]
+struct Shard {
+    label_vecs: FxHashMap<LabelId, Arc<Vec<f32>>>,
+    hv_memo: FxHashMap<(LabelId, LabelId), f32>,
+    path_vecs: FxHashMap<Vec<LabelId>, Arc<Vec<f32>>>,
+    mrho_memo: FxHashMap<(Vec<LabelId>, Vec<LabelId>), f32>,
+}
+
+struct Inner {
+    shards: Vec<RwLock<Shard>>,
+    /// Bumped by [`SharedScores::invalidate`]; matchers re-sync derived
+    /// caches when the generation they saw last no longer matches.
+    generation: AtomicU64,
+    embed_calls: AtomicU64,
+    shared_hits: AtomicU64,
+    obs_embed: Option<Arc<her_obs::Counter>>,
+    obs_hits: Option<Arc<her_obs::Counter>>,
+}
+
+/// Thread-safe, sharded, read-through score memo shared by all matchers
+/// in a process (sequential `apair`, every BSP/async worker). Clones
+/// share the underlying tables.
+#[derive(Clone)]
+pub struct SharedScores {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for SharedScores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedScores")
+            .field("generation", &self.generation())
+            .field("embed_calls", &self.embed_calls())
+            .field("shared_hits", &self.shared_hits())
+            .finish()
+    }
+}
+
+impl Default for SharedScores {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedScores {
+    /// Creates an empty shared cache (no telemetry attached).
+    pub fn new() -> Self {
+        Self::build(None, None)
+    }
+
+    /// Creates an empty shared cache whose embed/hit counts also feed
+    /// the `scores.embed_calls` / `scores.shared_hits` counters of the
+    /// given registry.
+    pub fn with_obs(obs: &her_obs::Obs) -> Self {
+        Self::build(
+            Some(obs.registry.counter("scores.embed_calls")),
+            Some(obs.registry.counter("scores.shared_hits")),
+        )
+    }
+
+    fn build(
+        obs_embed: Option<Arc<her_obs::Counter>>,
+        obs_hits: Option<Arc<her_obs::Counter>>,
+    ) -> Self {
+        let shards = (0..SHARD_COUNT)
+            .map(|_| RwLock::new(Shard::default()))
+            .collect();
+        Self {
+            inner: Arc::new(Inner {
+                shards,
+                generation: AtomicU64::new(0),
+                embed_calls: AtomicU64::new(0),
+                shared_hits: AtomicU64::new(0),
+                obs_embed,
+                obs_hits,
+            }),
+        }
+    }
+
+    fn shard<K: Hash + ?Sized>(&self, key: &K) -> &RwLock<Shard> {
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        &self.inner.shards[(h.finish() as usize) % SHARD_COUNT]
+    }
+
+    fn count_embed(&self, n: u64) {
+        self.inner.embed_calls.fetch_add(n, Ordering::Relaxed);
+        if let Some(c) = &self.inner.obs_embed {
+            c.add(n);
+        }
+    }
+
+    fn count_hit(&self) {
+        self.inner.shared_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(c) = &self.inner.obs_hits {
+            c.inc();
+        }
+    }
+
+    /// `h_v` on interned labels — same contract as `ScoreCache::hv`,
+    /// including per-pair override scoping.
+    pub fn hv(&self, params: &Params, interner: &Interner, l1: LabelId, l2: LabelId) -> f32 {
+        if l1 == l2 && !params.mv.is_overridden(interner.resolve(l1), interner.resolve(l1)) {
+            return 1.0;
+        }
+        let key = if l1 <= l2 { (l1, l2) } else { (l2, l1) };
+        let shard = self.shard(&key);
+        if let Some(&s) = shard.read().expect("scores shard poisoned").hv_memo.get(&key) {
+            self.count_hit();
+            return s;
+        }
+        let s = if params.mv.is_overridden(interner.resolve(l1), interner.resolve(l2)) {
+            params
+                .mv
+                .similarity(interner.resolve(l1), interner.resolve(l2))
+        } else {
+            // Embeddings resolve through the sharded label table; the
+            // similarity itself is cheap and computed outside any lock.
+            // A racing writer inserts the identical float — harmless.
+            let v1 = self.label_vec(params, interner, l1);
+            let v2 = self.label_vec(params, interner, l2);
+            params.mv.similarity_from_vecs(&v1, &v2)
+        };
+        shard
+            .write()
+            .expect("scores shard poisoned")
+            .hv_memo
+            .insert(key, s);
+        s
+    }
+
+    /// Read-through `M_v` embedding of one label. Computed under the
+    /// shard write lock so each distinct label embeds exactly once
+    /// process-wide (keeps `scores.embed_calls` ≤ distinct labels).
+    fn label_vec(&self, params: &Params, interner: &Interner, l: LabelId) -> Arc<Vec<f32>> {
+        let shard = self.shard(&l);
+        if let Some(v) = shard.read().expect("scores shard poisoned").label_vecs.get(&l) {
+            self.count_hit();
+            return Arc::clone(v);
+        }
+        let mut w = shard.write().expect("scores shard poisoned");
+        if let Some(v) = w.label_vecs.get(&l) {
+            return Arc::clone(v);
+        }
+        let v = Arc::new(params.mv.embed(interner.resolve(l)));
+        self.count_embed(1);
+        w.label_vecs.insert(l, Arc::clone(&v));
+        v
+    }
+
+    /// Read-through `M_ρ` sequence encoding (exactly-once, like
+    /// [`Self::label_vec`]).
+    fn path_vec(&self, params: &Params, interner: &Interner, seq: &[LabelId]) -> Arc<Vec<f32>> {
+        let shard = self.shard(seq);
+        if let Some(v) = shard.read().expect("scores shard poisoned").path_vecs.get(seq) {
+            self.count_hit();
+            return Arc::clone(v);
+        }
+        let mut w = shard.write().expect("scores shard poisoned");
+        if let Some(v) = w.path_vecs.get(seq) {
+            return Arc::clone(v);
+        }
+        let labels: Vec<&str> = seq.iter().map(|&l| interner.resolve(l)).collect();
+        let v = Arc::new(params.mrho.encode(&labels));
+        w.path_vecs.insert(seq.to_vec(), Arc::clone(&v));
+        v
+    }
+
+    /// `M_ρ` on two edge-label sequences (undivided).
+    pub fn mrho(
+        &self,
+        params: &Params,
+        interner: &Interner,
+        seq1: &[LabelId],
+        seq2: &[LabelId],
+    ) -> f32 {
+        let key = (seq1.to_vec(), seq2.to_vec());
+        let shard = self.shard(&key);
+        if let Some(&s) = shard.read().expect("scores shard poisoned").mrho_memo.get(&key) {
+            self.count_hit();
+            return s;
+        }
+        let v1 = self.path_vec(params, interner, seq1);
+        let v2 = self.path_vec(params, interner, seq2);
+        let s = params.mrho.score_vecs(&v1, &v2);
+        shard
+            .write()
+            .expect("scores shard poisoned")
+            .mrho_memo
+            .insert(key, s);
+        s
+    }
+
+    /// `h_ρ(ρ1, ρ2) = M_ρ(L(ρ1), L(ρ2)) / (len(ρ1) + len(ρ2))` (Eq. 2).
+    pub fn hrho(&self, params: &Params, interner: &Interner, rho1: &Path, rho2: &Path) -> f32 {
+        let denom = (rho1.len() + rho2.len()) as f32;
+        if denom == 0.0 {
+            return 0.0;
+        }
+        self.mrho(params, interner, rho1.edge_labels(), rho2.edge_labels()) / denom
+    }
+
+    /// Parallel batch pre-embedding of the `M_v` label vocabulary:
+    /// deduplicates, skips labels already cached, then embeds the rest
+    /// across `threads` scoped threads (chunked like the parallel
+    /// engine's selection precompute). Call before workers start so the
+    /// hot loop never embeds.
+    pub fn prewarm_labels(
+        &self,
+        params: &Params,
+        interner: &Interner,
+        labels: &[LabelId],
+        threads: usize,
+    ) {
+        let mut todo: Vec<LabelId> = {
+            let mut seen = her_graph::hash::FxHashSet::default();
+            labels
+                .iter()
+                .copied()
+                .filter(|l| seen.insert(*l))
+                .filter(|l| {
+                    !self
+                        .shard(l)
+                        .read()
+                        .expect("scores shard poisoned")
+                        .label_vecs
+                        .contains_key(l)
+                })
+                .collect()
+        };
+        todo.sort_unstable();
+        if todo.is_empty() {
+            return;
+        }
+        let chunk = todo.len().div_ceil(threads.max(1)).max(1);
+        let parts: Vec<Vec<(LabelId, Arc<Vec<f32>>)>> = std::thread::scope(|s| {
+            todo.chunks(chunk)
+                .map(|ls| {
+                    s.spawn(move || {
+                        ls.iter()
+                            .map(|&l| (l, Arc::new(params.mv.embed(interner.resolve(l)))))
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("prewarm thread panicked"))
+                .collect()
+        });
+        for (l, v) in parts.into_iter().flatten() {
+            let mut w = self.shard(&l).write().expect("scores shard poisoned");
+            if w.label_vecs.insert(l, v).is_none() {
+                self.count_embed(1);
+            }
+        }
+    }
+
+    /// Parallel batch pre-encoding of `M_ρ` edge-label sequences (e.g.
+    /// every distinct path signature in the precomputed selections).
+    pub fn prewarm_paths(
+        &self,
+        params: &Params,
+        interner: &Interner,
+        seqs: &[Vec<LabelId>],
+        threads: usize,
+    ) {
+        let mut todo: Vec<&Vec<LabelId>> = {
+            let mut seen = her_graph::hash::FxHashSet::default();
+            seqs.iter()
+                .filter(|s| seen.insert(s.as_slice()))
+                .filter(|s| {
+                    !self
+                        .shard(s.as_slice())
+                        .read()
+                        .expect("scores shard poisoned")
+                        .path_vecs
+                        .contains_key(s.as_slice())
+                })
+                .collect()
+        };
+        todo.sort_unstable();
+        if todo.is_empty() {
+            return;
+        }
+        let chunk = todo.len().div_ceil(threads.max(1)).max(1);
+        let parts: Vec<EncodedPaths<'_>> = std::thread::scope(|s| {
+            todo.chunks(chunk)
+                .map(|ss| {
+                    s.spawn(move || {
+                        ss.iter()
+                            .map(|&seq| {
+                                let labels: Vec<&str> =
+                                    seq.iter().map(|&l| interner.resolve(l)).collect();
+                                (seq, Arc::new(params.mrho.encode(&labels)))
+                            })
+                            .collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("prewarm thread panicked"))
+                .collect()
+        });
+        for (seq, v) in parts.into_iter().flatten() {
+            let mut w = self.shard(seq.as_slice()).write().expect("scores shard poisoned");
+            w.path_vecs.entry(seq.clone()).or_insert(v);
+        }
+    }
+
+    /// Drops every memo table and bumps the generation — required after
+    /// model fine-tuning. Matchers holding this handle notice the bump
+    /// at their next query and drop their derived caches too.
+    pub fn invalidate(&self) {
+        for shard in &self.inner.shards {
+            let mut s = shard.write().expect("scores shard poisoned");
+            s.label_vecs.clear();
+            s.hv_memo.clear();
+            s.path_vecs.clear();
+            s.mrho_memo.clear();
+        }
+        self.inner.generation.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Current invalidation generation (monotone).
+    pub fn generation(&self) -> u64 {
+        self.inner.generation.load(Ordering::SeqCst)
+    }
+
+    /// Total `M_v` embeddings computed through this handle.
+    pub fn embed_calls(&self) -> u64 {
+        self.inner.embed_calls.load(Ordering::Relaxed)
+    }
+
+    /// Total memo hits served through this handle.
+    pub fn shared_hits(&self) -> u64 {
+        self.inner.shared_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of memoised `h_v` entries across all shards (introspection).
+    pub fn hv_entries(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().expect("scores shard poisoned").hv_memo.len())
+            .sum()
+    }
+
+    /// Number of cached `M_v` label vectors across all shards.
+    pub fn label_entries(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().expect("scores shard poisoned").label_vecs.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::scores::ScoreCache;
+    use her_graph::GraphBuilder;
+
+    fn setup() -> (Params, Interner, Vec<LabelId>) {
+        let mut b = GraphBuilder::new();
+        let words = [
+            "Germany", "Vietnam", "Japan", "phylon foam", "made_in", "factorySite", "isIn",
+            "item", "white", "red", "brand", "color", "country", "name",
+        ];
+        let ids: Vec<LabelId> = words.iter().map(|w| b.intern(w)).collect();
+        let (_, interner) = b.build();
+        (Params::untrained(32, 9), interner, ids)
+    }
+
+    #[test]
+    fn shared_hv_matches_private_cache_bit_for_bit() {
+        let (p, i, labels) = setup();
+        let shared = SharedScores::new();
+        let mut private = ScoreCache::new();
+        for &a in &labels {
+            for &b in &labels {
+                assert_eq!(
+                    shared.hv(&p, &i, a, b).to_bits(),
+                    private.hv(&p, &i, a, b).to_bits(),
+                    "hv({a:?}, {b:?}) diverged"
+                );
+            }
+        }
+    }
+
+    /// The satellite stress test: N threads score overlapping
+    /// vocabularies concurrently; every result agrees bit-for-bit with a
+    /// single-threaded `ScoreCache`, and each distinct label embeds once.
+    #[test]
+    fn concurrent_scoring_agrees_with_sequential() {
+        let (p, i, labels) = setup();
+        let shared = SharedScores::new();
+        let threads = 8;
+        let results: Vec<Vec<u32>> = std::thread::scope(|s| {
+            (0..threads)
+                .map(|t| {
+                    let shared = shared.clone();
+                    let labels = &labels;
+                    let p = &p;
+                    let i = &i;
+                    s.spawn(move || {
+                        // Each thread walks the full cross product in a
+                        // different order so reads and writes interleave.
+                        let mut out = Vec::new();
+                        for step in 0..labels.len() * labels.len() {
+                            let n = (step + t * 7) % (labels.len() * labels.len());
+                            let a = labels[n / labels.len()];
+                            let b = labels[n % labels.len()];
+                            out.push((n, shared.hv(p, i, a, b).to_bits()));
+                        }
+                        out.sort_unstable();
+                        out.into_iter().map(|(_, bits)| bits).collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("stress thread panicked"))
+                .collect()
+        });
+        let mut private = ScoreCache::new();
+        let expected: Vec<u32> = (0..labels.len() * labels.len())
+            .map(|n| {
+                let a = labels[n / labels.len()];
+                let b = labels[n % labels.len()];
+                private.hv(&p, &i, a, b).to_bits()
+            })
+            .collect();
+        for (t, r) in results.iter().enumerate() {
+            assert_eq!(r, &expected, "thread {t} diverged from sequential");
+        }
+        // Distinct labels embed once process-wide, not once per thread.
+        assert_eq!(shared.embed_calls(), labels.len() as u64);
+        assert!(shared.shared_hits() > 0);
+    }
+
+    #[test]
+    fn concurrent_mrho_agrees_with_sequential() {
+        let (p, i, labels) = setup();
+        let seqs: Vec<Vec<LabelId>> = (0..labels.len())
+            .map(|n| vec![labels[n], labels[(n + 1) % labels.len()]])
+            .collect();
+        let shared = SharedScores::new();
+        let results: Vec<Vec<u32>> = std::thread::scope(|s| {
+            (0..4)
+                .map(|t| {
+                    let shared = shared.clone();
+                    let (p, i, seqs) = (&p, &i, &seqs);
+                    s.spawn(move || {
+                        let mut out = Vec::new();
+                        for step in 0..seqs.len() {
+                            let n = (step + t * 3) % seqs.len();
+                            let s1 = &seqs[n];
+                            let s2 = &seqs[(n + 2) % seqs.len()];
+                            out.push((n, shared.mrho(p, i, s1, s2).to_bits()));
+                        }
+                        out.sort_unstable();
+                        out.into_iter().map(|(_, bits)| bits).collect()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("stress thread panicked"))
+                .collect()
+        });
+        let mut private = ScoreCache::new();
+        let expected: Vec<u32> = (0..seqs.len())
+            .map(|n| {
+                private
+                    .mrho(&p, &i, &seqs[n], &seqs[(n + 2) % seqs.len()])
+                    .to_bits()
+            })
+            .collect();
+        for r in &results {
+            assert_eq!(r, &expected);
+        }
+    }
+
+    #[test]
+    fn prewarm_embeds_each_distinct_label_once() {
+        let (p, i, labels) = setup();
+        let shared = SharedScores::new();
+        // Duplicate the vocabulary: dedup must keep embeds at 1× distinct.
+        let doubled: Vec<LabelId> = labels.iter().chain(labels.iter()).copied().collect();
+        shared.prewarm_labels(&p, &i, &doubled, 4);
+        assert_eq!(shared.embed_calls(), labels.len() as u64);
+        assert_eq!(shared.label_entries(), labels.len());
+        // Prewarming again is a no-op.
+        shared.prewarm_labels(&p, &i, &labels, 4);
+        assert_eq!(shared.embed_calls(), labels.len() as u64);
+        // Scoring after prewarm computes no further embeddings.
+        for &a in &labels {
+            for &b in &labels {
+                let _ = shared.hv(&p, &i, a, b);
+            }
+        }
+        assert_eq!(shared.embed_calls(), labels.len() as u64);
+    }
+
+    #[test]
+    fn prewarmed_vectors_score_identically() {
+        let (p, i, labels) = setup();
+        let warm = SharedScores::new();
+        warm.prewarm_labels(&p, &i, &labels, 3);
+        let seqs: Vec<Vec<LabelId>> = labels.windows(2).map(|w| w.to_vec()).collect();
+        warm.prewarm_paths(&p, &i, &seqs, 3);
+        let cold = SharedScores::new();
+        for &a in &labels {
+            for &b in &labels {
+                assert_eq!(warm.hv(&p, &i, a, b).to_bits(), cold.hv(&p, &i, a, b).to_bits());
+            }
+        }
+        for s1 in &seqs {
+            for s2 in &seqs {
+                assert_eq!(
+                    warm.mrho(&p, &i, s1, s2).to_bits(),
+                    cold.mrho(&p, &i, s1, s2).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalidate_clears_and_bumps_generation() {
+        let (mut p, i, labels) = setup();
+        let shared = SharedScores::new();
+        let a = labels[0];
+        let b = labels[3];
+        let before = shared.hv(&p, &i, a, b);
+        assert_eq!(shared.generation(), 0);
+        // Fine-tune the queried pair, then invalidate: the next read
+        // must see the override, and the generation must move.
+        for _ in 0..6 {
+            p.mv.fine_tune_pair(i.resolve(a), i.resolve(b), 1.0);
+        }
+        shared.invalidate();
+        assert_eq!(shared.generation(), 1);
+        assert_eq!(shared.hv_entries(), 0);
+        let after = shared.hv(&p, &i, a, b);
+        assert!(after > before);
+        assert!(after > 0.9);
+        // Clones observe the same generation (shared inner).
+        assert_eq!(shared.clone().generation(), 1);
+    }
+}

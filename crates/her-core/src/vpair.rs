@@ -283,17 +283,79 @@ mod tests {
         let _ = vs;
     }
 
+    /// A `G_D` vertex whose label resembles nothing in `G` yields no
+    /// candidates — from the hv scan and from the inverted index alike —
+    /// and therefore no matches. (The old version of this test queried a
+    /// leaf whose label *did* occur in `G` and asserted one match.)
     #[test]
     fn no_candidates_no_matches() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex("unobtainium");
+        let c = b.add_vertex("vibranium");
+        b.add_edge(u, c, "alloy");
+        let (gd, i) = b.build();
+        let mut b2 = GraphBuilder::with_interner(i);
+        let twin = b2.add_vertex("item");
+        let tc = b2.add_vertex("white");
+        b2.add_edge(twin, tc, "color");
+        let (g, interner) = b2.build();
+        let p = params();
+        let mut m = Matcher::new(&gd, &g, &interner, &p);
+        assert!(candidates(&mut m, u, None).is_empty());
+        let idx = InvertedIndex::build(&g, &interner);
+        assert!(candidates(&mut m, u, Some(&idx)).is_empty());
+        assert!(vpair(&mut m, u, None).is_empty());
+        assert!(vpair(&mut m, u, Some(&idx)).is_empty());
+    }
+
+    /// Leaves match on label alone: querying the "phylon foam" material
+    /// leaf of `G_D` finds the one same-labeled leaf of `G`.
+    #[test]
+    fn leaf_query_matches_same_labeled_leaf() {
         let (gd, g, i, u, _) = fixture();
         let p = params();
         let mut m = Matcher::new(&gd, &g, &i, &p);
-        // The attribute vertex "white" has no same-labeled counterpart roots…
-        // actually it does (tc). Use the material vertex of G_D against an
-        // index query that misses.
         let u_mat = gd.children(u)[1];
         let result = vpair(&mut m, u_mat, None);
-        // Leaves match on label alone: both graphs contain "phylon foam".
         assert_eq!(result.len(), 1);
+        assert_eq!(g.label(result[0]), gd.label(u_mat));
+    }
+
+    /// Blocking-vs-scan equivalence on a skewed label distribution where
+    /// every token of the blocking query is a stop token (>50% of `G`'s
+    /// vertices carry each of them) — the regression fixture for the
+    /// all-stop-token fallback in `InvertedIndex::candidates`. Before the
+    /// fix, the blocked run returned no candidates at all here.
+    #[test]
+    fn blocking_equals_scan_when_all_query_tokens_are_stop_tokens() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_vertex("white");
+        let (gd, i) = b.build();
+        let mut b2 = GraphBuilder::with_interner(i);
+        // Every vertex of G carries the full query vocabulary {white}:
+        // each "item" root has a "white" child (roots index their
+        // children's tokens), so the token sits on 100% of vertices and
+        // is stopped.
+        let mut whites = Vec::new();
+        for _ in 0..6 {
+            let root = b2.add_vertex("item");
+            let col = b2.add_vertex("white");
+            b2.add_edge(root, col, "color");
+            whites.push(col);
+        }
+        let (g, interner) = b2.build();
+        let p = params();
+        let idx = InvertedIndex::build(&g, &interner);
+        let query = crate::index::blocking_query(&gd, &interner, u);
+        assert!(
+            !idx.candidates(&query).is_empty(),
+            "all-stop-token query must fall back, not go empty"
+        );
+        let mut m1 = Matcher::new(&gd, &g, &interner, &p);
+        let mut m2 = Matcher::new(&gd, &g, &interner, &p);
+        let scan = vpair(&mut m1, u, None);
+        let blocked = vpair(&mut m2, u, Some(&idx));
+        assert_eq!(scan, whites, "every same-labeled leaf matches");
+        assert_eq!(scan, blocked);
     }
 }

@@ -155,6 +155,14 @@ impl SentenceModel {
     pub fn override_count(&self) -> usize {
         self.overrides.len()
     }
+
+    /// Whether *this specific* (symmetric, case-folded) pair carries a
+    /// fine-tuned override. Lets score caches keep their identical-label
+    /// fast path and embedding memos for every pair that was never
+    /// annotated, instead of demoting all scoring on the first override.
+    pub fn is_overridden(&self, l1: &str, l2: &str) -> bool {
+        !self.overrides.is_empty() && self.overrides.contains_key(&Self::key(l1, l2))
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +251,17 @@ mod tests {
         let mut m = SentenceModel::new(64);
         m.fine_tune_pair("a b", "c d", 0.0);
         assert_eq!(m.similarity("a b", "c d"), m.similarity("c d", "a b"));
+    }
+
+    #[test]
+    fn is_overridden_scoped_to_the_annotated_pair() {
+        let mut m = SentenceModel::new(64);
+        assert!(!m.is_overridden("made_in", "factorySite"));
+        m.fine_tune_pair("made_in", "factorySite", 1.0);
+        // Symmetric + case-folded, but only the annotated pair.
+        assert!(m.is_overridden("factorysite", "MADE_IN"));
+        assert!(!m.is_overridden("made_in", "made_in"));
+        assert!(!m.is_overridden("Germany", "Germany"));
     }
 
     #[test]

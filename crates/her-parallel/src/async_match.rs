@@ -454,12 +454,36 @@ pub fn pallmatch_async(
     let sel_g = crate::pallmatch::precompute_selections_pub(g, params, n);
     let sel_d = crate::pallmatch::precompute_selections_pub(gd, params, n);
 
+    // Shared score layer, pre-warmed exactly as in the BSP engine so the
+    // asynchronous workers never embed inside their event loops.
+    let shared_scores = cfg.shared_scores.then(|| {
+        crate::pallmatch::build_shared_scores(
+            gd,
+            g,
+            interner,
+            params,
+            [&sel_d, &sel_g],
+            cfg.obs.as_ref(),
+            n,
+        )
+    });
+
     // Candidate roots per worker (as in the BSP version).
     let index = cfg.use_blocking.then(|| InvertedIndex::build(g, interner));
     let sigma = params.thresholds.sigma;
     let mut roots_per_worker: Vec<Vec<PairKey>> = vec![Vec::new(); n];
     {
-        let mut probe = Matcher::new(gd, g, interner, params);
+        let mut probe = Matcher::with_options(
+            gd,
+            g,
+            interner,
+            params,
+            MatcherOptions {
+                obs: cfg.obs.clone(),
+                shared_scores: shared_scores.clone(),
+                ..Default::default()
+            },
+        );
         for &u in tuple_vertices {
             let pool: Vec<VertexId> = match &index {
                 Some(idx) => {
@@ -507,6 +531,7 @@ pub fn pallmatch_async(
                         params,
                         MatcherOptions {
                             obs: cfg.obs.clone(),
+                            shared_scores: shared_scores.clone(),
                             ..Default::default()
                         },
                     )

@@ -26,8 +26,9 @@ use her_core::checkpoint::MatcherCheckpoint;
 use her_core::index::InvertedIndex;
 use her_core::paramatch::{Matcher, MatcherOptions, PairKey};
 use her_core::params::Params;
+use her_core::shared_scores::SharedScores;
 use her_graph::hash::{FxHashMap, FxHashSet};
-use her_graph::{Graph, Interner, VertexId};
+use her_graph::{Graph, Interner, LabelId, VertexId};
 use her_store::{CodecError, Dec, Enc, Snapshot, SnapshotStore, StoreError};
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -68,6 +69,12 @@ pub struct ParallelConfig {
     /// records `bsp.*`/`parallel.*`/`fault.*` metrics, and
     /// death/recovery events land in the trace log.
     pub obs: Option<her_obs::Obs>,
+    /// Share one sharded score cache across all workers (and pre-embed
+    /// the label vocabulary before the BSP loop starts), so `M_v`/`M_ρ`
+    /// vectors are computed once per distinct label process-wide instead
+    /// of once per worker. `false` gives each worker a private cache —
+    /// only useful for ablation.
+    pub shared_scores: bool,
 }
 
 impl Default for ParallelConfig {
@@ -80,6 +87,7 @@ impl Default for ParallelConfig {
             fault: FaultPlan::default(),
             watchdog: Duration::from_secs(10),
             obs: None,
+            shared_scores: true,
         }
     }
 }
@@ -772,6 +780,39 @@ pub(crate) fn precompute_selections_pub(g: &Graph, params: &Params, n: usize) ->
     precompute_selections(g, params, n)
 }
 
+/// Builds the process-wide shared score layer for a parallel run: one
+/// sharded cache (wired into the `scores.*` counters when `obs` is set)
+/// pre-warmed with the distinct vertex labels of both graphs and the
+/// distinct edge-label sequences of the precomputed selections, so the
+/// worker hot loops perform hash lookups instead of embedding.
+pub(crate) fn build_shared_scores(
+    gd: &Graph,
+    g: &Graph,
+    interner: &Interner,
+    params: &Params,
+    sels: [&SelectionMap; 2],
+    obs: Option<&her_obs::Obs>,
+    threads: usize,
+) -> SharedScores {
+    let shared = match obs {
+        Some(o) => SharedScores::with_obs(o),
+        None => SharedScores::new(),
+    };
+    let mut labels: Vec<LabelId> = g.vertices().map(|v| g.label(v)).collect();
+    labels.extend(gd.vertices().map(|v| gd.label(v)));
+    shared.prewarm_labels(params, interner, &labels, threads);
+    let mut seqs: Vec<Vec<LabelId>> = Vec::new();
+    for sel in sels {
+        for paths in sel.values() {
+            for (_, p) in paths.iter() {
+                seqs.push(p.edge_labels().to_vec());
+            }
+        }
+    }
+    shared.prewarm_paths(params, interner, &seqs, threads);
+    shared
+}
+
 /// Parallel `AllParaMatch`: all matches `(u_t, v)` for the given `G_D`
 /// tuple vertices across `G`, computed with `cfg.workers` BSP workers.
 /// Returns the sorted match set and run statistics.
@@ -852,6 +893,26 @@ fn engine(
     drop(span);
     let selection_secs = t0.elapsed().as_secs_f64();
 
+    // Shared score layer: every worker (and the candidate probe) reads
+    // through one sharded cache, pre-warmed here so `M_v`/`M_ρ` run once
+    // per distinct label process-wide instead of once per worker. The
+    // cache is pure memoisation of deterministic score functions, so
+    // Theorem 3's sequential equivalence is unaffected.
+    let shared_scores = cfg.shared_scores.then(|| {
+        let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.prewarm"));
+        let s = build_shared_scores(
+            gd,
+            g,
+            interner,
+            params,
+            [&sel_d, &sel_g],
+            cfg.obs.as_ref(),
+            n,
+        );
+        drop(span);
+        s
+    });
+
     let new_matcher = || {
         Matcher::with_options(
             gd,
@@ -860,6 +921,7 @@ fn engine(
             params,
             MatcherOptions {
                 obs: cfg.obs.clone(),
+                shared_scores: shared_scores.clone(),
                 ..Default::default()
             },
         )
@@ -961,7 +1023,20 @@ fn engine(
         let mut roots_per_worker: Vec<Vec<PairKey>> = vec![Vec::new(); n];
         {
             // One throwaway matcher for h_v evaluation over the full graph.
-            let mut probe = Matcher::new(gd, g, interner, params);
+            // It shares the score layer so its embeddings are not redone,
+            // and reports into the same registry so `scores.embed_calls`
+            // covers candidate generation in both modes.
+            let mut probe = Matcher::with_options(
+                gd,
+                g,
+                interner,
+                params,
+                MatcherOptions {
+                    obs: cfg.obs.clone(),
+                    shared_scores: shared_scores.clone(),
+                    ..Default::default()
+                },
+            );
             for &u in tuple_vertices {
                 let pool: Vec<VertexId> = match &index {
                     Some(idx) => {
@@ -1198,6 +1273,48 @@ mod tests {
                 },
             );
             assert_eq!(parallel, sequential, "workers = {n}");
+        }
+    }
+
+    /// The shared score layer is pure memoisation of deterministic score
+    /// functions: ablating it must not change a single match, and with it
+    /// on the whole run embeds each distinct label at most once (the
+    /// prewarm pass) instead of once per worker.
+    #[test]
+    fn shared_scores_ablation_is_equivalent_and_bounds_embeds() {
+        let (gd, g, interner, us, _) = dataset(12);
+        let p = params();
+        let run = |shared: bool| {
+            let obs = her_obs::Obs::new();
+            let cfg = ParallelConfig {
+                workers: 4,
+                use_blocking: false,
+                obs: Some(obs.clone()),
+                shared_scores: shared,
+                ..Default::default()
+            };
+            let (matches, _) = pallmatch(&gd, &g, &interner, &p, &us, &cfg);
+            (matches, obs.registry.snapshot().counter("scores.embed_calls"))
+        };
+        let (with, shared_embeds) = run(true);
+        let (without, unshared_embeds) = run(false);
+        assert_eq!(with, without);
+        if her_obs::ENABLED {
+            let distinct: FxHashSet<LabelId> = g
+                .vertices()
+                .map(|v| g.label(v))
+                .chain(gd.vertices().map(|v| gd.label(v)))
+                .collect();
+            assert!(
+                shared_embeds <= distinct.len() as u64,
+                "shared mode embedded {shared_embeds} labels but only {} are distinct",
+                distinct.len()
+            );
+            assert!(
+                unshared_embeds > shared_embeds,
+                "private caches ({unshared_embeds} embeds) should redo work \
+                 the shared layer ({shared_embeds}) does once"
+            );
         }
     }
 

@@ -15,6 +15,8 @@
 //!   --max-calls N        abort matching after N recursive calls
 //!   --deadline-ms MS     abort matching after MS milliseconds
 //!   --workers N          parallel apair/vpair over N BSP workers
+//!   --shared-scores on|off   share one score cache across matchers/workers
+//!                        (default on; off re-embeds per matcher — ablation)
 //!   --checkpoint-dir DIR durable apair: snapshot BSP state into DIR
 //!   --checkpoint-every-supersteps N    snapshot cadence (default 1)
 //!   --resume             re-enter the run from the newest valid snapshot
@@ -84,6 +86,7 @@ fn usage() {
          \t[--annotations FILE.csv] [--tuple N] [--vertex N] \\\n\
          \t[--sigma S] [--delta D] [--k K] [--relation NAME] \\\n\
          \t[--max-calls N] [--deadline-ms MS] [--workers N] \\\n\
+         \t[--shared-scores on|off] \\\n\
          \t[--checkpoint-dir DIR] [--checkpoint-every-supersteps N] \\\n\
          \t[--resume] [--stop-after-supersteps N] \\\n\
          \t[--wal FILE] [--stop-after-ops N] \\\n\
@@ -137,6 +140,8 @@ fn preregister(obs: &her::obs::Obs) {
         "bsp.supersteps",
         "bsp.worker_deaths",
         "bsp.recoveries",
+        "scores.embed_calls",
+        "scores.shared_hits",
     ] {
         r.counter(name);
     }
@@ -228,8 +233,22 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
             None => 20,
         },
     );
+    // Shared scoring layer: on by default; `off` gives every matcher and
+    // worker a private cache (the ablation baseline, which re-embeds the
+    // label vocabulary once per matcher).
+    let shared_scores = match opts.get("shared-scores").map(String::as_str) {
+        None | Some("on") => true,
+        Some("off") => false,
+        Some(other) => {
+            return Err(HerError::Usage(format!(
+                "--shared-scores expects on or off, got {other:?}"
+            )))
+        }
+    };
+
     let cfg = HerConfig {
         thresholds,
+        use_shared_scores: shared_scores,
         ..Default::default()
     };
     let build_span = obs.tracer.span("cli.build");
@@ -329,6 +348,7 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
     let pcfg = |n: usize| her::parallel::ParallelConfig {
         workers: n,
         obs: Some(obs.clone()),
+        shared_scores,
         ..Default::default()
     };
 
