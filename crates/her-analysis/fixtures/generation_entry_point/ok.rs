@@ -1,0 +1,21 @@
+//! Positive fixture: the shared generation is observed only at the
+//! declared non-recursive entry points.
+
+pub struct Matcher {
+    seen_generation: u64,
+}
+
+impl Matcher {
+    pub fn try_match(&mut self, shared: &her_core::SharedScores) -> bool {
+        self.sync_shared_generation(shared);
+        true
+    }
+
+    fn sync_shared_generation(&mut self, shared: &her_core::SharedScores) {
+        self.seen_generation = shared.generation();
+    }
+
+    pub fn restore(&mut self, shared: &her_core::SharedScores) {
+        self.seen_generation = shared.generation();
+    }
+}

@@ -1,0 +1,15 @@
+//! Seeded violation: reading the shared generation mid-recursion. An
+//! `invalidate()` racing this read tears the traversal's score view.
+
+pub struct Matcher {
+    seen_generation: u64,
+}
+
+impl Matcher {
+    fn recursive_step(&mut self, shared: &her_core::SharedScores, depth: u32) -> bool {
+        if self.seen_generation != shared.generation() {
+            return false;
+        }
+        depth == 0 || self.recursive_step(shared, depth - 1)
+    }
+}

@@ -1,0 +1,29 @@
+//! Positive fixture: a decode path that degrades to errors — bounds via
+//! `get`, conversions via `try_into().ok()`, no unwrap/expect/indexing.
+//! Test code below may panic freely (rule excludes `mod tests`).
+
+pub struct DecodeError(pub String);
+
+pub fn decode_u32(buf: &[u8], pos: usize) -> Result<u32, DecodeError> {
+    let end = pos
+        .checked_add(4)
+        .ok_or_else(|| DecodeError("offset overflow".into()))?;
+    let bytes: [u8; 4] = buf
+        .get(pos..end)
+        .ok_or_else(|| DecodeError("short read".into()))?
+        .try_into()
+        .map_err(|_| DecodeError("bad width".into()))?;
+    Ok(u32::from_le_bytes(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let buf = 7u32.to_le_bytes().to_vec();
+        assert_eq!(decode_u32(&buf, 0).map_err(|e| e.0).unwrap(), 7);
+        assert_eq!(buf[0], 7);
+    }
+}

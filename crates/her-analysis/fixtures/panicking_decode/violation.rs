@@ -1,0 +1,12 @@
+//! Seeded violations: unwrap, expect and slice indexing inside a decode
+//! path — each aborts the process on a torn or corrupt input.
+
+pub fn decode_header(buf: &[u8]) -> (u32, u32) {
+    let len: [u8; 4] = buf[0..4].try_into().unwrap();
+    let crc: [u8; 4] = buf[4..8].try_into().expect("4-byte slice");
+    (u32::from_le_bytes(len), u32::from_le_bytes(crc))
+}
+
+pub fn decode_first(buf: &[u8]) -> u8 {
+    buf[0]
+}

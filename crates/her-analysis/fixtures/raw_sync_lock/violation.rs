@@ -1,0 +1,17 @@
+//! Seeded violations: raw std locks via a use-group, an inline path,
+//! and one properly waived site.
+
+use std::sync::{Arc, Mutex};
+
+pub struct Bad {
+    inner: Mutex<Vec<u32>>,
+    // Inline path form, no import:
+    slow: std::sync::RwLock<u32>,
+}
+
+// #[allow(her::raw_sync_lock)] — fixture demonstrating a justified waiver
+use std::sync::MutexGuard;
+
+pub fn share(b: Bad) -> Arc<Bad> {
+    Arc::new(b)
+}

@@ -1,0 +1,7 @@
+//! Positive fixture: preregistered literal names only (the test registry
+//! contains scores.embed_calls and scores.shared_hits).
+
+pub fn wire(obs: &her_obs::Obs) {
+    obs.registry.counter("scores.embed_calls").inc();
+    obs.registry.counter("scores.shared_hits").add(2);
+}

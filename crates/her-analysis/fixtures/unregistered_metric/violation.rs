@@ -1,0 +1,10 @@
+//! Seeded violations: an unpreregistered literal name, an uncheckable
+//! dynamic name, and a properly waived dynamic forwarding site.
+
+pub fn wire(obs: &her_obs::Obs, kind: &str) {
+    obs.registry.counter("scores.typo_metric").inc();
+    let name = format!("fault.{kind}");
+    obs.registry.counter(&name).inc();
+    // #[allow(her::unregistered_metric)] — forwards `fault.<kind>`, every kind in names::ALL
+    obs.registry.counter(&format!("fault.{kind}")).inc();
+}

@@ -1,0 +1,20 @@
+//! Positive fixture: wall-clock reads are fine OUTSIDE replay/restore
+//! functions (telemetry on the write path), and replay functions that
+//! never read the clock are fine too.
+
+use std::time::Instant;
+
+pub fn write_with_timing(out: &mut Vec<u8>, payload: &[u8]) -> f64 {
+    let t0 = Instant::now();
+    out.extend_from_slice(payload);
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn replay(journal: &[Vec<u8>], mut apply: impl FnMut(&[u8])) -> u64 {
+    let mut records = 0;
+    for rec in journal {
+        apply(rec);
+        records += 1;
+    }
+    records
+}

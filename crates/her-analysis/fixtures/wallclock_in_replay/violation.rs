@@ -1,0 +1,26 @@
+//! Seeded violations: wall-clock reads inside replay and restore paths
+//! make recovery non-deterministic.
+
+use std::time::{Instant, SystemTime};
+
+pub struct Replayed {
+    pub records: u64,
+    pub stamp_micros: u128,
+}
+
+pub fn replay(journal: &[Vec<u8>], mut apply: impl FnMut(&[u8])) -> Replayed {
+    let t0 = Instant::now();
+    let mut records = 0;
+    for rec in journal {
+        apply(rec);
+        records += 1;
+    }
+    Replayed {
+        records,
+        stamp_micros: t0.elapsed().as_micros(),
+    }
+}
+
+pub fn restore_stamp() -> SystemTime {
+    SystemTime::now()
+}

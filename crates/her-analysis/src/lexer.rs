@@ -1,0 +1,327 @@
+//! A minimal Rust lexer — just enough structure for the rules in
+//! [`crate::rules`]: identifiers, punctuation, string/char/number
+//! literals, and comment-borne waivers. No `syn`, no precise grammar;
+//! rules work on token sequences, which is robust to formatting and
+//! cheap enough to lex the whole workspace in well under a second.
+
+/// Token classes the rules distinguish.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `Mutex`, `unwrap`, ...).
+    Ident,
+    /// String literal; `text` holds the raw inner bytes (escapes kept
+    /// verbatim — metric names never use escapes).
+    Str,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`) or char literal — rules ignore both, but they
+    /// must be consumed correctly so quotes don't derail the lexer.
+    Tick,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// A waiver comment: `// #[allow(her::rule_name)] — justification`.
+/// It silences findings of `rule` on its own line and the line below.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    pub rule: String,
+    pub line: u32,
+}
+
+/// Lexing output: the token stream plus every waiver comment seen.
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub waivers: Vec<Waiver>,
+}
+
+/// Scans comment text for `#[allow(her::rule)]` markers.
+fn scan_waivers(comment: &str, line: u32, out: &mut Vec<Waiver>) {
+    let mut rest = comment;
+    while let Some(at) = rest.find("#[allow(her::") {
+        let tail = &rest[at + "#[allow(her::".len()..];
+        let end = tail
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+            .unwrap_or(tail.len());
+        if end > 0 && tail[end..].starts_with(")]") {
+            out.push(Waiver {
+                rule: tail[..end].to_string(),
+                line,
+            });
+        }
+        rest = &rest[at + 1..];
+    }
+}
+
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut waivers = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let bump = |from: usize, to: usize, line: &mut u32| {
+        *line += b[from..to].iter().filter(|&&c| c == b'\n').count() as u32;
+    };
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map(|n| i + n).unwrap_or(b.len());
+                scan_waivers(&src[i..end], line, &mut waivers);
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment, nesting like Rust's.
+                let start = i;
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                scan_waivers(&src[start..i], line, &mut waivers);
+                bump(start, i, &mut line);
+            }
+            b'"' => {
+                let (text, end) = string_body(src, i + 1);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                bump(i, end, &mut line);
+                i = end;
+            }
+            b'r' | b'b' if raw_string_start(b, i).is_some() => {
+                let (hashes, body_at) = raw_string_start(b, i).unwrap_or((0, i + 1));
+                let close: String =
+                    std::iter::once('"').chain(std::iter::repeat_n('#', hashes)).collect();
+                let end = src[body_at..]
+                    .find(&close)
+                    .map(|n| body_at + n)
+                    .unwrap_or(b.len());
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: src[body_at..end].to_string(),
+                    line,
+                });
+                let after = (end + close.len()).min(b.len());
+                bump(i, after, &mut line);
+                i = after;
+            }
+            b'b' if b.get(i + 1) == Some(&b'"') => {
+                let (text, end) = string_body(src, i + 2);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                bump(i, end, &mut line);
+                i = end;
+            }
+            b'\'' => {
+                // Lifetime vs char literal: a lifetime is `'ident` NOT
+                // followed by a closing quote.
+                let mut j = i + 1;
+                if j < b.len() && (b[j].is_ascii_alphabetic() || b[j] == b'_') {
+                    let mut k = j;
+                    while k < b.len() && (b[k].is_ascii_alphanumeric() || b[k] == b'_') {
+                        k += 1;
+                    }
+                    if b.get(k) != Some(&b'\'') {
+                        toks.push(Tok {
+                            kind: TokKind::Tick,
+                            text: src[j..k].to_string(),
+                            line,
+                        });
+                        i = k;
+                        continue;
+                    }
+                }
+                // Char literal: consume to the closing quote, honouring \.
+                while j < b.len() {
+                    if b[j] == b'\\' {
+                        j += 2;
+                    } else if b[j] == b'\'' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Tick,
+                    text: String::new(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.'
+                        && b.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        // `1.5` continues the number; `0..n` does not.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Lexed { toks, waivers }
+}
+
+/// Consumes a (non-raw) string body starting just after the opening
+/// quote; returns the inner text and the index just past the closing
+/// quote.
+fn string_body(src: &str, from: usize) -> (String, usize) {
+    let b = src.as_bytes();
+    let mut j = from;
+    while j < b.len() {
+        if b[j] == b'\\' {
+            j += 2;
+        } else if b[j] == b'"' {
+            return (src[from..j].to_string(), j + 1);
+        } else {
+            j += 1;
+        }
+    }
+    (src[from..].to_string(), b.len())
+}
+
+/// Detects `r"`, `r#"`, `br#"` ... at `i`; returns (hash count, index of
+/// the first body byte).
+fn raw_string_start(b: &[u8], i: usize) -> Option<(usize, usize)> {
+    let mut j = i + 1;
+    if b[i] == b'b' {
+        if b.get(j) != Some(&b'r') {
+            return None;
+        }
+        j += 1;
+    }
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if b.get(j) == Some(&b'"') {
+        Some((hashes, j + 1))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn tokenizes_idents_strings_and_lines() {
+        let l = lex("fn main() {\n    let x = \"a b\"; // note\n}\n");
+        assert_eq!(idents("fn main() { let x = 1; }"), ["fn", "main", "let", "x"]);
+        let s: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text, "a b");
+        assert_eq!(s[0].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_do_not_derail_strings() {
+        let l = lex("impl<'a> X<'a> { fn f(c: char) { if c == '\"' {} let s = \"ok\"; } }");
+        let strs: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["ok"]);
+    }
+
+    #[test]
+    fn raw_strings_round_trip() {
+        let l = lex(r####"let a = r#"has "quotes""#; let b = r"plain";"####);
+        let strs: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, [r#"has "quotes""#, "plain"]);
+    }
+
+    #[test]
+    fn waivers_are_collected_from_comments() {
+        let l = lex("// #[allow(her::raw_sync_lock)] — justified\nlet x = 1;\n/* #[allow(her::panicking_decode)] */\n");
+        let w: Vec<_> = l.waivers.iter().map(|w| (w.rule.as_str(), w.line)).collect();
+        assert_eq!(w, [("raw_sync_lock", 1), ("panicking_decode", 3)]);
+    }
+
+    #[test]
+    fn escaped_quotes_stay_inside_the_literal() {
+        let l = lex(r#"let s = "a\"b"; let t = 2;"#);
+        let s: Vec<_> = l.toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].text, r#"a\"b"#);
+    }
+}

@@ -1,0 +1,50 @@
+//! CLI: `cargo run -p her-analysis -- check [--json]`.
+//!
+//! Exit codes: 0 clean (waived findings allowed), 1 unwaived findings,
+//! 2 usage error. `--json` emits the machine-readable report on stdout;
+//! the human report always goes to stderr so CI logs stay readable
+//! either way.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let mut cmd = None;
+    for a in &args {
+        match a.as_str() {
+            "--json" => json = true,
+            "check" | "list" => cmd = Some(a.as_str()),
+            other => {
+                eprintln!("her-analysis: unknown argument `{other}`");
+                eprintln!("usage: cargo run -p her-analysis -- check [--json]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    match cmd {
+        Some("list") => {
+            for r in her_analysis::rules::ALL_RULES {
+                println!("{r}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let root = her_analysis::find_root();
+            let (findings, files) = her_analysis::check_workspace(&root);
+            if json {
+                println!("{}", her_analysis::report::render_json(&findings));
+            }
+            eprint!("{}", her_analysis::report::render_text(&findings, files));
+            if findings.iter().any(|f| !f.waived) {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p her-analysis -- check [--json]");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -28,6 +28,12 @@
 //! - [`her`]: the [`her::Her`] facade exposing SPair, VPair and APair.
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
+/// Synchronization facade: ranked `Mutex`/`RwLock` wrappers with a runtime
+/// lock-order and re-entrancy tracker (see the `her-sync` crate). All
+/// workspace locks go through this module; `her-analysis` lints against raw
+/// `std::sync` lock use outside it.
+pub use her_sync as sync;
+
 pub mod apair;
 pub mod checkpoint;
 pub mod her;

@@ -43,13 +43,24 @@
 use crate::params::Params;
 use her_graph::hash::{FxHashMap, FxHasher};
 use her_graph::{Interner, LabelId, Path};
+use her_sync::{rank, RwLock};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
-/// Shard count: a small power of two comfortably above typical worker
-/// counts, so concurrent lookups rarely contend on the same lock.
-const SHARD_COUNT: usize = 16;
+/// Default shard count: a small power of two comfortably above typical
+/// worker counts, so concurrent lookups rarely contend on the same lock.
+/// Larger deployments size the array from the worker count instead — see
+/// [`SharedScores::for_workers`].
+const DEFAULT_SHARD_COUNT: usize = 16;
+
+/// Shards for `workers` concurrent readers: the next power of two at or
+/// above the worker count, never below [`DEFAULT_SHARD_COUNT`]. Power of
+/// two keeps shard selection a mask; ≥ workers keeps the expected
+/// contention per shard below one thread.
+fn shards_for_workers(workers: usize) -> usize {
+    workers.next_power_of_two().max(DEFAULT_SHARD_COUNT)
+}
 
 /// A batch of freshly-encoded path vectors, keyed by their sequences.
 type EncodedPaths<'a> = Vec<(&'a Vec<LabelId>, Arc<Vec<f32>>)>;
@@ -64,7 +75,8 @@ struct Shard {
 }
 
 struct Inner {
-    shards: Vec<RwLock<Shard>>,
+    /// Power-of-two length, so shard selection is `hash & (len - 1)`.
+    shards: Box<[RwLock<Shard>]>,
     /// Bumped by [`SharedScores::invalidate`]; matchers re-sync derived
     /// caches when the generation they saw last no longer matches.
     generation: AtomicU64,
@@ -99,27 +111,43 @@ impl Default for SharedScores {
 }
 
 impl SharedScores {
-    /// Creates an empty shared cache (no telemetry attached).
+    /// Creates an empty shared cache (no telemetry attached, default
+    /// shard count).
     pub fn new() -> Self {
-        Self::build(None, None)
+        Self::build(None, None, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Creates an empty shared cache sized for `workers` concurrent
+    /// readers (next power of two, minimum [`DEFAULT_SHARD_COUNT`]).
+    pub fn for_workers(workers: usize) -> Self {
+        Self::build(None, None, shards_for_workers(workers))
     }
 
     /// Creates an empty shared cache whose embed/hit counts also feed
     /// the `scores.embed_calls` / `scores.shared_hits` counters of the
     /// given registry.
     pub fn with_obs(obs: &her_obs::Obs) -> Self {
+        Self::with_obs_for_workers(obs, 0)
+    }
+
+    /// [`SharedScores::with_obs`] with the shard array sized for
+    /// `workers` concurrent readers.
+    pub fn with_obs_for_workers(obs: &her_obs::Obs, workers: usize) -> Self {
         Self::build(
             Some(obs.registry.counter("scores.embed_calls")),
             Some(obs.registry.counter("scores.shared_hits")),
+            shards_for_workers(workers),
         )
     }
 
     fn build(
         obs_embed: Option<Arc<her_obs::Counter>>,
         obs_hits: Option<Arc<her_obs::Counter>>,
+        shard_count: usize,
     ) -> Self {
-        let shards = (0..SHARD_COUNT)
-            .map(|_| RwLock::new(Shard::default()))
+        debug_assert!(shard_count.is_power_of_two());
+        let shards = (0..shard_count)
+            .map(|_| RwLock::new(rank::SCORES_SHARD, Shard::default()))
             .collect();
         Self {
             inner: Arc::new(Inner {
@@ -133,10 +161,15 @@ impl SharedScores {
         }
     }
 
+    /// Number of shards in this handle's memo array (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
     fn shard<K: Hash + ?Sized>(&self, key: &K) -> &RwLock<Shard> {
         let mut h = FxHasher::default();
         key.hash(&mut h);
-        &self.inner.shards[(h.finish() as usize) % SHARD_COUNT]
+        &self.inner.shards[(h.finish() as usize) & (self.inner.shards.len() - 1)]
     }
 
     fn count_embed(&self, n: u64) {
@@ -430,6 +463,49 @@ mod tests {
     }
 
     #[test]
+    fn shard_array_is_sized_from_workers() {
+        // Defaults and small fleets share the 16-shard floor.
+        assert_eq!(SharedScores::new().shard_count(), 16);
+        for workers in [0, 1, 4, 16] {
+            assert_eq!(SharedScores::for_workers(workers).shard_count(), 16);
+        }
+        // Past the floor: next power of two at or above the worker count.
+        for (workers, shards) in [(17, 32), (32, 32), (33, 64), (100, 128)] {
+            assert_eq!(SharedScores::for_workers(workers).shard_count(), shards);
+        }
+    }
+
+    /// The lock-order tracker turns a seeded shard-lock inversion into a
+    /// deterministic panic naming both locks: a thread holding a
+    /// higher-ranked lock (here the obs-registry rank) must not enter the
+    /// score shards (rank `core.scores_shard`).
+    #[test]
+    fn seeded_shard_lock_inversion_panics_under_tracking() {
+        if !her_sync::TRACKING {
+            return;
+        }
+        let (p, i, labels) = setup();
+        let shared = SharedScores::new();
+        let outer = her_sync::Mutex::new(her_sync::rank::OBS_REGISTRY, ());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = outer.lock().unwrap();
+            // Inversion: rank 40 (core.scores_shard) under rank 90.
+            shared.hv(&p, &i, labels[0], labels[1]);
+        }))
+        .expect_err("inverted acquisition must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
+        assert!(msg.contains("lock-order violation"), "got: {msg}");
+        assert!(
+            msg.contains("core.scores_shard"),
+            "panic must name the acquired lock: {msg}"
+        );
+        assert!(msg.contains("obs.registry"), "panic must name the held lock: {msg}");
+    }
+
+    #[test]
     fn shared_hv_matches_private_cache_bit_for_bit() {
         let (p, i, labels) = setup();
         let shared = SharedScores::new();
@@ -450,9 +526,19 @@ mod tests {
     /// single-threaded `ScoreCache`, and each distinct label embeds once.
     #[test]
     fn concurrent_scoring_agrees_with_sequential() {
-        let (p, i, labels) = setup();
-        let shared = SharedScores::new();
-        let threads = 8;
+        let (p, i, mut labels) = setup();
+        // Miri runs this test too (it is the interesting one for the
+        // aliasing model); shrink the workload so it finishes in CI.
+        let threads = if cfg!(miri) { 3 } else { 8 };
+        if cfg!(miri) {
+            labels.truncate(6);
+        }
+        let shared = SharedScores::for_workers(threads);
+        // Sizing satellite: the shard array comes from the worker count
+        // (next power of two, floor 16), so small fleets get the floor...
+        assert_eq!(shared.shard_count(), 16);
+        // ...while larger fleets outgrow it.
+        assert_eq!(SharedScores::for_workers(48).shard_count(), 64);
         let results: Vec<Vec<u32>> = std::thread::scope(|s| {
             (0..threads)
                 .map(|t| {
@@ -497,7 +583,10 @@ mod tests {
 
     #[test]
     fn concurrent_mrho_agrees_with_sequential() {
-        let (p, i, labels) = setup();
+        let (p, i, mut labels) = setup();
+        if cfg!(miri) {
+            labels.truncate(6);
+        }
         let seqs: Vec<Vec<LabelId>> = (0..labels.len())
             .map(|n| vec![labels[n], labels[(n + 1) % labels.len()]])
             .collect();

@@ -14,7 +14,7 @@
 //! so replay order = original order gives identical matches).
 
 use crate::her::Her;
-use crate::paramatch::Matcher;
+use crate::paramatch::{Matcher, MatcherOptions};
 use crate::vpair;
 use her_graph::VertexId;
 use her_rdb::TupleRef;
@@ -41,11 +41,25 @@ pub struct StreamLinker<'a> {
 }
 
 impl<'a> StreamLinker<'a> {
-    /// Creates an empty session over a trained system.
+    /// Creates an empty session over a trained system. The session's
+    /// matcher reads scores through the facade's [`crate::SharedScores`]
+    /// handle (when enabled on `her`), so labels embedded by any earlier
+    /// run — batch, parallel, or a previous stream session — are served
+    /// from the shared memo instead of re-embedded per session.
     pub fn new(her: &'a Her) -> Self {
+        Self::with_obs(her, None)
+    }
+
+    /// [`StreamLinker::new`] with an observability handle: per-tuple work
+    /// lands in the `paramatch.*` counters and each operation ticks
+    /// `stream.tuples` / `stream.retractions`.
+    pub fn with_obs(her: &'a Her, obs: Option<her_obs::Obs>) -> Self {
         Self {
             her,
-            matcher: her.matcher(),
+            matcher: her.matcher_with(MatcherOptions {
+                obs,
+                ..Default::default()
+            }),
             matches: BTreeSet::new(),
             processed: Vec::new(),
         }
@@ -182,7 +196,10 @@ impl<'a> DurableStreamLinker<'a> {
         obs: Option<her_obs::Obs>,
     ) -> Result<(Self, WalReplay), StoreError> {
         let path = path.as_ref();
-        let mut inner = StreamLinker::new(her);
+        // The session matcher and the WAL share one obs handle, so
+        // `stream.*` counters cover journaled sessions too (they were
+        // previously wired only into the WAL's `store.*` metrics).
+        let mut inner = StreamLinker::with_obs(her, obs.clone());
         let mut record = 0u64;
         let (wal, replay) = WalWriter::open(path, obs, |payload| {
             record += 1;
@@ -509,6 +526,56 @@ mod tests {
                 "cut={cut}: resumed state is not the clean {n}-op prefix"
             );
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite (ISSUE 5): durable sessions route scoring through the
+    /// facade's [`crate::SharedScores`] handle — a journaled session over
+    /// a vocabulary the facade already embedded performs zero re-embeds,
+    /// produces exactly the matches of a plain in-memory session, and its
+    /// operations tick the `stream.*` counters of the obs handle it was
+    /// opened with.
+    #[test]
+    fn durable_session_reads_through_facade_handle() {
+        let (her, ts, _) = system();
+        let shared = her
+            .shared_scores
+            .as_ref()
+            .expect("facade handle on by default")
+            .clone();
+
+        // Warm the facade handle with a plain session (the reference for
+        // the equivalence check below).
+        let mut reference = StreamLinker::new(&her);
+        for &t in &ts {
+            reference.process(t);
+        }
+        let embeds_after_warm = shared.embed_calls();
+        assert!(embeds_after_warm > 0, "warm run must have embedded");
+        let hits_after_warm = shared.shared_hits();
+
+        let obs = her_obs::Obs::new();
+        let path = temp_wal("facade-routing");
+        let (mut durable, _) =
+            DurableStreamLinker::open(&her, &path, Some(obs.clone())).unwrap();
+        for &t in &ts {
+            durable.process(t).unwrap();
+        }
+        assert_eq!(durable.matches(), reference.matches());
+        assert_eq!(
+            shared.embed_calls(),
+            embeds_after_warm,
+            "durable session re-embedded labels the facade handle already holds"
+        );
+        assert!(
+            shared.shared_hits() > hits_after_warm,
+            "durable session never read the shared memo"
+        );
+        assert_eq!(
+            obs.registry.snapshot().counter("stream.tuples"),
+            ts.len() as u64,
+            "journaled processes must tick stream.tuples"
+        );
         let _ = std::fs::remove_file(&path);
     }
 

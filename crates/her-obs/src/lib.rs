@@ -29,6 +29,7 @@
 
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod names;
 pub mod json;
 pub mod log;
 pub mod metrics;

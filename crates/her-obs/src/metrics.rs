@@ -3,7 +3,8 @@
 //!
 //! The hot path (a `Counter::inc` inside ParaMatch's recursion, a
 //! `Histogram::observe` per BSP superstep) is a single relaxed atomic
-//! RMW — no locks, no allocation. The registry's `Mutex` is touched
+//! RMW — no locks, no allocation. The registry's mutex (a ranked
+//! [`her_sync::Mutex`], like every lock in the workspace) is touched
 //! only at handle-resolution time (once per matcher/worker
 //! construction) and at snapshot time.
 //!
@@ -12,9 +13,10 @@
 //! uninstrumented build pays nothing beyond the unused fields.
 
 use crate::ENABLED;
+use her_sync::{rank, Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// Recovers from a poisoned mutex: metrics must never propagate a
 /// panic from an unrelated thread into the instrumented code path.
@@ -184,9 +186,16 @@ struct Instruments {
 /// Names and owns all instruments. Cloning the `Arc<Registry>` held in
 /// [`crate::Obs`] shares the underlying atomics, so parallel workers
 /// built from the same `Obs` aggregate into one set of counters.
-#[derive(Default)]
 pub struct Registry {
     instruments: Mutex<Instruments>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            instruments: Mutex::new(rank::OBS_REGISTRY, Instruments::default()),
+        }
+    }
 }
 
 impl std::fmt::Debug for Registry {

@@ -1,0 +1,107 @@
+//! Central metric preregistration list.
+//!
+//! Every counter, gauge and histogram name the workspace uses must
+//! appear here, and everything here must be used — both directions are
+//! machine-checked by `her-analysis` (`her::unregistered_metric`).
+//! Dashboards, the bench harness and `her-cli obs` can therefore
+//! enumerate the full telemetry surface without running every engine.
+//!
+//! Names are `family.metric` (dots, snake_case). Dynamic families —
+//! names built with `format!` at runtime — are NOT listed (the call
+//! sites carry a waiver documenting the family instead), except where a
+//! family has a small closed set of members (e.g. `fault.*`), which is
+//! listed here with a reverse-check waiver because the members reach the
+//! registry through a forwarding helper rather than a literal sink call.
+
+/// Every preregistered metric name, sorted.
+pub const ALL: &[&str] = &[
+    // apair: batch AllParaMatch entry point
+    "apair.candidates",
+    "apair.runs",
+    // async: barrier-free engine
+    "async.invalidations",
+    "async.recoveries",
+    "async.requests",
+    "async.runs",
+    "async.watchdog_aborts",
+    "async.worker_deaths",
+    // bsp: superstep engine
+    "bsp.recoveries",
+    "bsp.superstep.busy_us",
+    "bsp.superstep.messages",
+    "bsp.superstep.skew_us",
+    "bsp.supersteps",
+    "bsp.worker_deaths",
+    // fault: injected-fault accounting, forwarded through fault_count()
+    // #[allow(her::unregistered_metric)] — reaches the registry via fault_count() forwarding
+    "fault.blackholed",
+    // #[allow(her::unregistered_metric)] — reaches the registry via fault_count() forwarding
+    "fault.delayed",
+    // #[allow(her::unregistered_metric)] — reaches the registry via fault_count() forwarding
+    "fault.dropped",
+    // #[allow(her::unregistered_metric)] — reaches the registry via fault_count() forwarding
+    "fault.duplicated",
+    // parallel: run-level accounting shared by both engines
+    "parallel.invalidations",
+    "parallel.requests",
+    "parallel.runs",
+    "parallel.simulated_secs",
+    "parallel.workers",
+    // paramatch: the sequential matcher hot loop
+    "paramatch.cache_entries",
+    "paramatch.cache_hit_rate",
+    "paramatch.cache_hits",
+    "paramatch.calls",
+    "paramatch.candidate_list_len",
+    "paramatch.cleanups",
+    "paramatch.early_terminations",
+    "paramatch.ecache_hits",
+    "paramatch.exhausted",
+    "paramatch.lineage_size",
+    // scores: the shared embedding/score memo
+    "scores.distinct_labels",
+    "scores.embed_calls",
+    "scores.shared_hits",
+    // store: snapshots, WAL, checkpoints
+    "store.checkpoint_bytes_total",
+    "store.checkpoint_failures",
+    "store.checkpoint_secs_total",
+    "store.corrupt_snapshots_skipped",
+    "store.snapshot.bytes",
+    "store.snapshot.write_us",
+    "store.snapshot_bytes",
+    "store.snapshots_loaded",
+    "store.snapshots_written",
+    "store.wal_bytes",
+    "store.wal_records_appended",
+    "store.wal_records_replayed",
+    "store.wal_torn_tails_truncated",
+    // stream: incremental linking sessions
+    "stream.retractions",
+    "stream.tuples",
+    // vpair: single-tuple linking entry point
+    "vpair.candidates",
+    "vpair.runs",
+];
+
+/// True when `name` is preregistered.
+pub fn is_registered(name: &str) -> bool {
+    ALL.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_is_sorted_and_distinct() {
+        assert!(ALL.windows(2).all(|w| w[0] < w[1]), "ALL must be sorted, no dups");
+    }
+
+    #[test]
+    fn lookup_agrees_with_list() {
+        assert!(is_registered("scores.shared_hits"));
+        assert!(is_registered("fault.dropped"));
+        assert!(!is_registered("scores.typo_metric"));
+    }
+}

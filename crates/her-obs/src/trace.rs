@@ -13,9 +13,10 @@
 //! stderr as it happens.
 
 use crate::ENABLED;
+use her_sync::{rank, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Ring-buffer capacity; old events are dropped (and counted) beyond it.
@@ -77,11 +78,10 @@ impl Tracer {
         Tracer {
             inner: Arc::new(Inner {
                 epoch: Instant::now(),
-                events: Mutex::new(VecDeque::with_capacity(if ENABLED {
-                    TRACE_CAPACITY
-                } else {
-                    0
-                })),
+                events: Mutex::new(
+                    rank::OBS_TRACE,
+                    VecDeque::with_capacity(if ENABLED { TRACE_CAPACITY } else { 0 }),
+                ),
                 dropped: AtomicU64::new(0),
                 echo: AtomicBool::new(false),
             }),

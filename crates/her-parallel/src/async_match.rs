@@ -162,6 +162,7 @@ impl<'g> AsyncWorker<'g> {
     /// Bumps a `fault.*` counter (injected-fault paths only, never hot).
     fn fault_count(&self, name: &str) {
         if let Some(obs) = self.matcher.obs() {
+            // #[allow(her::unregistered_metric)] — forwards literal `fault.*` names, all in names::ALL
             obs.registry.counter(name).inc();
         }
     }
@@ -172,21 +173,27 @@ impl<'g> AsyncWorker<'g> {
     fn send(&mut self, dest: usize, msg: Msg) {
         if !self.fault.is_armed() {
             self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-            let _ = self.senders[dest].send(msg);
+            if let Some(s) = self.senders.get(dest) {
+                let _ = s.send(msg);
+            }
             return;
         }
         for attempt in 0..MAX_SEND_ATTEMPTS {
             match self.fault.fate(self.id) {
                 MessageFate::Deliver => {
                     self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-                    let _ = self.senders[dest].send(msg);
+                    if let Some(s) = self.senders.get(dest) {
+                        let _ = s.send(msg);
+                    }
                     return;
                 }
                 MessageFate::Duplicate => {
                     self.fault_count("fault.duplicated");
                     self.shared.in_flight.fetch_add(2, Ordering::SeqCst);
-                    let _ = self.senders[dest].send(msg.clone());
-                    let _ = self.senders[dest].send(msg);
+                    if let Some(s) = self.senders.get(dest) {
+                        let _ = s.send(msg.clone());
+                        let _ = s.send(msg);
+                    }
                     return;
                 }
                 MessageFate::Delay => {
@@ -457,15 +464,7 @@ pub fn pallmatch_async(
     // Shared score layer, pre-warmed exactly as in the BSP engine so the
     // asynchronous workers never embed inside their event loops.
     let shared_scores = cfg.shared_scores.then(|| {
-        crate::pallmatch::build_shared_scores(
-            gd,
-            g,
-            interner,
-            params,
-            [&sel_d, &sel_g],
-            cfg.obs.as_ref(),
-            n,
-        )
+        crate::pallmatch::build_shared_scores(gd, g, interner, params, [&sel_d, &sel_g], cfg, n)
     });
 
     // Candidate roots per worker (as in the BSP version).

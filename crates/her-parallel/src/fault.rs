@@ -34,7 +34,8 @@
 
 use her_core::paramatch::PairKey;
 use her_graph::hash::{FxHashMap, FxHashSet};
-use std::sync::{Arc, Mutex};
+use her_sync::{rank, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// What the transport should do with one delivery attempt.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -51,11 +52,21 @@ pub enum MessageFate {
     BlackHole,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct State {
     kills_fired: Mutex<FxHashSet<(usize, usize)>>,
     poison_fired: Mutex<FxHashSet<PairKey>>,
     counters: Mutex<FxHashMap<usize, u64>>,
+}
+
+impl Default for State {
+    fn default() -> Self {
+        State {
+            kills_fired: Mutex::new(rank::FAULT_KILLS, FxHashSet::default()),
+            poison_fired: Mutex::new(rank::FAULT_POISON, FxHashSet::default()),
+            counters: Mutex::new(rank::FAULT_COUNTERS, FxHashMap::default()),
+        }
+    }
 }
 
 /// A seeded, deterministic script of injected faults. The default plan is
@@ -186,7 +197,7 @@ impl FaultPlan {
     }
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 

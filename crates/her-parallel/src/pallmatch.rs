@@ -75,6 +75,13 @@ pub struct ParallelConfig {
     /// of once per worker. `false` gives each worker a private cache —
     /// only useful for ablation.
     pub shared_scores: bool,
+    /// Reuse an already-built [`SharedScores`] handle (typically the
+    /// facade handle of the `Her` instance this run serves) instead of
+    /// building a fresh one. The handle is still pre-warmed, but the
+    /// prewarm reads through the existing memo, so labels embedded by an
+    /// earlier run — sequential, BSP, or async — are never re-embedded.
+    /// Ignored when [`ParallelConfig::shared_scores`] is `false`.
+    pub shared_handle: Option<SharedScores>,
 }
 
 impl Default for ParallelConfig {
@@ -88,6 +95,7 @@ impl Default for ParallelConfig {
             watchdog: Duration::from_secs(10),
             obs: None,
             shared_scores: true,
+            shared_handle: None,
         }
     }
 }
@@ -217,6 +225,7 @@ impl<'a> PWorker<'a> {
     /// Bumps a `fault.*` counter (injected-fault paths only, never hot).
     fn fault_count(&self, name: &str) {
         if let Some(obs) = self.matcher.obs() {
+            // #[allow(her::unregistered_metric)] — forwards literal `fault.*` names, all in names::ALL
             obs.registry.counter(name).inc();
         }
     }
@@ -791,12 +800,16 @@ pub(crate) fn build_shared_scores(
     interner: &Interner,
     params: &Params,
     sels: [&SelectionMap; 2],
-    obs: Option<&her_obs::Obs>,
+    cfg: &ParallelConfig,
     threads: usize,
 ) -> SharedScores {
-    let shared = match obs {
-        Some(o) => SharedScores::with_obs(o),
-        None => SharedScores::new(),
+    // A caller-supplied handle (e.g. the `Her` facade's) keeps its memo:
+    // the prewarm below reads through it, so anything embedded by an
+    // earlier run stays embedded exactly once process-wide.
+    let shared = match (cfg.shared_handle.as_ref(), cfg.obs.as_ref()) {
+        (Some(s), _) => s.clone(),
+        (None, Some(o)) => SharedScores::with_obs_for_workers(o, threads),
+        (None, None) => SharedScores::for_workers(threads),
     };
     let mut labels: Vec<LabelId> = g.vertices().map(|v| g.label(v)).collect();
     labels.extend(gd.vertices().map(|v| gd.label(v)));
@@ -900,15 +913,7 @@ fn engine(
     // Theorem 3's sequential equivalence is unaffected.
     let shared_scores = cfg.shared_scores.then(|| {
         let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.prewarm"));
-        let s = build_shared_scores(
-            gd,
-            g,
-            interner,
-            params,
-            [&sel_d, &sel_g],
-            cfg.obs.as_ref(),
-            n,
-        );
+        let s = build_shared_scores(gd, g, interner, params, [&sel_d, &sel_g], cfg, n);
         drop(span);
         s
     });

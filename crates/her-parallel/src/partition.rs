@@ -7,6 +7,7 @@
 
 use her_graph::hash::FxHashSet;
 use her_graph::{Graph, VertexId};
+use her_sync::{rank, RwLock, RwLockReadGuard};
 
 /// An assignment of every vertex to one of `n` workers.
 #[derive(Clone, Debug)]
@@ -108,14 +109,14 @@ impl Partition {
 /// observes the new assignment.
 #[derive(Clone, Debug)]
 pub struct SharedPartition {
-    inner: std::sync::Arc<std::sync::RwLock<Partition>>,
+    inner: std::sync::Arc<RwLock<Partition>>,
 }
 
 impl SharedPartition {
     /// Wraps a fixed partition for shared fault-tolerant use.
     pub fn new(p: Partition) -> Self {
         Self {
-            inner: std::sync::Arc::new(std::sync::RwLock::new(p)),
+            inner: std::sync::Arc::new(RwLock::new(rank::PARTITION, p)),
         }
     }
 
@@ -162,7 +163,7 @@ impl SharedPartition {
         groups
     }
 
-    fn read(&self) -> std::sync::RwLockReadGuard<'_, Partition> {
+    fn read(&self) -> RwLockReadGuard<'_, Partition> {
         self.inner
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)

@@ -109,13 +109,18 @@ impl<'a> Dec<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| self.err(format!("{n} more bytes needed, payload exhausted")))?;
-        let out = &self.buf[self.pos..end];
+        // `get` instead of indexing: decode paths must be panic-free even
+        // if the bounds logic above ever regresses (her::panicking_decode).
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| self.err(format!("{n} more bytes needed, payload exhausted")))?;
         self.pos = end;
         Ok(out)
     }
 
     pub fn u8(&mut self) -> Result<u8, CodecError> {
-        Ok(self.take(1)?[0])
+        Ok(self.take(1)?.first().copied().unwrap_or(0))
     }
 
     pub fn bool(&mut self) -> Result<bool, CodecError> {
@@ -130,15 +135,13 @@ impl<'a> Dec<'a> {
     }
 
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        let b = self.take(4)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        let b: [u8; 4] = self.take(4)?.try_into().unwrap_or_default();
+        Ok(u32::from_le_bytes(b))
     }
 
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        let b = self.take(8)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
+        let b: [u8; 8] = self.take(8)?.try_into().unwrap_or_default();
+        Ok(u64::from_le_bytes(b))
     }
 
     pub fn f64(&mut self) -> Result<f64, CodecError> {

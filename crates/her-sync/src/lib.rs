@@ -1,0 +1,523 @@
+//! # her-sync — the workspace's synchronization facade
+//!
+//! Every lock in the HER workspace is taken through the [`Mutex`] and
+//! [`RwLock`] wrappers defined here (the `her::raw_sync_lock` lint in
+//! `her-analysis` enforces that no other crate touches
+//! `std::sync::{Mutex, RwLock}` directly). The wrappers mirror the std
+//! API — `lock()`, `read()`, `write()` return [`LockResult`]s with the
+//! usual poisoning semantics — plus one addition: every lock carries a
+//! [`Rank`] from the global [`rank`] table, and a runtime tracker
+//! checks, per thread, that
+//!
+//! 1. locks are acquired in **strictly increasing rank order**, and
+//! 2. no lock is acquired **re-entrantly** (same instance twice on one
+//!    thread — which deadlocks outright for `Mutex`/write locks, and
+//!    deadlocks against a queued writer for read locks).
+//!
+//! A violation panics immediately and deterministically, naming the
+//! attempted lock, every lock the thread currently holds, and both
+//! acquisition backtraces (captured when `RUST_BACKTRACE` is set).
+//! Latent deadlocks — which otherwise require an unlucky interleaving
+//! under load — thus become ordinary test failures.
+//!
+//! Tracking is active in debug/test builds (`debug_assertions`) and in
+//! release builds that enable the `lock-order` feature; otherwise the
+//! wrappers compile down to the bare std primitives plus one predictable
+//! branch.
+//!
+//! The total order over the workspace's locks lives in [`rank`]; see
+//! DESIGN.md §4g for the rationale behind each rank.
+
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use std::backtrace::Backtrace;
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::{LockResult, PoisonError};
+
+/// `true` when the lock-order tracker is compiled in: every debug/test
+/// build, plus release builds with the `lock-order` feature.
+pub const TRACKING: bool = cfg!(any(feature = "lock-order", debug_assertions));
+
+/// A lock's position in the workspace-wide acquisition order, plus the
+/// name violations are reported under. Declare ranks in [`rank`] only,
+/// so the total order stays reviewable in one place.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rank {
+    /// Acquisition order: a thread may only acquire a lock whose order
+    /// is strictly greater than every lock it already holds.
+    pub order: u32,
+    /// Stable dotted name used in panic messages and DESIGN.md's table.
+    pub name: &'static str,
+}
+
+impl Rank {
+    pub const fn new(order: u32, name: &'static str) -> Self {
+        Rank { order, name }
+    }
+}
+
+/// The workspace lock-rank table — the single source of truth for the
+/// acquisition order (outermost/lowest first). Keep in sync with the
+/// table in DESIGN.md §4g.
+pub mod rank {
+    use super::Rank;
+
+    /// `her-parallel` partition table (`SharedPartition`): owner lookups
+    /// and recovery-time reassignment.
+    pub const PARTITION: Rank = Rank::new(10, "parallel.partition");
+    /// `her-parallel` fault plan: once-only kill bookkeeping.
+    pub const FAULT_KILLS: Rank = Rank::new(20, "parallel.fault_kills");
+    /// `her-parallel` fault plan: once-only poison bookkeeping.
+    pub const FAULT_POISON: Rank = Rank::new(21, "parallel.fault_poison");
+    /// `her-parallel` fault plan: per-worker message-fate counters.
+    pub const FAULT_COUNTERS: Rank = Rank::new(22, "parallel.fault_counters");
+    /// `her-core` shared score memo: one rank for all shards — shards
+    /// are peers and at most one may be held at a time.
+    pub const SCORES_SHARD: Rank = Rank::new(40, "core.scores_shard");
+    /// `her-obs` instrument registry (innermost tier: obs calls may
+    /// appear inside any other critical section).
+    pub const OBS_REGISTRY: Rank = Rank::new(90, "obs.registry");
+    /// `her-obs` trace ring buffer.
+    pub const OBS_TRACE: Rank = Rank::new(95, "obs.trace");
+}
+
+/// One lock a thread currently holds.
+struct Held {
+    order: u32,
+    name: &'static str,
+    /// Identity of the lock instance (address of its inner primitive).
+    addr: usize,
+    /// Captured at acquisition; disabled (cheap) unless `RUST_BACKTRACE`
+    /// is set, like std's panic backtraces.
+    backtrace: Backtrace,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<Held>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Checks the acquisition of `(rank, addr)` against this thread's held
+/// set and records it. Panics on re-entrancy or rank inversion.
+fn track_acquire(rank: Rank, addr: usize) {
+    if !TRACKING {
+        return;
+    }
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(h) = held.iter().find(|h| h.addr == addr) {
+            panic!(
+                "her-sync: re-entrant acquisition of `{}` (rank {})\n\
+                 first acquired at:\n{}\n\
+                 re-acquired at:\n{}",
+                h.name,
+                h.order,
+                h.backtrace,
+                Backtrace::capture(),
+            );
+        }
+        if let Some(h) = held.iter().find(|h| h.order >= rank.order) {
+            let held_set: Vec<String> = held
+                .iter()
+                .map(|h| format!("  - `{}` (rank {}) acquired at:\n{}", h.name, h.order, h.backtrace))
+                .collect();
+            panic!(
+                "her-sync: lock-order violation: acquiring `{}` (rank {}) while holding \
+                 `{}` (rank {}) — ranks must strictly increase\n\
+                 held lock set:\n{}\n\
+                 violating acquisition at:\n{}",
+                rank.name,
+                rank.order,
+                h.name,
+                h.order,
+                held_set.join("\n"),
+                Backtrace::capture(),
+            );
+        }
+        held.push(Held {
+            order: rank.order,
+            name: rank.name,
+            addr,
+            backtrace: Backtrace::capture(),
+        });
+    });
+}
+
+/// Removes `addr` from this thread's held set (guards may drop in any
+/// order, so this is not a strict stack pop).
+fn track_release(addr: usize) {
+    if !TRACKING {
+        return;
+    }
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(i) = held.iter().rposition(|h| h.addr == addr) {
+            held.remove(i);
+        }
+    });
+}
+
+/// The lock set the current thread holds, as `(name, order)` pairs in
+/// acquisition order. Empty when tracking is compiled out.
+pub fn held_locks() -> Vec<(&'static str, u32)> {
+    if !TRACKING {
+        return Vec::new();
+    }
+    HELD.with(|held| held.borrow().iter().map(|h| (h.name, h.order)).collect())
+}
+
+/// Pops the tracker entry for `addr` when dropped (declared *after* the
+/// std guard in each wrapper so the primitive unlocks first).
+struct Release {
+    addr: usize,
+}
+
+impl Drop for Release {
+    fn drop(&mut self) {
+        track_release(self.addr);
+    }
+}
+
+/// Maps a std `LockResult` over a guard-wrapping function, preserving
+/// poisoning.
+fn map_lock_result<G, H>(r: LockResult<G>, f: impl FnOnce(G) -> H) -> LockResult<H> {
+    match r {
+        Ok(g) => Ok(f(g)),
+        Err(p) => Err(PoisonError::new(f(p.into_inner()))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// A [`std::sync::Mutex`] with a declared [`Rank`], checked by the
+/// lock-order tracker on every acquisition.
+pub struct Mutex<T: ?Sized> {
+    rank: Rank,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(rank: Rank, value: T) -> Self {
+        Mutex {
+            rank,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// As [`std::sync::Mutex::lock`]; additionally panics (never blocks)
+    /// if the acquisition violates the workspace lock order or is
+    /// re-entrant.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let addr = std::ptr::addr_of!(self.inner) as *const () as usize;
+        track_acquire(self.rank, addr);
+        map_lock_result(self.inner.lock(), |inner| MutexGuard {
+            inner,
+            _release: Release { addr },
+        })
+    }
+
+    /// The declared rank of this lock.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+}
+
+impl<T: Default> Mutex<T> {
+    /// A ranked mutex around `T::default()`.
+    pub fn default_with(rank: Rank) -> Self {
+        Mutex::new(rank, T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex")
+            .field("rank", &self.rank)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Field order matters: the std guard drops (unlocking) before the
+    // tracker entry pops.
+    inner: std::sync::MutexGuard<'a, T>,
+    _release: Release,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// A [`std::sync::RwLock`] with a declared [`Rank`], checked by the
+/// lock-order tracker on every acquisition (reads and writes alike —
+/// a same-thread re-entrant read deadlocks against a queued writer, so
+/// it is rejected too).
+pub struct RwLock<T: ?Sized> {
+    rank: Rank,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(rank: Rank, value: T) -> Self {
+        RwLock {
+            rank,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// As [`std::sync::RwLock::read`], with lock-order checking.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let addr = std::ptr::addr_of!(self.inner) as *const () as usize;
+        track_acquire(self.rank, addr);
+        map_lock_result(self.inner.read(), |inner| RwLockReadGuard {
+            inner,
+            _release: Release { addr },
+        })
+    }
+
+    /// As [`std::sync::RwLock::write`], with lock-order checking.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let addr = std::ptr::addr_of!(self.inner) as *const () as usize;
+        track_acquire(self.rank, addr);
+        map_lock_result(self.inner.write(), |inner| RwLockWriteGuard {
+            inner,
+            _release: Release { addr },
+        })
+    }
+
+    /// The declared rank of this lock.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock")
+            .field("rank", &self.rank)
+            .field("inner", &self.inner)
+            .finish()
+    }
+}
+
+/// Guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockReadGuard<'a, T>,
+    _release: Release,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+/// Guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: std::sync::RwLockWriteGuard<'a, T>,
+    _release: Release,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    const LOW: Rank = Rank::new(1, "test.low");
+    const HIGH: Rank = Rank::new(9, "test.high");
+
+    fn panic_message(r: std::thread::Result<()>) -> String {
+        let e = r.expect_err("expected a panic");
+        e.downcast_ref::<String>()
+            .cloned()
+            .or_else(|| e.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn increasing_order_is_allowed() {
+        let a = Mutex::new(LOW, 1);
+        let b = RwLock::new(HIGH, 2);
+        let ga = a.lock().unwrap();
+        let gb = b.read().unwrap();
+        assert_eq!(*ga + *gb, 3);
+        if TRACKING {
+            assert_eq!(held_locks(), vec![("test.low", 1), ("test.high", 9)]);
+        }
+        drop(gb);
+        drop(ga);
+        assert!(held_locks().is_empty());
+    }
+
+    #[test]
+    fn inversion_panics_naming_both_lock_sets() {
+        if !TRACKING {
+            return; // tracker compiled out (release without `lock-order`)
+        }
+        let a = Mutex::new(LOW, ());
+        let b = Mutex::new(HIGH, ());
+        let gb = b.lock().unwrap();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _ = a.lock();
+        })));
+        assert!(msg.contains("lock-order violation"), "{msg}");
+        assert!(msg.contains("test.low"), "{msg}");
+        assert!(msg.contains("test.high"), "{msg}");
+        assert!(msg.contains("held lock set"), "{msg}");
+        drop(gb);
+        // The failed acquisition must not have been recorded.
+        assert!(held_locks().is_empty());
+        // And the lower lock is still acquirable afterwards.
+        drop(a.lock().unwrap());
+    }
+
+    #[test]
+    fn equal_rank_counts_as_inversion() {
+        if !TRACKING {
+            return; // tracker compiled out (release without `lock-order`)
+        }
+        let a = Mutex::new(LOW, ());
+        let b = Mutex::new(LOW, ());
+        let _ga = a.lock().unwrap();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _ = b.lock();
+        })));
+        assert!(msg.contains("ranks must strictly increase"), "{msg}");
+    }
+
+    #[test]
+    fn reentrant_mutex_panics_instead_of_deadlocking() {
+        if !TRACKING {
+            return; // tracker compiled out (release without `lock-order`)
+        }
+        let a = Mutex::new(LOW, ());
+        let _g = a.lock().unwrap();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _ = a.lock();
+        })));
+        assert!(msg.contains("re-entrant acquisition"), "{msg}");
+        assert!(msg.contains("test.low"), "{msg}");
+    }
+
+    #[test]
+    fn reentrant_read_panics() {
+        if !TRACKING {
+            return; // tracker compiled out (release without `lock-order`)
+        }
+        let a = RwLock::new(LOW, ());
+        let _g = a.read().unwrap();
+        let msg = panic_message(catch_unwind(AssertUnwindSafe(|| {
+            let _ = a.read();
+        })));
+        assert!(msg.contains("re-entrant acquisition"), "{msg}");
+    }
+
+    #[test]
+    fn sequential_reacquisition_is_fine() {
+        let a = Mutex::new(LOW, 0);
+        for _ in 0..3 {
+            *a.lock().unwrap() += 1;
+        }
+        assert_eq!(*a.lock().unwrap(), 3);
+    }
+
+    #[test]
+    fn tracking_is_per_thread() {
+        let a = std::sync::Arc::new(RwLock::new(LOW, ()));
+        let _g = a.read().unwrap();
+        let b = std::sync::Arc::clone(&a);
+        // Another thread holds nothing, so its acquisition is clean.
+        std::thread::spawn(move || {
+            let _g = b.read().unwrap();
+            if TRACKING {
+                assert_eq!(held_locks(), vec![("test.low", 1)]);
+            }
+        })
+        .join()
+        .expect("reader thread");
+    }
+
+    #[test]
+    fn guards_can_drop_out_of_order() {
+        let a = Mutex::new(LOW, ());
+        let b = Mutex::new(HIGH, ());
+        let ga = a.lock().unwrap();
+        let gb = b.lock().unwrap();
+        drop(ga); // out of acquisition order
+        if TRACKING {
+            assert_eq!(held_locks(), vec![("test.high", 9)]);
+        }
+        drop(gb);
+        assert!(held_locks().is_empty());
+    }
+
+    #[test]
+    fn poisoning_propagates_through_the_facade() {
+        let a = std::sync::Arc::new(Mutex::new(LOW, 5));
+        let b = std::sync::Arc::clone(&a);
+        let _ = std::thread::spawn(move || {
+            let _g = b.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        let v = *a.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(v, 5);
+        assert!(held_locks().is_empty());
+    }
+
+    #[test]
+    fn rank_table_is_strictly_ordered() {
+        let table = [
+            rank::PARTITION,
+            rank::FAULT_KILLS,
+            rank::FAULT_POISON,
+            rank::FAULT_COUNTERS,
+            rank::SCORES_SHARD,
+            rank::OBS_REGISTRY,
+            rank::OBS_TRACE,
+        ];
+        for w in table.windows(2) {
+            assert!(
+                w[0].order < w[1].order,
+                "{} and {} out of order",
+                w[0].name,
+                w[1].name
+            );
+        }
+    }
+}

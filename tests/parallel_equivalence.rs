@@ -2,7 +2,7 @@
 //! sequential algorithms on full datasets (Theorem 3).
 
 use her::core::apair::apair;
-use her::parallel::{pallmatch, pvpair, ParallelConfig};
+use her::parallel::{pallmatch, pallmatch_async, pvpair, ParallelConfig};
 use her::prelude::*;
 
 fn system_on(dataset: &her::datagen::LinkedDataset) -> Her {
@@ -136,4 +136,51 @@ fn threaded_and_simulated_agree() {
         .0
     };
     assert_eq!(run(true), run(false));
+}
+
+/// Satellite (ISSUE 5): both parallel engines accept the facade's
+/// prewarmed `SharedScores` handle. Running `pallmatch` and then
+/// `pallmatch_async` on the same `Her` instance with its handle embeds
+/// each distinct label exactly once across BOTH runs — the async run's
+/// prewarm reads through the memo the BSP run filled and performs zero
+/// re-embeds — without changing a single match.
+#[test]
+fn facade_handle_is_reused_across_bsp_then_async() {
+    let dataset = her::datagen::ukgov::generate_sized(40, 31);
+    let system = system_on(&dataset);
+    let us = tuple_vertices(&system, &dataset);
+    let shared = system
+        .shared_scores
+        .clone()
+        .expect("facade handle on by default");
+    let cfg = ParallelConfig {
+        workers: 4,
+        use_blocking: false,
+        shared_handle: Some(shared.clone()),
+        ..Default::default()
+    };
+    let (bsp, _) = pallmatch(
+        &system.cg.graph,
+        &system.g,
+        &system.cg.interner,
+        &system.params,
+        &us,
+        &cfg,
+    );
+    let embeds_after_bsp = shared.embed_calls();
+    assert!(embeds_after_bsp > 0, "BSP prewarm must have embedded");
+    let (asynchronous, _) = pallmatch_async(
+        &system.cg.graph,
+        &system.g,
+        &system.cg.interner,
+        &system.params,
+        &us,
+        &cfg,
+    );
+    assert_eq!(
+        shared.embed_calls(),
+        embeds_after_bsp,
+        "async run re-embedded labels the shared handle already holds"
+    );
+    assert_eq!(asynchronous, bsp);
 }
