@@ -1,5 +1,5 @@
 //! `bench-telemetry` — run the benchmark telemetry suites and write
-//! `BENCH_paramatch.json` / `BENCH_parallel.json`.
+//! `BENCH_paramatch.json` / `BENCH_parallel.json` / `BENCH_serve.json`.
 //!
 //! ```text
 //! bench-telemetry [--smoke] [--out-dir DIR]
@@ -9,7 +9,7 @@
 //! `--out-dir` defaults to the current directory. Exits non-zero on an
 //! unwritable output path.
 
-use bench::telemetry::{parallel_suite, paramatch_suite, Report};
+use bench::telemetry::{parallel_suite, paramatch_suite, serve_suite, Report};
 use std::path::PathBuf;
 use std::process::exit;
 
@@ -50,6 +50,7 @@ fn main() {
 
     write_report(&out_dir, &paramatch_suite(smoke));
     write_report(&out_dir, &parallel_suite(smoke));
+    write_report(&out_dir, &serve_suite(smoke));
 }
 
 fn write_report(dir: &std::path::Path, report: &Report) {

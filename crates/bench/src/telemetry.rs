@@ -7,7 +7,7 @@
 //! ```json
 //! {
 //!   "schema": "her-bench/v1",
-//!   "suite": "paramatch" | "parallel",
+//!   "suite": "paramatch" | "parallel" | "serve",
 //!   "smoke": true | false,
 //!   "workloads": [
 //!     {
@@ -41,6 +41,7 @@ use her_graph::{Graph, GraphBuilder, Interner, VertexId};
 use her_obs::json::{Arr, Obj};
 use her_obs::Obs;
 use her_parallel::{pallmatch, pallmatch_durable, DurabilityConfig, FaultPlan, ParallelConfig};
+use her_serve::{Client, Reply, Request, RetryPolicy, ServeConfig, Server};
 use std::time::Instant;
 
 /// One timed workload and the metrics snapshot its run produced.
@@ -59,7 +60,7 @@ pub struct Workload {
 
 /// A suite report, serializable to `BENCH_<suite>.json`.
 pub struct Report {
-    /// Suite name (`paramatch` or `parallel`).
+    /// Suite name (`paramatch`, `parallel` or `serve`).
     pub suite: &'static str,
     /// Whether the reduced smoke sizes were used.
     pub smoke: bool,
@@ -280,6 +281,173 @@ fn durable_workload(m: usize) -> Workload {
     }
 }
 
+/// An 8-entity linking system for the serving suite — the same shape as
+/// `her-serve`'s own test fixture, kept tiny so the saturation workload
+/// measures queueing, not matching.
+fn serve_system() -> (her_core::Her, Vec<her_rdb::TupleRef>) {
+    use her_rdb::schema::{RelationSchema, Schema};
+    use her_rdb::{Database, Tuple, Value};
+    let mut s = Schema::new();
+    let item = s.add_relation(RelationSchema::new("item", &["name", "color"]));
+    let mut db = Database::new(s);
+    let mut b = GraphBuilder::new();
+    let mut ts = Vec::new();
+    let mut vs = Vec::new();
+    for i in 0..8 {
+        let name = format!("entity {i}");
+        let color = ["white", "red"][i % 2];
+        ts.push(db.insert(
+            item,
+            Tuple::new(vec![Value::Str(name.clone()), Value::str(color)]),
+        ));
+        let v = b.add_vertex("item");
+        let n = b.add_vertex(&name);
+        let c = b.add_vertex(color);
+        b.add_edge(v, n, "label");
+        b.add_edge(v, c, "hasColor");
+        vs.push(v);
+    }
+    let (g, interner) = b.build();
+    let cfg = her_core::HerConfig {
+        thresholds: Thresholds::new(0.9, 0.7, 5),
+        use_blocking: false,
+        ..Default::default()
+    };
+    let mut her = her_core::Her::build(&db, g, interner, &cfg);
+    let ann: Vec<_> = ts.iter().zip(&vs).map(|(&t, &v)| (t, v, true)).collect();
+    her.learn(
+        &ann,
+        &ann,
+        &cfg,
+        &her_core::learn::SearchSpace {
+            trials: 0,
+            ..Default::default()
+        },
+    );
+    (her, ts)
+}
+
+/// What one traffic thread saw: per-request latencies of answered
+/// requests, plus how many were shed or otherwise refused.
+struct TrafficTally {
+    latencies_us: Vec<u64>,
+    answered: usize,
+    refused: usize,
+}
+
+/// Hammers the server at `addr` with `requests` mixed requests (vpair
+/// across the tuple set, an apair every 8th, a ping every 16th) with no
+/// client-side retry — a shed stays shed, so the tally reflects the
+/// admission policy rather than the retry loop.
+fn traffic_thread(addr: &str, tuples: &[her_rdb::TupleRef], requests: usize) -> TrafficTally {
+    let mut client = Client::new(addr).with_retry(RetryPolicy {
+        attempts: 1,
+        base_ms: 1,
+        cap_ms: 1,
+        seed: 1,
+    });
+    client.timeout = std::time::Duration::from_secs(10);
+    let mut tally = TrafficTally {
+        latencies_us: Vec::with_capacity(requests),
+        answered: 0,
+        refused: 0,
+    };
+    for i in 0..requests {
+        let req = if i % 16 == 15 {
+            Request::Ping
+        } else if i % 8 == 7 {
+            Request::Apair {
+                max_calls: 0,
+                deadline_ms: 0,
+            }
+        } else {
+            Request::Vpair {
+                tuple: tuples[i % tuples.len()],
+                max_calls: 0,
+                deadline_ms: 0,
+            }
+        };
+        let t0 = Instant::now();
+        match client.request(&req) {
+            Ok(_) => {
+                tally.latencies_us.push(t0.elapsed().as_micros() as u64);
+                tally.answered += 1;
+            }
+            Err(_) => tally.refused += 1,
+        }
+    }
+    tally
+}
+
+/// Serving suite: saturates an in-process `her-serve` server with mixed
+/// traffic from 8 concurrent clients, once with a tight admission gate
+/// (`shed` — overload is refused as `Busy`) and once with an effectively
+/// unbounded queue (`queue` — overload waits in line). Each workload's
+/// report carries the server's full metrics snapshot plus two derived
+/// gauges: `serve.qps` (client-observed answered throughput) and
+/// `serve.p99_us` (client-observed 99th-percentile latency of answered
+/// requests). The pair quantifies the shedding trade-off: refusing excess
+/// load keeps the tail latency of admitted requests bounded.
+pub fn serve_suite(smoke: bool) -> Report {
+    let (her, tuples) = serve_system();
+    let threads = 8usize;
+    let per_thread = if smoke { 16 } else { 64 };
+    let mut workloads = Vec::new();
+    for (variant, max_inflight, max_queue) in
+        [("shed", 1usize, 0usize), ("queue", 2usize, 4096usize)]
+    {
+        let obs = Obs::new();
+        let cfg = ServeConfig {
+            max_inflight,
+            max_queue,
+            obs: Some(obs.clone()),
+            ..Default::default()
+        };
+        let server = Server::bind(cfg).expect("bind bench server");
+        let addr = server.local_addr().to_string();
+        let (tallies, wall_secs) = std::thread::scope(|scope| {
+            let run = scope.spawn(|| server.run(&her).expect("bench server run"));
+            let t0 = Instant::now();
+            let workers: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| traffic_thread(&addr, &tuples, per_thread)))
+                .collect();
+            let tallies: Vec<TrafficTally> = workers
+                .into_iter()
+                .map(|w| w.join().expect("traffic thread panicked"))
+                .collect();
+            let wall_secs = t0.elapsed().as_secs_f64();
+            let mut closer = Client::new(&addr);
+            match closer.request(&Request::Shutdown).expect("shutdown") {
+                Reply::ShuttingDown => {}
+                other => panic!("unexpected shutdown reply: {other:?}"),
+            }
+            run.join().expect("bench server thread panicked");
+            (tallies, wall_secs)
+        });
+        let mut latencies: Vec<u64> = tallies.iter().flat_map(|t| t.latencies_us.iter().copied()).collect();
+        latencies.sort_unstable();
+        let answered: usize = tallies.iter().map(|t| t.answered).sum();
+        let p99 = match latencies.len() {
+            0 => 0,
+            n => latencies[(n * 99).div_ceil(100).saturating_sub(1)],
+        };
+        obs.registry.gauge("serve.qps").set(answered as f64 / wall_secs.max(1e-9));
+        obs.registry.gauge("serve.p99_us").set(p99 as f64);
+        workloads.push(Workload {
+            name: format!("serve/mixed/{variant}"),
+            size: threads * per_thread,
+            wall_secs,
+            matches: answered,
+            snapshot: obs.registry.snapshot(),
+        });
+    }
+    Report {
+        suite: "serve",
+        smoke,
+        workloads,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -346,6 +514,38 @@ mod tests {
         assert_eq!(clean.matches, unshared.matches);
         assert_eq!(clean.matches, faulty.matches);
         assert_eq!(clean.matches, durable.matches);
+    }
+
+    #[test]
+    fn serve_suite_quantifies_the_shedding_tradeoff() {
+        let r = serve_suite(true);
+        assert_eq!(r.workloads.len(), 2, "shed + queue variants");
+        let find = |variant: &str| {
+            r.workloads
+                .iter()
+                .find(|w| w.name == format!("serve/mixed/{variant}"))
+                .unwrap_or_else(|| panic!("missing {variant} workload"))
+        };
+        let (shed, queue) = (find("shed"), find("queue"));
+        // The unbounded queue answers everything it was sent.
+        assert_eq!(queue.matches, queue.size, "queued variant refused requests");
+        if her_obs::ENABLED {
+            assert!(
+                shed.snapshot.counter("serve.shed") > 0,
+                "the tight gate never shed under 8 concurrent clients"
+            );
+            assert_eq!(queue.snapshot.counter("serve.shed"), 0);
+            for w in [shed, queue] {
+                assert!(w.snapshot.counter("serve.requests") > 0);
+                assert!(w.snapshot.gauge("serve.qps") > 0.0);
+                assert!(
+                    w.snapshot.histogram("serve.request_us").is_some(),
+                    "server-side latency histogram recorded"
+                );
+            }
+        }
+        // Every request was either answered or explicitly refused.
+        assert!(shed.matches <= shed.size);
     }
 
     #[test]

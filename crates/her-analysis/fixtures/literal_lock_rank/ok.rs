@@ -1,0 +1,31 @@
+//! Positive fixture: ranks taken from the central table, plus the one
+//! place ad-hoc ranks are fine — test code. None of this may trigger
+//! her::literal_lock_rank.
+
+use her_sync::{rank, Mutex};
+
+pub struct Gate {
+    queue: Mutex<Vec<u32>>,
+    journal: Mutex<Vec<u8>>,
+}
+
+impl Gate {
+    pub fn new() -> Self {
+        Gate {
+            queue: Mutex::new(rank::SERVE_ADMISSION, Vec::new()),
+            journal: Mutex::new(rank::SERVE_STREAM, Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_order_probe() {
+        // Tests may mint throwaway ranks to probe the tracker itself.
+        let probe = her_sync::Mutex::new(her_sync::Rank::new(99, "test.order"), 0u32);
+        drop(probe.lock());
+    }
+}

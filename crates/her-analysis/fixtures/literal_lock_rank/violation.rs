@@ -1,0 +1,21 @@
+//! Seeded violations: ranks invented at use sites — a plain
+//! `Rank::new`, a fully-qualified one, and one properly waived site.
+
+use her_sync::{Mutex, Rank};
+
+pub struct Caches {
+    hot: Mutex<Vec<u32>>,
+    cold: Mutex<Vec<u32>>,
+}
+
+impl Caches {
+    pub fn new() -> Self {
+        Caches {
+            hot: Mutex::new(Rank::new(17, "cache.hot"), Vec::new()),
+            cold: Mutex::new(her_sync::Rank::new(18, "cache.cold"), Vec::new()),
+        }
+    }
+}
+
+// #[allow(her::literal_lock_rank)] — fixture demonstrating a justified waiver
+pub const SCRATCH: Rank = Rank::new(63, "fixture.scratch");

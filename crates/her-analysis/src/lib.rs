@@ -247,6 +247,20 @@ mod tests {
         assert_eq!(rule_hits(&def, rules::GENERATION_ENTRY_POINT).0, 0);
     }
 
+    #[test]
+    fn literal_lock_rank_fixtures() {
+        let ok = run("crates/her-serve/src/ok.rs", "literal_lock_rank/ok.rs");
+        assert_eq!(rule_hits(&ok, rules::LITERAL_LOCK_RANK).1, 0, "{ok:?}");
+        let bad = run("crates/her-serve/src/bad.rs", "literal_lock_rank/violation.rs");
+        let (total, unwaived) = rule_hits(&bad, rules::LITERAL_LOCK_RANK);
+        // Plain + fully-qualified constructions unwaived; one waived site.
+        assert!(unwaived >= 2, "{bad:?}");
+        assert!(total > unwaived, "the waived site must be detected but waived");
+        // The central table itself constructs ranks freely.
+        let table = run("crates/her-sync/src/lib.rs", "literal_lock_rank/violation.rs");
+        assert_eq!(rule_hits(&table, rules::LITERAL_LOCK_RANK).0, 0);
+    }
+
     /// The linter runs clean on the real workspace — the same invariant
     /// the CI `lint` job gates on.
     #[test]

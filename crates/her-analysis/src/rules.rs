@@ -27,6 +27,7 @@ pub const WALLCLOCK_IN_REPLAY: &str = "her::wallclock_in_replay";
 pub const PANICKING_DECODE: &str = "her::panicking_decode";
 pub const UNREGISTERED_METRIC: &str = "her::unregistered_metric";
 pub const GENERATION_ENTRY_POINT: &str = "her::generation_entry_point";
+pub const LITERAL_LOCK_RANK: &str = "her::literal_lock_rank";
 
 /// All rule ids, for `--list` and the report header.
 pub const ALL_RULES: &[&str] = &[
@@ -35,6 +36,7 @@ pub const ALL_RULES: &[&str] = &[
     PANICKING_DECODE,
     UNREGISTERED_METRIC,
     GENERATION_ENTRY_POINT,
+    LITERAL_LOCK_RANK,
 ];
 
 /// Per-token context derived in one pass: innermost enclosing function
@@ -150,6 +152,7 @@ pub fn analyze_file(path: &str, src: &str, metrics: &MetricNames) -> Vec<Finding
     panicking_decode(path, &lexed.toks, &ctx, &mut findings);
     unregistered_metric(path, &lexed.toks, &ctx, metrics, &mut findings);
     generation_entry_point(path, &lexed.toks, &ctx, &mut findings);
+    literal_lock_rank(path, &lexed.toks, &ctx, &mut findings);
     apply_waivers(&lexed, &mut findings);
     findings
 }
@@ -458,5 +461,45 @@ fn generation_entry_point(path: &str, toks: &[Tok], ctx: &Ctx, out: &mut Vec<Fin
                 waived: false,
             });
         }
+    }
+}
+
+/// Rule 6 — `her::literal_lock_rank`: lock ranks are a global total
+/// order, so every rank must come from the central table
+/// (`her_sync::rank`) where the whole ordering is visible on one screen.
+/// A `Rank::new(<n>, …)` at a use site invents a rank whose relation to
+/// the rest of the hierarchy nobody reviews — two crates independently
+/// picking 7 is a future deadlock the tracker can't name. Scope: all
+/// non-test code outside `her-sync` itself (the table and its tests are
+/// the one legitimate construction site).
+fn literal_lock_rank(path: &str, toks: &[Tok], ctx: &Ctx, out: &mut Vec<Finding>) {
+    if path.starts_with("crates/her-sync/") {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_tests[i]
+            || t.kind != TokKind::Ident
+            || t.text != "Rank"
+            || toks.get(i + 1).is_none_or(|a| a.text != ":")
+            || toks.get(i + 2).is_none_or(|a| a.text != ":")
+            || toks.get(i + 3).is_none_or(|a| a.kind != TokKind::Ident || a.text != "new")
+            || toks.get(i + 4).is_none_or(|a| a.text != "(")
+        {
+            continue;
+        }
+        let arg = match toks.get(i + 5) {
+            Some(n) if n.kind == TokKind::Num => format!("Rank::new({}, …)", n.text),
+            _ => "Rank::new(…)".to_string(),
+        };
+        out.push(Finding {
+            rule: LITERAL_LOCK_RANK,
+            path: path.to_string(),
+            line: t.line,
+            message: format!(
+                "{arg} invents a lock rank at a use site — add a named constant to \
+                 the central table (her_sync::rank) so the total order stays reviewable"
+            ),
+            waived: false,
+        });
     }
 }

@@ -57,4 +57,5 @@ pub use paramatch::{
 };
 pub use params::{Params, Thresholds};
 pub use shared_scores::SharedScores;
+pub use stream::{DurableStreamLinker, StreamCheckpoint, StreamLinker, StreamOp};
 pub use vpair::VpairRun;

@@ -121,6 +121,108 @@ impl<'a> StreamLinker<'a> {
     pub fn processed(&self) -> &[TupleRef] {
         &self.processed
     }
+
+    /// Snapshots the session — accumulated matches, the processed log and
+    /// the matcher's durable state — tagged with `ops_applied`, the number
+    /// of journaled operations this state reflects (so a durable reopen
+    /// knows where WAL replay must resume).
+    pub fn checkpoint(&self, ops_applied: u64) -> StreamCheckpoint {
+        StreamCheckpoint {
+            ops_applied,
+            matches: self.matches(),
+            processed: self.processed.clone(),
+            matcher: self.matcher.checkpoint(),
+        }
+    }
+
+    /// Restores a snapshot taken by [`StreamLinker::checkpoint`] into this
+    /// session, replacing its state wholesale. Derived memos refill on
+    /// demand; the restored matcher adopts the shared score layer's
+    /// current generation (see [`crate::checkpoint::MatcherCheckpoint`]).
+    pub fn restore(&mut self, ck: &StreamCheckpoint) {
+        self.matches = ck.matches.iter().copied().collect();
+        self.processed = ck.processed.clone();
+        self.matcher.restore(&ck.matcher);
+    }
+}
+
+/// A whole-session snapshot of a [`StreamLinker`], positioned in its WAL
+/// by `ops_applied`. Encoding is deterministic (sorted matches, explicit
+/// little-endian codec), so identical states produce identical bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StreamCheckpoint {
+    /// Journaled operations already reflected in this state; a durable
+    /// reopen replays only WAL records after this count.
+    pub ops_applied: u64,
+    /// Accumulated matches, sorted.
+    pub matches: Vec<(TupleRef, VertexId)>,
+    /// Tuples processed, in arrival order.
+    pub processed: Vec<TupleRef>,
+    /// The session matcher's durable state.
+    pub matcher: crate::checkpoint::MatcherCheckpoint,
+}
+
+const STREAM_CK_VERSION: u32 = 1;
+
+impl StreamCheckpoint {
+    /// Serializes to deterministic bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_u32(STREAM_CK_VERSION).put_u64(self.ops_applied);
+        e.put_u32(self.matches.len() as u32);
+        for (t, v) in &self.matches {
+            e.put_u32(t.relation).put_u32(t.row).put_u32(v.0);
+        }
+        e.put_u32(self.processed.len() as u32);
+        for t in &self.processed {
+            e.put_u32(t.relation).put_u32(t.row);
+        }
+        e.put_bytes(&self.matcher.encode());
+        e.into_bytes()
+    }
+
+    /// Decodes bytes written by [`StreamCheckpoint::encode`]. Bounds-
+    /// checked throughout; malformed input errors, never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Dec::new(bytes);
+        let version = d.u32()?;
+        if version != STREAM_CK_VERSION {
+            return Err(CodecError {
+                offset: 0,
+                message: format!(
+                    "stream checkpoint v{version} (this build reads v{STREAM_CK_VERSION})"
+                ),
+            });
+        }
+        let ops_applied = d.u64()?;
+        let n = d.u32()? as usize;
+        let mut matches = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            matches.push((
+                TupleRef {
+                    relation: d.u32()?,
+                    row: d.u32()?,
+                },
+                VertexId(d.u32()?),
+            ));
+        }
+        let n = d.u32()? as usize;
+        let mut processed = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            processed.push(TupleRef {
+                relation: d.u32()?,
+                row: d.u32()?,
+            });
+        }
+        let matcher = crate::checkpoint::MatcherCheckpoint::decode(d.bytes()?)?;
+        d.finish()?;
+        Ok(StreamCheckpoint {
+            ops_applied,
+            matches,
+            processed,
+            matcher,
+        })
+    }
 }
 
 /// One journaled streaming operation.
@@ -184,6 +286,8 @@ impl StreamOp {
 pub struct DurableStreamLinker<'a> {
     inner: StreamLinker<'a>,
     wal: WalWriter,
+    /// Journaled operations reflected in `inner` (replayed + appended).
+    ops_applied: u64,
 }
 
 impl<'a> DurableStreamLinker<'a> {
@@ -195,14 +299,49 @@ impl<'a> DurableStreamLinker<'a> {
         path: impl AsRef<Path>,
         obs: Option<her_obs::Obs>,
     ) -> Result<(Self, WalReplay), StoreError> {
-        let path = path.as_ref();
+        Self::open_impl(her, path.as_ref(), obs, None)
+    }
+
+    /// [`DurableStreamLinker::open`] resuming from a prior
+    /// [`StreamCheckpoint`]: the session starts from the snapshot's state
+    /// and replay skips the `ck.ops_applied` WAL records the snapshot
+    /// already reflects, applying only the suffix journaled after it.
+    /// This is the warm-restart path — restart cost is proportional to
+    /// the ops since the last snapshot, not the session's lifetime.
+    pub fn open_at(
+        her: &'a Her,
+        path: impl AsRef<Path>,
+        obs: Option<her_obs::Obs>,
+        ck: &StreamCheckpoint,
+    ) -> Result<(Self, WalReplay), StoreError> {
+        Self::open_impl(her, path.as_ref(), obs, Some(ck))
+    }
+
+    fn open_impl(
+        her: &'a Her,
+        path: &Path,
+        obs: Option<her_obs::Obs>,
+        ck: Option<&StreamCheckpoint>,
+    ) -> Result<(Self, WalReplay), StoreError> {
         // The session matcher and the WAL share one obs handle, so
         // `stream.*` counters cover journaled sessions too (they were
         // previously wired only into the WAL's `store.*` metrics).
         let mut inner = StreamLinker::with_obs(her, obs.clone());
+        let skip = match ck {
+            Some(ck) => {
+                inner.restore(ck);
+                ck.ops_applied
+            }
+            None => 0,
+        };
         let mut record = 0u64;
         let (wal, replay) = WalWriter::open(path, obs, |payload| {
             record += 1;
+            if record <= skip {
+                // Already reflected in the restored snapshot; the WAL
+                // layer has still CRC-verified the frame.
+                return Ok(());
+            }
             let op = StreamOp::decode(payload).map_err(|e| {
                 StoreError::Corrupt {
                     path: path.into(),
@@ -218,7 +357,18 @@ impl<'a> DurableStreamLinker<'a> {
             }
             Ok(())
         })?;
-        Ok((DurableStreamLinker { inner, wal }, replay))
+        // A snapshot can be ahead of a torn WAL tail only if the journal
+        // itself lost acknowledged records; keep the larger of the two
+        // positions so appended ops number past everything reflected.
+        let ops_applied = replay.records.max(skip);
+        Ok((
+            DurableStreamLinker {
+                inner,
+                wal,
+                ops_applied,
+            },
+            replay,
+        ))
     }
 
     /// Journals then links one arriving tuple.
@@ -228,6 +378,7 @@ impl<'a> DurableStreamLinker<'a> {
     ) -> Result<(Vec<VertexId>, StreamStats), StoreError> {
         self.wal.append(&StreamOp::Process(t).encode())?;
         self.wal.sync()?;
+        self.ops_applied += 1;
         Ok(self.inner.process(t))
     }
 
@@ -235,8 +386,23 @@ impl<'a> DurableStreamLinker<'a> {
     pub fn retract_vertex(&mut self, v: VertexId) -> Result<(), StoreError> {
         self.wal.append(&StreamOp::Retract(v).encode())?;
         self.wal.sync()?;
+        self.ops_applied += 1;
         self.inner.retract_vertex(v);
         Ok(())
+    }
+
+    /// Journaled operations reflected in this session's state (replayed
+    /// plus appended since open).
+    pub fn ops_applied(&self) -> u64 {
+        self.ops_applied
+    }
+
+    /// Snapshots the session's current state, positioned at
+    /// [`DurableStreamLinker::ops_applied`]. Persist the bytes (e.g. via
+    /// `her_store::SnapshotStore`) and pass the decoded checkpoint to
+    /// [`DurableStreamLinker::open_at`] to warm-restart.
+    pub fn checkpoint(&self) -> StreamCheckpoint {
+        self.inner.checkpoint(self.ops_applied)
     }
 
     /// All matches accumulated so far (including replayed ones), sorted.
@@ -577,6 +743,83 @@ mod tests {
             "journaled processes must tick stream.tuples"
         );
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Checkpoint bytes round-trip and are deterministic; truncation at
+    /// every offset errors instead of panicking.
+    #[test]
+    fn stream_checkpoint_codec_round_trips() {
+        let (her, ts, _) = system();
+        let mut linker = StreamLinker::new(&her);
+        for &t in &ts[..3] {
+            linker.process(t);
+        }
+        let ck = linker.checkpoint(3);
+        let bytes = ck.encode();
+        assert_eq!(bytes, linker.checkpoint(3).encode(), "not deterministic");
+        assert_eq!(StreamCheckpoint::decode(&bytes).unwrap(), ck);
+        for cut in 0..bytes.len() {
+            assert!(
+                StreamCheckpoint::decode(&bytes[..cut]).is_err(),
+                "cut={cut}: truncated checkpoint accepted"
+            );
+        }
+    }
+
+    /// Warm restart: snapshot mid-session, keep journaling, then reopen
+    /// from the snapshot — replay skips the snapshotted prefix and the
+    /// resumed state equals the uninterrupted session, for a snapshot
+    /// taken after every op.
+    #[test]
+    fn open_at_checkpoint_equals_uninterrupted_session() {
+        let (her, ts, vs) = system();
+        let ops: Vec<StreamOp> = vec![
+            StreamOp::Process(ts[0]),
+            StreamOp::Process(ts[1]),
+            StreamOp::Retract(vs[0]),
+            StreamOp::Process(ts[2]),
+            StreamOp::Process(ts[3]),
+        ];
+        for snap_at in 0..=ops.len() {
+            let path = temp_wal(&format!("warm-{snap_at}"));
+            let mut snapshot = None;
+            let final_matches;
+            {
+                let (mut durable, _) = DurableStreamLinker::open(&her, &path, None).unwrap();
+                for (i, op) in ops.iter().enumerate() {
+                    if i == snap_at {
+                        snapshot = Some(durable.checkpoint());
+                    }
+                    match *op {
+                        StreamOp::Process(t) => {
+                            durable.process(t).unwrap();
+                        }
+                        StreamOp::Retract(v) => durable.retract_vertex(v).unwrap(),
+                    }
+                }
+                if snap_at == ops.len() {
+                    snapshot = Some(durable.checkpoint());
+                }
+                final_matches = durable.matches();
+            }
+            let ck = snapshot.expect("snapshot taken");
+            let bytes = ck.encode();
+            let ck = StreamCheckpoint::decode(&bytes).unwrap();
+            let (resumed, replay) =
+                DurableStreamLinker::open_at(&her, &path, None, &ck).unwrap();
+            assert_eq!(
+                replay.records,
+                ops.len() as u64,
+                "snap_at={snap_at}: replay must still scan the whole WAL"
+            );
+            assert_eq!(
+                resumed.matches(),
+                final_matches,
+                "snap_at={snap_at}: warm restart diverged"
+            );
+            assert_eq!(resumed.ops_applied(), ops.len() as u64);
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     #[test]

@@ -62,6 +62,19 @@ pub const ALL: &[&str] = &[
     "scores.distinct_labels",
     "scores.embed_calls",
     "scores.shared_hits",
+    // serve: the always-on linking service
+    "serve.connections",
+    "serve.deadline_misses",
+    "serve.faults_injected",
+    "serve.inflight",
+    "serve.p99_us",
+    "serve.qps",
+    "serve.queue_depth",
+    "serve.request_us",
+    "serve.requests",
+    "serve.restart_replay_us",
+    "serve.shed",
+    "serve.stream_ops",
     // store: snapshots, WAL, checkpoints
     "store.checkpoint_bytes_total",
     "store.checkpoint_failures",

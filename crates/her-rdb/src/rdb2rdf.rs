@@ -43,6 +43,13 @@ impl CanonicalGraph {
         self.vertex_tuple.get(&v).copied()
     }
 
+    /// Whether `t` denotes a tuple of the canonicalised database.
+    /// `vertex_of` panics on unknown tuples; boundary code (e.g. a server
+    /// validating a request) checks here first.
+    pub fn has_tuple(&self, t: TupleRef) -> bool {
+        self.tuple_vertex.contains_key(&t)
+    }
+
     /// Whether edge `(u, v)` carries the foreign-key marker `γ`.
     pub fn is_fk_edge(&self, u: VertexId, v: VertexId) -> bool {
         self.fk_edges.contains(&(u, v))

@@ -1,0 +1,243 @@
+//! The linking service client: one request per connection, with
+//! idempotency-aware retry.
+//!
+//! Retry policy (DESIGN.md §4h has the full matrix):
+//!
+//! * `Busy` is retryable for **every** request kind — shedding happens
+//!   before execution, so a shed mutation provably did not run.
+//! * Transport failures (connect refused, timeout, torn or corrupt
+//!   reply) are retryable only for idempotent requests. A stream
+//!   mutation whose reply was lost may or may not have been journaled;
+//!   blindly retrying could apply it twice, so the error surfaces to
+//!   the caller instead.
+//! * Remote errors carried in a well-formed `Reply::Error` are never
+//!   retried: the server answered; trying again cannot change a usage
+//!   or data error.
+//!
+//! Backoff is exponential with deterministic seeded jitter so tests and
+//! drills reproduce byte-for-byte.
+
+use crate::proto::{self, read_message, Reply, Request, WireError};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Retry schedule for one [`Client`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 = never retry.
+    pub attempts: u32,
+    /// Base backoff before the second attempt, in milliseconds.
+    pub base_ms: u64,
+    /// Backoff ceiling, in milliseconds.
+    pub cap_ms: u64,
+    /// Jitter seed; the same seed yields the same sleep sequence.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_ms: 20,
+            cap_ms: 1_000,
+            seed: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before attempt `attempt` (1-based over retries):
+    /// `min(cap, base · 2^(attempt-1))`, jittered to 50–150%.
+    fn backoff(&self, attempt: u32, jitter: &mut u64) -> Duration {
+        let exp = self.base_ms.saturating_mul(1u64 << (attempt - 1).min(32));
+        let capped = exp.min(self.cap_ms);
+        // xorshift64*: deterministic per-client jitter stream.
+        let mut x = *jitter;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *jitter = x;
+        let roll = x.wrapping_mul(0x2545_f491_4f6c_dd1d) % 101; // 0..=100
+        Duration::from_millis(capped * (50 + roll) / 100)
+    }
+}
+
+/// Why a request ultimately failed (after retries, where permitted).
+#[derive(Debug)]
+pub enum ClientError {
+    /// The service shed the request, went away mid-request, or never
+    /// answered — retry later with backoff (the client already retried
+    /// where the idempotency matrix allows).
+    Unavailable(String),
+    /// The reply arrived but was torn or failed its checksum, and the
+    /// request must not be retried blindly (a non-idempotent mutation
+    /// may have been applied).
+    Data(String),
+    /// The server answered with a taxonomized error.
+    Remote {
+        /// `proto::code` constant (1 data, 2 usage, 3 exhausted, 4 unavailable).
+        code: u32,
+        /// Human-readable cause from the server.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Unavailable(m) => write!(f, "service unavailable: {m}"),
+            ClientError::Data(m) => write!(f, "reply unusable: {m}"),
+            ClientError::Remote { code, message } => {
+                write!(f, "server error (code {code}): {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client for one server address. Connections are per-request: the
+/// protocol is strictly request/reply, and a fresh connection per
+/// attempt means a torn stream never poisons the next try.
+pub struct Client {
+    addr: String,
+    /// Connect/read/write timeout per attempt.
+    pub timeout: Duration,
+    /// Retry schedule.
+    pub retry: RetryPolicy,
+    jitter: u64,
+}
+
+impl Client {
+    /// A client for `addr` with default timeout (5s) and retries.
+    pub fn new(addr: impl Into<String>) -> Self {
+        let retry = RetryPolicy::default();
+        Client {
+            addr: addr.into(),
+            timeout: Duration::from_secs(5),
+            retry,
+            jitter: retry.seed | 1,
+        }
+    }
+
+    /// Replaces the retry policy (and reseeds the jitter stream).
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self.jitter = retry.seed | 1;
+        self
+    }
+
+    /// Sends `req`, retrying per the idempotency matrix, and returns the
+    /// server's reply. `Reply::Error` and `Reply::Busy` never escape:
+    /// they are mapped to [`ClientError`] after retries are exhausted.
+    pub fn request(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(self.retry.backoff(attempt, &mut self.jitter));
+            }
+            match self.attempt(req) {
+                Ok(Reply::Busy { queue_depth }) => {
+                    // Shed before execution: retryable for every kind.
+                    last = Some(ClientError::Unavailable(format!(
+                        "server busy (queue depth {queue_depth})"
+                    )));
+                }
+                Ok(Reply::Error { code, message }) => {
+                    return Err(ClientError::Remote { code, message });
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    let retryable = req.is_idempotent();
+                    let err = match e {
+                        WireError::Corrupt(m) if !retryable => ClientError::Data(format!(
+                            "corrupt reply to a non-idempotent request: {m}"
+                        )),
+                        WireError::Torn if !retryable => ClientError::Data(
+                            "torn reply to a non-idempotent request".to_owned(),
+                        ),
+                        other if !retryable => ClientError::Unavailable(format!(
+                            "{other} (not retried: request is not idempotent)"
+                        )),
+                        other => ClientError::Unavailable(other.to_string()),
+                    };
+                    if !retryable {
+                        return Err(err);
+                    }
+                    last = Some(err);
+                }
+            }
+        }
+        Err(last.unwrap_or_else(|| {
+            ClientError::Unavailable("no attempts configured".to_owned())
+        }))
+    }
+
+    /// One wire round trip on a fresh connection.
+    fn attempt(&self, req: &Request) -> Result<Reply, WireError> {
+        let stream = TcpStream::connect(&self.addr).map_err(WireError::Io)?;
+        stream
+            .set_read_timeout(Some(self.timeout))
+            .map_err(WireError::Io)?;
+        stream
+            .set_write_timeout(Some(self.timeout))
+            .map_err(WireError::Io)?;
+        let mut stream = stream;
+        proto::write_message(&mut stream, &req.encode()).map_err(WireError::Io)?;
+        stream.flush().map_err(WireError::Io)?;
+        let payload = read_message(&mut stream)?;
+        Reply::decode(&payload).map_err(|e| WireError::Corrupt(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_growing() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            base_ms: 20,
+            cap_ms: 100,
+            seed: 9,
+        };
+        let seq = || -> Vec<Duration> {
+            let mut jitter = policy.seed | 1;
+            (1..6).map(|a| policy.backoff(a, &mut jitter)).collect()
+        };
+        assert_eq!(seq(), seq(), "jitter not deterministic");
+        for (i, d) in seq().iter().enumerate() {
+            // 50–150% of min(cap, base·2^i).
+            let nominal = (20u64 << i).min(100);
+            assert!(d.as_millis() as u64 >= nominal / 2, "attempt {i} too short");
+            assert!(d.as_millis() as u64 <= nominal * 3 / 2, "attempt {i} too long");
+        }
+    }
+
+    #[test]
+    fn connect_refused_is_unavailable_and_mutations_do_not_retry() {
+        // Port 1 on localhost refuses immediately on any sane test host.
+        let mut c = Client::new("127.0.0.1:1").with_retry(RetryPolicy {
+            attempts: 3,
+            base_ms: 1,
+            cap_ms: 2,
+            seed: 5,
+        });
+        let err = c.request(&Request::Ping).expect_err("no server listening");
+        assert!(matches!(err, ClientError::Unavailable(_)), "{err:?}");
+        // Non-idempotent: must fail fast on the first transport error.
+        let start = std::time::Instant::now();
+        let err = c
+            .request(&Request::StreamRetract {
+                vertex: her_graph::VertexId(0),
+            })
+            .expect_err("no server listening");
+        assert!(matches!(err, ClientError::Unavailable(_)), "{err:?}");
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "mutation appears to have been retried"
+        );
+    }
+}

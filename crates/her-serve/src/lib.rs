@@ -1,0 +1,41 @@
+//! # her-serve: the always-on linking service
+//!
+//! Turns a trained [`her_core::Her`] system into a long-lived server:
+//! concurrent vpair/apair/stream requests over a length-prefixed,
+//! checksummed wire protocol (the `her-store` frame codec as transport
+//! framing), with
+//!
+//! * **admission control** — a bounded in-flight gate with a bounded
+//!   FIFO queue; overload is shed with an explicit `Busy` reply, never a
+//!   hang ([`admission`]);
+//! * **per-request deadlines** — mapped onto [`her_core::Budget`], so a
+//!   timed-out request returns *sound partial* results with the standard
+//!   `ExhaustReason` taxonomy rather than failing;
+//! * **checkpoint-backed warm restart** — stream mutations journal
+//!   through `DurableStreamLinker` before acknowledgement, snapshots are
+//!   cut on a cadence, and a restarted server resumes from its newest
+//!   valid snapshot plus the WAL suffix ([`server`]);
+//! * **idempotency-aware client retry** — jittered exponential backoff
+//!   that retries reads and shed requests but never blindly retries a
+//!   mutation whose reply was lost ([`client`]);
+//! * **seeded connection faults** — a deterministic per-connection fault
+//!   plan (drop/delay/truncate/garble/kill) for drills proving the
+//!   service either answers correctly or fails taxonomized ([`fault`]).
+//!
+//! `her-cli serve` / `her-cli query` wrap [`Server`] and [`Client`];
+//! DESIGN.md §4h specifies the protocol and semantics.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+pub mod admission;
+pub mod client;
+pub mod fault;
+pub mod proto;
+pub mod server;
+
+pub use admission::{Admission, Admit, GateStats, Permit};
+pub use client::{Client, ClientError, RetryPolicy};
+pub use fault::{FaultPlan, ReplyFate};
+pub use proto::{Reply, Request, WireError, PROTO_VERSION};
+pub use server::{ServeConfig, ServeError, Server};

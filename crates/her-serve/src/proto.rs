@@ -1,0 +1,670 @@
+//! The wire protocol: requests and replies as framed byte records.
+//!
+//! Transport framing reuses `her-store`'s checksummed frame codec — every
+//! message on the socket is one `[u32 len][u32 crc][payload]` frame, so
+//! the service inherits the store's validation story: a connection that
+//! dies mid-message leaves a *torn* frame (recoverable: the peer knows the
+//! message never completed), while a flipped bit is *corruption* (the
+//! message is rejected, never half-trusted). Payloads use the store's
+//! explicit little-endian [`Enc`]/[`Dec`] codec; malformed bytes error,
+//! never panic.
+//!
+//! Budget semantics ride along with every matching request: `max_calls`
+//! and `deadline_ms` (0 = unlimited) map onto [`her_core::Budget`], and a
+//! reply carries the run's [`ExhaustReason`] so a timed-out request
+//! returns its sound partial results with the reason attached instead of
+//! an opaque failure.
+
+use her_core::ExhaustReason;
+use her_graph::VertexId;
+use her_rdb::TupleRef;
+use her_store::frame::{FrameEvent, Frames, FRAME_HEADER_LEN, MAX_FRAME_LEN};
+use her_store::{CodecError, Dec, Enc};
+use std::io::{Read, Write};
+
+/// Protocol version; bumped on any incompatible message change.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Error codes carried by [`Reply::Error`], aligned with the CLI exit-code
+/// taxonomy: `1` data, `2` usage, `3` budget-exhausted, `4` unavailable.
+pub mod code {
+    /// Unreadable/corrupt data on the server side.
+    pub const DATA: u32 = 1;
+    /// The request itself was invalid.
+    pub const USAGE: u32 = 2;
+    /// Reserved: exhaustion is reported in-band with partial results.
+    pub const EXHAUSTED: u32 = 3;
+    /// The server is shutting down or cannot take the request.
+    pub const UNAVAILABLE: u32 = 4;
+}
+
+/// A client request. Matching requests carry their own budget; stream
+/// requests are mutations (journaled server-side before acknowledgement).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Link one tuple against the whole graph (read; idempotent).
+    Vpair {
+        /// The tuple to link.
+        tuple: TupleRef,
+        /// Recursive-call budget; 0 = unlimited.
+        max_calls: u64,
+        /// Per-request deadline in milliseconds; 0 = server default.
+        deadline_ms: u64,
+    },
+    /// Link every tuple (read; idempotent).
+    Apair {
+        /// Recursive-call budget; 0 = unlimited.
+        max_calls: u64,
+        /// Per-request deadline in milliseconds; 0 = server default.
+        deadline_ms: u64,
+    },
+    /// Journal and link one arriving tuple (mutation).
+    StreamProcess {
+        /// The arriving tuple.
+        tuple: TupleRef,
+    },
+    /// Journal a vertex retraction (mutation).
+    StreamRetract {
+        /// The retracted graph vertex.
+        vertex: VertexId,
+    },
+    /// Accumulated stream matches (read; idempotent).
+    StreamMatches,
+    /// The server's metrics snapshot as JSON (read; idempotent).
+    Metrics,
+    /// Liveness probe (read; idempotent).
+    Ping,
+    /// Ask the server to finish in-flight work and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// True when re-sending this request cannot change server state —
+    /// the client's retry policy only ever auto-retries these on
+    /// transport errors. (Every request is retryable after a `Busy`
+    /// reply: shedding happens before execution.)
+    pub fn is_idempotent(&self) -> bool {
+        !matches!(
+            self,
+            Request::StreamProcess { .. } | Request::StreamRetract { .. } | Request::Shutdown
+        )
+    }
+}
+
+const REQ_VPAIR: u8 = 1;
+const REQ_APAIR: u8 = 2;
+const REQ_STREAM_PROCESS: u8 = 3;
+const REQ_STREAM_RETRACT: u8 = 4;
+const REQ_STREAM_MATCHES: u8 = 5;
+const REQ_METRICS: u8 = 6;
+const REQ_PING: u8 = 7;
+const REQ_SHUTDOWN: u8 = 8;
+
+fn put_tuple(e: &mut Enc, t: TupleRef) {
+    e.put_u32(t.relation).put_u32(t.row);
+}
+
+fn get_tuple(d: &mut Dec<'_>) -> Result<TupleRef, CodecError> {
+    Ok(TupleRef {
+        relation: d.u32()?,
+        row: d.u32()?,
+    })
+}
+
+impl Request {
+    /// Serializes this request as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_u32(PROTO_VERSION);
+        match self {
+            Request::Vpair {
+                tuple,
+                max_calls,
+                deadline_ms,
+            } => {
+                e.put_u8(REQ_VPAIR);
+                put_tuple(&mut e, *tuple);
+                e.put_u64(*max_calls).put_u64(*deadline_ms);
+            }
+            Request::Apair {
+                max_calls,
+                deadline_ms,
+            } => {
+                e.put_u8(REQ_APAIR).put_u64(*max_calls).put_u64(*deadline_ms);
+            }
+            Request::StreamProcess { tuple } => {
+                e.put_u8(REQ_STREAM_PROCESS);
+                put_tuple(&mut e, *tuple);
+            }
+            Request::StreamRetract { vertex } => {
+                e.put_u8(REQ_STREAM_RETRACT).put_u32(vertex.0);
+            }
+            Request::StreamMatches => {
+                e.put_u8(REQ_STREAM_MATCHES);
+            }
+            Request::Metrics => {
+                e.put_u8(REQ_METRICS);
+            }
+            Request::Ping => {
+                e.put_u8(REQ_PING);
+            }
+            Request::Shutdown => {
+                e.put_u8(REQ_SHUTDOWN);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a frame payload written by [`Request::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Dec::new(bytes);
+        let version = d.u32()?;
+        if version != PROTO_VERSION {
+            return Err(CodecError {
+                offset: 0,
+                message: format!("request v{version} (this build speaks v{PROTO_VERSION})"),
+            });
+        }
+        let req = match d.u8()? {
+            REQ_VPAIR => Request::Vpair {
+                tuple: get_tuple(&mut d)?,
+                max_calls: d.u64()?,
+                deadline_ms: d.u64()?,
+            },
+            REQ_APAIR => Request::Apair {
+                max_calls: d.u64()?,
+                deadline_ms: d.u64()?,
+            },
+            REQ_STREAM_PROCESS => Request::StreamProcess {
+                tuple: get_tuple(&mut d)?,
+            },
+            REQ_STREAM_RETRACT => Request::StreamRetract {
+                vertex: VertexId(d.u32()?),
+            },
+            REQ_STREAM_MATCHES => Request::StreamMatches,
+            REQ_METRICS => Request::Metrics,
+            REQ_PING => Request::Ping,
+            REQ_SHUTDOWN => Request::Shutdown,
+            tag => {
+                return Err(CodecError {
+                    offset: 4,
+                    message: format!("bad request tag {tag:#04x}"),
+                })
+            }
+        };
+        d.finish()?;
+        Ok(req)
+    }
+}
+
+/// A server reply. Matching replies carry sound partial results plus the
+/// exhaustion reason when the request's budget tripped.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Reply {
+    /// VPair results (sound even when `exhausted` is set).
+    Vpair {
+        /// Confirmed matches, ascending.
+        matches: Vec<VertexId>,
+        /// Candidates left undecided by the budget, ascending.
+        unresolved: Vec<VertexId>,
+        /// Why the run stopped early, if it did.
+        exhausted: Option<ExhaustReason>,
+    },
+    /// APair results (every returned pair fully verified).
+    Apair {
+        /// Confirmed matches.
+        matches: Vec<(TupleRef, VertexId)>,
+        /// Why the run stopped early, if it did.
+        exhausted: Option<ExhaustReason>,
+    },
+    /// A stream mutation was journaled (durably) and applied.
+    StreamApplied {
+        /// Matches found for the processed tuple (empty for retractions).
+        found: Vec<VertexId>,
+        /// Journaled operations reflected in the session after this one.
+        ops_applied: u64,
+    },
+    /// Accumulated stream matches.
+    StreamMatches {
+        /// All accumulated `(tuple, vertex)` matches, sorted.
+        matches: Vec<(TupleRef, VertexId)>,
+        /// Journaled operations reflected in the session.
+        ops_applied: u64,
+    },
+    /// Metrics snapshot as registry JSON.
+    Metrics {
+        /// `Registry::snapshot().to_json()` output.
+        json: String,
+    },
+    /// Liveness answer.
+    Pong,
+    /// The server accepted the shutdown and will exit.
+    ShuttingDown,
+    /// The request was shed by admission control *before* execution — the
+    /// canonical overload answer: never a hang, always retryable.
+    Busy {
+        /// Requests waiting in the admission queue at shed time.
+        queue_depth: u32,
+    },
+    /// The request failed; `code` follows the CLI exit-code taxonomy.
+    Error {
+        /// One of the [`code`] constants.
+        code: u32,
+        /// Human-readable diagnosis.
+        message: String,
+    },
+}
+
+const REP_VPAIR: u8 = 1;
+const REP_APAIR: u8 = 2;
+const REP_STREAM_APPLIED: u8 = 3;
+const REP_STREAM_MATCHES: u8 = 4;
+const REP_METRICS: u8 = 5;
+const REP_PONG: u8 = 6;
+const REP_SHUTTING_DOWN: u8 = 7;
+const REP_BUSY: u8 = 8;
+const REP_ERROR: u8 = 9;
+
+fn reason_tag(r: Option<ExhaustReason>) -> u8 {
+    match r {
+        None => 0,
+        Some(ExhaustReason::Calls) => 1,
+        Some(ExhaustReason::Deadline) => 2,
+        Some(ExhaustReason::CacheCapacity) => 3,
+        Some(ExhaustReason::Cancelled) => 4,
+    }
+}
+
+fn tag_reason(tag: u8) -> Result<Option<ExhaustReason>, CodecError> {
+    Ok(match tag {
+        0 => None,
+        1 => Some(ExhaustReason::Calls),
+        2 => Some(ExhaustReason::Deadline),
+        3 => Some(ExhaustReason::CacheCapacity),
+        4 => Some(ExhaustReason::Cancelled),
+        b => {
+            return Err(CodecError {
+                offset: 0,
+                message: format!("bad ExhaustReason tag {b:#04x}"),
+            })
+        }
+    })
+}
+
+fn put_vertices(e: &mut Enc, vs: &[VertexId]) {
+    e.put_u32(vs.len() as u32);
+    for v in vs {
+        e.put_u32(v.0);
+    }
+}
+
+fn get_vertices(d: &mut Dec<'_>) -> Result<Vec<VertexId>, CodecError> {
+    let n = d.u32()? as usize;
+    let mut vs = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        vs.push(VertexId(d.u32()?));
+    }
+    Ok(vs)
+}
+
+fn put_pairs(e: &mut Enc, ps: &[(TupleRef, VertexId)]) {
+    e.put_u32(ps.len() as u32);
+    for (t, v) in ps {
+        put_tuple(e, *t);
+        e.put_u32(v.0);
+    }
+}
+
+fn get_pairs(d: &mut Dec<'_>) -> Result<Vec<(TupleRef, VertexId)>, CodecError> {
+    let n = d.u32()? as usize;
+    let mut ps = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        ps.push((get_tuple(d)?, VertexId(d.u32()?)));
+    }
+    Ok(ps)
+}
+
+impl Reply {
+    /// Serializes this reply as one frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.put_u32(PROTO_VERSION);
+        match self {
+            Reply::Vpair {
+                matches,
+                unresolved,
+                exhausted,
+            } => {
+                e.put_u8(REP_VPAIR);
+                put_vertices(&mut e, matches);
+                put_vertices(&mut e, unresolved);
+                e.put_u8(reason_tag(*exhausted));
+            }
+            Reply::Apair { matches, exhausted } => {
+                e.put_u8(REP_APAIR);
+                put_pairs(&mut e, matches);
+                e.put_u8(reason_tag(*exhausted));
+            }
+            Reply::StreamApplied { found, ops_applied } => {
+                e.put_u8(REP_STREAM_APPLIED);
+                put_vertices(&mut e, found);
+                e.put_u64(*ops_applied);
+            }
+            Reply::StreamMatches {
+                matches,
+                ops_applied,
+            } => {
+                e.put_u8(REP_STREAM_MATCHES);
+                put_pairs(&mut e, matches);
+                e.put_u64(*ops_applied);
+            }
+            Reply::Metrics { json } => {
+                e.put_u8(REP_METRICS).put_str(json);
+            }
+            Reply::Pong => {
+                e.put_u8(REP_PONG);
+            }
+            Reply::ShuttingDown => {
+                e.put_u8(REP_SHUTTING_DOWN);
+            }
+            Reply::Busy { queue_depth } => {
+                e.put_u8(REP_BUSY).put_u32(*queue_depth);
+            }
+            Reply::Error { code, message } => {
+                e.put_u8(REP_ERROR).put_u32(*code).put_str(message);
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decodes a frame payload written by [`Reply::encode`].
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut d = Dec::new(bytes);
+        let version = d.u32()?;
+        if version != PROTO_VERSION {
+            return Err(CodecError {
+                offset: 0,
+                message: format!("reply v{version} (this build speaks v{PROTO_VERSION})"),
+            });
+        }
+        let reply = match d.u8()? {
+            REP_VPAIR => Reply::Vpair {
+                matches: get_vertices(&mut d)?,
+                unresolved: get_vertices(&mut d)?,
+                exhausted: tag_reason(d.u8()?)?,
+            },
+            REP_APAIR => Reply::Apair {
+                matches: get_pairs(&mut d)?,
+                exhausted: tag_reason(d.u8()?)?,
+            },
+            REP_STREAM_APPLIED => Reply::StreamApplied {
+                found: get_vertices(&mut d)?,
+                ops_applied: d.u64()?,
+            },
+            REP_STREAM_MATCHES => Reply::StreamMatches {
+                matches: get_pairs(&mut d)?,
+                ops_applied: d.u64()?,
+            },
+            REP_METRICS => Reply::Metrics {
+                json: d.str()?.to_owned(),
+            },
+            REP_PONG => Reply::Pong,
+            REP_SHUTTING_DOWN => Reply::ShuttingDown,
+            REP_BUSY => Reply::Busy {
+                queue_depth: d.u32()?,
+            },
+            REP_ERROR => Reply::Error {
+                code: d.u32()?,
+                message: d.str()?.to_owned(),
+            },
+            tag => {
+                return Err(CodecError {
+                    offset: 4,
+                    message: format!("bad reply tag {tag:#04x}"),
+                })
+            }
+        };
+        d.finish()?;
+        Ok(reply)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame transport over a byte stream
+// ---------------------------------------------------------------------
+
+/// What went wrong reading one message off a connection. Mirrors the
+/// store's torn-vs-corrupt distinction at the transport level.
+#[derive(Debug)]
+pub enum WireError {
+    /// The peer closed the connection cleanly at a frame boundary.
+    Closed,
+    /// The connection died mid-frame — the message never completed
+    /// (the transport analogue of a torn WAL tail).
+    Torn,
+    /// A structurally complete frame failed validation — bytes arrived
+    /// but cannot be trusted.
+    Corrupt(String),
+    /// The underlying socket read/write failed (includes timeouts).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Torn => write!(f, "connection died mid-message"),
+            WireError::Corrupt(m) => write!(f, "corrupt message: {m}"),
+            WireError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Writes `payload` as one checksummed frame.
+pub fn write_message(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    her_store::frame::write_frame(&mut buf, payload);
+    w.write_all(&buf)?;
+    w.flush()
+}
+
+/// Fills `buf` from `r`, distinguishing a clean close (`Ok(0)` before any
+/// byte) from a mid-buffer close.
+fn read_exact_or_close(r: &mut impl Read, buf: &mut [u8]) -> Result<bool, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => return if filled == 0 { Ok(false) } else { Err(WireError::Torn) },
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Io(e)),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one framed message, validating the checksum. A close at a frame
+/// boundary is [`WireError::Closed`]; mid-frame is [`WireError::Torn`]; a
+/// failed checksum or impossible length is [`WireError::Corrupt`].
+pub fn read_message(r: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    if !read_exact_or_close(r, &mut header)? {
+        return Err(WireError::Closed);
+    }
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Corrupt(format!("impossible frame length {len}")));
+    }
+    let mut whole = vec![0u8; FRAME_HEADER_LEN + len];
+    whole[..FRAME_HEADER_LEN].copy_from_slice(&header);
+    if !read_exact_or_close(r, &mut whole[FRAME_HEADER_LEN..])? {
+        return Err(WireError::Torn);
+    }
+    // Validate through the store's parser so the checksum/length story is
+    // byte-for-byte the one snapshots and the WAL already test.
+    let mut frames = Frames::new(&whole);
+    match frames.next_frame() {
+        FrameEvent::Frame(payload) => Ok(payload.to_vec()),
+        FrameEvent::Corrupt { message, .. } => Err(WireError::Corrupt(message)),
+        FrameEvent::Eof | FrameEvent::TornTail { .. } => Err(WireError::Torn),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Vpair {
+                tuple: TupleRef::new(0, 7),
+                max_calls: 1000,
+                deadline_ms: 250,
+            },
+            Request::Apair {
+                max_calls: 0,
+                deadline_ms: 0,
+            },
+            Request::StreamProcess {
+                tuple: TupleRef::new(1, 2),
+            },
+            Request::StreamRetract { vertex: VertexId(9) },
+            Request::StreamMatches,
+            Request::Metrics,
+            Request::Ping,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_replies() -> Vec<Reply> {
+        vec![
+            Reply::Vpair {
+                matches: vec![VertexId(1), VertexId(4)],
+                unresolved: vec![VertexId(9)],
+                exhausted: Some(ExhaustReason::Deadline),
+            },
+            Reply::Apair {
+                matches: vec![(TupleRef::new(0, 0), VertexId(3))],
+                exhausted: None,
+            },
+            Reply::StreamApplied {
+                found: vec![VertexId(3)],
+                ops_applied: 12,
+            },
+            Reply::StreamMatches {
+                matches: vec![(TupleRef::new(0, 1), VertexId(2))],
+                ops_applied: 3,
+            },
+            Reply::Metrics {
+                json: "{\"counters\":{}}".to_owned(),
+            },
+            Reply::Pong,
+            Reply::ShuttingDown,
+            Reply::Busy { queue_depth: 5 },
+            Reply::Error {
+                code: code::UNAVAILABLE,
+                message: "shutting down".to_owned(),
+            },
+        ]
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        for req in sample_requests() {
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for rep in sample_replies() {
+            assert_eq!(Reply::decode(&rep.encode()).unwrap(), rep);
+        }
+    }
+
+    /// Truncation at every offset errors cleanly — the decode path can
+    /// face arbitrary attacker-controlled bytes and must never panic.
+    #[test]
+    fn truncated_payloads_error_not_panic() {
+        for req in sample_requests() {
+            let bytes = req.encode();
+            for cut in 0..bytes.len() {
+                assert!(Request::decode(&bytes[..cut]).is_err(), "cut={cut}");
+            }
+        }
+        for rep in sample_replies() {
+            let bytes = rep.encode();
+            for cut in 0..bytes.len() {
+                assert!(Reply::decode(&bytes[..cut]).is_err(), "cut={cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Request::Ping.encode();
+        bytes.push(0);
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut bytes = Request::Ping.encode();
+        bytes[0] = 99;
+        let e = Request::decode(&bytes).unwrap_err();
+        assert!(e.message.contains("v99"), "{e:?}");
+    }
+
+    #[test]
+    fn idempotency_matrix() {
+        use Request::*;
+        let t = TupleRef::new(0, 0);
+        for (req, idem) in [
+            (Vpair { tuple: t, max_calls: 0, deadline_ms: 0 }, true),
+            (Apair { max_calls: 0, deadline_ms: 0 }, true),
+            (StreamMatches, true),
+            (Metrics, true),
+            (Ping, true),
+            (StreamProcess { tuple: t }, false),
+            (StreamRetract { vertex: VertexId(0) }, false),
+            (Shutdown, false),
+        ] {
+            assert_eq!(req.is_idempotent(), idem, "{req:?}");
+        }
+    }
+
+    /// One message through an in-memory pipe: what `write_message` sends,
+    /// `read_message` returns, and close/torn/garble classify correctly.
+    #[test]
+    fn wire_round_trip_and_failure_classes() {
+        let payload = Request::Metrics.encode();
+        let mut buf = Vec::new();
+        write_message(&mut buf, &payload).unwrap();
+
+        let mut r = &buf[..];
+        assert_eq!(read_message(&mut r).unwrap(), payload);
+        assert!(matches!(read_message(&mut r), Err(WireError::Closed)));
+
+        // Every proper prefix is Torn (or Closed for the empty prefix).
+        for cut in 1..buf.len() {
+            let mut r = &buf[..cut];
+            assert!(
+                matches!(read_message(&mut r), Err(WireError::Torn)),
+                "cut={cut}"
+            );
+        }
+
+        // A payload bit flip is Corrupt, never a wrong message.
+        for byte in FRAME_HEADER_LEN..buf.len() {
+            let mut bad = buf.clone();
+            bad[byte] ^= 0x10;
+            let mut r = &bad[..];
+            assert!(
+                matches!(read_message(&mut r), Err(WireError::Corrupt(_))),
+                "flip at {byte}"
+            );
+        }
+    }
+}

@@ -1,0 +1,631 @@
+//! The always-on linking server.
+//!
+//! One [`Server`] owns a TCP listener and, per [`Server::run`], a trained
+//! [`Her`] system plus (optionally) one durable stream session. Each
+//! connection gets a handler thread (scoped, so handlers borrow the
+//! system directly); each request passes the [`Admission`] gate, runs
+//! under its own [`Budget`], and is answered with sound partial results
+//! when the budget trips. See DESIGN.md §4h for the full protocol and
+//! semantics.
+//!
+//! Warm restart: stream mutations are journaled through
+//! [`DurableStreamLinker`] before acknowledgement and the session is
+//! snapshotted every `snapshot_every_ops` mutations. On startup the
+//! server restores the newest valid snapshot and replays only the WAL
+//! suffix after it, then prewarms the facade's shared score memo — so a
+//! restarted server answers from where it died instead of re-embedding
+//! the world.
+
+use crate::admission::{Admission, Admit};
+use crate::fault::{ConnFaults, FaultPlan, ReplyFate};
+use crate::proto::{code, read_message, Reply, Request, WireError};
+use her_core::stream::{DurableStreamLinker, StreamCheckpoint};
+use her_core::{Budget, Her, MatcherOptions};
+use her_graph::LabelId;
+use her_obs::info;
+use her_store::frame::FRAME_HEADER_LEN;
+use her_store::{SnapshotStore, StoreError};
+use her_sync::rank;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::PoisonError;
+use std::time::{Duration, Instant};
+
+/// Snapshot section name for the stream session's checkpoint.
+const SNAP_SECTION: &str = "stream";
+
+/// Server configuration. `Default` binds an ephemeral localhost port
+/// with moderate concurrency and no durability or faults.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Concurrent requests admitted past the gate.
+    pub max_inflight: usize,
+    /// Requests allowed to wait for a slot before shedding starts.
+    pub max_queue: usize,
+    /// Deadline applied to matching requests that do not carry their own
+    /// (0 = none).
+    pub default_deadline_ms: u64,
+    /// Stream WAL path; stream mutations require it.
+    pub wal: Option<PathBuf>,
+    /// Snapshot directory for checkpoint-backed warm restart.
+    pub snapshot_dir: Option<PathBuf>,
+    /// Stream mutations between snapshots (with `snapshot_dir`).
+    pub snapshot_every_ops: u64,
+    /// Connection-level fault injection (inert by default).
+    pub fault: FaultPlan,
+    /// Observability handle: `serve.*` metrics land here.
+    pub obs: Option<her_obs::Obs>,
+    /// Idle poll interval for connection reads; bounds how long shutdown
+    /// waits on quiet connections.
+    pub idle_poll_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            max_inflight: 4,
+            max_queue: 16,
+            default_deadline_ms: 0,
+            wal: None,
+            snapshot_dir: None,
+            snapshot_every_ops: 8,
+            fault: FaultPlan::default(),
+            obs: None,
+            idle_poll_ms: 200,
+        }
+    }
+}
+
+/// Anything that can stop the server from starting or force it down.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket setup failed.
+    Io(std::io::Error),
+    /// The durability layer failed (WAL/snapshot open or replay).
+    Store(StoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "serve: {e}"),
+            ServeError::Store(e) => write!(f, "serve: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Store(e)
+    }
+}
+
+/// The stream session state shared by all connection handlers.
+struct StreamSession<'h> {
+    linker: DurableStreamLinker<'h>,
+    snaps: Option<SnapshotStore>,
+    every: u64,
+}
+
+impl StreamSession<'_> {
+    /// Writes a snapshot when the cadence says so. Snapshot failures are
+    /// non-fatal — the op itself is already journaled, so the next
+    /// cadence point simply tries again (the store's
+    /// `store.checkpoint_failures` counter records the miss).
+    fn maybe_snapshot(&mut self) {
+        let Some(snaps) = &self.snaps else { return };
+        if self.every == 0 || self.linker.ops_applied() % self.every != 0 {
+            return;
+        }
+        let ck = self.linker.checkpoint();
+        if let Err(e) = snaps.write(&[(SNAP_SECTION, &ck.encode())]) {
+            her_obs::warn!("serve: snapshot failed (will retry next cadence): {e}");
+        }
+    }
+}
+
+/// A bound, not-yet-running server. Binding is split from running so
+/// callers can learn the ephemeral port before the blocking accept loop
+/// starts.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    cfg: ServeConfig,
+}
+
+impl Server {
+    /// Binds the configured address.
+    pub fn bind(cfg: ServeConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            addr,
+            cfg,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves requests over `her` until a `Shutdown` request arrives.
+    /// Startup performs the warm restart (snapshot restore + WAL suffix
+    /// replay) and prewarms the shared score memo; both are timed into
+    /// `serve.restart_replay_us`.
+    pub fn run(&self, her: &Her) -> Result<(), ServeError> {
+        let obs = self.cfg.obs.clone();
+        let restart = Instant::now();
+
+        // Checkpoint-backed warm restart: newest valid snapshot first,
+        // then only the WAL records journaled after it.
+        let session = match &self.cfg.wal {
+            Some(wal) => {
+                let snaps = match &self.cfg.snapshot_dir {
+                    Some(dir) => Some(match &obs {
+                        Some(o) => SnapshotStore::open(dir)?.with_obs(o.clone()),
+                        None => SnapshotStore::open(dir)?,
+                    }),
+                    None => None,
+                };
+                let restored: Option<StreamCheckpoint> = match &snaps {
+                    Some(s) => match s.load_latest()? {
+                        Some(snap) => match snap.section(SNAP_SECTION) {
+                            Some(bytes) => Some(StreamCheckpoint::decode(bytes).map_err(
+                                |e| StoreError::Corrupt {
+                                    path: s.dir().into(),
+                                    offset: 0,
+                                    message: format!("stream checkpoint: {e}"),
+                                },
+                            )?),
+                            None => None,
+                        },
+                        None => None,
+                    },
+                    None => None,
+                };
+                let (linker, replay) = match &restored {
+                    Some(ck) => DurableStreamLinker::open_at(her, wal, obs.clone(), ck)?,
+                    None => DurableStreamLinker::open(her, wal, obs.clone())?,
+                };
+                if let Some(ck) = &restored {
+                    info!(
+                        "serve: restored snapshot at op {} + replayed WAL to op {}",
+                        ck.ops_applied,
+                        linker.ops_applied()
+                    );
+                } else if replay.records > 0 {
+                    info!("serve: cold replay of {} WAL records", replay.records);
+                }
+                Some(her_sync::Mutex::new(
+                    rank::SERVE_STREAM,
+                    StreamSession {
+                        linker,
+                        snaps,
+                        every: self.cfg.snapshot_every_ops,
+                    },
+                ))
+            }
+            None => None,
+        };
+
+        // One prewarmed SharedScores handle serves every request: embed
+        // the label vocabulary once, before the first connection.
+        if let Some(shared) = &her.shared_scores {
+            let mut labels: Vec<LabelId> =
+                her.g.vertices().map(|v| her.g.label(v)).collect();
+            labels.extend(her.cg.graph.vertices().map(|v| her.cg.graph.label(v)));
+            shared.prewarm_labels(&her.params, &her.cg.interner, &labels, 4);
+        }
+        if let Some(obs) = &obs {
+            obs.registry
+                .counter("serve.restart_replay_us")
+                .add(restart.elapsed().as_micros() as u64);
+        }
+
+        let admission = Admission::new(
+            self.cfg.max_inflight,
+            self.cfg.max_queue,
+            obs.clone(),
+        );
+        let shutdown = AtomicBool::new(false);
+        let conn_ids = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let stream = match stream {
+                    Ok(s) => s,
+                    Err(_) => continue,
+                };
+                let conn_id = conn_ids.fetch_add(1, Ordering::Relaxed);
+                let handler = Handler {
+                    cfg: &self.cfg,
+                    her,
+                    session: session.as_ref(),
+                    admission: &admission,
+                    shutdown: &shutdown,
+                    self_addr: self.addr,
+                    obs: obs.as_ref(),
+                };
+                scope.spawn(move || handler.handle(stream, conn_id));
+            }
+        });
+
+        // Final snapshot so a clean shutdown restarts with zero replay.
+        if let Some(session) = &session {
+            let s = session.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(snaps) = &s.snaps {
+                let ck = s.linker.checkpoint();
+                if let Err(e) = snaps.write(&[(SNAP_SECTION, &ck.encode())]) {
+                    her_obs::warn!("serve: final snapshot failed: {e}");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything one connection thread needs, borrowed from the run scope.
+struct Handler<'s, 'h> {
+    cfg: &'s ServeConfig,
+    her: &'s Her,
+    session: Option<&'s her_sync::Mutex<StreamSession<'h>>>,
+    admission: &'s Admission,
+    shutdown: &'s AtomicBool,
+    self_addr: SocketAddr,
+    obs: Option<&'s her_obs::Obs>,
+}
+
+/// Whether the connection survives the reply that was just sent.
+enum ConnAction {
+    Continue,
+    Close,
+}
+
+impl Handler<'_, '_> {
+    fn counter(&self, name: &'static str) {
+        if let Some(o) = self.obs {
+            // #[allow(her::unregistered_metric)] — callers pass `serve.*` literals, all in names::ALL
+            o.registry.counter(name).inc();
+        }
+    }
+
+    fn handle(&self, mut stream: TcpStream, conn_id: u64) {
+        if let Some(o) = self.obs {
+            o.registry.counter("serve.connections").inc();
+        }
+        let _ = stream.set_nodelay(true);
+        let _ = stream
+            .set_read_timeout(Some(Duration::from_millis(self.cfg.idle_poll_ms.max(1))));
+        let mut faults = if self.cfg.fault.is_inert() {
+            None
+        } else {
+            Some(self.cfg.fault.conn(conn_id))
+        };
+
+        loop {
+            // Poll for the next message without consuming bytes, so an
+            // idle timeout never desynchronizes the frame stream.
+            let mut probe = [0u8; 1];
+            match stream.peek(&mut probe) {
+                Ok(0) => return, // peer closed
+                Ok(_) => {}
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(_) => return,
+            }
+            let req = match read_message(&mut stream) {
+                Ok(payload) => match Request::decode(&payload) {
+                    Ok(req) => req,
+                    Err(e) => {
+                        // A valid frame with a malformed request payload:
+                        // the caller's bug, taxonomized as usage.
+                        let reply = Reply::Error {
+                            code: code::USAGE,
+                            message: format!("malformed request: {e}"),
+                        };
+                        match self.send(&mut stream, &mut faults, &reply) {
+                            ConnAction::Continue => continue,
+                            ConnAction::Close => return,
+                        }
+                    }
+                },
+                Err(WireError::Closed) => return,
+                Err(WireError::Io(e))
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    // Mid-frame stall: the peeked message never finished.
+                    return;
+                }
+                Err(WireError::Torn) | Err(WireError::Io(_)) => return,
+                Err(WireError::Corrupt(m)) => {
+                    // Corrupted bytes on the wire: tell the peer (best
+                    // effort) and drop the connection — framing sync is
+                    // unrecoverable past a bad checksum.
+                    let reply = Reply::Error {
+                        code: code::DATA,
+                        message: format!("corrupt request frame: {m}"),
+                    };
+                    let _ = self.send(&mut stream, &mut faults, &reply);
+                    return;
+                }
+            };
+
+            let started = Instant::now();
+            self.counter("serve.requests");
+            let (reply, shutting_down) = self.answer(req);
+            if let Some(o) = self.obs {
+                o.registry
+                    .histogram("serve.request_us")
+                    .observe(started.elapsed().as_micros() as u64);
+            }
+            let action = self.send(&mut stream, &mut faults, &reply);
+            if shutting_down {
+                self.shutdown.store(true, Ordering::Release);
+                // Wake the blocking accept loop with a no-op connection.
+                let _ = TcpStream::connect(self.self_addr);
+                return;
+            }
+            match action {
+                ConnAction::Continue => {}
+                ConnAction::Close => return,
+            }
+        }
+    }
+
+    /// Executes one request end to end (admission, budget, matching) and
+    /// produces its reply. The bool asks the caller to begin shutdown.
+    fn answer(&self, req: Request) -> (Reply, bool) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return (
+                Reply::Error {
+                    code: code::UNAVAILABLE,
+                    message: "server is shutting down".to_owned(),
+                },
+                false,
+            );
+        }
+        // Ping, Metrics and Shutdown bypass admission: liveness and
+        // diagnostics must answer even under saturation (that is when the
+        // shed counters matter most), and shutdown must never be shed.
+        match &req {
+            Request::Ping => return (Reply::Pong, false),
+            Request::Metrics => return (self.execute(Request::Metrics, None), false),
+            Request::Shutdown => return (Reply::ShuttingDown, true),
+            _ => {}
+        }
+
+        let deadline_ms = match req {
+            Request::Vpair { deadline_ms, .. } | Request::Apair { deadline_ms, .. } => {
+                deadline_ms
+            }
+            _ => 0,
+        };
+        let deadline = match (deadline_ms, self.cfg.default_deadline_ms) {
+            (0, 0) => None,
+            (0, d) => Some(Instant::now() + Duration::from_millis(d)),
+            (d, _) => Some(Instant::now() + Duration::from_millis(d)),
+        };
+
+        let permit = match self.admission.acquire(deadline) {
+            Admit::Permit(p) => p,
+            Admit::Busy { queue_depth } => return (Reply::Busy { queue_depth }, false),
+        };
+        let reply = self.execute(req, deadline);
+        drop(permit);
+        (reply, false)
+    }
+
+    fn budget(&self, max_calls: u64, deadline: Option<Instant>) -> Budget {
+        let mut b = Budget::unlimited();
+        if max_calls > 0 {
+            b = b.with_max_calls(max_calls);
+        }
+        if let Some(at) = deadline {
+            b = b.with_deadline(at);
+        }
+        b
+    }
+
+    fn matcher_opts(&self, max_calls: u64, deadline: Option<Instant>) -> MatcherOptions {
+        MatcherOptions {
+            budget: self.budget(max_calls, deadline),
+            obs: self.obs.cloned(),
+            ..Default::default()
+        }
+    }
+
+    fn execute(&self, req: Request, deadline: Option<Instant>) -> Reply {
+        match req {
+            Request::Vpair {
+                tuple, max_calls, ..
+            } => {
+                if !self.her.cg.has_tuple(tuple) {
+                    return unknown_tuple_reply(tuple);
+                }
+                let run = self
+                    .her
+                    .try_vpair(tuple, self.matcher_opts(max_calls, deadline));
+                if run.exhausted == Some(her_core::ExhaustReason::Deadline) {
+                    self.counter("serve.deadline_misses");
+                }
+                Reply::Vpair {
+                    matches: run.matches,
+                    unresolved: run.unresolved,
+                    exhausted: run.exhausted,
+                }
+            }
+            Request::Apair { max_calls, .. } => {
+                let (matches, exhausted) =
+                    self.her.try_apair(self.matcher_opts(max_calls, deadline));
+                if exhausted == Some(her_core::ExhaustReason::Deadline) {
+                    self.counter("serve.deadline_misses");
+                }
+                Reply::Apair { matches, exhausted }
+            }
+            Request::StreamProcess { tuple } => self.stream_op(|s| {
+                if !self.her.cg.has_tuple(tuple) {
+                    return unknown_tuple_reply(tuple);
+                }
+                match s.linker.process(tuple) {
+                    Ok((found, _)) => {
+                        s.maybe_snapshot();
+                        Reply::StreamApplied {
+                            found,
+                            ops_applied: s.linker.ops_applied(),
+                        }
+                    }
+                    Err(e) => store_error_reply(e),
+                }
+            }),
+            Request::StreamRetract { vertex } => self.stream_op(|s| {
+                match s.linker.retract_vertex(vertex) {
+                    Ok(()) => {
+                        s.maybe_snapshot();
+                        Reply::StreamApplied {
+                            found: Vec::new(),
+                            ops_applied: s.linker.ops_applied(),
+                        }
+                    }
+                    Err(e) => store_error_reply(e),
+                }
+            }),
+            Request::StreamMatches => {
+                let Some(session) = self.session else {
+                    return no_stream_reply();
+                };
+                let s = session.lock().unwrap_or_else(PoisonError::into_inner);
+                Reply::StreamMatches {
+                    matches: s.linker.matches(),
+                    ops_applied: s.linker.ops_applied(),
+                }
+            }
+            Request::Metrics => {
+                let json = match self.obs {
+                    Some(o) => o.registry.snapshot().to_json(),
+                    None => "{}".to_owned(),
+                };
+                Reply::Metrics { json }
+            }
+            // Handled before admission in `answer`.
+            Request::Ping => Reply::Pong,
+            Request::Shutdown => Reply::ShuttingDown,
+        }
+    }
+
+    fn stream_op(&self, f: impl FnOnce(&mut StreamSession<'_>) -> Reply) -> Reply {
+        let Some(session) = self.session else {
+            return no_stream_reply();
+        };
+        self.counter("serve.stream_ops");
+        let mut s = session.lock().unwrap_or_else(PoisonError::into_inner);
+        f(&mut s)
+    }
+
+    /// Writes `reply` through the connection's fault plan.
+    fn send(
+        &self,
+        stream: &mut TcpStream,
+        faults: &mut Option<ConnFaults>,
+        reply: &Reply,
+    ) -> ConnAction {
+        let payload = reply.encode();
+        let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+        her_store::frame::write_frame(&mut buf, &payload);
+
+        let fate = match faults {
+            Some(f) => f.fate(),
+            None => ReplyFate::Deliver,
+        };
+        if fate != ReplyFate::Deliver {
+            self.counter("serve.faults_injected");
+        }
+        match fate {
+            ReplyFate::Deliver => {
+                if write_all(stream, &buf).is_err() {
+                    return ConnAction::Close;
+                }
+                ConnAction::Continue
+            }
+            ReplyFate::Delay(d) => {
+                std::thread::sleep(d);
+                if write_all(stream, &buf).is_err() {
+                    return ConnAction::Close;
+                }
+                ConnAction::Continue
+            }
+            ReplyFate::Drop => ConnAction::Continue,
+            ReplyFate::Truncate => {
+                // A strict prefix: the peer sees a torn message, the
+                // transport analogue of a crash mid-write.
+                let cut = (buf.len() / 2).max(1).min(buf.len() - 1);
+                let _ = write_all(stream, &buf[..cut]);
+                ConnAction::Close
+            }
+            ReplyFate::Garble => {
+                // Flip one payload byte; the checksum turns the lie into
+                // a detectable corruption instead of a wrong answer.
+                let idx = FRAME_HEADER_LEN.min(buf.len() - 1);
+                buf[idx] ^= 0x20;
+                let _ = write_all(stream, &buf);
+                ConnAction::Continue
+            }
+            ReplyFate::Kill => ConnAction::Close,
+        }
+    }
+}
+
+fn write_all(stream: &mut TcpStream, buf: &[u8]) -> std::io::Result<()> {
+    stream.write_all(buf)?;
+    stream.flush()
+}
+
+fn no_stream_reply() -> Reply {
+    Reply::Error {
+        code: code::USAGE,
+        message: "server started without a stream WAL (--wal)".to_owned(),
+    }
+}
+
+fn unknown_tuple_reply(t: her_rdb::TupleRef) -> Reply {
+    Reply::Error {
+        code: code::USAGE,
+        message: format!("unknown tuple (relation {}, row {})", t.relation, t.row),
+    }
+}
+
+fn store_error_reply(e: StoreError) -> Reply {
+    Reply::Error {
+        code: code::DATA,
+        message: e.to_string(),
+    }
+}

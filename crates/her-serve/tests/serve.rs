@@ -1,0 +1,501 @@
+//! End-to-end service tests over real sockets: wire correctness against
+//! the in-process reference, overload shedding, deadline partials, warm
+//! restart from snapshots + WAL (including torn tails and corrupt
+//! snapshots at every cut point), and the seeded connection fault drill.
+
+use her_core::learn::SearchSpace;
+use her_core::params::Thresholds;
+use her_core::stream::StreamLinker;
+use her_core::{Her, HerConfig};
+use her_graph::{GraphBuilder, VertexId};
+use her_rdb::schema::{RelationSchema, Schema};
+use her_rdb::{Database, Tuple, TupleRef, Value};
+use her_serve::{Client, ClientError, FaultPlan, Reply, Request, RetryPolicy, ServeConfig, Server};
+use std::time::Duration;
+
+/// The stream-test system: 8 item tuples, one entity vertex each.
+fn system() -> (Her, Vec<TupleRef>, Vec<VertexId>) {
+    let mut s = Schema::new();
+    let item = s.add_relation(RelationSchema::new("item", &["name", "color"]));
+    let mut db = Database::new(s);
+    let mut b = GraphBuilder::new();
+    let mut ts = Vec::new();
+    let mut vs = Vec::new();
+    for i in 0..8 {
+        let name = format!("entity {i}");
+        let color = ["white", "red"][i % 2];
+        ts.push(db.insert(
+            item,
+            Tuple::new(vec![Value::Str(name.clone()), Value::str(color)]),
+        ));
+        let v = b.add_vertex("item");
+        let n = b.add_vertex(&name);
+        let c = b.add_vertex(color);
+        b.add_edge(v, n, "label");
+        b.add_edge(v, c, "hasColor");
+        vs.push(v);
+    }
+    let (g, interner) = b.build();
+    let cfg = HerConfig {
+        thresholds: Thresholds::new(0.9, 0.7, 5),
+        use_blocking: false,
+        ..Default::default()
+    };
+    let mut her = Her::build(&db, g, interner, &cfg);
+    let ann: Vec<_> = ts.iter().zip(&vs).map(|(&t, &v)| (t, v, true)).collect();
+    her.learn(
+        &ann,
+        &ann,
+        &cfg,
+        &SearchSpace {
+            trials: 0,
+            ..Default::default()
+        },
+    );
+    (her, ts, vs)
+}
+
+/// Runs `f` against a freshly bound server, then shuts the server down.
+/// Shutdown is sent even when `f` panics — otherwise the scoped server
+/// thread blocks in `accept` forever and the panic never surfaces.
+fn with_server<R>(her: &Her, cfg: ServeConfig, f: impl FnOnce(&mut Client) -> R) -> R {
+    let server = Server::bind(cfg).expect("bind");
+    let addr = server.local_addr().to_string();
+    std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run(her).expect("server run"));
+        let mut client = Client::new(&addr);
+        client.timeout = Duration::from_secs(10);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut client)));
+        let mut closer = Client::new(&addr);
+        let shut = closer.request(&Request::Shutdown);
+        run.join().expect("server thread panicked");
+        let out = match out {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        match shut.expect("shutdown") {
+            Reply::ShuttingDown => {}
+            other => panic!("unexpected shutdown reply: {other:?}"),
+        }
+        out
+    })
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 3,
+        base_ms: 1,
+        cap_ms: 5,
+        seed: 7,
+    }
+}
+
+#[test]
+fn vpair_and_apair_over_wire_equal_local() {
+    let (her, ts, _) = system();
+    let local_apair = her.apair();
+    let locals: Vec<Vec<VertexId>> = ts.iter().map(|&t| her.vpair(t)).collect();
+    with_server(&her, ServeConfig::default(), |client| {
+        for (i, &t) in ts.iter().enumerate() {
+            match client
+                .request(&Request::Vpair {
+                    tuple: t,
+                    max_calls: 0,
+                    deadline_ms: 0,
+                })
+                .expect("vpair")
+            {
+                Reply::Vpair {
+                    matches, exhausted, ..
+                } => {
+                    assert_eq!(exhausted, None, "tuple {i} exhausted unexpectedly");
+                    assert_eq!(matches, locals[i], "tuple {i} differs from local");
+                }
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+        match client
+            .request(&Request::Apair {
+                max_calls: 0,
+                deadline_ms: 0,
+            })
+            .expect("apair")
+        {
+            Reply::Apair { matches, exhausted } => {
+                assert_eq!(exhausted, None);
+                assert_eq!(matches, local_apair);
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        match client.request(&Request::Ping).expect("ping") {
+            Reply::Pong => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn unknown_tuple_is_a_usage_error_not_a_panic() {
+    let (her, _, _) = system();
+    with_server(&her, ServeConfig::default(), |client| {
+        let err = client
+            .request(&Request::Vpair {
+                tuple: TupleRef::new(9, 999),
+                max_calls: 0,
+                deadline_ms: 0,
+            })
+            .expect_err("bogus tuple accepted");
+        match err {
+            ClientError::Remote { code, .. } => assert_eq!(code, her_serve::proto::code::USAGE),
+            other => panic!("unexpected error: {other:?}"),
+        }
+    });
+}
+
+#[test]
+fn saturated_server_sheds_with_busy_and_counts_it() {
+    let (her, ts, _) = system();
+    let obs = her_obs::Obs::new();
+    let cfg = ServeConfig {
+        max_inflight: 0,
+        max_queue: 0,
+        obs: Some(obs.clone()),
+        ..Default::default()
+    };
+    with_server(&her, cfg, |client| {
+        client.retry = fast_retry();
+        let err = client
+            .request(&Request::Vpair {
+                tuple: ts[0],
+                max_calls: 0,
+                deadline_ms: 0,
+            })
+            .expect_err("saturated server answered");
+        assert!(matches!(err, ClientError::Unavailable(_)), "{err:?}");
+        // Diagnostics bypass admission: metrics are readable while shedding.
+        match client.request(&Request::Metrics).expect("metrics") {
+            Reply::Metrics { json } => {
+                assert!(json.contains("serve.shed"), "shed counter missing: {json}")
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    });
+    let snap = obs.registry.snapshot();
+    assert_eq!(
+        snap.counter("serve.shed"),
+        3,
+        "every retry attempt should shed"
+    );
+    assert!(snap.counter("serve.requests") >= 3);
+}
+
+#[test]
+fn exhausted_requests_return_sound_partials() {
+    let (her, ts, _) = system();
+    let full: Vec<VertexId> = her.vpair(ts[0]);
+    with_server(&her, ServeConfig::default(), |client| {
+        // max_calls = 1 deterministically exhausts the budget.
+        match client
+            .request(&Request::Vpair {
+                tuple: ts[0],
+                max_calls: 1,
+                deadline_ms: 0,
+            })
+            .expect("vpair")
+        {
+            Reply::Vpair {
+                matches,
+                unresolved,
+                exhausted,
+            } => {
+                assert!(exhausted.is_some(), "1 call cannot finish");
+                // Soundness: exhaustion never invents a match.
+                assert!(
+                    matches.iter().all(|v| full.contains(v)),
+                    "partial result contains a vertex the full run rejects"
+                );
+                assert!(
+                    !unresolved.is_empty() || matches == full,
+                    "exhausted run must surface undecided candidates"
+                );
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        // A tight deadline either finishes or returns sound partials —
+        // never an error, never an unsound match.
+        match client
+            .request(&Request::Vpair {
+                tuple: ts[0],
+                max_calls: 0,
+                deadline_ms: 1,
+            })
+            .expect("vpair with deadline")
+        {
+            Reply::Vpair {
+                matches, exhausted, ..
+            } => {
+                assert!(matches.iter().all(|v| full.contains(v)));
+                if exhausted.is_none() {
+                    assert_eq!(matches, full);
+                }
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    });
+}
+
+/// Streams `ops` tuples through a server-backed session and returns the
+/// matches reported over the wire.
+fn stream_through_server(
+    her: &Her,
+    cfg: ServeConfig,
+    ops: &[TupleRef],
+) -> Vec<(TupleRef, VertexId)> {
+    with_server(her, cfg, |client| {
+        for &t in ops {
+            match client
+                .request(&Request::StreamProcess { tuple: t })
+                .expect("stream process")
+            {
+                Reply::StreamApplied { .. } => {}
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+        match client.request(&Request::StreamMatches).expect("matches") {
+            Reply::StreamMatches { matches, .. } => matches,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    })
+}
+
+/// Reference: matches after each prefix of `ops` in one uninterrupted
+/// in-process session. `reference[k]` = state after `k` ops.
+fn reference_prefixes(her: &Her, ops: &[TupleRef]) -> Vec<Vec<(TupleRef, VertexId)>> {
+    let mut linker = StreamLinker::new(her);
+    let mut out = vec![linker.matches()];
+    for &t in ops {
+        linker.process(t);
+        out.push(linker.matches());
+    }
+    out
+}
+
+#[test]
+fn warm_restart_resumes_from_snapshot_plus_wal() {
+    let (her, ts, _) = system();
+    let dir = tempdir("warm_restart");
+    let wal = dir.join("stream.wal");
+    let snaps = dir.join("snaps");
+    let cfg = || ServeConfig {
+        wal: Some(wal.clone()),
+        snapshot_dir: Some(snaps.clone()),
+        snapshot_every_ops: 2,
+        ..Default::default()
+    };
+    let reference = reference_prefixes(&her, &ts);
+
+    // Session 1: five ops, then shutdown (which cuts a final snapshot).
+    let first = stream_through_server(&her, cfg(), &ts[..5]);
+    assert_eq!(first, reference[5]);
+
+    // Session 2 must resume exactly where session 1 stopped, then absorb
+    // the remaining ops as if the restart never happened.
+    let rest = with_server(&her, cfg(), |client| {
+        match client.request(&Request::StreamMatches).expect("matches") {
+            Reply::StreamMatches {
+                matches,
+                ops_applied,
+            } => {
+                assert_eq!(ops_applied, 5, "restart lost or replayed extra ops");
+                assert_eq!(matches, reference[5], "restart state differs");
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        for &t in &ts[5..] {
+            client
+                .request(&Request::StreamProcess { tuple: t })
+                .expect("post-restart process");
+        }
+        match client.request(&Request::StreamMatches).expect("matches") {
+            Reply::StreamMatches { matches, .. } => matches,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    });
+    assert_eq!(rest, *reference.last().unwrap(), "full run differs");
+}
+
+#[test]
+fn warm_restart_survives_torn_wal_tails_at_every_offset() {
+    let (her, ts, _) = system();
+    let reference = reference_prefixes(&her, &ts);
+    let dir = tempdir("torn_tails");
+    let wal = dir.join("stream.wal");
+    let snaps = dir.join("snaps");
+    let cfg = || ServeConfig {
+        wal: Some(wal.clone()),
+        snapshot_dir: Some(snaps.clone()),
+        snapshot_every_ops: 3,
+        ..Default::default()
+    };
+    let full = stream_through_server(&her, cfg(), &ts);
+    assert_eq!(full, *reference.last().unwrap());
+
+    // Count surviving WAL records at each truncation length once, with a
+    // plain reader, so the expectation is independent of the server.
+    let wal_bytes = std::fs::read(&wal).expect("read wal");
+    let records_at = |len: usize| -> u64 {
+        let mut frames = her_store::frame::Frames::new(&wal_bytes[..len]);
+        let mut n: u64 = 0;
+        while let her_store::frame::FrameEvent::Frame { .. } = frames.next_frame() {
+            n += 1;
+        }
+        // The first frame is the WAL magic header, not a record.
+        n.saturating_sub(1)
+    };
+    // The shutdown snapshot holds all 8 ops; a torn WAL tail must never
+    // lose state the snapshot already made durable.
+    let snap_store = her_store::SnapshotStore::open(&snaps).expect("open snaps");
+    let snap = snap_store
+        .load_latest()
+        .expect("load latest")
+        .expect("snapshot written");
+    let ck = her_core::StreamCheckpoint::decode(snap.section("stream").expect("section"))
+        .expect("decode checkpoint");
+
+    for cut in 0..=wal_bytes.len() {
+        let mut torn = wal_bytes.clone();
+        torn.truncate(cut);
+        std::fs::write(&wal, &torn).expect("write torn wal");
+        let expect_ops = records_at(cut).max(ck.ops_applied);
+        let got = with_server(&her, cfg(), |client| {
+            match client.request(&Request::StreamMatches).expect("matches") {
+                Reply::StreamMatches {
+                    matches,
+                    ops_applied,
+                } => {
+                    assert_eq!(
+                        ops_applied, expect_ops,
+                        "cut at {cut}: wrong resume point"
+                    );
+                    matches
+                }
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        });
+        assert_eq!(
+            got, reference[expect_ops as usize],
+            "cut at {cut}: state diverges from uninterrupted run"
+        );
+        // Restarting rewrites snapshots; re-read the reference checkpoint
+        // only if needed (ops only grow, so the max() above stays valid).
+        std::fs::write(&wal, &wal_bytes).expect("restore wal");
+    }
+}
+
+#[test]
+fn warm_restart_falls_back_when_newest_snapshot_is_torn() {
+    let (her, ts, _) = system();
+    let reference = reference_prefixes(&her, &ts);
+    let dir = tempdir("torn_snapshot");
+    let wal = dir.join("stream.wal");
+    let snaps = dir.join("snaps");
+    let cfg = || ServeConfig {
+        wal: Some(wal.clone()),
+        snapshot_dir: Some(snaps.clone()),
+        snapshot_every_ops: 2,
+        ..Default::default()
+    };
+    let full = stream_through_server(&her, cfg(), &ts);
+    assert_eq!(full, *reference.last().unwrap());
+
+    // Mangle the newest snapshot file at several cut points: truncated
+    // (a crash mid-snapshot-write) and bit-flipped (disk corruption).
+    let newest = std::fs::read_dir(&snaps)
+        .expect("read snaps dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "hsnap"))
+        .max()
+        .expect("snapshot files");
+    let pristine = std::fs::read(&newest).expect("read snapshot");
+    let mut variants: Vec<Vec<u8>> = vec![pristine[..pristine.len() / 2].to_vec()];
+    let mut flipped = pristine.clone();
+    flipped[pristine.len() / 2] ^= 0x40;
+    variants.push(flipped);
+    for bad in variants {
+        std::fs::write(&newest, &bad).expect("write bad snapshot");
+        // The WAL is intact, so whatever snapshot generation survives,
+        // replay must land on the exact uninterrupted state.
+        let got = stream_through_server(&her, cfg(), &[]);
+        assert_eq!(got, *reference.last().unwrap(), "fallback diverged");
+        std::fs::write(&newest, &pristine).expect("restore snapshot");
+    }
+}
+
+#[test]
+fn chaos_fault_plan_never_hangs_and_never_lies() {
+    let (her, ts, _) = system();
+    let locals: Vec<Vec<VertexId>> = ts.iter().map(|&t| her.vpair(t)).collect();
+    let obs = her_obs::Obs::new();
+    let cfg = ServeConfig {
+        fault: FaultPlan::chaos(0xC0FFEE),
+        obs: Some(obs.clone()),
+        ..Default::default()
+    };
+    with_server(&her, cfg, |client| {
+        client.timeout = Duration::from_millis(300);
+        client.retry = RetryPolicy {
+            attempts: 12,
+            base_ms: 1,
+            cap_ms: 5,
+            seed: 3,
+        };
+        let mut answered = 0u32;
+        for round in 0..4 {
+            for (i, &t) in ts.iter().enumerate() {
+                match client.request(&Request::Vpair {
+                    tuple: t,
+                    max_calls: 0,
+                    deadline_ms: 0,
+                }) {
+                    Ok(Reply::Vpair {
+                        matches, exhausted, ..
+                    }) => {
+                        answered += 1;
+                        assert_eq!(exhausted, None);
+                        assert_eq!(
+                            matches, locals[i],
+                            "round {round} tuple {i}: wrong answer under faults"
+                        );
+                    }
+                    Ok(other) => panic!("unexpected reply: {other:?}"),
+                    // Exhausted retries on a torn/killed/dropped reply are
+                    // the taxonomized failure path — allowed.
+                    Err(ClientError::Unavailable(_)) => {}
+                    Err(other) => panic!("untaxonomized failure: {other:?}"),
+                }
+            }
+        }
+        assert!(
+            answered >= 16,
+            "chaos shed almost everything ({answered}/32 answered); \
+             fault plan too hot for the retry budget"
+        );
+    });
+    assert!(
+        obs.registry.snapshot().counter("serve.faults_injected") > 0,
+        "chaos plan injected nothing"
+    );
+}
+
+/// Fresh per-test scratch directory under the target tmpdir.
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "her_serve_{tag}_{}",
+        std::process::id()
+    ));
+    if dir.exists() {
+        std::fs::remove_dir_all(&dir).expect("clear scratch dir");
+    }
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}

@@ -63,6 +63,13 @@ impl Rank {
 pub mod rank {
     use super::Rank;
 
+    /// `her-serve` admission gate: in-flight/queue bookkeeping. Outermost
+    /// serve-side lock — held only for bookkeeping, never across a match.
+    pub const SERVE_ADMISSION: Rank = Rank::new(4, "serve.admission");
+    /// `her-serve` stream session: serializes stream mutations and
+    /// snapshots. Held across matching, which takes `SCORES_SHARD` and
+    /// the obs locks, so it must rank below all of those.
+    pub const SERVE_STREAM: Rank = Rank::new(6, "serve.stream");
     /// `her-parallel` partition table (`SharedPartition`): owner lookups
     /// and recovery-time reassignment.
     pub const PARTITION: Rank = Rank::new(10, "parallel.partition");
@@ -503,6 +510,8 @@ mod tests {
     #[test]
     fn rank_table_is_strictly_ordered() {
         let table = [
+            rank::SERVE_ADMISSION,
+            rank::SERVE_STREAM,
             rank::PARTITION,
             rank::FAULT_KILLS,
             rank::FAULT_POISON,

@@ -6,6 +6,9 @@
 //! her-cli vpair  --db orders.csv --graph catalogue.nt --tuple 0
 //! her-cli spair  --db orders.csv --graph catalogue.nt --tuple 0 --vertex 12
 //! her-cli stream --db orders.csv --graph catalogue.nt --wal session.hlog
+//! her-cli serve  --db orders.csv --graph catalogue.nt --addr 127.0.0.1:0 \
+//!                --wal serve.hlog --snapshot-dir snaps --port-file port.txt
+//! her-cli query  --addr 127.0.0.1:4100 --op vpair --tuple 0
 //! her-cli export-demo          # writes a demo orders.csv + catalogue.nt
 //!
 //! options:
@@ -21,15 +24,38 @@
 //!   --checkpoint-every-supersteps N    snapshot cadence (default 1)
 //!   --resume             re-enter the run from the newest valid snapshot
 //!   --stop-after-supersteps N    stop (checkpointed) after N supersteps
-//!   --wal FILE           stream: journal + replay the session's WAL
+//!   --wal FILE           stream/serve: journal + replay the session's WAL
 //!   --stop-after-ops N   stream: exit (journaled) after N operations
 //!   --metrics-out FILE   write a metrics snapshot (JSON) at exit
 //!   --trace              echo span enter/exit events to stderr
 //!   -v / -vv             info / debug diagnostics (quiet by default)
+//!
+//! serve options:
+//!   --addr HOST:PORT     bind address (default 127.0.0.1:0 = ephemeral)
+//!   --port-file FILE     write the bound address for scripts to discover
+//!   --max-inflight N     concurrent requests admitted (default 4)
+//!   --max-queue N        requests that may wait for a slot (default 16)
+//!   --deadline-ms MS     serve: default per-request deadline
+//!   --snapshot-dir DIR   checkpoint-backed warm restart state
+//!   --snapshot-every-ops N    snapshot cadence (default 8)
+//!   --fault-seed N --fault-drop N --fault-delay N --fault-delay-ms MS
+//!   --fault-truncate N --fault-garble N --fault-kill N
+//!                        seeded reply-path fault plan (1-in-N; 0 = off)
+//!
+//! query options:
+//!   --addr HOST:PORT | --port-file FILE    where the server listens
+//!   --op OP              vpair|apair|stream-process|stream-retract|
+//!                        stream-matches|metrics|ping|shutdown
+//!   --tuple N / --vertex N    operands for vpair / stream ops
+//!   --max-calls N --deadline-ms MS         per-request budget
+//!   --timeout-ms MS      per-attempt socket timeout (default 5000)
+//!   --retries N          total attempts incl. the first (default 4)
+//!   --retry-seed N       jitter seed for reproducible backoff
 //! ```
 //!
 //! Exit codes: `0` success, `1` data error (unreadable/unparsable input),
-//! `2` usage error, `3` budget exhausted (partial results printed).
+//! `2` usage error, `3` budget exhausted (partial results printed),
+//! `4` service unavailable (overloaded/shed or unreachable — retryable).
 //!
 //! Diagnostics go to stderr through [`her::obs::log`]; match output on
 //! stdout is stable across verbosity levels. With `--metrics-out` (or
@@ -68,7 +94,8 @@ fn main() {
 
     let outcome = match command.as_str() {
         "export-demo" => export_demo(),
-        "spair" | "vpair" | "apair" | "stream" => run(command, &opts),
+        "spair" | "vpair" | "apair" | "stream" | "serve" => run(command, &opts),
+        "query" => query(&opts),
         _ => Err(HerError::Usage(format!("unknown command {command:?}"))),
     };
     if let Err(e) = outcome {
@@ -82,7 +109,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: her-cli <spair|vpair|apair|stream|export-demo> --db FILE.csv --graph FILE.nt \\\n\
+        "usage: her-cli <spair|vpair|apair|stream|serve|query|export-demo> --db FILE.csv --graph FILE.nt \\\n\
          \t[--annotations FILE.csv] [--tuple N] [--vertex N] \\\n\
          \t[--sigma S] [--delta D] [--k K] [--relation NAME] \\\n\
          \t[--max-calls N] [--deadline-ms MS] [--workers N] \\\n\
@@ -90,7 +117,11 @@ fn usage() {
          \t[--checkpoint-dir DIR] [--checkpoint-every-supersteps N] \\\n\
          \t[--resume] [--stop-after-supersteps N] \\\n\
          \t[--wal FILE] [--stop-after-ops N] \\\n\
-         \t[--metrics-out FILE] [--trace] [-v | -vv]"
+         \t[--metrics-out FILE] [--trace] [-v | -vv]\n\
+       serve: [--addr HOST:PORT] [--port-file FILE] [--max-inflight N] [--max-queue N] \\\n\
+         \t[--snapshot-dir DIR] [--snapshot-every-ops N] [--fault-* ...]\n\
+       query: --addr HOST:PORT | --port-file FILE  --op OP [--tuple N] [--vertex N] \\\n\
+         \t[--max-calls N] [--deadline-ms MS] [--timeout-ms MS] [--retries N] [--retry-seed N]"
     );
 }
 
@@ -493,6 +524,75 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
                     return Err(HerError::Exhausted(reason));
                 }
             }
+            "serve" => {
+                if workers.is_some() {
+                    return Err(HerError::Usage(
+                        "--workers does not apply to serve (the server threads per \
+                         connection and gates concurrency with --max-inflight)"
+                            .to_owned(),
+                    ));
+                }
+                let mut scfg = her::serve::ServeConfig {
+                    obs: Some(obs.clone()),
+                    ..Default::default()
+                };
+                if let Some(a) = opts.get("addr") {
+                    scfg.addr = a.clone();
+                }
+                if let Some(n) = opts.get("max-inflight") {
+                    scfg.max_inflight = numeric(n, "max-inflight")?;
+                }
+                if let Some(n) = opts.get("max-queue") {
+                    scfg.max_queue = numeric(n, "max-queue")?;
+                }
+                if let Some(ms) = opts.get("deadline-ms") {
+                    scfg.default_deadline_ms = numeric(ms, "deadline-ms")?;
+                }
+                scfg.wal = opts.get("wal").map(Into::into);
+                scfg.snapshot_dir = opts.get("snapshot-dir").map(Into::into);
+                if let Some(n) = opts.get("snapshot-every-ops") {
+                    scfg.snapshot_every_ops = numeric(n, "snapshot-every-ops")?;
+                }
+                if scfg.snapshot_dir.is_some() && scfg.wal.is_none() {
+                    return Err(HerError::Usage(
+                        "--snapshot-dir requires --wal (snapshots checkpoint the \
+                         stream session the WAL journals)"
+                            .to_owned(),
+                    ));
+                }
+                let fault_knob = |flag: &str, default: u64| -> Result<u64, HerError> {
+                    match opts.get(flag) {
+                        Some(v) => numeric(v, flag),
+                        None => Ok(default),
+                    }
+                };
+                let fault = her::serve::FaultPlan {
+                    seed: fault_knob("fault-seed", 0)?,
+                    drop_1_in: fault_knob("fault-drop", 0)?,
+                    delay_1_in: fault_knob("fault-delay", 0)?,
+                    delay_ms: fault_knob("fault-delay-ms", 10)?,
+                    truncate_1_in: fault_knob("fault-truncate", 0)?,
+                    garble_1_in: fault_knob("fault-garble", 0)?,
+                    kill_1_in: fault_knob("fault-kill", 0)?,
+                };
+                if !fault.is_inert() {
+                    info!("serving with fault plan {fault:?}");
+                }
+                scfg.fault = fault;
+
+                let server = her::serve::Server::bind(scfg).map_err(serve_error)?;
+                let addr = server.local_addr();
+                if let Some(pf) = opts.get("port-file") {
+                    std::fs::write(pf, addr.to_string()).map_err(|source| HerError::Io {
+                        path: pf.into(),
+                        source,
+                    })?;
+                }
+                // Scripts watch stderr/port-file; stdout stays reserved for
+                // match output, consistent with every other command.
+                eprintln!("her-cli: serving on {addr}");
+                server.run(&system).map_err(serve_error)?;
+            }
             "stream" => {
                 let wal_path = required(opts, "wal")?;
                 if workers.is_some() {
@@ -552,6 +652,153 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
 
     finish_metrics(&obs, opts)?;
     result
+}
+
+/// Maps server startup/runtime failures into the CLI taxonomy: socket
+/// problems are environment ("unavailable"), store problems keep their
+/// own variant so the exit code reflects data corruption vs. overload.
+fn serve_error(e: her::serve::ServeError) -> HerError {
+    match e {
+        her::serve::ServeError::Io(source) => {
+            HerError::Unavailable(format!("server socket failed: {source}"))
+        }
+        her::serve::ServeError::Store(source) => HerError::Store(source),
+    }
+}
+
+/// `her-cli query`: one request against a running server, standalone —
+/// no dataset loading, the server holds the trained system.
+fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
+    let addr = match (opts.get("addr"), opts.get("port-file")) {
+        (Some(a), _) => a.clone(),
+        (None, Some(pf)) => read_file(pf)?.trim().to_owned(),
+        (None, None) => {
+            return Err(HerError::Usage(
+                "query needs --addr HOST:PORT or --port-file FILE".to_owned(),
+            ))
+        }
+    };
+    let op = required(opts, "op")?;
+
+    let mut retry = her::serve::RetryPolicy::default();
+    if let Some(n) = opts.get("retries") {
+        retry.attempts = numeric(n, "retries")?;
+    }
+    if let Some(s) = opts.get("retry-seed") {
+        retry.seed = numeric(s, "retry-seed")?;
+    }
+    let mut client = her::serve::Client::new(&addr).with_retry(retry);
+    if let Some(ms) = opts.get("timeout-ms") {
+        client.timeout = Duration::from_millis(numeric(ms, "timeout-ms")?);
+    }
+
+    let max_calls: u64 = match opts.get("max-calls") {
+        Some(n) => numeric(n, "max-calls")?,
+        None => 0,
+    };
+    let deadline_ms: u64 = match opts.get("deadline-ms") {
+        Some(ms) => numeric(ms, "deadline-ms")?,
+        None => 0,
+    };
+    let tuple = |key: &str| -> Result<TupleRef, HerError> {
+        Ok(TupleRef::new(0, numeric(&required(opts, key)?, key)?))
+    };
+
+    use her::serve::Request;
+    let req = match op.as_str() {
+        "vpair" => Request::Vpair {
+            tuple: tuple("tuple")?,
+            max_calls,
+            deadline_ms,
+        },
+        "apair" => Request::Apair {
+            max_calls,
+            deadline_ms,
+        },
+        "stream-process" => Request::StreamProcess {
+            tuple: tuple("tuple")?,
+        },
+        "stream-retract" => Request::StreamRetract {
+            vertex: VertexId(numeric(&required(opts, "vertex")?, "vertex")?),
+        },
+        "stream-matches" => Request::StreamMatches,
+        "metrics" => Request::Metrics,
+        "ping" => Request::Ping,
+        "shutdown" => Request::Shutdown,
+        other => {
+            return Err(HerError::Usage(format!(
+                "--op {other:?} (expected vpair|apair|stream-process|stream-retract|\
+                 stream-matches|metrics|ping|shutdown)"
+            )))
+        }
+    };
+
+    use her::serve::Reply;
+    match client.request(&req).map_err(|e| client_error(&addr, e))? {
+        Reply::Vpair {
+            matches,
+            unresolved,
+            exhausted,
+        } => {
+            for v in matches {
+                println!("{v}");
+            }
+            if let Some(reason) = exhausted {
+                eprintln!("{} candidates left undecided", unresolved.len());
+                return Err(HerError::Exhausted(reason));
+            }
+        }
+        Reply::Apair { matches, exhausted } => {
+            for (t, v) in matches {
+                println!("{},{}", t.row, v);
+            }
+            if let Some(reason) = exhausted {
+                return Err(HerError::Exhausted(reason));
+            }
+        }
+        Reply::StreamApplied { found, ops_applied } => {
+            for v in found {
+                println!("{v}");
+            }
+            info!("journaled as op {ops_applied}");
+        }
+        Reply::StreamMatches {
+            matches,
+            ops_applied,
+        } => {
+            for (t, v) in matches {
+                println!("{},{}", t.row, v);
+            }
+            info!("session at op {ops_applied}");
+        }
+        Reply::Metrics { json } => println!("{json}"),
+        Reply::Pong => println!("pong"),
+        Reply::ShuttingDown => info!("server acknowledged shutdown"),
+        // The client maps these into ClientError before returning.
+        Reply::Busy { .. } | Reply::Error { .. } => unreachable!(),
+    }
+    Ok(())
+}
+
+/// Maps client-side failures into the CLI taxonomy. Exhaustion never
+/// lands here — it rides in-band in successful replies.
+fn client_error(addr: &str, e: her::serve::ClientError) -> HerError {
+    use her::serve::ClientError;
+    match e {
+        ClientError::Unavailable(m) => HerError::Unavailable(m),
+        ClientError::Remote { code, message } if code == her::serve::proto::code::USAGE => {
+            HerError::Usage(format!("server rejected the request: {message}"))
+        }
+        ClientError::Remote { code, message }
+            if code == her::serve::proto::code::UNAVAILABLE =>
+        {
+            HerError::Unavailable(message)
+        }
+        ClientError::Remote { message, .. } | ClientError::Data(message) => HerError::Io {
+            path: addr.into(),
+            source: std::io::Error::other(message),
+        },
+    }
 }
 
 fn parse_annotations(

@@ -54,16 +54,22 @@ pub enum HerError {
     Store(her_store::StoreError),
     /// The caller's request itself was invalid (bad flag, bad id).
     Usage(String),
+    /// A service declined or could not complete the request: the server
+    /// shed it under overload (`Busy`), is unreachable, or went away
+    /// mid-request. Retryable (with backoff) for idempotent requests.
+    Unavailable(String),
 }
 
 impl HerError {
     /// Conventional process exit code: `2` for usage errors (the caller
     /// can fix the invocation), `3` for budget exhaustion (partial results
-    /// may exist; retry with a bigger budget), `1` for data errors.
+    /// may exist; retry with a bigger budget), `4` for an unavailable or
+    /// shedding service (retry with backoff), `1` for data errors.
     pub fn exit_code(&self) -> i32 {
         match self {
             HerError::Usage(_) => 2,
             HerError::Exhausted(_) => 3,
+            HerError::Unavailable(_) => 4,
             _ => 1,
         }
     }
@@ -95,6 +101,9 @@ impl std::fmt::Display for HerError {
             }
             HerError::Store(source) => write!(f, "{source}"),
             HerError::Usage(msg) => write!(f, "{msg}"),
+            HerError::Unavailable(msg) => {
+                write!(f, "service unavailable: {msg} (retry with backoff)")
+            }
         }
     }
 }
@@ -157,6 +166,7 @@ mod tests {
             HerError::Exhausted(her_core::ExhaustReason::Deadline).exit_code(),
             3
         );
+        assert_eq!(HerError::Unavailable("server busy".into()).exit_code(), 4);
         let io = HerError::Io {
             path: "x".into(),
             source: std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),

@@ -20,6 +20,7 @@
 //! | [`obs`] | `her-obs` | structured tracing, metrics and run telemetry |
 //! | [`parallel`] | `her-parallel` | BSP engine + parallel APair (PAllMatch) |
 //! | [`store`] | `her-store` | checksummed snapshots + WAL for durable runs |
+//! | [`serve`] | `her-serve` | always-on service: wire protocol, admission, warm restart |
 //! | [`baselines`] | `her-baselines` | the paper's nine comparison methods |
 //! | [`datagen`] | `her-datagen` | dataset emulators + synthetic scale generator |
 //!
@@ -48,6 +49,7 @@ pub use her_graph as graph;
 pub use her_obs as obs;
 pub use her_parallel as parallel;
 pub use her_rdb as rdb;
+pub use her_serve as serve;
 pub use her_store as store;
 
 use her_core::learn::SearchSpace;
