@@ -1,0 +1,30 @@
+//! Seeded violations for `her::unguarded_span`: span guards dropped at
+//! the call statement, producing zero-width spans.
+
+pub struct Tracer;
+pub struct Span;
+
+impl Tracer {
+    pub fn span(&self, _name: &str) -> Span {
+        Span
+    }
+    pub fn span_ctx(&self, _name: &str, _ctx: u64) -> Span {
+        Span
+    }
+}
+
+pub fn dropped_immediately(t: &Tracer) {
+    // Bare statement: the guard drops before the work it should cover.
+    t.span("cli.load");
+    do_work();
+    // `let _ =` is no better — `_` drops the guard on the spot.
+    let _ = t.span_ctx("serve.req", 7);
+    do_work();
+}
+
+pub fn waived_site(t: &Tracer) {
+    // #[allow(her::unguarded_span)] — intentionally zero-width: marks an instant
+    t.span("serve.tick");
+}
+
+fn do_work() {}

@@ -261,6 +261,20 @@ mod tests {
         assert_eq!(rule_hits(&table, rules::LITERAL_LOCK_RANK).0, 0);
     }
 
+    #[test]
+    fn unguarded_span_fixtures() {
+        let ok = run("crates/her-serve/src/ok.rs", "unguarded_span/ok.rs");
+        assert_eq!(rule_hits(&ok, rules::UNGUARDED_SPAN).1, 0, "{ok:?}");
+        let bad = run("crates/her-serve/src/bad.rs", "unguarded_span/violation.rs");
+        let (total, unwaived) = rule_hits(&bad, rules::UNGUARDED_SPAN);
+        // Bare statement + `let _ =` unwaived; one waived zero-width site.
+        assert!(unwaived >= 2, "{bad:?}");
+        assert!(total > unwaived, "the waived site must be detected but waived");
+        // The tracer's own crate constructs spans freely.
+        let obs = run("crates/her-obs/src/trace.rs", "unguarded_span/violation.rs");
+        assert_eq!(rule_hits(&obs, rules::UNGUARDED_SPAN).0, 0);
+    }
+
     /// The linter runs clean on the real workspace — the same invariant
     /// the CI `lint` job gates on.
     #[test]

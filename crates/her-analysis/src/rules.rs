@@ -28,6 +28,7 @@ pub const PANICKING_DECODE: &str = "her::panicking_decode";
 pub const UNREGISTERED_METRIC: &str = "her::unregistered_metric";
 pub const GENERATION_ENTRY_POINT: &str = "her::generation_entry_point";
 pub const LITERAL_LOCK_RANK: &str = "her::literal_lock_rank";
+pub const UNGUARDED_SPAN: &str = "her::unguarded_span";
 
 /// All rule ids, for `--list` and the report header.
 pub const ALL_RULES: &[&str] = &[
@@ -37,6 +38,7 @@ pub const ALL_RULES: &[&str] = &[
     UNREGISTERED_METRIC,
     GENERATION_ENTRY_POINT,
     LITERAL_LOCK_RANK,
+    UNGUARDED_SPAN,
 ];
 
 /// Per-token context derived in one pass: innermost enclosing function
@@ -153,6 +155,7 @@ pub fn analyze_file(path: &str, src: &str, metrics: &MetricNames) -> Vec<Finding
     unregistered_metric(path, &lexed.toks, &ctx, metrics, &mut findings);
     generation_entry_point(path, &lexed.toks, &ctx, &mut findings);
     literal_lock_rank(path, &lexed.toks, &ctx, &mut findings);
+    unguarded_span(path, &lexed.toks, &ctx, &mut findings);
     apply_waivers(&lexed, &mut findings);
     findings
 }
@@ -501,5 +504,57 @@ fn literal_lock_rank(path: &str, toks: &[Tok], ctx: &Ctx, out: &mut Vec<Finding>
             ),
             waived: false,
         });
+    }
+}
+
+/// Rule 7 — `her::unguarded_span`: a tracer span is an RAII guard whose
+/// `Drop` emits the Exit event that closes the span. Calling `.span(…)`
+/// or `.span_ctx(…)` without binding the guard — a bare statement, or
+/// `let _ = …`, both of which drop immediately — records a zero-width
+/// span and malforms the trace tree (`her-cli trace` renders the work it
+/// was meant to cover as happening outside it). Scope: all non-test code
+/// outside `her-obs` itself (the tracer may delegate between its own
+/// constructors). Bind guards you never read as `let _name = …`.
+fn unguarded_span(path: &str, toks: &[Tok], ctx: &Ctx, out: &mut Vec<Finding>) {
+    if path.starts_with("crates/her-obs/") {
+        return;
+    }
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_tests[i]
+            || t.kind != TokKind::Ident
+            || !(t.text == "span" || t.text == "span_ctx")
+            || i == 0
+            || toks[i - 1].text != "."
+            || toks.get(i + 1).is_none_or(|n| n.text != "(")
+        {
+            continue;
+        }
+        // The enclosing statement starts after the nearest `;`, `{` or
+        // `}`; a guard is bound iff that statement is `let <ident> = …`
+        // with a real name (`let _ =` drops the guard on the spot).
+        let start = toks[..i]
+            .iter()
+            .rposition(|p| {
+                p.kind == TokKind::Punct && matches!(p.text.as_str(), ";" | "{" | "}")
+            })
+            .map_or(0, |j| j + 1);
+        let guarded = toks.get(start).is_some_and(|k| k.text == "let")
+            && toks
+                .get(start + 1)
+                .is_some_and(|n| n.kind == TokKind::Ident && n.text != "_");
+        if !guarded {
+            out.push(Finding {
+                rule: UNGUARDED_SPAN,
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    ".{}(…) without a bound guard — the span closes at end of \
+                     statement, not where the work ends; bind it (`let _span = …`) \
+                     so Drop marks the real exit",
+                    t.text
+                ),
+                waived: false,
+            });
+        }
     }
 }

@@ -19,7 +19,8 @@ pub fn apair(
     tuple_vertices: &[VertexId],
     index: Option<&InvertedIndex>,
 ) -> Vec<(VertexId, VertexId)> {
-    let span = matcher.obs().map(|o| o.tracer.span("apair"));
+    let ctx = matcher.ctx();
+    let span = matcher.obs().map(|o| o.tracer.span_ctx("apair", ctx));
     let sigma = matcher.params().thresholds.sigma;
     // Candidate generation across all tuples (Fig. 8 lines 2-3).
     let mut cand: Vec<(VertexId, VertexId)> = Vec::new();

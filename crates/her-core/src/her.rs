@@ -12,7 +12,7 @@
 use crate::apair;
 use crate::index::InvertedIndex;
 use crate::learn::{self, Annotation, SearchSpace};
-use crate::paramatch::{ExhaustReason, Matcher, MatcherOptions};
+use crate::paramatch::{ExhaustReason, MatchStats, Matcher, MatcherOptions};
 use crate::params::{Params, Thresholds};
 use crate::refine::{refine_round, RefineConfig, RefineOutcome};
 use crate::schema_match::{schema_matches, SchemaMatch};
@@ -284,6 +284,22 @@ impl Her {
         &self,
         options: MatcherOptions,
     ) -> (Vec<(TupleRef, VertexId)>, Option<ExhaustReason>) {
+        let (matches, exhausted, _) = self.try_apair_stats(options);
+        (matches, exhausted)
+    }
+
+    /// As [`Her::try_apair`], additionally reporting the run's
+    /// [`MatchStats`] (the matcher is fresh per call, so the stats are
+    /// this run's own spend — what the serving path's flight recorder
+    /// files per request).
+    pub fn try_apair_stats(
+        &self,
+        options: MatcherOptions,
+    ) -> (
+        Vec<(TupleRef, VertexId)>,
+        Option<ExhaustReason>,
+        MatchStats,
+    ) {
         let mut m = self.matcher_with(options);
         let mut tuple_vertices: Vec<(TupleRef, VertexId)> =
             self.cg.tuple_vertices().collect();
@@ -305,7 +321,8 @@ impl Her {
             }
         }
         out.sort();
-        (out, exhausted)
+        let stats = m.stats();
+        (out, exhausted, stats)
     }
 
     /// Schema matches `Γ(u_t, v)` for a matched tuple/vertex pair.

@@ -196,6 +196,10 @@ impl MatchStats {
 /// carry an [`her_obs::Obs`]; `None` otherwise, so uninstrumented
 /// matchers pay a single branch per site.
 struct Probes {
+    /// Request context the matcher was built for; tags every trace
+    /// event the probes emit so per-request breakdowns attribute
+    /// budget exhaustion to the originating request.
+    ctx: her_obs::ReqCtx,
     calls: Rc<her_obs::Counter>,
     cache_hits: Rc<her_obs::Counter>,
     ecache_hits: Rc<her_obs::Counter>,
@@ -208,9 +212,10 @@ struct Probes {
 }
 
 impl Probes {
-    fn resolve(obs: &her_obs::Obs) -> Self {
+    fn resolve(obs: &her_obs::Obs, ctx: her_obs::ReqCtx) -> Self {
         let r = &obs.registry;
         Probes {
+            ctx,
             calls: r.counter("paramatch.calls"),
             cache_hits: r.counter("paramatch.cache_hits"),
             ecache_hits: r.counter("paramatch.ecache_hits"),
@@ -253,6 +258,12 @@ pub struct MatcherOptions {
     /// handle's invalidation generation and drops its derived caches
     /// (verdicts, selections) when fine-tuning bumps it.
     pub shared_scores: Option<SharedScores>,
+    /// Request-scoped trace context ([`her_obs::ReqCtx`]): minted at
+    /// the serving path's admission gate and threaded here so the
+    /// matcher's spans (`vpair`/`apair`) and exhaustion events carry
+    /// the originating request's trace id. Defaults to the ambient
+    /// (request-free) context.
+    pub ctx: her_obs::ReqCtx,
 }
 
 impl Default for MatcherOptions {
@@ -265,6 +276,7 @@ impl Default for MatcherOptions {
             cancel: CancelToken::new(),
             obs: None,
             shared_scores: None,
+            ctx: her_obs::ReqCtx::NONE,
         }
     }
 }
@@ -340,7 +352,10 @@ impl<'a> Matcher<'a> {
         params: &'a Params,
         options: MatcherOptions,
     ) -> Self {
-        let probes = options.obs.as_ref().map(Probes::resolve);
+        let probes = options
+            .obs
+            .as_ref()
+            .map(|obs| Probes::resolve(obs, options.ctx));
         let (scores, seen_generation) = match &options.shared_scores {
             Some(shared) => (Scores::Shared(shared.clone()), shared.generation()),
             None => {
@@ -467,6 +482,12 @@ impl<'a> Matcher<'a> {
     #[must_use = "stats() returns a detached snapshot, not a live view"]
     pub fn stats(&self) -> MatchStats {
         self.stats
+    }
+
+    /// The request-scoped trace context this matcher runs under
+    /// (ambient [`her_obs::ReqCtx::NONE`] outside the serving path).
+    pub fn ctx(&self) -> her_obs::ReqCtx {
+        self.options.ctx
     }
 
     /// The observability handle this matcher reports into, if any.
@@ -788,7 +809,9 @@ impl<'a> Matcher<'a> {
                 self.exhausted = Some(r);
                 self.probe(|p| p.exhausted.inc());
                 if let Some(obs) = &self.options.obs {
-                    obs.tracer.event("paramatch.exhausted", &format!("{r}"));
+                    let ctx = self.probes.as_ref().map_or(self.options.ctx, |p| p.ctx);
+                    obs.tracer
+                        .event_ctx("paramatch.exhausted", &format!("{r}"), ctx);
                 }
                 Err(r)
             }
@@ -1501,9 +1524,9 @@ mod tests {
     }
 
     /// The invalidation-generation protocol across matchers: fine-tuning
-    /// + `invalidate()` on one matcher bumps the shared generation, and a
-    /// *different* matcher on the same handle drops its stale verdicts at
-    /// its next query. Restore adopts the current generation.
+    /// plus `invalidate()` on one matcher bumps the shared generation,
+    /// and a *different* matcher on the same handle drops its stale
+    /// verdicts at its next query. Restore adopts the current generation.
     #[test]
     fn shared_generation_invalidation_covers_fine_tune_and_restore() {
         let (gd, g, interner, u, v, _) = fixture();

@@ -11,7 +11,7 @@
 //!    `ParaMatch`.
 
 use crate::index::InvertedIndex;
-use crate::paramatch::{ExhaustReason, Matcher, Outcome};
+use crate::paramatch::{ExhaustReason, MatchStats, Matcher, Outcome};
 use her_graph::VertexId;
 
 /// Result of a budget-aware VPair run (see [`try_vpair`]).
@@ -25,6 +25,10 @@ pub struct VpairRun {
     pub unresolved: Vec<VertexId>,
     /// Why the run stopped early, if it did.
     pub exhausted: Option<ExhaustReason>,
+    /// The matcher's counters at the end of the run. For a fresh
+    /// matcher (the serving path builds one per request) this is the
+    /// run's own budget spend — what the flight recorder files.
+    pub stats: MatchStats,
 }
 
 impl VpairRun {
@@ -74,7 +78,8 @@ pub fn try_vpair(
     u_t: VertexId,
     index: Option<&InvertedIndex>,
 ) -> VpairRun {
-    let span = matcher.obs().map(|o| o.tracer.span("vpair"));
+    let ctx = matcher.ctx();
+    let span = matcher.obs().map(|o| o.tracer.span_ctx("vpair", ctx));
     let mut cand = candidates(matcher, u_t, index);
     if let Some(obs) = matcher.obs() {
         obs.registry.counter("vpair.runs").inc();
@@ -108,6 +113,7 @@ pub fn try_vpair(
         matches,
         unresolved,
         exhausted,
+        stats: matcher.stats(),
     }
 }
 

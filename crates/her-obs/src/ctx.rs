@@ -1,0 +1,106 @@
+//! Request-scoped trace context.
+//!
+//! A [`ReqCtx`] is minted once per request at the serving path's
+//! admission gate and carried — by value, it is two words of POD —
+//! through the wire protocol, `MatcherOptions`/`Probes`, and into the
+//! BSP engine's per-superstep spans. Every span or event tagged with a
+//! ctx lands in the trace ring with the originating request's id, so
+//! `her-cli trace <id>` can reconstruct a single request's breakdown
+//! out of a log that interleaves many.
+//!
+//! The sampling decision is made at mint time from a seeded hash of
+//! the request id: deterministic for a given `(seed, id)` pair, so a
+//! replayed workload samples the same requests. Untagged (ambient)
+//! instrumentation — `trace_id == 0` — always records.
+
+/// Per-request trace context: a server-assigned id plus the sampling
+/// decision made when the id was minted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReqCtx {
+    /// Server-assigned request id; `0` means "no request" (ambient
+    /// instrumentation outside any request scope).
+    pub trace_id: u64,
+    /// Seeded sampling decision; spans/events tagged with an unsampled
+    /// ctx are skipped at record time.
+    pub sampled: bool,
+}
+
+impl ReqCtx {
+    /// The ambient (request-free) context. Ambient events always
+    /// record.
+    pub const NONE: ReqCtx = ReqCtx {
+        trace_id: 0,
+        sampled: false,
+    };
+
+    /// Mints the context for request `id` under a 1-in-`sample_1_in`
+    /// policy (`0` disables request tracing, `1` samples everything).
+    pub fn mint(id: u64, sample_1_in: u64, seed: u64) -> ReqCtx {
+        let sampled = match sample_1_in {
+            0 => false,
+            1 => true,
+            n => mix(seed ^ id).is_multiple_of(n),
+        };
+        ReqCtx {
+            trace_id: id,
+            sampled,
+        }
+    }
+
+    /// True when instrumentation tagged with this ctx should be
+    /// recorded: ambient always, request-tagged only when sampled.
+    pub fn records(&self) -> bool {
+        self.trace_id == 0 || self.sampled
+    }
+}
+
+/// splitmix64 finalizer — cheap, deterministic id→sample hashing.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_ambient_and_records() {
+        assert!(ReqCtx::NONE.records());
+        assert_eq!(ReqCtx::NONE.trace_id, 0);
+    }
+
+    #[test]
+    fn mint_is_deterministic() {
+        for id in 1..200u64 {
+            assert_eq!(ReqCtx::mint(id, 4, 7), ReqCtx::mint(id, 4, 7));
+        }
+    }
+
+    #[test]
+    fn sample_rates_are_honored() {
+        assert!(!ReqCtx::mint(9, 0, 1).sampled, "0 disables sampling");
+        assert!(ReqCtx::mint(9, 1, 1).sampled, "1 samples everything");
+        let hits = (1..=4096u64)
+            .filter(|&id| ReqCtx::mint(id, 8, 42).sampled)
+            .count();
+        // 1-in-8 over 4096 ids: expect ~512, allow a wide band.
+        assert!((256..=768).contains(&hits), "got {hits} sampled of 4096");
+    }
+
+    #[test]
+    fn unsampled_request_ctx_does_not_record() {
+        let ctx = ReqCtx {
+            trace_id: 5,
+            sampled: false,
+        };
+        assert!(!ctx.records());
+        let ctx = ReqCtx {
+            trace_id: 5,
+            sampled: true,
+        };
+        assert!(ctx.records());
+    }
+}

@@ -12,7 +12,13 @@
 //!   atomic op; handles are resolved once at construction time.
 //! - **Tracing** ([`trace`]): hierarchical spans with monotonic µs
 //!   timings plus point events (faults, recoveries, budget
-//!   exhaustion) in a bounded ring buffer — see [`Tracer`].
+//!   exhaustion) in a bounded ring buffer — see [`Tracer`]. Spans and
+//!   events can be tagged with a request-scoped [`ReqCtx`] ([`ctx`]),
+//!   minted at the serving path's admission gate, so one request's
+//!   breakdown is reconstructable from the shared log.
+//! - **Flight recorder** ([`flight`]): a lock-free seqlock ring of
+//!   per-request [`FlightRecord`]s (queue wait, exec time, budget
+//!   spend, hits, faults) with rolling-p99 anomaly classification.
 //! - **Logging** ([`log`]): process-wide leveled stderr diagnostics
 //!   behind the [`info!`]/[`debug!`]/[`warn!`] macros.
 //!
@@ -30,11 +36,15 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod names;
+pub mod ctx;
+pub mod flight;
 pub mod json;
 pub mod log;
 pub mod metrics;
 pub mod trace;
 
+pub use ctx::ReqCtx;
+pub use flight::{FlightRecord, FlightRecorder, FLIGHT_CAPACITY};
 pub use metrics::{Counter, Gauge, HistSnapshot, Histogram, Registry, Snapshot};
 pub use trace::{Event, EventKind, SpanGuard, Tracer};
 

@@ -141,6 +141,29 @@ impl Histogram {
         }
     }
 
+    /// Upper bound of the smallest bucket whose cumulative count
+    /// reaches quantile `q` (0.0–1.0) — a bucketed approximation of
+    /// the q-th percentile, 0 when empty. Observations past the last
+    /// bound report the recorded max.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return match self.bounds.get(i) {
+                    Some(&bound) => bound,
+                    None => self.max(), // overflow bucket
+                };
+            }
+        }
+        self.max()
+    }
+
     fn snapshot(&self) -> HistSnapshot {
         HistSnapshot {
             count: self.count(),
@@ -173,6 +196,25 @@ impl HistSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// Bucketed q-th percentile bound; see [`Histogram::quantile_bound`].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target {
+                return match self.bounds.get(i) {
+                    Some(&bound) => bound,
+                    None => self.max,
+                };
+            }
+        }
+        self.max
     }
 }
 
@@ -364,6 +406,47 @@ impl Snapshot {
         out
     }
 
+    /// Version tag emitted as the exposition format's first line.
+    pub const EXPO_VERSION: &'static str = "# her-expo/v1";
+
+    /// Renders the stable text exposition format:
+    ///
+    /// ```text
+    /// # her-expo/v1
+    /// counter <name> <u64>
+    /// gauge <name> <f64>
+    /// hist <name> count=<u64> sum=<u64> max=<u64> p50=<u64> p99=<u64>
+    /// ```
+    ///
+    /// Lines are grouped counter/gauge/hist in that order and sorted by
+    /// name within each group (the snapshot's `BTreeMap`s guarantee
+    /// it), so two expositions of the same state are byte-identical —
+    /// CI diffs and scrapers both get a deterministic view. The grammar
+    /// is specified in DESIGN.md §4i and machine-checked by the
+    /// `obs-smoke` CI job against `ci/expo_schema.json`.
+    pub fn to_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(Self::EXPO_VERSION);
+        out.push('\n');
+        for (k, v) in &self.counters {
+            out.push_str(&format!("counter {k} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("gauge {k} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "hist {k} count={} sum={} max={} p50={} p99={}\n",
+                h.count,
+                h.sum,
+                h.max,
+                h.quantile(0.5),
+                h.quantile(0.99),
+            ));
+        }
+        out
+    }
+
     /// Renders a plain-text summary table (non-zero instruments only),
     /// for the CLI's exit-time report.
     pub fn summary_table(&self) -> String {
@@ -453,6 +536,72 @@ mod tests {
         assert!(json.contains("\"gauges\""));
         assert!(json.contains("\"histograms\""));
         assert!(json.contains("\"x\""));
+    }
+
+    #[test]
+    fn quantile_bounds_from_buckets() {
+        let h = Histogram::with_bounds(vec![1, 10, 100]);
+        if !ENABLED {
+            assert_eq!(h.quantile_bound(0.99), 0);
+            return;
+        }
+        for _ in 0..98 {
+            h.observe(5);
+        }
+        h.observe(50);
+        h.observe(5000);
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_bound(0.5), 10);
+        assert_eq!(h.quantile_bound(0.98), 10);
+        assert_eq!(h.quantile_bound(0.99), 100);
+        // Past the last bound: report the observed max.
+        assert_eq!(h.quantile_bound(1.0), 5000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 10);
+        assert_eq!(s.quantile(0.99), 100);
+        assert_eq!(s.quantile(1.0), 5000);
+        assert_eq!(HistSnapshot::default_like().quantile(0.5), 0);
+    }
+
+    impl HistSnapshot {
+        fn default_like() -> HistSnapshot {
+            HistSnapshot {
+                count: 0,
+                sum: 0,
+                max: 0,
+                bounds: vec![1],
+                buckets: vec![0, 0],
+            }
+        }
+    }
+
+    #[test]
+    fn text_exposition_is_stable_and_sorted() {
+        let r = Registry::new();
+        r.counter("serve.requests").add(3);
+        r.counter("flight.records").add(1);
+        r.gauge("serve.qps").set(12.5);
+        let h = r.histogram("serve.req.exec_us");
+        h.observe(7);
+        h.observe(900);
+        let text = r.snapshot().to_text();
+        let again = r.snapshot().to_text();
+        assert_eq!(text, again, "exposition must be deterministic");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], Snapshot::EXPO_VERSION);
+        if ENABLED {
+            assert_eq!(lines[1], "counter flight.records 1");
+            assert_eq!(lines[2], "counter serve.requests 3");
+            assert_eq!(lines[3], "gauge serve.qps 12.5");
+            assert!(lines[4].starts_with("hist serve.req.exec_us count=2 sum=907 max=900 p50="));
+        }
+        // Every line obeys the three-production grammar.
+        for line in &lines[1..] {
+            assert!(
+                line.starts_with("counter ") || line.starts_with("gauge ") || line.starts_with("hist "),
+                "bad exposition line: {line}"
+            );
+        }
     }
 
     #[test]

@@ -41,6 +41,14 @@ pub const ALL: &[&str] = &[
     "fault.dropped",
     // #[allow(her::unregistered_metric)] — reaches the registry via fault_count() forwarding
     "fault.duplicated",
+    // flight: the per-request flight recorder
+    "flight.anomalies",
+    "flight.dump_failures",
+    "flight.dumps",
+    "flight.p50_exec_us.apair",
+    "flight.p50_exec_us.stream",
+    "flight.p50_exec_us.vpair",
+    "flight.records",
     // parallel: run-level accounting shared by both engines
     "parallel.invalidations",
     "parallel.requests",
@@ -70,6 +78,10 @@ pub const ALL: &[&str] = &[
     "serve.p99_us",
     "serve.qps",
     "serve.queue_depth",
+    "serve.req.exec_us",
+    "serve.req.minted",
+    "serve.req.queue_wait_us",
+    "serve.req.sampled",
     "serve.request_us",
     "serve.requests",
     "serve.restart_replay_us",

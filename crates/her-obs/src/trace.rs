@@ -12,6 +12,7 @@
 //! [`Tracer::set_echo`] and every event is additionally written to
 //! stderr as it happens.
 
+use crate::ctx::ReqCtx;
 use crate::ENABLED;
 use her_sync::{rank, Mutex};
 use std::collections::VecDeque;
@@ -34,7 +35,7 @@ pub enum EventKind {
 }
 
 /// One entry in the trace log.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Event {
     /// Microseconds since the tracer's epoch (monotonic).
     pub at_us: u64,
@@ -43,6 +44,9 @@ pub struct Event {
     pub name: String,
     /// Free-form context, e.g. `elapsed_us=184` or `worker=1`.
     pub detail: String,
+    /// Originating request id (`0` for ambient instrumentation); see
+    /// [`ReqCtx`].
+    pub trace_id: u64,
 }
 
 struct Inner {
@@ -93,7 +97,7 @@ impl Tracer {
         self.inner.echo.store(on, Ordering::Relaxed);
     }
 
-    fn record(&self, kind: EventKind, name: &str, detail: String) {
+    fn record(&self, kind: EventKind, name: &str, detail: String, trace_id: u64) {
         if !ENABLED {
             return;
         }
@@ -104,10 +108,15 @@ impl Tracer {
                 EventKind::Exit => "<",
                 EventKind::Point => "*",
             };
-            if detail.is_empty() {
-                eprintln!("[trace {at_us:>9}us] {mark} {name}");
+            let tag = if trace_id == 0 {
+                String::new()
             } else {
-                eprintln!("[trace {at_us:>9}us] {mark} {name} {detail}");
+                format!(" #{trace_id}")
+            };
+            if detail.is_empty() {
+                eprintln!("[trace {at_us:>9}us{tag}] {mark} {name}");
+            } else {
+                eprintln!("[trace {at_us:>9}us{tag}] {mark} {name} {detail}");
             }
         }
         let mut events = self
@@ -124,24 +133,46 @@ impl Tracer {
             kind,
             name: name.to_owned(),
             detail,
+            trace_id,
         });
     }
 
-    /// Enters a span; the returned guard logs exit (with elapsed µs)
-    /// when dropped.
+    /// Enters an ambient (request-free) span; the returned guard logs
+    /// exit (with elapsed µs) when dropped.
     #[must_use = "dropping the guard immediately closes the span"]
     pub fn span(&self, name: &str) -> SpanGuard {
-        self.record(EventKind::Enter, name, String::new());
+        self.span_ctx(name, ReqCtx::NONE)
+    }
+
+    /// Enters a span tagged with `ctx`. Unsampled request contexts
+    /// record nothing (the guard is inert), so per-request tracing
+    /// costs only the sampling branch when switched off.
+    #[must_use = "dropping the guard immediately closes the span"]
+    pub fn span_ctx(&self, name: &str, ctx: ReqCtx) -> SpanGuard {
+        let live = ENABLED && ctx.records();
+        if live {
+            self.record(EventKind::Enter, name, String::new(), ctx.trace_id);
+        }
         SpanGuard {
             tracer: self.clone(),
             name: name.to_owned(),
             started: Instant::now(),
+            trace_id: ctx.trace_id,
+            live,
         }
     }
 
-    /// Records an instantaneous event.
+    /// Records an ambient instantaneous event.
     pub fn event(&self, name: &str, detail: &str) {
-        self.record(EventKind::Point, name, detail.to_owned());
+        self.event_ctx(name, detail, ReqCtx::NONE);
+    }
+
+    /// Records an instantaneous event tagged with `ctx` (skipped when
+    /// the ctx is an unsampled request).
+    pub fn event_ctx(&self, name: &str, detail: &str, ctx: ReqCtx) {
+        if ctx.records() {
+            self.record(EventKind::Point, name, detail.to_owned(), ctx.trace_id);
+        }
     }
 
     /// Copies out the buffered events, oldest first.
@@ -151,6 +182,19 @@ impl Tracer {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Copies out the buffered events carrying `trace_id`, oldest
+    /// first — the raw material for a per-request span breakdown.
+    pub fn events_for(&self, trace_id: u64) -> Vec<Event> {
+        self.inner
+            .events
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .filter(|e| e.trace_id == trace_id)
             .cloned()
             .collect()
     }
@@ -178,13 +222,29 @@ pub struct SpanGuard {
     tracer: Tracer,
     name: String,
     started: Instant,
+    trace_id: u64,
+    live: bool,
+}
+
+impl SpanGuard {
+    /// Microseconds elapsed since the span was entered.
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
         let elapsed = self.started.elapsed().as_micros() as u64;
-        self.tracer
-            .record(EventKind::Exit, &self.name, format!("elapsed_us={elapsed}"));
+        self.tracer.record(
+            EventKind::Exit,
+            &self.name,
+            format!("elapsed_us={elapsed}"),
+            self.trace_id,
+        );
     }
 }
 
@@ -234,5 +294,150 @@ mod tests {
         } else {
             assert_eq!(t.len(), 0);
         }
+    }
+
+    #[test]
+    fn ctx_tags_events_and_unsampled_is_inert() {
+        let t = Tracer::new();
+        let sampled = ReqCtx {
+            trace_id: 7,
+            sampled: true,
+        };
+        let silent = ReqCtx {
+            trace_id: 8,
+            sampled: false,
+        };
+        {
+            let _s = t.span_ctx("req", sampled);
+            t.event_ctx("req.point", "x=1", sampled);
+            let _q = t.span_ctx("quiet", silent);
+            t.event_ctx("quiet.point", "", silent);
+        }
+        if ENABLED {
+            assert!(t.events_for(8).is_empty(), "unsampled ctx must not record");
+            let seven = t.events_for(7);
+            let kinds: Vec<_> = seven.iter().map(|e| (e.kind, e.name.as_str())).collect();
+            assert_eq!(
+                kinds,
+                vec![
+                    (EventKind::Enter, "req"),
+                    (EventKind::Point, "req.point"),
+                    (EventKind::Exit, "req"),
+                ]
+            );
+            assert!(seven.iter().all(|e| e.trace_id == 7));
+        } else {
+            assert!(t.events().is_empty());
+        }
+    }
+
+    /// Ring-buffer wraparound under concurrent writers: every event
+    /// survives or is counted as dropped, never lost silently, and the
+    /// ring never exceeds capacity. Included in the tsan CI job.
+    #[test]
+    fn wraparound_under_concurrent_writers() {
+        const WRITERS: usize = 8;
+        const PER_WRITER: usize = TRACE_CAPACITY / 2; // total = 4x capacity
+        let t = Tracer::new();
+        let threads: Vec<_> = (0..WRITERS)
+            .map(|w| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    let ctx = ReqCtx {
+                        trace_id: w as u64 + 1,
+                        sampled: true,
+                    };
+                    for i in 0..PER_WRITER {
+                        t.event_ctx("stress", &i.to_string(), ctx);
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().expect("writer panicked");
+        }
+        if ENABLED {
+            let total = (WRITERS * PER_WRITER) as u64;
+            assert_eq!(t.len() as u64 + t.dropped(), total);
+            assert_eq!(t.len(), TRACE_CAPACITY);
+            // Surviving events are intact and attributed.
+            for e in t.events() {
+                assert_eq!(e.name, "stress");
+                assert!((1..=WRITERS as u64).contains(&e.trace_id));
+            }
+        } else {
+            assert_eq!(t.len(), 0);
+        }
+    }
+
+    /// Property: a sampled trace's span tree is well-nested — the
+    /// Enter/Exit sequence filtered to one trace id is balanced and
+    /// stack-disciplined, even with other requests interleaving noise
+    /// into the shared ring. Spans are RAII guards dropped in reverse
+    /// creation order, so this holds by construction; the test drives
+    /// randomized nesting shapes to check it stays true.
+    #[test]
+    fn sampled_trace_span_tree_is_well_nested() {
+        if !ENABLED {
+            return;
+        }
+        let t = Tracer::new();
+        let noise = {
+            let t = t.clone();
+            std::thread::spawn(move || {
+                let ctx = ReqCtx {
+                    trace_id: 999,
+                    sampled: true,
+                };
+                for i in 0..512 {
+                    let _s = t.span_ctx("noise", ctx);
+                    t.event_ctx("noise.point", &i.to_string(), ctx);
+                }
+            })
+        };
+
+        // Seeded xorshift64* — deterministic random nesting shapes.
+        let mut state: u64 = 0xdead_beef_cafe_f00d;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..32u64 {
+            let ctx = ReqCtx {
+                trace_id: case + 1,
+                sampled: true,
+            };
+            fn nest(t: &Tracer, ctx: ReqCtx, depth: usize, rng: &mut impl FnMut() -> u64) {
+                let _s = t.span_ctx("node", ctx);
+                if depth < 5 {
+                    for _ in 0..(rng() % 3) {
+                        nest(t, ctx, depth + 1, rng);
+                    }
+                }
+                t.event_ctx("leaf", "", ctx);
+            }
+            nest(&t, ctx, 0, &mut rng);
+
+            let events = t.events_for(ctx.trace_id);
+            assert!(!events.is_empty());
+            let mut stack: Vec<&str> = Vec::new();
+            for e in &events {
+                match e.kind {
+                    EventKind::Enter => stack.push(&e.name),
+                    EventKind::Exit => {
+                        let top = stack.pop().expect("Exit without matching Enter");
+                        assert_eq!(top, e.name, "exit must close the innermost span");
+                    }
+                    EventKind::Point => assert!(
+                        !stack.is_empty(),
+                        "points in a request trace occur inside a span"
+                    ),
+                }
+            }
+            assert!(stack.is_empty(), "unclosed spans: {stack:?}");
+        }
+        noise.join().expect("noise thread panicked");
     }
 }

@@ -82,6 +82,12 @@ pub struct ParallelConfig {
     /// earlier run — sequential, BSP, or async — are never re-embedded.
     /// Ignored when [`ParallelConfig::shared_scores`] is `false`.
     pub shared_handle: Option<SharedScores>,
+    /// Request-scoped trace context ([`her_obs::ReqCtx`]): tags the
+    /// run's spans (`parallel.*`) and per-superstep barrier events so a
+    /// serving-path request that fans out into the BSP engine keeps its
+    /// trace id through every superstep. Defaults to the ambient
+    /// (request-free) context, which always records.
+    pub ctx: her_obs::ReqCtx,
 }
 
 impl Default for ParallelConfig {
@@ -96,6 +102,7 @@ impl Default for ParallelConfig {
             obs: None,
             shared_scores: true,
             shared_handle: None,
+            ctx: her_obs::ReqCtx::NONE,
         }
     }
 }
@@ -900,7 +907,10 @@ fn engine(
     // algorithm implicitly assumes. Selections are derived state, so a
     // resumed run recomputes rather than checkpoints them.
     let t0 = std::time::Instant::now();
-    let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.selection"));
+    let span = cfg
+        .obs
+        .as_ref()
+        .map(|o| o.tracer.span_ctx("parallel.selection", cfg.ctx));
     let sel_g = precompute_selections(g, params, n);
     let sel_d = precompute_selections(gd, params, n);
     drop(span);
@@ -912,7 +922,10 @@ fn engine(
     // cache is pure memoisation of deterministic score functions, so
     // Theorem 3's sequential equivalence is unaffected.
     let shared_scores = cfg.shared_scores.then(|| {
-        let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.prewarm"));
+        let span = cfg
+            .obs
+            .as_ref()
+            .map(|o| o.tracer.span_ctx("parallel.prewarm", cfg.ctx));
         let s = build_shared_scores(gd, g, interner, params, [&sel_d, &sel_g], cfg, n);
         drop(span);
         s
@@ -1022,7 +1035,10 @@ fn engine(
         // h_v ≥ σ. The blocking index is built over the full G labels (it
         // only looks at labels, which fragments share).
         let t0 = std::time::Instant::now();
-        let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.candidates"));
+        let span = cfg
+            .obs
+            .as_ref()
+            .map(|o| o.tracer.span_ctx("parallel.candidates", cfg.ctx));
         let index = cfg.use_blocking.then(|| InvertedIndex::build(g, interner));
         let sigma = params.thresholds.sigma;
         let mut roots_per_worker: Vec<Vec<PairKey>> = vec![Vec::new(); n];
@@ -1086,7 +1102,10 @@ fn engine(
     };
 
     let t0 = std::time::Instant::now();
-    let span = cfg.obs.as_ref().map(|o| o.tracer.span("parallel.bsp"));
+    let span = cfg
+        .obs
+        .as_ref()
+        .map(|o| o.tracer.span_ctx("parallel.bsp", cfg.ctx));
     let mut recovery = Recovery {
         part: part.clone(),
         obs: cfg.obs.clone(),
@@ -1099,6 +1118,7 @@ fn engine(
     let hook_store = store.as_ref();
     let hook_part = part.clone();
     let hook_obs = cfg.obs.clone();
+    let hook_ctx = cfg.ctx;
     let supervised = bsp::run_supervised_resumable(
         &mut workers,
         &mut recovery,
@@ -1106,6 +1126,17 @@ fn engine(
         resume_state,
         &mut |b| {
             let stop = stop_after.is_some_and(|k| b.superstep >= k);
+            if let Some(o) = &hook_obs {
+                // One barrier event per superstep, tagged with the
+                // originating request so `her-cli trace` can show where
+                // a request's BSP time went superstep by superstep.
+                let routed: usize = b.inboxes.iter().map(Vec::len).sum();
+                o.tracer.event_ctx(
+                    "bsp.superstep",
+                    &format!("superstep={} routed={routed}", b.superstep),
+                    hook_ctx,
+                );
+            }
             if let Some(store) = hook_store {
                 // The fixpoint barrier needs no snapshot: the run is
                 // complete and its results are being returned.

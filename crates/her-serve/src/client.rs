@@ -121,6 +121,11 @@ impl Client {
         }
     }
 
+    /// The server address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
     /// Replaces the retry policy (and reseeds the jitter stream).
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
@@ -138,7 +143,7 @@ impl Client {
                 std::thread::sleep(self.retry.backoff(attempt, &mut self.jitter));
             }
             match self.attempt(req) {
-                Ok(Reply::Busy { queue_depth }) => {
+                Ok(Reply::Busy { queue_depth, .. }) => {
                     // Shed before execution: retryable for every kind.
                     last = Some(ClientError::Unavailable(format!(
                         "server busy (queue depth {queue_depth})"

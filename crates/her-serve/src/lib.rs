@@ -20,10 +20,19 @@
 //!   mutation whose reply was lost ([`client`]);
 //! * **seeded connection faults** — a deterministic per-connection fault
 //!   plan (drop/delay/truncate/garble/kill) for drills proving the
-//!   service either answers correctly or fails taxonomized ([`fault`]).
+//!   service either answers correctly or fails taxonomized ([`fault`]);
+//! * **request-scoped observability** — every request is minted a
+//!   [`her_obs::ReqCtx`] at admission, its spans land in the trace ring
+//!   under that id, a per-request [`her_obs::FlightRecord`] files into
+//!   the lock-free flight recorder, and anomalous requests (shed,
+//!   deadline-exhausted, decode errors, rolling-p99 outliers) are dumped
+//!   durably for post-mortems ([`flight_dump`]); the `Trace`/`Flight`/
+//!   `Expo` control-plane ops and `her-cli top`/`her-cli trace` read it
+//!   all back live.
 //!
 //! `her-cli serve` / `her-cli query` wrap [`Server`] and [`Client`];
-//! DESIGN.md §4h specifies the protocol and semantics.
+//! DESIGN.md §4h specifies the protocol and semantics, §4i the
+//! observability layer.
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
@@ -31,11 +40,13 @@
 pub mod admission;
 pub mod client;
 pub mod fault;
+pub mod flight_dump;
 pub mod proto;
 pub mod server;
 
 pub use admission::{Admission, Admit, GateStats, Permit};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{FaultPlan, ReplyFate};
+pub use flight_dump::DumpRecord;
 pub use proto::{Reply, Request, WireError, PROTO_VERSION};
 pub use server::{ServeConfig, ServeError, Server};

@@ -17,13 +17,16 @@
 
 use her_core::ExhaustReason;
 use her_graph::VertexId;
+use her_obs::{Event, EventKind, FlightRecord};
 use her_rdb::TupleRef;
 use her_store::frame::{FrameEvent, Frames, FRAME_HEADER_LEN, MAX_FRAME_LEN};
 use her_store::{CodecError, Dec, Enc};
 use std::io::{Read, Write};
 
 /// Protocol version; bumped on any incompatible message change.
-pub const PROTO_VERSION: u32 = 1;
+/// v2 added request trace ids to matching replies and the
+/// `Trace`/`Flight`/`Expo` introspection ops.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Error codes carried by [`Reply::Error`], aligned with the CLI exit-code
 /// taxonomy: `1` data, `2` usage, `3` budget-exhausted, `4` unavailable.
@@ -76,6 +79,18 @@ pub enum Request {
     Ping,
     /// Ask the server to finish in-flight work and exit.
     Shutdown,
+    /// The span/event breakdown of one request by trace id (control
+    /// plane: bypasses admission like `Ping`/`Metrics`).
+    Trace {
+        /// The request id to reconstruct.
+        trace_id: u64,
+    },
+    /// The flight recorder's ring of per-request records (control
+    /// plane).
+    Flight,
+    /// The metrics snapshot in the stable text exposition format
+    /// (control plane).
+    Expo,
 }
 
 impl Request {
@@ -99,6 +114,9 @@ const REQ_STREAM_MATCHES: u8 = 5;
 const REQ_METRICS: u8 = 6;
 const REQ_PING: u8 = 7;
 const REQ_SHUTDOWN: u8 = 8;
+const REQ_TRACE: u8 = 9;
+const REQ_FLIGHT: u8 = 10;
+const REQ_EXPO: u8 = 11;
 
 fn put_tuple(e: &mut Enc, t: TupleRef) {
     e.put_u32(t.relation).put_u32(t.row);
@@ -151,6 +169,15 @@ impl Request {
             Request::Shutdown => {
                 e.put_u8(REQ_SHUTDOWN);
             }
+            Request::Trace { trace_id } => {
+                e.put_u8(REQ_TRACE).put_u64(*trace_id);
+            }
+            Request::Flight => {
+                e.put_u8(REQ_FLIGHT);
+            }
+            Request::Expo => {
+                e.put_u8(REQ_EXPO);
+            }
         }
         e.into_bytes()
     }
@@ -185,6 +212,11 @@ impl Request {
             REQ_METRICS => Request::Metrics,
             REQ_PING => Request::Ping,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_TRACE => Request::Trace {
+                trace_id: d.u64()?,
+            },
+            REQ_FLIGHT => Request::Flight,
+            REQ_EXPO => Request::Expo,
             tag => {
                 return Err(CodecError {
                     offset: 4,
@@ -209,6 +241,9 @@ pub enum Reply {
         unresolved: Vec<VertexId>,
         /// Why the run stopped early, if it did.
         exhausted: Option<ExhaustReason>,
+        /// Server-assigned request id: quote it to `Request::Trace`
+        /// for the span breakdown.
+        trace_id: u64,
     },
     /// APair results (every returned pair fully verified).
     Apair {
@@ -216,6 +251,8 @@ pub enum Reply {
         matches: Vec<(TupleRef, VertexId)>,
         /// Why the run stopped early, if it did.
         exhausted: Option<ExhaustReason>,
+        /// Server-assigned request id.
+        trace_id: u64,
     },
     /// A stream mutation was journaled (durably) and applied.
     StreamApplied {
@@ -223,6 +260,8 @@ pub enum Reply {
         found: Vec<VertexId>,
         /// Journaled operations reflected in the session after this one.
         ops_applied: u64,
+        /// Server-assigned request id.
+        trace_id: u64,
     },
     /// Accumulated stream matches.
     StreamMatches {
@@ -245,6 +284,9 @@ pub enum Reply {
     Busy {
         /// Requests waiting in the admission queue at shed time.
         queue_depth: u32,
+        /// Server-assigned request id — shed requests get one too, so
+        /// a post-mortem can reconstruct *why* they were turned away.
+        trace_id: u64,
     },
     /// The request failed; `code` follows the CLI exit-code taxonomy.
     Error {
@@ -252,6 +294,24 @@ pub enum Reply {
         code: u32,
         /// Human-readable diagnosis.
         message: String,
+    },
+    /// One request's buffered span/event breakdown.
+    Trace {
+        /// The id the events were filtered by.
+        trace_id: u64,
+        /// Matching trace events, oldest first (empty when the id was
+        /// unsampled or has aged out of the ring).
+        events: Vec<Event>,
+    },
+    /// The flight recorder's stable records, oldest first.
+    Flight {
+        /// Per-request records still in the ring.
+        records: Vec<FlightRecord>,
+    },
+    /// Metrics snapshot in the text exposition format.
+    Expo {
+        /// `Snapshot::to_text()` output (`# her-expo/v1` grammar).
+        text: String,
     },
 }
 
@@ -264,8 +324,11 @@ const REP_PONG: u8 = 6;
 const REP_SHUTTING_DOWN: u8 = 7;
 const REP_BUSY: u8 = 8;
 const REP_ERROR: u8 = 9;
+const REP_TRACE: u8 = 10;
+const REP_FLIGHT: u8 = 11;
+const REP_EXPO: u8 = 12;
 
-fn reason_tag(r: Option<ExhaustReason>) -> u8 {
+pub(crate) fn reason_tag(r: Option<ExhaustReason>) -> u8 {
     match r {
         None => 0,
         Some(ExhaustReason::Calls) => 1,
@@ -324,6 +387,100 @@ fn get_pairs(d: &mut Dec<'_>) -> Result<Vec<(TupleRef, VertexId)>, CodecError> {
     Ok(ps)
 }
 
+fn kind_tag(k: EventKind) -> u8 {
+    match k {
+        EventKind::Enter => 0,
+        EventKind::Exit => 1,
+        EventKind::Point => 2,
+    }
+}
+
+fn tag_kind(tag: u8) -> Result<EventKind, CodecError> {
+    Ok(match tag {
+        0 => EventKind::Enter,
+        1 => EventKind::Exit,
+        2 => EventKind::Point,
+        b => {
+            return Err(CodecError {
+                offset: 0,
+                message: format!("bad EventKind tag {b:#04x}"),
+            })
+        }
+    })
+}
+
+pub(crate) fn put_events(e: &mut Enc, events: &[Event]) {
+    e.put_u32(events.len() as u32);
+    for ev in events {
+        e.put_u64(ev.at_us)
+            .put_u8(kind_tag(ev.kind))
+            .put_str(&ev.name)
+            .put_str(&ev.detail)
+            .put_u64(ev.trace_id);
+    }
+}
+
+pub(crate) fn get_events(d: &mut Dec<'_>) -> Result<Vec<Event>, CodecError> {
+    let n = d.u32()? as usize;
+    let mut events = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        events.push(Event {
+            at_us: d.u64()?,
+            kind: tag_kind(d.u8()?)?,
+            name: d.str()?.to_owned(),
+            detail: d.str()?.to_owned(),
+            trace_id: d.u64()?,
+        });
+    }
+    Ok(events)
+}
+
+pub(crate) fn put_flight_record(e: &mut Enc, r: &FlightRecord) {
+    e.put_u64(r.trace_id)
+        .put_u64(r.at_us)
+        .put_u8(r.op)
+        .put_u64(r.queue_wait_us)
+        .put_u64(r.exec_us)
+        .put_u64(r.calls)
+        .put_u64(r.cache_hits)
+        .put_u64(r.shared_hits)
+        .put_u8(r.exhaust)
+        .put_u32(r.faults_seen)
+        .put_u8(r.anomaly);
+}
+
+pub(crate) fn get_flight_record(d: &mut Dec<'_>) -> Result<FlightRecord, CodecError> {
+    Ok(FlightRecord {
+        trace_id: d.u64()?,
+        at_us: d.u64()?,
+        op: d.u8()?,
+        queue_wait_us: d.u64()?,
+        exec_us: d.u64()?,
+        calls: d.u64()?,
+        cache_hits: d.u64()?,
+        shared_hits: d.u64()?,
+        exhaust: d.u8()?,
+        faults_seen: d.u32()?,
+        anomaly: d.u8()?,
+    })
+}
+
+fn put_flight_records(e: &mut Enc, records: &[FlightRecord]) {
+    e.put_u32(records.len() as u32);
+    for r in records {
+        put_flight_record(e, r);
+    }
+}
+
+fn get_flight_records(d: &mut Dec<'_>) -> Result<Vec<FlightRecord>, CodecError> {
+    let n = d.u32()? as usize;
+    let mut records = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        records.push(get_flight_record(d)?);
+    }
+    Ok(records)
+}
+
 impl Reply {
     /// Serializes this reply as one frame payload.
     pub fn encode(&self) -> Vec<u8> {
@@ -334,21 +491,30 @@ impl Reply {
                 matches,
                 unresolved,
                 exhausted,
+                trace_id,
             } => {
                 e.put_u8(REP_VPAIR);
                 put_vertices(&mut e, matches);
                 put_vertices(&mut e, unresolved);
-                e.put_u8(reason_tag(*exhausted));
+                e.put_u8(reason_tag(*exhausted)).put_u64(*trace_id);
             }
-            Reply::Apair { matches, exhausted } => {
+            Reply::Apair {
+                matches,
+                exhausted,
+                trace_id,
+            } => {
                 e.put_u8(REP_APAIR);
                 put_pairs(&mut e, matches);
-                e.put_u8(reason_tag(*exhausted));
+                e.put_u8(reason_tag(*exhausted)).put_u64(*trace_id);
             }
-            Reply::StreamApplied { found, ops_applied } => {
+            Reply::StreamApplied {
+                found,
+                ops_applied,
+                trace_id,
+            } => {
                 e.put_u8(REP_STREAM_APPLIED);
                 put_vertices(&mut e, found);
-                e.put_u64(*ops_applied);
+                e.put_u64(*ops_applied).put_u64(*trace_id);
             }
             Reply::StreamMatches {
                 matches,
@@ -367,11 +533,25 @@ impl Reply {
             Reply::ShuttingDown => {
                 e.put_u8(REP_SHUTTING_DOWN);
             }
-            Reply::Busy { queue_depth } => {
-                e.put_u8(REP_BUSY).put_u32(*queue_depth);
+            Reply::Busy {
+                queue_depth,
+                trace_id,
+            } => {
+                e.put_u8(REP_BUSY).put_u32(*queue_depth).put_u64(*trace_id);
             }
             Reply::Error { code, message } => {
                 e.put_u8(REP_ERROR).put_u32(*code).put_str(message);
+            }
+            Reply::Trace { trace_id, events } => {
+                e.put_u8(REP_TRACE).put_u64(*trace_id);
+                put_events(&mut e, events);
+            }
+            Reply::Flight { records } => {
+                e.put_u8(REP_FLIGHT);
+                put_flight_records(&mut e, records);
+            }
+            Reply::Expo { text } => {
+                e.put_u8(REP_EXPO).put_str(text);
             }
         }
         e.into_bytes()
@@ -392,14 +572,17 @@ impl Reply {
                 matches: get_vertices(&mut d)?,
                 unresolved: get_vertices(&mut d)?,
                 exhausted: tag_reason(d.u8()?)?,
+                trace_id: d.u64()?,
             },
             REP_APAIR => Reply::Apair {
                 matches: get_pairs(&mut d)?,
                 exhausted: tag_reason(d.u8()?)?,
+                trace_id: d.u64()?,
             },
             REP_STREAM_APPLIED => Reply::StreamApplied {
                 found: get_vertices(&mut d)?,
                 ops_applied: d.u64()?,
+                trace_id: d.u64()?,
             },
             REP_STREAM_MATCHES => Reply::StreamMatches {
                 matches: get_pairs(&mut d)?,
@@ -412,10 +595,21 @@ impl Reply {
             REP_SHUTTING_DOWN => Reply::ShuttingDown,
             REP_BUSY => Reply::Busy {
                 queue_depth: d.u32()?,
+                trace_id: d.u64()?,
             },
             REP_ERROR => Reply::Error {
                 code: d.u32()?,
                 message: d.str()?.to_owned(),
+            },
+            REP_TRACE => Reply::Trace {
+                trace_id: d.u64()?,
+                events: get_events(&mut d)?,
+            },
+            REP_FLIGHT => Reply::Flight {
+                records: get_flight_records(&mut d)?,
+            },
+            REP_EXPO => Reply::Expo {
+                text: d.str()?.to_owned(),
             },
             tag => {
                 return Err(CodecError {
@@ -535,6 +729,9 @@ mod tests {
             Request::Metrics,
             Request::Ping,
             Request::Shutdown,
+            Request::Trace { trace_id: 42 },
+            Request::Flight,
+            Request::Expo,
         ]
     }
 
@@ -544,14 +741,17 @@ mod tests {
                 matches: vec![VertexId(1), VertexId(4)],
                 unresolved: vec![VertexId(9)],
                 exhausted: Some(ExhaustReason::Deadline),
+                trace_id: 17,
             },
             Reply::Apair {
                 matches: vec![(TupleRef::new(0, 0), VertexId(3))],
                 exhausted: None,
+                trace_id: 18,
             },
             Reply::StreamApplied {
                 found: vec![VertexId(3)],
                 ops_applied: 12,
+                trace_id: 19,
             },
             Reply::StreamMatches {
                 matches: vec![(TupleRef::new(0, 1), VertexId(2))],
@@ -562,10 +762,57 @@ mod tests {
             },
             Reply::Pong,
             Reply::ShuttingDown,
-            Reply::Busy { queue_depth: 5 },
+            Reply::Busy {
+                queue_depth: 5,
+                trace_id: 20,
+            },
             Reply::Error {
                 code: code::UNAVAILABLE,
                 message: "shutting down".to_owned(),
+            },
+            Reply::Trace {
+                trace_id: 42,
+                events: vec![
+                    Event {
+                        at_us: 10,
+                        kind: EventKind::Enter,
+                        name: "serve.req".to_owned(),
+                        detail: String::new(),
+                        trace_id: 42,
+                    },
+                    Event {
+                        at_us: 95,
+                        kind: EventKind::Point,
+                        name: "paramatch.exhausted".to_owned(),
+                        detail: "deadline".to_owned(),
+                        trace_id: 42,
+                    },
+                    Event {
+                        at_us: 120,
+                        kind: EventKind::Exit,
+                        name: "serve.req".to_owned(),
+                        detail: "elapsed_us=110".to_owned(),
+                        trace_id: 42,
+                    },
+                ],
+            },
+            Reply::Flight {
+                records: vec![FlightRecord {
+                    trace_id: 42,
+                    at_us: 120,
+                    op: her_obs::flight::op::VPAIR,
+                    queue_wait_us: 15,
+                    exec_us: 95,
+                    calls: 800,
+                    cache_hits: 31,
+                    shared_hits: 7,
+                    exhaust: 2,
+                    faults_seen: 1,
+                    anomaly: her_obs::flight::anomaly::DEADLINE,
+                }],
+            },
+            Reply::Expo {
+                text: "# her-expo/v1\ncounter serve.requests 3\n".to_owned(),
             },
         ]
     }
@@ -627,6 +874,9 @@ mod tests {
             (StreamMatches, true),
             (Metrics, true),
             (Ping, true),
+            (Trace { trace_id: 1 }, true),
+            (Flight, true),
+            (Expo, true),
             (StreamProcess { tuple: t }, false),
             (StreamRetract { vertex: VertexId(0) }, false),
             (Shutdown, false),

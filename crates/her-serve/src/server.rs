@@ -18,11 +18,14 @@
 
 use crate::admission::{Admission, Admit};
 use crate::fault::{ConnFaults, FaultPlan, ReplyFate};
-use crate::proto::{code, read_message, Reply, Request, WireError};
+use crate::flight_dump::{self, DumpRecord};
+use crate::proto::{code, read_message, reason_tag, Reply, Request, WireError};
+use her_core::paramatch::MatchStats;
 use her_core::stream::{DurableStreamLinker, StreamCheckpoint};
-use her_core::{Budget, Her, MatcherOptions};
+use her_core::{Budget, ExhaustReason, Her, MatcherOptions};
 use her_graph::LabelId;
-use her_obs::info;
+use her_obs::flight::{anomaly, op};
+use her_obs::{info, FlightRecord, FlightRecorder, ReqCtx};
 use her_store::frame::FRAME_HEADER_LEN;
 use her_store::{SnapshotStore, StoreError};
 use her_sync::rank;
@@ -35,6 +38,10 @@ use std::time::{Duration, Instant};
 
 /// Snapshot section name for the stream session's checkpoint.
 const SNAP_SECTION: &str = "stream";
+
+/// Fixed seed for the request-sampling hash: sampling must be a pure
+/// function of the request id so a drill replays to the same trace set.
+const TRACE_SEED: u64 = 0x4845_525f_5452_4143;
 
 /// Server configuration. `Default` binds an ephemeral localhost port
 /// with moderate concurrency and no durability or faults.
@@ -62,6 +69,13 @@ pub struct ServeConfig {
     /// Idle poll interval for connection reads; bounds how long shutdown
     /// waits on quiet connections.
     pub idle_poll_ms: u64,
+    /// Request-trace sampling: 1-in-`n` requests get their spans
+    /// buffered (`1` = all, `0` = tracing off; ids are minted either
+    /// way so flight records always correlate).
+    pub trace_sample_1_in: u64,
+    /// Where anomalous flight records (plus their trace events) are
+    /// dumped durably; `None` keeps post-mortems in memory only.
+    pub flight_path: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +91,8 @@ impl Default for ServeConfig {
             fault: FaultPlan::default(),
             obs: None,
             idle_poll_ms: 200,
+            trace_sample_1_in: 1,
+            flight_path: None,
         }
     }
 }
@@ -244,6 +260,9 @@ impl Server {
         );
         let shutdown = AtomicBool::new(false);
         let conn_ids = AtomicU64::new(0);
+        let flight = FlightRecorder::new();
+        // Request ids start at 1: 0 is the ambient "no request" id.
+        let req_ids = AtomicU64::new(1);
 
         std::thread::scope(|scope| {
             for stream in self.listener.incoming() {
@@ -263,6 +282,8 @@ impl Server {
                     shutdown: &shutdown,
                     self_addr: self.addr,
                     obs: obs.as_ref(),
+                    flight: &flight,
+                    req_ids: &req_ids,
                 };
                 scope.spawn(move || handler.handle(stream, conn_id));
             }
@@ -291,6 +312,8 @@ struct Handler<'s, 'h> {
     shutdown: &'s AtomicBool,
     self_addr: SocketAddr,
     obs: Option<&'s her_obs::Obs>,
+    flight: &'s FlightRecorder,
+    req_ids: &'s AtomicU64,
 }
 
 /// Whether the connection survives the reply that was just sent.
@@ -319,6 +342,9 @@ impl Handler<'_, '_> {
         } else {
             Some(self.cfg.fault.conn(conn_id))
         };
+        // Reply-path fault injections rolled on this connection so far;
+        // stamped into each flight record as `faults_seen`.
+        let mut faults_seen: u32 = 0;
 
         loop {
             // Poll for the next message without consuming bytes, so an
@@ -345,12 +371,15 @@ impl Handler<'_, '_> {
                     Ok(req) => req,
                     Err(e) => {
                         // A valid frame with a malformed request payload:
-                        // the caller's bug, taxonomized as usage.
+                        // the caller's bug, taxonomized as usage — and an
+                        // anomaly worth a post-mortem record.
+                        self.record_decode_anomaly(faults_seen);
                         let reply = Reply::Error {
                             code: code::USAGE,
                             message: format!("malformed request: {e}"),
                         };
-                        match self.send(&mut stream, &mut faults, &reply) {
+                        match self.send(&mut stream, &mut faults, &mut faults_seen, &reply)
+                        {
                             ConnAction::Continue => continue,
                             ConnAction::Close => return,
                         }
@@ -371,24 +400,25 @@ impl Handler<'_, '_> {
                     // Corrupted bytes on the wire: tell the peer (best
                     // effort) and drop the connection — framing sync is
                     // unrecoverable past a bad checksum.
+                    self.record_decode_anomaly(faults_seen);
                     let reply = Reply::Error {
                         code: code::DATA,
                         message: format!("corrupt request frame: {m}"),
                     };
-                    let _ = self.send(&mut stream, &mut faults, &reply);
+                    let _ = self.send(&mut stream, &mut faults, &mut faults_seen, &reply);
                     return;
                 }
             };
 
             let started = Instant::now();
             self.counter("serve.requests");
-            let (reply, shutting_down) = self.answer(req);
+            let (reply, shutting_down) = self.answer(req, faults_seen);
             if let Some(o) = self.obs {
                 o.registry
                     .histogram("serve.request_us")
                     .observe(started.elapsed().as_micros() as u64);
             }
-            let action = self.send(&mut stream, &mut faults, &reply);
+            let action = self.send(&mut stream, &mut faults, &mut faults_seen, &reply);
             if shutting_down {
                 self.shutdown.store(true, Ordering::Release);
                 // Wake the blocking accept loop with a no-op connection.
@@ -402,9 +432,60 @@ impl Handler<'_, '_> {
         }
     }
 
+    /// Mints the next request id under the configured sampling policy
+    /// and counts the mint.
+    fn mint(&self) -> ReqCtx {
+        let id = self.req_ids.fetch_add(1, Ordering::Relaxed);
+        let ctx = ReqCtx::mint(id, self.cfg.trace_sample_1_in, TRACE_SEED);
+        self.counter("serve.req.minted");
+        if ctx.sampled {
+            self.counter("serve.req.sampled");
+        }
+        ctx
+    }
+
+    /// Deposits one flight record, mirroring the totals into the
+    /// registry, and dumps it durably when any anomaly bit is set.
+    fn file_record(&self, rec: FlightRecord) {
+        self.flight.record(rec);
+        self.counter("flight.records");
+        if rec.anomaly != 0 {
+            self.counter("flight.anomalies");
+            self.dump(rec);
+        }
+    }
+
+    /// Appends `record` (plus its buffered trace events) to the
+    /// configured dump file. Dump failures are counted, never fatal.
+    fn dump(&self, record: FlightRecord) {
+        let Some(path) = &self.cfg.flight_path else { return };
+        let events = self
+            .obs
+            .map(|o| o.tracer.events_for(record.trace_id))
+            .unwrap_or_default();
+        match flight_dump::append_dump(path, &DumpRecord { record, events }) {
+            Ok(()) => self.counter("flight.dumps"),
+            Err(e) => {
+                her_obs::warn!("serve: flight dump failed: {e}");
+                self.counter("flight.dump_failures");
+            }
+        }
+    }
+
+    /// Files the flight record for a request whose payload never decoded
+    /// — there is no op to attribute it to, but the post-mortem still
+    /// wants the anomaly on the timeline.
+    fn record_decode_anomaly(&self, faults_seen: u32) {
+        let ctx = self.mint();
+        let mut rec = FlightRecord::for_ctx(ctx, op::OTHER);
+        rec.faults_seen = faults_seen;
+        rec.anomaly = anomaly::DECODE;
+        self.file_record(rec);
+    }
+
     /// Executes one request end to end (admission, budget, matching) and
     /// produces its reply. The bool asks the caller to begin shutdown.
-    fn answer(&self, req: Request) -> (Reply, bool) {
+    fn answer(&self, req: Request, faults_seen: u32) -> (Reply, bool) {
         if self.shutdown.load(Ordering::Acquire) {
             return (
                 Reply::Error {
@@ -414,15 +495,50 @@ impl Handler<'_, '_> {
                 false,
             );
         }
-        // Ping, Metrics and Shutdown bypass admission: liveness and
-        // diagnostics must answer even under saturation (that is when the
-        // shed counters matter most), and shutdown must never be shed.
+        // The control plane bypasses admission: liveness, diagnostics
+        // and introspection must answer even under saturation (that is
+        // when the shed counters and the flight ring matter most), and
+        // shutdown must never be shed.
         match &req {
             Request::Ping => return (Reply::Pong, false),
-            Request::Metrics => return (self.execute(Request::Metrics, None), false),
+            Request::Metrics => return (self.metrics_reply(), false),
             Request::Shutdown => return (Reply::ShuttingDown, true),
+            Request::Trace { trace_id } => {
+                let events = self
+                    .obs
+                    .map(|o| o.tracer.events_for(*trace_id))
+                    .unwrap_or_default();
+                return (
+                    Reply::Trace {
+                        trace_id: *trace_id,
+                        events,
+                    },
+                    false,
+                );
+            }
+            Request::Flight => {
+                return (
+                    Reply::Flight {
+                        records: self.flight.records(),
+                    },
+                    false,
+                )
+            }
+            Request::Expo => {
+                let text = match self.obs {
+                    Some(o) => o.registry.snapshot().to_text(),
+                    None => format!("{}\n", her_obs::Snapshot::EXPO_VERSION),
+                };
+                return (Reply::Expo { text }, false);
+            }
             _ => {}
         }
+
+        // Data plane: mint the request's identity first so even a shed
+        // request leaves a correlatable record behind.
+        let ctx = self.mint();
+        let op_tag = op_of(&req);
+        let req_span = self.obs.map(|o| o.tracer.span_ctx("serve.req", ctx));
 
         let deadline_ms = match req {
             Request::Vpair { deadline_ms, .. } | Request::Apair { deadline_ms, .. } => {
@@ -436,13 +552,92 @@ impl Handler<'_, '_> {
             (d, _) => Some(Instant::now() + Duration::from_millis(d)),
         };
 
-        let permit = match self.admission.acquire(deadline) {
-            Admit::Permit(p) => p,
-            Admit::Busy { queue_depth } => return (Reply::Busy { queue_depth }, false),
+        let queued = Instant::now();
+        let admit = {
+            let _queue_span = self.obs.map(|o| o.tracer.span_ctx("serve.queue", ctx));
+            self.admission.acquire(deadline)
         };
-        let reply = self.execute(req, deadline);
+        let queue_wait_us = queued.elapsed().as_micros() as u64;
+        if let Some(o) = self.obs {
+            o.registry
+                .histogram("serve.req.queue_wait_us")
+                .observe(queue_wait_us);
+        }
+        let permit = match admit {
+            Admit::Permit(p) => p,
+            Admit::Busy { queue_depth } => {
+                if let Some(o) = self.obs {
+                    o.tracer.event_ctx(
+                        "serve.shed",
+                        &format!("queue_depth={queue_depth}"),
+                        ctx,
+                    );
+                }
+                drop(req_span); // close the span before dumping its events
+                let mut rec = FlightRecord::for_ctx(ctx, op_tag);
+                rec.queue_wait_us = queue_wait_us;
+                rec.faults_seen = faults_seen;
+                rec.anomaly = anomaly::SHED;
+                self.file_record(rec);
+                return (
+                    Reply::Busy {
+                        queue_depth,
+                        trace_id: ctx.trace_id,
+                    },
+                    false,
+                );
+            }
+        };
+
+        let shared_before = self
+            .her
+            .shared_scores
+            .as_ref()
+            .map_or(0, |s| s.shared_hits());
+        let exec_started = Instant::now();
+        let (reply, stats, exhausted) = {
+            let _exec_span = self.obs.map(|o| o.tracer.span_ctx("serve.exec", ctx));
+            self.execute(req, deadline, ctx)
+        };
+        let exec_us = exec_started.elapsed().as_micros() as u64;
         drop(permit);
+        if let Some(o) = self.obs {
+            o.registry.histogram("serve.req.exec_us").observe(exec_us);
+        }
+        if exhausted == Some(ExhaustReason::Deadline) {
+            self.counter("serve.deadline_misses");
+        }
+        drop(req_span); // close the span before the record snapshots events
+
+        let mut rec = FlightRecord::for_ctx(ctx, op_tag);
+        rec.queue_wait_us = queue_wait_us;
+        rec.exec_us = exec_us;
+        rec.calls = stats.calls;
+        rec.cache_hits = stats.cache_hits + stats.ecache_hits;
+        rec.shared_hits = self
+            .her
+            .shared_scores
+            .as_ref()
+            .map_or(0, |s| s.shared_hits())
+            .saturating_sub(shared_before);
+        rec.exhaust = reason_tag(exhausted);
+        rec.faults_seen = faults_seen;
+        if exhausted == Some(ExhaustReason::Deadline) {
+            rec.anomaly |= anomaly::DEADLINE;
+        }
+        if self.flight.note_exec(op_tag, exec_us) {
+            rec.anomaly |= anomaly::SLOW;
+        }
+        self.file_record(rec);
         (reply, false)
+    }
+
+    fn metrics_reply(&self) -> Reply {
+        let json = match self.obs {
+            Some(o) => o.registry.snapshot().to_json(),
+            None => "{}".to_owned(),
+        };
+        Reply::Metrics { json }
     }
 
     fn budget(&self, max_calls: u64, deadline: Option<Instant>) -> Budget {
@@ -456,89 +651,128 @@ impl Handler<'_, '_> {
         b
     }
 
-    fn matcher_opts(&self, max_calls: u64, deadline: Option<Instant>) -> MatcherOptions {
+    fn matcher_opts(
+        &self,
+        max_calls: u64,
+        deadline: Option<Instant>,
+        ctx: ReqCtx,
+    ) -> MatcherOptions {
         MatcherOptions {
             budget: self.budget(max_calls, deadline),
             obs: self.obs.cloned(),
+            ctx,
             ..Default::default()
         }
     }
 
-    fn execute(&self, req: Request, deadline: Option<Instant>) -> Reply {
+    /// Runs one admitted data-plane request. Returns the reply plus the
+    /// matcher work counters and exhaustion for the flight record.
+    fn execute(
+        &self,
+        req: Request,
+        deadline: Option<Instant>,
+        ctx: ReqCtx,
+    ) -> (Reply, MatchStats, Option<ExhaustReason>) {
+        let plain = MatchStats::default();
         match req {
             Request::Vpair {
                 tuple, max_calls, ..
             } => {
                 if !self.her.cg.has_tuple(tuple) {
-                    return unknown_tuple_reply(tuple);
+                    return (unknown_tuple_reply(tuple), plain, None);
                 }
                 let run = self
                     .her
-                    .try_vpair(tuple, self.matcher_opts(max_calls, deadline));
-                if run.exhausted == Some(her_core::ExhaustReason::Deadline) {
-                    self.counter("serve.deadline_misses");
-                }
-                Reply::Vpair {
+                    .try_vpair(tuple, self.matcher_opts(max_calls, deadline, ctx));
+                let reply = Reply::Vpair {
                     matches: run.matches,
                     unresolved: run.unresolved,
                     exhausted: run.exhausted,
-                }
+                    trace_id: ctx.trace_id,
+                };
+                (reply, run.stats, run.exhausted)
             }
             Request::Apair { max_calls, .. } => {
-                let (matches, exhausted) =
-                    self.her.try_apair(self.matcher_opts(max_calls, deadline));
-                if exhausted == Some(her_core::ExhaustReason::Deadline) {
-                    self.counter("serve.deadline_misses");
-                }
-                Reply::Apair { matches, exhausted }
+                let (matches, exhausted, stats) = self
+                    .her
+                    .try_apair_stats(self.matcher_opts(max_calls, deadline, ctx));
+                let reply = Reply::Apair {
+                    matches,
+                    exhausted,
+                    trace_id: ctx.trace_id,
+                };
+                (reply, stats, exhausted)
             }
-            Request::StreamProcess { tuple } => self.stream_op(|s| {
-                if !self.her.cg.has_tuple(tuple) {
-                    return unknown_tuple_reply(tuple);
-                }
-                match s.linker.process(tuple) {
-                    Ok((found, _)) => {
-                        s.maybe_snapshot();
-                        Reply::StreamApplied {
-                            found,
-                            ops_applied: s.linker.ops_applied(),
-                        }
+            Request::StreamProcess { tuple } => {
+                let reply = self.stream_op(|s| {
+                    if !self.her.cg.has_tuple(tuple) {
+                        return unknown_tuple_reply(tuple);
                     }
-                    Err(e) => store_error_reply(e),
-                }
-            }),
-            Request::StreamRetract { vertex } => self.stream_op(|s| {
-                match s.linker.retract_vertex(vertex) {
+                    match s.linker.process(tuple) {
+                        Ok((found, _)) => {
+                            s.maybe_snapshot();
+                            Reply::StreamApplied {
+                                found,
+                                ops_applied: s.linker.ops_applied(),
+                                trace_id: ctx.trace_id,
+                            }
+                        }
+                        Err(e) => store_error_reply(e),
+                    }
+                });
+                (reply, plain, None)
+            }
+            Request::StreamRetract { vertex } => {
+                let reply = self.stream_op(|s| match s.linker.retract_vertex(vertex) {
                     Ok(()) => {
                         s.maybe_snapshot();
                         Reply::StreamApplied {
                             found: Vec::new(),
                             ops_applied: s.linker.ops_applied(),
+                            trace_id: ctx.trace_id,
                         }
                     }
                     Err(e) => store_error_reply(e),
-                }
-            }),
+                });
+                (reply, plain, None)
+            }
             Request::StreamMatches => {
                 let Some(session) = self.session else {
-                    return no_stream_reply();
+                    return (no_stream_reply(), plain, None);
                 };
                 let s = session.lock().unwrap_or_else(PoisonError::into_inner);
-                Reply::StreamMatches {
+                let reply = Reply::StreamMatches {
                     matches: s.linker.matches(),
                     ops_applied: s.linker.ops_applied(),
-                }
-            }
-            Request::Metrics => {
-                let json = match self.obs {
-                    Some(o) => o.registry.snapshot().to_json(),
-                    None => "{}".to_owned(),
                 };
-                Reply::Metrics { json }
+                (reply, plain, None)
             }
-            // Handled before admission in `answer`.
-            Request::Ping => Reply::Pong,
-            Request::Shutdown => Reply::ShuttingDown,
+            // The control plane is handled before admission in `answer`.
+            Request::Metrics => (self.metrics_reply(), plain, None),
+            Request::Ping => (Reply::Pong, plain, None),
+            Request::Shutdown => (Reply::ShuttingDown, plain, None),
+            Request::Trace { trace_id } => (
+                Reply::Trace {
+                    trace_id,
+                    events: Vec::new(),
+                },
+                plain,
+                None,
+            ),
+            Request::Flight => (
+                Reply::Flight {
+                    records: Vec::new(),
+                },
+                plain,
+                None,
+            ),
+            Request::Expo => (
+                Reply::Expo {
+                    text: String::new(),
+                },
+                plain,
+                None,
+            ),
         }
     }
 
@@ -551,11 +785,13 @@ impl Handler<'_, '_> {
         f(&mut s)
     }
 
-    /// Writes `reply` through the connection's fault plan.
+    /// Writes `reply` through the connection's fault plan, bumping
+    /// `faults_seen` when a fault fate fires.
     fn send(
         &self,
         stream: &mut TcpStream,
         faults: &mut Option<ConnFaults>,
+        faults_seen: &mut u32,
         reply: &Reply,
     ) -> ConnAction {
         let payload = reply.encode();
@@ -568,6 +804,7 @@ impl Handler<'_, '_> {
         };
         if fate != ReplyFate::Deliver {
             self.counter("serve.faults_injected");
+            *faults_seen += 1;
         }
         match fate {
             ReplyFate::Deliver => {
@@ -601,6 +838,18 @@ impl Handler<'_, '_> {
             }
             ReplyFate::Kill => ConnAction::Close,
         }
+    }
+}
+
+/// Flight-recorder op class for a data-plane request.
+fn op_of(req: &Request) -> u8 {
+    match req {
+        Request::Vpair { .. } => op::VPAIR,
+        Request::Apair { .. } => op::APAIR,
+        Request::StreamProcess { .. }
+        | Request::StreamRetract { .. }
+        | Request::StreamMatches => op::STREAM,
+        _ => op::OTHER,
     }
 }
 

@@ -121,7 +121,9 @@ fn vpair_and_apair_over_wire_equal_local() {
             })
             .expect("apair")
         {
-            Reply::Apair { matches, exhausted } => {
+            Reply::Apair {
+                matches, exhausted, ..
+            } => {
                 assert_eq!(exhausted, None);
                 assert_eq!(matches, local_apair);
             }
@@ -207,6 +209,7 @@ fn exhausted_requests_return_sound_partials() {
                 matches,
                 unresolved,
                 exhausted,
+                ..
             } => {
                 assert!(exhausted.is_some(), "1 call cannot finish");
                 // Soundness: exhaustion never invents a match.
@@ -484,6 +487,198 @@ fn chaos_fault_plan_never_hangs_and_never_lies() {
     assert!(
         obs.registry.snapshot().counter("serve.faults_injected") > 0,
         "chaos plan injected nothing"
+    );
+}
+
+/// The introspection drill: traced requests reconstruct their span
+/// breakdown over the wire, anomalies (decode errors, sheds) land in the
+/// flight ring *and* in the durable dump file, and the dump file
+/// accumulates across a server restart.
+#[test]
+fn introspection_traces_requests_and_dumps_anomalies() {
+    let (her, ts, _) = system();
+    let dir = tempdir("introspection");
+    let flight_path = dir.join("flight.hlog");
+
+    // Phase 1: a healthy server. One full request, one budget-exhausted
+    // request, one undecodable payload (deterministic DECODE anomaly).
+    let obs = her_obs::Obs::new();
+    let cfg = ServeConfig {
+        obs: Some(obs.clone()),
+        flight_path: Some(flight_path.clone()),
+        ..Default::default()
+    };
+    with_server(&her, cfg, |client| {
+        let addr = client.addr().to_owned();
+        let traced = match client
+            .request(&Request::Vpair {
+                tuple: ts[0],
+                max_calls: 0,
+                deadline_ms: 0,
+            })
+            .expect("vpair")
+        {
+            Reply::Vpair { trace_id, .. } => trace_id,
+            other => panic!("unexpected reply: {other:?}"),
+        };
+        assert_ne!(traced, 0, "data-plane requests must carry an id");
+
+        // The span breakdown reconstructs over the wire: request scope,
+        // queue wait, execution, and the matcher's own vpair span.
+        match client
+            .request(&Request::Trace { trace_id: traced })
+            .expect("trace")
+        {
+            Reply::Trace { events, .. } => {
+                let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+                for expected in ["serve.req", "serve.queue", "serve.exec", "vpair"] {
+                    assert!(
+                        names.contains(&expected),
+                        "span {expected:?} missing from {names:?}"
+                    );
+                }
+                assert!(
+                    events.iter().all(|e| e.trace_id == traced),
+                    "foreign events leaked into the trace"
+                );
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+
+        // A budget-exhausted request records its spend and reason.
+        match client
+            .request(&Request::Vpair {
+                tuple: ts[1],
+                max_calls: 1,
+                deadline_ms: 0,
+            })
+            .expect("exhausted vpair")
+        {
+            Reply::Vpair { exhausted, .. } => assert!(exhausted.is_some()),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+
+        // A valid frame holding garbage is a deterministic decode
+        // anomaly: answered as usage, recorded, and dumped.
+        {
+            use std::io::Write as _;
+            let mut raw = std::net::TcpStream::connect(&addr).expect("connect raw");
+            raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            her_serve::proto::write_message(&mut raw, b"not a request").expect("send");
+            raw.flush().unwrap();
+            let payload = her_serve::proto::read_message(&mut raw).expect("reply");
+            match Reply::decode(&payload).expect("decode reply") {
+                Reply::Error { code, .. } => {
+                    assert_eq!(code, her_serve::proto::code::USAGE)
+                }
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+
+        // The flight ring, read over the wire, explains all of the above.
+        let records = match client.request(&Request::Flight).expect("flight") {
+            Reply::Flight { records } => records,
+            other => panic!("unexpected reply: {other:?}"),
+        };
+        let full = records
+            .iter()
+            .find(|r| r.trace_id == traced)
+            .expect("traced request in the ring");
+        assert_eq!(full.op, 1, "vpair op class");
+        assert_eq!((full.exhaust, full.anomaly), (0, 0));
+        assert!(
+            records.iter().any(|r| r.exhaust != 0 && r.calls >= 1),
+            "exhausted request not recorded: {records:?}"
+        );
+        assert!(
+            records.iter().any(|r| r.anomaly != 0),
+            "decode anomaly not recorded: {records:?}"
+        );
+
+        // The text exposition answers with the stable grammar.
+        match client.request(&Request::Expo).expect("expo") {
+            Reply::Expo { text } => {
+                assert!(text.starts_with("# her-expo/v1"), "bad header: {text}");
+                assert!(
+                    text.contains("counter serve.req.minted "),
+                    "minted counter missing:\n{text}"
+                );
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    });
+    let snap = obs.registry.snapshot();
+    assert!(snap.counter("serve.req.minted") >= 3);
+    assert!(snap.counter("flight.anomalies") >= 1);
+    assert_eq!(snap.counter("flight.dumps"), snap.counter("flight.anomalies"));
+
+    // Phase 2: a saturated restart. Every request sheds; the shed still
+    // mints an id, records SHED, and appends to the *same* dump file.
+    let obs2 = her_obs::Obs::new();
+    let cfg2 = ServeConfig {
+        max_inflight: 0,
+        max_queue: 0,
+        obs: Some(obs2.clone()),
+        flight_path: Some(flight_path.clone()),
+        ..Default::default()
+    };
+    with_server(&her, cfg2, |client| {
+        client.retry = RetryPolicy {
+            attempts: 1,
+            ..fast_retry()
+        };
+        let err = client
+            .request(&Request::Vpair {
+                tuple: ts[0],
+                max_calls: 0,
+                deadline_ms: 0,
+            })
+            .expect_err("saturated server answered");
+        assert!(matches!(err, ClientError::Unavailable(_)), "{err:?}");
+
+        let records = match client.request(&Request::Flight).expect("flight") {
+            Reply::Flight { records } => records,
+            other => panic!("unexpected reply: {other:?}"),
+        };
+        let shed = records
+            .iter()
+            .find(|r| r.anomaly & 1 != 0)
+            .expect("shed record in the ring");
+        // The shed request's trace reconstructs why it was turned away.
+        match client
+            .request(&Request::Trace {
+                trace_id: shed.trace_id,
+            })
+            .expect("trace shed")
+        {
+            Reply::Trace { events, .. } => {
+                let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+                for expected in ["serve.req", "serve.queue", "serve.shed"] {
+                    assert!(
+                        names.contains(&expected),
+                        "shed trace missing {expected:?}: {names:?}"
+                    );
+                }
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    });
+
+    // The dump file survives the restart and holds both phases' story.
+    let (dumps, damage) = her_serve::flight_dump::read_dumps(&flight_path).expect("read dumps");
+    assert!(damage.is_empty(), "{damage:?}");
+    assert!(
+        dumps.iter().any(|d| d.record.anomaly & 4 != 0),
+        "phase-1 decode dump missing"
+    );
+    let shed_dump = dumps
+        .iter()
+        .find(|d| d.record.anomaly & 1 != 0)
+        .expect("phase-2 shed dump missing");
+    assert!(
+        shed_dump.events.iter().any(|e| e.name == "serve.shed"),
+        "shed dump lost its trace events: {:?}",
+        shed_dump.events
     );
 }
 

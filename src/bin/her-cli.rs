@@ -9,6 +9,8 @@
 //! her-cli serve  --db orders.csv --graph catalogue.nt --addr 127.0.0.1:0 \
 //!                --wal serve.hlog --snapshot-dir snaps --port-file port.txt
 //! her-cli query  --addr 127.0.0.1:4100 --op vpair --tuple 0
+//! her-cli top    --addr 127.0.0.1:4100 --interval-ms 1000 --iterations 5
+//! her-cli trace 42 --addr 127.0.0.1:4100      # or --dump flight.hlog
 //! her-cli export-demo          # writes a demo orders.csv + catalogue.nt
 //!
 //! options:
@@ -41,16 +43,31 @@
 //!   --fault-seed N --fault-drop N --fault-delay N --fault-delay-ms MS
 //!   --fault-truncate N --fault-garble N --fault-kill N
 //!                        seeded reply-path fault plan (1-in-N; 0 = off)
+//!   --trace-sample N     buffer spans for 1-in-N requests (default 1 = all,
+//!                        0 = off; ids are minted either way)
+//!   --flight-path FILE   dump anomalous flight records durably to FILE
 //!
 //! query options:
 //!   --addr HOST:PORT | --port-file FILE    where the server listens
 //!   --op OP              vpair|apair|stream-process|stream-retract|
-//!                        stream-matches|metrics|ping|shutdown
+//!                        stream-matches|metrics|ping|shutdown|
+//!                        trace|flight|expo
 //!   --tuple N / --vertex N    operands for vpair / stream ops
+//!   --id N               trace id for --op trace
+//!   --format table|json  metrics rendering (default json; keys are
+//!                        deterministically sorted either way)
 //!   --max-calls N --deadline-ms MS         per-request budget
 //!   --timeout-ms MS      per-attempt socket timeout (default 5000)
 //!   --retries N          total attempts incl. the first (default 4)
 //!   --retry-seed N       jitter seed for reproducible backoff
+//!
+//! top options (plus --addr/--port-file/--timeout-ms as for query):
+//!   --interval-ms MS     sampling interval (default 1000)
+//!   --iterations N       lines to print before exiting (default 5; 0 = forever)
+//!
+//! trace options: a trace id (positional or --id N), plus either
+//!   --addr/--port-file to read a live server, or --dump FILE to
+//!   reconstruct from a flight-recorder dump with no server running.
 //! ```
 //!
 //! Exit codes: `0` success, `1` data error (unreadable/unparsable input),
@@ -96,6 +113,17 @@ fn main() {
         "export-demo" => export_demo(),
         "spair" | "vpair" | "apair" | "stream" | "serve" => run(command, &opts),
         "query" => query(&opts),
+        "top" => top(&opts),
+        "trace" => {
+            // `her-cli trace 42` — the id may ride positionally.
+            let mut opts = opts;
+            if let Some(first) = args.get(1) {
+                if !first.starts_with('-') && !opts.contains_key("id") {
+                    opts.insert("id".to_owned(), first.clone());
+                }
+            }
+            trace_cmd(&opts)
+        }
         _ => Err(HerError::Usage(format!("unknown command {command:?}"))),
     };
     if let Err(e) = outcome {
@@ -109,7 +137,7 @@ fn main() {
 
 fn usage() {
     eprintln!(
-        "usage: her-cli <spair|vpair|apair|stream|serve|query|export-demo> --db FILE.csv --graph FILE.nt \\\n\
+        "usage: her-cli <spair|vpair|apair|stream|serve|query|top|trace|export-demo> --db FILE.csv --graph FILE.nt \\\n\
          \t[--annotations FILE.csv] [--tuple N] [--vertex N] \\\n\
          \t[--sigma S] [--delta D] [--k K] [--relation NAME] \\\n\
          \t[--max-calls N] [--deadline-ms MS] [--workers N] \\\n\
@@ -121,7 +149,10 @@ fn usage() {
        serve: [--addr HOST:PORT] [--port-file FILE] [--max-inflight N] [--max-queue N] \\\n\
          \t[--snapshot-dir DIR] [--snapshot-every-ops N] [--fault-* ...]\n\
        query: --addr HOST:PORT | --port-file FILE  --op OP [--tuple N] [--vertex N] \\\n\
-         \t[--max-calls N] [--deadline-ms MS] [--timeout-ms MS] [--retries N] [--retry-seed N]"
+         \t[--id N] [--format table|json] \\\n\
+         \t[--max-calls N] [--deadline-ms MS] [--timeout-ms MS] [--retries N] [--retry-seed N]\n\
+       top:   --addr HOST:PORT | --port-file FILE  [--interval-ms MS] [--iterations N]\n\
+       trace: ID (--addr HOST:PORT | --port-file FILE | --dump FILE)"
     );
 }
 
@@ -579,6 +610,10 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
                     info!("serving with fault plan {fault:?}");
                 }
                 scfg.fault = fault;
+                if let Some(n) = opts.get("trace-sample") {
+                    scfg.trace_sample_1_in = numeric(n, "trace-sample")?;
+                }
+                scfg.flight_path = opts.get("flight-path").map(Into::into);
 
                 let server = her::serve::Server::bind(scfg).map_err(serve_error)?;
                 let addr = server.local_addr();
@@ -666,20 +701,22 @@ fn serve_error(e: her::serve::ServeError) -> HerError {
     }
 }
 
-/// `her-cli query`: one request against a running server, standalone —
-/// no dataset loading, the server holds the trained system.
-fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
-    let addr = match (opts.get("addr"), opts.get("port-file")) {
-        (Some(a), _) => a.clone(),
-        (None, Some(pf)) => read_file(pf)?.trim().to_owned(),
-        (None, None) => {
-            return Err(HerError::Usage(
-                "query needs --addr HOST:PORT or --port-file FILE".to_owned(),
-            ))
-        }
-    };
-    let op = required(opts, "op")?;
+/// Resolves the server address from `--addr` or `--port-file`.
+fn resolve_addr(opts: &HashMap<String, String>) -> Result<String, HerError> {
+    match (opts.get("addr"), opts.get("port-file")) {
+        (Some(a), _) => Ok(a.clone()),
+        (None, Some(pf)) => Ok(read_file(pf)?.trim().to_owned()),
+        (None, None) => Err(HerError::Usage(
+            "needs --addr HOST:PORT or --port-file FILE".to_owned(),
+        )),
+    }
+}
 
+/// A client for `addr` honouring the shared retry/timeout flags.
+fn make_client(
+    opts: &HashMap<String, String>,
+    addr: &str,
+) -> Result<her::serve::Client, HerError> {
     let mut retry = her::serve::RetryPolicy::default();
     if let Some(n) = opts.get("retries") {
         retry.attempts = numeric(n, "retries")?;
@@ -687,10 +724,28 @@ fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
     if let Some(s) = opts.get("retry-seed") {
         retry.seed = numeric(s, "retry-seed")?;
     }
-    let mut client = her::serve::Client::new(&addr).with_retry(retry);
+    let mut client = her::serve::Client::new(addr).with_retry(retry);
     if let Some(ms) = opts.get("timeout-ms") {
         client.timeout = Duration::from_millis(numeric(ms, "timeout-ms")?);
     }
+    Ok(client)
+}
+
+/// `her-cli query`: one request against a running server, standalone —
+/// no dataset loading, the server holds the trained system.
+fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
+    let addr = resolve_addr(opts)?;
+    let op = required(opts, "op")?;
+    let format = opts
+        .get("format")
+        .cloned()
+        .unwrap_or_else(|| "json".to_owned());
+    if !matches!(format.as_str(), "json" | "table") {
+        return Err(HerError::Usage(format!(
+            "--format expects table or json, got {format:?}"
+        )));
+    }
+    let mut client = make_client(opts, &addr)?;
 
     let max_calls: u64 = match opts.get("max-calls") {
         Some(n) => numeric(n, "max-calls")?,
@@ -722,13 +777,21 @@ fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
             vertex: VertexId(numeric(&required(opts, "vertex")?, "vertex")?),
         },
         "stream-matches" => Request::StreamMatches,
+        // The table rendering of metrics rides on the text exposition —
+        // same registry, same deterministic ordering, aligned columns.
+        "metrics" if format == "table" => Request::Expo,
         "metrics" => Request::Metrics,
         "ping" => Request::Ping,
         "shutdown" => Request::Shutdown,
+        "trace" => Request::Trace {
+            trace_id: numeric(&required(opts, "id")?, "id")?,
+        },
+        "flight" => Request::Flight,
+        "expo" => Request::Expo,
         other => {
             return Err(HerError::Usage(format!(
                 "--op {other:?} (expected vpair|apair|stream-process|stream-retract|\
-                 stream-matches|metrics|ping|shutdown)"
+                 stream-matches|metrics|ping|shutdown|trace|flight|expo)"
             )))
         }
     };
@@ -739,28 +802,39 @@ fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
             matches,
             unresolved,
             exhausted,
+            trace_id,
         } => {
             for v in matches {
                 println!("{v}");
             }
+            info!("trace id {trace_id}");
             if let Some(reason) = exhausted {
                 eprintln!("{} candidates left undecided", unresolved.len());
                 return Err(HerError::Exhausted(reason));
             }
         }
-        Reply::Apair { matches, exhausted } => {
+        Reply::Apair {
+            matches,
+            exhausted,
+            trace_id,
+        } => {
             for (t, v) in matches {
                 println!("{},{}", t.row, v);
             }
+            info!("trace id {trace_id}");
             if let Some(reason) = exhausted {
                 return Err(HerError::Exhausted(reason));
             }
         }
-        Reply::StreamApplied { found, ops_applied } => {
+        Reply::StreamApplied {
+            found,
+            ops_applied,
+            trace_id,
+        } => {
             for v in found {
                 println!("{v}");
             }
-            info!("journaled as op {ops_applied}");
+            info!("journaled as op {ops_applied} (trace id {trace_id})");
         }
         Reply::StreamMatches {
             matches,
@@ -774,10 +848,287 @@ fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
         Reply::Metrics { json } => println!("{json}"),
         Reply::Pong => println!("pong"),
         Reply::ShuttingDown => info!("server acknowledged shutdown"),
+        Reply::Trace { trace_id, events } => {
+            if events.is_empty() {
+                eprintln!(
+                    "her-cli: no events for trace {trace_id} \
+                     (unsampled, unknown, or aged out of the ring)"
+                );
+            } else {
+                render_trace(&events);
+            }
+        }
+        Reply::Flight { records } => render_flight(&records),
+        Reply::Expo { text } => {
+            if format == "table" {
+                print!("{}", expo_table(&text));
+            } else {
+                print!("{text}");
+            }
+        }
         // The client maps these into ClientError before returning.
         Reply::Busy { .. } | Reply::Error { .. } => unreachable!(),
     }
     Ok(())
+}
+
+/// `her-cli top`: a live qps/latency/shed view polled from the server's
+/// text exposition. Prints one line per sample.
+fn top(opts: &HashMap<String, String>) -> Result<(), HerError> {
+    let addr = resolve_addr(opts)?;
+    let mut client = make_client(opts, &addr)?;
+    let interval = Duration::from_millis(match opts.get("interval-ms") {
+        Some(ms) => numeric(ms, "interval-ms")?,
+        None => 1000,
+    });
+    let iterations: u64 = match opts.get("iterations") {
+        Some(n) => numeric(n, "iterations")?,
+        None => 5,
+    };
+
+    let expo = |client: &mut her::serve::Client| -> Result<Expo, HerError> {
+        match client
+            .request(&her::serve::Request::Expo)
+            .map_err(|e| client_error(&addr, e))?
+        {
+            her::serve::Reply::Expo { text } => Ok(Expo::parse(&text)),
+            other => Err(HerError::Unavailable(format!(
+                "unexpected reply to Expo: {other:?}"
+            ))),
+        }
+    };
+
+    println!(
+        "{:>9} {:>9} {:>9} {:>7} {:>9} {:>6} {:>9} {:>10}",
+        "qps", "p50(us)", "p99(us)", "shed%", "inflight", "queue", "requests", "anomalies"
+    );
+    let mut prev = expo(&mut client)?;
+    let mut printed = 0u64;
+    loop {
+        std::thread::sleep(interval);
+        let cur = expo(&mut client)?;
+        let secs = interval.as_secs_f64().max(1e-9);
+        let d_req = cur.counter("serve.requests") - prev.counter("serve.requests");
+        let d_shed = cur.counter("serve.shed") - prev.counter("serve.shed");
+        let shed_pct = if d_req == 0 {
+            0.0
+        } else {
+            100.0 * d_shed as f64 / d_req as f64
+        };
+        let (p50, p99) = cur.hist_quantiles("serve.req.exec_us");
+        println!(
+            "{:>9.1} {:>9} {:>9} {:>7.1} {:>9} {:>6} {:>9} {:>10}",
+            d_req as f64 / secs,
+            p50,
+            p99,
+            shed_pct,
+            cur.gauge("serve.inflight") as u64,
+            cur.gauge("serve.queue_depth") as u64,
+            cur.counter("serve.requests"),
+            cur.counter("flight.anomalies"),
+        );
+        prev = cur;
+        printed += 1;
+        if iterations != 0 && printed >= iterations {
+            return Ok(());
+        }
+    }
+}
+
+/// `her-cli trace <id>`: one request's span breakdown, from a live
+/// server or from a flight-recorder dump file.
+fn trace_cmd(opts: &HashMap<String, String>) -> Result<(), HerError> {
+    let id: u64 = numeric(&required(opts, "id")?, "id")?;
+
+    if let Some(dump) = opts.get("dump") {
+        let (dumps, damage) =
+            her::serve::flight_dump::read_dumps(std::path::Path::new(dump)).map_err(
+                |source| HerError::Io {
+                    path: dump.into(),
+                    source,
+                },
+            )?;
+        for d in &damage {
+            eprintln!("her-cli: {dump}: {d}");
+        }
+        // Newest dump wins if the id somehow repeats across restarts.
+        let Some(d) = dumps.iter().rev().find(|d| d.record.trace_id == id) else {
+            return Err(HerError::Usage(format!("trace {id} is not in {dump}")));
+        };
+        render_flight(std::slice::from_ref(&d.record));
+        render_trace(&d.events);
+        return Ok(());
+    }
+
+    let addr = resolve_addr(opts)?;
+    let mut client = make_client(opts, &addr)?;
+    use her::serve::{Reply, Request};
+    if let Reply::Flight { records } = client
+        .request(&Request::Flight)
+        .map_err(|e| client_error(&addr, e))?
+    {
+        if let Some(r) = records.iter().find(|r| r.trace_id == id) {
+            render_flight(std::slice::from_ref(r));
+        }
+    }
+    match client
+        .request(&Request::Trace { trace_id: id })
+        .map_err(|e| client_error(&addr, e))?
+    {
+        Reply::Trace { events, .. } if events.is_empty() => Err(HerError::Usage(format!(
+            "no events for trace {id} (unsampled, unknown, or aged out of the ring)"
+        ))),
+        Reply::Trace { events, .. } => {
+            render_trace(&events);
+            Ok(())
+        }
+        other => Err(HerError::Unavailable(format!(
+            "unexpected reply to Trace: {other:?}"
+        ))),
+    }
+}
+
+/// Renders a request's events as an indented span tree. Events arrive in
+/// ring (chronological) order; `Enter`/`Exit` pairs carry the nesting.
+fn render_trace(events: &[her::obs::Event]) {
+    use her::obs::EventKind;
+    let mut depth = 0usize;
+    for e in events {
+        if e.kind == EventKind::Exit {
+            depth = depth.saturating_sub(1);
+        }
+        let marker = match e.kind {
+            EventKind::Enter => ">",
+            EventKind::Exit => "<",
+            EventKind::Point => "*",
+        };
+        let pad = "  ".repeat(depth);
+        if e.detail.is_empty() {
+            println!("{:>10}us  {pad}{marker} {}", e.at_us, e.name);
+        } else {
+            println!("{:>10}us  {pad}{marker} {} {}", e.at_us, e.name, e.detail);
+        }
+        if e.kind == EventKind::Enter {
+            depth += 1;
+        }
+    }
+}
+
+/// Renders flight records as an aligned table, oldest first.
+fn render_flight(records: &[her::obs::FlightRecord]) {
+    println!(
+        "{:>8} {:>8} {:<7} {:>10} {:>10} {:>9} {:>7} {:>7} {:<9} {:>6} anomaly",
+        "id", "at(ms)", "op", "queue(us)", "exec(us)", "calls", "cache", "shared", "exhaust",
+        "faults"
+    );
+    for r in records {
+        println!(
+            "{:>8} {:>8} {:<7} {:>10} {:>10} {:>9} {:>7} {:>7} {:<9} {:>6} {}",
+            r.trace_id,
+            r.at_us / 1000,
+            her::obs::flight::op::name(r.op),
+            r.queue_wait_us,
+            r.exec_us,
+            r.calls,
+            r.cache_hits,
+            r.shared_hits,
+            exhaust_name(r.exhaust),
+            r.faults_seen,
+            her::obs::flight::anomaly::describe(r.anomaly),
+        );
+    }
+}
+
+/// Human name for a flight record's encoded exhaust reason.
+fn exhaust_name(tag: u8) -> &'static str {
+    match tag {
+        0 => "-",
+        1 => "calls",
+        2 => "deadline",
+        3 => "cache-cap",
+        4 => "cancelled",
+        _ => "?",
+    }
+}
+
+/// A parsed `# her-expo/v1` snapshot (see DESIGN.md §4i for the grammar).
+struct Expo {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    hists: HashMap<String, (u64, u64)>,
+}
+
+impl Expo {
+    fn parse(text: &str) -> Expo {
+        let mut e = Expo {
+            counters: HashMap::new(),
+            gauges: HashMap::new(),
+            hists: HashMap::new(),
+        };
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let (Some(kind), Some(name)) = (parts.next(), parts.next()) else {
+                continue;
+            };
+            match kind {
+                "counter" => {
+                    if let Some(v) = parts.next().and_then(|v| v.parse().ok()) {
+                        e.counters.insert(name.to_owned(), v);
+                    }
+                }
+                "gauge" => {
+                    if let Some(v) = parts.next().and_then(|v| v.parse().ok()) {
+                        e.gauges.insert(name.to_owned(), v);
+                    }
+                }
+                "hist" => {
+                    let field = |key: &str| -> u64 {
+                        line.split_whitespace()
+                            .find_map(|p| p.strip_prefix(key))
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(0)
+                    };
+                    e.hists
+                        .insert(name.to_owned(), (field("p50="), field("p99=")));
+                }
+                _ => {}
+            }
+        }
+        e
+    }
+
+    fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    fn hist_quantiles(&self, name: &str) -> (u64, u64) {
+        self.hists.get(name).copied().unwrap_or((0, 0))
+    }
+}
+
+/// Renders the text exposition as an aligned `name | kind | value` table.
+fn expo_table(text: &str) -> String {
+    let mut rows: Vec<(&str, &str, String)> = Vec::new();
+    for line in text.lines() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let mut parts = line.splitn(3, ' ');
+        let (Some(kind), Some(name)) = (parts.next(), parts.next()) else {
+            continue;
+        };
+        rows.push((name, kind, parts.next().unwrap_or("").to_owned()));
+    }
+    let w = rows.iter().map(|(n, _, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, kind, value) in rows {
+        out.push_str(&format!("{name:<w$}  {kind:<7} {value}\n"));
+    }
+    out
 }
 
 /// Maps client-side failures into the CLI taxonomy. Exhaustion never
