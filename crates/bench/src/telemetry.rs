@@ -399,6 +399,15 @@ fn traffic_thread(addr: &str, tuples: &[her_rdb::TupleRef], requests: usize) -> 
 /// counter the restarted server measured. Per-op flight-recorder medians
 /// land in the `flight.p50_exec_us.*` gauges (vpair/apair from the traced
 /// saturation run, stream from the restarted server).
+///
+/// `serve/degraded` is the storage fault drill: reads are timed against
+/// a healthy server (`serve.health.read_p99_healthy_us`), the journal's
+/// fsyncs are then failed under it until it degrades to read-only, reads
+/// are timed again (`serve.p99_us`/`serve.qps` — CI gates the degraded
+/// read tail against the healthy baseline), and finally the disk heals
+/// and the workload waits for the prober to self-heal the server
+/// (`serve.health.heal_ms`, plus `store.iofault.retries` from the
+/// in-place append retries).
 pub fn serve_suite(smoke: bool) -> Report {
     let (her, tuples) = serve_system();
     let threads = 8usize;
@@ -454,6 +463,7 @@ pub fn serve_suite(smoke: bool) -> Report {
     }
     workloads.extend(tracing_workloads(&her, &tuples, smoke));
     workloads.push(restart_workload(&her, &tuples));
+    workloads.push(degraded_workload(&her, &tuples, smoke));
     Report {
         suite: "serve",
         smoke,
@@ -678,6 +688,145 @@ fn restart_workload(her: &her_core::Her, tuples: &[her_rdb::TupleRef]) -> Worklo
     }
 }
 
+/// 99th-percentile of a latency sample, in the sample's unit.
+fn p99_of(mut latencies: Vec<u64>) -> u64 {
+    latencies.sort_unstable();
+    match latencies.len() {
+        0 => 0,
+        n => latencies[(n * 99).div_ceil(100).saturating_sub(1)],
+    }
+}
+
+/// The storage fault drill as a measured workload: how much read tail
+/// latency does read-only degradation cost, and how fast does the
+/// server heal once the disk recovers? One server lives through the
+/// whole arc — healthy reads, a journal that fails every fsync, the
+/// degraded read-only phase, and the prober-driven self-heal — so the
+/// report's gauges all describe the same process.
+fn degraded_workload(her: &her_core::Her, tuples: &[her_rdb::TupleRef], smoke: bool) -> Workload {
+    use her_store::{FaultVfs, IoFaultPlan};
+    let dir = std::env::temp_dir().join(format!("her-bench-degraded-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench degraded dir");
+    let reads = if smoke { 64 } else { 256 };
+
+    let obs = Obs::new();
+    let fault = FaultVfs::with_obs(IoFaultPlan::default(), obs.clone());
+    let handle = fault.handle();
+    let cfg = ServeConfig {
+        wal: Some(dir.join("stream.wal")),
+        vfs: Some(std::sync::Arc::new(fault)),
+        obs: Some(obs.clone()),
+        wal_retries: 1,
+        wal_retry_backoff_ms: 1,
+        probe_interval_ms: 10,
+        ..Default::default()
+    };
+    let server = Server::bind(cfg).expect("bind bench server");
+    let addr = server.local_addr().to_string();
+
+    let (answered, wall_secs) = std::thread::scope(|scope| {
+        let run = scope.spawn(|| server.run(her).expect("bench server run"));
+        let mut client = Client::new(&addr).with_retry(RetryPolicy {
+            attempts: 1,
+            base_ms: 1,
+            cap_ms: 1,
+            seed: 1,
+        });
+        client.timeout = std::time::Duration::from_secs(10);
+        let read = |client: &mut Client, i: usize| {
+            let t0 = Instant::now();
+            let ok = client
+                .request(&Request::Vpair {
+                    tuple: tuples[i % tuples.len()],
+                    max_calls: 0,
+                    deadline_ms: 0,
+                })
+                .is_ok();
+            (ok, t0.elapsed().as_micros() as u64)
+        };
+
+        // Healthy baseline: seed the stream session, then time reads.
+        for &t in &tuples[..2] {
+            client
+                .request(&Request::StreamProcess { tuple: t })
+                .expect("healthy stream process");
+        }
+        let healthy: Vec<u64> = (0..reads).map(|i| read(&mut client, i).1).collect();
+        obs.registry
+            .gauge("serve.health.read_p99_healthy_us")
+            .set(p99_of(healthy) as f64);
+
+        // Fail every fsync from here on; the next mutation burns its
+        // retry budget and degrades the server to read-only.
+        handle.set_plan(IoFaultPlan {
+            fail_fsync_from: handle.counts().fsyncs + 1,
+            fail_fsync_count: u64::MAX,
+            ..IoFaultPlan::default()
+        });
+        assert!(
+            client
+                .request(&Request::StreamProcess { tuple: tuples[2] })
+                .is_err(),
+            "mutation against a failing journal must be refused"
+        );
+
+        // Degraded phase: the same read traffic against the read-only
+        // server — the workload's headline qps/p99.
+        let t0 = Instant::now();
+        let mut answered = 0usize;
+        let mut degraded = Vec::with_capacity(reads);
+        for i in 0..reads {
+            let (ok, us) = read(&mut client, i);
+            if ok {
+                answered += 1;
+                degraded.push(us);
+            }
+        }
+        let wall_secs = t0.elapsed().as_secs_f64();
+        obs.registry
+            .gauge("serve.qps")
+            .set(answered as f64 / wall_secs.max(1e-9));
+        obs.registry.gauge("serve.p99_us").set(p99_of(degraded) as f64);
+
+        // Heal the disk and wait for the prober to notice; the server
+        // publishes its own time-to-heal as `serve.health.heal_ms`.
+        handle.heal();
+        let healing = Instant::now();
+        loop {
+            match client.request(&Request::Health).expect("health") {
+                Reply::Health { state: 0, .. } => break,
+                Reply::Health { .. } => {}
+                other => panic!("unexpected health reply: {other:?}"),
+            }
+            assert!(
+                healing.elapsed() < std::time::Duration::from_secs(30),
+                "bench server never healed"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // The healed journal accepts the mutation it refused earlier.
+        client
+            .request(&Request::StreamProcess { tuple: tuples[2] })
+            .expect("post-heal stream process");
+
+        match client.request(&Request::Shutdown).expect("shutdown") {
+            Reply::ShuttingDown => {}
+            other => panic!("unexpected shutdown reply: {other:?}"),
+        }
+        run.join().expect("bench server thread panicked");
+        (answered, wall_secs)
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    Workload {
+        name: "serve/degraded".to_owned(),
+        size: reads,
+        wall_secs,
+        matches: answered,
+        snapshot: obs.registry.snapshot(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -751,8 +900,8 @@ mod tests {
         let r = serve_suite(true);
         assert_eq!(
             r.workloads.len(),
-            5,
-            "shed + queue + tracing on/off + restart"
+            6,
+            "shed + queue + tracing on/off + restart + degraded"
         );
         let find = |variant: &str| {
             r.workloads
@@ -820,6 +969,27 @@ mod tests {
         }
         // The restarted server resumed the journal: all ops applied.
         assert_eq!(restart.matches, restart.size, "replayed + new ops");
+
+        // The degraded drill: reads answered throughout, and the full
+        // degrade → heal arc left its marks in the snapshot.
+        let degraded = named("serve/degraded");
+        assert_eq!(
+            degraded.matches, degraded.size,
+            "read-only server refused reads"
+        );
+        if her_obs::ENABLED {
+            let snap = &degraded.snapshot;
+            assert!(snap.gauge("serve.health.read_p99_healthy_us") > 0.0);
+            assert!(snap.gauge("serve.p99_us") > 0.0, "degraded read tail");
+            assert_eq!(snap.counter("serve.health.degraded"), 1);
+            assert_eq!(snap.counter("serve.health.heals"), 1);
+            assert!(snap.gauge("serve.health.heal_ms") >= 0.0);
+            assert!(snap.counter("store.iofault.retries") >= 1);
+            assert!(snap.counter("store.iofault.fsync_failures") >= 1);
+            // The snapshot postdates the clean shutdown, so the state
+            // gauge reads Down — the heal itself is in the counters.
+            assert_eq!(snap.gauge("serve.health.state"), 3.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,42 @@
+//! Positive fixture: storage writes routed through the `Vfs` facade,
+//! reads (which the rule does not police), and raw `std::fs` confined
+//! to test code. None of this may trigger her::raw_fs_write.
+
+use her_store::{Vfs, VfsFile};
+use std::path::Path;
+use std::sync::Arc;
+
+pub fn checkpoint(vfs: &Arc<dyn Vfs>, dir: &Path, payload: &[u8]) -> std::io::Result<()> {
+    vfs.create_dir_all(dir)?;
+    let tmp = dir.join("snap.tmp");
+    let mut f = vfs.create(&tmp)?;
+    f.write_all(payload)?;
+    f.sync_data()?;
+    drop(f);
+    vfs.rename(&tmp, &dir.join("snap"))?;
+    vfs.sync_dir(dir);
+    Ok(())
+}
+
+pub fn scan(vfs: &Arc<dyn Vfs>, path: &Path) -> std::io::Result<Vec<u8>> {
+    // Reads are out of scope for the write rule.
+    let bytes = std::fs::read(path)?;
+    let _ = vfs.read_dir_names(path.parent().unwrap_or(Path::new(".")));
+    Ok(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_dir_setup() {
+        // Tests build their scaffolding with raw std::fs freely.
+        let dir = std::env::temp_dir().join("raw-fs-fixture");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("seed"), b"x").unwrap();
+        let f = std::fs::File::create(dir.join("log")).unwrap();
+        drop(f);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,27 @@
+//! Seeded violations: direct filesystem writes in durability-crate lib
+//! code — `std::fs::write`, a rename, `File::create`, an
+//! `OpenOptions::new` append — plus one properly waived diagnostics
+//! sink.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+pub fn persist(path: &Path, payload: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, payload)?;
+    std::fs::rename(path, path.with_extension("done"))
+}
+
+pub fn open_segment(path: &Path) -> std::io::Result<File> {
+    File::create(path)
+}
+
+pub fn append_entry(path: &Path, entry: &[u8]) -> std::io::Result<()> {
+    let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+    f.write_all(entry)
+}
+
+pub fn debug_note(path: &Path, note: &str) -> std::io::Result<()> {
+    // #[allow(her::raw_fs_write)] — fixture demonstrating a justified waiver
+    std::fs::write(path, note.as_bytes())
+}

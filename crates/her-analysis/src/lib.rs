@@ -275,6 +275,32 @@ mod tests {
         assert_eq!(rule_hits(&obs, rules::UNGUARDED_SPAN).0, 0);
     }
 
+    #[test]
+    fn raw_fs_write_fixtures() {
+        let ok = run("crates/her-store/src/ok.rs", "raw_fs_write/ok.rs");
+        assert_eq!(rule_hits(&ok, rules::RAW_FS_WRITE).1, 0, "{ok:?}");
+        let bad = run("crates/her-store/src/bad.rs", "raw_fs_write/violation.rs");
+        let (total, unwaived) = rule_hits(&bad, rules::RAW_FS_WRITE);
+        // fs::write ×2, fs::rename, File::create, OpenOptions::new unwaived.
+        assert!(unwaived >= 4, "{bad:?}");
+        assert!(total > unwaived, "the waived site must be detected but waived");
+        let msgs: Vec<_> = bad
+            .iter()
+            .filter(|f| f.rule == rules::RAW_FS_WRITE && !f.waived)
+            .map(|f| f.message.as_str())
+            .collect();
+        assert!(msgs.iter().any(|m| m.contains("std::fs::write")));
+        assert!(msgs.iter().any(|m| m.contains("std::fs::rename")));
+        assert!(msgs.iter().any(|m| m.contains("File::create")));
+        assert!(msgs.iter().any(|m| m.contains("OpenOptions::new")));
+        // Same violations in her-serve are in scope too...
+        let serve = run("crates/her-serve/src/bad.rs", "raw_fs_write/violation.rs");
+        assert!(rule_hits(&serve, rules::RAW_FS_WRITE).1 >= 4, "{serve:?}");
+        // ...but outside the durability crates the rule stays silent.
+        let elsewhere = run("crates/her-cli/src/bad.rs", "raw_fs_write/violation.rs");
+        assert_eq!(rule_hits(&elsewhere, rules::RAW_FS_WRITE).0, 0);
+    }
+
     /// The linter runs clean on the real workspace — the same invariant
     /// the CI `lint` job gates on.
     #[test]

@@ -29,6 +29,7 @@ pub const UNREGISTERED_METRIC: &str = "her::unregistered_metric";
 pub const GENERATION_ENTRY_POINT: &str = "her::generation_entry_point";
 pub const LITERAL_LOCK_RANK: &str = "her::literal_lock_rank";
 pub const UNGUARDED_SPAN: &str = "her::unguarded_span";
+pub const RAW_FS_WRITE: &str = "her::raw_fs_write";
 
 /// All rule ids, for `--list` and the report header.
 pub const ALL_RULES: &[&str] = &[
@@ -39,6 +40,7 @@ pub const ALL_RULES: &[&str] = &[
     GENERATION_ENTRY_POINT,
     LITERAL_LOCK_RANK,
     UNGUARDED_SPAN,
+    RAW_FS_WRITE,
 ];
 
 /// Per-token context derived in one pass: innermost enclosing function
@@ -156,6 +158,7 @@ pub fn analyze_file(path: &str, src: &str, metrics: &MetricNames) -> Vec<Finding
     generation_entry_point(path, &lexed.toks, &ctx, &mut findings);
     literal_lock_rank(path, &lexed.toks, &ctx, &mut findings);
     unguarded_span(path, &lexed.toks, &ctx, &mut findings);
+    raw_fs_write(path, &lexed.toks, &ctx, &mut findings);
     apply_waivers(&lexed, &mut findings);
     findings
 }
@@ -552,6 +555,83 @@ fn unguarded_span(path: &str, toks: &[Tok], ctx: &Ctx, out: &mut Vec<Finding>) {
                      statement, not where the work ends; bind it (`let _span = …`) \
                      so Drop marks the real exit",
                     t.text
+                ),
+                waived: false,
+            });
+        }
+    }
+}
+
+/// Rule 8 — `her::raw_fs_write`: the durability crates write to disk
+/// only through the `her_store::Vfs` facade, so seeded I/O faults
+/// (`FaultVfs`) cover every byte on its way to stable storage. A direct
+/// `std::fs` write, `File::create`/`File::options` or
+/// `OpenOptions::new` in `her-store` or `her-serve` opens a side door
+/// the fault drills can never exercise — exactly the path that will
+/// fail for real one day, untested. Scope: non-test code in those two
+/// crates; `RealVfs` (the facade's sanctioned backend) and
+/// diagnostics-only sinks carry justified waivers.
+fn raw_fs_write(path: &str, toks: &[Tok], ctx: &Ctx, out: &mut Vec<Finding>) {
+    if !(path.starts_with("crates/her-store/") || path.starts_with("crates/her-serve/")) {
+        return;
+    }
+    const FS_WRITES: &[&str] = &[
+        "write",
+        "rename",
+        "remove_file",
+        "remove_dir_all",
+        "create_dir",
+        "create_dir_all",
+        "copy",
+        "hard_link",
+        "set_permissions",
+    ];
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_tests[i] || t.kind != TokKind::Ident {
+            continue;
+        }
+        let path2 = toks.get(i + 1).is_some_and(|a| a.text == ":")
+            && toks.get(i + 2).is_some_and(|a| a.text == ":");
+        // `fs::<op>(` — also matches the tail of `std::fs::<op>(`.
+        let hit = if t.text == "fs" && path2 {
+            match toks.get(i + 3) {
+                Some(n)
+                    if n.kind == TokKind::Ident
+                        && FS_WRITES.contains(&n.text.as_str())
+                        && toks.get(i + 4).is_some_and(|p| p.text == "(") =>
+                {
+                    Some(format!("std::fs::{}", n.text))
+                }
+                _ => None,
+            }
+        } else if (t.text == "File" || t.text == "OpenOptions") && path2 {
+            match toks.get(i + 3) {
+                Some(n)
+                    if n.kind == TokKind::Ident
+                        && ((t.text == "File"
+                            && matches!(
+                                n.text.as_str(),
+                                "create" | "create_new" | "options"
+                            ))
+                            || (t.text == "OpenOptions" && n.text == "new")) =>
+                {
+                    Some(format!("{}::{}", t.text, n.text))
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            out.push(Finding {
+                rule: RAW_FS_WRITE,
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "{what} bypasses the Vfs facade — route storage writes through \
+                     `her_store::Vfs` so fault injection covers them (RealVfs is \
+                     the sanctioned backend; waive diagnostics-only sinks with a \
+                     justification)"
                 ),
                 waived: false,
             });

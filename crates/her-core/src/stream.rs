@@ -19,9 +19,10 @@ use crate::vpair;
 use her_graph::VertexId;
 use her_rdb::TupleRef;
 use her_store::wal::{self, WalReplay, WalWriter};
-use her_store::{CodecError, Dec, Enc, StoreError};
+use her_store::{vfs, CodecError, Dec, Enc, StoreError, Vfs};
 use std::collections::BTreeSet;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Per-tuple processing statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -286,8 +287,14 @@ impl StreamOp {
 pub struct DurableStreamLinker<'a> {
     inner: StreamLinker<'a>,
     wal: WalWriter,
+    vfs: Arc<dyn Vfs>,
+    obs: Option<her_obs::Obs>,
     /// Journaled operations reflected in `inner` (replayed + appended).
     ops_applied: u64,
+    /// Set when an append/sync failed AND the in-place rollback could
+    /// not restore the synced prefix; [`DurableStreamLinker::reopen`]
+    /// must trim the journal before further appends are sound.
+    journal_broken: bool,
 }
 
 impl<'a> DurableStreamLinker<'a> {
@@ -299,7 +306,19 @@ impl<'a> DurableStreamLinker<'a> {
         path: impl AsRef<Path>,
         obs: Option<her_obs::Obs>,
     ) -> Result<(Self, WalReplay), StoreError> {
-        Self::open_impl(her, path.as_ref(), obs, None)
+        Self::open_impl(her, path.as_ref(), vfs::real(), obs, None)
+    }
+
+    /// [`DurableStreamLinker::open`] over an explicit [`Vfs`], so serve
+    /// drills and fault tests can inject storage failures into the
+    /// journal path.
+    pub fn open_vfs(
+        her: &'a Her,
+        path: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+        obs: Option<her_obs::Obs>,
+    ) -> Result<(Self, WalReplay), StoreError> {
+        Self::open_impl(her, path.as_ref(), vfs, obs, None)
     }
 
     /// [`DurableStreamLinker::open`] resuming from a prior
@@ -314,12 +333,24 @@ impl<'a> DurableStreamLinker<'a> {
         obs: Option<her_obs::Obs>,
         ck: &StreamCheckpoint,
     ) -> Result<(Self, WalReplay), StoreError> {
-        Self::open_impl(her, path.as_ref(), obs, Some(ck))
+        Self::open_impl(her, path.as_ref(), vfs::real(), obs, Some(ck))
+    }
+
+    /// [`DurableStreamLinker::open_at`] over an explicit [`Vfs`].
+    pub fn open_at_vfs(
+        her: &'a Her,
+        path: impl AsRef<Path>,
+        vfs: Arc<dyn Vfs>,
+        obs: Option<her_obs::Obs>,
+        ck: &StreamCheckpoint,
+    ) -> Result<(Self, WalReplay), StoreError> {
+        Self::open_impl(her, path.as_ref(), vfs, obs, Some(ck))
     }
 
     fn open_impl(
         her: &'a Her,
         path: &Path,
+        vfs: Arc<dyn Vfs>,
         obs: Option<her_obs::Obs>,
         ck: Option<&StreamCheckpoint>,
     ) -> Result<(Self, WalReplay), StoreError> {
@@ -335,7 +366,7 @@ impl<'a> DurableStreamLinker<'a> {
             None => 0,
         };
         let mut record = 0u64;
-        let (wal, replay) = WalWriter::open(path, obs, |payload| {
+        let (wal, replay) = WalWriter::open_with(path, Arc::clone(&vfs), obs.clone(), |payload| {
             record += 1;
             if record <= skip {
                 // Already reflected in the restored snapshot; the WAL
@@ -365,10 +396,65 @@ impl<'a> DurableStreamLinker<'a> {
             DurableStreamLinker {
                 inner,
                 wal,
+                vfs,
+                obs,
                 ops_applied,
+                journal_broken: false,
             },
             replay,
         ))
+    }
+
+    /// Appends one record and fsyncs it; only then does the caller apply
+    /// the operation and acknowledge it. On failure the unsynced bytes
+    /// are rolled back in place so they can never replay as a phantom;
+    /// if even the rollback fails, the journal is flagged broken and
+    /// [`DurableStreamLinker::reopen`] is required before new appends.
+    fn journal(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        if self.journal_broken {
+            return Err(StoreError::Io {
+                path: self.wal.path().into(),
+                source: std::io::Error::other(
+                    "journal needs reopen after an unrecovered append failure",
+                ),
+            });
+        }
+        match self.wal.append(payload).and_then(|()| self.wal.sync()) {
+            Ok(()) => {
+                self.ops_applied += 1;
+                Ok(())
+            }
+            Err(e) => {
+                if self.wal.rollback_to_synced().is_err() {
+                    self.journal_broken = true;
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Re-opens the journal after storage failures, trimming it to
+    /// exactly the acknowledged prefix (`ops_applied` records). The
+    /// in-memory session is untouched — nothing past the acknowledged
+    /// prefix was ever applied, so there is nothing to replay. Errors if
+    /// the file no longer holds every acknowledged record (real data
+    /// loss) or the storage is still failing.
+    pub fn reopen(&mut self) -> Result<(), StoreError> {
+        let path: PathBuf = self.wal.path().into();
+        let wal = WalWriter::open_trimmed(
+            &path,
+            Arc::clone(&self.vfs),
+            self.obs.clone(),
+            self.ops_applied,
+        )?;
+        self.wal = wal;
+        self.journal_broken = false;
+        Ok(())
+    }
+
+    /// The journal file path.
+    pub fn wal_path(&self) -> &Path {
+        self.wal.path()
     }
 
     /// Journals then links one arriving tuple.
@@ -376,17 +462,13 @@ impl<'a> DurableStreamLinker<'a> {
         &mut self,
         t: TupleRef,
     ) -> Result<(Vec<VertexId>, StreamStats), StoreError> {
-        self.wal.append(&StreamOp::Process(t).encode())?;
-        self.wal.sync()?;
-        self.ops_applied += 1;
+        self.journal(&StreamOp::Process(t).encode())?;
         Ok(self.inner.process(t))
     }
 
     /// Journals then applies a vertex retraction.
     pub fn retract_vertex(&mut self, v: VertexId) -> Result<(), StoreError> {
-        self.wal.append(&StreamOp::Retract(v).encode())?;
-        self.wal.sync()?;
-        self.ops_applied += 1;
+        self.journal(&StreamOp::Retract(v).encode())?;
         self.inner.retract_vertex(v);
         Ok(())
     }
@@ -693,6 +775,98 @@ mod tests {
             );
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Property (ISSUE 8 satellite): with a `FaultVfs` failing the WAL
+    /// fsync at every op index `k` in turn, the set of *acknowledged*
+    /// stream ops always equals the set recovered after restart — no
+    /// acknowledged-op loss, no phantom ops — and degraded-mode reads
+    /// (`matches()` after the failure) match the pre-fault session.
+    /// After `reopen()` (the server prober's heal path) the session
+    /// finishes the workload and a restart reproduces it exactly,
+    /// replaying nothing beyond what was acknowledged.
+    #[test]
+    fn journal_fault_at_every_op_index_loses_no_acked_op_and_fabricates_none() {
+        use her_store::{FaultVfs, IoFaultPlan};
+        let (her, ts, vs) = system();
+        let mut ops: Vec<StreamOp> = ts.iter().map(|&t| StreamOp::Process(t)).collect();
+        ops.push(StreamOp::Retract(vs[0]));
+        ops.push(StreamOp::Process(ts[0]));
+
+        for k in 0..ops.len() {
+            let path = temp_wal(&format!("fault-k{k}"));
+            // fsync #1 is the fresh log's header sync; op index i (0-based)
+            // consumes fsync #(i + 2). Fail exactly op k's sync.
+            let vfs: Arc<dyn Vfs> = Arc::new(FaultVfs::new(IoFaultPlan {
+                fail_fsync_from: k as u64 + 2,
+                fail_fsync_count: 1,
+                ..IoFaultPlan::default()
+            }));
+            let (mut durable, _) =
+                DurableStreamLinker::open_vfs(&her, &path, Arc::clone(&vfs), None).unwrap();
+            let mut reference = StreamLinker::new(&her);
+            let mut acked = 0usize;
+            let mut failed_at = None;
+            for (i, op) in ops.iter().enumerate() {
+                let r = match *op {
+                    StreamOp::Process(t) => durable.process(t).map(|_| ()),
+                    StreamOp::Retract(v) => durable.retract_vertex(v),
+                };
+                match r {
+                    Ok(()) => {
+                        match *op {
+                            StreamOp::Process(t) => {
+                                reference.process(t);
+                            }
+                            StreamOp::Retract(v) => reference.retract_vertex(v),
+                        }
+                        acked += 1;
+                    }
+                    Err(_) => {
+                        failed_at = Some(i);
+                        break;
+                    }
+                }
+            }
+            assert_eq!(failed_at, Some(k), "fault must fire exactly at op {k}");
+
+            // Degraded-mode reads: the live session still answers from
+            // memory and reflects exactly the acknowledged prefix.
+            assert_eq!(durable.matches(), reference.matches(), "k={k}: degraded reads");
+            assert_eq!(durable.ops_applied(), acked as u64, "k={k}");
+
+            // Restart (before any heal): recovery equals the acked set.
+            {
+                let (restarted, replay) =
+                    DurableStreamLinker::open_vfs(&her, &path, Arc::clone(&vfs), None).unwrap();
+                assert_eq!(replay.records, acked as u64, "k={k}: phantom or lost op");
+                assert_eq!(restarted.matches(), reference.matches(), "k={k}: restart");
+            }
+
+            // Self-heal: reopen trims to the acked prefix (a no-op when
+            // rollback already did), then the rest of the workload lands.
+            durable.reopen().unwrap();
+            for op in &ops[k..] {
+                match *op {
+                    StreamOp::Process(t) => {
+                        durable.process(t).unwrap();
+                        reference.process(t);
+                    }
+                    StreamOp::Retract(v) => {
+                        durable.retract_vertex(v).unwrap();
+                        reference.retract_vertex(v);
+                    }
+                }
+            }
+            assert_eq!(durable.matches(), reference.matches(), "k={k}: post-heal");
+            drop(durable);
+            let (resumed, replay) =
+                DurableStreamLinker::open_vfs(&her, &path, vfs, None).unwrap();
+            assert_eq!(replay.records, ops.len() as u64, "k={k}: final journal");
+            assert!(replay.truncated_at.is_none(), "k={k}");
+            assert_eq!(resumed.matches(), reference.matches(), "k={k}: final restart");
+            let _ = std::fs::remove_file(&path);
+        }
     }
 
     /// Satellite (ISSUE 5): durable sessions route scoring through the

@@ -58,6 +58,10 @@ pub mod anomaly {
     pub const DECODE: u8 = 1 << 2;
     /// Execution latency above the rolling p99 threshold for its op.
     pub const SLOW: u8 = 1 << 3;
+    /// The request hit a server in (or entering) degraded mode: a
+    /// mutation rejected read-only, or the storage failure that caused
+    /// the degradation.
+    pub const DEGRADED: u8 = 1 << 4;
 
     /// Human-readable `|`-joined trigger list, `-` when none.
     pub fn describe(bits: u8) -> String {
@@ -73,6 +77,9 @@ pub mod anomaly {
         }
         if bits & SLOW != 0 {
             parts.push("slow");
+        }
+        if bits & DEGRADED != 0 {
+            parts.push("degraded");
         }
         if parts.is_empty() {
             "-".to_owned()

@@ -74,6 +74,17 @@ pub const ALL: &[&str] = &[
     "serve.connections",
     "serve.deadline_misses",
     "serve.faults_injected",
+    // serve.health: the storage-driven health state machine
+    "serve.health.degraded",
+    "serve.health.heal_ms",
+    "serve.health.heals",
+    "serve.health.probe_failures",
+    "serve.health.probes",
+    "serve.health.read_p99_healthy_us",
+    "serve.health.reaped",
+    "serve.health.rejected",
+    "serve.health.state",
+    "serve.health.transitions",
     "serve.inflight",
     "serve.p99_us",
     "serve.qps",
@@ -92,6 +103,17 @@ pub const ALL: &[&str] = &[
     "store.checkpoint_failures",
     "store.checkpoint_secs_total",
     "store.corrupt_snapshots_skipped",
+    // store.iofault: injected-fault accounting from FaultVfs + the
+    // serve-side WAL retry counter
+    // #[allow(her::unregistered_metric)] — reaches the registry via FaultState::bump() forwarding
+    "store.iofault.delays",
+    // #[allow(her::unregistered_metric)] — reaches the registry via FaultState::bump() forwarding
+    "store.iofault.fsync_failures",
+    // #[allow(her::unregistered_metric)] — reaches the registry via FaultState::bump() forwarding
+    "store.iofault.read_failures",
+    "store.iofault.retries",
+    // #[allow(her::unregistered_metric)] — reaches the registry via FaultState::bump() forwarding
+    "store.iofault.write_failures",
     "store.snapshot.bytes",
     "store.snapshot.write_us",
     "store.snapshot_bytes",

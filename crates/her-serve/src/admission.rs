@@ -16,7 +16,7 @@
 
 use her_sync::rank;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, PoisonError};
 use std::thread::Thread;
 use std::time::Instant;
@@ -128,7 +128,7 @@ impl Admission {
             if s.inflight < self.max_inflight {
                 s.inflight += 1;
                 self.publish(&s);
-                return Admit::Permit(Permit { gate: self });
+                return Admit::Permit(self.permit());
             }
             if s.waiters.len() >= self.max_queue {
                 let depth = s.waiters.len();
@@ -149,7 +149,7 @@ impl Admission {
 
         loop {
             if state.load(Ordering::Acquire) == GRANTED {
-                return Admit::Permit(Permit { gate: self });
+                return Admit::Permit(self.permit());
             }
             let now = Instant::now();
             match deadline {
@@ -161,7 +161,7 @@ impl Admission {
                     let mut s = self.lock();
                     if state.load(Ordering::Acquire) == GRANTED {
                         drop(s);
-                        return Admit::Permit(Permit { gate: self });
+                        return Admit::Permit(self.permit());
                     }
                     state.store(ABANDONED, Ordering::Release);
                     s.waiters.retain(|w| w.id != id);
@@ -173,6 +173,34 @@ impl Admission {
                 Some(d) => std::thread::park_timeout(d - now),
                 None => std::thread::park(),
             }
+        }
+    }
+
+    fn permit(&self) -> Permit<'_> {
+        Permit {
+            gate: self,
+            released: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Force-releases the slot guarded by `flag` (a permit's
+    /// [`Permit::release_flag`]). Used by the watchdog reaper to free an
+    /// admission slot whose request is wedged past 2× its deadline: the
+    /// slot transfers to the queue head immediately, and the stuck
+    /// permit's own eventual drop becomes a no-op. Returns true when
+    /// this call performed the release (false: already released, either
+    /// by a prior reap or because the permit dropped normally first).
+    /// The window between a force-release and the wedged request
+    /// actually finishing is a deliberate, bounded oversubscription.
+    pub fn force_release(&self, flag: &AtomicBool) -> bool {
+        if flag
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.release();
+            true
+        } else {
+            false
         }
     }
 
@@ -197,14 +225,31 @@ impl Admission {
 }
 
 /// An admitted request's slot; dropping it releases the slot (to the
-/// queue head first, FIFO).
+/// queue head first, FIFO) — unless the watchdog already force-released
+/// it, in which case the drop is a no-op.
 pub struct Permit<'a> {
     gate: &'a Admission,
+    released: Arc<AtomicBool>,
+}
+
+impl Permit<'_> {
+    /// The release flag the watchdog CASes to force-release this slot
+    /// ([`Admission::force_release`]); exactly one of {normal drop,
+    /// force-release} wins.
+    pub fn release_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.released)
+    }
 }
 
 impl Drop for Permit<'_> {
     fn drop(&mut self) {
-        self.gate.release();
+        if self
+            .released
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            self.gate.release();
+        }
     }
 }
 

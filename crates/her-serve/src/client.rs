@@ -5,6 +5,10 @@
 //!
 //! * `Busy` is retryable for **every** request kind — shedding happens
 //!   before execution, so a shed mutation provably did not run.
+//! * `Unavailable` (the server is read-only degraded) is likewise
+//!   retryable for every kind: the rejection is issued before any
+//!   journaling, so nothing was applied. The server's `retry_after_ms`
+//!   hint is honored as a backoff floor — the service may self-heal.
 //! * Transport failures (connect refused, timeout, torn or corrupt
 //!   reply) are retryable only for idempotent requests. A stream
 //!   mutation whose reply was lost may or may not have been journaled;
@@ -138,9 +142,12 @@ impl Client {
     /// they are mapped to [`ClientError`] after retries are exhausted.
     pub fn request(&mut self, req: &Request) -> Result<Reply, ClientError> {
         let mut last: Option<ClientError> = None;
+        // Floor under the policy backoff, set from the server's
+        // `retry_after_ms` hint when it answers `Unavailable`.
+        let mut floor = Duration::ZERO;
         for attempt in 0..self.retry.attempts.max(1) {
             if attempt > 0 {
-                std::thread::sleep(self.retry.backoff(attempt, &mut self.jitter));
+                std::thread::sleep(self.retry.backoff(attempt, &mut self.jitter).max(floor));
             }
             match self.attempt(req) {
                 Ok(Reply::Busy { queue_depth, .. }) => {
@@ -148,6 +155,17 @@ impl Client {
                     last = Some(ClientError::Unavailable(format!(
                         "server busy (queue depth {queue_depth})"
                     )));
+                }
+                Ok(Reply::Unavailable {
+                    reason,
+                    retry_after_ms,
+                    ..
+                }) => {
+                    // Rejected before execution — nothing was journaled,
+                    // so even a mutation is safe to retry; the server
+                    // may heal within its own `retry_after_ms` hint.
+                    floor = Duration::from_millis(retry_after_ms);
+                    last = Some(ClientError::Unavailable(reason));
                 }
                 Ok(Reply::Error { code, message }) => {
                     return Err(ClientError::Remote { code, message });

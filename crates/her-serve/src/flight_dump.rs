@@ -66,6 +66,9 @@ impl DumpRecord {
 pub fn append_dump(path: &Path, dump: &DumpRecord) -> std::io::Result<()> {
     let mut buf = Vec::new();
     write_frame(&mut buf, &dump.encode());
+    // The dump file is a diagnostics sink outside the durability domain:
+    // a failed dump is counted and dropped, never retried or trusted.
+    // #[allow(her::raw_fs_write)] — diagnostics-only sink, not storage-fault-domain state
     let mut f = OpenOptions::new().create(true).append(true).open(path)?;
     f.write_all(&buf)?;
     f.flush()

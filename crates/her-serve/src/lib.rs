@@ -28,7 +28,16 @@
 //!   deadline-exhausted, decode errors, rolling-p99 outliers) are dumped
 //!   durably for post-mortems ([`flight_dump`]); the `Trace`/`Flight`/
 //!   `Expo` control-plane ops and `her-cli top`/`her-cli trace` read it
-//!   all back live.
+//!   all back live;
+//! * **a storage fault domain** — every WAL/snapshot byte flows through
+//!   an injectable VFS (`her_store::Vfs`), a WAL append failure degrades
+//!   the server to *read-only* (mutations get a taxonomized
+//!   `Unavailable` reply, reads keep serving from the in-memory
+//!   session) after bounded in-place retries, a background prober
+//!   re-probes the storage and self-heals back to `Healthy` with no
+//!   restart and no replay ([`health`]), and a watchdog reaper
+//!   force-expires requests stuck past 2× their deadline so a hung I/O
+//!   cannot pin an admission slot forever ([`watchdog`]).
 //!
 //! `her-cli serve` / `her-cli query` wrap [`Server`] and [`Client`];
 //! DESIGN.md §4h specifies the protocol and semantics, §4i the
@@ -41,12 +50,16 @@ pub mod admission;
 pub mod client;
 pub mod fault;
 pub mod flight_dump;
+pub mod health;
 pub mod proto;
 pub mod server;
+pub mod watchdog;
 
 pub use admission::{Admission, Admit, GateStats, Permit};
 pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{FaultPlan, ReplyFate};
 pub use flight_dump::DumpRecord;
+pub use health::{Health, State};
 pub use proto::{Reply, Request, WireError, PROTO_VERSION};
 pub use server::{ServeConfig, ServeError, Server};
+pub use watchdog::Watchdog;

@@ -25,8 +25,10 @@ use std::io::{Read, Write};
 
 /// Protocol version; bumped on any incompatible message change.
 /// v2 added request trace ids to matching replies and the
-/// `Trace`/`Flight`/`Expo` introspection ops.
-pub const PROTO_VERSION: u32 = 2;
+/// `Trace`/`Flight`/`Expo` introspection ops; v3 added the `Health`
+/// control op and the taxonomized `Health`/`Unavailable` replies for
+/// the storage-driven health state machine.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Error codes carried by [`Reply::Error`], aligned with the CLI exit-code
 /// taxonomy: `1` data, `2` usage, `3` budget-exhausted, `4` unavailable.
@@ -91,6 +93,10 @@ pub enum Request {
     /// The metrics snapshot in the stable text exposition format
     /// (control plane).
     Expo,
+    /// The server's health state (control plane: bypasses admission, so
+    /// it answers even when the data plane is saturated or degraded).
+    /// This is the *readiness* probe; `Ping` is the *liveness* probe.
+    Health,
 }
 
 impl Request {
@@ -117,6 +123,7 @@ const REQ_SHUTDOWN: u8 = 8;
 const REQ_TRACE: u8 = 9;
 const REQ_FLIGHT: u8 = 10;
 const REQ_EXPO: u8 = 11;
+const REQ_HEALTH: u8 = 12;
 
 fn put_tuple(e: &mut Enc, t: TupleRef) {
     e.put_u32(t.relation).put_u32(t.row);
@@ -178,6 +185,9 @@ impl Request {
             Request::Expo => {
                 e.put_u8(REQ_EXPO);
             }
+            Request::Health => {
+                e.put_u8(REQ_HEALTH);
+            }
         }
         e.into_bytes()
     }
@@ -217,6 +227,7 @@ impl Request {
             },
             REQ_FLIGHT => Request::Flight,
             REQ_EXPO => Request::Expo,
+            REQ_HEALTH => Request::Health,
             tag => {
                 return Err(CodecError {
                     offset: 4,
@@ -313,6 +324,31 @@ pub enum Reply {
         /// `Snapshot::to_text()` output (`# her-expo/v1` grammar).
         text: String,
     },
+    /// The server's health state (answer to [`Request::Health`]).
+    Health {
+        /// Health state tag: 0 Healthy, 1 Degraded, 2 Draining, 3 Down
+        /// (see `her_serve::health::State`).
+        state: u8,
+        /// Why the server is in this state (empty when `Healthy`).
+        reason: String,
+        /// Milliseconds spent in the current state.
+        since_ms: u64,
+    },
+    /// The request was rejected because the server cannot currently take
+    /// it — degraded to read-only after storage failures, or draining
+    /// for shutdown. Taxonomized (maps to CLI exit 4) and always issued
+    /// *before* execution: nothing was journaled, nothing was applied,
+    /// so the op was never acknowledged-then-lost.
+    Unavailable {
+        /// What is wrong (e.g. the storage failure that degraded the
+        /// server).
+        reason: String,
+        /// Client hint: when retrying might succeed (the prober's next
+        /// heal attempt). 0 = no estimate.
+        retry_after_ms: u64,
+        /// Server-assigned request id for post-mortems.
+        trace_id: u64,
+    },
 }
 
 const REP_VPAIR: u8 = 1;
@@ -327,6 +363,8 @@ const REP_ERROR: u8 = 9;
 const REP_TRACE: u8 = 10;
 const REP_FLIGHT: u8 = 11;
 const REP_EXPO: u8 = 12;
+const REP_HEALTH: u8 = 13;
+const REP_UNAVAILABLE: u8 = 14;
 
 pub(crate) fn reason_tag(r: Option<ExhaustReason>) -> u8 {
     match r {
@@ -553,6 +591,23 @@ impl Reply {
             Reply::Expo { text } => {
                 e.put_u8(REP_EXPO).put_str(text);
             }
+            Reply::Health {
+                state,
+                reason,
+                since_ms,
+            } => {
+                e.put_u8(REP_HEALTH).put_u8(*state).put_str(reason).put_u64(*since_ms);
+            }
+            Reply::Unavailable {
+                reason,
+                retry_after_ms,
+                trace_id,
+            } => {
+                e.put_u8(REP_UNAVAILABLE)
+                    .put_str(reason)
+                    .put_u64(*retry_after_ms)
+                    .put_u64(*trace_id);
+            }
         }
         e.into_bytes()
     }
@@ -610,6 +665,16 @@ impl Reply {
             },
             REP_EXPO => Reply::Expo {
                 text: d.str()?.to_owned(),
+            },
+            REP_HEALTH => Reply::Health {
+                state: d.u8()?,
+                reason: d.str()?.to_owned(),
+                since_ms: d.u64()?,
+            },
+            REP_UNAVAILABLE => Reply::Unavailable {
+                reason: d.str()?.to_owned(),
+                retry_after_ms: d.u64()?,
+                trace_id: d.u64()?,
             },
             tag => {
                 return Err(CodecError {
@@ -732,6 +797,7 @@ mod tests {
             Request::Trace { trace_id: 42 },
             Request::Flight,
             Request::Expo,
+            Request::Health,
         ]
     }
 
@@ -814,6 +880,16 @@ mod tests {
             Reply::Expo {
                 text: "# her-expo/v1\ncounter serve.requests 3\n".to_owned(),
             },
+            Reply::Health {
+                state: 1,
+                reason: "wal append failed: injected fsync failure".to_owned(),
+                since_ms: 1200,
+            },
+            Reply::Unavailable {
+                reason: "read-only: wal append failed".to_owned(),
+                retry_after_ms: 200,
+                trace_id: 21,
+            },
         ]
     }
 
@@ -877,6 +953,7 @@ mod tests {
             (Trace { trace_id: 1 }, true),
             (Flight, true),
             (Expo, true),
+            (Health, true),
             (StreamProcess { tuple: t }, false),
             (StreamRetract { vertex: VertexId(0) }, false),
             (Shutdown, false),

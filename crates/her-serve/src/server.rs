@@ -15,11 +15,19 @@
 //! suffix after it, then prewarms the facade's shared score memo — so a
 //! restarted server answers from where it died instead of re-embedding
 //! the world.
+//!
+//! Storage fault domain: every WAL/snapshot byte flows through the
+//! configured [`Vfs`]. A WAL append that fails past its bounded retries
+//! degrades the server to read-only ([`Health`]); the background prober
+//! re-probes the storage and self-heals; the watchdog reaper
+//! force-expires requests stuck past 2× their deadline. DESIGN.md §4j.
 
 use crate::admission::{Admission, Admit};
 use crate::fault::{ConnFaults, FaultPlan, ReplyFate};
 use crate::flight_dump::{self, DumpRecord};
+use crate::health::{Health, State as HealthState};
 use crate::proto::{code, read_message, reason_tag, Reply, Request, WireError};
+use crate::watchdog::Watchdog;
 use her_core::paramatch::MatchStats;
 use her_core::stream::{DurableStreamLinker, StreamCheckpoint};
 use her_core::{Budget, ExhaustReason, Her, MatcherOptions};
@@ -27,13 +35,13 @@ use her_graph::LabelId;
 use her_obs::flight::{anomaly, op};
 use her_obs::{info, FlightRecord, FlightRecorder, ReqCtx};
 use her_store::frame::FRAME_HEADER_LEN;
-use her_store::{SnapshotStore, StoreError};
+use her_store::{vfs, SnapshotStore, StoreError, Vfs};
 use her_sync::rank;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::PoisonError;
+use std::sync::{Arc, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Snapshot section name for the stream session's checkpoint.
@@ -45,7 +53,7 @@ const TRACE_SEED: u64 = 0x4845_525f_5452_4143;
 
 /// Server configuration. `Default` binds an ephemeral localhost port
 /// with moderate concurrency and no durability or faults.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
@@ -76,6 +84,43 @@ pub struct ServeConfig {
     /// Where anomalous flight records (plus their trace events) are
     /// dumped durably; `None` keeps post-mortems in memory only.
     pub flight_path: Option<PathBuf>,
+    /// The filesystem every WAL and snapshot byte flows through; `None`
+    /// is the real filesystem. Drills inject a [`her_store::FaultVfs`]
+    /// here to exercise the degraded/heal lifecycle.
+    pub vfs: Option<Arc<dyn Vfs>>,
+    /// In-place WAL append retries (jittered backoff) before the server
+    /// degrades to read-only.
+    pub wal_retries: u32,
+    /// Base backoff between WAL retries; doubles per attempt, plus a
+    /// deterministic jitter.
+    pub wal_retry_backoff_ms: u64,
+    /// Storage prober cadence while degraded — also the
+    /// `retry_after_ms` hint stamped into `Unavailable` replies.
+    pub probe_interval_ms: u64,
+}
+
+impl std::fmt::Debug for ServeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Manual because `Arc<dyn Vfs>` has no Debug: show whether a
+        // fault filesystem is injected, not what it is.
+        f.debug_struct("ServeConfig")
+            .field("addr", &self.addr)
+            .field("max_inflight", &self.max_inflight)
+            .field("max_queue", &self.max_queue)
+            .field("default_deadline_ms", &self.default_deadline_ms)
+            .field("wal", &self.wal)
+            .field("snapshot_dir", &self.snapshot_dir)
+            .field("snapshot_every_ops", &self.snapshot_every_ops)
+            .field("fault", &self.fault)
+            .field("idle_poll_ms", &self.idle_poll_ms)
+            .field("trace_sample_1_in", &self.trace_sample_1_in)
+            .field("flight_path", &self.flight_path)
+            .field("vfs", &self.vfs.as_ref().map(|_| "<injected>"))
+            .field("wal_retries", &self.wal_retries)
+            .field("wal_retry_backoff_ms", &self.wal_retry_backoff_ms)
+            .field("probe_interval_ms", &self.probe_interval_ms)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ServeConfig {
@@ -93,6 +138,10 @@ impl Default for ServeConfig {
             idle_poll_ms: 200,
             trace_sample_1_in: 1,
             flight_path: None,
+            vfs: None,
+            wal_retries: 3,
+            wal_retry_backoff_ms: 5,
+            probe_interval_ms: 200,
         }
     }
 }
@@ -185,6 +234,9 @@ impl Server {
     /// `serve.restart_replay_us`.
     pub fn run(&self, her: &Her) -> Result<(), ServeError> {
         let obs = self.cfg.obs.clone();
+        let vfs: Arc<dyn Vfs> = self.cfg.vfs.clone().unwrap_or_else(vfs::real);
+        let health = Health::new(obs.clone());
+        let watchdog = Watchdog::new(obs.clone());
         let restart = Instant::now();
 
         // Checkpoint-backed warm restart: newest valid snapshot first,
@@ -192,10 +244,13 @@ impl Server {
         let session = match &self.cfg.wal {
             Some(wal) => {
                 let snaps = match &self.cfg.snapshot_dir {
-                    Some(dir) => Some(match &obs {
-                        Some(o) => SnapshotStore::open(dir)?.with_obs(o.clone()),
-                        None => SnapshotStore::open(dir)?,
-                    }),
+                    Some(dir) => {
+                        let store = SnapshotStore::open_with(dir, Arc::clone(&vfs))?;
+                        Some(match &obs {
+                            Some(o) => store.with_obs(o.clone()),
+                            None => store,
+                        })
+                    }
                     None => None,
                 };
                 let restored: Option<StreamCheckpoint> = match &snaps {
@@ -215,8 +270,19 @@ impl Server {
                     None => None,
                 };
                 let (linker, replay) = match &restored {
-                    Some(ck) => DurableStreamLinker::open_at(her, wal, obs.clone(), ck)?,
-                    None => DurableStreamLinker::open(her, wal, obs.clone())?,
+                    Some(ck) => DurableStreamLinker::open_at_vfs(
+                        her,
+                        wal,
+                        Arc::clone(&vfs),
+                        obs.clone(),
+                        ck,
+                    )?,
+                    None => DurableStreamLinker::open_vfs(
+                        her,
+                        wal,
+                        Arc::clone(&vfs),
+                        obs.clone(),
+                    )?,
                 };
                 if let Some(ck) = &restored {
                     info!(
@@ -265,6 +331,78 @@ impl Server {
         let req_ids = AtomicU64::new(1);
 
         std::thread::scope(|scope| {
+            // Watchdog reaper: force-expires requests stuck past 2×
+            // their deadline so a hung I/O cannot pin an admission slot
+            // forever (the permit transfers to the queue head; the
+            // wedged handler's own drop becomes a no-op).
+            scope.spawn(|| {
+                while !shutdown.load(Ordering::Acquire) {
+                    watchdog.reap(&admission);
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            });
+            // Storage prober: while degraded, probe-append to a fresh
+            // segment; once a probe syncs, reopen the journal (trimming
+            // to the acknowledged prefix) and heal — no restart, no
+            // replay. A failed probe file is left behind, quarantined
+            // evidence of the failure window.
+            if let (Some(session), Some(wal)) = (&session, &self.cfg.wal) {
+                let probe_ms = self.cfg.probe_interval_ms.max(1);
+                let shutdown = &shutdown;
+                let vfs = &vfs;
+                let health = &health;
+                let obs = &obs;
+                scope.spawn(move || {
+                    let mut seq: u64 = 0;
+                    loop {
+                        std::thread::sleep(Duration::from_millis(probe_ms));
+                        if shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        if health.state() != HealthState::Degraded {
+                            continue;
+                        }
+                        if let Some(o) = obs {
+                            o.registry.counter("serve.health.probes").inc();
+                        }
+                        seq += 1;
+                        let probe = probe_path(wal, seq);
+                        if let Err(e) = probe_append(vfs.as_ref(), &probe) {
+                            if let Some(o) = obs {
+                                o.registry.counter("serve.health.probe_failures").inc();
+                            }
+                            her_obs::warn!(
+                                "serve: storage probe failed (still degraded): {e}"
+                            );
+                            continue;
+                        }
+                        let _ = vfs.remove_file(&probe);
+                        let mut s =
+                            session.lock().unwrap_or_else(PoisonError::into_inner);
+                        match s.linker.reopen() {
+                            Ok(()) => {
+                                drop(s);
+                                if health.heal() {
+                                    info!(
+                                        "serve: storage healed; journal reopened, \
+                                         accepting writes again"
+                                    );
+                                }
+                            }
+                            Err(e) => {
+                                if let Some(o) = obs {
+                                    o.registry
+                                        .counter("serve.health.probe_failures")
+                                        .inc();
+                                }
+                                her_obs::warn!(
+                                    "serve: probe ok but journal reopen failed: {e}"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
             for stream in self.listener.incoming() {
                 if shutdown.load(Ordering::Acquire) {
                     break;
@@ -284,6 +422,8 @@ impl Server {
                     obs: obs.as_ref(),
                     flight: &flight,
                     req_ids: &req_ids,
+                    health: &health,
+                    watchdog: &watchdog,
                 };
                 scope.spawn(move || handler.handle(stream, conn_id));
             }
@@ -299,8 +439,39 @@ impl Server {
                 }
             }
         }
+        health.down();
         Ok(())
     }
+}
+
+/// `<wal>.probe-<seq>`: a fresh segment the prober appends to, so the
+/// probe never touches the (possibly wedged) journal file itself.
+fn probe_path(wal: &Path, seq: u64) -> PathBuf {
+    let mut os = wal.as_os_str().to_owned();
+    os.push(format!(".probe-{seq}"));
+    PathBuf::from(os)
+}
+
+/// One storage probe: create, append a marker, sync. Any failure means
+/// the storage is still refusing durable writes.
+fn probe_append(vfs: &dyn Vfs, path: &Path) -> std::io::Result<()> {
+    let mut f = vfs.create(path)?;
+    f.write_all(b"HERPROBE")?;
+    f.sync_data()?;
+    Ok(())
+}
+
+/// Jittered exponential backoff for in-place WAL retries: `base ×
+/// 2^(attempt-1)` plus a deterministic jitter derived from the trace id
+/// — drills replay to the same schedule.
+fn retry_backoff(base_ms: u64, attempt: u32, trace_id: u64) -> Duration {
+    let base = base_ms.max(1);
+    let exp = base.saturating_mul(1 << (attempt.saturating_sub(1)).min(6));
+    let jitter = trace_id
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(u64::from(attempt))
+        % base;
+    Duration::from_millis(exp + jitter)
 }
 
 /// Everything one connection thread needs, borrowed from the run scope.
@@ -314,6 +485,8 @@ struct Handler<'s, 'h> {
     obs: Option<&'s her_obs::Obs>,
     flight: &'s FlightRecorder,
     req_ids: &'s AtomicU64,
+    health: &'s Health,
+    watchdog: &'s Watchdog,
 }
 
 /// Whether the connection survives the reply that was just sent.
@@ -325,7 +498,7 @@ enum ConnAction {
 impl Handler<'_, '_> {
     fn counter(&self, name: &'static str) {
         if let Some(o) = self.obs {
-            // #[allow(her::unregistered_metric)] — callers pass `serve.*` literals, all in names::ALL
+            // #[allow(her::unregistered_metric)] — callers pass `serve.*`/`store.iofault.*` literals, all in names::ALL
             o.registry.counter(name).inc();
         }
     }
@@ -501,8 +674,12 @@ impl Handler<'_, '_> {
         // shutdown must never be shed.
         match &req {
             Request::Ping => return (Reply::Pong, false),
+            Request::Health => return (self.health_reply(), false),
             Request::Metrics => return (self.metrics_reply(), false),
-            Request::Shutdown => return (Reply::ShuttingDown, true),
+            Request::Shutdown => {
+                self.health.drain();
+                return (Reply::ShuttingDown, true);
+            }
             Request::Trace { trace_id } => {
                 let events = self
                     .obs
@@ -539,6 +716,37 @@ impl Handler<'_, '_> {
         let ctx = self.mint();
         let op_tag = op_of(&req);
         let req_span = self.obs.map(|o| o.tracer.span_ctx("serve.req", ctx));
+
+        // Read-only degradation: a mutation against a broken journal is
+        // rejected *before* any work — nothing is ever acknowledged
+        // that was not journaled first, so a rejection can never lose
+        // an op. Reads keep flowing from the in-memory session.
+        if matches!(
+            req,
+            Request::StreamProcess { .. } | Request::StreamRetract { .. }
+        ) {
+            let state = self.health.state();
+            if !state.writable() {
+                self.counter("serve.health.rejected");
+                drop(req_span);
+                let mut rec = FlightRecord::for_ctx(ctx, op_tag);
+                rec.faults_seen = faults_seen;
+                rec.anomaly = anomaly::DEGRADED;
+                self.file_record(rec);
+                return (
+                    Reply::Unavailable {
+                        reason: format!(
+                            "read-only ({}): {}",
+                            state.name(),
+                            self.health.reason()
+                        ),
+                        retry_after_ms: self.cfg.probe_interval_ms,
+                        trace_id: ctx.trace_id,
+                    },
+                    false,
+                );
+            }
+        }
 
         let deadline_ms = match req {
             Request::Vpair { deadline_ms, .. } | Request::Apair { deadline_ms, .. } => {
@@ -589,6 +797,16 @@ impl Handler<'_, '_> {
             }
         };
 
+        // Past 2× the remaining deadline the watchdog forfeits this
+        // request's slot; the registration drop below is the normal
+        // completion path.
+        let watch = deadline.map(|d| {
+            let now = Instant::now();
+            let reap_at = now + d.saturating_duration_since(now) * 2;
+            self.watchdog
+                .register(ctx.trace_id, reap_at, permit.release_flag())
+        });
+
         let shared_before = self
             .her
             .shared_scores
@@ -600,6 +818,7 @@ impl Handler<'_, '_> {
             self.execute(req, deadline, ctx)
         };
         let exec_us = exec_started.elapsed().as_micros() as u64;
+        drop(watch);
         drop(permit);
         if let Some(o) = self.obs {
             o.registry.histogram("serve.req.exec_us").observe(exec_us);
@@ -625,11 +844,66 @@ impl Handler<'_, '_> {
         if exhausted == Some(ExhaustReason::Deadline) {
             rec.anomaly |= anomaly::DEADLINE;
         }
+        if matches!(reply, Reply::Unavailable { .. }) {
+            rec.anomaly |= anomaly::DEGRADED;
+        }
         if self.flight.note_exec(op_tag, exec_us) {
             rec.anomaly |= anomaly::SLOW;
         }
         self.file_record(rec);
         (reply, false)
+    }
+
+    fn health_reply(&self) -> Reply {
+        let (state, reason, since_ms) = self.health.snapshot();
+        Reply::Health {
+            state,
+            reason,
+            since_ms,
+        }
+    }
+
+    /// Runs one journaling op with the bounded in-place retry policy;
+    /// exhausting the budget degrades the server to read-only and maps
+    /// the failure to the taxonomized `Unavailable` reply. The linker
+    /// rolled the WAL back to its synced prefix on every failed
+    /// attempt, so a retry (or the eventual rejection) can neither lose
+    /// an acknowledged op nor fabricate an unacknowledged one.
+    fn journal_with_retry<T>(
+        &self,
+        s: &mut StreamSession<'_>,
+        ctx: ReqCtx,
+        mut op: impl FnMut(&mut StreamSession<'_>) -> Result<T, StoreError>,
+    ) -> Result<T, Reply> {
+        let mut attempt: u32 = 0;
+        loop {
+            match op(s) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    if attempt >= self.cfg.wal_retries {
+                        let reason = format!("wal append failed: {e}");
+                        if self.health.degrade(reason.as_str()) {
+                            her_obs::warn!(
+                                "serve: read-only after {attempt} retries: {reason}"
+                            );
+                        }
+                        self.counter("serve.health.rejected");
+                        return Err(Reply::Unavailable {
+                            reason: format!("read-only: {reason}"),
+                            retry_after_ms: self.cfg.probe_interval_ms,
+                            trace_id: ctx.trace_id,
+                        });
+                    }
+                    attempt += 1;
+                    self.counter("store.iofault.retries");
+                    std::thread::sleep(retry_backoff(
+                        self.cfg.wal_retry_backoff_ms,
+                        attempt,
+                        ctx.trace_id,
+                    ));
+                }
+            }
+        }
     }
 
     fn metrics_reply(&self) -> Reply {
@@ -708,7 +982,7 @@ impl Handler<'_, '_> {
                     if !self.her.cg.has_tuple(tuple) {
                         return unknown_tuple_reply(tuple);
                     }
-                    match s.linker.process(tuple) {
+                    match self.journal_with_retry(s, ctx, |s| s.linker.process(tuple)) {
                         Ok((found, _)) => {
                             s.maybe_snapshot();
                             Reply::StreamApplied {
@@ -717,22 +991,25 @@ impl Handler<'_, '_> {
                                 trace_id: ctx.trace_id,
                             }
                         }
-                        Err(e) => store_error_reply(e),
+                        Err(reply) => reply,
                     }
                 });
                 (reply, plain, None)
             }
             Request::StreamRetract { vertex } => {
-                let reply = self.stream_op(|s| match s.linker.retract_vertex(vertex) {
-                    Ok(()) => {
-                        s.maybe_snapshot();
-                        Reply::StreamApplied {
-                            found: Vec::new(),
-                            ops_applied: s.linker.ops_applied(),
-                            trace_id: ctx.trace_id,
+                let reply = self.stream_op(|s| {
+                    match self.journal_with_retry(s, ctx, |s| s.linker.retract_vertex(vertex))
+                    {
+                        Ok(()) => {
+                            s.maybe_snapshot();
+                            Reply::StreamApplied {
+                                found: Vec::new(),
+                                ops_applied: s.linker.ops_applied(),
+                                trace_id: ctx.trace_id,
+                            }
                         }
+                        Err(reply) => reply,
                     }
-                    Err(e) => store_error_reply(e),
                 });
                 (reply, plain, None)
             }
@@ -750,6 +1027,7 @@ impl Handler<'_, '_> {
             // The control plane is handled before admission in `answer`.
             Request::Metrics => (self.metrics_reply(), plain, None),
             Request::Ping => (Reply::Pong, plain, None),
+            Request::Health => (self.health_reply(), plain, None),
             Request::Shutdown => (Reply::ShuttingDown, plain, None),
             Request::Trace { trace_id } => (
                 Reply::Trace {
@@ -872,9 +1150,3 @@ fn unknown_tuple_reply(t: her_rdb::TupleRef) -> Reply {
     }
 }
 
-fn store_error_reply(e: StoreError) -> Reply {
-    Reply::Error {
-        code: code::DATA,
-        message: e.to_string(),
-    }
-}

@@ -1,0 +1,198 @@
+//! The request watchdog: a reaper that force-expires requests stuck
+//! past **2× their deadline**, so a hung I/O (or any wedged handler)
+//! cannot pin an admission slot forever.
+//!
+//! Every admitted request with a deadline registers `(trace_id,
+//! reap_at, permit release flag)` in the inflight table; the handler's
+//! [`Registration`] guard deregisters on the normal path. A background
+//! reaper thread scans the table every ~50ms and, for entries past
+//! `reap_at`, force-releases the stuck request's admission permit
+//! through [`crate::Admission::force_release`] — the permit transfers to
+//! the queue head immediately, and the stuck handler's own eventual
+//! `Permit` drop becomes a no-op (the release flag is swapped exactly
+//! once). The cost is a brief, bounded oversubscription window while the
+//! wedged request finishes dying; the alternative is a saturated gate
+//! that sheds everything until restart.
+//!
+//! The table's lock ranks *above* (before) the admission gate
+//! (`serve.watchdog` = 3 < `serve.admission` = 4) because the reaper
+//! releases permits while holding the table.
+
+use crate::admission::Admission;
+use her_sync::rank;
+use std::sync::atomic::AtomicBool;
+use std::sync::{Arc, PoisonError};
+use std::time::Instant;
+
+struct Entry {
+    id: u64,
+    trace_id: u64,
+    reap_at: Instant,
+    flag: Arc<AtomicBool>,
+}
+
+/// The inflight table. One per server, shared by every handler thread
+/// and the reaper.
+pub struct Watchdog {
+    table: her_sync::Mutex<Table>,
+    obs: Option<her_obs::Obs>,
+}
+
+#[derive(Default)]
+struct Table {
+    next_id: u64,
+    entries: Vec<Entry>,
+}
+
+impl Watchdog {
+    /// An empty table.
+    pub fn new(obs: Option<her_obs::Obs>) -> Self {
+        Watchdog {
+            table: her_sync::Mutex::new(rank::SERVE_WATCHDOG, Table::default()),
+            obs,
+        }
+    }
+
+    fn lock(&self) -> her_sync::MutexGuard<'_, Table> {
+        self.table.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers an admitted request. `reap_at` should be `now + 2 ×
+    /// remaining deadline`; `flag` is the permit's release flag
+    /// ([`crate::admission::Permit::release_flag`]). Dropping the
+    /// returned guard deregisters (the normal completion path).
+    pub fn register(
+        &self,
+        trace_id: u64,
+        reap_at: Instant,
+        flag: Arc<AtomicBool>,
+    ) -> Registration<'_> {
+        let mut t = self.lock();
+        let id = t.next_id;
+        t.next_id += 1;
+        t.entries.push(Entry {
+            id,
+            trace_id,
+            reap_at,
+            flag,
+        });
+        Registration { dog: self, id }
+    }
+
+    /// One reaper scan: force-releases every registration past its
+    /// `reap_at` and removes it from the table (the handler's guard drop
+    /// then finds nothing to remove — that is fine). Returns how many
+    /// permits this scan reaped.
+    pub fn reap(&self, gate: &Admission) -> usize {
+        let now = Instant::now();
+        let mut reaped = 0;
+        let mut t = self.lock();
+        t.entries.retain(|e| {
+            if now < e.reap_at {
+                return true;
+            }
+            if gate.force_release(&e.flag) {
+                reaped += 1;
+                her_obs::warn!(
+                    "serve: watchdog reaped stuck request (trace_id={}): \
+                     2x deadline exceeded, admission slot force-released",
+                    e.trace_id
+                );
+            }
+            false
+        });
+        drop(t);
+        if reaped > 0 {
+            if let Some(o) = &self.obs {
+                o.registry.counter("serve.health.reaped").add(reaped as u64);
+            }
+        }
+        reaped
+    }
+
+    /// Registrations currently tracked (test/introspection aid).
+    pub fn tracked(&self) -> usize {
+        self.lock().entries.len()
+    }
+}
+
+/// Deregisters its request from the table on drop.
+pub struct Registration<'a> {
+    dog: &'a Watchdog,
+    id: u64,
+}
+
+impl Drop for Registration<'_> {
+    fn drop(&mut self) {
+        let mut t = self.dog.lock();
+        t.entries.retain(|e| e.id != self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admission::Admit;
+    use std::time::Duration;
+
+    fn must_admit(gate: &Admission) -> crate::admission::Permit<'_> {
+        match gate.acquire(None) {
+            Admit::Permit(p) => p,
+            Admit::Busy { .. } => panic!("unexpected shed"),
+        }
+    }
+
+    #[test]
+    fn normal_completion_deregisters_without_reaping() {
+        let gate = Admission::new(1, 0, None);
+        let dog = Watchdog::new(None);
+        let permit = must_admit(&gate);
+        let reg = dog.register(
+            7,
+            Instant::now() + Duration::from_secs(60),
+            permit.release_flag(),
+        );
+        assert_eq!(dog.tracked(), 1);
+        assert_eq!(dog.reap(&gate), 0, "healthy request must not be reaped");
+        drop(reg);
+        drop(permit);
+        assert_eq!(dog.tracked(), 0);
+        assert_eq!(gate.stats().inflight, 0);
+    }
+
+    #[test]
+    fn overdue_request_is_reaped_and_slot_freed() {
+        let obs = her_obs::Obs::new();
+        let gate = Admission::new(1, 0, Some(obs.clone()));
+        let dog = Watchdog::new(Some(obs.clone()));
+        let permit = must_admit(&gate);
+        // A second request sheds while the slot is pinned.
+        assert!(matches!(gate.acquire(None), Admit::Busy { .. }));
+        let _reg = dog.register(9, Instant::now(), permit.release_flag());
+        assert_eq!(dog.reap(&gate), 1);
+        assert_eq!(dog.tracked(), 0);
+        // The slot is usable again even though the stuck permit lives on.
+        let p2 = must_admit(&gate);
+        drop(p2);
+        // The zombie's own drop is a no-op: inflight does not go negative
+        // and no double release corrupts the gate.
+        drop(permit);
+        assert_eq!(gate.stats().inflight, 0);
+        assert_eq!(
+            obs.registry.snapshot().counter("serve.health.reaped"),
+            1
+        );
+    }
+
+    #[test]
+    fn reap_is_idempotent_per_registration() {
+        let gate = Admission::new(2, 0, None);
+        let dog = Watchdog::new(None);
+        let permit = must_admit(&gate);
+        let _reg = dog.register(1, Instant::now(), permit.release_flag());
+        assert_eq!(dog.reap(&gate), 1);
+        assert_eq!(dog.reap(&gate), 0, "second scan must find nothing");
+        drop(permit);
+        assert_eq!(gate.stats().inflight, 0);
+    }
+}

@@ -135,12 +135,23 @@ impl<'a> Dec<'a> {
     }
 
     pub fn u32(&mut self) -> Result<u32, CodecError> {
-        let b: [u8; 4] = self.take(4)?.try_into().unwrap_or_default();
+        let at = self.pos;
+        // An explicit error, not `unwrap_or_default()`: if `take` ever
+        // returned a short slice, decoding it as zero would silently
+        // fabricate a value from corrupt input.
+        let b: [u8; 4] = self.take(4)?.try_into().map_err(|_| CodecError {
+            offset: at,
+            message: "internal: take(4) returned a short slice".into(),
+        })?;
         Ok(u32::from_le_bytes(b))
     }
 
     pub fn u64(&mut self) -> Result<u64, CodecError> {
-        let b: [u8; 8] = self.take(8)?.try_into().unwrap_or_default();
+        let at = self.pos;
+        let b: [u8; 8] = self.take(8)?.try_into().map_err(|_| CodecError {
+            offset: at,
+            message: "internal: take(8) returned a short slice".into(),
+        })?;
         Ok(u64::from_le_bytes(b))
     }
 
@@ -240,5 +251,29 @@ mod tests {
         let bytes = e.into_bytes();
         let mut d = Dec::new(&bytes);
         assert!(d.str().is_err());
+    }
+
+    /// Regression: a short buffer must error from `u32`/`u64`, never
+    /// silently decode as zero (the old `unwrap_or_default()` would have
+    /// fabricated `0` had the bounds check ever regressed).
+    #[test]
+    fn short_integer_reads_error_instead_of_decoding_zero() {
+        for len in 0..4 {
+            let buf = vec![0xAB; len];
+            let mut d = Dec::new(&buf);
+            let err = d.u32().expect_err("short u32 accepted");
+            assert_eq!(err.offset, 0, "len={len}");
+        }
+        for len in 0..8 {
+            let buf = vec![0xAB; len];
+            let mut d = Dec::new(&buf);
+            assert!(d.u64().is_err(), "len={len}: short u64 accepted");
+        }
+        // Position is not advanced past a failed read: the error is
+        // diagnosable at the offset where the field started.
+        let buf = [1u8, 2, 3];
+        let mut d = Dec::new(&buf);
+        assert!(d.u32().is_err());
+        assert_eq!(d.remaining(), 3);
     }
 }

@@ -41,10 +41,12 @@ pub mod codec;
 pub mod crc32;
 pub mod frame;
 pub mod snapshot;
+pub mod vfs;
 pub mod wal;
 
 pub use codec::{CodecError, Dec, Enc};
 pub use snapshot::{Snapshot, SnapshotStore};
+pub use vfs::{FaultHandle, FaultVfs, IoFaultCounts, IoFaultPlan, RealVfs, Vfs, VfsFile};
 pub use wal::{WalReplay, WalWriter};
 
 use std::path::PathBuf;

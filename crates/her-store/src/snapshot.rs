@@ -23,10 +23,10 @@
 
 use crate::codec::{Dec, Enc};
 use crate::frame::{write_frame, FrameEvent, Frames};
+use crate::vfs::{self, Vfs};
 use crate::{Result, StoreError};
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"HERSNAP1";
 const VERSION: u32 = 1;
@@ -62,15 +62,27 @@ impl Snapshot {
 /// A directory of snapshot generations plus a manifest.
 pub struct SnapshotStore {
     dir: PathBuf,
+    vfs: Arc<dyn Vfs>,
     obs: Option<her_obs::Obs>,
 }
 
 impl SnapshotStore {
     /// Opens (creating if needed) the snapshot directory.
     pub fn open(dir: impl Into<PathBuf>) -> Result<Self> {
+        Self::open_with(dir, vfs::real())
+    }
+
+    /// [`SnapshotStore::open`] over an explicit [`Vfs`] — every write in
+    /// the atomic protocol (temp file, fsync, rename, manifest) goes
+    /// through it, so fault plans can break any single step.
+    pub fn open_with(dir: impl Into<PathBuf>, vfs: Arc<dyn Vfs>) -> Result<Self> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
-        Ok(SnapshotStore { dir, obs: None })
+        vfs.create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        Ok(SnapshotStore {
+            dir,
+            vfs,
+            obs: None,
+        })
     }
 
     /// Attaches an observability handle: snapshot writes/loads/bytes and
@@ -92,11 +104,11 @@ impl SnapshotStore {
     /// Generations present on disk, ascending (ignores unparsable names).
     fn generations(&self) -> Result<Vec<u64>> {
         let mut out = Vec::new();
-        let entries = fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| StoreError::io(&self.dir, e))?;
-            let name = entry.file_name();
-            let name = name.to_string_lossy();
+        let names = self
+            .vfs
+            .read_dir_names(&self.dir)
+            .map_err(|e| StoreError::io(&self.dir, e))?;
+        for name in names {
             if let Some(gen) = name
                 .strip_prefix("snap-")
                 .and_then(|s| s.strip_suffix(".hsnap"))
@@ -132,12 +144,17 @@ impl SnapshotStore {
         let final_path = self.snapshot_path(generation);
         let tmp_path = self.dir.join(format!(".tmp-snap-{generation:010}"));
         {
-            let mut f = fs::File::create(&tmp_path).map_err(|e| StoreError::io(&tmp_path, e))?;
+            let mut f = self
+                .vfs
+                .create(&tmp_path)
+                .map_err(|e| StoreError::io(&tmp_path, e))?;
             f.write_all(&buf).map_err(|e| StoreError::io(&tmp_path, e))?;
             f.sync_all().map_err(|e| StoreError::io(&tmp_path, e))?;
         }
-        fs::rename(&tmp_path, &final_path).map_err(|e| StoreError::io(&final_path, e))?;
-        sync_dir(&self.dir);
+        self.vfs
+            .rename(&tmp_path, &final_path)
+            .map_err(|e| StoreError::io(&final_path, e))?;
+        self.vfs.sync_dir(&self.dir);
         self.write_manifest(&final_path)?;
         self.prune(generation);
 
@@ -162,14 +179,16 @@ impl SnapshotStore {
         let body = format!("{MANIFEST_HEADER}\n{name}\n");
         let tmp = self.dir.join(".tmp-manifest");
         {
-            let mut f = fs::File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+            let mut f = self.vfs.create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
             f.write_all(body.as_bytes())
                 .map_err(|e| StoreError::io(&tmp, e))?;
             f.sync_all().map_err(|e| StoreError::io(&tmp, e))?;
         }
         let manifest = self.dir.join(MANIFEST);
-        fs::rename(&tmp, &manifest).map_err(|e| StoreError::io(&manifest, e))?;
-        sync_dir(&self.dir);
+        self.vfs
+            .rename(&tmp, &manifest)
+            .map_err(|e| StoreError::io(&manifest, e))?;
+        self.vfs.sync_dir(&self.dir);
         Ok(())
     }
 
@@ -178,7 +197,7 @@ impl SnapshotStore {
         if let Ok(gens) = self.generations() {
             for gen in gens {
                 if gen + KEEP_GENERATIONS as u64 <= newest {
-                    let _ = fs::remove_file(self.snapshot_path(gen));
+                    let _ = self.vfs.remove_file(&self.snapshot_path(gen));
                 }
             }
         }
@@ -187,7 +206,7 @@ impl SnapshotStore {
     /// The snapshot the manifest points at, if the manifest is readable
     /// and well-formed.
     fn manifest_target(&self) -> Option<PathBuf> {
-        let text = fs::read_to_string(self.dir.join(MANIFEST)).ok()?;
+        let text = self.vfs.read_to_string(&self.dir.join(MANIFEST)).ok()?;
         let mut lines = text.lines();
         if lines.next()? != MANIFEST_HEADER {
             return None;
@@ -244,7 +263,7 @@ impl SnapshotStore {
 
     /// Loads and fully validates one snapshot file.
     pub fn load_file(&self, path: &Path) -> Result<Snapshot> {
-        let buf = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+        let buf = self.vfs.read(path).map_err(|e| StoreError::io(path, e))?;
         let mut frames = Frames::new(&buf);
         let header = match frames.next_frame() {
             FrameEvent::Frame(p) => p,
@@ -317,18 +336,10 @@ impl SnapshotStore {
     }
 }
 
-/// Best-effort directory fsync so a completed rename survives power loss.
-/// Not all platforms/filesystems support syncing a directory handle;
-/// failures degrade durability, not correctness, so they are ignored.
-fn sync_dir(dir: &Path) {
-    if let Ok(d) = fs::File::open(dir) {
-        let _ = d.sync_all();
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tempdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("her-store-snap-{tag}-{}", std::process::id()));

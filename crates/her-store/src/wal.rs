@@ -6,6 +6,13 @@
 //! operation is applied in memory, so a killed process can replay the log
 //! to exactly the state it had.
 //!
+//! All file I/O goes through a [`Vfs`] handle ([`RealVfs`](crate::vfs::RealVfs)
+//! by default), so tests can inject fsync failures, ENOSPC, and torn
+//! writes; the writer additionally tracks its last *synced* length so a
+//! failed append/sync pair can be rolled back
+//! ([`WalWriter::rollback_to_synced`]) — an operation that was never
+//! acknowledged leaves no bytes behind to be replayed as a phantom.
+//!
 //! ## Replay semantics
 //!
 //! - A file whose final frame stops early (a **torn tail** — the signature
@@ -20,10 +27,10 @@
 //!   silently "recovered" into an empty log.
 
 use crate::frame::{write_frame, FrameEvent, Frames, FRAME_HEADER_LEN};
+use crate::vfs::{self, Vfs, VfsFile};
 use crate::{Result, StoreError};
-use std::fs;
-use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8] = b"HERWAL01";
 /// Length of the on-disk header: one frame holding the 8-byte magic.
@@ -43,8 +50,17 @@ pub struct WalReplay {
 /// order. Returns what was found; `Ok` with `records == 0` for an empty
 /// (header-only) log. Does not modify the file — use [`WalWriter::open`]
 /// to recover-and-append.
-pub fn replay(path: &Path, mut apply: impl FnMut(&[u8]) -> Result<()>) -> Result<WalReplay> {
-    let buf = fs::read(path).map_err(|e| StoreError::io(path, e))?;
+pub fn replay(path: &Path, apply: impl FnMut(&[u8]) -> Result<()>) -> Result<WalReplay> {
+    replay_with(path, &*vfs::real(), apply)
+}
+
+/// [`replay`] over an explicit [`Vfs`].
+pub fn replay_with(
+    path: &Path,
+    vfs: &dyn Vfs,
+    mut apply: impl FnMut(&[u8]) -> Result<()>,
+) -> Result<WalReplay> {
+    let buf = vfs.read(path).map_err(|e| StoreError::io(path, e))?;
     let (replay, _clean) = scan(path, &buf, Some(&mut apply))?;
     Ok(replay)
 }
@@ -103,10 +119,54 @@ fn scan(path: &Path, buf: &[u8], mut apply: Option<Apply<'_>>) -> Result<(WalRep
     }
 }
 
+/// The byte offset just past record number `keep` (1-based count) in
+/// `buf`, i.e. the length of a log holding exactly the header plus the
+/// first `keep` records. Errors if fewer than `keep` complete records
+/// exist — a caller asking to keep acknowledged records that are not on
+/// disk has found real data loss, not a crash artifact.
+fn offset_after_records(path: &Path, buf: &[u8], keep: u64) -> Result<u64> {
+    let mut frames = Frames::new(buf);
+    match frames.next_frame() {
+        FrameEvent::Frame(m) if m == MAGIC => {}
+        _ if keep == 0 => return Ok(0),
+        _ => {
+            return Err(StoreError::corrupt(
+                path,
+                0,
+                format!("WAL header missing but {keep} acknowledged records expected"),
+            ))
+        }
+    }
+    let mut seen = 0u64;
+    loop {
+        let at = frames.offset();
+        if seen == keep {
+            return Ok(at);
+        }
+        match frames.next_frame() {
+            FrameEvent::Frame(_) => seen += 1,
+            FrameEvent::Eof | FrameEvent::TornTail { .. } => {
+                return Err(StoreError::corrupt(
+                    path,
+                    at,
+                    format!("WAL holds {seen} records but {keep} were acknowledged"),
+                ))
+            }
+            FrameEvent::Corrupt { offset, message } => {
+                return Err(StoreError::corrupt(path, offset, message))
+            }
+        }
+    }
+}
+
 /// An open WAL positioned for appending.
 pub struct WalWriter {
     path: PathBuf,
-    file: fs::File,
+    file: Box<dyn VfsFile>,
+    /// Bytes appended and accepted by the OS (clean prefix + appends).
+    written_len: u64,
+    /// Bytes known to be on stable storage (advanced by [`WalWriter::sync`]).
+    synced_len: u64,
     obs: Option<her_obs::Obs>,
 }
 
@@ -117,10 +177,20 @@ impl WalWriter {
     pub fn open(
         path: impl Into<PathBuf>,
         obs: Option<her_obs::Obs>,
+        apply: impl FnMut(&[u8]) -> Result<()>,
+    ) -> Result<(WalWriter, WalReplay)> {
+        Self::open_with(path, vfs::real(), obs, apply)
+    }
+
+    /// [`WalWriter::open`] over an explicit [`Vfs`].
+    pub fn open_with(
+        path: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+        obs: Option<her_obs::Obs>,
         mut apply: impl FnMut(&[u8]) -> Result<()>,
     ) -> Result<(WalWriter, WalReplay)> {
         let path = path.into();
-        let existing = match fs::read(&path) {
+        let existing = match vfs.read(&path) {
             Ok(buf) => Some(buf),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
             Err(e) => return Err(StoreError::io(&path, e)),
@@ -151,11 +221,8 @@ impl WalWriter {
             }
         }
 
-        let file = fs::OpenOptions::new()
-            .create(true)
-            .read(true)
-            .append(true)
-            .open(&path)
+        let mut file = vfs
+            .open_append(&path)
             .map_err(|e| StoreError::io(&path, e))?;
         if need_header {
             file.set_len(0).map_err(|e| StoreError::io(&path, e))?;
@@ -164,6 +231,8 @@ impl WalWriter {
             let mut w = WalWriter {
                 path,
                 file,
+                written_len: 0,
+                synced_len: 0,
                 obs: obs.clone(),
             };
             w.raw_append(&header)?;
@@ -172,11 +241,14 @@ impl WalWriter {
         } else {
             // Physically drop the torn tail so the append position is the
             // end of the clean prefix.
-            file.set_len(clean_len).map_err(|e| StoreError::io(&path, e))?;
+            file.set_len(clean_len)
+                .map_err(|e| StoreError::io(&path, e))?;
             Ok((
                 WalWriter {
                     path,
                     file,
+                    written_len: clean_len,
+                    synced_len: clean_len,
                     obs: obs.clone(),
                 },
                 replay,
@@ -184,10 +256,59 @@ impl WalWriter {
         }
     }
 
+    /// Re-opens the WAL at `path` keeping exactly the header plus the
+    /// first `keep_records` records and truncating everything after them
+    /// — including complete frames. This is the self-heal path: after a
+    /// failed append/sync the file may hold durable bytes for operations
+    /// that were **never acknowledged**; trimming to the acknowledged
+    /// count guarantees a later replay yields no phantom ops. Records are
+    /// CRC-verified but not re-applied (the in-memory session already
+    /// reflects them). Errors if fewer than `keep_records` complete
+    /// records survive — that would be acknowledged-data loss.
+    pub fn open_trimmed(
+        path: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+        obs: Option<her_obs::Obs>,
+        keep_records: u64,
+    ) -> Result<WalWriter> {
+        let path = path.into();
+        if keep_records == 0 {
+            // Nothing acknowledged: a fresh (or rewritten) header-only log
+            // is always correct.
+            let (w, _) = Self::open_with(&path, vfs, obs, |_| Ok(()))?;
+            return w.trim_to(HEADER_LEN);
+        }
+        let buf = vfs.read(&path).map_err(|e| StoreError::io(&path, e))?;
+        let keep_len = offset_after_records(&path, &buf, keep_records)?;
+        let mut file = vfs
+            .open_append(&path)
+            .map_err(|e| StoreError::io(&path, e))?;
+        file.set_len(keep_len)
+            .map_err(|e| StoreError::io(&path, e))?;
+        Ok(WalWriter {
+            path,
+            file,
+            written_len: keep_len,
+            synced_len: keep_len,
+            obs,
+        })
+    }
+
+    fn trim_to(mut self, len: u64) -> Result<WalWriter> {
+        self.file
+            .set_len(len)
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.written_len = len;
+        self.synced_len = len;
+        Ok(self)
+    }
+
     fn raw_append(&mut self, bytes: &[u8]) -> Result<()> {
         self.file
             .write_all(bytes)
-            .map_err(|e| StoreError::io(&self.path, e))
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.written_len += bytes.len() as u64;
+        Ok(())
     }
 
     /// Appends one record frame. The bytes reach the OS (flushed), but
@@ -212,7 +333,28 @@ impl WalWriter {
     pub fn sync(&mut self) -> Result<()> {
         self.file
             .sync_data()
-            .map_err(|e| StoreError::io(&self.path, e))
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.synced_len = self.written_len;
+        Ok(())
+    }
+
+    /// Truncates the file back to the last synced length, discarding any
+    /// bytes from appends that were never confirmed durable. Call after
+    /// a failed [`append`](WalWriter::append)/[`sync`](WalWriter::sync)
+    /// so an unacknowledged record cannot later replay as a phantom. A
+    /// torn write may have landed a partial frame; a failed fsync may
+    /// have landed a complete one — both are removed.
+    pub fn rollback_to_synced(&mut self) -> Result<()> {
+        self.file
+            .set_len(self.synced_len)
+            .map_err(|e| StoreError::io(&self.path, e))?;
+        self.written_len = self.synced_len;
+        Ok(())
+    }
+
+    /// Bytes known durable (advanced by successful [`sync`](WalWriter::sync)).
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
     }
 
     /// The file this writer appends to.
@@ -224,6 +366,8 @@ impl WalWriter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultVfs, IoFaultPlan};
+    use std::fs;
 
     fn temppath(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("her-store-wal-{}", std::process::id()));
@@ -368,6 +512,99 @@ mod tests {
         let (_w, replay) = WalWriter::open(&path, Some(obs.clone()), |_| Ok(())).unwrap();
         assert_eq!(replay.records, 2);
         assert_eq!(obs.snapshot().counter("store.wal_records_replayed"), 2);
+        let _ = fs::remove_file(&path);
+    }
+
+    /// A failed fsync may leave a complete-but-unacknowledged frame in
+    /// the file; rollback removes it so replay sees only synced records.
+    #[test]
+    fn rollback_after_failed_sync_leaves_no_phantom_record() {
+        let path = temppath("rollback");
+        let vfs = FaultVfs::new(IoFaultPlan {
+            // fsync #1 is the header sync, #2 lands "acked", #3 fails.
+            fail_fsync_from: 3,
+            fail_fsync_count: 1,
+            ..IoFaultPlan::default()
+        });
+        {
+            let (mut w, _) =
+                WalWriter::open_with(&path, Arc::new(vfs.clone()), None, |_| Ok(())).unwrap();
+            w.append(b"acked").unwrap();
+            w.sync().unwrap();
+            w.append(b"never acked").unwrap();
+            assert!(w.sync().is_err(), "injected fsync failure");
+            w.rollback_to_synced().unwrap();
+            w.append(b"after heal").unwrap();
+            w.sync().unwrap();
+        }
+        let (seen, replay) = collect(&path);
+        assert_eq!(seen, vec![b"acked".to_vec(), b"after heal".to_vec()]);
+        assert!(replay.truncated_at.is_none());
+        assert_eq!(vfs.handle().counts().fsync_failures, 1);
+        let _ = fs::remove_file(&path);
+    }
+
+    /// A torn append rolls back to the synced prefix even though a
+    /// partial frame physically landed.
+    #[test]
+    fn rollback_after_torn_append_restores_clean_prefix() {
+        let path = temppath("rollback-torn");
+        let vfs = FaultVfs::new(IoFaultPlan {
+            // write #1 = header, #2 = first record, #3 torn.
+            torn_write_at: 3,
+            ..IoFaultPlan::default()
+        });
+        {
+            let (mut w, _) =
+                WalWriter::open_with(&path, Arc::new(vfs), None, |_| Ok(())).unwrap();
+            w.append(b"kept").unwrap();
+            w.sync().unwrap();
+            assert!(w.append(b"torn away entirely").is_err());
+            w.rollback_to_synced().unwrap();
+        }
+        let (seen, replay) = collect(&path);
+        assert_eq!(seen, vec![b"kept".to_vec()]);
+        assert!(replay.truncated_at.is_none());
+        let _ = fs::remove_file(&path);
+    }
+
+    /// `open_trimmed` keeps exactly the acknowledged prefix, dropping a
+    /// complete unacknowledged frame a failed-sync session left behind.
+    #[test]
+    fn open_trimmed_drops_unacknowledged_complete_frames() {
+        let path = temppath("trimmed");
+        {
+            let (mut w, _) = WalWriter::open(&path, None, |_| Ok(())).unwrap();
+            w.append(b"one").unwrap();
+            w.append(b"two").unwrap();
+            w.append(b"phantom").unwrap();
+            w.sync().unwrap();
+        }
+        let mut w = WalWriter::open_trimmed(&path, vfs::real(), None, 2).unwrap();
+        w.append(b"three").unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let (seen, _) = collect(&path);
+        assert_eq!(seen, vec![b"one".to_vec(), b"two".to_vec(), b"three".to_vec()]);
+        let _ = fs::remove_file(&path);
+    }
+
+    /// Asking to keep more records than the file holds is acknowledged
+    /// data loss — an error, never silent acceptance.
+    #[test]
+    fn open_trimmed_rejects_missing_acknowledged_records() {
+        let path = temppath("trimmed-short");
+        {
+            let (mut w, _) = WalWriter::open(&path, None, |_| Ok(())).unwrap();
+            w.append(b"only").unwrap();
+            w.sync().unwrap();
+        }
+        let err = match WalWriter::open_trimmed(&path, vfs::real(), None, 5) {
+            Err(e) => e,
+            Ok(_) => panic!("missing acknowledged records accepted"),
+        };
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err}");
+        assert!(err.to_string().contains("acknowledged"), "{err}");
         let _ = fs::remove_file(&path);
     }
 }

@@ -63,6 +63,11 @@ impl Rank {
 pub mod rank {
     use super::Rank;
 
+    /// `her-serve` watchdog in-flight table: registration at request
+    /// start/end plus the reaper's scan. Ranked above (acquired before)
+    /// the admission gate because the reaper force-releases a stuck
+    /// request's permit — an admission acquisition — while scanning.
+    pub const SERVE_WATCHDOG: Rank = Rank::new(3, "serve.watchdog");
     /// `her-serve` admission gate: in-flight/queue bookkeeping. Outermost
     /// serve-side lock — held only for bookkeeping, never across a match.
     pub const SERVE_ADMISSION: Rank = Rank::new(4, "serve.admission");
@@ -70,6 +75,10 @@ pub mod rank {
     /// snapshots. Held across matching, which takes `SCORES_SHARD` and
     /// the obs locks, so it must rank below all of those.
     pub const SERVE_STREAM: Rank = Rank::new(6, "serve.stream");
+    /// `her-serve` health state machine: the degradation-reason cell.
+    /// Taken while the stream session lock is held (a failed journal
+    /// append degrades in place), so it ranks below `SERVE_STREAM`.
+    pub const SERVE_HEALTH: Rank = Rank::new(7, "serve.health");
     /// `her-parallel` partition table (`SharedPartition`): owner lookups
     /// and recovery-time reassignment.
     pub const PARTITION: Rank = Rank::new(10, "parallel.partition");
@@ -510,8 +519,10 @@ mod tests {
     #[test]
     fn rank_table_is_strictly_ordered() {
         let table = [
+            rank::SERVE_WATCHDOG,
             rank::SERVE_ADMISSION,
             rank::SERVE_STREAM,
+            rank::SERVE_HEALTH,
             rank::PARTITION,
             rank::FAULT_KILLS,
             rank::FAULT_POISON,

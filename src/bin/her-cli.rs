@@ -43,6 +43,15 @@
 //!   --fault-seed N --fault-drop N --fault-delay N --fault-delay-ms MS
 //!   --fault-truncate N --fault-garble N --fault-kill N
 //!                        seeded reply-path fault plan (1-in-N; 0 = off)
+//!   --iofault-seed N --iofault-fsync-from N --iofault-fsync-count N
+//!   --iofault-enospc-after BYTES --iofault-torn-at N
+//!   --iofault-read-eio N --iofault-delay-write-ms MS
+//!                        seeded storage fault plan routed under the WAL
+//!                        and snapshot store (chaos drills; 0 = off)
+//!   --wal-retries N      in-place WAL append retries before the server
+//!                        degrades to read-only (default 3)
+//!   --probe-interval-ms MS    degraded-state storage probe cadence
+//!                        (default 200)
 //!   --trace-sample N     buffer spans for 1-in-N requests (default 1 = all,
 //!                        0 = off; ids are minted either way)
 //!   --flight-path FILE   dump anomalous flight records durably to FILE
@@ -51,7 +60,11 @@
 //!   --addr HOST:PORT | --port-file FILE    where the server listens
 //!   --op OP              vpair|apair|stream-process|stream-retract|
 //!                        stream-matches|metrics|ping|shutdown|
-//!                        trace|flight|expo
+//!                        trace|flight|expo|health
+//!                        (health is the readiness probe: exit 0 only
+//!                        while the server accepts writes; a degraded
+//!                        read-only server prints its state and reason
+//!                        and exits 4)
 //!   --tuple N / --vertex N    operands for vpair / stream ops
 //!   --id N               trace id for --op trace
 //!   --format table|json  metrics rendering (default json; keys are
@@ -610,6 +623,37 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
                     info!("serving with fault plan {fault:?}");
                 }
                 scfg.fault = fault;
+                // Storage faults sit under the WAL/snapshot paths (the
+                // reply-path plan above never touches disk). Only build
+                // the FaultVfs when a knob is actually set, so the
+                // default serve path stays on RealVfs.
+                let iofault = her::store::IoFaultPlan {
+                    seed: fault_knob("iofault-seed", 1)?,
+                    fail_fsync_from: fault_knob("iofault-fsync-from", 0)?,
+                    fail_fsync_count: fault_knob("iofault-fsync-count", u64::MAX)?,
+                    enospc_after_bytes: fault_knob("iofault-enospc-after", 0)?,
+                    torn_write_at: fault_knob("iofault-torn-at", 0)?,
+                    eio_read_1_in: fault_knob("iofault-read-eio", 0)?,
+                    delay_write_ms: fault_knob("iofault-delay-write-ms", 0)?,
+                };
+                let iofault_armed = iofault.fail_fsync_from != 0
+                    || iofault.enospc_after_bytes != 0
+                    || iofault.torn_write_at != 0
+                    || iofault.eio_read_1_in != 0
+                    || iofault.delay_write_ms != 0;
+                if iofault_armed {
+                    info!("serving with storage fault plan {iofault:?}");
+                    scfg.vfs = Some(std::sync::Arc::new(her::store::FaultVfs::with_obs(
+                        iofault,
+                        obs.clone(),
+                    )));
+                }
+                if let Some(n) = opts.get("wal-retries") {
+                    scfg.wal_retries = numeric(n, "wal-retries")?;
+                }
+                if let Some(ms) = opts.get("probe-interval-ms") {
+                    scfg.probe_interval_ms = numeric(ms, "probe-interval-ms")?;
+                }
                 if let Some(n) = opts.get("trace-sample") {
                     scfg.trace_sample_1_in = numeric(n, "trace-sample")?;
                 }
@@ -788,10 +832,11 @@ fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
         },
         "flight" => Request::Flight,
         "expo" => Request::Expo,
+        "health" => Request::Health,
         other => {
             return Err(HerError::Usage(format!(
                 "--op {other:?} (expected vpair|apair|stream-process|stream-retract|\
-                 stream-matches|metrics|ping|shutdown|trace|flight|expo)"
+                 stream-matches|metrics|ping|shutdown|trace|flight|expo|health)"
             )))
         }
     };
@@ -866,8 +911,39 @@ fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
                 print!("{text}");
             }
         }
-        // The client maps these into ClientError before returning.
-        Reply::Busy { .. } | Reply::Error { .. } => unreachable!(),
+        Reply::Health {
+            state,
+            reason,
+            since_ms,
+        } => {
+            // Readiness semantics: exit 0 only while writes are
+            // accepted, so scripts can poll `query --op health` until
+            // the server heals. The state line goes to stdout either
+            // way — a degraded server still *answered*.
+            let s = her::serve::State::from_u8(state);
+            if reason.is_empty() {
+                println!("{} (for {}ms)", s.name(), since_ms);
+            } else {
+                println!("{} (for {}ms): {}", s.name(), since_ms, reason);
+            }
+            if !s.writable() {
+                return Err(HerError::Unavailable(format!(
+                    "server is {}{}",
+                    s.name(),
+                    if reason.is_empty() {
+                        String::new()
+                    } else {
+                        format!(": {reason}")
+                    }
+                )));
+            }
+        }
+        // The client maps these into ClientError before returning
+        // (Unavailable is retried with the server's retry_after floor,
+        // then surfaces as exit 4).
+        Reply::Busy { .. } | Reply::Error { .. } | Reply::Unavailable { .. } => {
+            unreachable!()
+        }
     }
     Ok(())
 }
@@ -899,8 +975,9 @@ fn top(opts: &HashMap<String, String>) -> Result<(), HerError> {
     };
 
     println!(
-        "{:>9} {:>9} {:>9} {:>7} {:>9} {:>6} {:>9} {:>10}",
-        "qps", "p50(us)", "p99(us)", "shed%", "inflight", "queue", "requests", "anomalies"
+        "{:>9} {:>9} {:>9} {:>7} {:>9} {:>6} {:>9} {:>10} {:>8}",
+        "qps", "p50(us)", "p99(us)", "shed%", "inflight", "queue", "requests", "anomalies",
+        "health"
     );
     let mut prev = expo(&mut client)?;
     let mut printed = 0u64;
@@ -917,7 +994,7 @@ fn top(opts: &HashMap<String, String>) -> Result<(), HerError> {
         };
         let (p50, p99) = cur.hist_quantiles("serve.req.exec_us");
         println!(
-            "{:>9.1} {:>9} {:>9} {:>7.1} {:>9} {:>6} {:>9} {:>10}",
+            "{:>9.1} {:>9} {:>9} {:>7.1} {:>9} {:>6} {:>9} {:>10} {:>8}",
             d_req as f64 / secs,
             p50,
             p99,
@@ -926,6 +1003,7 @@ fn top(opts: &HashMap<String, String>) -> Result<(), HerError> {
             cur.gauge("serve.queue_depth") as u64,
             cur.counter("serve.requests"),
             cur.counter("flight.anomalies"),
+            her::serve::State::from_u8(cur.gauge("serve.health.state") as u8).name(),
         );
         prev = cur;
         printed += 1;
