@@ -42,7 +42,7 @@ use her_obs::flight::op;
 use her_obs::json::{Arr, Obj};
 use her_obs::{FlightRecord, Obs};
 use her_parallel::{pallmatch, pallmatch_durable, DurabilityConfig, FaultPlan, ParallelConfig};
-use her_serve::{Client, Reply, Request, RetryPolicy, ServeConfig, Server};
+use her_serve::{Client, Reply, Request, RetryPolicy, ServeConfig, Server, DEFAULT_SESSION};
 use std::time::Instant;
 
 /// One timed workload and the metrics snapshot its run produced.
@@ -462,6 +462,7 @@ pub fn serve_suite(smoke: bool) -> Report {
         });
     }
     workloads.extend(tracing_workloads(&her, &tuples, smoke));
+    workloads.extend(pool_workloads(&her, &tuples, smoke));
     workloads.push(restart_workload(&her, &tuples));
     workloads.push(degraded_workload(&her, &tuples, smoke));
     Report {
@@ -600,6 +601,145 @@ fn tracing_workloads(
         .collect()
 }
 
+/// The matcher-pool ablation pair: identical vpair-only saturation
+/// traffic against a server with the warm-matcher pool at its default
+/// size and one with `matcher_pool: 0` — the build-a-matcher-per-request
+/// behavior the pool replaces. As with the tracing pair, both servers
+/// stay up for the whole measurement, a discarded warmup round warms
+/// caches (and the pool), and the measured rounds interleave with each
+/// variant reporting its best round as `serve.qps`; client-observed
+/// p99 across all measured rounds lands in `serve.p99_us`. The pooled
+/// server additionally distills its `scores.pool.{hits,misses}`
+/// counters into the `serve.pool.hit_rate` gauge — CI gates pooled qps
+/// above unpooled, pooled p99 no worse, and hit rate ≥ 0.9.
+fn pool_workloads(
+    her: &her_core::Her,
+    tuples: &[her_rdb::TupleRef],
+    smoke: bool,
+) -> Vec<Workload> {
+    let threads = 8usize;
+    let per_thread = if smoke { 64 } else { 128 };
+    let rounds = 5usize;
+    let variants = [("pooled", 4usize), ("unpooled", 0usize)];
+    let obs: Vec<Obs> = variants.iter().map(|_| Obs::new()).collect();
+    let servers: Vec<Server> = variants
+        .iter()
+        .zip(&obs)
+        .map(|(&(_, pool), o)| {
+            Server::bind(ServeConfig {
+                max_inflight: 2,
+                max_queue: 4096,
+                matcher_pool: pool,
+                obs: Some(o.clone()),
+                ..Default::default()
+            })
+            .expect("bind bench server")
+        })
+        .collect();
+    let addrs: Vec<String> = servers.iter().map(|s| s.local_addr().to_string()).collect();
+    let t_all = Instant::now();
+    let (answered, best_qps, p99s) = std::thread::scope(|scope| {
+        let runs: Vec<_> = servers
+            .iter()
+            .map(|s| scope.spawn(move || s.run(her).expect("bench server run")))
+            .collect();
+        let hammer = |v: usize| -> (usize, f64, Vec<u64>) {
+            let addr: &String = &addrs[v];
+            let t0 = Instant::now();
+            let workers: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut client = Client::new(addr).with_retry(RetryPolicy {
+                            attempts: 1,
+                            base_ms: 1,
+                            cap_ms: 1,
+                            seed: 1,
+                        });
+                        client.timeout = std::time::Duration::from_secs(10);
+                        let mut latencies = Vec::with_capacity(per_thread);
+                        for i in 0..per_thread {
+                            let t0 = Instant::now();
+                            if client
+                                .request(&Request::Vpair {
+                                    tuple: tuples[i % tuples.len()],
+                                    max_calls: 0,
+                                    deadline_ms: 0,
+                                })
+                                .is_ok()
+                            {
+                                latencies.push(t0.elapsed().as_micros() as u64);
+                            }
+                        }
+                        latencies
+                    })
+                })
+                .collect();
+            let latencies: Vec<u64> = workers
+                .into_iter()
+                .flat_map(|w| w.join().expect("traffic thread panicked"))
+                .collect();
+            let answered = latencies.len();
+            (
+                answered,
+                answered as f64 / t0.elapsed().as_secs_f64().max(1e-9),
+                latencies,
+            )
+        };
+        // Warmup: caches (and the pool's free list) fill unscored.
+        for v in 0..variants.len() {
+            hammer(v);
+        }
+        let mut answered = vec![0usize; variants.len()];
+        let mut best = vec![0.0f64; variants.len()];
+        let mut latencies = vec![Vec::new(); variants.len()];
+        for _ in 0..rounds {
+            for v in 0..variants.len() {
+                let (n, qps, lat) = hammer(v);
+                answered[v] += n;
+                best[v] = best[v].max(qps);
+                latencies[v].extend(lat);
+            }
+        }
+        for addr in &addrs {
+            let mut client = Client::new(addr);
+            match client.request(&Request::Shutdown).expect("shutdown") {
+                Reply::ShuttingDown => {}
+                other => panic!("unexpected shutdown reply: {other:?}"),
+            }
+        }
+        for run in runs {
+            run.join().expect("bench server thread panicked");
+        }
+        let p99s: Vec<u64> = latencies.into_iter().map(p99_of).collect();
+        (answered, best, p99s)
+    });
+    let wall_secs = t_all.elapsed().as_secs_f64();
+    variants
+        .iter()
+        .enumerate()
+        .map(|(v, &(variant, _))| {
+            obs[v].registry.gauge("serve.qps").set(best_qps[v]);
+            obs[v].registry.gauge("serve.p99_us").set(p99s[v] as f64);
+            if variant == "pooled" {
+                let snap = obs[v].registry.snapshot();
+                let hits = snap.counter("scores.pool.hits") as f64;
+                let misses = snap.counter("scores.pool.misses") as f64;
+                obs[v]
+                    .registry
+                    .gauge("serve.pool.hit_rate")
+                    .set(hits / (hits + misses).max(1.0));
+            }
+            Workload {
+                name: format!("serve/pool/{variant}"),
+                size: threads * per_thread * rounds,
+                wall_secs,
+                matches: answered[v],
+                snapshot: obs[v].registry.snapshot(),
+            }
+        })
+        .collect()
+}
+
 /// The restart workload: journal half the tuple set as stream mutations
 /// with no snapshots, shut down, and restart the server cold over the
 /// WAL — the restarted server's `serve.restart_replay_us` counter (in
@@ -628,7 +768,7 @@ fn restart_workload(her: &her_core::Her, tuples: &[her_rdb::TupleRef]) -> Worklo
             let mut client = Client::new(&addr);
             for &t in &tuples[..half] {
                 client
-                    .request(&Request::StreamProcess { tuple: t })
+                    .request(&Request::StreamProcess { tuple: t, session: DEFAULT_SESSION })
                     .expect("stream process");
             }
             match client.request(&Request::Shutdown).expect("shutdown") {
@@ -655,7 +795,7 @@ fn restart_workload(her: &her_core::Her, tuples: &[her_rdb::TupleRef]) -> Worklo
         let mut ops = 0u64;
         for &t in &tuples[half..] {
             match client
-                .request(&Request::StreamProcess { tuple: t })
+                .request(&Request::StreamProcess { tuple: t, session: DEFAULT_SESSION })
                 .expect("post-restart stream process")
             {
                 Reply::StreamApplied { ops_applied, .. } => ops = ops_applied,
@@ -749,7 +889,7 @@ fn degraded_workload(her: &her_core::Her, tuples: &[her_rdb::TupleRef], smoke: b
         // Healthy baseline: seed the stream session, then time reads.
         for &t in &tuples[..2] {
             client
-                .request(&Request::StreamProcess { tuple: t })
+                .request(&Request::StreamProcess { tuple: t, session: DEFAULT_SESSION })
                 .expect("healthy stream process");
         }
         let healthy: Vec<u64> = (0..reads).map(|i| read(&mut client, i).1).collect();
@@ -766,7 +906,7 @@ fn degraded_workload(her: &her_core::Her, tuples: &[her_rdb::TupleRef], smoke: b
         });
         assert!(
             client
-                .request(&Request::StreamProcess { tuple: tuples[2] })
+                .request(&Request::StreamProcess { tuple: tuples[2], session: DEFAULT_SESSION })
                 .is_err(),
             "mutation against a failing journal must be refused"
         );
@@ -807,7 +947,7 @@ fn degraded_workload(her: &her_core::Her, tuples: &[her_rdb::TupleRef], smoke: b
         }
         // The healed journal accepts the mutation it refused earlier.
         client
-            .request(&Request::StreamProcess { tuple: tuples[2] })
+            .request(&Request::StreamProcess { tuple: tuples[2], session: DEFAULT_SESSION })
             .expect("post-heal stream process");
 
         match client.request(&Request::Shutdown).expect("shutdown") {
@@ -900,8 +1040,8 @@ mod tests {
         let r = serve_suite(true);
         assert_eq!(
             r.workloads.len(),
-            6,
-            "shed + queue + tracing on/off + restart + degraded"
+            8,
+            "shed + queue + tracing on/off + pool on/off + restart + degraded"
         );
         let find = |variant: &str| {
             r.workloads
@@ -969,6 +1109,30 @@ mod tests {
         }
         // The restarted server resumed the journal: all ops applied.
         assert_eq!(restart.matches, restart.size, "replayed + new ops");
+
+        // The pool pair: both unbounded-queue variants answer
+        // everything; the pooled server reuses warm matchers nearly
+        // every checkout. (The qps/p99 comparison itself is CI's gate
+        // against the release-built report — debug smoke timings are
+        // too noisy to gate here, as with the tracing pair.)
+        let (pooled, unpooled) = (named("serve/pool/pooled"), named("serve/pool/unpooled"));
+        assert_eq!(pooled.matches, pooled.size);
+        assert_eq!(unpooled.matches, unpooled.size);
+        if her_obs::ENABLED {
+            assert!(pooled.snapshot.gauge("serve.qps") > 0.0);
+            assert!(unpooled.snapshot.gauge("serve.qps") > 0.0);
+            assert!(pooled.snapshot.counter("scores.pool.hits") > 0);
+            assert!(
+                pooled.snapshot.gauge("serve.pool.hit_rate") >= 0.9,
+                "warm checkouts below the gated hit rate: {}",
+                pooled.snapshot.gauge("serve.pool.hit_rate")
+            );
+            assert_eq!(
+                unpooled.snapshot.counter("scores.pool.hits"),
+                0,
+                "the ablation server must not touch the pool"
+            );
+        }
 
         // The degraded drill: reads answered throughout, and the full
         // degrade → heal arc left its marks in the snapshot.

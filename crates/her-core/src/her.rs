@@ -12,7 +12,8 @@
 use crate::apair;
 use crate::index::InvertedIndex;
 use crate::learn::{self, Annotation, SearchSpace};
-use crate::paramatch::{ExhaustReason, MatchStats, Matcher, MatcherOptions};
+use crate::paramatch::{Budget, CancelToken, ExhaustReason, MatchStats, Matcher, MatcherOptions};
+use crate::pool::MatcherPool;
 use crate::params::{Params, Thresholds};
 use crate::refine::{refine_round, RefineConfig, RefineOutcome};
 use crate::schema_match::{schema_matches, SchemaMatch};
@@ -89,7 +90,14 @@ pub struct Her {
     /// User-verified pair verdicts from refinement rounds (§IV: feedback
     /// both fine-tunes the models and *verifies the matches*). Takes
     /// precedence over parametric simulation in `spair`/`evaluate`.
+    /// Write through [`Her::insert_verified`] so the by-tuple overlay
+    /// index stays coherent (direct inserts are visible to `spair`/
+    /// `evaluate` but not to the vpair/apair overlays).
     pub verified: her_graph::hash::FxHashMap<(TupleRef, VertexId), bool>,
+    /// [`Her::verified`] re-indexed by tuple, so the per-request overlay
+    /// in vpair/apair touches only the queried tuple's verdicts instead
+    /// of scanning the whole map (O(|verified|·|matches|) before).
+    verified_by_tuple: her_graph::hash::FxHashMap<TupleRef, Vec<(VertexId, bool)>>,
     /// Process-wide score memo injected into every matcher this facade
     /// creates (`None` when [`HerConfig::use_shared_scores`] is off).
     /// [`Her::learn`] and [`Her::refine`] invalidate it after mutating
@@ -145,7 +153,20 @@ impl Her {
             params,
             index,
             verified: Default::default(),
+            verified_by_tuple: Default::default(),
             shared_scores: cfg.use_shared_scores.then(SharedScores::new),
+        }
+    }
+
+    /// Records a user-verified verdict for `(t, v)`, keeping both the
+    /// flat map and the by-tuple overlay index coherent. The last write
+    /// for a pair wins, matching map semantics.
+    pub fn insert_verified(&mut self, t: TupleRef, v: VertexId, verdict: bool) {
+        self.verified.insert((t, v), verdict);
+        let per = self.verified_by_tuple.entry(t).or_default();
+        match per.iter_mut().find(|(vv, _)| *vv == v) {
+            Some(slot) => slot.1 = verdict,
+            None => per.push((v, verdict)),
         }
     }
 
@@ -258,14 +279,25 @@ impl Her {
     }
 
     /// Overlays verified verdicts for tuple `t` onto a match list.
+    /// Touches only tuple `t`'s entries in the by-tuple index —
+    /// O(|verified(t)| + |matches|) per request, independent of how many
+    /// verdicts other tuples have accumulated.
     fn apply_verified(&self, t: TupleRef, matches: &mut Vec<VertexId>) {
-        if self.verified.is_empty() {
+        let Some(per) = self.verified_by_tuple.get(&t) else {
             return;
+        };
+        let denied: her_graph::hash::FxHashSet<VertexId> = per
+            .iter()
+            .filter(|&&(_, ok)| !ok)
+            .map(|&(v, _)| v)
+            .collect();
+        if !denied.is_empty() {
+            matches.retain(|v| !denied.contains(v));
         }
-        matches.retain(|v| self.verified.get(&(t, *v)) != Some(&false));
-        for (&(vt, vv), &verdict) in &self.verified {
-            if vt == t && verdict && !matches.contains(&vv) {
-                matches.push(vv);
+        let present: her_graph::hash::FxHashSet<VertexId> = matches.iter().copied().collect();
+        for &(v, ok) in per {
+            if ok && !present.contains(&v) {
+                matches.push(v);
             }
         }
         matches.sort();
@@ -312,17 +344,100 @@ impl Her {
             .filter_map(|(u, v)| self.cg.tuple_of(u).map(|t| (t, v)))
             .collect();
         // Overlay user-verified verdicts (as in vpair/spair).
-        if !self.verified.is_empty() {
-            out.retain(|pair| self.verified.get(pair) != Some(&false));
-            for (&pair, &verdict) in &self.verified {
-                if verdict && !out.contains(&pair) {
-                    out.push(pair);
-                }
-            }
-        }
+        self.overlay_verified_pairs(&mut out);
         out.sort();
         let stats = m.stats();
         (out, exhausted, stats)
+    }
+
+    /// The APair-wide verified overlay: drops pairs verified false and
+    /// adds pairs verified true, with set-based membership so the cost
+    /// is O(|verified| + |out|) rather than O(|verified|·|out|).
+    fn overlay_verified_pairs(&self, out: &mut Vec<(TupleRef, VertexId)>) {
+        if self.verified.is_empty() {
+            return;
+        }
+        out.retain(|pair| self.verified.get(pair) != Some(&false));
+        let present: her_graph::hash::FxHashSet<(TupleRef, VertexId)> =
+            out.iter().copied().collect();
+        for (&pair, &verdict) in &self.verified {
+            if verdict && !present.contains(&pair) {
+                out.push(pair);
+            }
+        }
+    }
+
+    /// Runs `f` against a matcher checked out of `pool` — warm when one
+    /// is available, fresh otherwise — re-armed with this request's
+    /// budget, cancellation token and trace context. The ticket reports
+    /// whether the checkout hit and whether the warm matcher was
+    /// generation-stale. The serving path threads every pooled
+    /// vpair/apair request through here.
+    pub fn with_pooled_matcher<'h, R>(
+        &self,
+        pool: &MatcherPool<'h>,
+        budget: Budget,
+        cancel: CancelToken,
+        ctx: her_obs::ReqCtx,
+        f: impl FnOnce(&mut Matcher<'h>) -> R,
+    ) -> (R, crate::pool::PoolTicket) {
+        pool.run(budget, cancel, ctx, f)
+    }
+
+    /// [`Her::try_vpair`] through a [`MatcherPool`]: identical results
+    /// (pooling is pure reuse), but the returned [`MatchStats`] are this
+    /// request's *own* spend — a pooled matcher's counters are
+    /// cumulative, so the run is diffed against a checkout snapshot.
+    pub fn try_vpair_pooled(
+        &self,
+        pool: &MatcherPool<'_>,
+        t: TupleRef,
+        budget: Budget,
+        cancel: CancelToken,
+        ctx: her_obs::ReqCtx,
+    ) -> (vpair::VpairRun, crate::pool::PoolTicket) {
+        let (mut run, ticket) = pool.run(budget, cancel, ctx, |m| {
+            let before = m.stats();
+            let mut run = vpair::try_vpair(m, self.cg.vertex_of(t), self.index.as_ref());
+            run.stats = run.stats.delta_since(&before);
+            run
+        });
+        self.apply_verified(t, &mut run.matches);
+        (run, ticket)
+    }
+
+    /// [`Her::try_apair_stats`] through a [`MatcherPool`]; stats are the
+    /// request's own spend, as in [`Her::try_vpair_pooled`].
+    pub fn try_apair_stats_pooled(
+        &self,
+        pool: &MatcherPool<'_>,
+        budget: Budget,
+        cancel: CancelToken,
+        ctx: her_obs::ReqCtx,
+    ) -> (
+        Vec<(TupleRef, VertexId)>,
+        Option<ExhaustReason>,
+        MatchStats,
+        crate::pool::PoolTicket,
+    ) {
+        let ((matched, exhausted, stats), ticket) = pool.run(budget, cancel, ctx, |m| {
+            let before = m.stats();
+            let mut tuple_vertices: Vec<(TupleRef, VertexId)> =
+                self.cg.tuple_vertices().collect();
+            tuple_vertices.sort();
+            let us: Vec<VertexId> = tuple_vertices.iter().map(|&(_, u)| u).collect();
+            let matched = apair::apair(m, &us, self.index.as_ref());
+            let exhausted = m.exhausted();
+            let stats = m.stats().delta_since(&before);
+            (matched, exhausted, stats)
+        });
+        let mut out: Vec<(TupleRef, VertexId)> = matched
+            .into_iter()
+            .filter_map(|(u, v)| self.cg.tuple_of(u).map(|t| (t, v)))
+            .collect();
+        self.overlay_verified_pairs(&mut out);
+        out.sort();
+        (out, exhausted, stats, ticket)
     }
 
     /// Schema matches `Γ(u_t, v)` for a matched tuple/vertex pair.
@@ -360,7 +475,7 @@ impl Her {
             s.invalidate();
         }
         for (&(t, v, _), &(_, _, annotated)) in shown.iter().zip(&outcome.annotations) {
-            self.verified.insert((t, v), annotated);
+            self.insert_verified(t, v, annotated);
         }
         outcome
     }
@@ -521,6 +636,43 @@ mod tests {
         let before = shared.generation();
         her.refine(&[(ts[0], vs[1], false)], &RefineConfig::default());
         assert!(shared.generation() > before);
+    }
+
+    /// Regression for the verified-overlay scan: `apply_verified` used
+    /// to walk the whole verified map per request (O(|verified|·
+    /// |matches|)); the by-tuple index must keep a query's overlay
+    /// correct — and untouched by other tuples' verdicts — no matter
+    /// how many verdicts have accumulated elsewhere.
+    #[test]
+    fn verified_overlay_is_correct_under_a_large_verified_set() {
+        let (db, g, i, ts, vs) = fixture();
+        let mut her = Her::build(&db, g, i, &cfg());
+        let baseline = her.vpair(ts[0]);
+        assert_eq!(baseline, vec![vs[0]]);
+
+        // Bury the two real tuples' verdicts in a large pile of
+        // verdicts for fabricated tuples (rows that no query touches).
+        for row in 0..5_000u32 {
+            let ghost = TupleRef::new(7, row);
+            her.insert_verified(ghost, VertexId(row + 100), row % 2 == 0);
+        }
+        // Verdicts for the queried tuple: deny its true match, assert
+        // the other entity's vertex instead — and flip one of them to
+        // check last-write-wins survives the index.
+        her.insert_verified(ts[0], vs[0], true);
+        her.insert_verified(ts[0], vs[0], false);
+        her.insert_verified(ts[0], vs[1], true);
+
+        let overlaid = her.vpair(ts[0]);
+        assert!(!overlaid.contains(&vs[0]), "denied match survived");
+        assert!(overlaid.contains(&vs[1]), "asserted match missing");
+        // The untouched tuple is unaffected by 5k+ foreign verdicts.
+        assert_eq!(her.vpair(ts[1]), vec![vs[1]]);
+        // And the apair-wide overlay agrees on the real tuples.
+        let all = her.apair();
+        assert!(all.contains(&(ts[0], vs[1])));
+        assert!(!all.contains(&(ts[0], vs[0])));
+        assert!(all.contains(&(ts[1], vs[1])));
     }
 
     #[test]

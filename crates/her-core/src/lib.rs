@@ -23,6 +23,8 @@
 //! - [`metrics`]: precision / recall / F-measure;
 //! - [`stream`]: incremental / pay-as-you-go linking (§VI-B remark 2),
 //!   with a WAL-journaled [`stream::DurableStreamLinker`];
+//! - [`pool`]: the warm-matcher checkout/checkin pool the serving path
+//!   uses to reuse verdict caches across requests;
 //! - [`checkpoint`]: serializable [`Matcher`] state for the durability
 //!   layer (`her-store`);
 //! - [`her`]: the [`her::Her`] facade exposing SPair, VPair and APair.
@@ -43,6 +45,7 @@ pub mod maximal;
 pub mod metrics;
 pub mod paramatch;
 pub mod params;
+pub mod pool;
 pub mod refine;
 pub mod schema_match;
 pub mod scores;
@@ -56,6 +59,7 @@ pub use paramatch::{
     Budget, CancelToken, ExhaustReason, Matcher, MatcherOptions, Outcome,
 };
 pub use params::{Params, Thresholds};
+pub use pool::{MatcherPool, PoolTicket};
 pub use shared_scores::SharedScores;
 pub use stream::{DurableStreamLinker, StreamCheckpoint, StreamLinker, StreamOp};
 pub use vpair::VpairRun;

@@ -518,6 +518,23 @@ impl<'a> Matcher<'a> {
         self.exhausted = None;
     }
 
+    /// Re-arms a pooled matcher for a new request: fresh budget, fresh
+    /// cancellation token, the new request's trace context (threaded
+    /// into the probes so exhaustion events attribute correctly), and
+    /// the sticky exhaustion state cleared. Verdict cache, lineage
+    /// index and selections survive — that is the point of pooling; a
+    /// stale [`SharedScores`] generation is reconciled lazily at the
+    /// next query entry point as usual.
+    pub fn rearm(&mut self, budget: Budget, cancel: CancelToken, ctx: her_obs::ReqCtx) {
+        self.options.budget = budget;
+        self.options.cancel = cancel;
+        self.options.ctx = ctx;
+        if let Some(p) = &mut self.probes {
+            p.ctx = ctx;
+        }
+        self.exhausted = None;
+    }
+
     /// Runs `f` against the resolved probes when observability is on.
     #[inline]
     fn probe(&self, f: impl FnOnce(&Probes)) {

@@ -101,6 +101,9 @@ pub struct FlightRecord {
     pub op: u8,
     /// Time spent parked in the admission queue.
     pub queue_wait_us: u64,
+    /// Time spent checking a warm matcher out of the pool (0 for ops
+    /// that never touch the pool — stream mutations, sheds).
+    pub pool_wait_us: u64,
     /// Time spent executing under the permit (0 for shed requests).
     pub exec_us: u64,
     /// ParaMatch calls spent (budget spend).
@@ -126,7 +129,8 @@ const W_EXEC: usize = 4;
 const W_CALLS: usize = 5;
 const W_CACHE: usize = 6;
 const W_SHARED: usize = 7;
-const WORDS: usize = 8;
+const W_POOL: usize = 8;
+const WORDS: usize = 9;
 
 fn pack(r: &FlightRecord) -> u64 {
     (r.op as u64) | ((r.exhaust as u64) << 8) | ((r.anomaly as u64) << 16) | ((r.faults_seen as u64) << 32)
@@ -142,6 +146,7 @@ fn unpack(words: &[u64; WORDS]) -> FlightRecord {
         anomaly: ((p >> 16) & 0xff) as u8,
         faults_seen: (p >> 32) as u32,
         queue_wait_us: words[W_QUEUE],
+        pool_wait_us: words[W_POOL],
         exec_us: words[W_EXEC],
         calls: words[W_CALLS],
         cache_hits: words[W_CACHE],
@@ -269,6 +274,7 @@ impl FlightRecorder {
             rec.calls,
             rec.cache_hits,
             rec.shared_hits,
+            rec.pool_wait_us,
         ];
         for (w, v) in slot.words.iter().zip(words) {
             w.store(v, Ordering::Relaxed);
@@ -350,6 +356,7 @@ mod tests {
             at_us: 0,
             op: op::VPAIR,
             queue_wait_us: tag,
+            pool_wait_us: tag,
             exec_us: tag,
             calls: tag,
             cache_hits: tag,
@@ -426,7 +433,8 @@ mod tests {
                                 && r.exec_us == r.calls
                                 && r.calls == r.cache_hits
                                 && r.cache_hits == r.shared_hits
-                                && r.shared_hits == r.faults_seen as u64,
+                                && r.shared_hits == r.pool_wait_us
+                                && r.pool_wait_us == r.faults_seen as u64,
                             "torn record: {r:?}"
                         );
                     }

@@ -69,6 +69,10 @@ pub const ALL: &[&str] = &[
     // scores: the shared embedding/score memo
     "scores.distinct_labels",
     "scores.embed_calls",
+    // scores.pool: the warm-matcher checkout pool
+    "scores.pool.hits",
+    "scores.pool.misses",
+    "scores.pool.rebuilds",
     "scores.shared_hits",
     // serve: the always-on linking service
     "serve.connections",
@@ -87,6 +91,9 @@ pub const ALL: &[&str] = &[
     "serve.health.transitions",
     "serve.inflight",
     "serve.p99_us",
+    // serve.pool: warm-matcher reuse on the serving path (hit_rate is
+    // hits / (hits + misses), distilled by the bench harness)
+    "serve.pool.hit_rate",
     "serve.qps",
     "serve.queue_depth",
     "serve.req.exec_us",
@@ -96,6 +103,9 @@ pub const ALL: &[&str] = &[
     "serve.request_us",
     "serve.requests",
     "serve.restart_replay_us",
+    // serve.session: the multi-session stream registry
+    "serve.session.active",
+    "serve.session.opened",
     "serve.shed",
     "serve.stream_ops",
     // store: snapshots, WAL, checkpoints

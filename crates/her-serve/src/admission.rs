@@ -185,7 +185,7 @@ impl Admission {
 
     /// Force-releases the slot guarded by `flag` (a permit's
     /// [`Permit::release_flag`]). Used by the watchdog reaper to free an
-    /// admission slot whose request is wedged past 2× its deadline: the
+    /// admission slot whose request is wedged past its reap horizon: the
     /// slot transfers to the queue head immediately, and the stuck
     /// permit's own eventual drop becomes a no-op. Returns true when
     /// this call performed the release (false: already released, either
@@ -193,34 +193,68 @@ impl Admission {
     /// The window between a force-release and the wedged request
     /// actually finishing is a deliberate, bounded oversubscription.
     pub fn force_release(&self, flag: &AtomicBool) -> bool {
-        if flag
-            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
-            .is_ok()
-        {
-            self.release();
-            true
-        } else {
-            false
+        self.force_release_many([flag]) == 1
+    }
+
+    /// Batched [`Admission::force_release`]: claims every still-held flag
+    /// first, then hands all the freed slots over in one
+    /// [`Admission::release_many`] wakeup — one lock acquisition and one
+    /// unpark sweep when the watchdog reaps (or a shutdown drains)
+    /// several wedged requests together. Returns how many releases this
+    /// call performed.
+    pub fn force_release_many<'f>(
+        &self,
+        flags: impl IntoIterator<Item = &'f AtomicBool>,
+    ) -> usize {
+        let won = flags
+            .into_iter()
+            .filter(|flag| {
+                flag.compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+            })
+            .count();
+        if won > 0 {
+            self.release_many(won);
         }
+        won
     }
 
     /// Hands the freed slot to the queue head, or retires it.
     fn release(&self) {
-        let mut s = self.lock();
-        while let Some(w) = s.waiters.pop_front() {
-            // ABANDONED waiters removed themselves under the lock, so
-            // anything still queued is PENDING — but the swap makes the
-            // transfer correct even if that invariant ever weakens.
-            if w.state.swap(GRANTED, Ordering::AcqRel) == PENDING {
-                // The in-flight count transfers with the permit.
-                self.publish(&s);
-                drop(s);
-                w.thread.unpark();
-                return;
-            }
+        self.release_many(1);
+    }
+
+    /// Hands `n` freed slots over under a single lock acquisition:
+    /// grants up to `n` queued waiters in FIFO order (the in-flight
+    /// count transfers with each granted permit, exactly as in the
+    /// single-slot path) and retires whatever finds no taker. The
+    /// PENDING→GRANTED swap protocol is unchanged — an ABANDONED waiter
+    /// is skipped without consuming a slot — and unparks happen only
+    /// after the lock drops, so a woken waiter never contends with the
+    /// releasing thread's bookkeeping.
+    fn release_many(&self, n: usize) {
+        if n == 0 {
+            return;
         }
-        s.inflight -= 1;
-        self.publish(&s);
+        let mut granted: Vec<Thread> = Vec::new();
+        {
+            let mut s = self.lock();
+            while granted.len() < n {
+                let Some(w) = s.waiters.pop_front() else { break };
+                // ABANDONED waiters removed themselves under the lock, so
+                // anything still queued is PENDING — but the swap makes
+                // the transfer correct even if that invariant ever
+                // weakens.
+                if w.state.swap(GRANTED, Ordering::AcqRel) == PENDING {
+                    granted.push(w.thread);
+                }
+            }
+            s.inflight -= n - granted.len();
+            self.publish(&s);
+        }
+        for t in granted {
+            t.unpark();
+        }
     }
 }
 
@@ -346,6 +380,95 @@ mod tests {
             h.join().expect("waiter panicked");
         }
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2]);
+    }
+
+    /// A batched release preserves FIFO order: when three slots retire
+    /// together, the grants go to the three *oldest* waiters (in some
+    /// interleaving among themselves — they wake concurrently), and the
+    /// younger half of the queue only runs after them.
+    #[test]
+    fn batched_release_preserves_fifo_order() {
+        let gate = Arc::new(Admission::new(3, 8, None));
+        let order = Arc::new(her_sync::Mutex::new(
+            her_sync::Rank::new(99, "test.order"),
+            Vec::new(),
+        ));
+        let held: Vec<Permit<'_>> = (0..3)
+            .map(|_| match gate.acquire(None) {
+                Admit::Permit(p) => p,
+                Admit::Busy { .. } => panic!("warm slot shed"),
+            })
+            .collect();
+        let flags: Vec<_> = held.iter().map(|p| p.release_flag()).collect();
+        // Grantees hold their permit until the test has inspected the
+        // batch, so chained grants cannot race the batch's bookkeeping.
+        let hold = Arc::new(AtomicBool::new(true));
+        let mut handles = Vec::new();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        for i in 0..6usize {
+            let gate_t = Arc::clone(&gate);
+            let order = Arc::clone(&order);
+            let hold = Arc::clone(&hold);
+            handles.push(std::thread::spawn(move || {
+                match gate_t.acquire(None) {
+                    Admit::Permit(_p) => {
+                        order.lock().unwrap().push(i);
+                        while hold.load(Ordering::Acquire) {
+                            std::thread::yield_now();
+                        }
+                    }
+                    Admit::Busy { .. } => panic!("waiter {i} shed"),
+                }
+            }));
+            // Serialize arrival so queue order is the spawn order.
+            while gate.stats().queued < i + 1 {
+                assert!(Instant::now() < deadline, "waiter {i} never queued");
+                std::thread::yield_now();
+            }
+        }
+        // All three slots retire together: one batched wakeup.
+        assert_eq!(gate.force_release_many(flags.iter().map(|f| &**f)), 3);
+        drop(held); // now no-ops — the batch already claimed the flags
+        while order.lock().unwrap().len() < 3 {
+            assert!(Instant::now() < deadline, "batch grants never landed");
+            std::thread::yield_now();
+        }
+        let mut head = order.lock().unwrap().clone();
+        head.sort();
+        assert_eq!(head, vec![0, 1, 2], "batch must grant the oldest waiters");
+        hold.store(false, Ordering::Release);
+        for h in handles {
+            h.join().expect("waiter panicked");
+        }
+        let got = order.lock().unwrap().clone();
+        let mut tail = got[3..].to_vec();
+        tail.sort();
+        assert_eq!(tail, vec![3, 4, 5], "younger waiters run after the batch");
+        let s = gate.stats();
+        assert_eq!((s.inflight, s.queued), (0, 0));
+    }
+
+    /// A batch larger than the queue retires the excess slots instead of
+    /// losing them, and double-claimed flags release nothing twice.
+    #[test]
+    fn batched_release_retires_slots_without_takers() {
+        let gate = Admission::new(3, 8, None);
+        let held: Vec<Permit<'_>> = (0..3)
+            .map(|_| match gate.acquire(None) {
+                Admit::Permit(p) => p,
+                Admit::Busy { .. } => panic!("warm slot shed"),
+            })
+            .collect();
+        let flags: Vec<_> = held.iter().map(|p| p.release_flag()).collect();
+        assert_eq!(gate.stats().inflight, 3);
+        // Empty queue: all three batched releases retire their slots.
+        assert_eq!(gate.force_release_many(flags.iter().map(|f| &**f)), 3);
+        assert_eq!(gate.stats().inflight, 0);
+        // Re-running the batch is a no-op: every flag already claimed.
+        assert_eq!(gate.force_release_many(flags.iter().map(|f| &**f)), 0);
+        assert_eq!(gate.stats().inflight, 0);
+        drop(held);
+        assert_eq!(gate.stats().inflight, 0, "permit drops became no-ops");
     }
 
     /// Hammer the gate from many threads: the in-flight bound holds at

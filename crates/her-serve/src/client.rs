@@ -52,18 +52,15 @@ impl Default for RetryPolicy {
 
 impl RetryPolicy {
     /// The sleep before attempt `attempt` (1-based over retries):
-    /// `min(cap, base · 2^(attempt-1))`, jittered to 50–150%.
+    /// `min(cap, base · 2^(attempt-1))`, jittered to 50–150% through
+    /// the shared capped-exponential core ([`crate::backoff`]).
     fn backoff(&self, attempt: u32, jitter: &mut u64) -> Duration {
-        let exp = self.base_ms.saturating_mul(1u64 << (attempt - 1).min(32));
-        let capped = exp.min(self.cap_ms);
-        // xorshift64*: deterministic per-client jitter stream.
-        let mut x = *jitter;
-        x ^= x << 13;
-        x ^= x >> 7;
-        x ^= x << 17;
-        *jitter = x;
-        let roll = x.wrapping_mul(0x2545_f491_4f6c_dd1d) % 101; // 0..=100
-        Duration::from_millis(capped * (50 + roll) / 100)
+        Duration::from_millis(crate::backoff::jittered_ms(
+            self.base_ms,
+            attempt,
+            self.cap_ms,
+            jitter,
+        ))
     }
 }
 
@@ -255,6 +252,7 @@ mod tests {
         let err = c
             .request(&Request::StreamRetract {
                 vertex: her_graph::VertexId(0),
+                session: crate::proto::DEFAULT_SESSION,
             })
             .expect_err("no server listening");
         assert!(matches!(err, ClientError::Unavailable(_)), "{err:?}");

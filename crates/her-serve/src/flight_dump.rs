@@ -20,7 +20,11 @@ use std::path::Path;
 use crate::proto::{get_events, get_flight_record, put_events, put_flight_record};
 
 /// Dump payload version; bumped on any incompatible layout change.
-pub const DUMP_VERSION: u32 = 1;
+/// v2 added `pool_wait_us` to the embedded flight record.
+pub const DUMP_VERSION: u32 = 2;
+
+/// The protocol version whose flight-record layout dump v2 embeds.
+const RECORD_LAYOUT: u32 = 4;
 
 /// One anomalous request, as persisted: the flight record plus every
 /// trace event that carried its id when the anomaly fired.
@@ -38,7 +42,7 @@ impl DumpRecord {
     pub fn encode(&self) -> Vec<u8> {
         let mut e = Enc::new();
         e.put_u32(DUMP_VERSION);
-        put_flight_record(&mut e, &self.record);
+        put_flight_record(&mut e, &self.record, RECORD_LAYOUT);
         put_events(&mut e, &self.events);
         e.into_bytes()
     }
@@ -53,7 +57,7 @@ impl DumpRecord {
                 message: format!("flight dump v{version} (this build speaks v{DUMP_VERSION})"),
             });
         }
-        let record = get_flight_record(&mut d)?;
+        let record = get_flight_record(&mut d, RECORD_LAYOUT)?;
         let events = get_events(&mut d)?;
         d.finish()?;
         Ok(DumpRecord { record, events })
@@ -121,6 +125,7 @@ mod tests {
                 exhaust: 2,
                 faults_seen: 0,
                 anomaly: anomaly::DEADLINE,
+                pool_wait_us: 35,
             },
             events: vec![
                 Event {

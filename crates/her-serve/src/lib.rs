@@ -47,6 +47,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod admission;
+pub mod backoff;
 pub mod client;
 pub mod fault;
 pub mod flight_dump;
@@ -60,6 +61,6 @@ pub use client::{Client, ClientError, RetryPolicy};
 pub use fault::{FaultPlan, ReplyFate};
 pub use flight_dump::DumpRecord;
 pub use health::{Health, State};
-pub use proto::{Reply, Request, WireError, PROTO_VERSION};
+pub use proto::{Reply, Request, WireError, DEFAULT_SESSION, MIN_PROTO_VERSION, PROTO_VERSION};
 pub use server::{ServeConfig, ServeError, Server};
 pub use watchdog::Watchdog;

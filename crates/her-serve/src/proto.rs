@@ -27,8 +27,32 @@ use std::io::{Read, Write};
 /// v2 added request trace ids to matching replies and the
 /// `Trace`/`Flight`/`Expo` introspection ops; v3 added the `Health`
 /// control op and the taxonomized `Health`/`Unavailable` replies for
-/// the storage-driven health state machine.
-pub const PROTO_VERSION: u32 = 3;
+/// the storage-driven health state machine; v4 added stream session ids
+/// on the stream ops (multi-session serving) and `pool_wait_us` on
+/// flight records.
+pub const PROTO_VERSION: u32 = 4;
+
+/// Oldest protocol version this build still decodes. v3 frames carry no
+/// session id — their stream ops land on session [`DEFAULT_SESSION`] —
+/// and no `pool_wait_us` flight field, so v3 clients keep working
+/// against a v4 server unchanged. The server echoes the request's
+/// version in its reply ([`Reply::encode_as`]).
+pub const MIN_PROTO_VERSION: u32 = 3;
+
+/// The stream session v3 clients (which cannot name one) operate on.
+pub const DEFAULT_SESSION: u64 = 0;
+
+fn check_version(version: u32, what: &str) -> Result<(), CodecError> {
+    if !(MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version) {
+        return Err(CodecError {
+            offset: 0,
+            message: format!(
+                "{what} v{version} (this build speaks v{MIN_PROTO_VERSION}..v{PROTO_VERSION})"
+            ),
+        });
+    }
+    Ok(())
+}
 
 /// Error codes carried by [`Reply::Error`], aligned with the CLI exit-code
 /// taxonomy: `1` data, `2` usage, `3` budget-exhausted, `4` unavailable.
@@ -67,14 +91,21 @@ pub enum Request {
     StreamProcess {
         /// The arriving tuple.
         tuple: TupleRef,
+        /// Target stream session ([`DEFAULT_SESSION`] for v3 clients).
+        session: u64,
     },
     /// Journal a vertex retraction (mutation).
     StreamRetract {
         /// The retracted graph vertex.
         vertex: VertexId,
+        /// Target stream session ([`DEFAULT_SESSION`] for v3 clients).
+        session: u64,
     },
     /// Accumulated stream matches (read; idempotent).
-    StreamMatches,
+    StreamMatches {
+        /// Stream session to read ([`DEFAULT_SESSION`] for v3 clients).
+        session: u64,
+    },
     /// The server's metrics snapshot as JSON (read; idempotent).
     Metrics,
     /// Liveness probe (read; idempotent).
@@ -136,11 +167,45 @@ fn get_tuple(d: &mut Dec<'_>) -> Result<TupleRef, CodecError> {
     })
 }
 
+/// v4 stream ops carry the target session; v3 frames have no field (and
+/// so can only address [`DEFAULT_SESSION`]).
+fn put_session(e: &mut Enc, session: u64, version: u32) {
+    if version >= 4 {
+        e.put_u64(session);
+    } else {
+        debug_assert_eq!(
+            session, DEFAULT_SESSION,
+            "a v3 frame cannot name a non-default session"
+        );
+    }
+}
+
+fn get_session(d: &mut Dec<'_>, version: u32) -> Result<u64, CodecError> {
+    if version >= 4 {
+        d.u64()
+    } else {
+        Ok(DEFAULT_SESSION)
+    }
+}
+
 impl Request {
-    /// Serializes this request as one frame payload.
+    /// Serializes this request as one frame payload at the current
+    /// protocol version.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_as(PROTO_VERSION)
+    }
+
+    /// Serializes this request as one frame payload speaking `version`
+    /// (any of `MIN_PROTO_VERSION..=PROTO_VERSION`; panics otherwise).
+    /// A v3 frame has no session field, so a stream op targeting a
+    /// non-default session cannot be expressed at v3 (debug-asserted).
+    pub fn encode_as(&self, version: u32) -> Vec<u8> {
+        assert!(
+            (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version),
+            "cannot encode protocol v{version}"
+        );
         let mut e = Enc::new();
-        e.put_u32(PROTO_VERSION);
+        e.put_u32(version);
         match self {
             Request::Vpair {
                 tuple,
@@ -157,15 +222,18 @@ impl Request {
             } => {
                 e.put_u8(REQ_APAIR).put_u64(*max_calls).put_u64(*deadline_ms);
             }
-            Request::StreamProcess { tuple } => {
+            Request::StreamProcess { tuple, session } => {
                 e.put_u8(REQ_STREAM_PROCESS);
                 put_tuple(&mut e, *tuple);
+                put_session(&mut e, *session, version);
             }
-            Request::StreamRetract { vertex } => {
+            Request::StreamRetract { vertex, session } => {
                 e.put_u8(REQ_STREAM_RETRACT).put_u32(vertex.0);
+                put_session(&mut e, *session, version);
             }
-            Request::StreamMatches => {
+            Request::StreamMatches { session } => {
                 e.put_u8(REQ_STREAM_MATCHES);
+                put_session(&mut e, *session, version);
             }
             Request::Metrics => {
                 e.put_u8(REQ_METRICS);
@@ -192,16 +260,14 @@ impl Request {
         e.into_bytes()
     }
 
-    /// Decodes a frame payload written by [`Request::encode`].
-    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+    /// Decodes a frame payload written by [`Request::encode`] (or by a
+    /// v3 peer; its stream ops land on [`DEFAULT_SESSION`]). Returns the
+    /// decoded request and the version it spoke, so the server can echo
+    /// the same version back.
+    pub fn decode_versioned(bytes: &[u8]) -> Result<(Self, u32), CodecError> {
         let mut d = Dec::new(bytes);
         let version = d.u32()?;
-        if version != PROTO_VERSION {
-            return Err(CodecError {
-                offset: 0,
-                message: format!("request v{version} (this build speaks v{PROTO_VERSION})"),
-            });
-        }
+        check_version(version, "request")?;
         let req = match d.u8()? {
             REQ_VPAIR => Request::Vpair {
                 tuple: get_tuple(&mut d)?,
@@ -214,11 +280,15 @@ impl Request {
             },
             REQ_STREAM_PROCESS => Request::StreamProcess {
                 tuple: get_tuple(&mut d)?,
+                session: get_session(&mut d, version)?,
             },
             REQ_STREAM_RETRACT => Request::StreamRetract {
                 vertex: VertexId(d.u32()?),
+                session: get_session(&mut d, version)?,
             },
-            REQ_STREAM_MATCHES => Request::StreamMatches,
+            REQ_STREAM_MATCHES => Request::StreamMatches {
+                session: get_session(&mut d, version)?,
+            },
             REQ_METRICS => Request::Metrics,
             REQ_PING => Request::Ping,
             REQ_SHUTDOWN => Request::Shutdown,
@@ -236,7 +306,13 @@ impl Request {
             }
         };
         d.finish()?;
-        Ok(req)
+        Ok((req, version))
+    }
+
+    /// Decodes a frame payload written by [`Request::encode`],
+    /// discarding the peer's version.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        Self::decode_versioned(bytes).map(|(req, _)| req)
     }
 }
 
@@ -473,7 +549,9 @@ pub(crate) fn get_events(d: &mut Dec<'_>) -> Result<Vec<Event>, CodecError> {
     Ok(events)
 }
 
-pub(crate) fn put_flight_record(e: &mut Enc, r: &FlightRecord) {
+/// v3 flight records stop at `anomaly`; v4 appends `pool_wait_us` (a v3
+/// client reading a v4 server simply never sees the pool column).
+pub(crate) fn put_flight_record(e: &mut Enc, r: &FlightRecord, version: u32) {
     e.put_u64(r.trace_id)
         .put_u64(r.at_us)
         .put_u8(r.op)
@@ -485,9 +563,12 @@ pub(crate) fn put_flight_record(e: &mut Enc, r: &FlightRecord) {
         .put_u8(r.exhaust)
         .put_u32(r.faults_seen)
         .put_u8(r.anomaly);
+    if version >= 4 {
+        e.put_u64(r.pool_wait_us);
+    }
 }
 
-pub(crate) fn get_flight_record(d: &mut Dec<'_>) -> Result<FlightRecord, CodecError> {
+pub(crate) fn get_flight_record(d: &mut Dec<'_>, version: u32) -> Result<FlightRecord, CodecError> {
     Ok(FlightRecord {
         trace_id: d.u64()?,
         at_us: d.u64()?,
@@ -500,30 +581,43 @@ pub(crate) fn get_flight_record(d: &mut Dec<'_>) -> Result<FlightRecord, CodecEr
         exhaust: d.u8()?,
         faults_seen: d.u32()?,
         anomaly: d.u8()?,
+        pool_wait_us: if version >= 4 { d.u64()? } else { 0 },
     })
 }
 
-fn put_flight_records(e: &mut Enc, records: &[FlightRecord]) {
+fn put_flight_records(e: &mut Enc, records: &[FlightRecord], version: u32) {
     e.put_u32(records.len() as u32);
     for r in records {
-        put_flight_record(e, r);
+        put_flight_record(e, r, version);
     }
 }
 
-fn get_flight_records(d: &mut Dec<'_>) -> Result<Vec<FlightRecord>, CodecError> {
+fn get_flight_records(d: &mut Dec<'_>, version: u32) -> Result<Vec<FlightRecord>, CodecError> {
     let n = d.u32()? as usize;
     let mut records = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
-        records.push(get_flight_record(d)?);
+        records.push(get_flight_record(d, version)?);
     }
     Ok(records)
 }
 
 impl Reply {
-    /// Serializes this reply as one frame payload.
+    /// Serializes this reply as one frame payload at the current
+    /// protocol version.
     pub fn encode(&self) -> Vec<u8> {
+        self.encode_as(PROTO_VERSION)
+    }
+
+    /// Serializes this reply speaking `version` — the server echoes the
+    /// request's version so a v3 client always gets frames it can
+    /// decode. Panics outside `MIN_PROTO_VERSION..=PROTO_VERSION`.
+    pub fn encode_as(&self, version: u32) -> Vec<u8> {
+        assert!(
+            (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&version),
+            "cannot encode protocol v{version}"
+        );
         let mut e = Enc::new();
-        e.put_u32(PROTO_VERSION);
+        e.put_u32(version);
         match self {
             Reply::Vpair {
                 matches,
@@ -586,7 +680,7 @@ impl Reply {
             }
             Reply::Flight { records } => {
                 e.put_u8(REP_FLIGHT);
-                put_flight_records(&mut e, records);
+                put_flight_records(&mut e, records, version);
             }
             Reply::Expo { text } => {
                 e.put_u8(REP_EXPO).put_str(text);
@@ -612,16 +706,12 @@ impl Reply {
         e.into_bytes()
     }
 
-    /// Decodes a frame payload written by [`Reply::encode`].
+    /// Decodes a frame payload written by [`Reply::encode`] (any
+    /// version this build speaks).
     pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut d = Dec::new(bytes);
         let version = d.u32()?;
-        if version != PROTO_VERSION {
-            return Err(CodecError {
-                offset: 0,
-                message: format!("reply v{version} (this build speaks v{PROTO_VERSION})"),
-            });
-        }
+        check_version(version, "reply")?;
         let reply = match d.u8()? {
             REP_VPAIR => Reply::Vpair {
                 matches: get_vertices(&mut d)?,
@@ -661,7 +751,7 @@ impl Reply {
                 events: get_events(&mut d)?,
             },
             REP_FLIGHT => Reply::Flight {
-                records: get_flight_records(&mut d)?,
+                records: get_flight_records(&mut d, version)?,
             },
             REP_EXPO => Reply::Expo {
                 text: d.str()?.to_owned(),
@@ -788,9 +878,13 @@ mod tests {
             },
             Request::StreamProcess {
                 tuple: TupleRef::new(1, 2),
+                session: 3,
             },
-            Request::StreamRetract { vertex: VertexId(9) },
-            Request::StreamMatches,
+            Request::StreamRetract {
+                vertex: VertexId(9),
+                session: 0,
+            },
+            Request::StreamMatches { session: 7 },
             Request::Metrics,
             Request::Ping,
             Request::Shutdown,
@@ -875,6 +969,7 @@ mod tests {
                     exhaust: 2,
                     faults_seen: 1,
                     anomaly: her_obs::flight::anomaly::DEADLINE,
+                    pool_wait_us: 4,
                 }],
             },
             Reply::Expo {
@@ -938,6 +1033,58 @@ mod tests {
         bytes[0] = 99;
         let e = Request::decode(&bytes).unwrap_err();
         assert!(e.message.contains("v99"), "{e:?}");
+        // One below the floor is rejected too, not silently defaulted.
+        let mut bytes = Request::Ping.encode();
+        bytes[0] = (MIN_PROTO_VERSION - 1) as u8;
+        assert!(Request::decode(&bytes).is_err());
+    }
+
+    /// A v3 client keeps working against this build: its stream ops
+    /// (which carry no session field) decode onto the default session,
+    /// and replies encoded back at v3 — including flight records, which
+    /// drop the v4-only `pool_wait_us` column — decode cleanly.
+    #[test]
+    fn v3_frames_interoperate_on_the_default_session() {
+        let reqs = vec![
+            Request::StreamProcess {
+                tuple: TupleRef::new(1, 2),
+                session: DEFAULT_SESSION,
+            },
+            Request::StreamRetract {
+                vertex: VertexId(9),
+                session: DEFAULT_SESSION,
+            },
+            Request::StreamMatches {
+                session: DEFAULT_SESSION,
+            },
+            Request::Ping,
+        ];
+        for req in reqs {
+            let bytes = req.encode_as(3);
+            let (decoded, version) = Request::decode_versioned(&bytes).unwrap();
+            assert_eq!(version, 3);
+            assert_eq!(decoded, req, "v3 round trip lands on session 0");
+            // And a v4 frame of the same request still decodes too.
+            assert_eq!(Request::decode(&req.encode()).unwrap(), req);
+        }
+        for rep in sample_replies() {
+            let via_v3 = Reply::decode(&rep.encode_as(3)).unwrap();
+            if let (Reply::Flight { records: sent }, Reply::Flight { records: got }) =
+                (&rep, &via_v3)
+            {
+                // v3 cannot carry the pool column; everything else survives.
+                assert_eq!(got.len(), sent.len());
+                for (g, s) in got.iter().zip(sent) {
+                    assert_eq!(g.pool_wait_us, 0);
+                    assert_eq!(
+                        FlightRecord { pool_wait_us: 0, ..*s },
+                        *g
+                    );
+                }
+            } else {
+                assert_eq!(via_v3, rep, "v3 reply round trip");
+            }
+        }
     }
 
     #[test]
@@ -947,15 +1094,15 @@ mod tests {
         for (req, idem) in [
             (Vpair { tuple: t, max_calls: 0, deadline_ms: 0 }, true),
             (Apair { max_calls: 0, deadline_ms: 0 }, true),
-            (StreamMatches, true),
+            (StreamMatches { session: 0 }, true),
             (Metrics, true),
             (Ping, true),
             (Trace { trace_id: 1 }, true),
             (Flight, true),
             (Expo, true),
             (Health, true),
-            (StreamProcess { tuple: t }, false),
-            (StreamRetract { vertex: VertexId(0) }, false),
+            (StreamProcess { tuple: t, session: 0 }, false),
+            (StreamRetract { vertex: VertexId(0), session: 0 }, false),
             (Shutdown, false),
         ] {
             assert_eq!(req.is_idempotent(), idem, "{req:?}");

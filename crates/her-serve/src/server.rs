@@ -26,17 +26,20 @@ use crate::admission::{Admission, Admit};
 use crate::fault::{ConnFaults, FaultPlan, ReplyFate};
 use crate::flight_dump::{self, DumpRecord};
 use crate::health::{Health, State as HealthState};
-use crate::proto::{code, read_message, reason_tag, Reply, Request, WireError};
-use crate::watchdog::Watchdog;
+use crate::proto::{
+    code, read_message, reason_tag, Reply, Request, WireError, MIN_PROTO_VERSION, PROTO_VERSION,
+};
+use crate::watchdog::{self, Watchdog};
 use her_core::paramatch::MatchStats;
 use her_core::stream::{DurableStreamLinker, StreamCheckpoint};
-use her_core::{Budget, ExhaustReason, Her, MatcherOptions};
+use her_core::{Budget, CancelToken, ExhaustReason, Her, MatcherOptions, MatcherPool};
 use her_graph::LabelId;
 use her_obs::flight::{anomaly, op};
 use her_obs::{info, FlightRecord, FlightRecorder, ReqCtx};
 use her_store::frame::FRAME_HEADER_LEN;
 use her_store::{vfs, SnapshotStore, StoreError, Vfs};
 use her_sync::rank;
+use std::collections::BTreeMap;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
@@ -97,6 +100,15 @@ pub struct ServeConfig {
     /// Storage prober cadence while degraded — also the
     /// `retry_after_ms` hint stamped into `Unavailable` replies.
     pub probe_interval_ms: u64,
+    /// Live stream sessions allowed at once (each one a DurableStream-
+    /// Linker with its own WAL and snapshot namespace). Session 0 is
+    /// the v3-compatible default; a v4 stream op naming a new session
+    /// opens it lazily until this limit, then gets a usage error.
+    pub max_sessions: usize,
+    /// Warm matchers retained by the checkout pool serving vpair/apair
+    /// (0 disables pooling: every request builds a fresh matcher, the
+    /// pre-pool behavior the bench ablates against).
+    pub matcher_pool: usize,
 }
 
 impl std::fmt::Debug for ServeConfig {
@@ -119,6 +131,8 @@ impl std::fmt::Debug for ServeConfig {
             .field("wal_retries", &self.wal_retries)
             .field("wal_retry_backoff_ms", &self.wal_retry_backoff_ms)
             .field("probe_interval_ms", &self.probe_interval_ms)
+            .field("max_sessions", &self.max_sessions)
+            .field("matcher_pool", &self.matcher_pool)
             .finish_non_exhaustive()
     }
 }
@@ -142,6 +156,8 @@ impl Default for ServeConfig {
             wal_retries: 3,
             wal_retry_backoff_ms: 5,
             probe_interval_ms: 200,
+            max_sessions: 4,
+            matcher_pool: 4,
         }
     }
 }
@@ -202,6 +218,249 @@ impl StreamSession<'_> {
     }
 }
 
+/// Every live stream session, keyed by the wire session id.
+///
+/// Session 0 journals to the base WAL path and snapshots to the base
+/// snapshot directory — exactly the layout single-session servers used,
+/// so an existing deployment (and every v3 client, which cannot name a
+/// session) warm-restarts onto session 0 unchanged. Session `N`
+/// journals to `<wal>.s<N>` and snapshots under `<snapshot_dir>/s<N>`.
+/// Startup reopens session 0 plus every `<wal>.s<N>` found on disk
+/// (each with its own snapshot restore + WAL suffix replay); a v4
+/// stream op naming an unknown session opens it lazily until
+/// `max_sessions`, after which it gets a usage error.
+struct SessionRegistry<'h> {
+    her: &'h Her,
+    wal: PathBuf,
+    snapshot_dir: Option<PathBuf>,
+    every: u64,
+    max_sessions: usize,
+    vfs: Arc<dyn Vfs>,
+    obs: Option<her_obs::Obs>,
+    sessions: her_sync::Mutex<BTreeMap<u64, Arc<her_sync::Mutex<StreamSession<'h>>>>>,
+}
+
+impl<'h> SessionRegistry<'h> {
+    /// Opens the registry: session 0 always, plus every session whose
+    /// WAL is already on disk, so a restart resumes *all* sessions, not
+    /// just the ones the first clients happen to touch.
+    fn open(
+        her: &'h Her,
+        cfg: &ServeConfig,
+        wal: &Path,
+        vfs: Arc<dyn Vfs>,
+        obs: Option<her_obs::Obs>,
+    ) -> Result<Self, ServeError> {
+        let reg = SessionRegistry {
+            her,
+            wal: wal.to_path_buf(),
+            snapshot_dir: cfg.snapshot_dir.clone(),
+            every: cfg.snapshot_every_ops,
+            max_sessions: cfg.max_sessions.max(1),
+            vfs,
+            obs,
+            sessions: her_sync::Mutex::new(rank::SERVE_SESSIONS, BTreeMap::new()),
+        };
+        for id in reg.discover() {
+            let session = reg.open_session(id)?;
+            reg.lock().insert(id, session);
+        }
+        reg.publish(reg.lock().len());
+        Ok(reg)
+    }
+
+    fn lock(
+        &self,
+    ) -> her_sync::MutexGuard<'_, BTreeMap<u64, Arc<her_sync::Mutex<StreamSession<'h>>>>> {
+        self.sessions.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Session ids with state on disk: 0 unconditionally, plus every
+    /// sibling `<wal>.s<N>` file. Discovery is best-effort — an
+    /// unreadable directory just means lazy opens later.
+    fn discover(&self) -> Vec<u64> {
+        let mut ids = vec![crate::proto::DEFAULT_SESSION];
+        let parent = match self.wal.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
+        };
+        if let (Some(stem), Ok(names)) = (
+            self.wal.file_name().and_then(|n| n.to_str()),
+            self.vfs.read_dir_names(&parent),
+        ) {
+            let prefix = format!("{stem}.s");
+            for name in names {
+                if let Some(n) = name.strip_prefix(&prefix) {
+                    if let Ok(id) = n.parse::<u64>() {
+                        ids.push(id);
+                    }
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    fn wal_for(&self, id: u64) -> PathBuf {
+        if id == crate::proto::DEFAULT_SESSION {
+            return self.wal.clone();
+        }
+        let mut os = self.wal.as_os_str().to_owned();
+        os.push(format!(".s{id}"));
+        PathBuf::from(os)
+    }
+
+    fn snap_dir_for(&self, id: u64) -> Option<PathBuf> {
+        let dir = self.snapshot_dir.as_ref()?;
+        if id == crate::proto::DEFAULT_SESSION {
+            Some(dir.clone())
+        } else {
+            Some(dir.join(format!("s{id}")))
+        }
+    }
+
+    /// One session's checkpoint-backed warm restart: newest valid
+    /// snapshot in its namespace first, then only the WAL records
+    /// journaled after it.
+    fn open_session(
+        &self,
+        id: u64,
+    ) -> Result<Arc<her_sync::Mutex<StreamSession<'h>>>, ServeError> {
+        let wal = self.wal_for(id);
+        let snaps = match self.snap_dir_for(id) {
+            Some(dir) => {
+                let store = SnapshotStore::open_with(&dir, Arc::clone(&self.vfs))?;
+                Some(match &self.obs {
+                    Some(o) => store.with_obs(o.clone()),
+                    None => store,
+                })
+            }
+            None => None,
+        };
+        let restored: Option<StreamCheckpoint> = match &snaps {
+            Some(s) => match s.load_latest()? {
+                Some(snap) => match snap.section(SNAP_SECTION) {
+                    Some(bytes) => {
+                        Some(StreamCheckpoint::decode(bytes).map_err(|e| StoreError::Corrupt {
+                            path: s.dir().into(),
+                            offset: 0,
+                            message: format!("stream checkpoint: {e}"),
+                        })?)
+                    }
+                    None => None,
+                },
+                None => None,
+            },
+            None => None,
+        };
+        let (linker, replay) = match &restored {
+            Some(ck) => DurableStreamLinker::open_at_vfs(
+                self.her,
+                &wal,
+                Arc::clone(&self.vfs),
+                self.obs.clone(),
+                ck,
+            )?,
+            None => DurableStreamLinker::open_vfs(
+                self.her,
+                &wal,
+                Arc::clone(&self.vfs),
+                self.obs.clone(),
+            )?,
+        };
+        if let Some(ck) = &restored {
+            info!(
+                "serve: session {id}: restored snapshot at op {} + replayed WAL to op {}",
+                ck.ops_applied,
+                linker.ops_applied()
+            );
+        } else if replay.records > 0 {
+            info!(
+                "serve: session {id}: cold replay of {} WAL records",
+                replay.records
+            );
+        }
+        if let Some(o) = &self.obs {
+            o.registry.counter("serve.session.opened").inc();
+        }
+        Ok(Arc::new(her_sync::Mutex::new(
+            rank::SERVE_STREAM,
+            StreamSession {
+                linker,
+                snaps,
+                every: self.every,
+            },
+        )))
+    }
+
+    fn publish(&self, active: usize) {
+        if let Some(o) = &self.obs {
+            o.registry.gauge("serve.session.active").set(active as f64);
+        }
+    }
+
+    /// The handle for `id`, opening it lazily below the session limit.
+    /// Errors are replies: usage when the limit is hit, data when the
+    /// session's storage will not open. The registry lock is held across
+    /// a lazy open — first touch of a session is expected to pay its
+    /// restore cost, and the lock keeps two first-touches from racing
+    /// one WAL.
+    fn get(&self, id: u64) -> Result<Arc<her_sync::Mutex<StreamSession<'h>>>, Reply> {
+        let mut map = self.lock();
+        if let Some(s) = map.get(&id) {
+            return Ok(Arc::clone(s));
+        }
+        if map.len() >= self.max_sessions {
+            return Err(Reply::Error {
+                code: code::USAGE,
+                message: format!(
+                    "session {id} rejected: session limit {} reached",
+                    self.max_sessions
+                ),
+            });
+        }
+        match self.open_session(id) {
+            Ok(s) => {
+                map.insert(id, Arc::clone(&s));
+                self.publish(map.len());
+                Ok(s)
+            }
+            Err(e) => Err(Reply::Error {
+                code: code::DATA,
+                message: format!("session {id} failed to open: {e}"),
+            }),
+        }
+    }
+
+    /// Reopens every session's journal (trimming to the acknowledged
+    /// prefix); the prober heals only when all of them take writes
+    /// again — a half-healed server would ack ops into a wedged WAL.
+    fn reopen_all(&self) -> Result<(), String> {
+        let sessions: Vec<_> = self.lock().values().cloned().collect();
+        for session in sessions {
+            let mut s = session.lock().unwrap_or_else(PoisonError::into_inner);
+            s.linker.reopen().map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+
+    /// Final snapshot of every session so a clean shutdown restarts
+    /// with zero replay anywhere.
+    fn snapshot_all(&self) {
+        let sessions: Vec<_> = self.lock().values().cloned().collect();
+        for session in sessions {
+            let s = session.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(snaps) = &s.snaps {
+                let ck = s.linker.checkpoint();
+                if let Err(e) = snaps.write(&[(SNAP_SECTION, &ck.encode())]) {
+                    her_obs::warn!("serve: final snapshot failed: {e}");
+                }
+            }
+        }
+    }
+}
+
 /// A bound, not-yet-running server. Binding is split from running so
 /// callers can learn the ephemeral port before the blocking accept loop
 /// starts.
@@ -239,69 +498,17 @@ impl Server {
         let watchdog = Watchdog::new(obs.clone());
         let restart = Instant::now();
 
-        // Checkpoint-backed warm restart: newest valid snapshot first,
-        // then only the WAL records journaled after it.
-        let session = match &self.cfg.wal {
-            Some(wal) => {
-                let snaps = match &self.cfg.snapshot_dir {
-                    Some(dir) => {
-                        let store = SnapshotStore::open_with(dir, Arc::clone(&vfs))?;
-                        Some(match &obs {
-                            Some(o) => store.with_obs(o.clone()),
-                            None => store,
-                        })
-                    }
-                    None => None,
-                };
-                let restored: Option<StreamCheckpoint> = match &snaps {
-                    Some(s) => match s.load_latest()? {
-                        Some(snap) => match snap.section(SNAP_SECTION) {
-                            Some(bytes) => Some(StreamCheckpoint::decode(bytes).map_err(
-                                |e| StoreError::Corrupt {
-                                    path: s.dir().into(),
-                                    offset: 0,
-                                    message: format!("stream checkpoint: {e}"),
-                                },
-                            )?),
-                            None => None,
-                        },
-                        None => None,
-                    },
-                    None => None,
-                };
-                let (linker, replay) = match &restored {
-                    Some(ck) => DurableStreamLinker::open_at_vfs(
-                        her,
-                        wal,
-                        Arc::clone(&vfs),
-                        obs.clone(),
-                        ck,
-                    )?,
-                    None => DurableStreamLinker::open_vfs(
-                        her,
-                        wal,
-                        Arc::clone(&vfs),
-                        obs.clone(),
-                    )?,
-                };
-                if let Some(ck) = &restored {
-                    info!(
-                        "serve: restored snapshot at op {} + replayed WAL to op {}",
-                        ck.ops_applied,
-                        linker.ops_applied()
-                    );
-                } else if replay.records > 0 {
-                    info!("serve: cold replay of {} WAL records", replay.records);
-                }
-                Some(her_sync::Mutex::new(
-                    rank::SERVE_STREAM,
-                    StreamSession {
-                        linker,
-                        snaps,
-                        every: self.cfg.snapshot_every_ops,
-                    },
-                ))
-            }
+        // Checkpoint-backed warm restart, per session: session 0 plus
+        // every `<wal>.s<N>` found on disk, each restoring its newest
+        // valid snapshot and replaying only its WAL suffix.
+        let sessions = match &self.cfg.wal {
+            Some(wal) => Some(SessionRegistry::open(
+                her,
+                &self.cfg,
+                wal,
+                Arc::clone(&vfs),
+                obs.clone(),
+            )?),
             None => None,
         };
 
@@ -318,6 +525,16 @@ impl Server {
                 .counter("serve.restart_replay_us")
                 .add(restart.elapsed().as_micros() as u64);
         }
+
+        // Warm-matcher pool: vpair/apair handlers check matchers out
+        // instead of rebuilding verdict caches per request.
+        let pool = (self.cfg.matcher_pool > 0).then(|| {
+            let p = MatcherPool::new(her, self.cfg.matcher_pool);
+            match &obs {
+                Some(o) => p.with_obs(o.clone()),
+                None => p,
+            }
+        });
 
         let admission = Admission::new(
             self.cfg.max_inflight,
@@ -346,7 +563,7 @@ impl Server {
             // to the acknowledged prefix) and heal — no restart, no
             // replay. A failed probe file is left behind, quarantined
             // evidence of the failure window.
-            if let (Some(session), Some(wal)) = (&session, &self.cfg.wal) {
+            if let (Some(sessions), Some(wal)) = (&sessions, &self.cfg.wal) {
                 let probe_ms = self.cfg.probe_interval_ms.max(1);
                 let shutdown = &shutdown;
                 let vfs = &vfs;
@@ -377,14 +594,11 @@ impl Server {
                             continue;
                         }
                         let _ = vfs.remove_file(&probe);
-                        let mut s =
-                            session.lock().unwrap_or_else(PoisonError::into_inner);
-                        match s.linker.reopen() {
+                        match sessions.reopen_all() {
                             Ok(()) => {
-                                drop(s);
                                 if health.heal() {
                                     info!(
-                                        "serve: storage healed; journal reopened, \
+                                        "serve: storage healed; journals reopened, \
                                          accepting writes again"
                                     );
                                 }
@@ -415,7 +629,8 @@ impl Server {
                 let handler = Handler {
                     cfg: &self.cfg,
                     her,
-                    session: session.as_ref(),
+                    sessions: sessions.as_ref(),
+                    pool: pool.as_ref(),
                     admission: &admission,
                     shutdown: &shutdown,
                     self_addr: self.addr,
@@ -429,15 +644,9 @@ impl Server {
             }
         });
 
-        // Final snapshot so a clean shutdown restarts with zero replay.
-        if let Some(session) = &session {
-            let s = session.lock().unwrap_or_else(PoisonError::into_inner);
-            if let Some(snaps) = &s.snaps {
-                let ck = s.linker.checkpoint();
-                if let Err(e) = snaps.write(&[(SNAP_SECTION, &ck.encode())]) {
-                    her_obs::warn!("serve: final snapshot failed: {e}");
-                }
-            }
+        // Final snapshots so a clean shutdown restarts with zero replay.
+        if let Some(sessions) = &sessions {
+            sessions.snapshot_all();
         }
         health.down();
         Ok(())
@@ -461,24 +670,25 @@ fn probe_append(vfs: &dyn Vfs, path: &Path) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Jittered exponential backoff for in-place WAL retries: `base ×
-/// 2^(attempt-1)` plus a deterministic jitter derived from the trace id
-/// — drills replay to the same schedule.
+/// Jittered exponential backoff for in-place WAL retries: the shared
+/// capped-exponential core ([`crate::backoff`]) with stateless additive
+/// jitter derived from the trace id — drills replay to the same
+/// schedule. The cap (`base × 64`) preserves the pre-refactor ceiling.
 fn retry_backoff(base_ms: u64, attempt: u32, trace_id: u64) -> Duration {
-    let base = base_ms.max(1);
-    let exp = base.saturating_mul(1 << (attempt.saturating_sub(1)).min(6));
-    let jitter = trace_id
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(u64::from(attempt))
-        % base;
-    Duration::from_millis(exp + jitter)
+    Duration::from_millis(crate::backoff::seeded_jitter_ms(
+        base_ms,
+        attempt,
+        base_ms.saturating_mul(64),
+        trace_id,
+    ))
 }
 
 /// Everything one connection thread needs, borrowed from the run scope.
 struct Handler<'s, 'h> {
     cfg: &'s ServeConfig,
     her: &'s Her,
-    session: Option<&'s her_sync::Mutex<StreamSession<'h>>>,
+    sessions: Option<&'s SessionRegistry<'h>>,
+    pool: Option<&'s MatcherPool<'h>>,
     admission: &'s Admission,
     shutdown: &'s AtomicBool,
     self_addr: SocketAddr,
@@ -495,7 +705,7 @@ enum ConnAction {
     Close,
 }
 
-impl Handler<'_, '_> {
+impl<'h> Handler<'_, 'h> {
     fn counter(&self, name: &'static str) {
         if let Some(o) = self.obs {
             // #[allow(her::unregistered_metric)] — callers pass `serve.*`/`store.iofault.*` literals, all in names::ALL
@@ -539,9 +749,9 @@ impl Handler<'_, '_> {
                 }
                 Err(_) => return,
             }
-            let req = match read_message(&mut stream) {
-                Ok(payload) => match Request::decode(&payload) {
-                    Ok(req) => req,
+            let (req, version) = match read_message(&mut stream) {
+                Ok(payload) => match Request::decode_versioned(&payload) {
+                    Ok(pair) => pair,
                     Err(e) => {
                         // A valid frame with a malformed request payload:
                         // the caller's bug, taxonomized as usage — and an
@@ -551,7 +761,8 @@ impl Handler<'_, '_> {
                             code: code::USAGE,
                             message: format!("malformed request: {e}"),
                         };
-                        match self.send(&mut stream, &mut faults, &mut faults_seen, &reply)
+                        let v = peer_version_hint(&payload);
+                        match self.send(&mut stream, &mut faults, &mut faults_seen, &reply, v)
                         {
                             ConnAction::Continue => continue,
                             ConnAction::Close => return,
@@ -578,7 +789,13 @@ impl Handler<'_, '_> {
                         code: code::DATA,
                         message: format!("corrupt request frame: {m}"),
                     };
-                    let _ = self.send(&mut stream, &mut faults, &mut faults_seen, &reply);
+                    let _ = self.send(
+                        &mut stream,
+                        &mut faults,
+                        &mut faults_seen,
+                        &reply,
+                        PROTO_VERSION,
+                    );
                     return;
                 }
             };
@@ -591,7 +808,8 @@ impl Handler<'_, '_> {
                     .histogram("serve.request_us")
                     .observe(started.elapsed().as_micros() as u64);
             }
-            let action = self.send(&mut stream, &mut faults, &mut faults_seen, &reply);
+            let action =
+                self.send(&mut stream, &mut faults, &mut faults_seen, &reply, version);
             if shutting_down {
                 self.shutdown.store(true, Ordering::Release);
                 // Wake the blocking accept loop with a no-op connection.
@@ -797,12 +1015,12 @@ impl Handler<'_, '_> {
             }
         };
 
-        // Past 2× the remaining deadline the watchdog forfeits this
-        // request's slot; the registration drop below is the normal
-        // completion path.
+        // Past the reap horizon (2× the remaining deadline, floored at
+        // `MIN_REAP_GRACE` so a near-deadline admission is not insta-
+        // reaped) the watchdog forfeits this request's slot; the
+        // registration drop below is the normal completion path.
         let watch = deadline.map(|d| {
-            let now = Instant::now();
-            let reap_at = now + d.saturating_duration_since(now) * 2;
+            let reap_at = watchdog::reap_horizon(Instant::now(), d);
             self.watchdog
                 .register(ctx.trace_id, reap_at, permit.release_flag())
         });
@@ -813,7 +1031,7 @@ impl Handler<'_, '_> {
             .as_ref()
             .map_or(0, |s| s.shared_hits());
         let exec_started = Instant::now();
-        let (reply, stats, exhausted) = {
+        let (reply, stats, exhausted, pool_wait_us) = {
             let _exec_span = self.obs.map(|o| o.tracer.span_ctx("serve.exec", ctx));
             self.execute(req, deadline, ctx)
         };
@@ -831,6 +1049,7 @@ impl Handler<'_, '_> {
         let mut rec = FlightRecord::for_ctx(ctx, op_tag);
         rec.queue_wait_us = queue_wait_us;
         rec.exec_us = exec_us;
+        rec.pool_wait_us = pool_wait_us;
         rec.calls = stats.calls;
         rec.cache_hits = stats.cache_hits + stats.ecache_hits;
         rec.shared_hits = self
@@ -940,45 +1159,74 @@ impl Handler<'_, '_> {
     }
 
     /// Runs one admitted data-plane request. Returns the reply plus the
-    /// matcher work counters and exhaustion for the flight record.
+    /// matcher work counters, exhaustion, and the matcher-pool checkout
+    /// wait for the flight record.
     fn execute(
         &self,
         req: Request,
         deadline: Option<Instant>,
         ctx: ReqCtx,
-    ) -> (Reply, MatchStats, Option<ExhaustReason>) {
+    ) -> (Reply, MatchStats, Option<ExhaustReason>, u64) {
         let plain = MatchStats::default();
         match req {
             Request::Vpair {
                 tuple, max_calls, ..
             } => {
                 if !self.her.cg.has_tuple(tuple) {
-                    return (unknown_tuple_reply(tuple), plain, None);
+                    return (unknown_tuple_reply(tuple), plain, None, 0);
                 }
-                let run = self
-                    .her
-                    .try_vpair(tuple, self.matcher_opts(max_calls, deadline, ctx));
+                let (run, pool_wait_us) = match self.pool {
+                    Some(pool) => {
+                        let (run, ticket) = self.her.try_vpair_pooled(
+                            pool,
+                            tuple,
+                            self.budget(max_calls, deadline),
+                            CancelToken::new(),
+                            ctx,
+                        );
+                        (run, ticket.wait_us)
+                    }
+                    None => (
+                        self.her
+                            .try_vpair(tuple, self.matcher_opts(max_calls, deadline, ctx)),
+                        0,
+                    ),
+                };
                 let reply = Reply::Vpair {
                     matches: run.matches,
                     unresolved: run.unresolved,
                     exhausted: run.exhausted,
                     trace_id: ctx.trace_id,
                 };
-                (reply, run.stats, run.exhausted)
+                (reply, run.stats, run.exhausted, pool_wait_us)
             }
             Request::Apair { max_calls, .. } => {
-                let (matches, exhausted, stats) = self
-                    .her
-                    .try_apair_stats(self.matcher_opts(max_calls, deadline, ctx));
+                let (matches, exhausted, stats, pool_wait_us) = match self.pool {
+                    Some(pool) => {
+                        let (matches, exhausted, stats, ticket) = self.her.try_apair_stats_pooled(
+                            pool,
+                            self.budget(max_calls, deadline),
+                            CancelToken::new(),
+                            ctx,
+                        );
+                        (matches, exhausted, stats, ticket.wait_us)
+                    }
+                    None => {
+                        let (matches, exhausted, stats) = self
+                            .her
+                            .try_apair_stats(self.matcher_opts(max_calls, deadline, ctx));
+                        (matches, exhausted, stats, 0)
+                    }
+                };
                 let reply = Reply::Apair {
                     matches,
                     exhausted,
                     trace_id: ctx.trace_id,
                 };
-                (reply, stats, exhausted)
+                (reply, stats, exhausted, pool_wait_us)
             }
-            Request::StreamProcess { tuple } => {
-                let reply = self.stream_op(|s| {
+            Request::StreamProcess { tuple, session } => {
+                let reply = self.stream_op(session, |s| {
                     if !self.her.cg.has_tuple(tuple) {
                         return unknown_tuple_reply(tuple);
                     }
@@ -994,10 +1242,10 @@ impl Handler<'_, '_> {
                         Err(reply) => reply,
                     }
                 });
-                (reply, plain, None)
+                (reply, plain, None, 0)
             }
-            Request::StreamRetract { vertex } => {
-                let reply = self.stream_op(|s| {
+            Request::StreamRetract { vertex, session } => {
+                let reply = self.stream_op(session, |s| {
                     match self.journal_with_retry(s, ctx, |s| s.linker.retract_vertex(vertex))
                     {
                         Ok(()) => {
@@ -1011,24 +1259,25 @@ impl Handler<'_, '_> {
                         Err(reply) => reply,
                     }
                 });
-                (reply, plain, None)
+                (reply, plain, None, 0)
             }
-            Request::StreamMatches => {
-                let Some(session) = self.session else {
-                    return (no_stream_reply(), plain, None);
+            Request::StreamMatches { session } => {
+                let handle = match self.session_handle(session) {
+                    Ok(h) => h,
+                    Err(reply) => return (reply, plain, None, 0),
                 };
-                let s = session.lock().unwrap_or_else(PoisonError::into_inner);
+                let s = handle.lock().unwrap_or_else(PoisonError::into_inner);
                 let reply = Reply::StreamMatches {
                     matches: s.linker.matches(),
                     ops_applied: s.linker.ops_applied(),
                 };
-                (reply, plain, None)
+                (reply, plain, None, 0)
             }
             // The control plane is handled before admission in `answer`.
-            Request::Metrics => (self.metrics_reply(), plain, None),
-            Request::Ping => (Reply::Pong, plain, None),
-            Request::Health => (self.health_reply(), plain, None),
-            Request::Shutdown => (Reply::ShuttingDown, plain, None),
+            Request::Metrics => (self.metrics_reply(), plain, None, 0),
+            Request::Ping => (Reply::Pong, plain, None, 0),
+            Request::Health => (self.health_reply(), plain, None, 0),
+            Request::Shutdown => (Reply::ShuttingDown, plain, None, 0),
             Request::Trace { trace_id } => (
                 Reply::Trace {
                     trace_id,
@@ -1036,6 +1285,7 @@ impl Handler<'_, '_> {
                 },
                 plain,
                 None,
+                0,
             ),
             Request::Flight => (
                 Reply::Flight {
@@ -1043,6 +1293,7 @@ impl Handler<'_, '_> {
                 },
                 plain,
                 None,
+                0,
             ),
             Request::Expo => (
                 Reply::Expo {
@@ -1050,16 +1301,30 @@ impl Handler<'_, '_> {
                 },
                 plain,
                 None,
+                0,
             ),
         }
     }
 
-    fn stream_op(&self, f: impl FnOnce(&mut StreamSession<'_>) -> Reply) -> Reply {
-        let Some(session) = self.session else {
-            return no_stream_reply();
+    /// The session handle for `id` — opened lazily by the registry —
+    /// or the reply explaining why there is none.
+    fn session_handle(
+        &self,
+        id: u64,
+    ) -> Result<Arc<her_sync::Mutex<StreamSession<'h>>>, Reply> {
+        let Some(sessions) = self.sessions else {
+            return Err(no_stream_reply());
+        };
+        sessions.get(id)
+    }
+
+    fn stream_op(&self, id: u64, f: impl FnOnce(&mut StreamSession<'_>) -> Reply) -> Reply {
+        let handle = match self.session_handle(id) {
+            Ok(h) => h,
+            Err(reply) => return reply,
         };
         self.counter("serve.stream_ops");
-        let mut s = session.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut s = handle.lock().unwrap_or_else(PoisonError::into_inner);
         f(&mut s)
     }
 
@@ -1071,8 +1336,11 @@ impl Handler<'_, '_> {
         faults: &mut Option<ConnFaults>,
         faults_seen: &mut u32,
         reply: &Reply,
+        version: u32,
     ) -> ConnAction {
-        let payload = reply.encode();
+        // Echo the peer's protocol version so a v3 client never sees a
+        // v4 frame it cannot decode.
+        let payload = reply.encode_as(version);
         let mut buf = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
         her_store::frame::write_frame(&mut buf, &payload);
 
@@ -1126,8 +1394,21 @@ fn op_of(req: &Request) -> u8 {
         Request::Apair { .. } => op::APAIR,
         Request::StreamProcess { .. }
         | Request::StreamRetract { .. }
-        | Request::StreamMatches => op::STREAM,
+        | Request::StreamMatches { .. } => op::STREAM,
         _ => op::OTHER,
+    }
+}
+
+/// Best-effort protocol version of a frame that failed to decode: if
+/// the leading version word is one this build speaks, reply in it;
+/// otherwise fall back to the current version (a peer that garbled the
+/// version word cannot be helped either way).
+fn peer_version_hint(payload: &[u8]) -> u32 {
+    match payload.get(..4).map(|b| {
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }) {
+        Some(v) if (MIN_PROTO_VERSION..=PROTO_VERSION).contains(&v) => v,
+        _ => PROTO_VERSION,
     }
 }
 

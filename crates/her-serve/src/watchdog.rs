@@ -1,6 +1,9 @@
 //! The request watchdog: a reaper that force-expires requests stuck
-//! past **2× their deadline**, so a hung I/O (or any wedged handler)
-//! cannot pin an admission slot forever.
+//! past their reap horizon — **2× their deadline**, floored at
+//! [`MIN_REAP_GRACE`] (see [`reap_horizon`]) — so a hung I/O (or any
+//! wedged handler) cannot pin an admission slot forever, while a
+//! request that merely *registered* near its deadline still gets its
+//! normal drop.
 //!
 //! Every admitted request with a deadline registers `(trace_id,
 //! reap_at, permit release flag)` in the inflight table; the handler's
@@ -22,7 +25,26 @@ use crate::admission::Admission;
 use her_sync::rank;
 use std::sync::atomic::AtomicBool;
 use std::sync::{Arc, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Minimum grace between registration and a forced reap. Without a
+/// floor, a request registered at (or past) its deadline would compute
+/// a `now + 2 × remaining ≈ now` horizon and be force-released almost
+/// immediately — oversubscribing admission for a request that would
+/// have returned its deadline-exhausted partials through the normal
+/// drop path microseconds later. The floor is comfortably above a
+/// normal deadline-exhausted unwind and far below the wedged-I/O
+/// timescales the reaper exists for.
+pub const MIN_REAP_GRACE: Duration = Duration::from_millis(250);
+
+/// The reap horizon for a request registered at `now` with the given
+/// deadline: `now + max(2 × remaining, MIN_REAP_GRACE)`. Remaining time
+/// saturates at zero for an already-expired deadline, so the floor is
+/// what keeps near-deadline requests on their normal completion path.
+pub fn reap_horizon(now: Instant, deadline: Instant) -> Instant {
+    let twice = deadline.saturating_duration_since(now) * 2;
+    now + twice.max(MIN_REAP_GRACE)
+}
 
 struct Entry {
     id: u64,
@@ -57,8 +79,8 @@ impl Watchdog {
         self.table.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Registers an admitted request. `reap_at` should be `now + 2 ×
-    /// remaining deadline`; `flag` is the permit's release flag
+    /// Registers an admitted request. `reap_at` should come from
+    /// [`reap_horizon`]; `flag` is the permit's release flag
     /// ([`crate::admission::Permit::release_flag`]). Dropping the
     /// returned guard deregisters (the normal completion path).
     pub fn register(
@@ -79,30 +101,35 @@ impl Watchdog {
         Registration { dog: self, id }
     }
 
-    /// One reaper scan: force-releases every registration past its
-    /// `reap_at` and removes it from the table (the handler's guard drop
-    /// then finds nothing to remove — that is fine). Returns how many
-    /// permits this scan reaped.
+    /// One reaper scan: removes every registration past its `reap_at`
+    /// from the table (the handler's guard drop then finds nothing to
+    /// remove — that is fine), then force-releases all their permits in
+    /// one batched grant ([`Admission::force_release_many`]) — when a
+    /// stall clears and several wedged requests expire together, the
+    /// freed slots reach the queue head under a single wakeup instead of
+    /// one lock/unpark cycle each. Returns how many permits this scan
+    /// reaped.
     pub fn reap(&self, gate: &Admission) -> usize {
         let now = Instant::now();
-        let mut reaped = 0;
-        let mut t = self.lock();
-        t.entries.retain(|e| {
-            if now < e.reap_at {
-                return true;
-            }
-            if gate.force_release(&e.flag) {
-                reaped += 1;
-                her_obs::warn!(
-                    "serve: watchdog reaped stuck request (trace_id={}): \
-                     2x deadline exceeded, admission slot force-released",
-                    e.trace_id
-                );
-            }
-            false
-        });
-        drop(t);
+        let expired: Vec<Entry> = {
+            let mut t = self.lock();
+            let (dead, live) = std::mem::take(&mut t.entries)
+                .into_iter()
+                .partition(|e| now >= e.reap_at);
+            t.entries = live;
+            dead
+        };
+        if expired.is_empty() {
+            return 0;
+        }
+        let reaped = gate.force_release_many(expired.iter().map(|e| &*e.flag));
         if reaped > 0 {
+            let ids: Vec<u64> = expired.iter().map(|e| e.trace_id).collect();
+            her_obs::warn!(
+                "serve: watchdog reaped {reaped} stuck request(s) \
+                 (trace_ids={ids:?}): reap horizon exceeded, admission \
+                 slots force-released in one batch"
+            );
             if let Some(o) = &self.obs {
                 o.registry.counter("serve.health.reaped").add(reaped as u64);
             }
@@ -182,6 +209,56 @@ mod tests {
             obs.registry.snapshot().counter("serve.health.reaped"),
             1
         );
+    }
+
+    /// A request that registers at (or past) its deadline is protected
+    /// by the grace floor: the horizon is `now + MIN_REAP_GRACE`, not
+    /// `now`, so an immediate reaper pass finds nothing and the request
+    /// completes through its normal drop.
+    #[test]
+    fn near_deadline_registration_gets_grace_before_reap() {
+        let gate = Admission::new(1, 0, None);
+        let dog = Watchdog::new(None);
+        let permit = must_admit(&gate);
+        let now = Instant::now();
+        // Deadline already expired at registration time.
+        let horizon = reap_horizon(now, now);
+        assert!(horizon >= now + MIN_REAP_GRACE);
+        let reg = dog.register(11, horizon, permit.release_flag());
+        assert_eq!(
+            dog.reap(&gate),
+            0,
+            "a near-deadline request must ride out the grace floor"
+        );
+        assert_eq!(dog.tracked(), 1);
+        // The normal completion path wins the race against the reaper.
+        drop(reg);
+        drop(permit);
+        assert_eq!(dog.tracked(), 0);
+        assert_eq!(gate.stats().inflight, 0);
+        // A roomy deadline still gets the 2x horizon, not the floor.
+        let far = now + Duration::from_secs(2);
+        assert_eq!(reap_horizon(now, far), now + Duration::from_secs(4));
+    }
+
+    /// Several wedged requests expiring together are reaped in one scan
+    /// (one batched force-release), and every slot is reusable after.
+    #[test]
+    fn batched_reap_frees_all_expired_slots_at_once() {
+        let gate = Admission::new(3, 0, None);
+        let dog = Watchdog::new(None);
+        let permits: Vec<_> = (0..3).map(|_| must_admit(&gate)).collect();
+        let _regs: Vec<_> = permits
+            .iter()
+            .enumerate()
+            .map(|(i, p)| dog.register(i as u64, Instant::now(), p.release_flag()))
+            .collect();
+        assert_eq!(dog.tracked(), 3);
+        assert_eq!(dog.reap(&gate), 3, "all expired entries reaped in one scan");
+        assert_eq!(dog.tracked(), 0);
+        assert_eq!(gate.stats().inflight, 0);
+        drop(permits); // zombie drops are no-ops
+        assert_eq!(gate.stats().inflight, 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use her_core::{Her, HerConfig};
 use her_graph::{GraphBuilder, VertexId};
 use her_rdb::schema::{RelationSchema, Schema};
 use her_rdb::{Database, Tuple, TupleRef, Value};
-use her_serve::{Client, ClientError, FaultPlan, Reply, Request, RetryPolicy, ServeConfig, Server};
+use her_serve::{Client, ClientError, FaultPlan, Reply, Request, RetryPolicy, ServeConfig, Server, DEFAULT_SESSION};
 use std::time::Duration;
 
 /// The stream-test system: 8 item tuples, one entity vertex each.
@@ -257,14 +257,14 @@ fn stream_through_server(
     with_server(her, cfg, |client| {
         for &t in ops {
             match client
-                .request(&Request::StreamProcess { tuple: t })
+                .request(&Request::StreamProcess { tuple: t, session: DEFAULT_SESSION })
                 .expect("stream process")
             {
                 Reply::StreamApplied { .. } => {}
                 other => panic!("unexpected reply: {other:?}"),
             }
         }
-        match client.request(&Request::StreamMatches).expect("matches") {
+        match client.request(&Request::StreamMatches { session: DEFAULT_SESSION }).expect("matches") {
             Reply::StreamMatches { matches, .. } => matches,
             other => panic!("unexpected reply: {other:?}"),
         }
@@ -304,7 +304,7 @@ fn warm_restart_resumes_from_snapshot_plus_wal() {
     // Session 2 must resume exactly where session 1 stopped, then absorb
     // the remaining ops as if the restart never happened.
     let rest = with_server(&her, cfg(), |client| {
-        match client.request(&Request::StreamMatches).expect("matches") {
+        match client.request(&Request::StreamMatches { session: DEFAULT_SESSION }).expect("matches") {
             Reply::StreamMatches {
                 matches,
                 ops_applied,
@@ -316,10 +316,10 @@ fn warm_restart_resumes_from_snapshot_plus_wal() {
         }
         for &t in &ts[5..] {
             client
-                .request(&Request::StreamProcess { tuple: t })
+                .request(&Request::StreamProcess { tuple: t, session: DEFAULT_SESSION })
                 .expect("post-restart process");
         }
-        match client.request(&Request::StreamMatches).expect("matches") {
+        match client.request(&Request::StreamMatches { session: DEFAULT_SESSION }).expect("matches") {
             Reply::StreamMatches { matches, .. } => matches,
             other => panic!("unexpected reply: {other:?}"),
         }
@@ -371,7 +371,7 @@ fn warm_restart_survives_torn_wal_tails_at_every_offset() {
         std::fs::write(&wal, &torn).expect("write torn wal");
         let expect_ops = records_at(cut).max(ck.ops_applied);
         let got = with_server(&her, cfg(), |client| {
-            match client.request(&Request::StreamMatches).expect("matches") {
+            match client.request(&Request::StreamMatches { session: DEFAULT_SESSION }).expect("matches") {
                 Reply::StreamMatches {
                     matches,
                     ops_applied,
@@ -503,9 +503,13 @@ fn introspection_traces_requests_and_dumps_anomalies() {
     // Phase 1: a healthy server. One full request, one budget-exhausted
     // request, one undecodable payload (deterministic DECODE anomaly).
     let obs = her_obs::Obs::new();
+    // Pool off: a warm pooled matcher can spend a capped budget entirely on
+    // cache/shared hits (zero fresh calls), and this test pins the cold-matcher
+    // flight-record shape (exhausted request with calls >= 1).
     let cfg = ServeConfig {
         obs: Some(obs.clone()),
         flight_path: Some(flight_path.clone()),
+        matcher_pool: 0,
         ..Default::default()
     };
     with_server(&her, cfg, |client| {

@@ -11,7 +11,7 @@ use her_core::{Her, HerConfig};
 use her_graph::{GraphBuilder, VertexId};
 use her_rdb::schema::{RelationSchema, Schema};
 use her_rdb::{Database, Tuple, TupleRef, Value};
-use her_serve::{Client, ClientError, Reply, Request, RetryPolicy, ServeConfig, Server, State};
+use her_serve::{Client, ClientError, Reply, Request, RetryPolicy, ServeConfig, Server, State, DEFAULT_SESSION};
 use her_store::{FaultVfs, IoFaultPlan};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -100,7 +100,7 @@ fn health_of(client: &mut Client) -> (State, String) {
 }
 
 fn matches_of(client: &mut Client) -> (Vec<(TupleRef, VertexId)>, u64) {
-    match client.request(&Request::StreamMatches).expect("matches") {
+    match client.request(&Request::StreamMatches { session: DEFAULT_SESSION }).expect("matches") {
         Reply::StreamMatches {
             matches,
             ops_applied,
@@ -141,7 +141,7 @@ fn degraded_server_rejects_writes_serves_reads_and_self_heals() {
         };
         // Two ops land while the disk is healthy.
         for &t in &ts[..2] {
-            match client.request(&Request::StreamProcess { tuple: t }) {
+            match client.request(&Request::StreamProcess { tuple: t, session: DEFAULT_SESSION }) {
                 Ok(Reply::StreamApplied { .. }) => {}
                 other => panic!("healthy process failed: {other:?}"),
             }
@@ -158,7 +158,7 @@ fn degraded_server_rejects_writes_serves_reads_and_self_heals() {
         // The mutation must be rejected, not acknowledged-and-lost: the
         // client retries `Unavailable` (honouring retry_after) and then
         // surfaces it.
-        match client.request(&Request::StreamProcess { tuple: ts[2] }) {
+        match client.request(&Request::StreamProcess { tuple: ts[2], session: DEFAULT_SESSION }) {
             Err(ClientError::Unavailable(reason)) => {
                 assert!(
                     reason.contains("read-only"),
@@ -216,7 +216,7 @@ fn degraded_server_rejects_writes_serves_reads_and_self_heals() {
         assert!(leftovers >= 1, "failed probes should stay quarantined");
 
         // Post-heal the same mutation round-trips.
-        match client.request(&Request::StreamProcess { tuple: ts[2] }) {
+        match client.request(&Request::StreamProcess { tuple: ts[2], session: DEFAULT_SESSION }) {
             Ok(Reply::StreamApplied { ops_applied, .. }) => {
                 assert_eq!(ops_applied, 3, "healed journal resumed at wrong op");
             }
@@ -256,10 +256,12 @@ fn watchdog_reaps_requests_stuck_past_twice_their_deadline() {
     let (her, ts) = system();
     let dir = tempdir("watchdog");
     let obs = her_obs::Obs::new();
-    // Every write sleeps well past 2× the 40ms default deadline.
+    // Every write sleeps well past 2× the 40ms default deadline AND past
+    // the reap grace floor (MIN_REAP_GRACE), so the horizon is genuinely
+    // exceeded rather than landing on its edge.
     let fault = FaultVfs::with_obs(
         IoFaultPlan {
-            delay_write_ms: 250,
+            delay_write_ms: 600,
             ..IoFaultPlan::default()
         },
         obs.clone(),
@@ -276,12 +278,12 @@ fn watchdog_reaps_requests_stuck_past_twice_their_deadline() {
     with_server(&her, cfg, |client| {
         // The slow mutation completes (the device is slow, not broken)
         // — but long before it does, the reaper has forfeited its slot.
-        match client.request(&Request::StreamProcess { tuple: ts[0] }) {
+        match client.request(&Request::StreamProcess { tuple: ts[0], session: DEFAULT_SESSION }) {
             Ok(Reply::StreamApplied { ops_applied, .. }) => assert_eq!(ops_applied, 1),
             other => panic!("slow process failed: {other:?}"),
         }
         // The server still admits and serves new work afterwards.
-        match client.request(&Request::StreamProcess { tuple: ts[1] }) {
+        match client.request(&Request::StreamProcess { tuple: ts[1], session: DEFAULT_SESSION }) {
             Ok(Reply::StreamApplied { ops_applied, .. }) => assert_eq!(ops_applied, 2),
             other => panic!("post-reap process failed: {other:?}"),
         }

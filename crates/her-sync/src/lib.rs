@@ -71,6 +71,11 @@ pub mod rank {
     /// `her-serve` admission gate: in-flight/queue bookkeeping. Outermost
     /// serve-side lock — held only for bookkeeping, never across a match.
     pub const SERVE_ADMISSION: Rank = Rank::new(4, "serve.admission");
+    /// `her-serve` session registry: the stream-id → session map. Held
+    /// only to look up or create a session handle, then released before
+    /// the session's own `SERVE_STREAM` lock is taken, but ranked above
+    /// it so a lookup-then-lock sequence is provably ordered.
+    pub const SERVE_SESSIONS: Rank = Rank::new(5, "serve.sessions");
     /// `her-serve` stream session: serializes stream mutations and
     /// snapshots. Held across matching, which takes `SCORES_SHARD` and
     /// the obs locks, so it must rank below all of those.
@@ -88,6 +93,11 @@ pub mod rank {
     pub const FAULT_POISON: Rank = Rank::new(21, "parallel.fault_poison");
     /// `her-parallel` fault plan: per-worker message-fate counters.
     pub const FAULT_COUNTERS: Rank = Rank::new(22, "parallel.fault_counters");
+    /// `her-core` matcher pool: the warm-matcher free list. Held only
+    /// for a pop/push (matchers are moved out before use), never across
+    /// a match, so it ranks above the score shards a checked-out
+    /// matcher will lock.
+    pub const MATCHER_POOL: Rank = Rank::new(30, "core.matcher_pool");
     /// `her-core` shared score memo: one rank for all shards — shards
     /// are peers and at most one may be held at a time.
     pub const SCORES_SHARD: Rank = Rank::new(40, "core.scores_shard");
@@ -521,12 +531,14 @@ mod tests {
         let table = [
             rank::SERVE_WATCHDOG,
             rank::SERVE_ADMISSION,
+            rank::SERVE_SESSIONS,
             rank::SERVE_STREAM,
             rank::SERVE_HEALTH,
             rank::PARTITION,
             rank::FAULT_KILLS,
             rank::FAULT_POISON,
             rank::FAULT_COUNTERS,
+            rank::MATCHER_POOL,
             rank::SCORES_SHARD,
             rank::OBS_REGISTRY,
             rank::OBS_TRACE,

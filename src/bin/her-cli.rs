@@ -40,6 +40,10 @@
 //!   --deadline-ms MS     serve: default per-request deadline
 //!   --snapshot-dir DIR   checkpoint-backed warm restart state
 //!   --snapshot-every-ops N    snapshot cadence (default 8)
+//!   --max-sessions N     stream sessions servable at once (default 4;
+//!                        each gets its own WAL + snapshot namespace)
+//!   --matcher-pool N     warm matchers kept for vpair/apair requests
+//!                        (default 4; 0 = build one per request)
 //!   --fault-seed N --fault-drop N --fault-delay N --fault-delay-ms MS
 //!   --fault-truncate N --fault-garble N --fault-kill N
 //!                        seeded reply-path fault plan (1-in-N; 0 = off)
@@ -66,6 +70,8 @@
 //!                        read-only server prints its state and reason
 //!                        and exits 4)
 //!   --tuple N / --vertex N    operands for vpair / stream ops
+//!   --session N          stream session to address (default 0, the one
+//!                        v3 clients and plain --wal restarts share)
 //!   --id N               trace id for --op trace
 //!   --format table|json  metrics rendering (default json; keys are
 //!                        deterministically sorted either way)
@@ -160,9 +166,10 @@ fn usage() {
          \t[--wal FILE] [--stop-after-ops N] \\\n\
          \t[--metrics-out FILE] [--trace] [-v | -vv]\n\
        serve: [--addr HOST:PORT] [--port-file FILE] [--max-inflight N] [--max-queue N] \\\n\
-         \t[--snapshot-dir DIR] [--snapshot-every-ops N] [--fault-* ...]\n\
+         \t[--snapshot-dir DIR] [--snapshot-every-ops N] \\\n\
+         \t[--max-sessions N] [--matcher-pool N] [--fault-* ...]\n\
        query: --addr HOST:PORT | --port-file FILE  --op OP [--tuple N] [--vertex N] \\\n\
-         \t[--id N] [--format table|json] \\\n\
+         \t[--session N] [--id N] [--format table|json] \\\n\
          \t[--max-calls N] [--deadline-ms MS] [--timeout-ms MS] [--retries N] [--retry-seed N]\n\
        top:   --addr HOST:PORT | --port-file FILE  [--interval-ms MS] [--iterations N]\n\
        trace: ID (--addr HOST:PORT | --port-file FILE | --dump FILE)"
@@ -592,6 +599,12 @@ fn run(mode: &str, opts: &HashMap<String, String>) -> Result<(), HerError> {
                 if let Some(ms) = opts.get("deadline-ms") {
                     scfg.default_deadline_ms = numeric(ms, "deadline-ms")?;
                 }
+                if let Some(n) = opts.get("max-sessions") {
+                    scfg.max_sessions = numeric(n, "max-sessions")?;
+                }
+                if let Some(n) = opts.get("matcher-pool") {
+                    scfg.matcher_pool = numeric(n, "matcher-pool")?;
+                }
                 scfg.wal = opts.get("wal").map(Into::into);
                 scfg.snapshot_dir = opts.get("snapshot-dir").map(Into::into);
                 if let Some(n) = opts.get("snapshot-every-ops") {
@@ -802,6 +815,12 @@ fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
     let tuple = |key: &str| -> Result<TupleRef, HerError> {
         Ok(TupleRef::new(0, numeric(&required(opts, key)?, key)?))
     };
+    // Stream ops address a server-side session; 0 (the default) is the
+    // one v3 clients and `--wal` restarts share.
+    let session: u64 = match opts.get("session") {
+        Some(n) => numeric(n, "session")?,
+        None => her::serve::DEFAULT_SESSION,
+    };
 
     use her::serve::Request;
     let req = match op.as_str() {
@@ -816,11 +835,13 @@ fn query(opts: &HashMap<String, String>) -> Result<(), HerError> {
         },
         "stream-process" => Request::StreamProcess {
             tuple: tuple("tuple")?,
+            session,
         },
         "stream-retract" => Request::StreamRetract {
             vertex: VertexId(numeric(&required(opts, "vertex")?, "vertex")?),
+            session,
         },
-        "stream-matches" => Request::StreamMatches,
+        "stream-matches" => Request::StreamMatches { session },
         // The table rendering of metrics rides on the text exposition —
         // same registry, same deterministic ordering, aligned columns.
         "metrics" if format == "table" => Request::Expo,
@@ -1095,17 +1116,18 @@ fn render_trace(events: &[her::obs::Event]) {
 /// Renders flight records as an aligned table, oldest first.
 fn render_flight(records: &[her::obs::FlightRecord]) {
     println!(
-        "{:>8} {:>8} {:<7} {:>10} {:>10} {:>9} {:>7} {:>7} {:<9} {:>6} anomaly",
-        "id", "at(ms)", "op", "queue(us)", "exec(us)", "calls", "cache", "shared", "exhaust",
-        "faults"
+        "{:>8} {:>8} {:<7} {:>10} {:>9} {:>10} {:>9} {:>7} {:>7} {:<9} {:>6} anomaly",
+        "id", "at(ms)", "op", "queue(us)", "pool(us)", "exec(us)", "calls", "cache", "shared",
+        "exhaust", "faults"
     );
     for r in records {
         println!(
-            "{:>8} {:>8} {:<7} {:>10} {:>10} {:>9} {:>7} {:>7} {:<9} {:>6} {}",
+            "{:>8} {:>8} {:<7} {:>10} {:>9} {:>10} {:>9} {:>7} {:>7} {:<9} {:>6} {}",
             r.trace_id,
             r.at_us / 1000,
             her::obs::flight::op::name(r.op),
             r.queue_wait_us,
+            r.pool_wait_us,
             r.exec_us,
             r.calls,
             r.cache_hits,

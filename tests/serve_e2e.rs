@@ -159,7 +159,10 @@ fn overloaded_server_sheds_with_exit_code_4() {
 fn budget_exhaustion_returns_sound_partials_with_exit_code_3() {
     let dir = scratch("exhaust");
     let common = demo(&dir);
-    let (child, addr) = spawn_server(&dir, &common, "port.txt", &[]);
+    // Pool off: a warm pooled matcher would satisfy the capped repeat
+    // request from its verdict cache (zero fresh calls) and never
+    // exhaust. This drill pins the cold-matcher budget semantics.
+    let (child, addr) = spawn_server(&dir, &common, "port.txt", &["--matcher-pool", "0"]);
 
     let full = query(&dir, &addr, &["--op", "apair"]);
     assert!(full.status.success(), "full apair failed: {full:?}");
@@ -232,6 +235,54 @@ fn kill_9_then_warm_restart_equals_the_uninterrupted_run() {
     let finished = query(&dir, &addr, &["--op", "stream-matches"]);
     assert!(finished.status.success(), "final read failed: {finished:?}");
     assert_eq!(stdout(&finished), stdout(&final_ref));
+
+    shutdown(&dir, &addr, child);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn two_sessions_survive_kill_9_independently() {
+    let dir = scratch("kill9x2");
+    let common = demo(&dir);
+
+    // Two sessions diverge on purpose: session 0 links rows {0, 1},
+    // session 7 links rows {1, 2}. Each journals into its own WAL
+    // namespace under the same --wal stem.
+    let durable: &[&str] = &[
+        "--wal",
+        "multi.hlog",
+        "--snapshot-dir",
+        "snaps",
+        "--snapshot-every-ops",
+        "1",
+        "--max-sessions",
+        "4",
+    ];
+    let (mut victim, addr) = spawn_server(&dir, &common, "port.txt", durable);
+    for (session, row) in [("0", "0"), ("0", "1"), ("7", "1"), ("7", "2")] {
+        let out = query(
+            &dir,
+            &addr,
+            &["--op", "stream-process", "--session", session, "--tuple", row],
+        );
+        assert!(out.status.success(), "s{session} op {row} failed: {out:?}");
+    }
+    let read = |addr: &str, session: &str| -> String {
+        let out = query(&dir, addr, &["--op", "stream-matches", "--session", session]);
+        assert!(out.status.success(), "s{session} read failed: {out:?}");
+        stdout(&out)
+    };
+    let ref_s0 = read(&addr, "0");
+    let ref_s7 = read(&addr, "7");
+    assert_ne!(ref_s0, ref_s7, "sessions were fed different rows");
+    victim.kill().expect("kill -9 the server");
+    let _ = victim.wait();
+
+    // Warm restart discovers both per-session WALs and replays each to
+    // its own acknowledged state — no cross-session bleed.
+    let (child, addr) = spawn_server(&dir, &common, "restart-port.txt", durable);
+    assert_eq!(read(&addr, "0"), ref_s0, "session 0 diverged after kill -9");
+    assert_eq!(read(&addr, "7"), ref_s7, "session 7 diverged after kill -9");
 
     shutdown(&dir, &addr, child);
     let _ = fs::remove_dir_all(&dir);
