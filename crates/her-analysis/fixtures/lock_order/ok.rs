@@ -1,0 +1,55 @@
+// Fixture: rank-ordered acquisition — every path acquires strictly
+// increasing ranks, directly and through helpers, so the lock pass must
+// produce an acyclic graph with zero findings.
+
+use her_sync::{rank, Mutex, MutexGuard};
+
+pub struct Table {
+    pub entries: u64,
+}
+
+pub struct Cell {
+    pub state: u8,
+}
+
+pub struct Service {
+    watchdog: her_sync::Mutex<Table>,
+    health: her_sync::Mutex<Cell>,
+}
+
+impl Service {
+    pub fn new() -> Self {
+        Self {
+            watchdog: her_sync::Mutex::new(rank::SERVE_WATCHDOG, Table { entries: 0 }),
+            health: her_sync::Mutex::new(rank::SERVE_HEALTH, Cell { state: 0 }),
+        }
+    }
+
+    // A guard-returning helper: callers of `lock()` acquire the watchdog
+    // rank at their own site.
+    fn lock(&self) -> MutexGuard<'_, Table> {
+        self.watchdog.lock()
+    }
+
+    // Direct nesting, increasing: watchdog (3) then health (7).
+    pub fn tick(&self) {
+        let mut t = self.lock();
+        t.entries += 1;
+        self.publish(t.entries);
+    }
+
+    // Indirect second acquisition through a helper call.
+    fn publish(&self, n: u64) {
+        let mut c = self.health.lock();
+        c.state = (n % 250) as u8;
+    }
+
+    // Temporaries in sequence hold nothing across statements.
+    pub fn sequential(&self) {
+        self.lock().entries += 1;
+        self.health.lock().state = 0;
+        let again = self.lock();
+        drop(again);
+        self.publish(0);
+    }
+}

@@ -1,0 +1,61 @@
+// Fixture: seeded rank inversions. `forward` establishes the legal
+// 3 -> 7 edge; `release_only_regression` — compiled ONLY in release
+// builds, where the dynamic tracker's debug_assertions guard never
+// runs — takes them in the opposite order. The static pass analyzes
+// every cfg branch, so it must report the inversion AND the resulting
+// 3 -> 7 -> 3 cycle. A third, line-waived site must come back waived.
+
+use her_sync::{rank, Mutex};
+
+pub struct Table {
+    pub entries: u64,
+}
+
+pub struct Cell {
+    pub state: u8,
+}
+
+pub struct Service {
+    watchdog: her_sync::Mutex<Table>,
+    health: her_sync::Mutex<Cell>,
+}
+
+impl Service {
+    pub fn new() -> Self {
+        Self {
+            watchdog: her_sync::Mutex::new(rank::SERVE_WATCHDOG, Table { entries: 0 }),
+            health: her_sync::Mutex::new(rank::SERVE_HEALTH, Cell { state: 0 }),
+        }
+    }
+
+    // The legal direction: watchdog (3) then health (7).
+    pub fn forward(&self) {
+        let t = self.watchdog.lock();
+        self.health.lock().state = (t.entries % 250) as u8;
+    }
+
+    // Reaps expired entries — acquires the watchdog table.
+    fn reap(&self) -> u64 {
+        let mut t = self.watchdog.lock();
+        t.entries = 0;
+        t.entries
+    }
+
+    // Release-only path: holds health (7) and calls reap(), which
+    // acquires watchdog (3). Unreachable in any debug/test run, so only
+    // the static pass can see the 7 -> 3 inversion closing the cycle.
+    #[cfg(not(debug_assertions))]
+    pub fn release_only_regression(&self) {
+        let c = self.health.lock();
+        let reaped = self.reap();
+        let _ = (c.state, reaped);
+    }
+
+    // Same inversion shape, deliberately waived in place.
+    pub fn waived_inversion(&self) {
+        let c = self.health.lock();
+        // #[allow(her::static_lock_inversion)] — startup only, single-threaded
+        let t = self.watchdog.lock();
+        let _ = (c.state, t.entries);
+    }
+}

@@ -1,0 +1,29 @@
+// Fixture (virtual crate `a`): calls `shared_helper()` while holding
+// the watchdog. Two other crates both define `shared_helper`, so
+// resolution is ambiguous and the pass assumes the call acquires
+// nothing — the possible 3 -> 7 edge is absent (documented precision
+// limit; `--strict` flags the site).
+
+use her_sync::{rank, Mutex};
+
+pub struct Table {
+    pub entries: u64,
+}
+
+pub struct Service {
+    watchdog: her_sync::Mutex<Table>,
+}
+
+impl Service {
+    pub fn new() -> Self {
+        Self {
+            watchdog: her_sync::Mutex::new(rank::SERVE_WATCHDOG, Table { entries: 0 }),
+        }
+    }
+
+    pub fn run(&self) {
+        let t = self.watchdog.lock();
+        shared_helper();
+        let _ = t.entries;
+    }
+}

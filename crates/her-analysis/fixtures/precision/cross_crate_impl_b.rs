@@ -1,0 +1,15 @@
+// Fixture (virtual crate `b`): one of two same-named free functions.
+
+use her_sync::{rank, Mutex};
+
+pub struct Cell {
+    pub state: u8,
+}
+
+pub fn health_cell() -> her_sync::Mutex<Cell> {
+    her_sync::Mutex::new(rank::SERVE_HEALTH, Cell { state: 0 })
+}
+
+pub fn shared_helper() {
+    health_cell().lock().state = 1;
+}

@@ -1,0 +1,4 @@
+// Fixture (virtual crate `c`): the other same-named free function —
+// this one acquires nothing.
+
+pub fn shared_helper() {}

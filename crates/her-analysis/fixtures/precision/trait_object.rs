@@ -1,0 +1,53 @@
+// Fixture: a call through a trait object while holding a lock. The
+// static pass cannot resolve `dyn Hook::fire`, so the 3 -> 7 edge the
+// implementation would create is ABSENT from the graph (documented
+// under-approximation) and no inversion is reported even though
+// `Impl::fire` acquires health. Under `--strict` the unresolved call
+// site is flagged instead.
+
+use her_sync::{rank, Mutex};
+
+pub struct Table {
+    pub entries: u64,
+}
+
+pub struct Cell {
+    pub state: u8,
+}
+
+pub trait Hook {
+    fn fire(&self);
+}
+
+pub struct Service {
+    watchdog: her_sync::Mutex<Table>,
+    health: her_sync::Mutex<Cell>,
+}
+
+impl Service {
+    pub fn new() -> Self {
+        Self {
+            watchdog: her_sync::Mutex::new(rank::SERVE_WATCHDOG, Table { entries: 0 }),
+            health: her_sync::Mutex::new(rank::SERVE_HEALTH, Cell { state: 0 }),
+        }
+    }
+
+    // Holds watchdog (3) across a dynamic dispatch: whatever `hook`
+    // acquires is invisible to the pass.
+    pub fn run_hook(&self, hook: &dyn Hook) {
+        let t = self.watchdog.lock();
+        hook.fire();
+        let _ = t.entries;
+    }
+}
+
+pub struct HealthHook<'a> {
+    svc: &'a Service,
+}
+
+impl Hook for HealthHook<'_> {
+    // First-party implementation the dispatch above could reach.
+    fn fire(&self) {
+        self.svc.health.lock().state = 1;
+    }
+}

@@ -1,0 +1,92 @@
+//! The `her::budget_not_threaded` pass: serving-path calls into the
+//! matcher's budget-aware entry points must thread a budget or deadline.
+//!
+//! `her-serve` is the always-on path — a handler that reaches
+//! `Her::try_vpair` & friends with `MatcherOptions::default()` (or a
+//! bare `Budget::default()`-shaped value) runs unbounded matcher work
+//! under an admission slot, which is exactly the regression the
+//! admission controller exists to prevent. The check is syntactic at the
+//! serve → core boundary: each call site's argument list must mention a
+//! budget-shaped value. Helper indirection inside her-serve is fine —
+//! the helper's own boundary call is checked instead.
+
+use crate::callgraph::Workspace;
+use crate::ir::match_bracket;
+use crate::lexer::TokKind;
+use crate::rules::{Finding, BUDGET_NOT_THREADED};
+
+/// Budget-aware matcher entry points (on `Her` / `Matcher`). `matcher`
+/// and the non-`try_` modes are deliberately absent: they are the
+/// documented unbounded API, linted at the type level elsewhere.
+const ENTRY_POINTS: &[&str] = &[
+    "try_vpair",
+    "try_vpair_pooled",
+    "try_apair",
+    "try_apair_stats",
+    "try_apair_stats_pooled",
+    "with_pooled_matcher",
+    "matcher_with",
+];
+
+/// Whether an argument-list ident marks a budget being threaded:
+/// `self.budget(..)`, `self.matcher_opts(..)`, a `deadline` local, a
+/// `Budget` value or a field access ending in `.budget`.
+fn is_budget_marker(text: &str) -> bool {
+    if text == "Budget" {
+        return true;
+    }
+    let lc = text.to_lowercase();
+    lc.contains("budget") || lc.contains("deadline") || lc.contains("opts")
+}
+
+/// Runs the pass over every non-test `her-serve` function.
+pub fn run(ws: &Workspace) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::new();
+    for file in &ws.files {
+        if !file.path.starts_with("crates/her-serve/src/") || file.test_file {
+            continue;
+        }
+        let toks = &file.toks;
+        for f in &file.fns {
+            if f.is_test {
+                continue;
+            }
+            let (body_open, body_close) = f.body;
+            let mut i = body_open + 1;
+            while i < body_close.min(toks.len()) {
+                let t = &toks[i];
+                let is_call = t.kind == TokKind::Ident
+                    && ENTRY_POINTS.contains(&t.text.as_str())
+                    && toks.get(i + 1).is_some_and(|n| n.text == "(");
+                if !is_call {
+                    i += 1;
+                    continue;
+                }
+                let close = match_bracket(toks, i + 1, "(", ")");
+                let threaded = toks[i + 2..close.min(toks.len())]
+                    .iter()
+                    .any(|a| a.kind == TokKind::Ident && is_budget_marker(&a.text));
+                if !threaded {
+                    out.push(Finding {
+                        rule: BUDGET_NOT_THREADED,
+                        path: file.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{}` calls `{}` without threading a budget or deadline — \
+                             serving-path matcher work must be bounded (pass \
+                             `self.budget(..)` / `self.matcher_opts(..)` or a \
+                             `Budget`-carrying options value)",
+                            f.name, t.text
+                        ),
+                        waived: false,
+                    });
+                }
+                i = close + 1;
+            }
+        }
+    }
+    // A nested fn's body is inside its parent's token range too — keep
+    // one finding per site.
+    out.dedup_by(|a, b| a.path == b.path && a.line == b.line);
+    out
+}

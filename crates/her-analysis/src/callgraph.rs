@@ -1,0 +1,280 @@
+//! The workspace-wide call-graph index over [`crate::ir`]: flat function
+//! ids, `(type, method)` and free-function resolution maps, and struct
+//! field typing. Resolution is deliberately approximate — same file,
+//! then same crate, then workspace-unique for free functions; receiver
+//! typing for methods — and anything ambiguous resolves to *nothing*
+//! (unknown callees acquire no locks; `--strict` reports them). The
+//! precision limits are documented with fixtures in
+//! `fixtures/lock_order/` and in DESIGN.md §4g.
+
+use crate::ir::{FileIr, FnIr};
+use std::collections::HashMap;
+
+/// Flat function id: index into [`Workspace::fns`].
+pub type FnId = usize;
+
+/// A function's location: file index + index into that file's `fns`.
+#[derive(Clone, Copy, Debug)]
+pub struct FnRef {
+    pub file: usize,
+    pub func: usize,
+}
+
+/// What a struct field is, for receiver typing.
+#[derive(Clone, Debug)]
+pub enum FieldKind {
+    /// Principal (non-container) type name, e.g. `Admission` for
+    /// `&'s Admission`, `Obs` for `Option<her_obs::Obs>`.
+    Plain(String),
+    /// The field's type contains a `Mutex<..>`/`RwLock<..>`: payload
+    /// type name of the *first* lock in the type, if identifiable.
+    Lock(Option<String>),
+}
+
+pub struct Workspace {
+    pub files: Vec<FileIr>,
+    pub fns: Vec<FnRef>,
+    /// `(impl type, method)` → candidate fns (usually one).
+    methods: HashMap<(String, String), Vec<FnId>>,
+    /// Free fn name → candidate fns.
+    free: HashMap<String, Vec<FnId>>,
+    /// `(struct, field)` → field kind.
+    fields: HashMap<(String, String), FieldKind>,
+    /// Field name → owning structs count + kind, for the global-unique
+    /// fallback (`o.registry` where `o`'s type is unknown).
+    field_by_name: HashMap<String, (usize, FieldKind)>,
+    /// Every name that names *some* workspace fn — the `--strict` pass
+    /// uses this to tell "unknown library call" from "first-party call
+    /// we failed to resolve".
+    known_names: HashMap<String, usize>,
+}
+
+/// Crate key of a workspace-relative path (`crates/her-serve/...` →
+/// `her-serve`; top-level `src/`/`tests/` → the root package).
+pub fn crate_of(path: &str) -> &str {
+    path.strip_prefix("crates/")
+        .and_then(|r| r.split('/').next())
+        .unwrap_or("@root")
+}
+
+/// Container types skipped when looking for a field's principal type.
+const CONTAINERS: &[&str] = &[
+    "Arc", "Rc", "Box", "Option", "Result", "Vec", "VecDeque", "Ref", "RefCell", "Cow",
+    "std", "sync", "alloc", "core", "her_sync", "crate", "super", "dyn", "impl", "mut",
+];
+
+impl Workspace {
+    pub fn build(files: Vec<FileIr>) -> Self {
+        let mut ws = Workspace {
+            files,
+            fns: Vec::new(),
+            methods: HashMap::new(),
+            free: HashMap::new(),
+            fields: HashMap::new(),
+            field_by_name: HashMap::new(),
+            known_names: HashMap::new(),
+        };
+        for (fi, file) in ws.files.iter().enumerate() {
+            for (gi, f) in file.fns.iter().enumerate() {
+                let id = ws.fns.len();
+                ws.fns.push(FnRef { file: fi, func: gi });
+                *ws.known_names.entry(f.name.clone()).or_default() += 1;
+                match &f.impl_type {
+                    Some(ty) => ws
+                        .methods
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id),
+                    None => ws.free.entry(f.name.clone()).or_default().push(id),
+                }
+            }
+            for s in &file.structs {
+                for (fname, ty) in &s.fields {
+                    let kind = classify_field(file, *ty);
+                    ws.fields
+                        .insert((s.name.clone(), fname.clone()), kind.clone());
+                    ws.field_by_name
+                        .entry(fname.clone())
+                        .and_modify(|e| e.0 += 1)
+                        .or_insert((1, kind));
+                }
+            }
+        }
+        ws
+    }
+
+    pub fn fn_ir(&self, id: FnId) -> &FnIr {
+        let r = self.fns[id];
+        &self.files[r.file].fns[r.func]
+    }
+
+    pub fn file_of(&self, id: FnId) -> &FileIr {
+        &self.files[self.fns[id].file]
+    }
+
+    /// `(type, method)` lookup; unique hit or nothing.
+    pub fn method(&self, ty: &str, name: &str) -> Option<FnId> {
+        match self.methods.get(&(ty.to_string(), name.to_string())) {
+            Some(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+
+    /// Free-function resolution: same file, then same crate, then
+    /// workspace-unique. Ambiguity resolves to nothing.
+    pub fn free_fn(&self, from_file: usize, name: &str) -> Option<FnId> {
+        let cands = self.free.get(name)?;
+        let same_file: Vec<_> = cands
+            .iter()
+            .copied()
+            .filter(|&id| self.fns[id].file == from_file)
+            .collect();
+        if same_file.len() == 1 {
+            return Some(same_file[0]);
+        }
+        let from_crate = crate_of(&self.files[from_file].path);
+        let same_crate: Vec<_> = cands
+            .iter()
+            .copied()
+            .filter(|&id| crate_of(&self.file_of(id).path) == from_crate)
+            .collect();
+        if same_crate.len() == 1 {
+            return Some(same_crate[0]);
+        }
+        if same_crate.is_empty() && cands.len() == 1 {
+            return Some(cands[0]);
+        }
+        None
+    }
+
+    /// Field kind for `ty.field`, with the global-unique-name fallback
+    /// when the owning type is unknown.
+    pub fn field(&self, ty: Option<&str>, name: &str) -> Option<&FieldKind> {
+        if let Some(ty) = ty {
+            if let Some(k) = self.fields.get(&(ty.to_string(), name.to_string())) {
+                return Some(k);
+            }
+        }
+        match self.field_by_name.get(name) {
+            Some((1, k)) => Some(k),
+            _ => None,
+        }
+    }
+
+    /// Whether `name` names any first-party fn (for `--strict`).
+    pub fn is_known_fn_name(&self, name: &str) -> bool {
+        self.known_names.contains_key(name)
+    }
+}
+
+/// Classifies a field type token range: lock-bearing (with payload) or
+/// plain (principal type name).
+fn classify_field(file: &FileIr, ty: (usize, usize)) -> FieldKind {
+    let toks = &file.toks[ty.0.min(file.toks.len())..ty.1.min(file.toks.len())];
+    if let Some(payload) = lock_payload(toks.iter().map(|t| t.text.as_str())) {
+        return FieldKind::Lock(payload);
+    }
+    // Principal type: last capitalized ident that is not a container.
+    let principal = toks
+        .iter()
+        .rev()
+        .find(|t| {
+            t.kind == crate::lexer::TokKind::Ident
+                && t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && !CONTAINERS.contains(&t.text.as_str())
+        })
+        .map(|t| t.text.clone());
+    FieldKind::Plain(principal.unwrap_or_default())
+}
+
+/// If the token text sequence contains a non-guard `Mutex`/`RwLock`,
+/// returns `Some(payload type name if identifiable)`.
+pub fn lock_payload<'a>(texts: impl Iterator<Item = &'a str>) -> Option<Option<String>> {
+    let texts: Vec<&str> = texts.collect();
+    for (i, t) in texts.iter().enumerate() {
+        if (*t == "Mutex" || *t == "RwLock") && texts.get(i + 1) == Some(&"<") {
+            // First capitalized non-container ident inside the angles.
+            let payload = texts[i + 2..]
+                .iter()
+                .take_while(|t| **t != ">")
+                .find(|t| {
+                    t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                        && !CONTAINERS.contains(*t)
+                        && *t != &"Mutex"
+                        && *t != &"RwLock"
+                })
+                .map(|t| t.to_string());
+            // Nested lock (`Mutex<BTreeMap<_, Mutex<X>>>`): the payload
+            // search above stops at the first `>`, which is fine — we
+            // only want the OUTER lock's payload head.
+            return Some(payload);
+        }
+    }
+    None
+}
+
+/// Whether a return-type token range names a guard (the helper returns
+/// the lock it acquired).
+pub fn is_guard_type<'a>(mut texts: impl Iterator<Item = &'a str>) -> bool {
+    texts.any(|t| {
+        t == "MutexGuard" || t == "RwLockReadGuard" || t == "RwLockWriteGuard"
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::parse_file;
+
+    #[test]
+    fn free_fn_resolution_prefers_file_then_crate() {
+        let files = vec![
+            parse_file("crates/a/src/one.rs", "fn helper() {}\nfn caller() { helper(); }"),
+            parse_file("crates/b/src/two.rs", "fn helper() {}"),
+            parse_file("crates/c/src/three.rs", "fn only_here() {}"),
+        ];
+        let ws = Workspace::build(files);
+        // Same-file helper wins over the cross-crate one.
+        let id = ws.free_fn(0, "helper").expect("resolves");
+        assert_eq!(ws.fns[id].file, 0);
+        // Cross-crate unique name resolves from anywhere.
+        let id = ws.free_fn(1, "only_here").expect("unique");
+        assert_eq!(ws.fns[id].file, 2);
+        // Ambiguous from a third file: no resolution.
+        assert!(ws.free_fn(2, "helper").is_none());
+    }
+
+    #[test]
+    fn field_typing_distinguishes_locks_and_principals() {
+        let ws = Workspace::build(vec![parse_file(
+            "crates/a/src/lib.rs",
+            "struct S {\n\
+               gate: &'s Admission,\n\
+               obs: Option<her_obs::Obs>,\n\
+               sessions: her_sync::Mutex<BTreeMap<u64, Arc<her_sync::Mutex<Sess>>>>,\n\
+               shards: Box<[RwLock<Shard>]>,\n\
+             }",
+        )]);
+        match ws.field(Some("S"), "gate") {
+            Some(FieldKind::Plain(t)) => assert_eq!(t, "Admission"),
+            other => panic!("{other:?}"),
+        }
+        match ws.field(Some("S"), "obs") {
+            Some(FieldKind::Plain(t)) => assert_eq!(t, "Obs"),
+            other => panic!("{other:?}"),
+        }
+        match ws.field(Some("S"), "sessions") {
+            Some(FieldKind::Lock(Some(p))) => assert_eq!(p, "BTreeMap"),
+            other => panic!("{other:?}"),
+        }
+        match ws.field(Some("S"), "shards") {
+            Some(FieldKind::Lock(Some(p))) => assert_eq!(p, "Shard"),
+            other => panic!("{other:?}"),
+        }
+        // Unique field name resolves without the owning type.
+        assert!(matches!(
+            ws.field(None, "shards"),
+            Some(FieldKind::Lock(Some(_)))
+        ));
+    }
+}

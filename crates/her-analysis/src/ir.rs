@@ -1,0 +1,713 @@
+//! A lightweight per-file IR extracted from the token stream: items
+//! (functions, impl blocks, modules) with spans, per-function bodies and
+//! signatures, and struct field types. No `syn`, no precise grammar —
+//! just enough structure for the interprocedural passes
+//! ([`crate::callgraph`], [`crate::lockgraph`], [`crate::budget`]) and
+//! for span-aware waivers ([`crate::rules`]).
+//!
+//! The parser is a single linear pass with an item stack; balanced
+//! delimiters are tracked, generics are skipped with `->`-aware angle
+//! counting, and everything it cannot classify it ignores (the passes
+//! treat unknown code as acquiring nothing — see the soundness table in
+//! DESIGN.md §4g).
+
+use crate::lexer::{lex, Tok, TokKind, Waiver};
+
+/// One function parameter: the binding name (empty for destructuring
+/// patterns) and its type as a token index range.
+#[derive(Clone, Debug)]
+pub struct Param {
+    pub name: String,
+    /// `[start, end)` token range of the type.
+    pub ty: (usize, usize),
+}
+
+/// One `fn` with a body.
+#[derive(Clone, Debug)]
+pub struct FnIr {
+    pub name: String,
+    /// The enclosing `impl`/`trait` block's type name, if any.
+    pub impl_type: Option<String>,
+    /// `self`-taking method (affects call resolution).
+    pub has_self: bool,
+    pub params: Vec<Param>,
+    /// `[start, end)` token range of the return type (after `->`).
+    pub ret: Option<(usize, usize)>,
+    /// Token range of the body, `[index of `{`, index of `}`]` inclusive.
+    pub body: (usize, usize),
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based line of the body's closing brace.
+    pub end_line: u32,
+    /// In `mod tests`, under `#[test]`/`#[cfg(test)]`, or in a test file.
+    pub is_test: bool,
+}
+
+/// One `struct` with named fields.
+#[derive(Clone, Debug)]
+pub struct StructIr {
+    pub name: String,
+    /// `(field name, [start, end) token range of the field type)`.
+    pub fields: Vec<(String, (usize, usize))>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    Fn,
+    Impl,
+    Mod,
+}
+
+/// A braced item's source span, for span-aware waivers: a waiver comment
+/// on (or directly above) the header line covers the whole span.
+#[derive(Clone, Debug)]
+pub struct ItemSpan {
+    pub kind: ItemKind,
+    /// 1-based line of the item keyword (`fn` / `impl` / `mod`).
+    pub line: u32,
+    /// 1-based line of the closing brace.
+    pub end_line: u32,
+}
+
+/// Everything the workspace passes need from one file.
+pub struct FileIr {
+    pub path: String,
+    pub toks: Vec<Tok>,
+    pub waivers: Vec<Waiver>,
+    pub fns: Vec<FnIr>,
+    pub structs: Vec<StructIr>,
+    pub items: Vec<ItemSpan>,
+    /// Integration-test / bench file: everything in it is test code.
+    pub test_file: bool,
+}
+
+fn is_test_path(path: &str) -> bool {
+    path.starts_with("tests/") || path.starts_with("benches/") || path.contains("/tests/")
+}
+
+/// Lexes and structures one file.
+pub fn parse_file(path: &str, src: &str) -> FileIr {
+    let lexed = lex(src);
+    let test_file = is_test_path(path);
+    let (fns, structs, items) = parse_items(&lexed.toks, test_file);
+    FileIr {
+        path: path.to_string(),
+        toks: lexed.toks,
+        waivers: lexed.waivers,
+        fns,
+        structs,
+        items,
+        test_file,
+    }
+}
+
+/// Item spans only — the cheap subset `rules::analyze_file` needs for
+/// span-aware waivers.
+pub fn item_spans(toks: &[Tok]) -> Vec<ItemSpan> {
+    parse_items(toks, false).2
+}
+
+/// An open item on the parse stack.
+struct Open {
+    kind: ItemKind,
+    /// Brace depth of the item's body (the depth its `{` created).
+    depth: u32,
+    line: u32,
+    /// `Fn`: index into the pending fns vec. `Impl`: the type name.
+    fn_slot: Option<usize>,
+    impl_type: Option<String>,
+    is_test: bool,
+}
+
+/// A parsed-but-unclosed fn header waiting for its body's `}`.
+struct PendingFn {
+    ir: FnIr,
+}
+
+fn parse_items(toks: &[Tok], test_file: bool) -> (Vec<FnIr>, Vec<StructIr>, Vec<ItemSpan>) {
+    let mut fns: Vec<FnIr> = Vec::new();
+    let mut structs: Vec<StructIr> = Vec::new();
+    let mut items: Vec<ItemSpan> = Vec::new();
+    let mut stack: Vec<Open> = Vec::new();
+    let mut open_fns: Vec<PendingFn> = Vec::new();
+    let mut depth = 0u32;
+    let mut test_attr = false;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            // Attributes: consume `#[...]` wholesale; remember test-ness.
+            (TokKind::Punct, "#") if toks.get(i + 1).is_some_and(|n| n.text == "[") => {
+                let end = match_bracket(toks, i + 1, "[", "]");
+                let body: Vec<&str> =
+                    toks[i + 2..end].iter().map(|t| t.text.as_str()).collect();
+                if body.first() == Some(&"test")
+                    || (body.first() == Some(&"cfg") && body.contains(&"test"))
+                {
+                    test_attr = true;
+                }
+                i = end + 1;
+                continue;
+            }
+            (TokKind::Ident, "fn") => {
+                if let Some((ir, body_open)) = parse_fn_header(toks, i) {
+                    let in_tests = test_file
+                        || test_attr
+                        || stack.iter().any(|o| o.is_test);
+                    let impl_type = stack
+                        .iter()
+                        .rev()
+                        .find_map(|o| o.impl_type.clone());
+                    let mut ir = ir;
+                    ir.is_test = in_tests;
+                    ir.impl_type = impl_type;
+                    test_attr = false;
+                    // Scan up to the body `{`, then push both stacks.
+                    i = body_open;
+                    depth += 1;
+                    stack.push(Open {
+                        kind: ItemKind::Fn,
+                        depth,
+                        line: ir.line,
+                        fn_slot: Some(open_fns.len()),
+                        impl_type: None,
+                        is_test: ir.is_test,
+                    });
+                    open_fns.push(PendingFn { ir });
+                    i += 1;
+                    continue;
+                }
+                // Bodiless declaration (trait method, extern): skip `fn`.
+            }
+            (TokKind::Ident, "impl") | (TokKind::Ident, "trait") => {
+                if let Some((ty, body_open)) = parse_impl_header(toks, i) {
+                    let line = t.line;
+                    i = body_open;
+                    depth += 1;
+                    stack.push(Open {
+                        kind: ItemKind::Impl,
+                        depth,
+                        line,
+                        fn_slot: None,
+                        impl_type: Some(ty),
+                        is_test: test_attr || stack.iter().any(|o| o.is_test),
+                    });
+                    test_attr = false;
+                    i += 1;
+                    continue;
+                }
+            }
+            (TokKind::Ident, "mod") => {
+                if let (Some(name), Some(brace)) = (toks.get(i + 1), toks.get(i + 2)) {
+                    if name.kind == TokKind::Ident && brace.text == "{" {
+                        let is_test = test_attr
+                            || name.text == "tests"
+                            || stack.iter().any(|o| o.is_test);
+                        test_attr = false;
+                        depth += 1;
+                        stack.push(Open {
+                            kind: ItemKind::Mod,
+                            depth,
+                            line: t.line,
+                            fn_slot: None,
+                            impl_type: None,
+                            is_test,
+                        });
+                        i += 3;
+                        continue;
+                    }
+                }
+            }
+            (TokKind::Ident, "struct") => {
+                if let Some(s) = parse_struct(toks, i) {
+                    structs.push(s);
+                }
+                // Fall through: the body braces are walked normally (no
+                // items hide inside a struct body).
+            }
+            (TokKind::Ident, "enum") => {
+                // Enums become pseudo-structs: each single-payload tuple
+                // variant is a "field" `(Variant, payload type range)`,
+                // so `Enum::Variant(x)` pattern bindings type `x` through
+                // the same field-lookup path as `recv.field`.
+                if let Some(s) = parse_enum(toks, i) {
+                    structs.push(s);
+                }
+            }
+            (TokKind::Punct, "{") => {
+                depth += 1;
+            }
+            (TokKind::Punct, "}") => {
+                if let Some(top) = stack.last() {
+                    if top.depth == depth {
+                        let top = stack.pop().unwrap_or_else(|| unreachable!());
+                        items.push(ItemSpan {
+                            kind: top.kind,
+                            line: top.line,
+                            end_line: t.line,
+                        });
+                        if let Some(slot) = top.fn_slot {
+                            // Fns close LIFO: the slot is always last.
+                            if slot + 1 == open_fns.len() {
+                                let mut p =
+                                    open_fns.pop().unwrap_or_else(|| unreachable!());
+                                p.ir.body.1 = i;
+                                p.ir.end_line = t.line;
+                                fns.push(p.ir);
+                            }
+                        }
+                    }
+                }
+                depth = depth.saturating_sub(1);
+            }
+            (TokKind::Punct, ";") => {
+                test_attr = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Fix body-start indices: each FnIr was created with `body.0` set in
+    // parse_fn_header and `body.1` on close; drop any fn left open by a
+    // truncated file.
+    fns.sort_by_key(|f| f.body.0);
+    (fns, structs, items)
+}
+
+/// Finds the matching close for the bracket at `open` (e.g. `[`/`]`,
+/// `(`/`)`, `{`/`}`). Returns the close index, or the last token.
+pub fn match_bracket(toks: &[Tok], open: usize, o: &str, c: &str) -> usize {
+    let mut depth = 0i32;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].text == o {
+            depth += 1;
+        } else if toks[i].text == c {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Skips a generics group starting at `<`, `->`-aware. Returns the index
+/// just past the closing `>`.
+fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
+    let mut depth = 0i32;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "<" => depth += 1,
+            ">" if i > 0 && toks[i - 1].text == "-" => {} // `->` in Fn(...) -> R
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses a `fn` header at `at` (the `fn` token). Returns the FnIr (body
+/// end not yet known) and the index of the body's `{`, or None for a
+/// bodiless declaration.
+fn parse_fn_header(toks: &[Tok], at: usize) -> Option<(FnIr, usize)> {
+    let name_tok = toks.get(at + 1)?;
+    if name_tok.kind != TokKind::Ident {
+        return None;
+    }
+    let mut i = at + 2;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    if toks.get(i).is_none_or(|t| t.text != "(") {
+        return None;
+    }
+    let params_close = match_bracket(toks, i, "(", ")");
+    let (has_self, params) = parse_params(toks, i + 1, params_close);
+    // Return type: `-> ...` up to `{`, `where` or `;`.
+    let mut j = params_close + 1;
+    let mut ret = None;
+    if toks.get(j).is_some_and(|t| t.text == "-")
+        && toks.get(j + 1).is_some_and(|t| t.text == ">")
+    {
+        let start = j + 2;
+        let mut k = start;
+        let mut angle = 0i32;
+        while k < toks.len() {
+            match toks[k].text.as_str() {
+                "<" => angle += 1,
+                ">" if toks[k - 1].text != "-" => angle -= 1,
+                "{" if angle <= 0 => break,
+                "where" if angle <= 0 => break,
+                ";" => break,
+                _ => {}
+            }
+            k += 1;
+        }
+        ret = Some((start, k));
+        j = k;
+    }
+    // Skip a `where` clause to the body `{` (or bail at `;`).
+    let mut brace = None;
+    let mut k = j;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "{" => {
+                brace = Some(k);
+                break;
+            }
+            ";" => return None,
+            _ => k += 1,
+        }
+    }
+    let brace = brace?;
+    Some((
+        FnIr {
+            name: name_tok.text.clone(),
+            impl_type: None,
+            has_self,
+            params,
+            ret,
+            body: (brace, brace),
+            line: toks[at].line,
+            end_line: toks[at].line,
+            is_test: false,
+        },
+        brace,
+    ))
+}
+
+/// Parses the parameter list between `(`+1 and `)` token indices.
+fn parse_params(toks: &[Tok], start: usize, end: usize) -> (bool, Vec<Param>) {
+    let mut has_self = false;
+    let mut params = Vec::new();
+    let mut i = start;
+    while i < end {
+        // One parameter: up to a `,` at top level.
+        let p_start = i;
+        let mut p_end = i;
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut angle = 0i32;
+        while p_end < end {
+            match toks[p_end].text.as_str() {
+                "(" => paren += 1,
+                ")" => paren -= 1,
+                "[" => bracket += 1,
+                "]" => bracket -= 1,
+                "<" => angle += 1,
+                ">" if p_end > 0 && toks[p_end - 1].text == "-" => {}
+                ">" => angle -= 1,
+                "," if paren == 0 && bracket == 0 && angle <= 0 => break,
+                _ => {}
+            }
+            p_end += 1;
+        }
+        // Classify: skip leading `&`, lifetimes, `mut`.
+        let mut q = p_start;
+        while q < p_end
+            && (toks[q].text == "&"
+                || toks[q].kind == TokKind::Tick
+                || toks[q].text == "mut")
+        {
+            q += 1;
+        }
+        if q < p_end && toks[q].text == "self" {
+            has_self = true;
+        } else if q < p_end
+            && toks[q].kind == TokKind::Ident
+            && toks.get(q + 1).is_some_and(|c| c.text == ":")
+        {
+            params.push(Param {
+                name: toks[q].text.clone(),
+                ty: (q + 2, p_end),
+            });
+        } else if q < p_end {
+            // Destructuring pattern: keep the slot (call-site arity must
+            // line up) with an unmatchable name.
+            params.push(Param {
+                name: String::new(),
+                ty: (p_start, p_end),
+            });
+        }
+        i = p_end + 1;
+    }
+    (has_self, params)
+}
+
+/// Parses an `impl`/`trait` header at `at`. Returns the principal type
+/// name (the `for` type if present, else the first type path's last
+/// segment) and the index of the body's `{`.
+fn parse_impl_header(toks: &[Tok], at: usize) -> Option<(String, usize)> {
+    let mut i = at + 1;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    let mut ty: Option<String> = None;
+    let mut after_for = false;
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (_, "{") => {
+                return ty.map(|ty| (ty, i));
+            }
+            (_, ";") => return None,
+            (TokKind::Ident, "for") => {
+                after_for = true;
+                ty = None;
+                i += 1;
+            }
+            (TokKind::Ident, "where") => {
+                // The type is settled; scan on to the `{`.
+                while i < toks.len() && toks[i].text != "{" && toks[i].text != ";" {
+                    i += 1;
+                }
+            }
+            (TokKind::Ident, _) => {
+                // Path segments: keep the last segment seen before
+                // generics/`for`/`where`. `impl Drop for Registration`
+                // ends with ty = Registration (after_for resets it).
+                let _ = after_for;
+                ty = Some(t.text.clone());
+                i += 1;
+                if toks.get(i).is_some_and(|n| n.text == "<") {
+                    i = skip_generics(toks, i);
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    None
+}
+
+/// Parses `struct Name { fields }` at `at` (the `struct` token).
+/// Tuple/unit structs yield no fields.
+/// Parses `enum Name { Variant(Type), Unit, Struct { .. } }` at `at`.
+/// Only single-payload tuple variants produce entries; unit and struct
+/// variants are skipped (nothing downstream needs them).
+fn parse_enum(toks: &[Tok], at: usize) -> Option<StructIr> {
+    let name = toks.get(at + 1)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    let mut i = at + 2;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    while i < toks.len() && toks[i].text != "{" {
+        if toks[i].text == ";" {
+            return None;
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let close = match_bracket(toks, i, "{", "}");
+    let mut fields = Vec::new();
+    let mut j = i + 1;
+    while j < close {
+        if toks[j].text == "#" && toks.get(j + 1).is_some_and(|n| n.text == "[") {
+            j = match_bracket(toks, j + 1, "[", "]") + 1;
+            continue;
+        }
+        if toks[j].kind == TokKind::Ident {
+            let vname = &toks[j];
+            match toks.get(j + 1).map(|t| t.text.as_str()) {
+                Some("(") => {
+                    let vclose = match_bracket(toks, j + 1, "(", ")");
+                    // Single payload only: no top-level comma inside.
+                    let mut paren = 0i32;
+                    let multi = toks[j + 2..vclose].iter().any(|t| {
+                        match t.text.as_str() {
+                            "(" | "[" | "<" => paren += 1,
+                            ")" | "]" | ">" => paren -= 1,
+                            "," if paren == 0 => return true,
+                            _ => {}
+                        }
+                        false
+                    });
+                    if !multi && vclose > j + 2 {
+                        fields.push((vname.text.clone(), (j + 2, vclose)));
+                    }
+                    j = vclose + 1;
+                    continue;
+                }
+                Some("{") => {
+                    j = match_bracket(toks, j + 1, "{", "}") + 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    Some(StructIr {
+        name: name.text.clone(),
+        fields,
+    })
+}
+
+fn parse_struct(toks: &[Tok], at: usize) -> Option<StructIr> {
+    let name = toks.get(at + 1)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    let mut i = at + 2;
+    if toks.get(i).is_some_and(|t| t.text == "<") {
+        i = skip_generics(toks, i);
+    }
+    while i < toks.len() && toks[i].text != "{" {
+        if toks[i].text == ";" || toks[i].text == "(" {
+            return Some(StructIr {
+                name: name.text.clone(),
+                fields: Vec::new(),
+            });
+        }
+        i += 1;
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let close = match_bracket(toks, i, "{", "}");
+    let mut fields = Vec::new();
+    let mut j = i + 1;
+    while j < close {
+        // Skip attributes and `pub`/`pub(crate)`.
+        if toks[j].text == "#" && toks.get(j + 1).is_some_and(|n| n.text == "[") {
+            j = match_bracket(toks, j + 1, "[", "]") + 1;
+            continue;
+        }
+        if toks[j].text == "pub" {
+            j += 1;
+            if toks.get(j).is_some_and(|n| n.text == "(") {
+                j = match_bracket(toks, j, "(", ")") + 1;
+            }
+            continue;
+        }
+        if toks[j].kind == TokKind::Ident
+            && toks.get(j + 1).is_some_and(|c| c.text == ":")
+            && toks.get(j + 2).is_none_or(|c| c.text != ":")
+        {
+            // Field type: up to a top-level `,` or the struct's `}`.
+            let ty_start = j + 2;
+            let mut k = ty_start;
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut angle = 0i32;
+            let mut brace = 0i32;
+            while k < close {
+                match toks[k].text.as_str() {
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "[" => bracket += 1,
+                    "]" => bracket -= 1,
+                    "{" => brace += 1,
+                    "}" => brace -= 1,
+                    "<" => angle += 1,
+                    ">" if toks[k - 1].text == "-" => {}
+                    ">" => angle -= 1,
+                    "," if paren == 0 && bracket == 0 && angle <= 0 && brace == 0 => {
+                        break
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            fields.push((toks[j].text.clone(), (ty_start, k)));
+            j = k + 1;
+            continue;
+        }
+        j += 1;
+    }
+    Some(StructIr {
+        name: name.text.clone(),
+        fields,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> FileIr {
+        parse_file("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn extracts_fns_with_impl_context() {
+        let f = file(
+            "struct W { t: Mutex<Table> }\n\
+             impl W {\n  fn lock(&self) -> MutexGuard<'_, Table> { self.t.lock() }\n\
+             \n  fn reap(&self, gate: &Admission) -> usize { 0 }\n}\n\
+             fn free(x: u32) {}\n",
+        );
+        let names: Vec<_> = f
+            .fns
+            .iter()
+            .map(|f| (f.impl_type.as_deref(), f.name.as_str(), f.has_self))
+            .collect();
+        assert_eq!(
+            names,
+            [
+                (Some("W"), "lock", true),
+                (Some("W"), "reap", true),
+                (None, "free", false)
+            ]
+        );
+        let reap = &f.fns[1];
+        assert_eq!(reap.params.len(), 1);
+        assert_eq!(reap.params[0].name, "gate");
+        assert!(f.structs.iter().any(|s| s.name == "W"
+            && s.fields.iter().any(|(n, _)| n == "t")));
+    }
+
+    #[test]
+    fn trait_impls_use_the_for_type() {
+        let f = file("impl<'a> Drop for Registration<'a> { fn drop(&mut self) {} }");
+        assert_eq!(f.fns[0].impl_type.as_deref(), Some("Registration"));
+        assert_eq!(f.fns[0].name, "drop");
+    }
+
+    #[test]
+    fn test_regions_are_marked() {
+        let f = file(
+            "fn prod() {}\n\
+             #[cfg(test)]\nmod tests {\n  #[test]\n  fn t() { nested(); }\n}\n\
+             #[cfg(not(debug_assertions))]\nfn release_only() {}\n",
+        );
+        let by_name = |n: &str| f.fns.iter().find(|f| f.name == n).map(|f| f.is_test);
+        assert_eq!(by_name("prod"), Some(false));
+        assert_eq!(by_name("t"), Some(true));
+        // cfg(not(debug_assertions)) is NOT test code — release-only
+        // paths stay in scope for the lock pass.
+        assert_eq!(by_name("release_only"), Some(false));
+    }
+
+    #[test]
+    fn item_spans_cover_headers_to_closing_braces() {
+        let f = file("fn a() {\n  body();\n}\n\nmod m {\n  fn b() {}\n}\n");
+        let spans: Vec<_> = f.items.iter().map(|s| (s.kind, s.line, s.end_line)).collect();
+        assert!(spans.contains(&(ItemKind::Fn, 1, 3)));
+        assert!(spans.contains(&(ItemKind::Mod, 5, 7)));
+        assert!(spans.contains(&(ItemKind::Fn, 6, 6)));
+    }
+
+    #[test]
+    fn generic_fn_headers_with_fn_trait_bounds_parse() {
+        let f = file(
+            "fn run<F: FnOnce(&mut S) -> R, R>(&self, budget: Budget, f: F) -> R { f() }",
+        );
+        assert_eq!(f.fns.len(), 1);
+        let p: Vec<_> = f.fns[0].params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(p, ["budget", "f"]);
+        assert!(f.fns[0].ret.is_some());
+    }
+}

@@ -43,21 +43,29 @@ pub struct Lexed {
     pub waivers: Vec<Waiver>,
 }
 
-/// Scans comment text for `#[allow(her::rule)]` markers.
+/// Scans comment text for `#[allow(her::rule)]` markers. `line` is the
+/// line of the comment's first byte; markers deeper inside a multi-line
+/// block comment are attributed to the line they actually sit on.
 fn scan_waivers(comment: &str, line: u32, out: &mut Vec<Waiver>) {
     let mut rest = comment;
+    let mut consumed = 0usize;
     while let Some(at) = rest.find("#[allow(her::") {
         let tail = &rest[at + "#[allow(her::".len()..];
         let end = tail
             .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
             .unwrap_or(tail.len());
         if end > 0 && tail[end..].starts_with(")]") {
+            let newlines = comment[..consumed + at]
+                .bytes()
+                .filter(|&c| c == b'\n')
+                .count() as u32;
             out.push(Waiver {
                 rule: tail[..end].to_string(),
-                line,
+                line: line + newlines,
             });
         }
         rest = &rest[at + 1..];
+        consumed += at + 1;
     }
 }
 
@@ -315,6 +323,39 @@ mod tests {
         let l = lex("// #[allow(her::raw_sync_lock)] — justified\nlet x = 1;\n/* #[allow(her::panicking_decode)] */\n");
         let w: Vec<_> = l.waivers.iter().map(|w| (w.rule.as_str(), w.line)).collect();
         assert_eq!(w, [("raw_sync_lock", 1), ("panicking_decode", 3)]);
+    }
+
+    #[test]
+    fn multiline_block_comment_waivers_land_on_their_own_line() {
+        let l = lex("/* header\n   #[allow(her::raw_sync_lock)] — on line 2\n   more\n*/\nlet x = 1;\n");
+        let w: Vec<_> = l.waivers.iter().map(|w| (w.rule.as_str(), w.line)).collect();
+        assert_eq!(w, [("raw_sync_lock", 2)]);
+    }
+
+    #[test]
+    fn nested_block_comments_do_not_leak_tokens() {
+        let l = lex("/* outer /* std::sync::Mutex inner */ still comment */ fn f() {}");
+        let names = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect::<Vec<_>>();
+        assert_eq!(names, ["fn", "f"]);
+    }
+
+    #[test]
+    fn raw_strings_do_not_leak_tokens() {
+        // Lock-looking text inside raw strings must stay string data —
+        // the rules would otherwise see phantom `Mutex` tokens.
+        let l = lex(r####"let s = r#"std::sync::Mutex::new(0).lock().unwrap()"#; let t = br"RwLock";"####);
+        assert!(l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .all(|t| t.text != "Mutex" && t.text != "RwLock" && t.text != "lock"));
+        let strs = l.toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 2);
     }
 
     #[test]

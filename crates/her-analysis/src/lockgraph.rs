@@ -1,0 +1,1772 @@
+//! The static lock-order pass: per-function lock summaries (which
+//! `her_sync::rank` constants a function acquires, directly and through
+//! calls), the global rank-acquisition digraph, and the two rules
+//! derived from it — `her::static_lock_inversion` (an acquire while
+//! holding an equal-or-higher rank) and `her::static_lock_cycle` (a
+//! cycle anywhere in the digraph).
+//!
+//! The pass joins source against `her_sync::rank::ALL` (the
+//! machine-readable rank table), so the analyzer and the runtime tracker
+//! share one source of truth. Unlike the tracker, it sees **every**
+//! configuration at once: `cfg`-gated and release-only code is analyzed
+//! unconditionally (attributes are deliberately not interpreted), which
+//! is exactly the gap the dynamic tracker cannot cover.
+//!
+//! Soundness stance (see DESIGN.md §4g for the full table): unknown
+//! callees acquire nothing, so the graph under-approximates at
+//! trait-object and third-party calls (`--strict` surfaces those sites);
+//! it over-approximates by merging all branches and by keeping
+//! let-bound guards alive to end of block. The CI consistency drill
+//! (`check-edges`) asserts the dynamically observed edge set is a
+//! subset of this graph.
+
+use crate::callgraph::{self, FieldKind, FnId, Workspace};
+use crate::ir::{match_bracket, FnIr};
+use crate::lexer::{Tok, TokKind};
+use crate::rules::{Finding, STATIC_LOCK_CYCLE, STATIC_LOCK_INVERSION, UNRESOLVED_CALLEE};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One observed (or derivable) rank-acquisition edge: `dst` was acquired
+/// while `src` was held, at `path:line` inside `via`.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    pub src: u32,
+    pub dst: u32,
+    pub path: String,
+    pub line: u32,
+    pub via: String,
+    /// Edge only reachable from test code — kept for the dynamic-subset
+    /// check, excluded from lint rules and the DOT graph.
+    pub test_only: bool,
+}
+
+/// Rank lookup tables joined from `her_sync::rank::ALL` plus
+/// construction-site scans over the analyzed files.
+pub struct Tables {
+    /// Const ident (`SERVE_STREAM`) → order.
+    pub by_const: HashMap<String, u32>,
+    /// Order → display name (`serve.stream`).
+    pub name_of: BTreeMap<u32, String>,
+    /// Lock payload type name (`StreamSession`) → order.
+    pub payload_rank: HashMap<String, u32>,
+    /// Field name at a `Mutex::new(rank::…)` construction site → order.
+    pub field_rank: HashMap<String, u32>,
+    /// Lowercased payload names for the last-resort receiver-name
+    /// affinity fallback.
+    affinity: Vec<(String, u32)>,
+}
+
+/// Display name for a rank order, falling back to the number.
+pub fn rank_name(tables: &Tables, order: u32) -> String {
+    tables
+        .name_of
+        .get(&order)
+        .cloned()
+        .unwrap_or_else(|| format!("rank#{order}"))
+}
+
+/// Idents skipped when scanning back from a lock construction to the
+/// field (or binding) it initializes.
+const WRAP_IDENTS: &[&str] = &[
+    "new", "Arc", "Box", "Rc", "std", "sync", "her_sync", "Mutex", "RwLock", "Some", "Ok",
+];
+
+impl Tables {
+    pub fn build(ws: &Workspace) -> Self {
+        let mut t = Tables {
+            by_const: HashMap::new(),
+            name_of: BTreeMap::new(),
+            payload_rank: HashMap::new(),
+            field_rank: HashMap::new(),
+            affinity: Vec::new(),
+        };
+        for (ident, rank) in her_sync::rank::ALL {
+            t.by_const.insert((*ident).to_string(), rank.order);
+            t.name_of.insert(rank.order, rank.name.to_string());
+        }
+        let mut payload_amb: BTreeSet<String> = BTreeSet::new();
+        let mut field_amb: BTreeSet<String> = BTreeSet::new();
+        for file in &ws.files {
+            if skip_file(&file.path) {
+                continue;
+            }
+            let toks = &file.toks;
+            for i in 0..toks.len() {
+                let Some(order) = construction_at(&t, toks, i) else {
+                    continue;
+                };
+                // Payload: first type ident after the `rank::CONST ,`.
+                if let Some(p) = construction_payload(toks, i) {
+                    match t.payload_rank.get(&p) {
+                        Some(&o) if o != order => {
+                            payload_amb.insert(p);
+                        }
+                        _ => {
+                            t.payload_rank.insert(p, order);
+                        }
+                    }
+                }
+                // Field / binding: scan back over wrapper tokens.
+                if let Some(f) = construction_target(toks, i) {
+                    match t.field_rank.get(&f) {
+                        Some(&o) if o != order => {
+                            field_amb.insert(f);
+                        }
+                        _ => {
+                            t.field_rank.insert(f, order);
+                        }
+                    }
+                }
+            }
+        }
+        for p in payload_amb {
+            t.payload_rank.remove(&p);
+        }
+        for f in field_amb {
+            t.field_rank.remove(&f);
+        }
+        t.affinity = t
+            .payload_rank
+            .iter()
+            .map(|(p, &o)| (p.to_lowercase(), o))
+            .collect();
+        t
+    }
+
+    /// Receiver-name affinity: `session.lock()` resolves to the unique
+    /// payload type whose lowercased name contains the receiver name.
+    /// Requires ≥ 4 chars so one-letter closure params never match.
+    fn affinity_rank(&self, recv: &str) -> Option<u32> {
+        if recv.len() < 4 {
+            return None;
+        }
+        let lc = recv.to_lowercase();
+        let hits: Vec<u32> = self
+            .affinity
+            .iter()
+            .filter(|(p, _)| p.contains(&lc))
+            .map(|(_, o)| *o)
+            .collect();
+        match hits.as_slice() {
+            [one] => Some(*one),
+            _ => None,
+        }
+    }
+}
+
+/// `her-sync` is the facade's own implementation — its internals are
+/// exempt from the pass (ranks are constructed and tested there freely).
+pub fn skip_file(path: &str) -> bool {
+    path.starts_with("crates/her-sync/")
+}
+
+/// `Mutex::new(rank::CONST` / `RwLock::new(rank::CONST` at `i` (the
+/// `Mutex`/`RwLock` token) → the rank's order.
+fn construction_at(t: &Tables, toks: &[Tok], i: usize) -> Option<u32> {
+    let lock = &toks[i];
+    if lock.kind != TokKind::Ident || (lock.text != "Mutex" && lock.text != "RwLock") {
+        return None;
+    }
+    let texts: Vec<&str> = toks[i + 1..(i + 9).min(toks.len())]
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect();
+    if texts.len() < 7
+        || texts[0] != ":"
+        || texts[1] != ":"
+        || texts[2] != "new"
+        || texts[3] != "("
+        || texts[4] != "rank"
+        || texts[5] != ":"
+        || texts[6] != ":"
+    {
+        return None;
+    }
+    texts.get(7).and_then(|c| t.by_const.get(*c)).copied()
+}
+
+/// The payload type of a construction at `i`: the first type ident after
+/// the rank argument's comma, if it is immediately constructed
+/// (`Cell {`, `Table::default()`, `BTreeMap::new()`).
+fn construction_payload(toks: &[Tok], i: usize) -> Option<String> {
+    // i + 8 is the rank const; i + 9 should be `,`.
+    let p = toks.get(i + 10)?;
+    if toks.get(i + 9).is_none_or(|c| c.text != ",") {
+        return None;
+    }
+    if p.kind == TokKind::Ident && p.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+    {
+        let next = toks.get(i + 11).map(|t| t.text.as_str());
+        if matches!(next, Some("{") | Some(":")) {
+            return Some(p.text.clone());
+        }
+    }
+    None
+}
+
+/// The field (`name:`) or let-binding a construction initializes,
+/// reached by scanning back over wrapper tokens from `i`.
+fn construction_target(toks: &[Tok], i: usize) -> Option<String> {
+    let mut j = i;
+    while j > 0 {
+        j -= 1;
+        let t = &toks[j];
+        let skip = (t.kind == TokKind::Punct && (t.text == ":" || t.text == "("))
+            || (t.kind == TokKind::Ident && WRAP_IDENTS.contains(&t.text.as_str()));
+        if skip {
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            // `field:` — the token after must be a single `:`.
+            let single_colon = toks.get(j + 1).is_some_and(|c| c.text == ":")
+                && toks.get(j + 2).is_none_or(|c| c.text != ":");
+            if single_colon {
+                return Some(t.text.clone());
+            }
+        }
+        if t.text == "=" {
+            // `let [mut] name = …`
+            let mut k = j;
+            while k > 0 && toks[k - 1].text == "mut" {
+                k -= 1;
+            }
+            if k >= 1 && toks[k - 1].kind == TokKind::Ident && k >= 2 && toks[k - 2].text == "let"
+            {
+                return Some(toks[k - 1].text.clone());
+            }
+        }
+        return None;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Per-function summaries
+// ---------------------------------------------------------------------
+
+/// What one function does with locks, from its body plus converged
+/// callee summaries.
+#[derive(Clone, Default, PartialEq)]
+pub struct Summary {
+    /// Ranks acquired, directly or transitively.
+    pub effects: BTreeSet<u32>,
+    /// Param indices whose lock (of caller-determined rank) is acquired.
+    pub param_acquires: BTreeSet<usize>,
+    /// Ranks held at any invocation of a callable parameter.
+    pub callable_holds: BTreeSet<u32>,
+    /// Signature returns a guard type.
+    pub ret_guard: bool,
+    /// Signature returns a lock object of this rank (callers' bindings
+    /// become lock aliases).
+    pub returns_lock: Option<u32>,
+    /// Principal type of the return value, for chained method calls.
+    pub ret_principal: Option<String>,
+}
+
+/// Where a guard-returning helper's guard comes from.
+#[derive(Clone, Copy, Debug)]
+enum GuardSrc {
+    Rank(u32),
+    Param(usize),
+}
+
+impl Summary {
+    fn guard_src(&self) -> Option<GuardSrc> {
+        if !self.ret_guard {
+            return None;
+        }
+        if self.effects.len() == 1 {
+            return self.effects.first().copied().map(GuardSrc::Rank);
+        }
+        if self.effects.is_empty() && self.param_acquires.len() == 1 {
+            return self.param_acquires.first().copied().map(GuardSrc::Param);
+        }
+        None
+    }
+}
+
+/// The pass result over a set of files.
+pub struct LockAnalysis {
+    pub edges: Vec<Edge>,
+    pub findings: Vec<Finding>,
+}
+
+/// Converged per-function summaries (exposed for introspection/tests).
+pub fn debug_summaries(ws: &Workspace) -> (Vec<Summary>, Tables) {
+    let tables = Tables::build(ws);
+    let sums = fixpoint(ws, &tables);
+    (sums, tables)
+}
+
+/// Runs the pass: summaries to fixpoint, then an edge-emitting final
+/// scan, then the digraph rules.
+pub fn run(ws: &Workspace, strict: bool) -> LockAnalysis {
+    let tables = Tables::build(ws);
+    let sums = fixpoint(ws, &tables);
+    // Final pass: edges and (optionally) strict findings.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for id in 0..ws.fns.len() {
+        if skip_file(&ws.file_of(id).path) {
+            continue;
+        }
+        let out = scan_fn(ws, &tables, &sums, id, true, strict);
+        edges.extend(out.edges);
+        findings.extend(out.strict_findings);
+    }
+    // Inversions are per-SITE (a waiver on one site must not hide
+    // another); the cycle rule and the exported graph use the deduped
+    // edge set.
+    findings.extend(inversion_findings(&tables, &edges));
+    let edges = dedup_edges(edges);
+    findings.extend(cycle_findings(&tables, &edges));
+    LockAnalysis { edges, findings }
+}
+
+fn fixpoint(ws: &Workspace, tables: &Tables) -> Vec<Summary> {
+    let mut sums: Vec<Summary> = (0..ws.fns.len()).map(|_| Summary::default()).collect();
+    // Signature-derived facts are fixed up-front.
+    for (id, s) in sums.iter_mut().enumerate() {
+        let f = ws.fn_ir(id);
+        let file = ws.file_of(id);
+        if let Some(ret) = f.ret {
+            let texts = || file.toks[ret.0..ret.1.min(file.toks.len())]
+                .iter()
+                .map(|t| t.text.as_str());
+            s.ret_guard = callgraph::is_guard_type(texts());
+            if let Some(payload) = callgraph::lock_payload(texts()) {
+                s.returns_lock = payload.and_then(|p| tables.payload_rank.get(&p)).copied();
+            }
+            s.ret_principal = texts()
+                .rfind(|t| {
+                    t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                        && !["Arc", "Rc", "Box", "Option", "Result", "Vec"].contains(t)
+                })
+                .map(|t| t.to_string());
+        }
+    }
+    // Fixpoint on effects / param_acquires / callable_holds.
+    for _round in 0..64 {
+        let mut changed = false;
+        for id in 0..ws.fns.len() {
+            if skip_file(&ws.file_of(id).path) {
+                continue;
+            }
+            let mut out = scan_fn(ws, tables, &sums, id, false, false);
+            let s = &mut sums[id];
+            out.effects.extend(s.effects.iter());
+            out.param_acquires.extend(s.param_acquires.iter());
+            out.callable_holds.extend(s.callable_holds.iter());
+            if out.effects != s.effects
+                || out.param_acquires != s.param_acquires
+                || out.callable_holds != s.callable_holds
+            {
+                s.effects = out.effects;
+                s.param_acquires = out.param_acquires;
+                s.callable_holds = out.callable_holds;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    sums
+}
+
+/// Keeps one edge per `(src, dst)`, preferring a non-test witness.
+fn dedup_edges(raw: Vec<Edge>) -> Vec<Edge> {
+    let mut best: BTreeMap<(u32, u32), Edge> = BTreeMap::new();
+    for e in raw {
+        match best.get(&(e.src, e.dst)) {
+            Some(prev) if !prev.test_only || e.test_only => {}
+            _ => {
+                best.insert((e.src, e.dst), e);
+            }
+        }
+    }
+    best.into_values().collect()
+}
+
+/// Per-site inversion findings over the non-test raw edges.
+fn inversion_findings(tables: &Tables, edges: &[Edge]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(String, u32, u32, u32)> = BTreeSet::new();
+    for e in edges.iter().filter(|e| !e.test_only) {
+        if e.dst <= e.src && seen.insert((e.path.clone(), e.line, e.src, e.dst)) {
+            out.push(Finding {
+                rule: STATIC_LOCK_INVERSION,
+                path: e.path.clone(),
+                line: e.line,
+                message: format!(
+                    "`{}` acquires `{}` (rank {}) while `{}` (rank {}) is held — \
+                     ranks must strictly increase on every path, including \
+                     cfg-gated and release-only ones",
+                    e.via,
+                    rank_name(tables, e.dst),
+                    e.dst,
+                    rank_name(tables, e.src),
+                    e.src
+                ),
+                waived: false,
+            });
+        }
+    }
+    out
+}
+
+/// Cycle findings over the deduped non-test edges.
+fn cycle_findings(tables: &Tables, edges: &[Edge]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let prod: Vec<&Edge> = edges.iter().filter(|e| !e.test_only).collect();
+    // Cycles: DFS over the rank digraph. Every cycle necessarily
+    // contains a non-increasing edge, but the cycle finding names the
+    // whole loop — the global view an edge-local message can't give.
+    let mut adj: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+    for e in &prod {
+        adj.entry(e.src).or_default().push(e.dst);
+    }
+    let mut reported: BTreeSet<Vec<u32>> = BTreeSet::new();
+    for &start in adj.keys() {
+        let mut path = Vec::new();
+        dfs_cycles(&adj, start, &mut path, &mut reported);
+    }
+    for cycle in reported {
+        let names: Vec<String> = cycle
+            .iter()
+            .chain(cycle.first())
+            .map(|&o| rank_name(tables, o))
+            .collect();
+        let witness = prod
+            .iter()
+            .find(|e| e.src == cycle[cycle.len() - 1] && e.dst == cycle[0])
+            .or(prod.first());
+        if let Some(w) = witness {
+            out.push(Finding {
+                rule: STATIC_LOCK_CYCLE,
+                path: w.path.clone(),
+                line: w.line,
+                message: format!(
+                    "rank digraph cycle: {} — two threads interleaving this loop \
+                     can deadlock",
+                    names.join(" -> ")
+                ),
+                waived: false,
+            });
+        }
+    }
+    out
+}
+
+fn dfs_cycles(
+    adj: &BTreeMap<u32, Vec<u32>>,
+    node: u32,
+    path: &mut Vec<u32>,
+    reported: &mut BTreeSet<Vec<u32>>,
+) {
+    path.push(node);
+    if let Some(next) = adj.get(&node) {
+        for &n in next {
+            if let Some(pos) = path.iter().position(|&p| p == n) {
+                // Canonicalize: rotate so the smallest rank leads.
+                let mut cycle: Vec<u32> = path[pos..].to_vec();
+                if let Some(min_at) = cycle
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &v)| v)
+                    .map(|(i, _)| i)
+                {
+                    cycle.rotate_left(min_at);
+                }
+                reported.insert(cycle);
+            } else if path.len() < 32 {
+                dfs_cycles(adj, n, path, reported);
+            }
+        }
+    }
+    path.pop();
+}
+
+// ---------------------------------------------------------------------
+// The body scanner
+// ---------------------------------------------------------------------
+
+/// What a local name means during a scan.
+#[derive(Clone, Debug)]
+enum Alias {
+    /// A lock object of known rank (`let h = self.session_handle(..)`).
+    LockVal(u32),
+    /// A lock parameter with caller-determined rank.
+    ParamLock(usize),
+    /// A plain value of a known first-party type.
+    Type(String),
+    /// Known-unresolvable (closure params shadowing outer names).
+    Opaque,
+}
+
+/// A resolved receiver/initializer expression.
+enum Value {
+    LockObj(u32),
+    ParamLock(usize),
+    Guard,
+    TypeObj(String),
+    Unknown,
+}
+
+/// An active held-lock region.
+#[derive(Clone, Debug)]
+enum Region {
+    /// Let-bound guard: lives to end of its block or `drop(name)`.
+    Bound { name: String, depth: u32, rank: u32 },
+    /// Statement temporary (incl. if-let scrutinees, which live through
+    /// the whole if/else).
+    TempStmt { depth: u32, rank: u32 },
+    /// Plain `if`/`while` condition temporary: dies when the body opens.
+    TempCond { depth: u32, rank: u32 },
+}
+
+impl Region {
+    fn rank(&self) -> u32 {
+        match self {
+            Region::Bound { rank, .. }
+            | Region::TempStmt { rank, .. }
+            | Region::TempCond { rank, .. } => *rank,
+        }
+    }
+}
+
+/// Guard-preserving chain methods: `.lock().unwrap_or_else(..)` still
+/// yields the guard; `.lock().pop()` does not.
+const PRESERVE: &[&str] = &["unwrap", "expect", "unwrap_or_else", "unwrap_or", "ok", "map_err"];
+
+/// Method names so common on std types that a workspace fn sharing the
+/// name says nothing — `--strict` skips them (a first-party method named
+/// `len` called on an unknown receiver is overwhelmingly std's).
+const STD_NOISE: &[&str] = &[
+    "new", "default", "clone", "len", "is_empty", "get", "get_mut", "insert", "remove",
+    "push", "pop", "iter", "iter_mut", "into_iter", "collect", "contains", "contains_key",
+    "entry", "extend", "clear", "expect", "unwrap", "unwrap_or", "unwrap_or_else", "map",
+    "and_then", "or_else", "take", "replace", "as_ref", "as_mut", "to_vec", "to_string",
+    "sort", "retain", "drain", "split", "join", "next", "min", "max", "abs", "rem",
+];
+
+struct Scan<'w> {
+    ws: &'w Workspace,
+    tables: &'w Tables,
+    sums: &'w [Summary],
+    file: usize,
+    fn_id: FnId,
+    phase_b: bool,
+    strict: bool,
+    effects: BTreeSet<u32>,
+    param_acquires: BTreeSet<usize>,
+    callable_holds: BTreeSet<u32>,
+    edges: Vec<Edge>,
+    strict_findings: Vec<Finding>,
+}
+
+struct ScanOut {
+    effects: BTreeSet<u32>,
+    param_acquires: BTreeSet<usize>,
+    callable_holds: BTreeSet<u32>,
+    edges: Vec<Edge>,
+    strict_findings: Vec<Finding>,
+}
+
+fn scan_fn(
+    ws: &Workspace,
+    tables: &Tables,
+    sums: &[Summary],
+    id: FnId,
+    phase_b: bool,
+    strict: bool,
+) -> ScanOut {
+    let f = ws.fn_ir(id);
+    let file_idx = ws.fns[id].file;
+    let file = ws.file_of(id);
+    let mut aliases: HashMap<String, Alias> = HashMap::new();
+    for (pi, p) in f.params.iter().enumerate() {
+        if p.name.is_empty() {
+            continue;
+        }
+        let texts = || file.toks[p.ty.0.min(file.toks.len())..p.ty.1.min(file.toks.len())]
+            .iter()
+            .map(|t| t.text.as_str());
+        if callgraph::is_guard_type(texts()) {
+            aliases.insert(p.name.clone(), Alias::Opaque);
+        } else if let Some(payload) = callgraph::lock_payload(texts()) {
+            match payload.and_then(|pl| tables.payload_rank.get(&pl)).copied() {
+                Some(r) => aliases.insert(p.name.clone(), Alias::LockVal(r)),
+                None => aliases.insert(p.name.clone(), Alias::ParamLock(pi)),
+            };
+        } else if let Some(principal) = texts().rfind(|t| {
+            t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && !["Arc", "Rc", "Box", "Option", "Result", "Vec", "Fn", "FnMut", "FnOnce"]
+                    .contains(t)
+        }) {
+            aliases.insert(p.name.clone(), Alias::Type(principal.to_string()));
+        }
+    }
+    let mut s = Scan {
+        ws,
+        tables,
+        sums,
+        file: file_idx,
+        fn_id: id,
+        phase_b,
+        strict,
+        effects: BTreeSet::new(),
+        param_acquires: BTreeSet::new(),
+        callable_holds: BTreeSet::new(),
+        edges: Vec::new(),
+        strict_findings: Vec::new(),
+    };
+    let body = f.body;
+    if body.1 > body.0 {
+        s.scan_range(body.0 + 1, body.1, &mut aliases);
+    }
+    ScanOut {
+        effects: s.effects,
+        param_acquires: s.param_acquires,
+        callable_holds: s.callable_holds,
+        edges: s.edges,
+        strict_findings: s.strict_findings,
+    }
+}
+
+/// Statement shape at an acquisition site.
+enum Shape {
+    LetBound(String),
+    CondLet,
+    CondPlain,
+    Other,
+}
+
+impl<'w> Scan<'w> {
+    fn toks(&self) -> &'w [Tok] {
+        &self.ws.files[self.file].toks
+    }
+
+    fn cur_fn(&self) -> &'w FnIr {
+        self.ws.fn_ir(self.fn_id)
+    }
+
+    /// Scans `[start, end)`, mutating aliases as `let`s appear. `held`
+    /// begins empty: a closure or fn body owns its own region stack
+    /// (caller-held × inner-effect edges are produced at call sites from
+    /// summaries instead).
+    fn scan_range(&mut self, start: usize, end: usize, aliases: &mut HashMap<String, Alias>) {
+        let toks = self.toks();
+        let mut held: Vec<Region> = Vec::new();
+        let mut depth: u32 = 0;
+        let mut paren: i32 = 0;
+        // (paren depth inside the call's arg list, callee callable_holds)
+        let mut call_frames: Vec<(i32, BTreeSet<u32>)> = Vec::new();
+        let mut i = start;
+        while i < end {
+            let t = &toks[i];
+            match (t.kind, t.text.as_str()) {
+                // Nested fn items: scanned as their own functions.
+                (TokKind::Ident, "fn") => {
+                    if let Some(close) = skip_nested_fn(toks, i) {
+                        i = close + 1;
+                        continue;
+                    }
+                }
+                (TokKind::Punct, "{") => {
+                    held.retain(|r| !matches!(r, Region::TempCond { depth: d, .. } if *d == depth));
+                    depth += 1;
+                }
+                (TokKind::Punct, "}") => {
+                    let next_is_else =
+                        toks.get(i + 1).is_some_and(|n| n.text == "else");
+                    held.retain(|r| match r {
+                        Region::Bound { depth: d, .. } => *d < depth,
+                        Region::TempStmt { depth: d, .. } => {
+                            if depth <= *d {
+                                false
+                            } else {
+                                depth != *d + 1 || next_is_else
+                            }
+                        }
+                        Region::TempCond { depth: d, .. } => *d < depth,
+                    });
+                    depth = depth.saturating_sub(1);
+                }
+                (TokKind::Punct, ";") => {
+                    held.retain(
+                        |r| !matches!(r, Region::TempStmt { depth: d, .. } if *d >= depth),
+                    );
+                }
+                (TokKind::Punct, "(") => paren += 1,
+                (TokKind::Punct, ")") => {
+                    paren -= 1;
+                    while call_frames.last().is_some_and(|(p, _)| *p > paren) {
+                        call_frames.pop();
+                    }
+                }
+                (TokKind::Punct, "|") if closure_starts(toks, i) => {
+                    if let Some((body_start, body_end, params)) = closure_extent(toks, i, end)
+                    {
+                        let mut inner = aliases.clone();
+                        for p in params {
+                            inner.insert(p, Alias::Opaque);
+                        }
+                        let before = self.effects.clone();
+                        self.scan_range(body_start, body_end, &mut inner);
+                        let cl_eff: BTreeSet<u32> =
+                            self.effects.difference(&before).copied().collect();
+                        // Even previously-seen ranks count as closure
+                        // effects; recompute cheaply via a second pass
+                        // only when needed (phase B edge precision).
+                        let cl_eff = if self.phase_b {
+                            self.closure_effects(body_start, body_end, aliases)
+                        } else {
+                            cl_eff
+                        };
+                        if self.phase_b {
+                            for h in held_ranks(&held) {
+                                for &e in &cl_eff {
+                                    self.edge(h, e, toks[i].line);
+                                }
+                            }
+                            if let Some((_, holds)) = call_frames.last() {
+                                for &h in holds {
+                                    for &e in &cl_eff {
+                                        self.edge(h, e, toks[i].line);
+                                    }
+                                }
+                            }
+                        }
+                        i = body_end;
+                        continue;
+                    }
+                }
+                (TokKind::Ident, "let") => {
+                    self.bind_let_alias(i, end, aliases);
+                }
+                // Variant-pattern binding — `Enum::Variant(x) =>` in a
+                // match arm or `… Enum::Variant(x) = …` in an if-let —
+                // types `x` from the variant's payload (enums are indexed
+                // as pseudo-structs).
+                (TokKind::Ident, _)
+                    if t.text.chars().next().is_some_and(|c| c.is_ascii_uppercase()) =>
+                {
+                    self.bind_variant_pattern(i, aliases);
+                }
+                (TokKind::Ident, "drop")
+                    if toks.get(i + 1).is_some_and(|n| n.text == "(") =>
+                {
+                    if let (Some(name), Some(close)) =
+                        (toks.get(i + 2), toks.get(i + 3))
+                    {
+                        if name.kind == TokKind::Ident && close.text == ")" {
+                            if let Some(pos) = held.iter().rposition(
+                                |r| matches!(r, Region::Bound { name: n, .. } if *n == name.text),
+                            ) {
+                                held.remove(pos);
+                            }
+                        }
+                    }
+                }
+                (TokKind::Ident, _) if toks.get(i + 1).is_some_and(|n| n.text == "(") => {
+                    self.handle_call(i, start, &mut held, aliases, depth, &mut call_frames, paren);
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Re-scans a closure body solely for its rank effects (no edges, no
+    /// state): used in phase B where the difference trick under-counts.
+    fn closure_effects(
+        &mut self,
+        start: usize,
+        end: usize,
+        aliases: &HashMap<String, Alias>,
+    ) -> BTreeSet<u32> {
+        let mut sub = Scan {
+            ws: self.ws,
+            tables: self.tables,
+            sums: self.sums,
+            file: self.file,
+            fn_id: self.fn_id,
+            phase_b: false,
+            strict: false,
+            effects: BTreeSet::new(),
+            param_acquires: BTreeSet::new(),
+            callable_holds: BTreeSet::new(),
+            edges: Vec::new(),
+            strict_findings: Vec::new(),
+        };
+        let mut inner = aliases.clone();
+        sub.scan_range(start, end, &mut inner);
+        self.callable_holds.extend(sub.callable_holds.iter());
+        sub.effects
+    }
+
+    fn edge(&mut self, src: u32, dst: u32, line: u32) {
+        let f = self.cur_fn();
+        self.edges.push(Edge {
+            src,
+            dst,
+            path: self.ws.files[self.file].path.clone(),
+            line,
+            via: f.name.clone(),
+            test_only: f.is_test,
+        });
+    }
+
+    /// Records an acquisition of `rank` at token `i`: effect, edges from
+    /// every held region, and a new region shaped by the statement.
+    fn acquire(
+        &mut self,
+        rank: u32,
+        i: usize,
+        stmt_start: usize,
+        held: &mut Vec<Region>,
+        depth: u32,
+        after: usize,
+    ) {
+        self.effects.insert(rank);
+        if self.phase_b {
+            let line = self.toks()[i].line;
+            for h in held_ranks(held) {
+                self.edge(h, rank, line);
+            }
+        }
+        let toks = self.toks();
+        match stmt_shape(toks, stmt_start) {
+            Shape::LetBound(name) if guard_kept(toks, after) => {
+                held.push(Region::Bound { name, depth, rank });
+            }
+            Shape::CondPlain => held.push(Region::TempCond { depth, rank }),
+            _ => held.push(Region::TempStmt { depth, rank }),
+        }
+    }
+
+    /// A call site: `name (` at token `i`. Dispatches between primitive
+    /// lock acquisition, resolved first-party calls, callable-parameter
+    /// invocation, and (in strict mode) reportable unresolved calls.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_call(
+        &mut self,
+        i: usize,
+        range_start: usize,
+        held: &mut Vec<Region>,
+        aliases: &HashMap<String, Alias>,
+        depth: u32,
+        call_frames: &mut Vec<(i32, BTreeSet<u32>)>,
+        paren: i32,
+    ) {
+        let toks = self.toks();
+        let name = toks[i].text.as_str();
+        let is_method = i > 0 && toks[i - 1].text == ".";
+        let close = match_bracket(toks, i + 1, "(", ")");
+        let stmt_start = stmt_start(toks, i, range_start);
+        let zero_args = close == i + 2;
+
+        // Primitive acquisition: `.lock()/.read()/.write()` on a lock.
+        if is_method && zero_args && matches!(name, "lock" | "read" | "write") {
+            match self.resolve_value(i.saturating_sub(2), aliases) {
+                Value::LockObj(r) => {
+                    self.acquire(r, i, stmt_start, held, depth, close + 1);
+                    return;
+                }
+                Value::ParamLock(pi) => {
+                    self.param_acquires.insert(pi);
+                    return;
+                }
+                Value::TypeObj(_) => {} // fall through: helper method
+                _ => {
+                    // Name-affinity fallback for a bare-ident receiver.
+                    if i >= 2
+                        && toks[i - 2].kind == TokKind::Ident
+                        && (i < 3 || toks[i - 3].text != ".")
+                    {
+                        if let Some(r) = self.tables.affinity_rank(&toks[i - 2].text) {
+                            self.acquire(r, i, stmt_start, held, depth, close + 1);
+                        }
+                    }
+                    return;
+                }
+            }
+        }
+
+        // Callable parameter invocation: `f(...)` where f is a param.
+        if !is_method
+            && (i == 0 || toks[i - 1].text != ":")
+            && self.cur_fn().params.iter().any(|p| p.name == name)
+        {
+            self.callable_holds.extend(held_ranks(held));
+            return;
+        }
+
+        // Resolve the callee.
+        let callee: Option<FnId> = if is_method {
+            match self.resolve_value(i.saturating_sub(2), aliases) {
+                Value::TypeObj(ty) => self.ws.method(&ty, name),
+                _ => None,
+            }
+        } else if i >= 2 && toks[i - 1].text == ":" && toks[i - 2].text == ":" {
+            // `Type::name(` — also matches path tails like
+            // `her_sync::Mutex::new` (resolves to nothing, fine).
+            match toks.get(i.saturating_sub(3)) {
+                Some(ty) if ty.kind == TokKind::Ident => {
+                    let ty = if ty.text == "Self" {
+                        self.cur_fn().impl_type.clone().unwrap_or_default()
+                    } else {
+                        ty.text.clone()
+                    };
+                    // `module::func(` — a lowercase path head is a module,
+                    // so fall back to free-fn resolution.
+                    self.ws.method(&ty, name).or_else(|| {
+                        if ty.chars().next().is_some_and(|c| c.is_ascii_lowercase()) {
+                            self.ws.free_fn(self.file, name)
+                        } else {
+                            None
+                        }
+                    })
+                }
+                _ => None,
+            }
+        } else if !is_method {
+            self.ws.free_fn(self.file, name)
+        } else {
+            None
+        };
+
+        let Some(callee) = callee else {
+            if self.phase_b
+                && self.strict
+                && !self.cur_fn().is_test
+                && !held.is_empty()
+                && self.ws.is_known_fn_name(name)
+                && name != "drop"
+                && !STD_NOISE.contains(&name)
+            {
+                let held_names: Vec<String> = held_ranks(held)
+                    .iter()
+                    .map(|&h| rank_name(self.tables, h))
+                    .collect();
+                self.strict_findings.push(Finding {
+                    rule: UNRESOLVED_CALLEE,
+                    path: self.ws.files[self.file].path.clone(),
+                    line: toks[i].line,
+                    message: format!(
+                        "call to `{name}` while holding {} could not be resolved \
+                         (trait object, ambiguous name, or macro) — the static lock \
+                         graph assumes it acquires nothing",
+                        held_names.join(", ")
+                    ),
+                    waived: false,
+                });
+            }
+            return;
+        };
+
+        let sum = &self.sums[callee];
+        if self.phase_b {
+            let line = toks[i].line;
+            for h in held_ranks(held) {
+                for &e in &sum.effects {
+                    self.edge(h, e, line);
+                }
+            }
+        }
+        self.effects.extend(sum.effects.iter());
+        if !sum.callable_holds.is_empty() {
+            call_frames.push((paren + 1, sum.callable_holds.clone()));
+        }
+
+        // Caller-determined lock params (`lock(&self.counters)`).
+        // `param_acquires` indexes non-self params and `split_args`
+        // sees only the parenthesized list, so method and free calls
+        // share the same base.
+        if !sum.param_acquires.is_empty() {
+            let args = split_args(toks, i + 1, close);
+            for &pi in &sum.param_acquires {
+                if let Some(range) = args.get(pi) {
+                    if let Some(r) = self.resolve_lock_expr(range.0, range.1, aliases) {
+                        let bindable = matches!(sum.guard_src(), Some(GuardSrc::Param(p)) if p == pi);
+                        self.effects.insert(r);
+                        if self.phase_b {
+                            let line = toks[i].line;
+                            for h in held_ranks(held) {
+                                self.edge(h, r, line);
+                            }
+                        }
+                        if bindable {
+                            match stmt_shape(toks, stmt_start) {
+                                Shape::LetBound(name) if guard_kept(toks, close + 1) => {
+                                    held.push(Region::Bound { name, depth, rank: r })
+                                }
+                                Shape::CondPlain => {
+                                    held.push(Region::TempCond { depth, rank: r })
+                                }
+                                _ => held.push(Region::TempStmt { depth, rank: r }),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Guard-returning helper: the call IS an acquisition region.
+        if let Some(GuardSrc::Rank(r)) = sum.guard_src() {
+            match stmt_shape(toks, stmt_start) {
+                Shape::LetBound(name) if guard_kept(toks, close + 1) => {
+                    held.push(Region::Bound { name, depth, rank: r })
+                }
+                Shape::CondPlain => held.push(Region::TempCond { depth, rank: r }),
+                _ => held.push(Region::TempStmt { depth, rank: r }),
+            }
+        }
+    }
+
+    /// Resolves the expression ending at token `last` (inclusive) — a
+    /// receiver chain — to a value.
+    fn resolve_value(&self, last: usize, aliases: &HashMap<String, Alias>) -> Value {
+        let toks = self.toks();
+        // Collect chain segments right-to-left.
+        enum Seg {
+            Name(String),
+            Call(String),
+            Index,
+        }
+        let mut segs: Vec<Seg> = Vec::new();
+        let mut j = last as isize;
+        let base_ok = loop {
+            if j < 0 {
+                break false;
+            }
+            let t = &toks[j as usize];
+            match t.text.as_str() {
+                ")" => {
+                    let open = match_back(toks, j as usize, "(", ")");
+                    let Some(open) = open else { break false };
+                    let m = open.checked_sub(1).map(|k| &toks[k]);
+                    match m {
+                        Some(m) if m.kind == TokKind::Ident => {
+                            segs.push(Seg::Call(m.text.clone()));
+                            let before = open as isize - 2;
+                            if before >= 0 && toks[before as usize].text == "." {
+                                j = before - 1;
+                                continue;
+                            }
+                            if before >= 1
+                                && toks[before as usize].text == ":"
+                                && toks[(before - 1) as usize].text == ":"
+                            {
+                                // Type::call( — base is the type.
+                                let ty = before - 2;
+                                if ty >= 0 && toks[ty as usize].kind == TokKind::Ident {
+                                    segs.push(Seg::Name(toks[ty as usize].text.clone()));
+                                    break true;
+                                }
+                                break false;
+                            }
+                            break true; // free call base
+                        }
+                        _ => break false,
+                    }
+                }
+                "]" => {
+                    let Some(open) = match_back(toks, j as usize, "[", "]") else {
+                        break false;
+                    };
+                    segs.push(Seg::Index);
+                    j = open as isize - 1;
+                }
+                _ if t.kind == TokKind::Ident => {
+                    segs.push(Seg::Name(t.text.clone()));
+                    if j >= 1 && toks[(j - 1) as usize].text == "." {
+                        j -= 2;
+                        continue;
+                    }
+                    break true;
+                }
+                _ => break false,
+            }
+        };
+        if !base_ok || segs.is_empty() {
+            return Value::Unknown;
+        }
+        segs.reverse();
+        // Evaluate left-to-right.
+        let mut cur = Value::Unknown;
+        for (si, seg) in segs.iter().enumerate() {
+            let first = si == 0;
+            cur = match seg {
+                Seg::Name(n) if first => {
+                    if n == "self" {
+                        match &self.cur_fn().impl_type {
+                            Some(t) => Value::TypeObj(t.clone()),
+                            None => Value::Unknown,
+                        }
+                    } else {
+                        match aliases.get(n) {
+                            Some(Alias::LockVal(r)) => Value::LockObj(*r),
+                            Some(Alias::ParamLock(p)) => Value::ParamLock(*p),
+                            Some(Alias::Type(t)) => Value::TypeObj(t.clone()),
+                            Some(Alias::Opaque) => Value::Unknown,
+                            // An unaliased capitalized base is a type path
+                            // (`Type::assoc(..)` chains).
+                            None if n.chars().next().is_some_and(|c| c.is_ascii_uppercase()) => {
+                                Value::TypeObj(n.clone())
+                            }
+                            None => Value::Unknown,
+                        }
+                    }
+                }
+                Seg::Name(n) => self.apply_field(&cur, n),
+                // A free-call base: `health_cell().lock()`.
+                Seg::Call(m) if first => {
+                    match self.ws.free_fn(self.file, m).map(|c| &self.sums[c]) {
+                        Some(s) => {
+                            if let Some(r) = s.returns_lock {
+                                Value::LockObj(r)
+                            } else if s.ret_guard {
+                                Value::Guard
+                            } else if let Some(p) = &s.ret_principal {
+                                Value::TypeObj(p.clone())
+                            } else {
+                                Value::Unknown
+                            }
+                        }
+                        None => Value::Unknown,
+                    }
+                }
+                Seg::Call(m) => {
+                    let callee = match &cur {
+                        Value::TypeObj(t) => self.ws.method(t, m),
+                        _ => None,
+                    };
+                    match callee.map(|c| &self.sums[c]) {
+                        Some(s) => {
+                            if let Some(r) = s.returns_lock {
+                                Value::LockObj(r)
+                            } else if s.ret_guard {
+                                Value::Guard
+                            } else if let Some(p) = &s.ret_principal {
+                                Value::TypeObj(p.clone())
+                            } else {
+                                Value::Unknown
+                            }
+                        }
+                        None => Value::Unknown,
+                    }
+                }
+                Seg::Index => match cur {
+                    Value::LockObj(r) => Value::LockObj(r),
+                    _ => Value::Unknown,
+                },
+            };
+        }
+        cur
+    }
+
+    /// Applies a `.field` step.
+    fn apply_field(&self, cur: &Value, field: &str) -> Value {
+        let ty = match cur {
+            Value::TypeObj(t) => Some(t.as_str()),
+            Value::Unknown => None,
+            _ => return Value::Unknown,
+        };
+        match self.ws.field(ty, field) {
+            Some(FieldKind::Lock(payload)) => {
+                let rank = payload
+                    .as_ref()
+                    .and_then(|p| self.tables.payload_rank.get(p))
+                    .copied()
+                    .or_else(|| self.tables.field_rank.get(field).copied());
+                match rank {
+                    Some(r) => Value::LockObj(r),
+                    None => Value::Unknown,
+                }
+            }
+            Some(FieldKind::Plain(t)) if !t.is_empty() => Value::TypeObj(t.clone()),
+            _ => {
+                // Construction-derived field rank as a last resort.
+                match self.tables.field_rank.get(field) {
+                    Some(&r) => Value::LockObj(r),
+                    None => Value::Unknown,
+                }
+            }
+        }
+    }
+
+    /// Resolves an argument expression (`&self.kills_fired`) to a lock
+    /// rank, if it is one.
+    fn resolve_lock_expr(
+        &self,
+        start: usize,
+        end: usize,
+        aliases: &HashMap<String, Alias>,
+    ) -> Option<u32> {
+        let toks = self.toks();
+        let mut a = start;
+        while a < end && (toks[a].text == "&" || toks[a].text == "mut") {
+            a += 1;
+        }
+        if a >= end {
+            return None;
+        }
+        // The chain runs to the end of the arg (args are split on
+        // top-level commas, so the whole range is one expression).
+        match self.resolve_value(end - 1, aliases) {
+            Value::LockObj(r) => Some(r),
+            _ => match self.resolve_value(a, aliases) {
+                Value::LockObj(r) => Some(r),
+                _ => None,
+            },
+        }
+    }
+
+    /// Binds `Enum::Variant(x)` when the pattern is followed by `=>` or
+    /// `=` (match arm / if-let / let-else). `x` gets the variant's
+    /// payload type from the pseudo-struct field `(Enum, Variant)`.
+    fn bind_variant_pattern(&self, i: usize, aliases: &mut HashMap<String, Alias>) {
+        let toks = self.toks();
+        let enum_name = &toks[i];
+        if toks.get(i + 1).is_none_or(|t| t.text != ":")
+            || toks.get(i + 2).is_none_or(|t| t.text != ":")
+        {
+            return;
+        }
+        let Some(variant) = toks.get(i + 3) else { return };
+        if variant.kind != TokKind::Ident || toks.get(i + 4).is_none_or(|t| t.text != "(") {
+            return;
+        }
+        let close = match_bracket(toks, i + 4, "(", ")");
+        // Pattern, not a call: the paren group is followed by `=>` / `=`.
+        let eq = toks.get(close + 1).is_some_and(|t| t.text == "=");
+        if !eq {
+            return;
+        }
+        let binding = toks[i + 5..close]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut" && t.text != "ref");
+        let Some(binding) = binding else { return };
+        let alias = match self.ws.field(Some(&enum_name.text), &variant.text) {
+            Some(FieldKind::Plain(t)) if !t.is_empty() => Alias::Type(t.clone()),
+            Some(FieldKind::Lock(payload)) => {
+                match payload
+                    .as_ref()
+                    .and_then(|p| self.tables.payload_rank.get(p))
+                    .copied()
+                {
+                    Some(r) => Alias::LockVal(r),
+                    None => return,
+                }
+            }
+            _ => return,
+        };
+        aliases.insert(binding.text.clone(), alias);
+    }
+
+    /// `let` handling: records aliases for lock-valued and typed locals.
+    fn bind_let_alias(
+        &mut self,
+        let_idx: usize,
+        end: usize,
+        aliases: &mut HashMap<String, Alias>,
+    ) {
+        let toks = self.toks();
+        let Some((name, eq)) = let_binding(toks, let_idx) else {
+            return;
+        };
+        // Initializer: from after `=` to the statement end.
+        let mut stop = eq + 1;
+        let mut p = 0i32;
+        let mut b = 0i32;
+        let mut brace = 0i32;
+        while stop < end {
+            match toks[stop].text.as_str() {
+                "(" => p += 1,
+                ")" => p -= 1,
+                "[" => b += 1,
+                "]" => b -= 1,
+                "{" => brace += 1,
+                "}" => {
+                    brace -= 1;
+                    if brace < 0 {
+                        break;
+                    }
+                }
+                ";" if p <= 0 && b <= 0 && brace <= 0 => break,
+                "else" if p <= 0 && b <= 0 && brace <= 0 => break,
+                _ => {}
+            }
+            stop += 1;
+        }
+        if let Some(v) = self.resolve_init(eq + 1, stop, aliases) {
+            aliases.insert(name, v);
+        }
+    }
+
+    /// Resolves a `let` initializer to an alias, or None.
+    fn resolve_init(
+        &self,
+        start: usize,
+        end: usize,
+        aliases: &HashMap<String, Alias>,
+    ) -> Option<Alias> {
+        let toks = self.toks();
+        // A ranked construction anywhere in the initializer makes the
+        // binding a lock object (`Arc::new(Mutex::new(rank::X, ..))`).
+        for k in start..end.min(toks.len()) {
+            if let Some(order) = construction_at(self.tables, toks, k) {
+                return Some(Alias::LockVal(order));
+            }
+        }
+        let mut a = start;
+        while a < end
+            && matches!(toks.get(a).map(|t| t.text.as_str()), Some("&" | "mut" | "*" | "match"))
+        {
+            a += 1;
+        }
+        // Struct literal: `Type { .. }`.
+        if let (Some(t0), Some(t1)) = (toks.get(a), toks.get(a + 1)) {
+            if t0.kind == TokKind::Ident
+                && t0.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && t1.text == "{"
+            {
+                return Some(Alias::Type(t0.text.clone()));
+            }
+        }
+        // Otherwise: resolve the leading chain expression.
+        let chain_end = chain_extent(toks, a, end)?;
+        match self.resolve_value(chain_end, aliases) {
+            Value::LockObj(r) => Some(Alias::LockVal(r)),
+            Value::TypeObj(t) => Some(Alias::Type(t)),
+            Value::ParamLock(p) => Some(Alias::ParamLock(p)),
+            _ => None,
+        }
+    }
+}
+
+fn held_ranks(held: &[Region]) -> BTreeSet<u32> {
+    held.iter().map(|r| r.rank()).collect()
+}
+
+/// Backwards bracket match: index of the `open` matching the close at
+/// `at`.
+fn match_back(toks: &[Tok], at: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut i = at as isize;
+    while i >= 0 {
+        let t = &toks[i as usize].text;
+        if t == close {
+            depth += 1;
+        } else if t == open {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i as usize);
+            }
+        }
+        i -= 1;
+    }
+    None
+}
+
+/// Start of the statement containing token `i` (just after the nearest
+/// `;`, `{` or `}`).
+fn stmt_start(toks: &[Tok], i: usize, floor: usize) -> usize {
+    let mut j = i;
+    while j > floor {
+        let t = &toks[j - 1].text;
+        if t == ";" || t == "{" || t == "}" {
+            return j;
+        }
+        j -= 1;
+    }
+    floor
+}
+
+/// Classifies the statement head for region shaping.
+fn stmt_shape(toks: &[Tok], start: usize) -> Shape {
+    let t0 = toks.get(start).map(|t| t.text.as_str());
+    match t0 {
+        Some("let") => match let_binding(toks, start) {
+            Some((name, _)) => Shape::LetBound(name),
+            None => Shape::Other,
+        },
+        Some("if") | Some("while") => {
+            if toks.get(start + 1).is_some_and(|t| t.text == "let") {
+                Shape::CondLet
+            } else {
+                Shape::CondPlain
+            }
+        }
+        _ => Shape::Other,
+    }
+}
+
+/// Parses `let [mut] name =` or `let [mut] Pattern(name) =` at `at` (the
+/// `let` token). Returns `(name, index of '=')`.
+fn let_binding(toks: &[Tok], at: usize) -> Option<(String, usize)> {
+    let mut j = at + 1;
+    if toks.get(j).is_some_and(|t| t.text == "mut") {
+        j += 1;
+    }
+    let head = toks.get(j)?;
+    if head.kind != TokKind::Ident {
+        return None;
+    }
+    let next = toks.get(j + 1)?;
+    if next.text == "=" && toks.get(j + 2).is_some_and(|t| t.text != "=") {
+        return Some((head.text.clone(), j + 1));
+    }
+    // Pattern wrapper `Some(&mut name)` / `Ok(name)`.
+    if next.text == "(" {
+        let close = match_bracket(toks, j + 1, "(", ")");
+        let name = toks[j + 2..close]
+            .iter()
+            .find(|t| t.kind == TokKind::Ident && t.text != "mut")?;
+        let eq = close + 1;
+        if toks.get(eq).is_some_and(|t| t.text == "=")
+            && toks.get(eq + 1).is_some_and(|t| t.text != "=")
+        {
+            return Some((name.text.clone(), eq));
+        }
+        // `let Type { .. } =` and annotated `let x: T =` fall out here.
+    }
+    if next.text == ":" {
+        // `let name: Type = …` — find the `=` at top level.
+        let mut k = j + 2;
+        let mut angle = 0i32;
+        while let Some(t) = toks.get(k) {
+            match t.text.as_str() {
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "=" if angle <= 0 => return Some((head.text.clone(), k)),
+                ";" | "{" => return None,
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    None
+}
+
+/// True when the value produced at `after` (index just past a call's
+/// closing paren) flows unchanged to the end of the statement — i.e. a
+/// `let`-bound guard really binds the guard.
+fn guard_kept(toks: &[Tok], mut j: usize) -> bool {
+    loop {
+        match toks.get(j).map(|t| t.text.as_str()) {
+            Some(";") | Some("else") | None => return true,
+            Some("?") => j += 1,
+            Some(".") => {
+                let m = toks.get(j + 1);
+                let is_preserve = m.is_some_and(|m| PRESERVE.contains(&m.text.as_str()));
+                if !is_preserve {
+                    return false;
+                }
+                match toks.get(j + 2) {
+                    Some(p) if p.text == "(" => {
+                        j = match_bracket(toks, j + 2, "(", ")") + 1;
+                    }
+                    _ => return false,
+                }
+            }
+            _ => return false,
+        }
+    }
+}
+
+/// Splits a call's argument list `( … )` into top-level comma-separated
+/// `[start, end)` ranges. `open` is the `(` index, `close` its match.
+fn split_args(toks: &[Tok], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    let mut start = open + 1;
+    let mut p = 0i32;
+    let mut b = 0i32;
+    let mut brace = 0i32;
+    for (j, t) in toks.iter().enumerate().take(close).skip(open + 1) {
+        match t.text.as_str() {
+            "(" => p += 1,
+            ")" => p -= 1,
+            "[" => b += 1,
+            "]" => b -= 1,
+            "{" => brace += 1,
+            "}" => brace -= 1,
+            "," if p == 0 && b == 0 && brace == 0 => {
+                out.push((start, j));
+                start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < close {
+        out.push((start, close));
+    }
+    out
+}
+
+/// Whether the `|` at `i` begins a closure (vs a binary-or or a match
+/// pattern alternation).
+fn closure_starts(toks: &[Tok], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let p = &toks[i - 1];
+    matches!(p.text.as_str(), "(" | "," | "=" | "{" | ";" | "return" | "move" | ">")
+        && (p.text != ">" || (i >= 2 && toks[i - 2].text == "="))
+}
+
+/// Finds a closure's parameter names and body range. Returns
+/// `(body_start, body_end_exclusive, params)`.
+fn closure_extent(toks: &[Tok], i: usize, limit: usize) -> Option<(usize, usize, Vec<String>)> {
+    // Params: up to the matching `|` (or `||` for none).
+    let mut params = Vec::new();
+    let mut j = i + 1;
+    if toks.get(j).is_some_and(|t| t.text == "|") {
+        j += 1;
+    } else {
+        let mut p = 0i32;
+        let mut b = 0i32;
+        let mut angle = 0i32;
+        loop {
+            let t = toks.get(j)?;
+            match t.text.as_str() {
+                "(" => p += 1,
+                ")" => p -= 1,
+                "[" => b += 1,
+                "]" => b -= 1,
+                "<" => angle += 1,
+                ">" => angle -= 1,
+                "|" if p == 0 && b == 0 && angle <= 0 => {
+                    j += 1;
+                    break;
+                }
+                _ => {
+                    if t.kind == TokKind::Ident
+                        && p == 0
+                        && t.text != "mut"
+                        && toks.get(j + 1).is_none_or(|n| n.text != ":")
+                    {
+                        params.push(t.text.clone());
+                    } else if t.kind == TokKind::Ident
+                        && t.text != "mut"
+                        && toks.get(j + 1).is_some_and(|n| n.text == ":")
+                    {
+                        params.push(t.text.clone());
+                        // Skip the type annotation to the next top-level
+                        // `,` or `|`.
+                    }
+                }
+            }
+            if j >= limit {
+                return None;
+            }
+            j += 1;
+        }
+    }
+    // Optional `-> Type` before a braced body.
+    if toks.get(j).is_some_and(|t| t.text == "-")
+        && toks.get(j + 1).is_some_and(|t| t.text == ">")
+    {
+        while j < limit && toks[j].text != "{" {
+            j += 1;
+        }
+    }
+    if toks.get(j).is_some_and(|t| t.text == "{") {
+        let close = match_bracket(toks, j, "{", "}");
+        return Some((j + 1, close, params));
+    }
+    // Expression body: to a top-level `,` or the enclosing `)`.
+    let start = j;
+    let mut p = 0i32;
+    let mut b = 0i32;
+    let mut brace = 0i32;
+    while j < limit {
+        match toks[j].text.as_str() {
+            "(" => p += 1,
+            ")" => {
+                p -= 1;
+                if p < 0 {
+                    return Some((start, j, params));
+                }
+            }
+            "[" => b += 1,
+            "]" => {
+                b -= 1;
+                if b < 0 {
+                    return Some((start, j, params));
+                }
+            }
+            "{" => brace += 1,
+            "}" => {
+                brace -= 1;
+                if brace < 0 {
+                    return Some((start, j, params));
+                }
+            }
+            "," | ";" if p == 0 && b == 0 && brace == 0 => {
+                return Some((start, j, params));
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((start, limit, params))
+}
+
+/// The leading chain expression's last token index within
+/// `[start, end)`: ident path with `.field`, `(..)`, `[..]` links.
+fn chain_extent(toks: &[Tok], start: usize, end: usize) -> Option<usize> {
+    let t0 = toks.get(start)?;
+    if t0.kind != TokKind::Ident {
+        return None;
+    }
+    let mut j = start;
+    let mut last = start;
+    loop {
+        // Current token is an ident; look at what follows.
+        match toks.get(j + 1).map(|t| t.text.as_str()) {
+            Some(":") if toks.get(j + 2).is_some_and(|t| t.text == ":") => {
+                if toks.get(j + 3).is_some_and(|t| t.kind == TokKind::Ident) {
+                    j += 3;
+                    last = j;
+                    continue;
+                }
+                return Some(last);
+            }
+            Some("(") => {
+                let close = match_bracket(toks, j + 1, "(", ")");
+                if close >= end {
+                    return Some(last);
+                }
+                last = close;
+                match toks.get(close + 1).map(|t| t.text.as_str()) {
+                    Some(".") if toks.get(close + 2).is_some_and(|t| t.kind == TokKind::Ident) => {
+                        j = close + 2;
+                        last = j;
+                        // A further `(` continues via the loop below.
+                        if toks.get(j + 1).is_some_and(|t| t.text == "(") {
+                            continue;
+                        }
+                        continue;
+                    }
+                    _ => return Some(last),
+                }
+            }
+            Some(".") if toks.get(j + 2).is_some_and(|t| t.kind == TokKind::Ident) => {
+                j += 2;
+                last = j;
+                continue;
+            }
+            Some("[") => {
+                let close = match_bracket(toks, j + 1, "[", "]");
+                if close >= end {
+                    return Some(last);
+                }
+                last = close;
+                match toks.get(close + 1).map(|t| t.text.as_str()) {
+                    Some(".") if toks.get(close + 2).is_some_and(|t| t.kind == TokKind::Ident) => {
+                        j = close + 2;
+                        last = j;
+                        continue;
+                    }
+                    _ => return Some(last),
+                }
+            }
+            _ => return Some(last),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Outputs: DOT rendering and the dynamic-subset check
+// ---------------------------------------------------------------------
+
+/// Display names straight from the rank table (no source scan needed).
+pub fn rank_names() -> BTreeMap<u32, &'static str> {
+    her_sync::rank::ALL
+        .iter()
+        .map(|(_, r)| (r.order, r.name))
+        .collect()
+}
+
+/// Renders the rank-acquisition digraph as GraphViz DOT. Production
+/// edges are solid; edges only reachable from test code are dashed.
+/// Every rank in the table appears as a node even if no edge touches it,
+/// so the graph doubles as documentation of the full hierarchy.
+pub fn render_dot(edges: &[Edge]) -> String {
+    let names = rank_names();
+    let mut out = String::from(
+        "// Generated by `cargo run -p her-analysis -- graph --dot`.\n\
+         // Nodes: her_sync rank table. Solid: production acquisition\n\
+         // edges; dashed: reachable from test code only.\n\
+         digraph lock_ranks {\n  rankdir=LR;\n  \
+         node [shape=box, fontname=\"monospace\", fontsize=10];\n",
+    );
+    for (order, name) in &names {
+        out.push_str(&format!(
+            "  r{order} [label=\"{name}\\nrank {order}\"];\n"
+        ));
+    }
+    for e in edges {
+        let style = if e.test_only { " [style=dashed]" } else { "" };
+        out.push_str(&format!("  r{} -> r{}{};\n", e.src, e.dst, style));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// The CI consistency drill: every `held acquired` pair the runtime
+/// tracker observed (a `HER_SYNC_EDGE_LOG` dump) must be in the static
+/// graph. Lines mentioning ranks outside the table (tests construct
+/// private ranks freely) are ignored. Returns the missing pairs.
+pub fn check_dynamic_subset(dump: &str, edges: &[Edge]) -> Vec<(String, String)> {
+    let names = rank_names();
+    let by_name: HashMap<&str, u32> = names.iter().map(|(&o, &n)| (n, o)).collect();
+    let static_set: BTreeSet<(u32, u32)> = edges.iter().map(|e| (e.src, e.dst)).collect();
+    let mut missing = Vec::new();
+    for line in dump.lines() {
+        let mut it = line.split_whitespace();
+        let (Some(h), Some(a)) = (it.next(), it.next()) else {
+            continue;
+        };
+        let (Some(&hs), Some(&as_)) = (by_name.get(h), by_name.get(a)) else {
+            continue;
+        };
+        if !static_set.contains(&(hs, as_)) {
+            missing.push((h.to_string(), a.to_string()));
+        }
+    }
+    missing.sort();
+    missing.dedup();
+    missing
+}
+
+/// If a nested `fn` item starts at `i`, returns the index of its body's
+/// closing brace.
+fn skip_nested_fn(toks: &[Tok], i: usize) -> Option<usize> {
+    let name = toks.get(i + 1)?;
+    if name.kind != TokKind::Ident {
+        return None;
+    }
+    // Find the body `{` before any `;` (a `;` means no body here).
+    let mut j = i + 2;
+    let mut angle = 0i32;
+    let mut paren = 0i32;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => angle += 1,
+            ">" if toks[j - 1].text != "-" => angle -= 1,
+            "(" => paren += 1,
+            ")" => paren -= 1,
+            "{" if angle <= 0 && paren == 0 => {
+                return Some(match_bracket(toks, j, "{", "}"));
+            }
+            ";" if paren == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}

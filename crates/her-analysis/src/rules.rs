@@ -30,6 +30,14 @@ pub const GENERATION_ENTRY_POINT: &str = "her::generation_entry_point";
 pub const LITERAL_LOCK_RANK: &str = "her::literal_lock_rank";
 pub const UNGUARDED_SPAN: &str = "her::unguarded_span";
 pub const RAW_FS_WRITE: &str = "her::raw_fs_write";
+// Workspace-level (interprocedural) rules — computed by the lockgraph
+// and budget passes, not `analyze_file`.
+pub const STATIC_LOCK_INVERSION: &str = "her::static_lock_inversion";
+pub const STATIC_LOCK_CYCLE: &str = "her::static_lock_cycle";
+pub const BUDGET_NOT_THREADED: &str = "her::budget_not_threaded";
+/// Only emitted under `--strict`: a first-party call the lock pass could
+/// not resolve while locks were held (precision escape hatch).
+pub const UNRESOLVED_CALLEE: &str = "her::unresolved_callee";
 
 /// All rule ids, for `--list` and the report header.
 pub const ALL_RULES: &[&str] = &[
@@ -41,6 +49,10 @@ pub const ALL_RULES: &[&str] = &[
     LITERAL_LOCK_RANK,
     UNGUARDED_SPAN,
     RAW_FS_WRITE,
+    STATIC_LOCK_INVERSION,
+    STATIC_LOCK_CYCLE,
+    BUDGET_NOT_THREADED,
+    UNRESOLVED_CALLEE,
 ];
 
 /// Per-token context derived in one pass: innermost enclosing function
